@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Errors produced by baseline methods.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Input-data failure (contract violation, empty dataset, …).
+    Data(fm_data::DataError),
+    /// Privacy-parameter failure.
+    Privacy(fm_privacy::PrivacyError),
+    /// Optimisation failure.
+    Optim(fm_optim::OptimError),
+    /// Linear-algebra failure.
+    Linalg(fm_linalg::LinalgError),
+    /// Functional-mechanism failure (the `Truncated` baseline reuses
+    /// `fm-core`'s objective assembly).
+    Fm(fm_core::FmError),
+    /// The synthetic-data stage produced no usable tuples (all noisy counts
+    /// non-positive) — the regression cannot run.
+    NoSyntheticData,
+    /// Invalid configuration.
+    InvalidConfig {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Data(e) => write!(f, "data error: {e}"),
+            BaselineError::Privacy(e) => write!(f, "privacy error: {e}"),
+            BaselineError::Optim(e) => write!(f, "optimisation error: {e}"),
+            BaselineError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            BaselineError::Fm(e) => write!(f, "functional mechanism error: {e}"),
+            BaselineError::NoSyntheticData => {
+                write!(f, "noisy histogram produced no synthetic tuples")
+            }
+            BaselineError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Data(e) => Some(e),
+            BaselineError::Privacy(e) => Some(e),
+            BaselineError::Optim(e) => Some(e),
+            BaselineError::Linalg(e) => Some(e),
+            BaselineError::Fm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fm_data::DataError> for BaselineError {
+    fn from(e: fm_data::DataError) -> Self {
+        BaselineError::Data(e)
+    }
+}
+
+impl From<fm_privacy::PrivacyError> for BaselineError {
+    fn from(e: fm_privacy::PrivacyError) -> Self {
+        BaselineError::Privacy(e)
+    }
+}
+
+impl From<fm_optim::OptimError> for BaselineError {
+    fn from(e: fm_optim::OptimError) -> Self {
+        BaselineError::Optim(e)
+    }
+}
+
+impl From<fm_linalg::LinalgError> for BaselineError {
+    fn from(e: fm_linalg::LinalgError) -> Self {
+        BaselineError::Linalg(e)
+    }
+}
+
+impl From<fm_core::FmError> for BaselineError {
+    fn from(e: fm_core::FmError) -> Self {
+        BaselineError::Fm(e)
+    }
+}

@@ -1,0 +1,422 @@
+//! Joint (features × label) histograms over the normalized domain — the
+//! shared substrate of the DPME and Filter-Priority baselines.
+//!
+//! Both baselines reduce regression to *count publication*: discretize the
+//! joint domain of `(x, y)` into an equi-width grid, release noisy cell
+//! counts, synthesize one tuple per unit of noisy count at each cell
+//! centre, and run ordinary regression on the synthetic data. Everything
+//! downstream of the noisy counts is post-processing, so the privacy
+//! argument reduces to the Laplace mechanism on a histogram (L1 sensitivity
+//! 2 under tuple replacement).
+//!
+//! The curse of dimensionality lives here: the cell count is
+//! `bins^(d+1)`, so at fixed `n` the per-cell signal decays exponentially
+//! in `d` — which is exactly why Figure 4 of the paper shows DPME and FP
+//! degrading with dimensionality while FM does not.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use fm_data::Dataset;
+use fm_linalg::Matrix;
+
+use crate::{BaselineError, Result};
+
+/// How the label axis of the joint grid is discretized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LabelSpec {
+    /// Continuous label in `[lo, hi]` split into `bins` equi-width cells
+    /// (linear regression: `[−1, 1]`).
+    Continuous {
+        /// Number of label bins.
+        bins: usize,
+        /// Label domain lower bound.
+        lo: f64,
+        /// Label domain upper bound.
+        hi: f64,
+    },
+    /// Binary label `{0, 1}` — two cells whose "centres" are the exact
+    /// class values (logistic regression).
+    Binary,
+}
+
+impl LabelSpec {
+    fn bins(&self) -> usize {
+        match *self {
+            LabelSpec::Continuous { bins, .. } => bins,
+            LabelSpec::Binary => 2,
+        }
+    }
+
+    fn index_of(&self, y: f64) -> usize {
+        match *self {
+            LabelSpec::Continuous { bins, lo, hi } => bin_index(y, lo, hi, bins),
+            LabelSpec::Binary => usize::from(y > 0.5),
+        }
+    }
+
+    fn center_of(&self, idx: usize) -> f64 {
+        match *self {
+            LabelSpec::Continuous { bins, lo, hi } => bin_center(idx, lo, hi, bins),
+            LabelSpec::Binary => idx as f64,
+        }
+    }
+}
+
+fn bin_index(v: f64, lo: f64, hi: f64, bins: usize) -> usize {
+    let t = ((v - lo) / (hi - lo) * bins as f64).floor();
+    (t as isize).clamp(0, bins as isize - 1) as usize
+}
+
+fn bin_center(idx: usize, lo: f64, hi: f64, bins: usize) -> f64 {
+    lo + (hi - lo) * (idx as f64 + 0.5) / bins as f64
+}
+
+/// An equi-width joint grid over `d` features plus the label.
+#[derive(Debug, Clone)]
+pub struct JointGrid {
+    /// Bins per feature axis.
+    feature_bins: usize,
+    /// Per-feature `(lo, hi)` bounds.
+    feature_bounds: Vec<(f64, f64)>,
+    label: LabelSpec,
+}
+
+impl JointGrid {
+    /// Builds a grid over the paper's normalized feature domain
+    /// (`x_j ∈ [0, 1/√d]` after footnote-1 normalization).
+    ///
+    /// # Errors
+    /// [`BaselineError::InvalidConfig`] for `d == 0`, `feature_bins < 1`,
+    /// or a degenerate label spec.
+    pub fn over_normalized_domain(d: usize, feature_bins: usize, label: LabelSpec) -> Result<Self> {
+        let hi = 1.0 / (d.max(1) as f64).sqrt();
+        Self::over_domain(d, feature_bins, label, (0.0, hi))
+    }
+
+    /// Builds a grid over the symmetric domain `x_j ∈ [−1, 1]` — the widest
+    /// box containing the raw `‖x‖₂ ≤ 1` contract, for datasets that are
+    /// *not* footnote-1 normalized (e.g. centred covariates).
+    ///
+    /// # Errors
+    /// As [`JointGrid::over_normalized_domain`].
+    pub fn over_symmetric_domain(d: usize, feature_bins: usize, label: LabelSpec) -> Result<Self> {
+        Self::over_domain(d, feature_bins, label, (-1.0, 1.0))
+    }
+
+    /// Builds a grid with explicit per-feature bounds `(lo, hi)` applied to
+    /// every axis. Bounds must be data-independent (declared domain
+    /// knowledge), or the privacy argument of the calling mechanism breaks.
+    ///
+    /// # Errors
+    /// [`BaselineError::InvalidConfig`] on degenerate configuration.
+    pub fn over_domain(
+        d: usize,
+        feature_bins: usize,
+        label: LabelSpec,
+        bounds: (f64, f64),
+    ) -> Result<Self> {
+        if d == 0 {
+            return Err(BaselineError::InvalidConfig {
+                name: "d",
+                reason: "at least one feature required".to_string(),
+            });
+        }
+        if feature_bins == 0 {
+            return Err(BaselineError::InvalidConfig {
+                name: "feature_bins",
+                reason: "at least one bin required".to_string(),
+            });
+        }
+        if bounds.1 <= bounds.0 {
+            return Err(BaselineError::InvalidConfig {
+                name: "bounds",
+                reason: format!("degenerate range [{}, {}]", bounds.0, bounds.1),
+            });
+        }
+        if let LabelSpec::Continuous { bins, lo, hi } = label {
+            if bins == 0 || hi <= lo {
+                return Err(BaselineError::InvalidConfig {
+                    name: "label",
+                    reason: format!("bins = {bins}, range = [{lo}, {hi}]"),
+                });
+            }
+        }
+        Ok(JointGrid {
+            feature_bins,
+            feature_bounds: vec![bounds; d],
+            label,
+        })
+    }
+
+    /// Number of features `d`.
+    #[must_use]
+    pub fn d(&self) -> usize {
+        self.feature_bounds.len()
+    }
+
+    /// Bins per feature axis.
+    #[must_use]
+    pub fn feature_bins(&self) -> usize {
+        self.feature_bins
+    }
+
+    /// Total number of joint cells as an `f64` (can exceed `usize` for the
+    /// sparse Filter-Priority path).
+    #[must_use]
+    pub fn num_cells_f64(&self) -> f64 {
+        (self.feature_bins as f64).powi(self.d() as i32) * self.label.bins() as f64
+    }
+
+    /// Total number of joint cells as `usize`, when small enough to
+    /// enumerate densely.
+    ///
+    /// # Errors
+    /// [`BaselineError::InvalidConfig`] when the grid exceeds `limit` cells.
+    pub fn num_cells_dense(&self, limit: usize) -> Result<usize> {
+        let cells = self.num_cells_f64();
+        if cells > limit as f64 {
+            return Err(BaselineError::InvalidConfig {
+                name: "grid",
+                reason: format!("{cells:.0} cells exceed the dense limit {limit}"),
+            });
+        }
+        Ok(cells as usize)
+    }
+
+    /// Flattened cell index of a `(x, y)` tuple.
+    #[must_use]
+    pub fn cell_of(&self, x: &[f64], y: f64) -> u64 {
+        debug_assert_eq!(x.len(), self.d(), "grid arity");
+        let mut idx: u64 = self.label.index_of(y) as u64;
+        for (v, &(lo, hi)) in x.iter().zip(&self.feature_bounds) {
+            idx = idx * self.feature_bins as u64
+                + bin_index(*v, lo, hi, self.feature_bins) as u64;
+        }
+        idx
+    }
+
+    /// Centre `(x, y)` of a flattened cell index (inverse of [`JointGrid::cell_of`]
+    /// up to discretization).
+    #[must_use]
+    pub fn center_of(&self, cell: u64) -> (Vec<f64>, f64) {
+        let mut rem = cell;
+        let d = self.d();
+        let mut x = vec![0.0; d];
+        for j in (0..d).rev() {
+            let bin = (rem % self.feature_bins as u64) as usize;
+            rem /= self.feature_bins as u64;
+            let (lo, hi) = self.feature_bounds[j];
+            x[j] = bin_center(bin, lo, hi, self.feature_bins);
+        }
+        let y = self.label.center_of(rem as usize);
+        (x, y)
+    }
+
+    /// Sparse exact counts of `data` over the grid.
+    #[must_use]
+    pub fn count(&self, data: &Dataset) -> HashMap<u64, u64> {
+        let mut counts = HashMap::new();
+        for (x, y) in data.tuples() {
+            *counts.entry(self.cell_of(x, y)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Materialises a synthetic dataset from (noisy) per-cell counts:
+    /// `count` tuples at each cell centre. If the total exceeds `cap`, every
+    /// cell's count is scaled down proportionally (round-half-up, minimum 1
+    /// for cells that started non-zero after scaling ≥ 0.5) — a fair
+    /// reduction that preserves the published distribution rather than
+    /// favouring low cell indices.
+    ///
+    /// # Errors
+    /// [`BaselineError::NoSyntheticData`] when every count is zero (or all
+    /// round away under scaling).
+    pub fn synthesize(&self, counts: &HashMap<u64, u64>, cap: usize) -> Result<Dataset> {
+        let mut cells: Vec<(u64, u64)> = counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(&i, &c)| (i, c))
+            .collect();
+        cells.sort_unstable();
+        let total: u64 = cells.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return Err(BaselineError::NoSyntheticData);
+        }
+        let scale = if total as usize > cap {
+            cap as f64 / total as f64
+        } else {
+            1.0
+        };
+        let d = self.d();
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for (idx, c) in cells {
+            let scaled = ((c as f64) * scale).round() as u64;
+            if scaled == 0 {
+                continue;
+            }
+            let (cx, cy) = self.center_of(idx);
+            for _ in 0..scaled {
+                data.extend_from_slice(&cx);
+                y.push(cy);
+            }
+        }
+        if y.is_empty() {
+            return Err(BaselineError::NoSyntheticData);
+        }
+        let x = Matrix::from_vec(y.len(), d, data)?;
+        Ok(Dataset::new(x, y)?)
+    }
+
+    /// Draws a uniformly random cell index — used by Filter-Priority to
+    /// place passing zero-cells without enumerating the domain.
+    pub fn random_cell(&self, rng: &mut impl Rng) -> u64 {
+        let label_bin = rng.gen_range(0..self.label.bins()) as u64;
+        let mut idx = label_bin;
+        for _ in 0..self.d() {
+            idx = idx * self.feature_bins as u64 + rng.gen_range(0..self.feature_bins) as u64;
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn grid(d: usize, bins: usize) -> JointGrid {
+        JointGrid::over_normalized_domain(
+            d,
+            bins,
+            LabelSpec::Continuous {
+                bins: 4,
+                lo: -1.0,
+                hi: 1.0,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(JointGrid::over_normalized_domain(0, 2, LabelSpec::Binary).is_err());
+        assert!(JointGrid::over_normalized_domain(2, 0, LabelSpec::Binary).is_err());
+        assert!(JointGrid::over_normalized_domain(
+            2,
+            2,
+            LabelSpec::Continuous { bins: 0, lo: 0.0, hi: 1.0 }
+        )
+        .is_err());
+        assert!(JointGrid::over_normalized_domain(
+            2,
+            2,
+            LabelSpec::Continuous { bins: 2, lo: 1.0, hi: 0.0 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cell_counts_multiply() {
+        let g = grid(3, 5);
+        assert_eq!(g.num_cells_f64(), 125.0 * 4.0);
+        assert_eq!(g.num_cells_dense(1_000).unwrap(), 500);
+        assert!(g.num_cells_dense(100).is_err());
+    }
+
+    #[test]
+    fn cell_of_center_roundtrip() {
+        let g = grid(2, 4);
+        let cells = g.num_cells_dense(1_000).unwrap() as u64;
+        for cell in 0..cells {
+            let (x, y) = g.center_of(cell);
+            assert_eq!(g.cell_of(&x, y), cell, "roundtrip failed for cell {cell}");
+        }
+    }
+
+    #[test]
+    fn binary_label_centres_are_exact_classes() {
+        let g = JointGrid::over_normalized_domain(2, 3, LabelSpec::Binary).unwrap();
+        let cells = g.num_cells_dense(100).unwrap() as u64;
+        for cell in 0..cells {
+            let (_, y) = g.center_of(cell);
+            assert!(y == 0.0 || y == 1.0);
+        }
+        // Roundtrip with exact labels.
+        let (x, _) = g.center_of(3);
+        assert_eq!(g.cell_of(&x, 1.0), g.cell_of(&x, 0.0) + 3u64.pow(2));
+    }
+
+    #[test]
+    fn boundary_values_clamp_into_range() {
+        let g = grid(2, 4);
+        let hi = 1.0 / 2.0_f64.sqrt();
+        // Exactly at the top of the domain: still a valid cell.
+        let cell = g.cell_of(&[hi, hi], 1.0);
+        assert!(cell < g.num_cells_f64() as u64);
+        // Slightly outside: clamped.
+        let cell2 = g.cell_of(&[hi + 0.1, -0.1], 2.0);
+        assert!(cell2 < g.num_cells_f64() as u64);
+    }
+
+    #[test]
+    fn counting_sums_to_n() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(8);
+        let data = fm_data::synth::linear_dataset(&mut r, 500, 3, 0.1);
+        // Shift features into [0, 1/√d]: synth uses the ball, so clamp view.
+        let g = grid(3, 4);
+        let counts = g.count(&data);
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn synthesize_replicates_counts() {
+        let g = grid(2, 2);
+        let mut counts = HashMap::new();
+        counts.insert(0u64, 3u64);
+        counts.insert(5u64, 2u64);
+        let ds = g.synthesize(&counts, 100).unwrap();
+        assert_eq!(ds.n(), 5);
+        // All tuples are at cell centres inside the domain.
+        for (x, y) in ds.tuples() {
+            assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!((-1.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn synthesize_respects_cap() {
+        let g = grid(2, 2);
+        let mut counts = HashMap::new();
+        counts.insert(1u64, 1_000u64);
+        let ds = g.synthesize(&counts, 64).unwrap();
+        assert_eq!(ds.n(), 64);
+    }
+
+    #[test]
+    fn synthesize_empty_is_error() {
+        let g = grid(2, 2);
+        let counts = HashMap::new();
+        assert!(matches!(
+            g.synthesize(&counts, 10),
+            Err(BaselineError::NoSyntheticData)
+        ));
+        let mut zeros = HashMap::new();
+        zeros.insert(0u64, 0u64);
+        assert!(g.synthesize(&zeros, 10).is_err());
+    }
+
+    #[test]
+    fn random_cells_in_range() {
+        let g = grid(3, 3);
+        let max = g.num_cells_f64() as u64;
+        let mut r = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            assert!(g.random_cell(&mut r) < max);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Baseline methods the paper evaluates the Functional Mechanism against
+//! (Section 7), plus the related-work comparator of Section 2.
+//!
+//! | Module | Paper name | What it is |
+//! |--------|-----------|------------|
+//! | [`noprivacy`] | **NoPrivacy** | exact, non-private regression: OLS via QR/normal equations; logistic via damped Newton on the exact loss |
+//! | [`truncated`] | **Truncated** | the §5 degree-2 Taylor objective minimised *without* noise — isolates the approximation error from the privacy noise |
+//! | [`dpme`] | **DPME** (Lei, NIPS 2011) | differentially private M-estimation: Laplace-perturbed multi-dimensional histogram → synthetic dataset → ordinary regression |
+//! | [`fp`] | **FP** (Cormode et al., ICDT 2012) | Filter-Priority publication of a sparse noisy histogram → synthetic dataset → ordinary regression |
+//! | [`objective_perturbation`] | Chaudhuri et al. [4, 5] | ℓ2-regularized ERM with objective / output perturbation — the related-work method the paper argues is inapplicable to *standard* logistic regression; included as an extension for completeness |
+//!
+//! DPME and FP share the [`histogram`] substrate (equi-width grids over the
+//! normalized domain, cell synthesis). Their defining failure mode — cell
+//! count exploding exponentially with dimensionality, starving every cell
+//! of signal — emerges directly from that construction, which is what
+//! Figure 4 of the paper shows.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dpme;
+pub mod fp;
+pub mod histogram;
+pub mod noprivacy;
+pub mod objective_perturbation;
+pub mod truncated;
+
+mod error;
+
+pub use error::BaselineError;
+
+/// Result alias for fallible baseline operations.
+pub type Result<T> = std::result::Result<T, BaselineError>;

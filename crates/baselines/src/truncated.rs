@@ -1,0 +1,105 @@
+//! The **Truncated** baseline (Section 7): minimise the §5 degree-2 Taylor
+//! objective *without* injecting any noise.
+//!
+//! Truncated is not a private method — it exists to decompose FM's error
+//! into (a) the approximation error of the truncation and (b) the privacy
+//! noise. The paper's Figures 4c–d show Truncated ≈ NoPrivacy, which
+//! validates the truncation (Lemma 4's constant bound), and FM slightly
+//! above Truncated, which isolates the noise cost.
+
+use fm_core::logreg::DpLogisticRegression;
+use fm_core::model::LogisticModel;
+use fm_data::Dataset;
+
+use crate::Result;
+
+/// Logistic regression on the truncated (degree-2 Taylor) objective, no
+/// noise. Linear regression has no Truncated variant: its objective is
+/// already an exact polynomial (the paper omits it from Figures 4a–b for
+/// the same reason).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TruncatedLogistic;
+
+impl TruncatedLogistic {
+    /// Creates the baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        TruncatedLogistic
+    }
+
+    /// Minimises `f̂_D(ω)` exactly (closed-form quadratic solve).
+    ///
+    /// # Errors
+    /// [`crate::BaselineError::Fm`] for contract violations or a degenerate
+    /// quadratic.
+    pub fn fit(&self, data: &Dataset) -> Result<LogisticModel> {
+        Ok(DpLogisticRegression::builder()
+            .build()
+            .fit_truncated_without_privacy(data)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noprivacy::LogisticRegression;
+    use fm_linalg::vecops;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(777)
+    }
+
+    #[test]
+    fn truncated_close_to_exact_mle_in_accuracy() {
+        // The paper's claim: Truncated ≈ NoPrivacy in misclassification.
+        let mut r = rng();
+        let w = vec![0.4, -0.5, 0.2];
+        let data = fm_data::synth::logistic_dataset_with_weights(&mut r, 30_000, &w, 10.0);
+        let trunc = TruncatedLogistic::new().fit(&data).unwrap();
+        let exact = LogisticRegression::new().fit(&data).unwrap();
+
+        let err_t = fm_data::metrics::misclassification_rate(
+            &trunc.probabilities_batch(data.x()),
+            data.y(),
+        );
+        let err_e = fm_data::metrics::misclassification_rate(
+            &exact.probabilities_batch(data.x()),
+            data.y(),
+        );
+        assert!(
+            (err_t - err_e).abs() < 0.02,
+            "truncated {err_t} vs exact {err_e}"
+        );
+    }
+
+    #[test]
+    fn truncated_weights_differ_from_exact_but_align() {
+        // There is a persistent gap in parameter space (no Theorem-2
+        // analogue, §5.2) — but the direction agrees.
+        let mut r = rng();
+        let w = vec![0.5, 0.3];
+        let data = fm_data::synth::logistic_dataset_with_weights(&mut r, 40_000, &w, 6.0);
+        let trunc = TruncatedLogistic::new().fit(&data).unwrap();
+        let exact = LogisticRegression::new().fit(&data).unwrap();
+        let cos = vecops::dot(trunc.weights(), exact.weights())
+            / (vecops::norm2(trunc.weights()) * vecops::norm2(exact.weights()));
+        assert!(cos > 0.97, "cosine {cos}");
+    }
+
+    #[test]
+    fn rejects_non_binary_labels() {
+        let x = fm_linalg::Matrix::from_rows(&[&[0.1]]).unwrap();
+        let data = Dataset::new(x, vec![0.4]).unwrap();
+        assert!(TruncatedLogistic::new().fit(&data).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut r = rng();
+        let data = fm_data::synth::logistic_dataset(&mut r, 1_000, 3, 5.0);
+        let a = TruncatedLogistic::new().fit(&data).unwrap();
+        let b = TruncatedLogistic::new().fit(&data).unwrap();
+        assert_eq!(a.weights(), b.weights());
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks for the linear-algebra kernels on the
+//! mechanism's hot path: the `O(n·d²)` Gram assembly and the `O(d³)`
+//! factorizations at the paper's dimensionalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fm_linalg::{Cholesky, Lu, Matrix, SymmetricEigen};
+
+fn spd(d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::from_fn(d, d, |_, _| rng.gen_range(-1.0..1.0));
+    let mut g = a.transpose().matmul(&a).expect("square");
+    g.add_diagonal(0.5);
+    g.symmetrize().expect("square");
+    g
+}
+
+fn bench_factorizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorizations");
+    for &d in &[4usize, 13, 32] {
+        let m = spd(d, d as u64);
+        group.bench_with_input(BenchmarkId::new("cholesky", d), &d, |b, _| {
+            b.iter(|| Cholesky::new(&m).expect("SPD"))
+        });
+        group.bench_with_input(BenchmarkId::new("lu", d), &d, |b, _| {
+            b.iter(|| Lu::new(&m).expect("nonsingular"))
+        });
+        group.bench_with_input(BenchmarkId::new("jacobi_eigen", d), &d, |b, _| {
+            b.iter(|| SymmetricEigen::new(&m).expect("symmetric"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram_assembly(c: &mut Criterion) {
+    // Σ x xᵀ over n rows — the dominant cost of objective assembly.
+    let mut group = c.benchmark_group("gram_assembly");
+    for &n in &[1_000usize, 10_000] {
+        let d = 13;
+        let mut rng = StdRng::seed_from_u64(17);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| fm_data::synth::sample_in_ball(&mut rng, d, 1.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("rank1_updates_d13", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = Matrix::zeros(d, d);
+                for x in &rows {
+                    m.rank1_update(1.0, x).expect("arity");
+                }
+                m
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorizations, bench_gram_assembly);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for the Functional Mechanism core: coefficient
+//! assembly + perturbation (Algorithm 1) and the §6 post-processing solve.
+//!
+//! These quantify the claim behind Figures 7–9 at statistical rigor: FM's
+//! per-fit cost is a single pass over the data plus an `O(d³)` solve,
+//! independent of ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fm_core::linreg::LinearObjective;
+use fm_core::logreg::LogisticObjective;
+use fm_core::mechanism::FunctionalMechanism;
+use fm_core::postprocess;
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_perturb");
+    for &d in &[4usize, 13] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = fm_data::synth::linear_dataset(&mut rng, 10_000, d, 0.1);
+        let fm = FunctionalMechanism::new(0.8).expect("ε");
+        group.bench_with_input(BenchmarkId::new("linear_n10k", d), &d, |b, _| {
+            b.iter(|| fm.perturb(&data, &LinearObjective, &mut rng).expect("perturb"))
+        });
+        let log_data = fm_data::synth::logistic_dataset(&mut rng, 10_000, d, 6.0);
+        group.bench_with_input(BenchmarkId::new("logistic_n10k", d), &d, |b, _| {
+            b.iter(|| fm.perturb(&log_data, &LogisticObjective, &mut rng).expect("perturb"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_postprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section6_postprocess");
+    for &d in &[4usize, 13] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = fm_data::synth::linear_dataset(&mut rng, 10_000, d, 0.1);
+        let fm = FunctionalMechanism::new(0.8).expect("ε");
+        let noisy = fm.perturb(&data, &LinearObjective, &mut rng).expect("perturb");
+
+        group.bench_with_input(BenchmarkId::new("regularize_trim_solve", d), &d, |b, _| {
+            b.iter(|| {
+                let mut n = noisy.clone();
+                let lambda = postprocess::regularize(&mut n);
+                postprocess::spectral_trim_minimize_with_floor(&n, lambda).expect("solve")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("direct_minimize_attempt", d), &d, |b, _| {
+            b.iter(|| {
+                let mut n = noisy.clone();
+                postprocess::regularize(&mut n);
+                let _ = postprocess::minimize(&n); // may legitimately fail; we time the attempt
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sensitivity_scaling(c: &mut Criterion) {
+    // Δ computation is O(1); assembly is the O(n·d²) part. Confirm the
+    // ε-independence of the fit cost (Figure 9's flat lines).
+    let mut group = c.benchmark_group("epsilon_independence");
+    let mut rng = StdRng::seed_from_u64(13);
+    let data = fm_data::synth::linear_dataset(&mut rng, 10_000, 8, 0.1);
+    for &eps in &[0.1, 3.2] {
+        let fm = FunctionalMechanism::new(eps).expect("ε");
+        group.bench_with_input(BenchmarkId::new("perturb_n10k_d8", format!("{eps}")), &eps, |b, _| {
+            b.iter(|| fm.perturb(&data, &LinearObjective, &mut rng).expect("perturb"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturb, bench_postprocess, bench_sensitivity_scaling);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion version of the paper's Figures 7–9: per-method logistic
+//! training time. Workload sizes are fixed (n = 8,000, the quick-profile
+//! scale) so the *relative* ordering — FM ≈ Truncated ≪ NoPrivacy ≪
+//! DPME ≈ FP — is measured precisely; absolute full-scale numbers come from
+//! `fm-experiments --figure fig7 --full`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fm_bench::methods::{fit, Method};
+use fm_bench::workload::{build, Country, Task};
+
+fn bench_training_by_method(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_training_time_logistic");
+    group.sample_size(10); // DPME/FP fits are whole-pipeline heavy
+    let w = build(Country::Us, Task::Logistic, 8_000, 14, 42);
+
+    for &method in Method::lineup(Task::Logistic) {
+        let mut rng = StdRng::seed_from_u64(3);
+        group.bench_with_input(
+            BenchmarkId::new("us_n8k_d13", method.name()),
+            &method,
+            |b, &m| b.iter(|| fit(m, Task::Logistic, &w.data, 0.8, &mut rng)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_training_by_dimension(c: &mut Criterion) {
+    // The Figure-7 x-axis at Criterion rigor, FM only (the other methods'
+    // scaling is visible in the harness output).
+    let mut group = c.benchmark_group("fig7_fm_scaling_with_dimension");
+    for &dim in &[5usize, 8, 11, 14] {
+        let w = build(Country::Us, Task::Logistic, 8_000, dim, 42);
+        let mut rng = StdRng::seed_from_u64(5);
+        group.bench_with_input(BenchmarkId::new("fm", dim), &dim, |b, _| {
+            b.iter(|| fit(Method::Fm, Task::Logistic, &w.data, 0.8, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_by_cardinality(c: &mut Criterion) {
+    // Figure 8's x-axis: FM and NoPrivacy scale linearly in n, with FM's
+    // constant an order of magnitude smaller.
+    let mut group = c.benchmark_group("fig8_scaling_with_cardinality");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000, 32_000] {
+        let w = build(Country::Us, Task::Logistic, n, 14, 42);
+        let mut rng = StdRng::seed_from_u64(9);
+        group.bench_with_input(BenchmarkId::new("fm", n), &n, |b, _| {
+            b.iter(|| fit(Method::Fm, Task::Logistic, &w.data, 0.8, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("noprivacy", n), &n, |b, _| {
+            b.iter(|| fit(Method::NoPrivacy, Task::Logistic, &w.data, 0.8, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_training_by_method,
+    bench_training_by_dimension,
+    bench_training_by_cardinality
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! `fm-probe` — a fast single-cell probe for calibrating the harness:
+//! evaluates every method at one (rows, dimensionality, ε) point without
+//! the full figure sweep.
+//!
+//! ```text
+//! fm-probe --rows 370000 --dim 14 --epsilon 0.8 --task linear --country us
+//! ```
+
+use std::process::ExitCode;
+
+use fm_bench::methods::{self, Method};
+use fm_bench::runner::{evaluate, EvalConfig};
+use fm_bench::workload::{build, Country, Task};
+
+fn main() -> ExitCode {
+    let mut rows = 40_000usize;
+    let mut dim = 14usize;
+    let mut epsilon = 0.8f64;
+    let mut task = Task::Linear;
+    let mut country = Country::Us;
+    let mut repeats = 1usize;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut next = || argv.next().unwrap_or_default();
+        match arg.as_str() {
+            "--rows" => rows = next().parse().unwrap_or(rows),
+            "--dim" => dim = next().parse().unwrap_or(dim),
+            "--epsilon" => epsilon = next().parse().unwrap_or(epsilon),
+            "--repeats" => repeats = next().parse().unwrap_or(repeats),
+            "--task" => {
+                task = if next().starts_with("log") { Task::Logistic } else { Task::Linear }
+            }
+            "--country" => {
+                country = if next().starts_with("br") { Country::Brazil } else { Country::Us }
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cfg = EvalConfig {
+        rows_us: rows,
+        rows_brazil: rows,
+        repeats,
+        folds: 5,
+        seed: 42,
+    };
+    println!(
+        "probe: {} {} rows={rows} dim={dim} ε={epsilon} repeats={repeats}",
+        country.name(),
+        task.name()
+    );
+    let w = build(country, task, rows, dim, cfg.seed);
+    println!("{:<12} {:>12} {:>10} {:>12}", "method", "error", "± std", "sec/fit");
+    for (mi, &m) in Method::lineup(task).iter().enumerate() {
+        let cell = evaluate(&w.data, task, m, epsilon, 1.0, &cfg, mi as u64);
+        println!(
+            "{:<12} {:>12.5} {:>10.5} {:>12.4}",
+            m.name(),
+            cell.error_mean,
+            cell.error_std,
+            cell.seconds_mean
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+// Methods module is exercised through the library; keep the probe minimal.
+#[allow(unused_imports)]
+use methods as _methods_keepalive;

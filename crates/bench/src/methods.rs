@@ -1,0 +1,196 @@
+//! Uniform dispatch over the paper's five methods.
+
+use rand::rngs::StdRng;
+
+use fm_baselines::dpme::Dpme;
+use fm_baselines::fp::FilterPriority;
+use fm_baselines::noprivacy::{LinearRegression, LogisticRegression};
+use fm_baselines::truncated::TruncatedLogistic;
+use fm_core::linreg::DpLinearRegression;
+use fm_core::logreg::DpLogisticRegression;
+use fm_data::Dataset;
+
+use crate::workload::Task;
+
+/// The methods of Section 7's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// The Functional Mechanism (this paper).
+    Fm,
+    /// Lei's differentially private M-estimators.
+    Dpme,
+    /// Cormode et al.'s Filter-Priority publication.
+    Fp,
+    /// Exact non-private regression.
+    NoPrivacy,
+    /// The §5 Taylor objective without noise (logistic only).
+    Truncated,
+}
+
+impl Method {
+    /// Display name used in the result tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Fm => "FM",
+            Method::Dpme => "DPME",
+            Method::Fp => "FP",
+            Method::NoPrivacy => "NoPrivacy",
+            Method::Truncated => "Truncated",
+        }
+    }
+
+    /// Whether the method consumes a privacy budget (flat lines in Fig. 6).
+    #[must_use]
+    pub fn is_private(self) -> bool {
+        matches!(self, Method::Fm | Method::Dpme | Method::Fp)
+    }
+
+    /// The paper's method line-up for a task (Truncated only applies to
+    /// logistic regression; Figures 4a–b omit it for linear).
+    #[must_use]
+    pub fn lineup(task: Task) -> &'static [Method] {
+        match task {
+            Task::Linear => &[Method::Fm, Method::Dpme, Method::Fp, Method::NoPrivacy],
+            Task::Logistic => &[
+                Method::Fm,
+                Method::Dpme,
+                Method::Fp,
+                Method::NoPrivacy,
+                Method::Truncated,
+            ],
+        }
+    }
+}
+
+/// A fitted model of either kind, unified for prediction.
+pub enum FittedModel {
+    /// Linear parameters.
+    Linear(fm_core::model::LinearModel),
+    /// Logistic parameters.
+    Logistic(fm_core::model::LogisticModel),
+}
+
+impl FittedModel {
+    /// Predictions appropriate to the task: ŷ for linear, `P(y=1|x)` for
+    /// logistic.
+    #[must_use]
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        match self {
+            FittedModel::Linear(m) => m.predict_batch(data.x()),
+            FittedModel::Logistic(m) => m.probabilities_batch(data.x()),
+        }
+    }
+}
+
+/// Fits `method` on `train` for `task` at privacy budget `epsilon`.
+///
+/// # Panics
+/// On configuration errors (invalid ε) — the harness validates its grids
+/// up front, so a failure here is a bug, not an input condition.
+#[must_use]
+pub fn fit(method: Method, task: Task, train: &Dataset, epsilon: f64, rng: &mut StdRng) -> FittedModel {
+    match (task, method) {
+        (Task::Linear, Method::Fm) => FittedModel::Linear(
+            DpLinearRegression::builder()
+                .epsilon(epsilon)
+                .build()
+                .fit(train, rng)
+                .expect("FM linear fit"),
+        ),
+        (Task::Linear, Method::Dpme) => FittedModel::Linear(
+            Dpme::new(epsilon)
+                .expect("DPME config")
+                .fit_linear(train, rng)
+                .expect("DPME linear fit"),
+        ),
+        (Task::Linear, Method::Fp) => FittedModel::Linear(
+            FilterPriority::new(epsilon)
+                .expect("FP config")
+                .fit_linear(train, rng)
+                .expect("FP linear fit"),
+        ),
+        (Task::Linear, Method::NoPrivacy) => {
+            FittedModel::Linear(LinearRegression::new().fit(train).expect("OLS fit"))
+        }
+        (Task::Linear, Method::Truncated) => {
+            unreachable!("Truncated is logistic-only (linear objective is exact)")
+        }
+        (Task::Logistic, Method::Fm) => FittedModel::Logistic(
+            DpLogisticRegression::builder()
+                .epsilon(epsilon)
+                .build()
+                .fit(train, rng)
+                .expect("FM logistic fit"),
+        ),
+        (Task::Logistic, Method::Dpme) => FittedModel::Logistic(
+            Dpme::new(epsilon)
+                .expect("DPME config")
+                .fit_logistic(train, rng)
+                .expect("DPME logistic fit"),
+        ),
+        (Task::Logistic, Method::Fp) => FittedModel::Logistic(
+            FilterPriority::new(epsilon)
+                .expect("FP config")
+                .fit_logistic(train, rng)
+                .expect("FP logistic fit"),
+        ),
+        (Task::Logistic, Method::NoPrivacy) => {
+            FittedModel::Logistic(LogisticRegression::new().fit(train).expect("MLE fit"))
+        }
+        (Task::Logistic, Method::Truncated) => {
+            FittedModel::Logistic(TruncatedLogistic::new().fit(train).expect("truncated fit"))
+        }
+    }
+}
+
+/// The task-appropriate error metric (MSE or misclassification rate).
+#[must_use]
+pub fn error_metric(task: Task, predictions: &[f64], targets: &[f64]) -> f64 {
+    match task {
+        Task::Linear => fm_data::metrics::mse(predictions, targets),
+        Task::Logistic => fm_data::metrics::misclassification_rate(predictions, targets),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lineups_match_the_figures() {
+        assert_eq!(Method::lineup(Task::Linear).len(), 4);
+        assert_eq!(Method::lineup(Task::Logistic).len(), 5);
+        assert!(!Method::lineup(Task::Linear).contains(&Method::Truncated));
+    }
+
+    #[test]
+    fn privacy_flags() {
+        assert!(Method::Fm.is_private());
+        assert!(Method::Dpme.is_private());
+        assert!(Method::Fp.is_private());
+        assert!(!Method::NoPrivacy.is_private());
+        assert!(!Method::Truncated.is_private());
+    }
+
+    #[test]
+    fn every_lineup_method_fits_both_tasks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = fm_data::synth::linear_dataset(&mut rng, 400, 3, 0.1);
+        let log = fm_data::synth::logistic_dataset(&mut rng, 400, 3, 6.0);
+        for &m in Method::lineup(Task::Linear) {
+            let model = fit(m, Task::Linear, &lin, 1.0, &mut rng);
+            let preds = model.predict(&lin);
+            assert_eq!(preds.len(), 400);
+            let err = error_metric(Task::Linear, &preds, lin.y());
+            assert!(err.is_finite());
+        }
+        for &m in Method::lineup(Task::Logistic) {
+            let model = fit(m, Task::Logistic, &log, 1.0, &mut rng);
+            let preds = model.predict(&log);
+            let err = error_metric(Task::Logistic, &preds, log.y());
+            assert!((0.0..=1.0).contains(&err));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Table 2 of the paper: experimental parameters and default values.
+
+/// Sampling rates (Table 2; default **1.0**).
+pub const SAMPLING_RATES: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// The subset of sampling rates shown on the paper's x-axes (Figures 5, 8).
+pub const SAMPLING_RATES_PLOTTED: [f64; 6] = [0.1, 0.3, 0.5, 0.6, 0.8, 1.0];
+
+/// Dataset dimensionalities, counting the label (Table 2; default **14**).
+pub const DIMENSIONALITIES: [usize; 4] = [5, 8, 11, 14];
+
+/// Privacy budgets (Table 2; default **0.8**).
+pub const EPSILONS: [f64; 6] = [0.1, 0.2, 0.4, 0.8, 1.6, 3.2];
+
+/// Default privacy budget.
+pub const DEFAULT_EPSILON: f64 = 0.8;
+
+/// Default dimensionality (all 14 attributes).
+pub const DEFAULT_DIMENSIONALITY: usize = 14;
+
+/// Default sampling rate.
+pub const DEFAULT_SAMPLING_RATE: f64 = 1.0;
+
+/// The paper's cross-validation fold count.
+pub const CV_FOLDS: usize = 5;
+
+/// The paper's repeat count for the full protocol.
+pub const PAPER_REPEATS: usize = 50;
+
+/// Scaled-down defaults that keep a full figure under a few minutes.
+pub mod quick {
+    /// Default US rows (paper: 370,000).
+    pub const US_ROWS: usize = 40_000;
+    /// Default Brazil rows (paper: 190,000).
+    pub const BRAZIL_ROWS: usize = 20_000;
+    /// Default CV repeats (paper: 50).
+    pub const REPEATS: usize = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_members_of_their_grids() {
+        assert!(EPSILONS.contains(&DEFAULT_EPSILON));
+        assert!(DIMENSIONALITIES.contains(&DEFAULT_DIMENSIONALITY));
+        assert!(SAMPLING_RATES.contains(&DEFAULT_SAMPLING_RATE));
+    }
+
+    #[test]
+    fn grids_match_table_2() {
+        assert_eq!(SAMPLING_RATES.len(), 10);
+        assert_eq!(DIMENSIONALITIES, [5, 8, 11, 14]);
+        assert_eq!(EPSILONS, [0.1, 0.2, 0.4, 0.8, 1.6, 3.2]);
+        assert_eq!(CV_FOLDS, 5);
+        assert_eq!(PAPER_REPEATS, 50);
+    }
+
+    #[test]
+    fn plotted_rates_are_a_subset() {
+        for r in SAMPLING_RATES_PLOTTED {
+            assert!(SAMPLING_RATES.contains(&r));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Result tables: aligned console output plus CSV files under `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A figure panel: one row per x-axis value, one column per method.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Panel title, e.g. `Figure 4a — US-Linear (mean square error)`.
+    pub title: String,
+    /// X-axis label, e.g. `dimensionality`.
+    pub x_label: String,
+    /// Column (method) names.
+    pub columns: Vec<String>,
+    /// `(x value, per-column measurements)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty panel.
+    #[must_use]
+    pub fn new(title: &str, x_label: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Panics on column-count mismatch (harness bug).
+    pub fn push_row(&mut self, x: &str, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "table width mismatch");
+        self.rows.push((x.to_string(), values));
+    }
+
+    /// Renders the aligned console form.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let _ = write!(out, "{:>16}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, "{c:>14}");
+        }
+        let _ = writeln!(out);
+        for (x, values) in &self.rows {
+            let _ = write!(out, "{x:>16}");
+            for v in values {
+                let _ = write!(out, "{:>14}", format_value(*v));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes the panel as CSV into `dir` (created if needed), named from a
+    /// slug of the title. Returns the path written.
+    ///
+    /// # Errors
+    /// I/O failures from directory creation or the file write.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", slug(&self.title)));
+        let mut csv = String::new();
+        let _ = write!(csv, "{}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(csv, ",{c}");
+        }
+        let _ = writeln!(csv);
+        for (x, values) in &self.rows {
+            let _ = write!(csv, "{x}");
+            for v in values {
+                let _ = write!(csv, ",{v}");
+            }
+            let _ = writeln!(csv);
+        }
+        fs::write(&path, csv)?;
+        Ok(path)
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() < 0.001 || v.abs() >= 10_000.0 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn slug(title: &str) -> String {
+    title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Figure 4a — US-Linear", "dimensionality", &["FM", "DPME"]);
+        t.push_row("5", vec![0.06, 0.10]);
+        t.push_row("14", vec![0.08, 0.31]);
+        t
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let s = sample().render();
+        assert!(s.contains("Figure 4a"));
+        assert!(s.contains("FM"));
+        assert!(s.contains("0.0600"));
+        assert!(s.contains("0.3100"));
+    }
+
+    #[test]
+    fn value_formatting_regimes() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(0.1234), "0.1234");
+        assert!(format_value(1e-6).contains('e'));
+        assert!(format_value(123_456.0).contains('e'));
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        assert_eq!(slug("Figure 4a — US-Linear (MSE)"), "figure_4a_us_linear_mse");
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join("fm_bench_report_test");
+        let path = sample().write_csv(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "dimensionality,FM,DPME");
+        assert_eq!(lines.len(), 3);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("t", "x", &["a"]);
+        t.push_row("1", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! The evaluation loop: the paper's k-fold cross-validation protocol with
+//! wall-clock instrumentation.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fm_data::cv::KFold;
+use fm_data::sampling;
+use fm_data::Dataset;
+
+use crate::methods::{self, Method};
+use crate::workload::Task;
+
+/// Evaluation knobs shared by every figure.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Rows for the US census (paper: 370,000).
+    pub rows_us: usize,
+    /// Rows for the Brazil census (paper: 190,000).
+    pub rows_brazil: usize,
+    /// Cross-validation repeats (paper: 50).
+    pub repeats: usize,
+    /// Folds per repeat (paper: 5).
+    pub folds: usize,
+    /// Base RNG seed; every cell derives its stream deterministically.
+    pub seed: u64,
+}
+
+impl EvalConfig {
+    /// The scaled-down default configuration.
+    #[must_use]
+    pub fn quick() -> Self {
+        EvalConfig {
+            rows_us: crate::params::quick::US_ROWS,
+            rows_brazil: crate::params::quick::BRAZIL_ROWS,
+            repeats: crate::params::quick::REPEATS,
+            folds: crate::params::CV_FOLDS,
+            seed: 42,
+        }
+    }
+
+    /// The paper's full protocol (370k/190k rows, 50 repeats).
+    #[must_use]
+    pub fn paper() -> Self {
+        EvalConfig {
+            rows_us: 370_000,
+            rows_brazil: 190_000,
+            repeats: crate::params::PAPER_REPEATS,
+            folds: crate::params::CV_FOLDS,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated outcome of one (method × parameter-point) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellResult {
+    /// Mean error metric over repeats × folds.
+    pub error_mean: f64,
+    /// Sample standard deviation of the per-fold errors.
+    pub error_std: f64,
+    /// Mean training (fit-only) wall-clock seconds per fold.
+    pub seconds_mean: f64,
+}
+
+/// Runs `method` on `data` (already normalized + subsetted) with the CV
+/// protocol: `repeats` independent shuffles × `folds` folds, optionally
+/// subsampling at `rate` first. Returns the aggregated error and timing.
+#[must_use]
+pub fn evaluate(
+    data: &Dataset,
+    task: Task,
+    method: Method,
+    epsilon: f64,
+    rate: f64,
+    cfg: &EvalConfig,
+    cell_seed: u64,
+) -> CellResult {
+    let mut errors = Vec::with_capacity(cfg.repeats * cfg.folds);
+    let mut seconds = Vec::with_capacity(cfg.repeats * cfg.folds);
+
+    for rep in 0..cfg.repeats {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ cell_seed.wrapping_add(rep as u64 * 0x9E37));
+        let sampled = if rate < 1.0 {
+            sampling::subsample(data, rate, &mut rng).expect("valid rate")
+        } else {
+            data.clone()
+        };
+        let kf = KFold::new(sampled.n(), cfg.folds, &mut rng).expect("folds");
+        for f in 0..cfg.folds {
+            let (train, test) = kf.split(&sampled, f).expect("split");
+            let start = Instant::now();
+            let model = methods::fit(method, task, &train, epsilon, &mut rng);
+            seconds.push(start.elapsed().as_secs_f64());
+            let preds = model.predict(&test);
+            errors.push(methods::error_metric(task, &preds, test.y()));
+        }
+    }
+
+    let (error_mean, error_std) = fm_data::metrics::mean_and_std(&errors);
+    let (seconds_mean, _) = fm_data::metrics::mean_and_std(&seconds);
+    CellResult {
+        error_mean,
+        error_std,
+        seconds_mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{build, Country};
+
+    fn tiny_cfg() -> EvalConfig {
+        EvalConfig {
+            rows_us: 600,
+            rows_brazil: 400,
+            repeats: 1,
+            folds: 3,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn evaluate_produces_finite_results() {
+        let cfg = tiny_cfg();
+        let w = build(Country::Us, Task::Linear, cfg.rows_us, 5, 1);
+        let cell = evaluate(&w.data, Task::Linear, Method::NoPrivacy, 1.0, 1.0, &cfg, 0);
+        assert!(cell.error_mean.is_finite());
+        assert!(cell.error_std >= 0.0);
+        assert!(cell.seconds_mean > 0.0);
+    }
+
+    #[test]
+    fn subsampling_rate_reduces_training_size_effects() {
+        // Not a statistical assertion — just that the rate plumbing works
+        // and produces a result at every plotted rate.
+        let cfg = tiny_cfg();
+        let w = build(Country::Brazil, Task::Linear, cfg.rows_brazil, 5, 2);
+        for rate in [0.1, 0.5, 1.0] {
+            let cell = evaluate(&w.data, Task::Linear, Method::Fm, 1.6, rate, &cfg, 3);
+            assert!(cell.error_mean.is_finite(), "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let cfg = tiny_cfg();
+        let w = build(Country::Us, Task::Linear, cfg.rows_us, 5, 1);
+        let a = evaluate(&w.data, Task::Linear, Method::Fm, 0.8, 1.0, &cfg, 11);
+        let b = evaluate(&w.data, Task::Linear, Method::Fm, 0.8, 1.0, &cfg, 11);
+        assert_eq!(a.error_mean, b.error_mean);
+    }
+
+    #[test]
+    fn configs_expose_paper_and_quick_profiles() {
+        let q = EvalConfig::quick();
+        let p = EvalConfig::paper();
+        assert_eq!(p.rows_us, 370_000);
+        assert_eq!(p.rows_brazil, 190_000);
+        assert_eq!(p.repeats, 50);
+        assert!(q.rows_us < p.rows_us);
+    }
+}

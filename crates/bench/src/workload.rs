@@ -1,0 +1,133 @@
+//! Workload construction: census generation + normalization + attribute
+//! subsetting, shared by every figure.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fm_data::census::{self, CensusProfile};
+use fm_data::normalize::Normalizer;
+use fm_data::Dataset;
+
+/// Which census stands in for which IPUMS extract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Country {
+    /// IPUMS US (370k rows in the paper).
+    Us,
+    /// IPUMS Brazil (190k rows in the paper).
+    Brazil,
+}
+
+impl Country {
+    /// Display name matching the paper's figure captions.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Country::Us => "US",
+            Country::Brazil => "Brazil",
+        }
+    }
+
+    /// The generation profile.
+    #[must_use]
+    pub fn profile(self) -> CensusProfile {
+        match self {
+            Country::Us => CensusProfile::us(),
+            Country::Brazil => CensusProfile::brazil(),
+        }
+    }
+}
+
+/// Regression task, selecting the metric and label handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Linear regression; metric = mean squared error.
+    Linear,
+    /// Logistic regression; metric = misclassification rate.
+    Logistic,
+}
+
+impl Task {
+    /// Display name matching the paper's figure captions.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Task::Linear => "Linear",
+            Task::Logistic => "Logistic",
+        }
+    }
+
+    /// Metric label for table headers.
+    #[must_use]
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Task::Linear => "mean square error",
+            Task::Logistic => "misclassification rate",
+        }
+    }
+}
+
+/// A fully prepared (normalized, subsetted) evaluation dataset.
+pub struct Workload {
+    /// The normalized dataset ready for fitting.
+    pub data: Dataset,
+    /// Which census it came from.
+    pub country: Country,
+    /// Which task it encodes.
+    pub task: Task,
+}
+
+/// Generates the normalized workload for `country`/`task` at `rows` rows
+/// and the paper `dimensionality` (5/8/11/14), deterministically from
+/// `seed`.
+///
+/// # Panics
+/// On invalid dimensionality or generation failure — harness code treats
+/// these as fatal configuration errors.
+#[must_use]
+pub fn build(country: Country, task: Task, rows: usize, dimensionality: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let profile = country.profile();
+    let raw = census::generate(&profile, rows, &mut rng).expect("census generation");
+    let schema = census::schema(&profile);
+    let normalizer = Normalizer::from_schema(&schema, census::LABEL).expect("normalizer");
+
+    let full = match task {
+        Task::Linear => normalizer.normalize_linear(&raw).expect("normalize"),
+        Task::Logistic => normalizer
+            .normalize_logistic(&raw, profile.income_threshold())
+            .expect("normalize"),
+    };
+    let subset = census::attribute_subset(dimensionality).expect("dimensionality");
+    let data = full.select_features(subset).expect("subset");
+    Workload { data, country, task }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_contract_satisfying_data() {
+        let w = build(Country::Us, Task::Linear, 500, 8, 1);
+        assert_eq!(w.data.d(), 7);
+        w.data.check_normalized_linear().unwrap();
+
+        let w = build(Country::Brazil, Task::Logistic, 500, 14, 1);
+        assert_eq!(w.data.d(), 13);
+        w.data.check_normalized_logistic().unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = build(Country::Us, Task::Linear, 200, 5, 9);
+        let b = build(Country::Us, Task::Linear, 200, 5, 9);
+        assert_eq!(a.data.y(), b.data.y());
+    }
+
+    #[test]
+    fn countries_differ() {
+        let a = build(Country::Us, Task::Linear, 200, 5, 9);
+        let b = build(Country::Brazil, Task::Linear, 200, 5, 9);
+        assert_ne!(a.data.y(), b.data.y());
+    }
+}

@@ -1,0 +1,536 @@
+//! Algorithm 1 in its full generality: objectives whose per-tuple cost is a
+//! polynomial of **any finite degree `J`**, not just the degree-2 forms the
+//! paper's two case studies reduce to.
+//!
+//! The paper states Algorithm 1 over the complete monomial sets
+//! `Φ_0 … Φ_J` (Equation 2): line 4 draws one Laplace variate for *every*
+//! `φ ∈ Φ_j` — including monomials whose clean coefficient happens to be
+//! zero. (Skipping structural zeros would leak which coefficients are
+//! zero, exactly the kind of side channel Theorem 1's proof excludes.)
+//! The dense [`QuadraticForm`](fm_poly::QuadraticForm) path in
+//! [`crate::mechanism`] does this implicitly for `J = 2`; this module does
+//! it explicitly for arbitrary `J` over the sparse
+//! [`Polynomial`] representation.
+//!
+//! Two honest caveats, both inherited from the paper:
+//!
+//! * `|Φ_j| = C(d+j−1, j)` grows quickly; the mechanism refuses degree/
+//!   dimension combinations whose coefficient count exceeds a sanity cap
+//!   rather than silently allocating gigabytes.
+//! * §6's post-processing is quadratic-specific. A noisy odd-degree
+//!   polynomial is *always* unbounded below; even-degree ones can still
+//!   lose coercivity to noise. [`NoisyPolynomial::minimize`] therefore
+//!   performs a bounded gradient-descent search and reports
+//!   [`fm_optim::OptimError::UnboundedObjective`] when the iterates
+//!   diverge, leaving retry policy to the caller (Lemma 5 applies
+//!   unchanged).
+
+use rand::Rng;
+
+use fm_data::Dataset;
+use fm_poly::monomial::{monomials_up_to_degree, Monomial};
+use fm_poly::Polynomial;
+use fm_privacy::mechanism::LaplaceMechanism;
+
+use crate::{FmError, Result};
+
+/// Refuse objectives with more perturbable coefficients than this — at
+/// `d = 14, J = 4` the count is already 3,060; the cap guards runaway
+/// degree/dimension combinations, not legitimate workloads.
+pub const MAX_COEFFICIENTS: usize = 200_000;
+
+/// An objective in the general Equation-3 form: each tuple contributes a
+/// polynomial of degree ≤ [`GeneralObjective::max_degree`].
+///
+/// Like [`crate::PolynomialObjective`], implementations own the Lemma-1
+/// contract: for every tuple in the domain [`GeneralObjective::validate`]
+/// accepts, the L1 norm of the degree-≥1 coefficients of
+/// [`GeneralObjective::tuple_polynomial`] must be at most
+/// `sensitivity(d) / 2`.
+pub trait GeneralObjective {
+    /// The per-tuple cost `f(t, ω)` as a polynomial in ω.
+    fn tuple_polynomial(&self, x: &[f64], y: f64, d: usize) -> Polynomial;
+
+    /// The maximum degree `J` any tuple's polynomial can reach.
+    fn max_degree(&self, d: usize) -> u32;
+
+    /// The coefficient-vector L1 sensitivity `Δ` (Lemma 1).
+    fn sensitivity(&self, d: usize) -> f64;
+
+    /// Validates the dataset against the domain this objective's
+    /// sensitivity analysis assumes.
+    ///
+    /// # Errors
+    /// A [`fm_data::DataError`] describing the violation.
+    fn validate(&self, data: &Dataset) -> fm_data::Result<()>;
+
+    /// Assembles the exact objective `f_D(ω) = Σ_i f(t_i, ω)`.
+    fn assemble(&self, data: &Dataset) -> Polynomial {
+        let d = data.d();
+        let mut f = Polynomial::zero(d);
+        for (x, y) in data.tuples() {
+            f.add_assign(&self.tuple_polynomial(x, y, d));
+        }
+        f
+    }
+}
+
+/// A general-degree noisy objective released by
+/// [`GenericFunctionalMechanism::perturb`].
+#[derive(Debug, Clone)]
+pub struct NoisyPolynomial {
+    polynomial: Polynomial,
+    epsilon: f64,
+    sensitivity: f64,
+    noise_scale: f64,
+}
+
+impl NoisyPolynomial {
+    /// The perturbed polynomial objective `f̄_D(ω)`.
+    #[must_use]
+    pub fn polynomial(&self) -> &Polynomial {
+        &self.polynomial
+    }
+
+    /// The privacy budget ε spent producing this object.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The sensitivity Δ used for calibration.
+    #[must_use]
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// The per-coefficient Laplace scale `Δ/ε`.
+    #[must_use]
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// Minimises `f̄_D` by gradient descent from `start`, with divergence
+    /// detection: iterates escaping `‖ω‖ > radius` report the objective as
+    /// unbounded (the general-degree analogue of §6's failure mode).
+    ///
+    /// # Errors
+    /// * [`FmError::Optim`] with `UnboundedObjective` on divergence, or the
+    ///   solver's own failure modes.
+    pub fn minimize(&self, start: &[f64], radius: f64) -> Result<Vec<f64>> {
+        struct PolyObjective<'a> {
+            p: &'a Polynomial,
+        }
+        impl fm_optim::Objective for PolyObjective<'_> {
+            fn dim(&self) -> usize {
+                self.p.num_vars()
+            }
+            fn value(&self, omega: &[f64]) -> f64 {
+                self.p.eval(omega)
+            }
+            fn gradient(&self, omega: &[f64]) -> Vec<f64> {
+                self.p.gradient(omega)
+            }
+        }
+
+        let objective = PolyObjective { p: &self.polynomial };
+        let gd = fm_optim::gd::GradientDescent::default();
+        let result = gd.minimize(&objective, start).map_err(FmError::from)?;
+        if !result.omega.iter().all(|v| v.is_finite())
+            || fm_linalg::vecops::norm2(&result.omega) > radius
+        {
+            return Err(FmError::Optim(fm_optim::OptimError::UnboundedObjective));
+        }
+        Ok(result.omega)
+    }
+}
+
+/// Algorithm 1 over arbitrary-degree polynomial objectives.
+#[derive(Debug, Clone, Copy)]
+pub struct GenericFunctionalMechanism {
+    epsilon: f64,
+}
+
+impl GenericFunctionalMechanism {
+    /// Creates a mechanism with privacy budget `epsilon`.
+    ///
+    /// # Errors
+    /// [`FmError::InvalidConfig`] for non-positive or non-finite ε.
+    pub fn new(epsilon: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(FmError::InvalidConfig {
+                name: "epsilon",
+                reason: format!("{epsilon} must be finite and > 0"),
+            });
+        }
+        Ok(GenericFunctionalMechanism { epsilon })
+    }
+
+    /// The configured privacy budget ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Runs Algorithm 1 literally: assembles `f_D`, then perturbs the
+    /// coefficient of **every** monomial in `Φ_0 ∪ … ∪ Φ_J` — structural
+    /// zeros included — with i.i.d. `Lap(Δ/ε)` noise.
+    ///
+    /// # Errors
+    /// * Contract violations from [`GeneralObjective::validate`].
+    /// * [`FmError::InvalidConfig`] when `|Φ_0 ∪ … ∪ Φ_J|` exceeds
+    ///   [`MAX_COEFFICIENTS`].
+    /// * [`FmError::Privacy`] for degenerate noise parameters.
+    pub fn perturb(
+        &self,
+        data: &Dataset,
+        objective: &impl GeneralObjective,
+        rng: &mut impl Rng,
+    ) -> Result<NoisyPolynomial> {
+        objective.validate(data)?;
+        let d = data.d();
+        let j_max = objective.max_degree(d);
+
+        // Enumerating Φ_0..Φ_J up front both sizes the release and defines
+        // the exact coefficient set line 4 iterates over.
+        let monomials: Vec<Monomial> = monomials_up_to_degree(d, j_max);
+        if monomials.len() > MAX_COEFFICIENTS {
+            return Err(FmError::InvalidConfig {
+                name: "degree/dimension",
+                reason: format!(
+                    "{} monomials of degree ≤ {j_max} over d = {d} exceeds the {MAX_COEFFICIENTS} cap",
+                    monomials.len()
+                ),
+            });
+        }
+
+        let delta = objective.sensitivity(d);
+        let mech = LaplaceMechanism::new(delta, self.epsilon)?;
+
+        let clean = objective.assemble(data);
+        // A mis-declared max_degree would silently drop the out-of-range
+        // coefficients from the release *and* void the sensitivity
+        // analysis — refuse loudly instead.
+        if clean.degree() > j_max {
+            return Err(FmError::InvalidConfig {
+                name: "max_degree",
+                reason: format!(
+                    "objective assembled to degree {} but declared max_degree {j_max}",
+                    clean.degree()
+                ),
+            });
+        }
+        let mut noisy = Polynomial::zero(d);
+        for phi in monomials {
+            let lambda = clean.coefficient(&phi);
+            noisy.add_term(phi, mech.privatize_scalar(lambda, rng));
+        }
+
+        Ok(NoisyPolynomial {
+            polynomial: noisy,
+            epsilon: self.epsilon,
+            sensitivity: delta,
+            noise_scale: delta / self.epsilon,
+        })
+    }
+}
+
+/// The paper's linear regression expressed in the general form — used to
+/// validate the generic path against the specialised degree-2 pipeline,
+/// and exported for callers who want the polynomial representation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GeneralLinearObjective;
+
+impl GeneralObjective for GeneralLinearObjective {
+    fn tuple_polynomial(&self, x: &[f64], y: f64, d: usize) -> Polynomial {
+        // (y − xᵀω)² = y² − 2yΣx_jω_j + ΣΣ x_jx_l ω_jω_l.
+        let mut p = Polynomial::zero(d);
+        p.add_term(Monomial::constant(d), y * y);
+        for (j, &xj) in x.iter().enumerate() {
+            p.add_term(Monomial::linear(d, j), -2.0 * y * xj);
+            for (l, &xl) in x.iter().enumerate().skip(j) {
+                let c = if j == l { xj * xj } else { 2.0 * xj * xl };
+                p.add_term(Monomial::quadratic(d, j, l), c);
+            }
+        }
+        p
+    }
+
+    fn max_degree(&self, _d: usize) -> u32 {
+        2
+    }
+
+    fn sensitivity(&self, d: usize) -> f64 {
+        crate::linreg::sensitivity_paper(d)
+    }
+
+    fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
+        data.check_normalized_linear()
+    }
+}
+
+/// A **quartic** regression objective `f(t, ω) = (y − xᵀω)⁴` — a loss the
+/// degree-2 machinery cannot express, demonstrating that Algorithm 1
+/// really does cover "a large class of optimization-based analyses"
+/// (paper abstract). The quartic loss penalises outliers harder than
+/// squared error; its even degree keeps the clean objective bounded below.
+///
+/// Sensitivity: expanding `(y − xᵀω)⁴ = Σ_{k=0}^{4} C(4,k) y^{4−k}
+/// (−xᵀω)^k`, the degree-`k` coefficients have total L1 mass at most
+/// `C(4,k)·|y|^{4−k}·(Σ|x_j|)^k ≤ C(4,k)·d^k` on the normalized domain, so
+/// `Δ = 2·Σ_{k=1}^{4} C(4,k)·d^k = 2((1+d)⁴ − 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuarticObjective;
+
+impl GeneralObjective for QuarticObjective {
+    fn tuple_polynomial(&self, x: &[f64], y: f64, d: usize) -> Polynomial {
+        // Build s(ω) = (y − xᵀω) as a degree-1 polynomial, then square twice.
+        let mut s = Polynomial::zero(d);
+        s.add_term(Monomial::constant(d), y);
+        for (j, &xj) in x.iter().enumerate() {
+            s.add_term(Monomial::linear(d, j), -xj);
+        }
+        let s2 = multiply(&s, &s);
+        multiply(&s2, &s2)
+    }
+
+    fn max_degree(&self, _d: usize) -> u32 {
+        4
+    }
+
+    fn sensitivity(&self, d: usize) -> f64 {
+        let dp1 = 1.0 + d as f64;
+        2.0 * (dp1.powi(4) - 1.0)
+    }
+
+    fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
+        data.check_normalized_linear()
+    }
+}
+
+/// Multiplies two sparse polynomials (exact, term-by-term). Lives here
+/// rather than in `fm-poly` because objective construction is the only
+/// consumer; promote it if more callers appear.
+fn multiply(a: &Polynomial, b: &Polynomial) -> Polynomial {
+    assert_eq!(a.num_vars(), b.num_vars(), "arity mismatch");
+    let d = a.num_vars();
+    let mut out = Polynomial::zero(d);
+    for (ma, ca) in a.terms() {
+        for (mb, cb) in b.terms() {
+            let exps: Vec<u32> = ma
+                .exponents()
+                .iter()
+                .zip(mb.exponents())
+                .map(|(ea, eb)| ea + eb)
+                .collect();
+            out.add_term(Monomial::new(exps), ca * cb);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::LinearObjective;
+    use crate::mechanism::PolynomialObjective;
+    use fm_linalg::vecops;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2_024)
+    }
+
+    #[test]
+    fn general_linear_assembly_matches_quadratic_path() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 200, 3, 0.1);
+        let generic = GeneralLinearObjective.assemble(&data);
+        let dense = LinearObjective.assemble(&data);
+        for _ in 0..20 {
+            let omega = fm_data::synth::sample_in_ball(&mut r, 3, 2.0);
+            assert!(
+                (generic.eval(&omega) - dense.eval(&omega)).abs() < 1e-8,
+                "objectives disagree at {omega:?}"
+            );
+        }
+        // And the polynomial ↔ quadratic conversions agree coefficient-wise.
+        let roundtrip = generic.to_quadratic_form().expect("degree 2");
+        assert!(roundtrip.m().approx_eq(dense.m(), 1e-12));
+    }
+
+    #[test]
+    fn structural_zeros_are_noised_too() {
+        // A dataset whose x₂ column is identically zero: the clean
+        // coefficient of ω₂ is exactly 0, but Algorithm 1 line 4 must still
+        // release a noisy value for it.
+        let x = fm_linalg::Matrix::from_rows(&[&[0.5, 0.0], &[-0.3, 0.0]]).unwrap();
+        let data = Dataset::new(x, vec![0.2, -0.1]).unwrap();
+        let fm = GenericFunctionalMechanism::new(1.0).unwrap();
+        let mut r = rng();
+        let noisy = fm.perturb(&data, &GeneralLinearObjective, &mut r).unwrap();
+        let coeff = noisy
+            .polynomial()
+            .coefficient(&Monomial::linear(2, 1));
+        assert_ne!(coeff, 0.0, "structural zero must be perturbed");
+        // Every monomial of degree ≤ 2 over d = 2 is present: |Φ_0..2| = 6.
+        assert_eq!(noisy.polynomial().num_terms(), 6);
+    }
+
+    #[test]
+    fn generic_minimize_matches_closed_form_at_high_epsilon() {
+        let mut r = rng();
+        let w = vec![0.4, -0.2];
+        let data = fm_data::synth::linear_dataset_with_weights(&mut r, 5_000, &w, 0.02);
+        let fm = GenericFunctionalMechanism::new(1e7).unwrap(); // ~no noise
+        let noisy = fm.perturb(&data, &GeneralLinearObjective, &mut r).unwrap();
+        let omega = noisy.minimize(&[0.0, 0.0], 100.0).unwrap();
+        assert!(
+            vecops::dist2(&omega, &w) < 0.05,
+            "generic minimiser {omega:?} far from {w:?}"
+        );
+    }
+
+    #[test]
+    fn quartic_expansion_is_exact() {
+        let x = [0.3, -0.5];
+        let y = 0.7;
+        let p = QuarticObjective.tuple_polynomial(&x, y, 2);
+        assert_eq!(p.degree(), 4);
+        for omega in [[0.0, 0.0], [1.0, -1.0], [0.4, 0.9]] {
+            let direct = (y - (x[0] * omega[0] + x[1] * omega[1])).powi(4);
+            assert!(
+                (p.eval(&omega) - direct).abs() < 1e-12,
+                "expansion wrong at {omega:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quartic_sensitivity_contract() {
+        // Lemma-1 contract for the quartic loss, fuzzed over the domain.
+        let mut r = rng();
+        for d in [1usize, 2, 4] {
+            let delta = QuarticObjective.sensitivity(d);
+            for _ in 0..200 {
+                let x = fm_data::synth::sample_in_ball(&mut r, d, 1.0);
+                let y = rand::Rng::gen_range(&mut r, -1.0..=1.0);
+                let p = QuarticObjective.tuple_polynomial(&x, y, d);
+                assert!(
+                    p.coefficient_l1_norm() <= delta / 2.0 + 1e-9,
+                    "d={d}: L1 {} > Δ/2 {}",
+                    p.coefficient_l1_norm(),
+                    delta / 2.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quartic_private_fit_recovers_direction_at_generous_budget() {
+        let mut r = rng();
+        let w = vec![0.5, -0.3];
+        let data = fm_data::synth::linear_dataset_with_weights(&mut r, 40_000, &w, 0.02);
+        let fm = GenericFunctionalMechanism::new(100.0).unwrap();
+        let noisy = fm.perturb(&data, &QuarticObjective, &mut r).unwrap();
+        let omega = noisy.minimize(&[0.0, 0.0], 50.0).unwrap();
+        let cos = vecops::dot(&omega, &w) / (vecops::norm2(&omega) * vecops::norm2(&w));
+        assert!(cos > 0.9, "cosine {cos}, ω = {omega:?}");
+    }
+
+    #[test]
+    fn unbounded_noisy_polynomial_reports_cleanly() {
+        // At tiny ε the quartic's leading coefficients go negative on many
+        // draws; minimize must report unboundedness, not diverge silently.
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 50, 2, 0.05);
+        let fm = GenericFunctionalMechanism::new(0.01).unwrap();
+        let mut saw_unbounded = false;
+        for _ in 0..20 {
+            let noisy = fm.perturb(&data, &QuarticObjective, &mut r).unwrap();
+            match noisy.minimize(&[0.0, 0.0], 1e3) {
+                Ok(omega) => assert!(omega.iter().all(|v| v.is_finite())),
+                Err(FmError::Optim(fm_optim::OptimError::UnboundedObjective)) => {
+                    saw_unbounded = true;
+                }
+                Err(FmError::Optim(_)) => {} // line-search breakdown: also clean
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_unbounded, "tiny ε should produce unbounded draws");
+    }
+
+    #[test]
+    fn coefficient_cap_enforced() {
+        // d = 60, J = 4 ⇒ C(63,4) ≈ 595k > cap.
+        let mut r = rng();
+        let x = fm_linalg::Matrix::from_fn(3, 60, |_, _| 0.01);
+        let data = Dataset::new(x, vec![0.0, 0.1, -0.1]).unwrap();
+        let fm = GenericFunctionalMechanism::new(1.0).unwrap();
+        let err = fm.perturb(&data, &QuarticObjective, &mut r).unwrap_err();
+        assert!(matches!(err, FmError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(GenericFunctionalMechanism::new(0.0).is_err());
+        assert!(GenericFunctionalMechanism::new(f64::NAN).is_err());
+        assert!(GenericFunctionalMechanism::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn mis_declared_degree_is_refused() {
+        // An objective that lies about its degree must be rejected loudly —
+        // silently dropping coefficients would void the privacy analysis.
+        struct Liar;
+        impl GeneralObjective for Liar {
+            fn tuple_polynomial(&self, x: &[f64], y: f64, d: usize) -> Polynomial {
+                QuarticObjective.tuple_polynomial(x, y, d) // degree 4…
+            }
+            fn max_degree(&self, _d: usize) -> u32 {
+                2 // …declared as 2
+            }
+            fn sensitivity(&self, d: usize) -> f64 {
+                QuarticObjective.sensitivity(d)
+            }
+            fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
+                data.check_normalized_linear()
+            }
+        }
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 20, 2, 0.05);
+        let fm = GenericFunctionalMechanism::new(1.0).unwrap();
+        assert!(matches!(
+            fm.perturb(&data, &Liar, &mut r),
+            Err(FmError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn noise_scale_is_cardinality_independent() {
+        let mut r = rng();
+        let small = fm_data::synth::linear_dataset(&mut r, 50, 3, 0.1);
+        let large = fm_data::synth::linear_dataset(&mut r, 5_000, 3, 0.1);
+        let fm = GenericFunctionalMechanism::new(1.0).unwrap();
+        let a = fm.perturb(&small, &QuarticObjective, &mut r).unwrap();
+        let b = fm.perturb(&large, &QuarticObjective, &mut r).unwrap();
+        assert_eq!(a.noise_scale(), b.noise_scale());
+        // Δ = 2((1+3)⁴ − 1) = 510.
+        assert_eq!(a.sensitivity(), 510.0);
+    }
+
+    #[test]
+    fn polynomial_multiply_is_correct() {
+        // (1 + ω₀)·(1 − ω₀) = 1 − ω₀².
+        let mut a = Polynomial::zero(1);
+        a.add_term(Monomial::constant(1), 1.0);
+        a.add_term(Monomial::linear(1, 0), 1.0);
+        let mut b = Polynomial::zero(1);
+        b.add_term(Monomial::constant(1), 1.0);
+        b.add_term(Monomial::linear(1, 0), -1.0);
+        let prod = multiply(&a, &b);
+        assert_eq!(prod.coefficient(&Monomial::constant(1)), 1.0);
+        assert_eq!(prod.coefficient(&Monomial::linear(1, 0)), 0.0);
+        assert_eq!(prod.coefficient(&Monomial::new(vec![2])), -1.0);
+    }
+}

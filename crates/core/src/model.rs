@@ -1,0 +1,276 @@
+//! Released model artefacts.
+//!
+//! A fitted model is just its parameter vector `ω̄` — the output of
+//! Algorithm 1 — plus the fit metadata. Predictions are deterministic
+//! functions of `ω̄` and the query point, so they are post-processing and
+//! carry the same ε-DP guarantee as the parameters themselves.
+//!
+//! Both model types optionally carry an **intercept** `b` (the paper's
+//! footnote-2 generalisation `ŷ = xᵀω + b`); models fitted without one have
+//! `b = 0` and behave exactly as Definition 1/2 prescribe.
+
+use fm_linalg::{vecops, Matrix};
+
+/// A fitted linear-regression model `ρ(x) = xᵀω + b` (Definition 1;
+/// footnote 2 for the intercept `b`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+    intercept: f64,
+    epsilon: Option<f64>,
+}
+
+impl LinearModel {
+    /// Wraps a parameter vector with no intercept; `epsilon` records the
+    /// privacy budget spent fitting it (`None` for non-private baselines).
+    #[must_use]
+    pub fn new(weights: Vec<f64>, epsilon: Option<f64>) -> Self {
+        LinearModel {
+            weights,
+            intercept: 0.0,
+            epsilon,
+        }
+    }
+
+    /// Wraps a parameter vector together with an intercept term.
+    #[must_use]
+    pub fn with_intercept(weights: Vec<f64>, intercept: f64, epsilon: Option<f64>) -> Self {
+        LinearModel {
+            weights,
+            intercept,
+            epsilon,
+        }
+    }
+
+    /// The model parameters `ω`.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The intercept `b` (0 when the model was fitted without one).
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Privacy budget spent fitting, if any.
+    #[must_use]
+    pub fn epsilon(&self) -> Option<f64> {
+        self.epsilon
+    }
+
+    /// Dimensionality `d` (excluding the intercept).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Predicts `ŷ = xᵀω + b`.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        vecops::dot(x, &self.weights) + self.intercept
+    }
+
+    /// Predicts for every row of `x`.
+    #[must_use]
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict(x.row(r))).collect()
+    }
+}
+
+/// A fitted logistic-regression model
+/// `P(y = 1 | x) = exp(xᵀω + b)/(1 + exp(xᵀω + b))` (Definition 2;
+/// footnote-2-style intercept `b`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticModel {
+    weights: Vec<f64>,
+    intercept: f64,
+    epsilon: Option<f64>,
+}
+
+impl LogisticModel {
+    /// Wraps a parameter vector with no intercept; `epsilon` records the
+    /// privacy budget spent fitting it (`None` for non-private baselines).
+    #[must_use]
+    pub fn new(weights: Vec<f64>, epsilon: Option<f64>) -> Self {
+        LogisticModel {
+            weights,
+            intercept: 0.0,
+            epsilon,
+        }
+    }
+
+    /// Wraps a parameter vector together with an intercept term.
+    #[must_use]
+    pub fn with_intercept(weights: Vec<f64>, intercept: f64, epsilon: Option<f64>) -> Self {
+        LogisticModel {
+            weights,
+            intercept,
+            epsilon,
+        }
+    }
+
+    /// The model parameters `ω`.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The intercept `b` (0 when the model was fitted without one).
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Privacy budget spent fitting, if any.
+    #[must_use]
+    pub fn epsilon(&self) -> Option<f64> {
+        self.epsilon
+    }
+
+    /// Dimensionality `d` (excluding the intercept).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The probability `P(y = 1 | x) = σ(xᵀω + b)`, computed stably.
+    #[must_use]
+    pub fn probability(&self, x: &[f64]) -> f64 {
+        let z = vecops::dot(x, &self.weights) + self.intercept;
+        if z >= 0.0 {
+            1.0 / (1.0 + (-z).exp())
+        } else {
+            let e = z.exp();
+            e / (1.0 + e)
+        }
+    }
+
+    /// Class prediction: `1` iff `P(y = 1 | x) > ½` (Section 7's rule).
+    #[must_use]
+    pub fn predict_class(&self, x: &[f64]) -> f64 {
+        f64::from(self.probability(x) > 0.5)
+    }
+
+    /// Probabilities for every row of `x`.
+    #[must_use]
+    pub fn probabilities_batch(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.probability(x.row(r))).collect()
+    }
+}
+
+/// Splits a parameter vector fitted on [`fm_data::Dataset::augment_for_intercept`]'d
+/// data back into `(ω, b)` in the *original* feature scale: the augmentation
+/// maps `x ↦ (x/√2, 1/√2)`, so `ω_j = ω'_j/√2` and `b = ω'_d/√2`.
+///
+/// Panics if `omega_aug` is empty (the augmented dimension is always ≥ 1).
+#[must_use]
+pub(crate) fn split_augmented_weights(mut omega_aug: Vec<f64>) -> (Vec<f64>, f64) {
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    let b = omega_aug.pop().expect("augmented weights are non-empty") * inv_sqrt2;
+    for w in &mut omega_aug {
+        *w *= inv_sqrt2;
+    }
+    (omega_aug, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_prediction() {
+        let m = LinearModel::new(vec![2.0, -1.0], Some(0.8));
+        assert_eq!(m.predict(&[1.0, 1.0]), 1.0);
+        assert_eq!(m.predict(&[0.0, 3.0]), -3.0);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.epsilon(), Some(0.8));
+        assert_eq!(m.intercept(), 0.0);
+    }
+
+    #[test]
+    fn linear_prediction_with_intercept() {
+        let m = LinearModel::with_intercept(vec![2.0], 0.5, None);
+        assert_eq!(m.predict(&[1.0]), 2.5);
+        assert_eq!(m.intercept(), 0.5);
+        assert_eq!(m.dim(), 1);
+    }
+
+    #[test]
+    fn linear_batch() {
+        let m = LinearModel::new(vec![1.0, 0.0], None);
+        let x = Matrix::from_rows(&[&[2.0, 9.0], &[-1.0, 5.0]]).unwrap();
+        assert_eq!(m.predict_batch(&x), vec![2.0, -1.0]);
+        assert_eq!(m.epsilon(), None);
+    }
+
+    #[test]
+    fn logistic_probability_range_and_midpoint() {
+        let m = LogisticModel::new(vec![1.0], None);
+        assert!((m.probability(&[0.0]) - 0.5).abs() < 1e-15);
+        assert!(m.probability(&[10.0]) > 0.99);
+        assert!(m.probability(&[-10.0]) < 0.01);
+    }
+
+    #[test]
+    fn logistic_intercept_shifts_decision_boundary() {
+        let flat = LogisticModel::new(vec![1.0], None);
+        let shifted = LogisticModel::with_intercept(vec![1.0], 2.0, None);
+        // Same input, higher log-odds with positive intercept.
+        assert!(shifted.probability(&[0.0]) > flat.probability(&[0.0]));
+        assert!((shifted.probability(&[-2.0]) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn logistic_probability_is_stable_at_extremes() {
+        let m = LogisticModel::new(vec![1000.0], None);
+        let hi = m.probability(&[1.0]);
+        let lo = m.probability(&[-1.0]);
+        assert!(hi > 0.0 && hi <= 1.0 && hi.is_finite());
+        assert!((0.0..1.0).contains(&lo) && lo.is_finite());
+    }
+
+    #[test]
+    fn logistic_class_rule_is_strict_majority() {
+        let m = LogisticModel::new(vec![1.0], None);
+        assert_eq!(m.predict_class(&[0.0]), 0.0); // exactly 0.5 ⇒ class 0
+        assert_eq!(m.predict_class(&[0.1]), 1.0);
+        assert_eq!(m.predict_class(&[-0.1]), 0.0);
+    }
+
+    #[test]
+    fn logistic_batch_matches_scalar() {
+        let m = LogisticModel::new(vec![0.5, -0.5], Some(1.6));
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let probs = m.probabilities_batch(&x);
+        assert_eq!(probs[0], m.probability(&[1.0, 0.0]));
+        assert_eq!(probs[1], m.probability(&[0.0, 1.0]));
+    }
+
+    #[test]
+    fn logistic_symmetry() {
+        // σ(−z) = 1 − σ(z).
+        let m = LogisticModel::new(vec![1.0], None);
+        let p = m.probability(&[0.73]);
+        let q = m.probability(&[-0.73]);
+        assert!((p + q - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_augmented_weights_inverts_augmentation() {
+        // Fitting ω' on (x/√2, 1/√2) and splitting must reproduce the
+        // prediction xᵀω + b exactly.
+        let omega_aug = vec![1.4, -0.6, 0.8];
+        let (omega, b) = split_augmented_weights(omega_aug.clone());
+        let x = [0.3, -0.5];
+        let x_aug = [
+            x[0] * std::f64::consts::FRAC_1_SQRT_2,
+            x[1] * std::f64::consts::FRAC_1_SQRT_2,
+            std::f64::consts::FRAC_1_SQRT_2,
+        ];
+        let direct = vecops::dot(&x_aug, &omega_aug);
+        let split = vecops::dot(&x, &omega) + b;
+        assert!((direct - split).abs() < 1e-15);
+    }
+}

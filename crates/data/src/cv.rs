@@ -1,0 +1,252 @@
+//! k-fold cross-validation.
+//!
+//! The paper's protocol (Section 7): "we perform 5-fold cross-validation 50
+//! times for each algorithm, and we report the average results".
+//! [`KFold`] produces one shuffled partition into `k` folds; the experiment
+//! harness instantiates it repeatedly with fresh RNG state for the repeats.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::sampling::shuffled_indices;
+use crate::{DataError, Result};
+
+/// One train/test split of a cross-validation round.
+#[derive(Debug, Clone)]
+pub struct Fold {
+    /// Row indices of the training portion.
+    pub train: Vec<usize>,
+    /// Row indices of the held-out portion.
+    pub test: Vec<usize>,
+}
+
+/// A shuffled `k`-fold partition of `n` rows.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Fold>,
+}
+
+impl KFold {
+    /// Partitions `n` rows into `k` shuffled folds.
+    ///
+    /// Fold sizes differ by at most one row; every row appears in exactly
+    /// one test set.
+    ///
+    /// # Errors
+    /// [`DataError::InvalidParameter`] unless `2 ≤ k ≤ n`.
+    pub fn new(n: usize, k: usize, rng: &mut impl Rng) -> Result<Self> {
+        if k < 2 || k > n {
+            return Err(DataError::InvalidParameter {
+                name: "k",
+                reason: format!("k = {k} must satisfy 2 ≤ k ≤ n = {n}"),
+            });
+        }
+        let idx = shuffled_indices(rng, n);
+        // Fold f takes rows [f·n/k, (f+1)·n/k) of the shuffled order.
+        let mut folds = Vec::with_capacity(k);
+        for f in 0..k {
+            let start = f * n / k;
+            let end = (f + 1) * n / k;
+            let test: Vec<usize> = idx[start..end].to_vec();
+            let mut train = Vec::with_capacity(n - test.len());
+            train.extend_from_slice(&idx[..start]);
+            train.extend_from_slice(&idx[end..]);
+            folds.push(Fold { train, test });
+        }
+        Ok(KFold { folds })
+    }
+
+    /// Number of folds `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The folds.
+    #[must_use]
+    pub fn folds(&self) -> &[Fold] {
+        &self.folds
+    }
+
+    /// Materialises fold `f` as `(train, test)` datasets.
+    ///
+    /// # Errors
+    /// Propagates [`Dataset::subset`] errors (cannot occur for indices this
+    /// type produced over the same dataset).
+    pub fn split(&self, data: &Dataset, f: usize) -> Result<(Dataset, Dataset)> {
+        let fold = self.folds.get(f).ok_or_else(|| DataError::InvalidParameter {
+            name: "fold",
+            reason: format!("fold {f} out of range for k = {}", self.k()),
+        })?;
+        Ok((data.subset(&fold.train)?, data.subset(&fold.test)?))
+    }
+}
+
+/// Splits `data` into a shuffled `(train, test)` pair with the given test
+/// fraction — the simple holdout used by the model-selection example and
+/// anywhere a single validation split (rather than full k-fold) suffices.
+///
+/// # Errors
+/// [`DataError::InvalidParameter`] unless `0 < test_fraction < 1` and both
+/// resulting splits are non-empty.
+pub fn train_test_split(
+    data: &Dataset,
+    test_fraction: f64,
+    rng: &mut impl Rng,
+) -> Result<(Dataset, Dataset)> {
+    if !test_fraction.is_finite() || test_fraction <= 0.0 || test_fraction >= 1.0 {
+        return Err(DataError::InvalidParameter {
+            name: "test_fraction",
+            reason: format!("{test_fraction} must be in (0, 1)"),
+        });
+    }
+    let n = data.n();
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    if n_test == 0 || n_test == n {
+        return Err(DataError::InvalidParameter {
+            name: "test_fraction",
+            reason: format!("fraction {test_fraction} leaves an empty split for n = {n}"),
+        });
+    }
+    let idx = shuffled_indices(rng, n);
+    let test = data.subset(&idx[..n_test])?;
+    let train = data.subset(&idx[n_test..])?;
+    Ok((train, test))
+}
+
+/// Runs `evaluate(train, test)` over every fold and returns the per-fold
+/// scores — the inner loop of the paper's evaluation protocol.
+///
+/// # Errors
+/// Propagates fold-construction and callback errors.
+pub fn cross_validate<E>(
+    data: &Dataset,
+    k: usize,
+    rng: &mut impl Rng,
+    mut evaluate: impl FnMut(&Dataset, &Dataset) -> std::result::Result<f64, E>,
+) -> Result<Vec<f64>>
+where
+    DataError: From<E>,
+{
+    let kf = KFold::new(data.n(), k, rng)?;
+    let mut scores = Vec::with_capacity(k);
+    for f in 0..k {
+        let (train, test) = kf.split(data, f)?;
+        scores.push(evaluate(&train, &test).map_err(DataError::from)?);
+    }
+    Ok(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_linalg::Matrix;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 1, |r, _| r as f64);
+        Dataset::new(x, (0..n).map(|i| i as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn folds_partition_everything() {
+        let mut r = rng();
+        let kf = KFold::new(103, 5, &mut r).unwrap();
+        assert_eq!(kf.k(), 5);
+        let mut all_test: Vec<usize> = kf.folds().iter().flat_map(|f| f.test.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let mut r = rng();
+        let kf = KFold::new(103, 5, &mut r).unwrap();
+        for f in kf.folds() {
+            assert!((20..=21).contains(&f.test.len()));
+            assert_eq!(f.train.len() + f.test.len(), 103);
+        }
+    }
+
+    #[test]
+    fn train_and_test_disjoint() {
+        let mut r = rng();
+        let kf = KFold::new(50, 4, &mut r).unwrap();
+        for f in kf.folds() {
+            for t in &f.test {
+                assert!(!f.train.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let mut r = rng();
+        assert!(KFold::new(10, 1, &mut r).is_err());
+        assert!(KFold::new(3, 5, &mut r).is_err());
+        assert!(KFold::new(10, 5, &mut r).is_ok());
+    }
+
+    #[test]
+    fn split_materialises_datasets() {
+        let ds = dataset(20);
+        let mut r = rng();
+        let kf = KFold::new(20, 4, &mut r).unwrap();
+        let (train, test) = kf.split(&ds, 0).unwrap();
+        assert_eq!(train.n(), 15);
+        assert_eq!(test.n(), 5);
+        assert!(kf.split(&ds, 4).is_err());
+    }
+
+    #[test]
+    fn cross_validate_runs_every_fold() {
+        let ds = dataset(25);
+        let mut r = rng();
+        let scores = cross_validate(&ds, 5, &mut r, |train, test| {
+            Ok::<f64, DataError>(train.n() as f64 + test.n() as f64 / 100.0)
+        })
+        .unwrap();
+        assert_eq!(scores.len(), 5);
+        for s in scores {
+            assert!((s - 20.05).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = KFold::new(30, 3, &mut rng()).unwrap();
+        let b = KFold::new(30, 3, &mut rng()).unwrap();
+        for (fa, fb) in a.folds().iter().zip(b.folds()) {
+            assert_eq!(fa.test, fb.test);
+        }
+    }
+
+    #[test]
+    fn train_test_split_partitions() {
+        let ds = dataset(40);
+        let mut r = rng();
+        let (train, test) = train_test_split(&ds, 0.25, &mut r).unwrap();
+        assert_eq!(test.n(), 10);
+        assert_eq!(train.n(), 30);
+        // Every label appears exactly once across the two splits.
+        let mut all: Vec<f64> = train.y().iter().chain(test.y()).copied().collect();
+        all.sort_by(f64::total_cmp);
+        let expected: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn train_test_split_rejects_bad_fractions() {
+        let ds = dataset(10);
+        let mut r = rng();
+        for bad in [0.0, 1.0, -0.3, 1.5, f64::NAN] {
+            assert!(train_test_split(&ds, bad, &mut r).is_err(), "{bad}");
+        }
+        // Fraction that rounds to an empty split.
+        assert!(train_test_split(&ds, 0.01, &mut r).is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! The [`Dataset`] type: an `n × d` feature matrix with labels.
+
+use fm_linalg::{vecops, Matrix};
+
+use crate::{DataError, Result};
+
+/// Slack allowed on the `‖x‖₂ ≤ 1` check; normalization is exact up to
+/// floating-point rounding.
+const NORM_TOL: f64 = 1e-9;
+
+/// A regression dataset `D = {t_i = (x_i, y_i)}` (paper Section 3).
+///
+/// `x` is `n × d` (one row per tuple), `y` has length `n`. Feature names
+/// are carried for experiment reporting and attribute-subset selection;
+/// they are optional semantics, not part of equality.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    x: Matrix,
+    y: Vec<f64>,
+    feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that shapes line up.
+    ///
+    /// # Errors
+    /// * [`DataError::LengthMismatch`] when `x.rows() != y.len()`.
+    /// * [`DataError::EmptyDataset`] for zero rows or zero columns.
+    pub fn new(x: Matrix, y: Vec<f64>) -> Result<Self> {
+        if x.rows() != y.len() {
+            return Err(DataError::LengthMismatch {
+                rows: x.rows(),
+                labels: y.len(),
+            });
+        }
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(DataError::EmptyDataset);
+        }
+        let feature_names = (0..x.cols()).map(|j| format!("x{j}")).collect();
+        Ok(Dataset { x, y, feature_names })
+    }
+
+    /// Creates a dataset with explicit feature names.
+    ///
+    /// # Errors
+    /// As [`Dataset::new`], plus [`DataError::InvalidParameter`] when the
+    /// name count differs from the column count.
+    pub fn with_names(x: Matrix, y: Vec<f64>, names: Vec<String>) -> Result<Self> {
+        if names.len() != x.cols() {
+            return Err(DataError::InvalidParameter {
+                name: "names",
+                reason: format!("{} names for {} columns", names.len(), x.cols()),
+            });
+        }
+        let mut ds = Dataset::new(x, y)?;
+        ds.feature_names = names;
+        Ok(ds)
+    }
+
+    /// Number of tuples `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Number of features `d`.
+    #[must_use]
+    pub fn d(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// The feature matrix.
+    #[must_use]
+    pub fn x(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The label vector.
+    #[must_use]
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Feature names, in column order.
+    #[must_use]
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// The `i`-th tuple `(x_i, y_i)`. Panics on out-of-bounds `i` (mirrors
+    /// slice indexing).
+    #[must_use]
+    pub fn tuple(&self, i: usize) -> (&[f64], f64) {
+        (self.x.row(i), self.y[i])
+    }
+
+    /// Iterates over `(x_i, y_i)` pairs.
+    pub fn tuples(&self) -> impl Iterator<Item = (&[f64], f64)> + '_ {
+        (0..self.n()).map(move |i| self.tuple(i))
+    }
+
+    /// Builds a new dataset from the rows at `indices` (duplicates allowed —
+    /// this is what bootstap-style samplers need).
+    ///
+    /// # Errors
+    /// [`DataError::InvalidParameter`] if any index is out of range;
+    /// [`DataError::EmptyDataset`] for an empty selection.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        if indices.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.n()) {
+            return Err(DataError::InvalidParameter {
+                name: "indices",
+                reason: format!("row {bad} out of range for n = {}", self.n()),
+            });
+        }
+        let d = self.d();
+        let mut data = Vec::with_capacity(indices.len() * d);
+        let mut y = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.x.row(i));
+            y.push(self.y[i]);
+        }
+        let x = Matrix::from_vec(indices.len(), d, data)?;
+        Dataset::with_names(x, y, self.feature_names.clone())
+    }
+
+    /// Builds a new dataset keeping only the named feature columns, in the
+    /// order given — the paper's attribute-subset experiments (Figure 4).
+    ///
+    /// # Errors
+    /// [`DataError::UnknownAttribute`] for an unmatched name.
+    pub fn select_features(&self, names: &[&str]) -> Result<Dataset> {
+        let cols: Vec<usize> = names
+            .iter()
+            .map(|&want| {
+                self.feature_names
+                    .iter()
+                    .position(|have| have == want)
+                    .ok_or_else(|| DataError::UnknownAttribute {
+                        name: want.to_string(),
+                    })
+            })
+            .collect::<Result<_>>()?;
+        if cols.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        let n = self.n();
+        let x = Matrix::from_fn(n, cols.len(), |r, c| self.x[(r, cols[c])]);
+        Dataset::with_names(x, self.y.clone(), names.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Verifies the paper's linear-regression input contract:
+    /// `‖x_i‖₂ ≤ 1` and `y_i ∈ [−1, 1]` (Definition 1).
+    ///
+    /// # Errors
+    /// [`DataError::NotNormalized`] naming the first violating tuple.
+    pub fn check_normalized_linear(&self) -> Result<()> {
+        for (i, (x, y)) in self.tuples().enumerate() {
+            let norm = vecops::norm2(x);
+            if !norm.is_finite() || norm > 1.0 + NORM_TOL {
+                return Err(DataError::NotNormalized {
+                    detail: format!("‖x_{i}‖₂ = {norm} > 1"),
+                });
+            }
+            if !(-1.0 - NORM_TOL..=1.0 + NORM_TOL).contains(&y) {
+                return Err(DataError::NotNormalized {
+                    detail: format!("y_{i} = {y} outside [−1, 1]"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the logistic-regression input contract: `‖x_i‖₂ ≤ 1` and
+    /// `y_i ∈ {0, 1}` (Definition 2).
+    ///
+    /// # Errors
+    /// [`DataError::NotNormalized`] naming the first violating tuple.
+    pub fn check_normalized_logistic(&self) -> Result<()> {
+        for (i, (x, y)) in self.tuples().enumerate() {
+            let norm = vecops::norm2(x);
+            if !norm.is_finite() || norm > 1.0 + NORM_TOL {
+                return Err(DataError::NotNormalized {
+                    detail: format!("‖x_{i}‖₂ = {norm} > 1"),
+                });
+            }
+            if y != 0.0 && y != 1.0 {
+                return Err(DataError::NotNormalized {
+                    detail: format!("y_{i} = {y} not in {{0, 1}}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the count-regression (Poisson) input contract:
+    /// `‖x_i‖₂ ≤ 1` and `y_i ∈ [0, y_max]` — the bounded-label condition DP
+    /// Poisson regression needs for a finite, data-independent sensitivity.
+    ///
+    /// # Errors
+    /// [`DataError::NotNormalized`] naming the first violating tuple, or
+    /// [`DataError::InvalidParameter`] for a non-positive/non-finite cap.
+    pub fn check_normalized_counts(&self, y_max: f64) -> Result<()> {
+        if !y_max.is_finite() || y_max <= 0.0 {
+            return Err(DataError::InvalidParameter {
+                name: "y_max",
+                reason: format!("{y_max} must be finite and > 0"),
+            });
+        }
+        for (i, (x, y)) in self.tuples().enumerate() {
+            let norm = vecops::norm2(x);
+            if !norm.is_finite() || norm > 1.0 + NORM_TOL {
+                return Err(DataError::NotNormalized {
+                    detail: format!("‖x_{i}‖₂ = {norm} > 1"),
+                });
+            }
+            if !(0.0..=y_max + NORM_TOL).contains(&y) {
+                return Err(DataError::NotNormalized {
+                    detail: format!("y_{i} = {y} outside [0, {y_max}]"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The maximum `‖x_i‖₂` over all tuples (diagnostics).
+    #[must_use]
+    pub fn max_feature_norm(&self) -> f64 {
+        self.tuples()
+            .map(|(x, _)| vecops::norm2(x))
+            .fold(0.0, f64::max)
+    }
+
+    /// The intercept-model reduction of the paper's footnote 2: maps each
+    /// row to `x' = (x/√2, 1/√2)`, so that fitting a plain `d+1`-dimensional
+    /// model on the result is equivalent to fitting
+    /// `argmin_{ω, b} Σ f(y_i, x_iᵀω + b)` on the original data.
+    ///
+    /// The `1/√2` scaling keeps the normalized-domain contract intact:
+    /// `‖x'‖₂² = ‖x‖₂²/2 + 1/2 ≤ 1` whenever `‖x‖₂ ≤ 1`, so the augmented
+    /// dataset is directly consumable by the Functional Mechanism with the
+    /// standard sensitivity bound at dimension `d+1`. The fitted augmented
+    /// weights `ω'` map back as `ω_j = ω'_j/√2` and `b = ω'_d/√2` (the
+    /// regression front-ends do this automatically).
+    #[must_use]
+    pub fn augment_for_intercept(&self) -> Dataset {
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        let d = self.d();
+        let x = Matrix::from_fn(self.n(), d + 1, |r, c| {
+            if c < d {
+                self.x[(r, c)] * inv_sqrt2
+            } else {
+                inv_sqrt2
+            }
+        });
+        let mut names = self.feature_names.clone();
+        names.push("(intercept)".to_string());
+        Dataset::with_names(x, self.y.clone(), names)
+            .expect("augmented shapes are valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        let x = Matrix::from_rows(&[&[0.1, 0.2], &[0.3, 0.4], &[0.5, 0.6]]).unwrap();
+        Dataset::new(x, vec![1.0, 0.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let ds = small();
+        assert_eq!(ds.n(), 3);
+        assert_eq!(ds.d(), 2);
+        assert_eq!(ds.tuple(1), (&[0.3, 0.4][..], 0.0));
+        assert_eq!(ds.feature_names(), &["x0".to_string(), "x1".to_string()]);
+        assert_eq!(ds.tuples().count(), 3);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let x = Matrix::from_rows(&[&[1.0]]).unwrap();
+        assert!(matches!(
+            Dataset::new(x.clone(), vec![1.0, 2.0]),
+            Err(DataError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(Matrix::zeros(0, 2), vec![]),
+            Err(DataError::EmptyDataset)
+        ));
+        assert!(Dataset::with_names(x, vec![1.0], vec!["a".into(), "b".into()]).is_err());
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let ds = small();
+        let sub = ds.subset(&[2, 0]).unwrap();
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.tuple(0), (&[0.5, 0.6][..], 1.0));
+        assert_eq!(sub.tuple(1), (&[0.1, 0.2][..], 1.0));
+        // Duplicates are allowed.
+        assert_eq!(ds.subset(&[1, 1, 1]).unwrap().n(), 3);
+        // Bad index rejected.
+        assert!(ds.subset(&[3]).is_err());
+        assert!(matches!(ds.subset(&[]), Err(DataError::EmptyDataset)));
+    }
+
+    #[test]
+    fn select_features_reorders_columns() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        let ds = Dataset::with_names(x, vec![0.5], vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        let sel = ds.select_features(&["c", "a"]).unwrap();
+        assert_eq!(sel.d(), 2);
+        assert_eq!(sel.tuple(0).0, &[3.0, 1.0]);
+        assert_eq!(sel.feature_names(), &["c".to_string(), "a".to_string()]);
+        assert!(matches!(
+            ds.select_features(&["nope"]),
+            Err(DataError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn linear_normalization_contract() {
+        let ds = small();
+        ds.check_normalized_linear().unwrap();
+
+        let big_x = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        let bad = Dataset::new(big_x, vec![0.0]).unwrap();
+        assert!(matches!(
+            bad.check_normalized_linear(),
+            Err(DataError::NotNormalized { .. })
+        ));
+
+        let ok_x = Matrix::from_rows(&[&[0.5, 0.5]]).unwrap();
+        let bad_y = Dataset::new(ok_x, vec![2.0]).unwrap();
+        assert!(bad_y.check_normalized_linear().is_err());
+    }
+
+    #[test]
+    fn logistic_normalization_contract() {
+        let ds = small();
+        ds.check_normalized_logistic().unwrap();
+
+        let x = Matrix::from_rows(&[&[0.5, 0.5]]).unwrap();
+        let bad = Dataset::new(x, vec![0.5]).unwrap();
+        assert!(matches!(
+            bad.check_normalized_logistic(),
+            Err(DataError::NotNormalized { .. })
+        ));
+    }
+
+    #[test]
+    fn max_feature_norm_reports_worst_row() {
+        let x = Matrix::from_rows(&[&[0.0, 0.1], &[0.6, 0.8]]).unwrap();
+        let ds = Dataset::new(x, vec![0.0, 0.0]).unwrap();
+        assert!((ds.max_feature_norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_normalization_contract() {
+        let x = Matrix::from_rows(&[&[0.5, 0.5], &[0.1, 0.0]]).unwrap();
+        let ds = Dataset::new(x, vec![3.0, 0.0]).unwrap();
+        ds.check_normalized_counts(8.0).unwrap();
+        // Over the cap.
+        assert!(ds.check_normalized_counts(2.0).is_err());
+        // Negative counts rejected.
+        let x2 = Matrix::from_rows(&[&[0.1, 0.1]]).unwrap();
+        let neg = Dataset::new(x2, vec![-1.0]).unwrap();
+        assert!(matches!(
+            neg.check_normalized_counts(8.0),
+            Err(DataError::NotNormalized { .. })
+        ));
+        // Bad cap rejected.
+        assert!(matches!(
+            ds.check_normalized_counts(0.0),
+            Err(DataError::InvalidParameter { .. })
+        ));
+        assert!(ds.check_normalized_counts(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn augment_for_intercept_preserves_contract() {
+        // Worst case: a unit-norm row must stay inside the ball.
+        let x = Matrix::from_rows(&[&[0.6, 0.8], &[0.0, 0.0]]).unwrap();
+        let ds = Dataset::new(x, vec![1.0, 0.0]).unwrap();
+        let aug = ds.augment_for_intercept();
+        assert_eq!(aug.d(), 3);
+        assert_eq!(aug.n(), 2);
+        aug.check_normalized_logistic().unwrap();
+        assert!((aug.max_feature_norm() - 1.0).abs() < 1e-12);
+        // The appended coordinate is constant 1/√2.
+        let c = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((aug.tuple(0).0[2] - c).abs() < 1e-15);
+        assert!((aug.tuple(1).0[2] - c).abs() < 1e-15);
+        // Labels and names carried through.
+        assert_eq!(aug.y(), ds.y());
+        assert_eq!(aug.feature_names()[2], "(intercept)");
+    }
+
+    #[test]
+    fn augment_is_prediction_equivalent() {
+        // x'ᵀω' with ω' = √2·(ω, b) equals xᵀω + b.
+        let x = Matrix::from_rows(&[&[0.3, -0.2]]).unwrap();
+        let ds = Dataset::new(x, vec![0.0]).unwrap();
+        let aug = ds.augment_for_intercept();
+        let (omega, b) = (vec![0.7, -0.4], 0.25);
+        let mut omega_aug: Vec<f64> = omega.iter().map(|w| w * std::f64::consts::SQRT_2).collect();
+        omega_aug.push(b * std::f64::consts::SQRT_2);
+        let lhs = vecops::dot(aug.tuple(0).0, &omega_aug);
+        let rhs = vecops::dot(ds.tuple(0).0, &omega) + b;
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Errors produced by dataset construction and transformation.
+#[derive(Debug)]
+pub enum DataError {
+    /// Feature matrix and label vector disagree on the number of rows.
+    LengthMismatch {
+        /// Rows in the feature matrix.
+        rows: usize,
+        /// Entries in the label vector.
+        labels: usize,
+    },
+    /// An operation that needs at least one row received an empty dataset.
+    EmptyDataset,
+    /// A requested attribute/column does not exist.
+    UnknownAttribute {
+        /// The attribute name that failed to resolve.
+        name: String,
+    },
+    /// A value fell outside its declared domain.
+    OutOfDomain {
+        /// Attribute involved.
+        attribute: String,
+        /// Offending value.
+        value: f64,
+    },
+    /// The dataset violates the paper's normalization contract
+    /// (`‖x‖₂ ≤ 1`, labels in the expected range).
+    NotNormalized {
+        /// What was violated.
+        detail: String,
+    },
+    /// Parameter validation failure (fold counts, sampling rates, …).
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Description of the constraint violated.
+        reason: String,
+    },
+    /// Underlying linear-algebra failure.
+    Linalg(fm_linalg::LinalgError),
+    /// I/O failure while reading or writing CSV.
+    Io(std::io::Error),
+    /// Malformed CSV content.
+    Parse {
+        /// Line number (1-based) where parsing failed.
+        line: usize,
+        /// Description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::LengthMismatch { rows, labels } => {
+                write!(f, "feature matrix has {rows} rows but {labels} labels")
+            }
+            DataError::EmptyDataset => write!(f, "dataset is empty"),
+            DataError::UnknownAttribute { name } => write!(f, "unknown attribute `{name}`"),
+            DataError::OutOfDomain { attribute, value } => {
+                write!(f, "value {value} outside the domain of `{attribute}`")
+            }
+            DataError::NotNormalized { detail } => write!(f, "dataset not normalized: {detail}"),
+            DataError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DataError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::Parse { line, detail } => write!(f, "CSV parse error at line {line}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Linalg(e) => Some(e),
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fm_linalg::LinalgError> for DataError {
+    fn from(e: fm_linalg::LinalgError) -> Self {
+        DataError::Linalg(e)
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}

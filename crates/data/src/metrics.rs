@@ -1,0 +1,155 @@
+//! The paper's two accuracy measures (Section 7), plus common companions.
+//!
+//! * Linear regression: **mean squared error**
+//!   `(1/n)·Σ (y_i − x_iᵀω)²` on held-out data.
+//! * Logistic regression: **misclassification rate** — the fraction of
+//!   tuples whose predicted class (`P(y=1|x) > 0.5`) differs from the label.
+
+/// Mean squared error between predictions and targets.
+///
+/// Returns `0.0` for empty input (a convention the CV harness relies on
+/// never hitting; fold construction guarantees non-empty test sets).
+#[must_use]
+pub fn mse(predictions: &[f64], targets: &[f64]) -> f64 {
+    debug_assert_eq!(predictions.len(), targets.len(), "mse: length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Mean absolute error.
+#[must_use]
+pub fn mae(predictions: &[f64], targets: &[f64]) -> f64 {
+    debug_assert_eq!(predictions.len(), targets.len(), "mae: length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Coefficient of determination `R²` (1 − SS_res/SS_tot); `0.0` when the
+/// targets are constant (SS_tot = 0) and the residual is non-zero.
+#[must_use]
+pub fn r_squared(predictions: &[f64], targets: &[f64]) -> f64 {
+    debug_assert_eq!(predictions.len(), targets.len(), "r²: length mismatch");
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+    let ss_tot: f64 = targets.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Fraction of probability predictions whose induced class
+/// (`p > 0.5` ⇒ class 1) differs from the `{0, 1}` label.
+#[must_use]
+pub fn misclassification_rate(probabilities: &[f64], labels: &[f64]) -> f64 {
+    debug_assert_eq!(
+        probabilities.len(),
+        labels.len(),
+        "misclassification: length mismatch"
+    );
+    if probabilities.is_empty() {
+        return 0.0;
+    }
+    let wrong = probabilities
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| f64::from(**p > 0.5) != **l)
+        .count();
+    wrong as f64 / probabilities.len() as f64
+}
+
+/// Classification accuracy (`1 − misclassification_rate`).
+#[must_use]
+pub fn accuracy(probabilities: &[f64], labels: &[f64]) -> f64 {
+    1.0 - misclassification_rate(probabilities, labels)
+}
+
+/// Mean and sample standard deviation of a score series — the aggregate the
+/// experiment harness reports over CV repeats.
+#[must_use]
+pub fn mean_and_std(scores: &[f64]) -> (f64, f64) {
+    (
+        fm_linalg::vecops::mean(scores),
+        fm_linalg::vecops::variance(scores).sqrt(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known_values() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mse(&[0.0, 0.0], &[3.0, 4.0]), 12.5);
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mae_known_values() {
+        assert_eq!(mae(&[0.0, 0.0], &[3.0, -4.0]), 3.5);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_predictor() {
+        let targets = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r_squared(&targets, &targets), 1.0);
+        let mean_preds = [2.5; 4];
+        assert!((r_squared(&mean_preds, &targets)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_constant_targets() {
+        assert_eq!(r_squared(&[2.0, 2.0], &[2.0, 2.0]), 1.0);
+        assert_eq!(r_squared(&[1.0, 3.0], &[2.0, 2.0]), 0.0);
+        assert_eq!(r_squared(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn misclassification_basics() {
+        // p > 0.5 ⇒ predicted 1.
+        let probs = [0.9, 0.2, 0.6, 0.4];
+        let labels = [1.0, 0.0, 0.0, 1.0];
+        assert_eq!(misclassification_rate(&probs, &labels), 0.5);
+        assert_eq!(accuracy(&probs, &labels), 0.5);
+        assert_eq!(misclassification_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn boundary_probability_is_class_zero() {
+        // The paper predicts 1 only when σ(xᵀω) > 0.5 strictly.
+        assert_eq!(misclassification_rate(&[0.5], &[0.0]), 0.0);
+        assert_eq!(misclassification_rate(&[0.5], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn mean_and_std_aggregation() {
+        let (m, s) = mean_and_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        let (m1, s1) = mean_and_std(&[5.0]);
+        assert_eq!((m1, s1), (5.0, 0.0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Seeded subsampling and train/test splitting.
+//!
+//! Table 2's first experimental axis varies the *sampling rate* from 0.1 to
+//! 1.0: each run draws a uniform random subset of the census and evaluates
+//! every method on it. Sampling here is deterministic given the RNG so a
+//! figure's series for different methods use the *same* subsets.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+
+/// Fisher–Yates shuffle of `0..n` driven by `rng`.
+#[must_use]
+pub fn shuffled_indices(rng: &mut impl Rng, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Draws a uniform subsample of `⌈rate · n⌉` rows (without replacement).
+///
+/// # Errors
+/// [`DataError::InvalidParameter`] unless `0 < rate ≤ 1`.
+pub fn subsample(data: &Dataset, rate: f64, rng: &mut impl Rng) -> Result<Dataset> {
+    if !(rate > 0.0 && rate <= 1.0) {
+        return Err(DataError::InvalidParameter {
+            name: "rate",
+            reason: format!("{rate} not in (0, 1]"),
+        });
+    }
+    let n = data.n();
+    let k = ((rate * n as f64).ceil() as usize).clamp(1, n);
+    if k == n {
+        return Ok(data.clone());
+    }
+    let idx = shuffled_indices(rng, n);
+    data.subset(&idx[..k])
+}
+
+/// Splits into `(train, test)` with `test_fraction` of rows held out.
+///
+/// # Errors
+/// [`DataError::InvalidParameter`] unless `0 < test_fraction < 1` leaves at
+/// least one row on each side.
+pub fn train_test_split(
+    data: &Dataset,
+    test_fraction: f64,
+    rng: &mut impl Rng,
+) -> Result<(Dataset, Dataset)> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(DataError::InvalidParameter {
+            name: "test_fraction",
+            reason: format!("{test_fraction} not in (0, 1)"),
+        });
+    }
+    let n = data.n();
+    let n_test = ((test_fraction * n as f64).round() as usize).clamp(1, n - 1);
+    let idx = shuffled_indices(rng, n);
+    let test = data.subset(&idx[..n_test])?;
+    let train = data.subset(&idx[n_test..])?;
+    Ok((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_linalg::Matrix;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 2, |r, c| (r * 2 + c) as f64);
+        let y = (0..n).map(|i| i as f64).collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = rng();
+        let idx = shuffled_indices(&mut r, 100);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_actually_shuffles() {
+        let mut r = rng();
+        let idx = shuffled_indices(&mut r, 100);
+        assert_ne!(idx, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subsample_size() {
+        let ds = dataset(100);
+        let mut r = rng();
+        assert_eq!(subsample(&ds, 0.3, &mut r).unwrap().n(), 30);
+        assert_eq!(subsample(&ds, 1.0, &mut r).unwrap().n(), 100);
+        assert_eq!(subsample(&ds, 0.001, &mut r).unwrap().n(), 1);
+    }
+
+    #[test]
+    fn subsample_validates_rate() {
+        let ds = dataset(10);
+        let mut r = rng();
+        assert!(subsample(&ds, 0.0, &mut r).is_err());
+        assert!(subsample(&ds, 1.5, &mut r).is_err());
+        assert!(subsample(&ds, -0.2, &mut r).is_err());
+        assert!(subsample(&ds, f64::NAN, &mut r).is_err());
+    }
+
+    #[test]
+    fn subsample_rows_come_from_source() {
+        let ds = dataset(50);
+        let mut r = rng();
+        let sub = subsample(&ds, 0.2, &mut r).unwrap();
+        for (x, y) in sub.tuples() {
+            // Row content encodes its original index.
+            assert_eq!(x[0], y * 2.0);
+            assert_eq!(x[1], y * 2.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let ds = dataset(100);
+        let mut r = rng();
+        let (train, test) = train_test_split(&ds, 0.2, &mut r).unwrap();
+        assert_eq!(train.n(), 80);
+        assert_eq!(test.n(), 20);
+        // Disjoint: label values identify original rows.
+        let mut seen: Vec<f64> = train.y().to_vec();
+        seen.extend_from_slice(test.y());
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn split_validates_fraction() {
+        let ds = dataset(10);
+        let mut r = rng();
+        assert!(train_test_split(&ds, 0.0, &mut r).is_err());
+        assert!(train_test_split(&ds, 1.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset(40);
+        let a = subsample(&ds, 0.5, &mut rng()).unwrap();
+        let b = subsample(&ds, 0.5, &mut rng()).unwrap();
+        assert_eq!(a.y(), b.y());
+    }
+}

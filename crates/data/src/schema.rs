@@ -1,0 +1,252 @@
+//! Attribute metadata: names and value domains.
+//!
+//! Domains matter for two reasons. First, the paper's normalization
+//! (footnote 1) maps each attribute by its domain bounds `[α_j, β_j]` —
+//! using *domain* bounds rather than observed min/max keeps the map
+//! data-independent, which the privacy analysis requires. Second, the DPME
+//! and Filter-Priority baselines build histograms over the attribute
+//! domains, so they need cardinalities and bounds up front.
+
+use crate::{DataError, Result};
+
+/// The kind and domain of a single attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributeKind {
+    /// Real-valued in `[min, max]`.
+    Continuous {
+        /// Domain lower bound `α_j`.
+        min: f64,
+        /// Domain upper bound `β_j`.
+        max: f64,
+    },
+    /// Integer-valued in `[min, max]` (stored as `f64` in datasets).
+    Integer {
+        /// Domain lower bound.
+        min: i64,
+        /// Domain upper bound.
+        max: i64,
+    },
+    /// Binary `{0, 1}`.
+    Binary,
+}
+
+impl AttributeKind {
+    /// Domain bounds as floats `(α_j, β_j)`.
+    #[must_use]
+    pub fn bounds(&self) -> (f64, f64) {
+        match *self {
+            AttributeKind::Continuous { min, max } => (min, max),
+            AttributeKind::Integer { min, max } => (min as f64, max as f64),
+            AttributeKind::Binary => (0.0, 1.0),
+        }
+    }
+
+    /// `true` when `v` lies inside the domain (integers are not checked for
+    /// integrality — census codes arrive as floats).
+    #[must_use]
+    pub fn contains(&self, v: f64) -> bool {
+        let (lo, hi) = self.bounds();
+        (lo..=hi).contains(&v)
+    }
+
+    /// Number of distinct values for discrete kinds; `None` for continuous.
+    #[must_use]
+    pub fn cardinality(&self) -> Option<usize> {
+        match *self {
+            AttributeKind::Continuous { .. } => None,
+            AttributeKind::Integer { min, max } => Some((max - min + 1).max(0) as usize),
+            AttributeKind::Binary => Some(2),
+        }
+    }
+}
+
+/// A named attribute with its domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Kind and domain.
+    pub kind: AttributeKind,
+}
+
+/// An ordered collection of attributes describing a dataset's columns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    #[must_use]
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Appends an attribute (builder style).
+    #[must_use]
+    pub fn with(mut self, name: &str, kind: AttributeKind) -> Self {
+        self.attributes.push(Attribute {
+            name: name.to_string(),
+            kind,
+        });
+        self
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// `true` when the schema has no attributes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// The attributes in column order.
+    #[must_use]
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Looks up an attribute by name.
+    ///
+    /// # Errors
+    /// [`DataError::UnknownAttribute`] when absent.
+    pub fn attribute(&self, name: &str) -> Result<&Attribute> {
+        self.attributes
+            .iter()
+            .find(|a| a.name == name)
+            .ok_or_else(|| DataError::UnknownAttribute {
+                name: name.to_string(),
+            })
+    }
+
+    /// Column index of an attribute.
+    ///
+    /// # Errors
+    /// [`DataError::UnknownAttribute`] when absent.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| DataError::UnknownAttribute {
+                name: name.to_string(),
+            })
+    }
+
+    /// Attribute names in column order.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.attributes.iter().map(|a| a.name.clone()).collect()
+    }
+
+    /// A new schema restricted to (and reordered by) `names`.
+    ///
+    /// # Errors
+    /// [`DataError::UnknownAttribute`] for any unmatched name.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut out = Schema::new();
+        for &n in names {
+            let a = self.attribute(n)?;
+            out.attributes.push(a.clone());
+        }
+        Ok(out)
+    }
+
+    /// Validates that `row` (one value per attribute) lies inside every
+    /// attribute domain.
+    ///
+    /// # Errors
+    /// [`DataError::OutOfDomain`] naming the first violation;
+    /// [`DataError::LengthMismatch`] on arity mismatch.
+    pub fn validate_row(&self, row: &[f64]) -> Result<()> {
+        if row.len() != self.len() {
+            return Err(DataError::LengthMismatch {
+                rows: row.len(),
+                labels: self.len(),
+            });
+        }
+        for (a, &v) in self.attributes.iter().zip(row) {
+            if !a.kind.contains(v) {
+                return Err(DataError::OutOfDomain {
+                    attribute: a.name.clone(),
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .with("age", AttributeKind::Integer { min: 16, max: 95 })
+            .with("gender", AttributeKind::Binary)
+            .with("income", AttributeKind::Continuous { min: 0.0, max: 500_000.0 })
+    }
+
+    #[test]
+    fn bounds_and_cardinality() {
+        assert_eq!(AttributeKind::Binary.bounds(), (0.0, 1.0));
+        assert_eq!(AttributeKind::Binary.cardinality(), Some(2));
+        let age = AttributeKind::Integer { min: 16, max: 95 };
+        assert_eq!(age.bounds(), (16.0, 95.0));
+        assert_eq!(age.cardinality(), Some(80));
+        let inc = AttributeKind::Continuous { min: 0.0, max: 1.0 };
+        assert_eq!(inc.cardinality(), None);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let age = AttributeKind::Integer { min: 16, max: 95 };
+        assert!(age.contains(16.0));
+        assert!(age.contains(95.0));
+        assert!(!age.contains(15.9));
+        assert!(!age.contains(96.0));
+    }
+
+    #[test]
+    fn lookup_and_index() {
+        let s = schema();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.index_of("gender").unwrap(), 1);
+        assert!(s.attribute("income").is_ok());
+        assert!(matches!(
+            s.attribute("nope"),
+            Err(DataError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn names_in_order() {
+        assert_eq!(schema().names(), vec!["age", "gender", "income"]);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = schema().project(&["income", "age"]).unwrap();
+        assert_eq!(s.names(), vec!["income", "age"]);
+        assert!(schema().project(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn validate_row_checks_domains() {
+        let s = schema();
+        s.validate_row(&[30.0, 1.0, 50_000.0]).unwrap();
+        assert!(matches!(
+            s.validate_row(&[10.0, 1.0, 50_000.0]),
+            Err(DataError::OutOfDomain { .. })
+        ));
+        assert!(matches!(
+            s.validate_row(&[30.0, 1.0]),
+            Err(DataError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,300 @@
+//! Minimal synthetic generators with known ground truth.
+//!
+//! Unlike [`crate::census`] (which mimics a messy real-world table), these
+//! produce datasets *already in the paper's normalized domain* — features on
+//! the unit sphere, labels in `[−1, 1]` or `{0, 1}` — from a known
+//! parameter vector `ω*`. They back unit tests, examples, and the
+//! convergence experiments for Theorem 2 (output of Algorithm 1 approaches
+//! the true minimiser as `n → ∞`).
+
+use rand::Rng;
+
+use fm_linalg::{vecops, Matrix};
+use fm_privacy::gaussian;
+
+use crate::dataset::Dataset;
+
+/// Draws a feature vector uniformly from the `d`-dimensional ball of radius
+/// `radius` (Muller's method: normalized Gaussian direction × scaled radius).
+pub fn sample_in_ball(rng: &mut impl Rng, d: usize, radius: f64) -> Vec<f64> {
+    let mut x = vec![0.0; d];
+    gaussian::standard_normal_into(rng, &mut x);
+    let norm = vecops::norm2(&x);
+    if norm == 0.0 {
+        return x; // measure-zero: origin is fine
+    }
+    // r ~ radius · U^{1/d} gives uniform volume density.
+    let r = radius * rng.gen::<f64>().powf(1.0 / d as f64);
+    vecops::scale(r / norm, &mut x);
+    x
+}
+
+/// A ground-truth parameter vector with entries in `[−1/√d, 1/√d]`
+/// (bounded so that `|xᵀω*| ≤ 1`, keeping clean labels in `[−1, 1]`).
+pub fn ground_truth_weights(rng: &mut impl Rng, d: usize) -> Vec<f64> {
+    let bound = 1.0 / (d as f64).sqrt();
+    (0..d).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+/// Generates a linear-regression dataset `y = xᵀω* + N(0, noise_std)`,
+/// clamped to `[−1, 1]`, with `x` uniform in the unit ball.
+///
+/// The returned dataset satisfies Definition 1's contract exactly.
+pub fn linear_dataset(rng: &mut impl Rng, n: usize, d: usize, noise_std: f64) -> Dataset {
+    let w = ground_truth_weights(rng, d);
+    linear_dataset_with_weights(rng, n, &w, noise_std)
+}
+
+/// As [`linear_dataset`] but with caller-supplied ground truth `ω*`.
+pub fn linear_dataset_with_weights(
+    rng: &mut impl Rng,
+    n: usize,
+    w: &[f64],
+    noise_std: f64,
+) -> Dataset {
+    let d = w.len();
+    let mut data = Vec::with_capacity(n * d);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = sample_in_ball(rng, d, 1.0);
+        let label = (vecops::dot(&x, w) + gaussian::normal(rng, 0.0, noise_std)).clamp(-1.0, 1.0);
+        data.extend_from_slice(&x);
+        y.push(label);
+    }
+    let x = Matrix::from_vec(n, d, data).expect("sized data");
+    Dataset::new(x, y).expect("non-empty by construction")
+}
+
+/// Generates a logistic-regression dataset: `P(y = 1 | x) = σ(s·xᵀω*)`
+/// with `x` uniform in the unit ball and `s` a steepness factor (larger
+/// `s` ⇒ more separable classes).
+///
+/// The returned dataset satisfies Definition 2's contract exactly.
+pub fn logistic_dataset(rng: &mut impl Rng, n: usize, d: usize, steepness: f64) -> Dataset {
+    let w = ground_truth_weights(rng, d);
+    logistic_dataset_with_weights(rng, n, &w, steepness)
+}
+
+/// As [`logistic_dataset`] but with caller-supplied ground truth `ω*`.
+pub fn logistic_dataset_with_weights(
+    rng: &mut impl Rng,
+    n: usize,
+    w: &[f64],
+    steepness: f64,
+) -> Dataset {
+    let d = w.len();
+    let mut data = Vec::with_capacity(n * d);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = sample_in_ball(rng, d, 1.0);
+        let p = 1.0 / (1.0 + (-steepness * vecops::dot(&x, w)).exp());
+        let label = f64::from(rng.gen_bool(p.clamp(0.0, 1.0)));
+        data.extend_from_slice(&x);
+        y.push(label);
+    }
+    let x = Matrix::from_vec(n, d, data).expect("sized data");
+    Dataset::new(x, y).expect("non-empty by construction")
+}
+
+/// Draws from a Poisson distribution with mean `rate` via Knuth's
+/// multiplication method — exact, and O(rate) per draw, which is fine for
+/// the small rates (`≤ e`) that normalized-domain Poisson regression
+/// produces.
+///
+/// # Panics
+/// Debug-asserts `rate` is finite and non-negative (generator-internal use).
+pub fn sample_poisson(rng: &mut impl Rng, rate: f64) -> u64 {
+    debug_assert!(rate.is_finite() && rate >= 0.0, "rate {rate}");
+    if rate == 0.0 {
+        return 0;
+    }
+    let limit = (-rate).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Generates a Poisson-regression dataset: `y ~ Poisson(exp(xᵀω*))` with
+/// `x` uniform in the unit ball, counts clipped to `y_max` (the bounded-
+/// label contract DP Poisson regression requires for finite sensitivity).
+///
+/// With `‖ω*‖ ≤ 1` the rates lie in `[1/e, e]`, so a cap of 8–10 clips
+/// essentially nothing (P[Poisson(e) > 8] < 0.3%).
+pub fn poisson_dataset(rng: &mut impl Rng, n: usize, d: usize, y_max: f64) -> Dataset {
+    let w = ground_truth_weights(rng, d);
+    poisson_dataset_with_weights(rng, n, &w, y_max)
+}
+
+/// As [`poisson_dataset`] but with caller-supplied ground truth `ω*`.
+pub fn poisson_dataset_with_weights(
+    rng: &mut impl Rng,
+    n: usize,
+    w: &[f64],
+    y_max: f64,
+) -> Dataset {
+    let d = w.len();
+    let mut data = Vec::with_capacity(n * d);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = sample_in_ball(rng, d, 1.0);
+        let rate = vecops::dot(&x, w).exp();
+        let count = (sample_poisson(rng, rate) as f64).min(y_max);
+        data.extend_from_slice(&x);
+        y.push(count);
+    }
+    let x = Matrix::from_vec(n, d, data).expect("sized data");
+    Dataset::new(x, y).expect("non-empty by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn ball_samples_stay_inside() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let x = sample_in_ball(&mut r, 5, 1.0);
+            assert!(vecops::norm2(&x) <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ball_samples_fill_the_volume() {
+        // Mean radius of uniform-in-ball in d dims is d/(d+1).
+        let mut r = rng();
+        let d = 3;
+        let n = 20_000;
+        let mean_r: f64 = (0..n)
+            .map(|_| vecops::norm2(&sample_in_ball(&mut r, d, 1.0)))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_r - 0.75).abs() < 0.01, "mean radius {mean_r}");
+    }
+
+    #[test]
+    fn ground_truth_keeps_labels_bounded() {
+        let mut r = rng();
+        let w = ground_truth_weights(&mut r, 8);
+        assert!(vecops::norm_inf(&w) <= 1.0 / (8.0_f64).sqrt());
+    }
+
+    #[test]
+    fn linear_dataset_contract() {
+        let mut r = rng();
+        let ds = linear_dataset(&mut r, 300, 4, 0.05);
+        assert_eq!(ds.n(), 300);
+        assert_eq!(ds.d(), 4);
+        ds.check_normalized_linear().unwrap();
+    }
+
+    #[test]
+    fn noiseless_linear_dataset_is_exact() {
+        let mut r = rng();
+        let w = vec![0.2, -0.3];
+        let ds = linear_dataset_with_weights(&mut r, 100, &w, 0.0);
+        for (x, y) in ds.tuples() {
+            assert!((vecops::dot(x, &w) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn logistic_dataset_contract() {
+        let mut r = rng();
+        let ds = logistic_dataset(&mut r, 300, 4, 8.0);
+        ds.check_normalized_logistic().unwrap();
+        // Both classes should appear.
+        let ones = ds.y().iter().filter(|&&v| v == 1.0).count();
+        assert!(ones > 0 && ones < 300);
+    }
+
+    #[test]
+    fn steeper_logistic_is_more_separable() {
+        let mut r = rng();
+        let w = vec![0.5, 0.5];
+        // With huge steepness labels almost equal sign(xᵀω).
+        let ds = logistic_dataset_with_weights(&mut r, 2_000, &w, 100.0);
+        let agree = ds
+            .tuples()
+            .filter(|(x, y)| f64::from(vecops::dot(x, &w) > 0.0) == *y)
+            .count() as f64
+            / 2_000.0;
+        assert!(agree > 0.95, "agreement {agree}");
+    }
+
+    #[test]
+    fn reproducibility() {
+        let a = linear_dataset(&mut rng(), 50, 3, 0.1);
+        let b = linear_dataset(&mut rng(), 50, 3, 0.1);
+        assert_eq!(a.y(), b.y());
+    }
+
+    #[test]
+    fn poisson_sampler_matches_mean_and_variance() {
+        let mut r = rng();
+        let rate = 2.3;
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_poisson(&mut r, rate) as f64).collect();
+        let mean = vecops::mean(&samples);
+        let var = vecops::variance(&samples);
+        // Poisson: mean = variance = rate.
+        assert!((mean - rate).abs() < 0.05, "mean {mean}");
+        assert!((var - rate).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_sampler_zero_rate() {
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(sample_poisson(&mut r, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn poisson_dataset_contract() {
+        let mut r = rng();
+        let ds = poisson_dataset(&mut r, 500, 3, 8.0);
+        assert_eq!(ds.n(), 500);
+        ds.check_normalized_counts(8.0).unwrap();
+        // Counts are non-negative integers under the cap.
+        for &y in ds.y() {
+            assert!((0.0..=8.0).contains(&y) && y.fract() == 0.0);
+        }
+        // A healthy mix of zero and positive counts (rates ∈ [1/e, e]).
+        let zeros = ds.y().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 50 && zeros < 450, "zeros {zeros}");
+    }
+
+    #[test]
+    fn poisson_dataset_mean_tracks_ground_truth_rate() {
+        let mut r = rng();
+        let w = vec![0.6, 0.0];
+        let ds = poisson_dataset_with_weights(&mut r, 60_000, &w, 20.0);
+        // E[y | x] = exp(0.6·x₀): check the aggregate over the positive-x₀
+        // half vs the negative-x₀ half.
+        let (mut hi_sum, mut hi_n, mut lo_sum, mut lo_n) = (0.0, 0usize, 0.0, 0usize);
+        for (x, y) in ds.tuples() {
+            if x[0] > 0.3 {
+                hi_sum += y;
+                hi_n += 1;
+            } else if x[0] < -0.3 {
+                lo_sum += y;
+                lo_n += 1;
+            }
+        }
+        let hi_mean = hi_sum / hi_n as f64;
+        let lo_mean = lo_sum / lo_n as f64;
+        assert!(hi_mean > lo_mean * 1.3, "hi {hi_mean} lo {lo_mean}");
+    }
+}

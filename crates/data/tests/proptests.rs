@@ -1,0 +1,270 @@
+//! Property-based tests for the data substrate: the normalization contract
+//! (which the entire privacy argument rests on), CV partition laws, CSV
+//! round-trips, and metric identities.
+
+use fm_data::cv::KFold;
+use fm_data::normalize::Normalizer;
+use fm_data::{csv, metrics, sampling, Dataset};
+use fm_linalg::Matrix;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// A random raw dataset with per-feature domains, for normalizer fuzzing.
+fn raw_dataset() -> impl Strategy<Value = (Dataset, Vec<(f64, f64)>, (f64, f64))> {
+    (1usize..6, 1usize..30).prop_flat_map(|(d, n)| {
+        let bounds = proptest::collection::vec((-100.0..0.0f64, 1.0..100.0f64), d);
+        let label_bounds = (-50.0..0.0f64, 1.0..50.0f64);
+        (bounds, label_bounds, proptest::collection::vec(-200.0..200.0f64, n * (d + 1)))
+            .prop_map(move |(bounds, label_bounds, values)| {
+                let x = Matrix::from_vec(n, d, values[..n * d].to_vec()).unwrap();
+                let y = values[n * d..].to_vec();
+                (Dataset::new(x, y).unwrap(), bounds, label_bounds)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Footnote 1's guarantee: *whatever* raw values arrive (even outside
+    /// the declared domain — they are clamped), the normalized dataset
+    /// satisfies Definition 1's contract exactly.
+    #[test]
+    fn normalizer_always_produces_contract_data((raw, bounds, label_bounds) in raw_dataset()) {
+        let norm = Normalizer::from_bounds(bounds, label_bounds).unwrap();
+        let linear = norm.normalize_linear(&raw).unwrap();
+        linear.check_normalized_linear().unwrap();
+        prop_assert!(linear.max_feature_norm() <= 1.0 + 1e-9);
+
+        let logistic = norm.normalize_logistic(&raw, 0.0).unwrap();
+        logistic.check_normalized_logistic().unwrap();
+    }
+
+    #[test]
+    fn label_map_roundtrips_inside_domain(
+        lo in -100.0..0.0f64,
+        width in 1.0..200.0f64,
+        t in 0.0..1.0f64,
+    ) {
+        let hi = lo + width;
+        let norm = Normalizer::from_bounds(vec![(0.0, 1.0)], (lo, hi)).unwrap();
+        let y = lo + t * width;
+        let round = norm.denormalize_label(norm.normalize_label(y));
+        prop_assert!((round - y).abs() <= 1e-9 * (1.0 + y.abs()));
+        // Normalized values live in [−1, 1].
+        let z = norm.normalize_label(y);
+        prop_assert!((-1.0..=1.0).contains(&z));
+    }
+
+    #[test]
+    fn kfold_is_a_partition(n in 6usize..200, k in 2usize..6, seed in 0u64..1000) {
+        prop_assume!(k <= n);
+        let mut r = rng(seed);
+        let kf = KFold::new(n, k, &mut r).unwrap();
+        let mut seen = vec![0u32; n];
+        for fold in kf.folds() {
+            for &i in &fold.test {
+                seen[i] += 1;
+            }
+            // train ∪ test covers all rows exactly once per fold.
+            prop_assert_eq!(fold.train.len() + fold.test.len(), n);
+            let mut all: Vec<usize> = fold.train.iter().chain(&fold.test).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+        // Every row appears in exactly one test fold.
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn subsample_sizes_and_provenance(n in 5usize..100, rate in 0.05..1.0f64, seed in 0u64..100) {
+        let x = Matrix::from_fn(n, 1, |r, _| r as f64);
+        let ds = Dataset::new(x, (0..n).map(|i| i as f64).collect()).unwrap();
+        let mut r = rng(seed);
+        let sub = sampling::subsample(&ds, rate, &mut r).unwrap();
+        prop_assert_eq!(sub.n(), ((rate * n as f64).ceil() as usize).clamp(1, n));
+        // Every sampled row exists in the source (content check) and rows
+        // are distinct (sampling without replacement).
+        let mut labels: Vec<f64> = sub.y().to_vec();
+        labels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        labels.dedup();
+        prop_assert_eq!(labels.len(), sub.n());
+        prop_assert!(sub.y().iter().all(|&v| v >= 0.0 && v < n as f64));
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_everything(
+        (n, d) in (1usize..20, 1usize..5),
+        seed in 0u64..100,
+    ) {
+        let mut r = rng(seed);
+        let data = fm_data::synth::linear_dataset(&mut r, n, d, 0.1);
+        let mut buf = Vec::new();
+        csv::write_dataset_to(&data, &mut buf).unwrap();
+        let back = csv::read_dataset_from(&buf[..]).unwrap();
+        prop_assert_eq!(back.n(), data.n());
+        prop_assert_eq!(back.d(), data.d());
+        for (a, b) in back.y().iter().zip(data.y()) {
+            prop_assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()));
+        }
+        for (a, b) in back.x().as_slice().iter().zip(data.x().as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn mse_identities(preds in proptest::collection::vec(-5.0..5.0f64, 1..32)) {
+        // MSE(x, x) = 0; MSE is symmetric; shifting by c adds c².
+        let targets: Vec<f64> = preds.iter().map(|v| v + 1.5).collect();
+        prop_assert!(metrics::mse(&preds, &preds) == 0.0);
+        let a = metrics::mse(&preds, &targets);
+        let b = metrics::mse(&targets, &preds);
+        prop_assert!((a - b).abs() <= 1e-12);
+        prop_assert!((a - 2.25).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn misclassification_complements_accuracy(
+        probs in proptest::collection::vec(0.0..1.0f64, 1..64),
+        seed in 0u64..100,
+    ) {
+        let mut r = rng(seed);
+        let labels: Vec<f64> = probs.iter().map(|_| f64::from(rand::Rng::gen_bool(&mut r, 0.5))).collect();
+        let err = metrics::misclassification_rate(&probs, &labels);
+        let acc = metrics::accuracy(&probs, &labels);
+        prop_assert!((err + acc - 1.0).abs() <= 1e-12);
+        prop_assert!((0.0..=1.0).contains(&err));
+    }
+
+    #[test]
+    fn r_squared_never_exceeds_one(
+        targets in proptest::collection::vec(-5.0..5.0f64, 2..32),
+        noise in proptest::collection::vec(-1.0..1.0f64, 2..32),
+    ) {
+        let n = targets.len().min(noise.len());
+        let preds: Vec<f64> = targets[..n].iter().zip(&noise[..n]).map(|(t, e)| t + e).collect();
+        let r2 = metrics::r_squared(&preds, &targets[..n]);
+        prop_assert!(r2 <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn select_features_preserves_rows(
+        (n, d) in (2usize..20, 2usize..5),
+        seed in 0u64..100,
+    ) {
+        let mut r = rng(seed);
+        let data = fm_data::synth::linear_dataset(&mut r, n, d, 0.1);
+        let names: Vec<&str> = data.feature_names().iter().map(String::as_str).collect();
+        // Reverse the column order.
+        let reversed: Vec<&str> = names.iter().rev().copied().collect();
+        let sel = data.select_features(&reversed).unwrap();
+        prop_assert_eq!(sel.n(), data.n());
+        prop_assert_eq!(sel.d(), d);
+        for i in 0..n {
+            for j in 0..d {
+                prop_assert_eq!(sel.x()[(i, j)], data.x()[(i, d - 1 - j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn census_records_respect_their_schema(seed in 0u64..200, us in proptest::bool::ANY) {
+        // Every generated attribute value must lie inside its declared
+        // public domain — the property the footnote-1 normalizer (and thus
+        // the whole sensitivity analysis) assumes.
+        use fm_data::census::{self, CensusProfile};
+        let profile = if us { CensusProfile::us() } else { CensusProfile::brazil() };
+        let mut r = rng(seed);
+        let data = census::generate(&profile, 50, &mut r).unwrap();
+        let schema = census::schema(&profile);
+        for (row, _) in data.tuples() {
+            for (j, name) in data.feature_names().iter().enumerate() {
+                let attr = schema.attribute(name).unwrap();
+                prop_assert!(
+                    attr.kind.contains(row[j]),
+                    "{name} = {} outside declared domain",
+                    row[j]
+                );
+            }
+        }
+        // Income is positive and finite.
+        prop_assert!(data.y().iter().all(|&y| y.is_finite() && y > 0.0));
+    }
+
+    #[test]
+    fn census_generation_is_seed_deterministic(seed in 0u64..200) {
+        use fm_data::census::{self, CensusProfile};
+        let gen = |s: u64| {
+            let mut r = rng(s);
+            census::generate(&CensusProfile::us(), 30, &mut r).unwrap()
+        };
+        let a = gen(seed);
+        let b = gen(seed);
+        prop_assert_eq!(a.y(), b.y());
+        prop_assert!(a.x().approx_eq(b.x(), 0.0));
+    }
+
+    #[test]
+    fn train_test_split_is_a_partition(
+        n in 4usize..100,
+        frac in 0.1..0.9f64,
+        seed in 0u64..100,
+    ) {
+        let mut r = rng(seed);
+        let data = fm_data::synth::linear_dataset(&mut r, n, 2, 0.1);
+        if let Ok((train, test)) = fm_data::cv::train_test_split(&data, frac, &mut r) {
+            prop_assert_eq!(train.n() + test.n(), n);
+            // Multisets of labels must match the original exactly.
+            let mut all: Vec<f64> = train.y().iter().chain(test.y()).copied().collect();
+            let mut orig = data.y().to_vec();
+            all.sort_by(f64::total_cmp);
+            orig.sort_by(f64::total_cmp);
+            prop_assert_eq!(all, orig);
+        }
+    }
+
+    #[test]
+    fn poisson_counts_within_cap(
+        n in 1usize..100,
+        y_max in 1.0..20.0f64,
+        seed in 0u64..100,
+    ) {
+        let mut r = rng(seed);
+        let data = fm_data::synth::poisson_dataset(&mut r, n, 3, y_max);
+        prop_assert!(data.check_normalized_counts(y_max).is_ok());
+        // Labels are integer counts, except where clipping hit a fractional
+        // cap exactly.
+        prop_assert!(data
+            .y()
+            .iter()
+            .all(|&y| y >= 0.0 && y <= y_max && (y.fract() == 0.0 || y == y_max)));
+    }
+
+    #[test]
+    fn intercept_augmentation_contract_and_equivalence(
+        n in 1usize..40,
+        d in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut r = rng(seed);
+        let data = fm_data::synth::linear_dataset(&mut r, n, d, 0.1);
+        let aug = data.augment_for_intercept();
+        prop_assert_eq!(aug.d(), d + 1);
+        prop_assert!(aug.check_normalized_linear().is_ok());
+        // Prediction equivalence: x'ᵀ(√2 ω, √2 b) = xᵀω + b for random ω, b.
+        let omega: Vec<f64> = (0..d).map(|i| ((i * 13 + 5) % 7) as f64 / 7.0 - 0.5).collect();
+        let b = 0.3;
+        let mut omega_aug: Vec<f64> =
+            omega.iter().map(|w| w * std::f64::consts::SQRT_2).collect();
+        omega_aug.push(b * std::f64::consts::SQRT_2);
+        for i in 0..n {
+            let lhs = fm_linalg::vecops::dot(aug.tuple(i).0, &omega_aug);
+            let rhs = fm_linalg::vecops::dot(data.tuple(i).0, &omega) + b;
+            prop_assert!((lhs - rhs).abs() <= 1e-12 * (1.0 + rhs.abs()));
+        }
+    }
+}

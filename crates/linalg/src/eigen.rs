@@ -1,0 +1,314 @@
+// Triangular/banded access patterns read better with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Off-diagonal Frobenius mass below which the Jacobi sweep terminates,
+/// relative to the input's Frobenius norm.
+const JACOBI_REL_TOL: f64 = 1e-14;
+
+/// Maximum number of full Jacobi sweeps. For symmetric matrices the
+/// off-diagonal mass converges quadratically, so well-conditioned inputs
+/// finish in < 10 sweeps even at n = 100; this cap only guards degenerate
+/// floating-point input.
+const MAX_SWEEPS: usize = 100;
+
+/// Full eigendecomposition `A = V·Λ·Vᵀ` of a symmetric matrix, via the
+/// cyclic Jacobi rotation algorithm.
+///
+/// This is the engine behind the paper's *spectral trimming* post-processing
+/// (Section 6.2): the noisy Hessian `M* + λI` is eigendecomposed, its
+/// non-positive eigenvalues are discarded, and the optimisation proceeds in
+/// the positive eigenspace. Jacobi is the right algorithm here — it is
+/// simple, unconditionally stable for symmetric input, and produces an
+/// orthonormal eigenbasis to machine precision, which Section 6.2 relies on
+/// to invert `Q'ω = V` via a transpose.
+///
+/// Eigenvalues are returned in **descending** order with eigenvectors as the
+/// *columns* of [`SymmetricEigen::vectors`] (so `vectors.col(i)` pairs with
+/// `values[i]`). In the paper's notation `M = QᵀΛQ` where the rows of `Q`
+/// are eigenvectors; thus `Q = Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    values: Vec<f64>,
+    vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Decomposes a symmetric matrix.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] / [`LinalgError::Empty`] on bad shape.
+    /// * [`LinalgError::NotSymmetric`] when symmetry is violated beyond
+    ///   `1e-9` absolute.
+    /// * [`LinalgError::NoConvergence`] if the sweep cap is exhausted
+    ///   (non-finite input is the only practical cause).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if !a.is_symmetric(1e-9) {
+            return Err(LinalgError::NotSymmetric);
+        }
+
+        let mut m = a.clone();
+        m.symmetrize()?; // remove any sub-tolerance asymmetry exactly
+        let mut v = Matrix::identity(n);
+        let scale = m.frobenius_norm().max(f64::MIN_POSITIVE);
+        let tol = JACOBI_REL_TOL * scale;
+
+        let mut converged = false;
+        let mut sweeps = 0;
+        while sweeps < MAX_SWEEPS {
+            sweeps += 1;
+            let off = off_diagonal_norm(&m);
+            if off <= tol {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    jacobi_rotate(&mut m, &mut v, p, q);
+                }
+            }
+        }
+        // A final tolerance check in case the last sweep finished the job.
+        if !converged && off_diagonal_norm(&m) > tol {
+            return Err(LinalgError::NoConvergence {
+                algorithm: "jacobi",
+                iterations: sweeps,
+            });
+        }
+
+        // Extract and sort descending, permuting eigenvector columns along.
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag = m.diagonal();
+        order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+        let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+        let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+        Ok(SymmetricEigen { values, vectors })
+    }
+
+    /// Eigenvalues in descending order.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Orthonormal eigenvectors as matrix columns, ordered to match
+    /// [`SymmetricEigen::values`].
+    #[must_use]
+    pub fn vectors(&self) -> &Matrix {
+        &self.vectors
+    }
+
+    /// Number of eigenvalues strictly greater than `threshold`.
+    #[must_use]
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.values.iter().filter(|&&v| v > threshold).count()
+    }
+
+    /// Reconstructs `V·Λ·Vᵀ` — useful for validation and for building the
+    /// trimmed operator in Section 6.2.
+    #[must_use]
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        let mut out = Matrix::zeros(n, n);
+        for k in 0..n {
+            let col = self.vectors.col(k);
+            // out += λ_k · v_k v_kᵀ
+            out.rank1_update(self.values[k], &col)
+                .expect("eigenvector length equals dimension");
+        }
+        out
+    }
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut sum = 0.0;
+    for r in 0..n {
+        for c in (r + 1)..n {
+            sum += 2.0 * m[(r, c)] * m[(r, c)];
+        }
+    }
+    sum.sqrt()
+}
+
+/// One Jacobi rotation zeroing `m[p][q]` (and `m[q][p]`), accumulating the
+/// rotation into `v`.
+fn jacobi_rotate(m: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    if apq == 0.0 {
+        return;
+    }
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let theta = (aqq - app) / (2.0 * apq);
+    // Stable tangent computation (Golub & Van Loan, Alg. 8.4.1).
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        1.0 / (theta - (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+    let n = m.rows();
+
+    // Update rows/cols p and q of the symmetric matrix.
+    for k in 0..n {
+        if k != p && k != q {
+            let akp = m[(k, p)];
+            let akq = m[(k, q)];
+            m[(k, p)] = c * akp - s * akq;
+            m[(p, k)] = m[(k, p)];
+            m[(k, q)] = s * akp + c * akq;
+            m[(q, k)] = m[(k, q)];
+        }
+    }
+    m[(p, p)] = app - t * apq;
+    m[(q, q)] = aqq + t * apq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+
+    // Accumulate rotation into the eigenvector matrix.
+    for k in 0..n {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_sorted() {
+        let m = Matrix::from_diagonal(&[1.0, 5.0, 3.0]);
+        let e = SymmetricEigen::new(&m).unwrap();
+        assert!(vecops::approx_eq(e.values(), &[5.0, 3.0, 1.0], 1e-12));
+    }
+
+    #[test]
+    fn known_2x2_spectrum() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = SymmetricEigen::new(&m).unwrap();
+        assert!(vecops::approx_eq(e.values(), &[3.0, 1.0], 1e-12));
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors().col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn indefinite_matrix_negative_eigenvalue() {
+        // [[1,2],[2,1]] has eigenvalues 3 and -1 — the exact situation
+        // spectral trimming handles.
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        let e = SymmetricEigen::new(&m).unwrap();
+        assert!(vecops::approx_eq(e.values(), &[3.0, -1.0], 1e-12));
+        assert_eq!(e.count_above(0.0), 1);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0, 0.5],
+            &[1.0, 3.0, 0.0, 1.0],
+            &[-2.0, 0.0, 5.0, -1.0],
+            &[0.5, 1.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let e = SymmetricEigen::new(&m).unwrap();
+        let v = e.vectors();
+        let vtv = v.transpose().matmul(v).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(4), 1e-10));
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let m = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 3.0, 0.0],
+            &[-2.0, 0.0, 5.0],
+        ])
+        .unwrap();
+        let e = SymmetricEigen::new(&m).unwrap();
+        assert!(e.reconstruct().approx_eq(&m, 1e-9));
+    }
+
+    #[test]
+    fn eigenpairs_satisfy_definition() {
+        let m = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let e = SymmetricEigen::new(&m).unwrap();
+        for k in 0..3 {
+            let vk = e.vectors().col(k);
+            let mv = m.matvec(&vk).unwrap();
+            let lv = vecops::scaled(e.values()[k], &vk);
+            assert!(vecops::approx_eq(&mv, &lv, 1e-9), "eigenpair {k} violated");
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let m = Matrix::from_rows(&[&[1.0, 0.5], &[0.5, -2.0]]).unwrap();
+        let e = SymmetricEigen::new(&m).unwrap();
+        let sum: f64 = e.values().iter().sum();
+        assert!((sum - m.trace()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_asymmetric_and_bad_shape() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            SymmetricEigen::new(&a),
+            Err(LinalgError::NotSymmetric)
+        ));
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(matches!(
+            SymmetricEigen::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn handles_1x1() {
+        let m = Matrix::from_diagonal(&[-7.5]);
+        let e = SymmetricEigen::new(&m).unwrap();
+        assert_eq!(e.values(), &[-7.5]);
+        assert_eq!(e.vectors()[(0, 0)].abs(), 1.0);
+    }
+
+    #[test]
+    fn zero_matrix_all_zero_eigenvalues() {
+        let e = SymmetricEigen::new(&Matrix::zeros(3, 3)).unwrap();
+        assert!(e.values().iter().all(|&v| v == 0.0));
+        assert_eq!(e.count_above(0.0), 0);
+        assert_eq!(e.count_above(-1.0), 3);
+    }
+
+    #[test]
+    fn moderately_large_matrix_converges() {
+        // 20x20 symmetric with deterministic pseudo-random entries.
+        let n = 20;
+        let mut m = Matrix::from_fn(n, n, |r, c| (((r * 7 + c * 13) % 11) as f64 - 5.0) / 5.0);
+        m.symmetrize().unwrap();
+        let e = SymmetricEigen::new(&m).unwrap();
+        assert!(e.reconstruct().approx_eq(&m, 1e-8));
+        let sum: f64 = e.values().iter().sum();
+        assert!((sum - m.trace()).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,83 @@
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+///
+/// Library code in this workspace never panics on malformed *user* input;
+/// dimension mismatches and numerically impossible requests surface as
+/// variants of this enum instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// An operation that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Actual shape, `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// A factorisation that requires symmetry received an asymmetric matrix.
+    NotSymmetric,
+    /// Cholesky factorisation failed: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot at which factorisation broke down.
+        pivot: usize,
+    },
+    /// The matrix is singular (or numerically so) and cannot be solved against.
+    Singular {
+        /// Index of the zero (or tiny) pivot.
+        pivot: usize,
+    },
+    /// An iterative algorithm failed to converge within its sweep budget.
+    NoConvergence {
+        /// The algorithm that failed.
+        algorithm: &'static str,
+        /// Number of iterations/sweeps performed before giving up.
+        iterations: usize,
+    },
+    /// A matrix constructor received data whose length disagrees with the
+    /// requested shape.
+    BadConstruction {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// An empty matrix or vector was supplied where a non-empty one is needed.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "expected square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotSymmetric => write!(f, "matrix is not symmetric"),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            LinalgError::BadConstruction { reason } => {
+                write!(f, "invalid matrix construction: {reason}")
+            }
+            LinalgError::Empty => write!(f, "empty matrix or vector"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

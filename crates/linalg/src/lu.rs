@@ -1,0 +1,261 @@
+// Triangular/banded access patterns read better with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Pivot magnitude below which a matrix is treated as singular.
+const SINGULAR_TOL: f64 = 1e-12;
+
+/// LU decomposition with partial (row) pivoting: `P·A = L·U`.
+///
+/// Used to solve the general (possibly indefinite) linear systems that arise
+/// when minimising noisy quadratic objectives in Algorithm 1 of the paper —
+/// after the functional mechanism injects Laplace noise, the Hessian is
+/// symmetric but *not* guaranteed positive definite, so Cholesky cannot be
+/// assumed.
+///
+/// The factorisation is computed once and can then solve against any number
+/// of right-hand sides in `O(n²)` each.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row index now at row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), for determinants.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] for rectangular input.
+    /// * [`LinalgError::Empty`] for a 0×0 matrix.
+    /// * [`LinalgError::Singular`] when a pivot column is numerically zero.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest |entry| in column k at or
+            // below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < SINGULAR_TOL {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                swap_rows(&mut lu, k, pivot_row);
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in (k + 1)..n {
+                    let u_kc = lu[(k, c)];
+                    lu[(r, c)] -= factor * u_kc;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b` for `x`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `b.len()` differs from the matrix
+    /// dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution (unit lower).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            let mut sum = x[r];
+            for c in 0..r {
+                sum -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = sum;
+        }
+        // Back substitution (upper).
+        for r in (0..n).rev() {
+            let mut sum = x[r];
+            for c in (r + 1)..n {
+                sum -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = sum / self.lu[(r, r)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `B` has the wrong row count.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col = self.solve(&b.col(c))?;
+            for (r, v) in col.into_iter().enumerate() {
+                out[(r, c)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `A⁻¹`.
+    ///
+    /// Prefer [`Lu::solve`] when you only need `A⁻¹·b`.
+    ///
+    /// # Errors
+    /// Propagates solver errors (cannot occur for a successfully factored
+    /// matrix, but kept fallible for API symmetry).
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factored matrix (product of U's diagonal times the
+    /// permutation sign).
+    #[must_use]
+    pub fn determinant(&self) -> f64 {
+        self.perm_sign * self.lu.diagonal().iter().product::<f64>()
+    }
+}
+
+fn swap_rows(m: &mut Matrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    for c in 0..m.cols() {
+        let tmp = m[(a, c)];
+        m[(a, c)] = m[(b, c)];
+        m[(b, c)] = tmp;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  →  x = 1, y = 3
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = Lu::new(&a).unwrap().solve(&[5.0, 10.0]).unwrap();
+        assert!(vecops::approx_eq(&x, &[1.0, 3.0], 1e-12));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = Lu::new(&a).unwrap().solve(&[2.0, 3.0]).unwrap();
+        assert!(vecops::approx_eq(&x, &[3.0, 2.0], 1e-12));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_rectangular_and_empty() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(Lu::new(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!((Lu::new(&a).unwrap().determinant() - (-2.0)).abs() < 1e-12);
+        assert!((Lu::new(&Matrix::identity(4)).unwrap().determinant() - 1.0).abs() < 1e-12);
+        // Permuted identity has determinant -1.
+        let p = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((Lu::new(&p).unwrap().determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0, 2.0], &[3.0, 6.0, 1.0], &[2.0, 5.0, 3.0]]).unwrap();
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[2.0, 4.0], &[4.0, 8.0]]).unwrap();
+        let x = Lu::new(&a).unwrap().solve_matrix(&b).unwrap();
+        assert!(x.approx_eq(&Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]).unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = Lu::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+        assert!(lu.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn reconstructs_solution_for_random_like_system() {
+        // Deterministic pseudo-random matrix; verify A·x ≈ b.
+        let n = 8;
+        let a = Matrix::from_fn(n, n, |r, c| {
+            let v = ((r * 31 + c * 17 + 7) % 23) as f64 - 11.0;
+            if r == c {
+                v + 30.0 // diagonally dominant: comfortably nonsingular
+            } else {
+                v
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        assert!(vecops::approx_eq(&ax, &b, 1e-9));
+    }
+}

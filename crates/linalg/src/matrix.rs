@@ -1,0 +1,599 @@
+// Triangular/banded access patterns read better with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major `f64` matrix.
+///
+/// This is the workhorse type of the workspace. Shapes are validated at the
+/// API boundary and arithmetic returns [`LinalgError`] on mismatch rather
+/// than panicking, because the callers (the functional mechanism and its
+/// baselines) assemble matrices from user-provided datasets.
+///
+/// Indexing with `m[(r, c)]` is provided for ergonomic element access and
+/// *does* panic on out-of-bounds, mirroring slice indexing semantics.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    /// [`LinalgError::BadConstruction`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::BadConstruction {
+                reason: "data length does not match rows * cols",
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// # Errors
+    /// [`LinalgError::Empty`] for no rows, [`LinalgError::BadConstruction`]
+    /// for ragged rows.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let r = rows.len();
+        if r == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let c = rows[0].len();
+        if rows.iter().any(|row| row.len() != c) {
+            return Err(LinalgError::BadConstruction {
+                reason: "rows have differing lengths",
+            });
+        }
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: r, cols: c, data })
+    }
+
+    /// Creates a matrix by evaluating `f(r, c)` at every position.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    #[must_use]
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &v) in diag.iter().enumerate() {
+            m.data[i * n + i] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` for a square matrix.
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the underlying row-major storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning its row-major storage.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow of row `r` as a slice. Panics if `r >= rows`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`. Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`. Panics if `c >= cols`.
+    #[must_use]
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Copy of the main diagonal (length `min(rows, cols)`).
+    #[must_use]
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.data[i * self.cols + i])
+            .collect()
+    }
+
+    /// Sum of the diagonal entries.
+    #[must_use]
+    pub fn trace(&self) -> f64 {
+        self.diagonal().iter().sum()
+    }
+
+    /// Returns the transpose as a new matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] unless `self.cols == rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // ikj loop order: stream over rhs rows for cache friendliness.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.data[i * self.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self · x`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] unless `x.len() == self.cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| crate::vecops::dot(self.row(r), x))
+            .collect())
+    }
+
+    /// Transposed matrix-vector product `selfᵀ · x`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] unless `x.len() == self.rows`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_transposed",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            crate::vecops::axpy(x[r], self.row(r), &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] on differing shapes.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] on differing shapes.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    fn zip_with(&self, rhs: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns `a · self` as a new matrix.
+    #[must_use]
+    pub fn scaled(&self, a: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| a * v).collect(),
+        }
+    }
+
+    /// Scales every entry in place.
+    pub fn scale_in_place(&mut self, a: f64) {
+        crate::vecops::scale(a, &mut self.data);
+    }
+
+    /// Adds `a` to every diagonal entry in place (used for ridge
+    /// regularization, Section 6.1 of the paper).
+    pub fn add_diagonal(&mut self, a: f64) {
+        for i in 0..self.rows.min(self.cols) {
+            self.data[i * self.cols + i] += a;
+        }
+    }
+
+    /// Rank-1 update `self ← self + a · x xᵀ` (symmetric outer product).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] unless `self` is `n × n` with
+    /// `n == x.len()`.
+    pub fn rank1_update(&mut self, a: f64, x: &[f64]) -> Result<()> {
+        if self.rows != x.len() || self.cols != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "rank1_update",
+                lhs: self.shape(),
+                rhs: (x.len(), x.len()),
+            });
+        }
+        let n = x.len();
+        for r in 0..n {
+            let arx = a * x[r];
+            let row = &mut self.data[r * n..(r + 1) * n];
+            for (entry, &xc) in row.iter_mut().zip(x) {
+                *entry += arx * xc;
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when `|self[r][c] − self[c][r]| ≤ tol` for all entries.
+    #[must_use]
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self.data[r * self.cols + c] - self.data[c * self.cols + r]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Replaces the matrix with `(M + Mᵀ)/2`, forcing exact symmetry.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSquare`] for rectangular input.
+    pub fn symmetrize(&mut self) -> Result<()> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                let avg = 0.5 * (self.data[r * self.cols + c] + self.data[c * self.cols + r]);
+                self.data[r * self.cols + c] = avg;
+                self.data[c * self.cols + r] = avg;
+            }
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm `sqrt(Σ m²)`.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        crate::vecops::norm2(&self.data)
+    }
+
+    /// Largest absolute entry; `0.0` for an empty matrix.
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        crate::vecops::norm_inf(&self.data)
+    }
+
+    /// Quadratic form `xᵀ · self · x`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] unless `self` is square of size `x.len()`.
+    pub fn quadratic_form(&self, x: &[f64]) -> Result<f64> {
+        let mx = self.matvec(x)?;
+        Ok(crate::vecops::dot(x, &mx))
+    }
+
+    /// `true` when all entries differ from `other`'s by at most `tol`.
+    #[must_use]
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape() && crate::vecops::approx_eq(&self.data, &other.data, tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  [")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:+.6}", self.data[r * self.cols + c])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f64, b: f64, c: f64, d: f64) -> Matrix {
+        Matrix::from_vec(2, 2, vec![a, b, c, d]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i.trace(), 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(matches!(Matrix::from_rows(&[]), Err(LinalgError::Empty)));
+        let ragged: &[&[f64]] = &[&[1.0, 2.0], &[3.0]];
+        assert!(Matrix::from_rows(ragged).is_err());
+        let ok = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(ok[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn from_fn_and_diagonal() {
+        let m = Matrix::from_fn(2, 2, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m[(1, 1)], 11.0);
+        let d = Matrix::from_diagonal(&[1.0, 2.0]);
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(d.diagonal(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn row_col_access() {
+        let m = m22(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let m = m22(1.0, 2.0, 3.0, 4.0);
+        let _ = m.row(2);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], m[(1, 2)]);
+        assert!(t.transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = m22(1.0, 2.0, 3.0, 4.0);
+        let i = Matrix::identity(2);
+        assert!(m.matmul(&i).unwrap().approx_eq(&m, 0.0));
+        assert!(i.matmul(&m).unwrap().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.approx_eq(&m22(19.0, 22.0, 43.0, 50.0), 1e-12));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_and_transposed() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]).unwrap(), vec![-2.0, -2.0]);
+        assert_eq!(m.matvec_transposed(&[1.0, 1.0]).unwrap(), vec![5.0, 7.0, 9.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(m.matvec_transposed(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(4.0, 3.0, 2.0, 1.0);
+        assert!(a.add(&b).unwrap().approx_eq(&m22(5.0, 5.0, 5.0, 5.0), 0.0));
+        assert!(a.sub(&b).unwrap().approx_eq(&m22(-3.0, -1.0, 1.0, 3.0), 0.0));
+        assert!(a.scaled(2.0).approx_eq(&m22(2.0, 4.0, 6.0, 8.0), 0.0));
+        let mut c = a.clone();
+        c.scale_in_place(0.5);
+        assert!(c.approx_eq(&m22(0.5, 1.0, 1.5, 2.0), 0.0));
+        assert!(a.add(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn add_diagonal_ridge() {
+        let mut m = m22(1.0, 2.0, 3.0, 4.0);
+        m.add_diagonal(10.0);
+        assert!(m.approx_eq(&m22(11.0, 2.0, 3.0, 14.0), 0.0));
+    }
+
+    #[test]
+    fn rank1_update_builds_gram_matrix() {
+        let mut m = Matrix::zeros(2, 2);
+        m.rank1_update(1.0, &[1.0, 2.0]).unwrap();
+        m.rank1_update(1.0, &[3.0, -1.0]).unwrap();
+        // x1 x1ᵀ + x2 x2ᵀ
+        assert!(m.approx_eq(&m22(10.0, -1.0, -1.0, 5.0), 1e-12));
+        assert!(m.rank1_update(1.0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let s = m22(1.0, 2.0, 2.0, 3.0);
+        assert!(s.is_symmetric(0.0));
+        let a = m22(1.0, 2.0, 2.1, 3.0);
+        assert!(!a.is_symmetric(0.01));
+        assert!(a.is_symmetric(0.2));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    #[test]
+    fn symmetrize_averages() {
+        let mut m = m22(1.0, 2.0, 4.0, 3.0);
+        m.symmetrize().unwrap();
+        assert!(m.approx_eq(&m22(1.0, 3.0, 3.0, 3.0), 0.0));
+        assert!(Matrix::zeros(2, 3).symmetrize().is_err());
+    }
+
+    #[test]
+    fn norms_and_quadratic_form() {
+        let m = m22(3.0, 0.0, 0.0, 4.0);
+        assert_eq!(m.frobenius_norm(), 5.0);
+        assert_eq!(m.max_abs(), 4.0);
+        // xᵀ diag(3,4) x with x = (1,2) → 3 + 16
+        assert_eq!(m.quadratic_form(&[1.0, 2.0]).unwrap(), 19.0);
+        assert!(m.quadratic_form(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn debug_format_contains_shape() {
+        let m = Matrix::identity(2);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 2x2"));
+    }
+}

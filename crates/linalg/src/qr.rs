@@ -1,0 +1,239 @@
+//! Householder QR factorisation and least-squares solving.
+//!
+//! The non-private OLS baseline can solve the normal equations
+//! `XᵀX ω = Xᵀy` via Cholesky, but when `XᵀX` is ill-conditioned (highly
+//! correlated census attributes at `d = 14`) the QR route
+//! `X = Q·R, R·ω = Qᵀy` is numerically preferable — it squares the
+//! condition number of nothing. This module provides that route.
+
+// Triangular/banded access patterns read better with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Compact Householder QR factorisation of an `m × n` matrix with `m ≥ n`.
+///
+/// Stores the `R` factor and the Householder reflectors; `Qᵀb` is applied
+/// implicitly, so the full `Q` is never materialised.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorisation: upper triangle holds `R`, the lower part the
+    /// essential parts of the Householder vectors.
+    qr: Matrix,
+    /// Leading coefficients `β_k = 2 / (v_kᵀ v_k)` per reflector (stored as
+    /// the full diagonal of the Householder vectors is implicit 1).
+    betas: Vec<f64>,
+    /// Householder vectors, one per column (each of length `m`).
+    vs: Vec<Vec<f64>>,
+}
+
+impl Qr {
+    /// Factors `a` (requires `rows ≥ cols ≥ 1`).
+    ///
+    /// # Errors
+    /// * [`LinalgError::Empty`] for an empty matrix.
+    /// * [`LinalgError::ShapeMismatch`] for under-determined shapes
+    ///   (`rows < cols`).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr (rows must be >= cols)",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        let mut r = a.clone();
+        let mut betas = Vec::with_capacity(n);
+        let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Build the Householder vector for column k below the diagonal.
+            let mut v = vec![0.0; m];
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                let x = r[(i, k)];
+                v[i] = x;
+                norm_sq += x * x;
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                // Column already zero below (and at) the diagonal: rank
+                // deficient, but we can keep a no-op reflector.
+                betas.push(0.0);
+                vs.push(v);
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            v[k] -= alpha;
+            let vtv: f64 = v[k..].iter().map(|x| x * x).sum();
+            let beta = if vtv == 0.0 { 0.0 } else { 2.0 / vtv };
+
+            // Apply the reflector to the trailing submatrix.
+            if beta != 0.0 {
+                for c in k..n {
+                    let mut dot = 0.0;
+                    for i in k..m {
+                        dot += v[i] * r[(i, c)];
+                    }
+                    let scale = beta * dot;
+                    for i in k..m {
+                        r[(i, c)] -= scale * v[i];
+                    }
+                }
+            }
+            betas.push(beta);
+            vs.push(v);
+        }
+        Ok(Qr { qr: r, betas, vs })
+    }
+
+    /// The `n × n` upper-triangular `R` factor.
+    #[must_use]
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        Matrix::from_fn(n, n, |r, c| if c >= r { self.qr[(r, c)] } else { 0.0 })
+    }
+
+    /// Applies `Qᵀ` to a vector of length `rows`.
+    fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = b.to_vec();
+        for (k, v) in self.vs.iter().enumerate() {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let dot: f64 = v.iter().zip(&y).map(|(vi, yi)| vi * yi).sum();
+            let scale = beta * dot;
+            for (yi, vi) in y.iter_mut().zip(v) {
+                *yi -= scale * vi;
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂`.
+    ///
+    /// # Errors
+    /// * [`LinalgError::ShapeMismatch`] on wrong `b` length.
+    /// * [`LinalgError::Singular`] when `A` is rank deficient.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let y = self.apply_qt(b);
+        // Back-substitute R x = y[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let rii = self.qr[(i, i)];
+            if rii.abs() < 1e-12 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            let mut sum = y[i];
+            for c in (i + 1)..n {
+                sum -= self.qr[(i, c)] * x[c];
+            }
+            x[i] = sum / rii;
+        }
+        Ok(x)
+    }
+}
+
+/// One-shot least squares: `argmin_x ‖A·x − b‖₂` via Householder QR.
+///
+/// # Errors
+/// See [`Qr::new`] and [`Qr::solve`].
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+
+    #[test]
+    fn square_system_exact() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = lstsq(&a, &[5.0, 10.0]).unwrap();
+        assert!(vecops::approx_eq(&x, &[1.0, 3.0], 1e-10));
+    }
+
+    #[test]
+    fn overdetermined_recovers_exact_solution() {
+        // b is exactly in the column space: residual 0.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let x_true = [2.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lstsq(&a, &b).unwrap();
+        assert!(vecops::approx_eq(&x, &x_true, 1e-10));
+    }
+
+    #[test]
+    fn overdetermined_least_squares_solution() {
+        // Fit y = c to observations [1, 2, 3]: least-squares c = 2.
+        let a = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap();
+        let x = lstsq(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_normal_equations() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 9.0],
+        ])
+        .unwrap();
+        let b = [1.0, 0.5, -0.5, 2.0];
+        let x_qr = lstsq(&a, &b).unwrap();
+        // Normal equations: (AᵀA) x = Aᵀ b.
+        let ata = a.transpose().matmul(&a).unwrap();
+        let atb = a.matvec_transposed(&b).unwrap();
+        let x_ne = crate::Lu::new(&ata).unwrap().solve(&atb).unwrap();
+        assert!(vecops::approx_eq(&x_qr, &x_ne, 1e-8));
+    }
+
+    #[test]
+    fn r_is_upper_triangular_and_consistent() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let r = qr.r();
+        assert_eq!(r.shape(), (2, 2));
+        assert_eq!(r[(1, 0)], 0.0);
+        // |R| diagonal relates to column norms: R[0][0]² = ‖a_col0‖² after
+        // reflection ⇒ |R[0][0]| = ‖(1,3,5)‖.
+        assert!((r[(0, 0)].abs() - (35.0_f64).sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_detected_on_solve() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn zero_column_no_op_reflector() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 3.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(qr.solve(&[1.0, 1.0, 1.0]), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(Qr::new(&Matrix::zeros(0, 0)).is_err());
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err()); // underdetermined
+        let qr = Qr::new(&Matrix::identity(3)).unwrap();
+        assert!(qr.solve(&[1.0, 2.0]).is_err());
+    }
+}

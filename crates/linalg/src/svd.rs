@@ -1,0 +1,514 @@
+// Column-pair sweeps read better with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{vecops, LinalgError, Matrix, Result};
+
+/// Relative tolerance below which a column pair counts as orthogonal and the
+/// Jacobi sweep skips it.
+const JACOBI_REL_TOL: f64 = 1e-14;
+
+/// Maximum number of full one-sided Jacobi sweeps. Convergence is quadratic
+/// once the columns are roughly orthogonal; this cap only guards degenerate
+/// floating-point input (NaN/Inf patterns that never settle).
+const MAX_SWEEPS: usize = 120;
+
+/// Thin singular value decomposition `A = U·Σ·Vᵀ` via the one-sided Jacobi
+/// algorithm.
+///
+/// For an `m×n` input with `m ≥ n`, `U` is `m×n` with orthonormal columns
+/// (columns paired with zero singular values are zero vectors), `Σ` is the
+/// diagonal of [`Svd::singular_values`] in **descending** order, and `V` is
+/// `n×n` orthogonal. Inputs with `m < n` are handled by decomposing the
+/// transpose and swapping the factors.
+///
+/// In this workspace the SVD backs two jobs the paper's pipeline needs done
+/// robustly:
+///
+/// * **minimum-norm least squares** for rank-deficient systems — the
+///   Section 6.2 spectral-trimming step solves `Q'ω = V` where `Q'` has
+///   fewer rows than columns, and the NoPrivacy baseline's normal equations
+///   can be singular on degenerate (e.g. heavily subsampled) data;
+/// * **diagnostics** — [`Svd::rank`] and [`Svd::condition_number`] quantify
+///   how close a noisy Hessian `M*` is to losing positive definiteness,
+///   which the ablation benchmarks report.
+///
+/// One-sided Jacobi is the right algorithm at this scale (`d ≤ 14` in the
+/// paper's experiments): it is simple, unconditionally stable, and computes
+/// small singular values to high *relative* accuracy — better than forming
+/// `AᵀA`, which squares the condition number.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    u: Matrix,
+    singular_values: Vec<f64>,
+    v: Matrix,
+}
+
+impl Svd {
+    /// Decomposes `a` into `U·Σ·Vᵀ`.
+    ///
+    /// # Errors
+    /// * [`LinalgError::Empty`] if `a` has zero rows or columns.
+    /// * [`LinalgError::NoConvergence`] if the sweep cap is exhausted
+    ///   (non-finite input is the only practical cause).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.rows() == 0 || a.cols() == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if a.rows() < a.cols() {
+            // Decompose Aᵀ = U'Σ Vᵀ', then A = V' Σ U'ᵀ.
+            let t = Self::new(&a.transpose())?;
+            return Ok(Svd {
+                u: t.v,
+                singular_values: t.singular_values,
+                v: t.u,
+            });
+        }
+
+        let m = a.rows();
+        let n = a.cols();
+        let mut w = a.clone(); // becomes U·Σ (columns are σ_j u_j)
+        let mut v = Matrix::identity(n);
+
+        // Columns whose squared norm falls below this are numerically zero
+        // (they arise from rank deficiency); rotating against them only
+        // shuffles round-off noise and can cycle forever, so the sweep
+        // skips them.
+        let zero_floor = {
+            let f = f64::EPSILON * a.frobenius_norm();
+            f * f
+        };
+
+        let mut converged = false;
+        let mut sweeps = 0;
+        while sweeps < MAX_SWEEPS {
+            sweeps += 1;
+            let mut rotated = false;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    rotated |= orthogonalize_pair(&mut w, &mut v, p, q, zero_floor);
+                }
+            }
+            if !rotated {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(LinalgError::NoConvergence {
+                algorithm: "one-sided jacobi svd",
+                iterations: sweeps,
+            });
+        }
+
+        // Singular values are the column norms of W; normalize to get U.
+        let mut sigma: Vec<f64> = (0..n).map(|j| column_norm(&w, j)).collect();
+        let mut u = Matrix::zeros(m, n);
+        for j in 0..n {
+            if sigma[j] > 0.0 {
+                for i in 0..m {
+                    u[(i, j)] = w[(i, j)] / sigma[j];
+                }
+            }
+        }
+
+        // Sort descending, permuting U and V columns along.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).expect("finite singular values"));
+        let u = Matrix::from_fn(m, n, |r, c| u[(r, order[c])]);
+        let v = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+        sigma = order.iter().map(|&i| sigma[i]).collect();
+
+        Ok(Svd {
+            u,
+            singular_values: sigma,
+            v,
+        })
+    }
+
+    /// The left factor `U` (`m×n` when `m ≥ n`), orthonormal columns for
+    /// every nonzero singular value.
+    #[must_use]
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// The singular values in descending order (all non-negative).
+    #[must_use]
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// The right factor `V` (square, orthogonal).
+    #[must_use]
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// The default tolerance separating "numerically zero" singular values
+    /// from real ones: `max(m, n) · ε_machine · σ_max` (the LAPACK/NumPy
+    /// convention).
+    #[must_use]
+    pub fn default_rank_tolerance(&self) -> f64 {
+        let dim = self.u.rows().max(self.v.rows()) as f64;
+        dim * f64::EPSILON * self.singular_values.first().copied().unwrap_or(0.0)
+    }
+
+    /// Numerical rank: the number of singular values above `tol`
+    /// (default: [`Svd::default_rank_tolerance`]).
+    #[must_use]
+    pub fn rank(&self, tol: Option<f64>) -> usize {
+        let tol = tol.unwrap_or_else(|| self.default_rank_tolerance());
+        self.singular_values.iter().filter(|&&s| s > tol).count()
+    }
+
+    /// The 2-norm condition number `σ_max / σ_min`; `f64::INFINITY` when the
+    /// matrix is rank-deficient.
+    #[must_use]
+    pub fn condition_number(&self) -> f64 {
+        let max = self.singular_values.first().copied().unwrap_or(0.0);
+        let min = self.singular_values.last().copied().unwrap_or(0.0);
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// The Moore–Penrose pseudo-inverse `A⁺ = V·Σ⁺·Uᵀ` (`n×m`), treating
+    /// singular values at or below the default rank tolerance as zero.
+    #[must_use]
+    pub fn pseudo_inverse(&self) -> Matrix {
+        let tol = self.default_rank_tolerance();
+        let n = self.v.rows();
+        let m = self.u.rows();
+        let mut out = Matrix::zeros(n, m);
+        for (k, &s) in self.singular_values.iter().enumerate() {
+            if s <= tol {
+                continue;
+            }
+            // out += (1/σ_k) · v_k u_kᵀ
+            let vk = self.v.col(k);
+            let uk = self.u.col(k);
+            for r in 0..n {
+                let w = vk[r] / s;
+                for c in 0..m {
+                    out[(r, c)] += w * uk[c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Minimum-norm least-squares solution of `A·x ≈ b`: among all `x`
+    /// minimising `‖Ax − b‖₂`, returns the one with the smallest `‖x‖₂`.
+    /// Well-defined for any rank, which is why the Section 6.2 trimming
+    /// pipeline and the baselines use it on possibly singular systems.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if `b`'s length differs from the row
+    /// count of the decomposed matrix.
+    pub fn solve_min_norm(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let m = self.u.rows();
+        let n = self.v.rows();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "svd solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let tol = self.default_rank_tolerance();
+        // x = V · Σ⁺ · Uᵀ b, accumulated one singular triplet at a time.
+        let mut x = vec![0.0; n];
+        for (k, &s) in self.singular_values.iter().enumerate() {
+            if s <= tol {
+                continue;
+            }
+            let uk = self.u.col(k);
+            let coeff = vecops::dot(&uk, b) / s;
+            let vk = self.v.col(k);
+            vecops::axpy(coeff, &vk, &mut x);
+        }
+        Ok(x)
+    }
+
+    /// Reconstructs `U·Σ·Vᵀ` — used by the validation tests.
+    #[must_use]
+    pub fn reconstruct(&self) -> Matrix {
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut out = Matrix::zeros(m, n);
+        for (k, &s) in self.singular_values.iter().enumerate() {
+            let uk = self.u.col(k);
+            let vk = self.v.col(k);
+            for r in 0..m {
+                let w = s * uk[r];
+                for c in 0..n {
+                    out[(r, c)] += w * vk[c];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Minimum-norm least-squares solve in one call; prefer constructing [`Svd`]
+/// once when solving against several right-hand sides.
+///
+/// # Errors
+/// Propagates [`Svd::new`] / [`Svd::solve_min_norm`] failures.
+pub fn lstsq_min_norm(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Svd::new(a)?.solve_min_norm(b)
+}
+
+fn column_norm(w: &Matrix, j: usize) -> f64 {
+    let mut sum = 0.0;
+    for i in 0..w.rows() {
+        sum += w[(i, j)] * w[(i, j)];
+    }
+    sum.sqrt()
+}
+
+/// One step of the one-sided Jacobi sweep: rotate columns `p` and `q` of `w`
+/// (and accumulate into `v`) so they become orthogonal. Returns whether a
+/// rotation was applied. Columns with squared norm at or below `zero_floor`
+/// count as zero and are never rotated.
+fn orthogonalize_pair(w: &mut Matrix, v: &mut Matrix, p: usize, q: usize, zero_floor: f64) -> bool {
+    let m = w.rows();
+    let mut alpha = 0.0; // ‖w_p‖²
+    let mut beta = 0.0; // ‖w_q‖²
+    let mut gamma = 0.0; // w_pᵀ w_q
+    for i in 0..m {
+        let wip = w[(i, p)];
+        let wiq = w[(i, q)];
+        alpha += wip * wip;
+        beta += wiq * wiq;
+        gamma += wip * wiq;
+    }
+    if alpha <= zero_floor || beta <= zero_floor {
+        return false;
+    }
+    if gamma.abs() <= JACOBI_REL_TOL * (alpha * beta).sqrt() {
+        return false;
+    }
+
+    // Stable rotation computation (Golub & Van Loan §8.6.3 adapted to the
+    // one-sided form): zeta = (β − α) / 2γ, t = sign(ζ)/(|ζ| + √(1+ζ²)).
+    let zeta = (beta - alpha) / (2.0 * gamma);
+    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = c * t;
+
+    for i in 0..m {
+        let wip = w[(i, p)];
+        let wiq = w[(i, q)];
+        w[(i, p)] = c * wip - s * wiq;
+        w[(i, q)] = s * wip + c * wiq;
+    }
+    let n = v.rows();
+    for i in 0..n {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = c * vip - s * viq;
+        v[(i, q)] = s * vip + c * viq;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal_columns(m: &Matrix, tol: f64) {
+        let gram = m.transpose().matmul(m).unwrap();
+        assert!(
+            gram.approx_eq(&Matrix::identity(m.cols()), tol),
+            "columns not orthonormal"
+        );
+    }
+
+    #[test]
+    fn identity_has_unit_singular_values() {
+        let svd = Svd::new(&Matrix::identity(3)).unwrap();
+        assert!(vecops::approx_eq(svd.singular_values(), &[1.0, 1.0, 1.0], 1e-14));
+        assert_eq!(svd.rank(None), 3);
+        assert_eq!(svd.condition_number(), 1.0);
+    }
+
+    #[test]
+    fn diagonal_matrix_singular_values_sorted_by_magnitude() {
+        let svd = Svd::new(&Matrix::from_diagonal(&[2.0, -5.0, 3.0])).unwrap();
+        assert!(vecops::approx_eq(svd.singular_values(), &[5.0, 3.0, 2.0], 1e-13));
+    }
+
+    #[test]
+    fn known_2x2() {
+        // A = [[3,0],[4,5]] has σ = (√45, √5) — a classic worked example.
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[4.0, 5.0]]).unwrap();
+        let svd = Svd::new(&a).unwrap();
+        assert!((svd.singular_values()[0] - 45.0_f64.sqrt()).abs() < 1e-12);
+        assert!((svd.singular_values()[1] - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_square() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.5],
+            &[-1.0, 0.3, 2.2],
+            &[0.0, -0.7, 1.1],
+        ])
+        .unwrap();
+        let svd = Svd::new(&a).unwrap();
+        assert!(svd.reconstruct().approx_eq(&a, 1e-12));
+        assert_orthonormal_columns(svd.u(), 1e-12);
+        assert_orthonormal_columns(svd.v(), 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_tall_and_wide() {
+        let tall = Matrix::from_fn(7, 3, |r, c| ((r * 3 + c * 5) % 7) as f64 - 3.0);
+        let svd = Svd::new(&tall).unwrap();
+        assert!(svd.reconstruct().approx_eq(&tall, 1e-12));
+        assert_eq!(svd.u().shape(), (7, 3));
+        assert_eq!(svd.v().shape(), (3, 3));
+
+        let wide = tall.transpose();
+        let svd = Svd::new(&wide).unwrap();
+        assert!(svd.reconstruct().approx_eq(&wide, 1e-12));
+        assert_eq!(svd.u().shape(), (3, 3));
+        assert_eq!(svd.v().shape(), (7, 3));
+    }
+
+    #[test]
+    fn singular_values_match_eigenvalues_of_gram_matrix() {
+        let a = Matrix::from_fn(5, 4, |r, c| ((r + 2 * c) % 5) as f64 / 2.0 - 1.0);
+        let svd = Svd::new(&a).unwrap();
+        let gram = a.transpose().matmul(&a).unwrap();
+        let eig = crate::SymmetricEigen::new(&gram).unwrap();
+        for (s, &l) in svd.singular_values().iter().zip(eig.values()) {
+            assert!((s * s - l.max(0.0)).abs() < 1e-10, "σ²={} λ={}", s * s, l);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Rank 1: every row a multiple of (1, 2, 3).
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[2.0, 4.0, 6.0],
+            &[-1.0, -2.0, -3.0],
+        ])
+        .unwrap();
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.rank(None), 1);
+        assert_eq!(svd.condition_number(), f64::INFINITY);
+        assert!(svd.reconstruct().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn pseudo_inverse_satisfies_moore_penrose_axioms() {
+        // Rank-deficient 3×3 (rank 2).
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let pinv = Svd::new(&a).unwrap().pseudo_inverse();
+        let apa = a.matmul(&pinv).unwrap().matmul(&a).unwrap();
+        assert!(apa.approx_eq(&a, 1e-10), "A A⁺ A ≠ A");
+        let pap = pinv.matmul(&a).unwrap().matmul(&pinv).unwrap();
+        assert!(pap.approx_eq(&pinv, 1e-10), "A⁺ A A⁺ ≠ A⁺");
+        let ap = a.matmul(&pinv).unwrap();
+        assert!(ap.approx_eq(&ap.transpose(), 1e-10), "A A⁺ not symmetric");
+        let pa = pinv.matmul(&a).unwrap();
+        assert!(pa.approx_eq(&pa.transpose(), 1e-10), "A⁺ A not symmetric");
+    }
+
+    #[test]
+    fn pseudo_inverse_of_invertible_matches_inverse() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]).unwrap();
+        let pinv = Svd::new(&a).unwrap().pseudo_inverse();
+        let inv = crate::Lu::new(&a).unwrap().inverse().unwrap();
+        assert!(pinv.approx_eq(&inv, 1e-12));
+    }
+
+    #[test]
+    fn min_norm_solve_matches_qr_on_full_rank() {
+        let a = Matrix::from_fn(6, 3, |r, c| ((r * 2 + c) % 5) as f64 - 2.0);
+        let b = [1.0, -0.5, 2.0, 0.0, 1.5, -1.0];
+        let x_svd = Svd::new(&a).unwrap().solve_min_norm(&b).unwrap();
+        let x_qr = crate::qr::lstsq(&a, &b).unwrap();
+        assert!(vecops::approx_eq(&x_svd, &x_qr, 1e-10));
+    }
+
+    #[test]
+    fn min_norm_solve_underdetermined_picks_smallest_solution() {
+        // One equation, two unknowns: x + y = 2. Min-norm solution (1, 1).
+        let a = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap();
+        let x = Svd::new(&a).unwrap().solve_min_norm(&[2.0]).unwrap();
+        assert!(vecops::approx_eq(&x, &[1.0, 1.0], 1e-12));
+    }
+
+    #[test]
+    fn min_norm_solve_singular_system_is_finite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let x = Svd::new(&a).unwrap().solve_min_norm(&[1.0, 2.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+        // Residual of the projected system must be ~0 (b is in the range).
+        let r = vecops::sub(&a.matvec(&x).unwrap(), &[1.0, 2.0]);
+        assert!(vecops::norm2(&r) < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix_rank_zero() {
+        let svd = Svd::new(&Matrix::zeros(3, 2)).unwrap();
+        assert_eq!(svd.rank(None), 0);
+        assert!(svd.singular_values().iter().all(|&s| s == 0.0));
+        let x = svd.solve_min_norm(&[1.0, 1.0, 1.0]).unwrap();
+        assert!(vecops::approx_eq(&x, &[0.0, 0.0], 0.0));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(Svd::new(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+        assert!(matches!(Svd::new(&Matrix::zeros(3, 0)), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let svd = Svd::new(&Matrix::identity(2)).unwrap();
+        assert!(matches!(
+            svd.solve_min_norm(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn single_column_matrix() {
+        let a = Matrix::from_rows(&[&[3.0], &[4.0]]).unwrap();
+        let svd = Svd::new(&a).unwrap();
+        assert!((svd.singular_values()[0] - 5.0).abs() < 1e-12);
+        assert!(svd.reconstruct().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn converges_on_rank_deficient_with_duplicate_columns() {
+        // Regression test: this 14×14 matrix has exactly duplicated columns
+        // (mod-13 periodicity), producing numerically zero columns mid-sweep.
+        // Without the zero-column floor the sweep cycles on round-off noise
+        // and never converges.
+        let d = 14;
+        let m = Matrix::from_fn(d, d, |r, c| (((r * 31 + c * 17) % 13) as f64 - 6.0) / 6.0);
+        let svd = Svd::new(&m).expect("must converge");
+        assert!(svd.rank(None) < d, "matrix is rank deficient by construction");
+        assert!(svd.reconstruct().approx_eq(&m, 1e-10));
+    }
+
+    #[test]
+    fn lstsq_min_norm_free_function() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+        let x = lstsq_min_norm(&a, &[2.0, 8.0]).unwrap();
+        assert!(vecops::approx_eq(&x, &[1.0, 2.0], 1e-12));
+    }
+}

@@ -1,0 +1,217 @@
+//! BLAS-1 style free functions over `&[f64]` slices.
+//!
+//! Vectors in this workspace are plain `Vec<f64>` / `&[f64]` so they compose
+//! with std and with callers that own their storage; these helpers provide
+//! the handful of dense kernels the rest of the workspace needs.
+//!
+//! All functions assume (and `debug_assert!`) equal lengths where relevant;
+//! in release builds a length mismatch is a logic error in the caller, and
+//! the shorter length wins (`zip` semantics) rather than panicking.
+
+/// Dot product `x · y`.
+///
+/// ```
+/// assert_eq!(fm_linalg::vecops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+#[must_use]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[must_use]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Manhattan norm `‖x‖₁`.
+#[must_use]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Max norm `‖x‖∞`. Returns `0.0` for an empty slice.
+#[must_use]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// Squared Euclidean distance `‖x − y‖₂²`.
+#[must_use]
+pub fn dist2_sq(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dist2_sq: length mismatch");
+    x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+/// Euclidean distance `‖x − y‖₂`.
+#[must_use]
+pub fn dist2(x: &[f64], y: &[f64]) -> f64 {
+    dist2_sq(x, y).sqrt()
+}
+
+/// In-place scaled accumulation `y ← y + a·x` (the classic `axpy`).
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// In-place scaling `x ← a·x`.
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Element-wise sum returning a new vector.
+#[must_use]
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len(), "add: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+/// Element-wise difference returning a new vector.
+#[must_use]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Scaled copy `a·x` returning a new vector.
+#[must_use]
+pub fn scaled(a: f64, x: &[f64]) -> Vec<f64> {
+    x.iter().map(|v| a * v).collect()
+}
+
+/// Mean of the entries; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Sample variance (denominator `n − 1`); `0.0` if fewer than two entries.
+#[must_use]
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64
+}
+
+/// `true` when every pair of entries differs by at most `tol`.
+#[must_use]
+pub fn approx_eq(x: &[f64], y: &[f64], tol: f64) -> bool {
+    x.len() == y.len() && x.iter().zip(y).all(|(a, b)| (a - b).abs() <= tol)
+}
+
+/// Normalises `x` to unit Euclidean length in place.
+///
+/// Returns the original norm. A zero vector is left untouched and `0.0` is
+/// returned, so callers can detect the degenerate case.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let x = [3.0, -4.0];
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm1(&x), 7.0);
+        assert_eq!(norm_inf(&x), 4.0);
+    }
+
+    #[test]
+    fn norm_inf_empty() {
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn distances() {
+        let x = [1.0, 2.0];
+        let y = [4.0, 6.0];
+        assert_eq!(dist2_sq(&x, &y), 25.0);
+        assert_eq!(dist2(&x, &y), 5.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn add_sub_scaled() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+        assert_eq!(scaled(2.0, &[1.0, -1.0]), vec![2.0, -2.0]);
+    }
+
+    #[test]
+    fn mean_variance() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&x) - 5.0).abs() < 1e-12);
+        assert!((variance(&x) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_variance_degenerate() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn approx_eq_checks_length_and_tol() {
+        assert!(approx_eq(&[1.0], &[1.0 + 1e-12], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.1], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1e-9));
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_untouched() {
+        let mut x = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut x), 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Errors produced by the optimisers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimError {
+    /// The quadratic objective is unbounded below (its Hessian has a
+    /// non-positive eigenvalue) — exactly the situation Section 6 of the
+    /// paper post-processes away.
+    UnboundedObjective,
+    /// The Hessian/system matrix could not be factored.
+    Linalg(fm_linalg::LinalgError),
+    /// The caller supplied an iterate of the wrong dimension.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Provided dimension.
+        got: usize,
+    },
+    /// A parameter (step size, tolerance, iteration cap) is invalid.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// The objective returned a non-finite value or gradient.
+    NonFiniteObjective,
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::UnboundedObjective => {
+                write!(f, "objective is unbounded below (Hessian not positive definite)")
+            }
+            OptimError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            OptimError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            OptimError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            OptimError::NonFiniteObjective => {
+                write!(f, "objective produced a non-finite value or gradient")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fm_linalg::LinalgError> for OptimError {
+    fn from(e: fm_linalg::LinalgError) -> Self {
+        OptimError::Linalg(e)
+    }
+}

@@ -1,0 +1,275 @@
+//! Gradient descent with backtracking (Armijo) line search.
+//!
+//! The workhorse for objectives without a cheap Hessian. In this workspace
+//! it solves the *exact* logistic objective for the NoPrivacy baseline when
+//! Newton is not requested, and serves as the safety net inside
+//! [`crate::newton::Newton`] when a Hessian is not positive definite.
+
+use fm_linalg::vecops;
+
+use crate::{Objective, OptimError, OptimResult, Result};
+
+/// Armijo sufficient-decrease constant.
+const ARMIJO_C: f64 = 1e-4;
+/// Step shrink factor per backtracking round.
+const BACKTRACK_RHO: f64 = 0.5;
+/// Maximum backtracking rounds per iteration before declaring the step
+/// numerically dead.
+const MAX_BACKTRACKS: usize = 60;
+
+/// Configurable gradient-descent solver.
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Convergence threshold on `‖∇f‖∞`.
+    pub grad_tol: f64,
+    /// Initial trial step for the first iteration; later iterations warm-
+    /// start from double the previously accepted step.
+    pub initial_step: f64,
+}
+
+impl Default for GradientDescent {
+    fn default() -> Self {
+        GradientDescent {
+            max_iters: 2_000,
+            grad_tol: 1e-8,
+            initial_step: 1.0,
+        }
+    }
+}
+
+impl GradientDescent {
+    /// Creates a solver with the given iteration cap and gradient tolerance.
+    ///
+    /// # Errors
+    /// [`OptimError::InvalidParameter`] for a zero cap or non-positive
+    /// tolerance.
+    pub fn new(max_iters: usize, grad_tol: f64) -> Result<Self> {
+        if max_iters == 0 {
+            return Err(OptimError::InvalidParameter {
+                name: "max_iters",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        // `!(x > 0)` deliberately also rejects NaN tolerances.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(grad_tol > 0.0) {
+            return Err(OptimError::InvalidParameter {
+                name: "grad_tol",
+                reason: format!("{grad_tol} must be > 0"),
+            });
+        }
+        Ok(GradientDescent {
+            max_iters,
+            grad_tol,
+            ..GradientDescent::default()
+        })
+    }
+
+    /// Minimises `f` starting from `omega0`.
+    ///
+    /// Returns the best iterate found; `converged` reports whether the
+    /// gradient tolerance was met within the budget.
+    ///
+    /// # Errors
+    /// * [`OptimError::DimensionMismatch`] when `omega0` has the wrong arity.
+    /// * [`OptimError::NonFiniteObjective`] if `f` produces NaN/∞ at the
+    ///   start point or along accepted steps.
+    pub fn minimize(&self, f: &dyn Objective, omega0: &[f64]) -> Result<OptimResult> {
+        if omega0.len() != f.dim() {
+            return Err(OptimError::DimensionMismatch {
+                expected: f.dim(),
+                got: omega0.len(),
+            });
+        }
+        let mut omega = omega0.to_vec();
+        let mut value = f.value(&omega);
+        if !value.is_finite() {
+            return Err(OptimError::NonFiniteObjective);
+        }
+        let mut step = self.initial_step;
+
+        for iter in 0..self.max_iters {
+            let grad = f.gradient(&omega);
+            if grad.iter().any(|g| !g.is_finite()) {
+                return Err(OptimError::NonFiniteObjective);
+            }
+            let gnorm = vecops::norm_inf(&grad);
+            if gnorm <= self.grad_tol {
+                return Ok(OptimResult {
+                    omega,
+                    value,
+                    iterations: iter,
+                    converged: true,
+                });
+            }
+
+            // Backtracking line search along −∇f.
+            let gg = vecops::dot(&grad, &grad);
+            let mut t = step;
+            let mut accepted = false;
+            for _ in 0..MAX_BACKTRACKS {
+                let mut trial = omega.clone();
+                vecops::axpy(-t, &grad, &mut trial);
+                let trial_value = f.value(&trial);
+                if trial_value.is_finite() && trial_value <= value - ARMIJO_C * t * gg {
+                    omega = trial;
+                    value = trial_value;
+                    accepted = true;
+                    break;
+                }
+                t *= BACKTRACK_RHO;
+            }
+            if !accepted {
+                // Step underflowed: we are as converged as float math allows.
+                return Ok(OptimResult {
+                    omega,
+                    value,
+                    iterations: iter,
+                    converged: gnorm <= self.grad_tol.max(1e-6),
+                });
+            }
+            // Warm-start the next line search near the accepted step.
+            step = (t * 2.0).min(1e6);
+        }
+
+        let grad = f.gradient(&omega);
+        Ok(OptimResult {
+            converged: vecops::norm_inf(&grad) <= self.grad_tol,
+            omega,
+            value,
+            iterations: self.max_iters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f(ω) = (ω₁ − 3)² + 10(ω₂ + 1)².
+    struct Bowl;
+
+    impl Objective for Bowl {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn value(&self, w: &[f64]) -> f64 {
+            (w[0] - 3.0).powi(2) + 10.0 * (w[1] + 1.0).powi(2)
+        }
+        fn gradient(&self, w: &[f64]) -> Vec<f64> {
+            vec![2.0 * (w[0] - 3.0), 20.0 * (w[1] + 1.0)]
+        }
+    }
+
+    /// Rosenbrock: the classic hard valley.
+    struct Rosenbrock;
+
+    impl Objective for Rosenbrock {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn value(&self, w: &[f64]) -> f64 {
+            (1.0 - w[0]).powi(2) + 100.0 * (w[1] - w[0] * w[0]).powi(2)
+        }
+        fn gradient(&self, w: &[f64]) -> Vec<f64> {
+            vec![
+                -2.0 * (1.0 - w[0]) - 400.0 * w[0] * (w[1] - w[0] * w[0]),
+                200.0 * (w[1] - w[0] * w[0]),
+            ]
+        }
+    }
+
+    #[test]
+    fn converges_on_quadratic_bowl() {
+        let gd = GradientDescent::default();
+        let res = gd.minimize(&Bowl, &[0.0, 0.0]).unwrap();
+        assert!(res.converged);
+        assert!((res.omega[0] - 3.0).abs() < 1e-6);
+        assert!((res.omega[1] + 1.0).abs() < 1e-6);
+        assert!(res.value < 1e-10);
+    }
+
+    #[test]
+    fn makes_progress_on_rosenbrock() {
+        let gd = GradientDescent {
+            max_iters: 30_000,
+            grad_tol: 1e-6,
+            initial_step: 1.0,
+        };
+        let res = gd.minimize(&Rosenbrock, &[-1.2, 1.0]).unwrap();
+        // GD is slow on Rosenbrock but must reach the vicinity of (1, 1).
+        assert!(res.value < 1e-3, "value {}", res.value);
+    }
+
+    #[test]
+    fn already_optimal_returns_immediately() {
+        let gd = GradientDescent::default();
+        let res = gd.minimize(&Bowl, &[3.0, -1.0]).unwrap();
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let gd = GradientDescent {
+            max_iters: 2,
+            grad_tol: 1e-14,
+            initial_step: 1e-6,
+        };
+        let res = gd.minimize(&Rosenbrock, &[-1.2, 1.0]).unwrap();
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 2);
+    }
+
+    #[test]
+    fn monotone_decrease() {
+        // Armijo guarantees each accepted step decreases f.
+        let gd = GradientDescent {
+            max_iters: 50,
+            ..GradientDescent::default()
+        };
+        let res = gd.minimize(&Bowl, &[100.0, -50.0]).unwrap();
+        assert!(res.value <= Bowl.value(&[100.0, -50.0]));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(GradientDescent::new(0, 1e-8).is_err());
+        assert!(GradientDescent::new(10, 0.0).is_err());
+        assert!(GradientDescent::new(10, -1.0).is_err());
+        assert!(GradientDescent::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let gd = GradientDescent::default();
+        assert!(matches!(
+            gd.minimize(&Bowl, &[1.0]),
+            Err(OptimError::DimensionMismatch { .. })
+        ));
+    }
+
+    struct NanObjective;
+    impl Objective for NanObjective {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn value(&self, _: &[f64]) -> f64 {
+            f64::NAN
+        }
+        fn gradient(&self, _: &[f64]) -> Vec<f64> {
+            vec![f64::NAN]
+        }
+    }
+
+    #[test]
+    fn non_finite_objective_is_an_error() {
+        let gd = GradientDescent::default();
+        assert!(matches!(
+            gd.minimize(&NanObjective, &[0.0]),
+            Err(OptimError::NonFiniteObjective)
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+//! Optimizers for the `functional-mechanism` workspace.
+//!
+//! Two very different optimisation problems appear in the paper:
+//!
+//! 1. **Noisy quadratics** (Algorithm 1, line 8): after perturbation the
+//!    objective is `ωᵀMω + αᵀω + β`, whose minimiser solves the linear
+//!    system `2Mω = −α`. [`quadratic::minimize_quadratic`] does this in
+//!    closed form — the source of FM's order-of-magnitude running-time
+//!    advantage in Figures 7–9.
+//! 2. **The original regression objectives**, needed by the NoPrivacy and
+//!    Truncated baselines: linear regression reduces to least squares, but
+//!    exact logistic regression requires an iterative solver.
+//!    [`gd::GradientDescent`] (backtracking Armijo line search) and
+//!    [`newton::Newton`] (damped Newton with Cholesky solves) handle any
+//!    objective implementing the [`Objective`] /
+//!    [`TwiceDifferentiable`] traits.
+//!
+//! All solvers are deterministic, allocation-conscious, and return an
+//! [`OptimResult`] carrying convergence diagnostics rather than panicking
+//! on hard problems.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gd;
+pub mod newton;
+pub mod quadratic;
+
+mod error;
+mod objective;
+
+pub use error::OptimError;
+pub use objective::{numerical_gradient, Objective, TwiceDifferentiable};
+
+/// Result alias for fallible optimisation operations.
+pub type Result<T> = std::result::Result<T, OptimError>;
+
+/// The outcome of an iterative minimisation.
+#[derive(Debug, Clone)]
+pub struct OptimResult {
+    /// The final iterate.
+    pub omega: Vec<f64>,
+    /// Objective value at the final iterate.
+    pub value: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the gradient-norm tolerance was met.
+    pub converged: bool,
+}

@@ -1,0 +1,310 @@
+//! Damped Newton's method for twice-differentiable objectives.
+//!
+//! The exact logistic-regression objective is smooth and convex with an
+//! easily assembled Hessian `Σ σ(x_iᵀω)(1−σ(x_iᵀω))·x_i x_iᵀ`, so Newton
+//! converges in a handful of iterations where gradient descent needs
+//! thousands. This is what makes the NoPrivacy/Truncated baselines usable
+//! inside the paper's 5-fold × 50-repeat evaluation loops — and it is still
+//! an order of magnitude slower than FM's closed-form quadratic solve,
+//! which is precisely the running-time gap Figures 7–9 report.
+
+use fm_linalg::{vecops, Cholesky, LinalgError};
+
+use crate::{OptimError, OptimResult, Result, TwiceDifferentiable};
+
+/// Armijo sufficient-decrease constant for the damping line search.
+const ARMIJO_C: f64 = 1e-4;
+/// Step shrink factor.
+const BACKTRACK_RHO: f64 = 0.5;
+/// Maximum damping rounds per iteration.
+const MAX_BACKTRACKS: usize = 60;
+/// Levenberg-style diagonal boost applied when the Hessian is not PD, and
+/// its growth factor per failed attempt.
+const RIDGE_INIT: f64 = 1e-8;
+const RIDGE_GROWTH: f64 = 100.0;
+
+/// Damped Newton solver with Cholesky solves and automatic Levenberg
+/// regularization for non-PD Hessians.
+#[derive(Debug, Clone)]
+pub struct Newton {
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Convergence threshold on `‖∇f‖∞`.
+    pub grad_tol: f64,
+}
+
+impl Default for Newton {
+    fn default() -> Self {
+        Newton {
+            max_iters: 100,
+            grad_tol: 1e-10,
+        }
+    }
+}
+
+impl Newton {
+    /// Creates a solver.
+    ///
+    /// # Errors
+    /// [`OptimError::InvalidParameter`] for a zero cap or non-positive
+    /// tolerance.
+    pub fn new(max_iters: usize, grad_tol: f64) -> Result<Self> {
+        if max_iters == 0 {
+            return Err(OptimError::InvalidParameter {
+                name: "max_iters",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        // `!(x > 0)` deliberately also rejects NaN tolerances.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(grad_tol > 0.0) {
+            return Err(OptimError::InvalidParameter {
+                name: "grad_tol",
+                reason: format!("{grad_tol} must be > 0"),
+            });
+        }
+        Ok(Newton { max_iters, grad_tol })
+    }
+
+    /// Minimises `f` from `omega0`.
+    ///
+    /// # Errors
+    /// * [`OptimError::DimensionMismatch`] on arity mismatch.
+    /// * [`OptimError::NonFiniteObjective`] on NaN/∞ values.
+    /// * [`OptimError::Linalg`] if the (regularized) Hessian cannot be
+    ///   factored at all.
+    pub fn minimize(&self, f: &dyn TwiceDifferentiable, omega0: &[f64]) -> Result<OptimResult> {
+        if omega0.len() != f.dim() {
+            return Err(OptimError::DimensionMismatch {
+                expected: f.dim(),
+                got: omega0.len(),
+            });
+        }
+        let mut omega = omega0.to_vec();
+        let mut value = f.value(&omega);
+        if !value.is_finite() {
+            return Err(OptimError::NonFiniteObjective);
+        }
+
+        for iter in 0..self.max_iters {
+            let grad = f.gradient(&omega);
+            if grad.iter().any(|g| !g.is_finite()) {
+                return Err(OptimError::NonFiniteObjective);
+            }
+            if vecops::norm_inf(&grad) <= self.grad_tol {
+                return Ok(OptimResult {
+                    omega,
+                    value,
+                    iterations: iter,
+                    converged: true,
+                });
+            }
+
+            // Newton direction: H·p = −∇f, with Levenberg ridge escalation
+            // if H is not positive definite.
+            let hessian = f.hessian(&omega);
+            let neg_grad = vecops::scaled(-1.0, &grad);
+            let mut ridge = 0.0;
+            let direction = loop {
+                let mut h = hessian.clone();
+                if ridge > 0.0 {
+                    h.add_diagonal(ridge);
+                }
+                match Cholesky::new(&h) {
+                    Ok(chol) => break chol.solve(&neg_grad)?,
+                    Err(LinalgError::NotPositiveDefinite { .. } | LinalgError::NotSymmetric) => {
+                        ridge = if ridge == 0.0 { RIDGE_INIT } else { ridge * RIDGE_GROWTH };
+                        if ridge > 1e12 {
+                            return Err(OptimError::Linalg(LinalgError::NotPositiveDefinite {
+                                pivot: 0,
+                            }));
+                        }
+                    }
+                    Err(e) => return Err(OptimError::Linalg(e)),
+                }
+            };
+
+            // Damping: backtrack until Armijo decrease along the Newton
+            // direction holds.
+            let slope = vecops::dot(&grad, &direction); // negative for a descent direction
+            let mut t = 1.0;
+            let mut accepted = false;
+            for _ in 0..MAX_BACKTRACKS {
+                let mut trial = omega.clone();
+                vecops::axpy(t, &direction, &mut trial);
+                let trial_value = f.value(&trial);
+                if trial_value.is_finite() && trial_value <= value + ARMIJO_C * t * slope {
+                    omega = trial;
+                    value = trial_value;
+                    accepted = true;
+                    break;
+                }
+                t *= BACKTRACK_RHO;
+            }
+            if !accepted {
+                return Ok(OptimResult {
+                    converged: false,
+                    omega,
+                    value,
+                    iterations: iter,
+                });
+            }
+        }
+
+        let grad = f.gradient(&omega);
+        Ok(OptimResult {
+            converged: vecops::norm_inf(&grad) <= self.grad_tol,
+            omega,
+            value,
+            iterations: self.max_iters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Objective;
+    use fm_linalg::Matrix;
+
+    /// f(ω) = ωᵀAω − bᵀω with SPD A: Newton converges in one step.
+    struct Quadratic {
+        a: Matrix,
+        b: Vec<f64>,
+    }
+
+    impl Objective for Quadratic {
+        fn dim(&self) -> usize {
+            self.b.len()
+        }
+        fn value(&self, w: &[f64]) -> f64 {
+            self.a.quadratic_form(w).unwrap() - vecops::dot(&self.b, w)
+        }
+        fn gradient(&self, w: &[f64]) -> Vec<f64> {
+            let mut g = self.a.matvec(w).unwrap();
+            vecops::scale(2.0, &mut g);
+            vecops::axpy(-1.0, &self.b, &mut g);
+            g
+        }
+    }
+
+    impl TwiceDifferentiable for Quadratic {
+        fn hessian(&self, _: &[f64]) -> Matrix {
+            self.a.scaled(2.0)
+        }
+    }
+
+    /// Smooth convex non-quadratic: f(ω) = log(1 + e^{ω}) + ω²/2 in 1-D.
+    struct LogSumSquare;
+
+    impl Objective for LogSumSquare {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn value(&self, w: &[f64]) -> f64 {
+            (1.0 + w[0].exp()).ln() + 0.5 * w[0] * w[0]
+        }
+        fn gradient(&self, w: &[f64]) -> Vec<f64> {
+            let s = 1.0 / (1.0 + (-w[0]).exp());
+            vec![s + w[0]]
+        }
+    }
+
+    impl TwiceDifferentiable for LogSumSquare {
+        fn hessian(&self, w: &[f64]) -> Matrix {
+            let s = 1.0 / (1.0 + (-w[0]).exp());
+            Matrix::from_diagonal(&[s * (1.0 - s) + 1.0])
+        }
+    }
+
+    #[test]
+    fn one_step_on_quadratic() {
+        let q = Quadratic {
+            a: Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]).unwrap(),
+            b: vec![1.0, -2.0],
+        };
+        let res = Newton::default().minimize(&q, &[10.0, -10.0]).unwrap();
+        assert!(res.converged);
+        assert!(res.iterations <= 2, "took {} iterations", res.iterations);
+        assert!(vecops::norm_inf(&q.gradient(&res.omega)) < 1e-9);
+    }
+
+    #[test]
+    fn converges_on_smooth_convex() {
+        let res = Newton::default().minimize(&LogSumSquare, &[5.0]).unwrap();
+        assert!(res.converged);
+        // Optimum solves σ(ω) + ω = 0 → ω ≈ −0.4013.
+        assert!((res.omega[0] + 0.4013).abs() < 1e-3, "ω = {}", res.omega[0]);
+        // Verify stationarity directly: σ(ω) = −ω.
+        let sigma = 1.0 / (1.0 + (-res.omega[0]).exp());
+        assert!((sigma + res.omega[0]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn matches_gradient_descent_answer() {
+        let q = Quadratic {
+            a: Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap(),
+            b: vec![0.5, 1.5],
+        };
+        let newton = Newton::default().minimize(&q, &[0.0, 0.0]).unwrap();
+        let gd = crate::gd::GradientDescent::default()
+            .minimize(&q, &[0.0, 0.0])
+            .unwrap();
+        assert!(vecops::approx_eq(&newton.omega, &gd.omega, 1e-5));
+    }
+
+    /// Concave start region: Hessian not PD at the start point, forcing the
+    /// Levenberg ridge path. f(ω) = ω⁴ − ω² has negative curvature at 0.2.
+    struct DoubleWell;
+
+    impl Objective for DoubleWell {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn value(&self, w: &[f64]) -> f64 {
+            w[0].powi(4) - w[0] * w[0]
+        }
+        fn gradient(&self, w: &[f64]) -> Vec<f64> {
+            vec![4.0 * w[0].powi(3) - 2.0 * w[0]]
+        }
+    }
+
+    impl TwiceDifferentiable for DoubleWell {
+        fn hessian(&self, w: &[f64]) -> Matrix {
+            Matrix::from_diagonal(&[12.0 * w[0] * w[0] - 2.0])
+        }
+    }
+
+    #[test]
+    fn ridge_rescues_indefinite_hessian() {
+        let res = Newton::default().minimize(&DoubleWell, &[0.2]).unwrap();
+        assert!(res.converged);
+        // Minima at ±1/√2 with value −1/4.
+        assert!((res.value + 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Newton::new(0, 1e-8).is_err());
+        assert!(Newton::new(5, -1.0).is_err());
+        let q = Quadratic {
+            a: Matrix::identity(2),
+            b: vec![0.0, 0.0],
+        };
+        assert!(matches!(
+            Newton::default().minimize(&q, &[0.0]),
+            Err(OptimError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn already_optimal() {
+        let q = Quadratic {
+            a: Matrix::identity(1),
+            b: vec![2.0],
+        };
+        let res = Newton::default().minimize(&q, &[1.0]).unwrap();
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+}

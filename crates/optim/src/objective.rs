@@ -1,0 +1,83 @@
+use fm_linalg::Matrix;
+
+/// A differentiable objective function `f : ℝᵈ → ℝ` to minimise.
+///
+/// Implementors must return finite values for finite inputs wherever
+/// possible (e.g. use numerically-stable formulations like
+/// `fm_poly::taylor::log1p_exp` for logistic loss); the solvers treat
+/// non-finite outputs as a hard error.
+pub trait Objective {
+    /// Number of variables `d`.
+    fn dim(&self) -> usize;
+
+    /// Objective value at `omega`.
+    fn value(&self, omega: &[f64]) -> f64;
+
+    /// Gradient at `omega` (length `d`).
+    fn gradient(&self, omega: &[f64]) -> Vec<f64>;
+}
+
+/// An objective that can also produce its Hessian, enabling Newton steps.
+pub trait TwiceDifferentiable: Objective {
+    /// Hessian at `omega` (`d × d`, symmetric).
+    fn hessian(&self, omega: &[f64]) -> Matrix;
+}
+
+/// Central-difference numerical gradient — a test utility for validating
+/// analytic gradients of [`Objective`] implementations.
+#[must_use]
+pub fn numerical_gradient(f: &dyn Objective, omega: &[f64], h: f64) -> Vec<f64> {
+    let mut g = vec![0.0; omega.len()];
+    let mut probe = omega.to_vec();
+    for i in 0..omega.len() {
+        let orig = probe[i];
+        probe[i] = orig + h;
+        let up = f.value(&probe);
+        probe[i] = orig - h;
+        let down = f.value(&probe);
+        probe[i] = orig;
+        g[i] = (up - down) / (2.0 * h);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f(ω) = Σ (ω_i − i)².
+    struct Paraboloid {
+        d: usize,
+    }
+
+    impl Objective for Paraboloid {
+        fn dim(&self) -> usize {
+            self.d
+        }
+        fn value(&self, omega: &[f64]) -> f64 {
+            omega
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (w - i as f64) * (w - i as f64))
+                .sum()
+        }
+        fn gradient(&self, omega: &[f64]) -> Vec<f64> {
+            omega
+                .iter()
+                .enumerate()
+                .map(|(i, w)| 2.0 * (w - i as f64))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn numerical_gradient_matches_analytic() {
+        let f = Paraboloid { d: 3 };
+        let omega = [0.5, -1.0, 4.0];
+        let analytic = f.gradient(&omega);
+        let numeric = numerical_gradient(&f, &omega, 1e-6);
+        for (a, n) in analytic.iter().zip(&numeric) {
+            assert!((a - n).abs() < 1e-6, "{a} vs {n}");
+        }
+    }
+}

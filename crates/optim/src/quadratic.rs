@@ -1,0 +1,126 @@
+//! Closed-form minimisation of quadratic objectives — Algorithm 1, line 8.
+//!
+//! For `f(ω) = ωᵀMω + αᵀω + β` with symmetric `M`, the stationarity
+//! condition is `2Mω + α = 0`. When `M` is positive definite the solution
+//! is the unique global minimiser; when it has a non-positive eigenvalue
+//! the objective is unbounded below and [`OptimError::UnboundedObjective`]
+//! is returned — that error is the trigger for the paper's Section-6
+//! post-processing (regularization / spectral trimming) or the Lemma-5
+//! resample loop.
+
+use fm_linalg::{vecops, Cholesky, LinalgError, Matrix};
+
+use crate::{OptimError, Result};
+
+/// Minimises `ωᵀMω + αᵀω` for symmetric `M`, returning the unique global
+/// minimiser.
+///
+/// Positive definiteness is certified by Cholesky (which is also the solve),
+/// so unbounded objectives are detected rather than silently returning a
+/// saddle point.
+///
+/// # Errors
+/// * [`OptimError::UnboundedObjective`] when `M` is not positive definite.
+/// * [`OptimError::DimensionMismatch`] when `α` and `M` disagree.
+/// * [`OptimError::Linalg`] for shape errors in `M` itself.
+pub fn minimize_quadratic(m: &Matrix, alpha: &[f64]) -> Result<Vec<f64>> {
+    if m.rows() != alpha.len() {
+        return Err(OptimError::DimensionMismatch {
+            expected: m.rows(),
+            got: alpha.len(),
+        });
+    }
+    let chol = match Cholesky::new(m) {
+        Ok(c) => c,
+        Err(LinalgError::NotPositiveDefinite { .. }) => {
+            return Err(OptimError::UnboundedObjective)
+        }
+        Err(e) => return Err(OptimError::Linalg(e)),
+    };
+    // 2Mω = −α.
+    let rhs = vecops::scaled(-0.5, alpha);
+    Ok(chol.solve(&rhs)?)
+}
+
+/// `true` iff the quadratic `ωᵀMω + αᵀω + β` has a finite minimum, i.e.
+/// `M` (symmetrised) is positive definite.
+#[must_use]
+pub fn is_bounded_below(m: &Matrix) -> bool {
+    let mut s = m.clone();
+    if s.symmetrize().is_err() {
+        return false;
+    }
+    Cholesky::new(&s).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_simple_quadratic() {
+        // f(ω) = 2ω² − 2.34ω + 1.25 (paper §4.2 with M = 2.06): minimiser
+        // ω* = 2.34 / (2·2.06) = 117/206.
+        let m = Matrix::from_diagonal(&[2.06]);
+        let omega = minimize_quadratic(&m, &[-2.34]).unwrap();
+        assert!((omega[0] - 117.0 / 206.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimises_multivariate() {
+        // f = ω1² + 2ω2² − 2ω1 − 8ω2: minimiser (1, 2).
+        let m = Matrix::from_diagonal(&[1.0, 2.0]);
+        let omega = minimize_quadratic(&m, &[-2.0, -8.0]).unwrap();
+        assert!(vecops::approx_eq(&omega, &[1.0, 2.0], 1e-12));
+    }
+
+    #[test]
+    fn minimiser_zeroes_the_gradient() {
+        let m = Matrix::from_rows(&[&[3.0, 0.5], &[0.5, 2.0]]).unwrap();
+        let alpha = [1.0, -4.0];
+        let omega = minimize_quadratic(&m, &alpha).unwrap();
+        // ∇ = 2Mω + α must vanish.
+        let mut grad = m.matvec(&omega).unwrap();
+        vecops::scale(2.0, &mut grad);
+        vecops::axpy(1.0, &alpha, &mut grad);
+        assert!(vecops::norm_inf(&grad) < 1e-10);
+    }
+
+    #[test]
+    fn unbounded_detected_for_indefinite() {
+        // Eigenvalues 3, −1.
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            minimize_quadratic(&m, &[0.0, 0.0]),
+            Err(OptimError::UnboundedObjective)
+        ));
+        assert!(!is_bounded_below(&m));
+    }
+
+    #[test]
+    fn unbounded_detected_for_negative_definite() {
+        let m = Matrix::from_diagonal(&[-1.0, -1.0]);
+        assert!(matches!(
+            minimize_quadratic(&m, &[1.0, 1.0]),
+            Err(OptimError::UnboundedObjective)
+        ));
+    }
+
+    #[test]
+    fn boundedness_probe_symmetrizes_first() {
+        // Asymmetric but with SPD symmetric part.
+        let m = Matrix::from_rows(&[&[2.0, 1.0], &[-1.0, 2.0]]).unwrap();
+        assert!(is_bounded_below(&m));
+        // Rectangular input is simply "not bounded" rather than a panic.
+        assert!(!is_bounded_below(&Matrix::zeros(2, 3)));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let m = Matrix::identity(2);
+        assert!(matches!(
+            minimize_quadratic(&m, &[1.0]),
+            Err(OptimError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the optimizers: solver correctness laws over
+//! randomly generated convex problems.
+
+use fm_linalg::{vecops, Matrix};
+use fm_optim::gd::GradientDescent;
+use fm_optim::newton::Newton;
+use fm_optim::quadratic::{is_bounded_below, minimize_quadratic};
+use fm_optim::{numerical_gradient, Objective, TwiceDifferentiable};
+use proptest::prelude::*;
+
+/// A strictly convex quadratic `ωᵀMω + αᵀω` with `M = AᵀA + I`.
+#[derive(Debug, Clone)]
+struct ConvexQuadratic {
+    m: Matrix,
+    alpha: Vec<f64>,
+}
+
+impl ConvexQuadratic {
+    fn strategy(d: usize) -> impl Strategy<Value = ConvexQuadratic> {
+        (
+            proptest::collection::vec(-3.0..3.0f64, d * d),
+            proptest::collection::vec(-3.0..3.0f64, d),
+        )
+            .prop_map(move |(data, alpha)| {
+                let a = Matrix::from_vec(d, d, data).expect("sized");
+                let mut m = a.transpose().matmul(&a).expect("square");
+                m.add_diagonal(1.0);
+                m.symmetrize().expect("square");
+                ConvexQuadratic { m, alpha }
+            })
+    }
+}
+
+impl Objective for ConvexQuadratic {
+    fn dim(&self) -> usize {
+        self.alpha.len()
+    }
+    fn value(&self, omega: &[f64]) -> f64 {
+        self.m.quadratic_form(omega).expect("arity") + vecops::dot(&self.alpha, omega)
+    }
+    fn gradient(&self, omega: &[f64]) -> Vec<f64> {
+        // ∇ = 2Mω + α.
+        let mut g = self.m.matvec(omega).expect("arity");
+        vecops::scale(2.0, &mut g);
+        vecops::axpy(1.0, &self.alpha, &mut g);
+        g
+    }
+}
+
+impl TwiceDifferentiable for ConvexQuadratic {
+    fn hessian(&self, _omega: &[f64]) -> Matrix {
+        self.m.scaled(2.0)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn closed_form_minimum_has_zero_gradient(
+        q in (1usize..6).prop_flat_map(ConvexQuadratic::strategy)
+    ) {
+        let omega = minimize_quadratic(&q.m, &q.alpha).expect("SPD by construction");
+        let g = q.gradient(&omega);
+        let scale = 1.0 + q.m.max_abs() * vecops::norm_inf(&omega) + vecops::norm_inf(&q.alpha);
+        prop_assert!(vecops::norm_inf(&g) <= 1e-7 * scale, "gradient {g:?}");
+    }
+
+    #[test]
+    fn closed_form_is_a_global_minimum_on_probes(
+        q in (1usize..5).prop_flat_map(ConvexQuadratic::strategy),
+        probe in proptest::collection::vec(-2.0..2.0f64, 5),
+    ) {
+        let omega = minimize_quadratic(&q.m, &q.alpha).expect("SPD");
+        let d = q.dim();
+        let perturbed: Vec<f64> = omega.iter().zip(probe.iter().take(d)).map(|(w, p)| w + p).collect();
+        prop_assert!(q.value(&omega) <= q.value(&perturbed) + 1e-9 * (1.0 + q.value(&perturbed).abs()));
+    }
+
+    #[test]
+    fn gradient_descent_reaches_closed_form(
+        q in (1usize..5).prop_flat_map(ConvexQuadratic::strategy)
+    ) {
+        // On ill-conditioned draws GD may hit the iteration cap before the
+        // gradient tolerance — the property that matters is the optimality
+        // *gap*, which linear convergence makes tiny long before then.
+        let exact = minimize_quadratic(&q.m, &q.alpha).expect("SPD");
+        let gd = GradientDescent::new(20_000, 1e-8).expect("config");
+        let result = gd.minimize(&q, &vec![0.0; q.dim()]).expect("convex problem");
+        let gap = result.value - q.value(&exact);
+        prop_assert!(
+            gap.abs() <= 1e-5 * (1.0 + q.value(&exact).abs()),
+            "gap {gap} (converged = {})",
+            result.converged
+        );
+    }
+
+    #[test]
+    fn newton_reaches_closed_form_in_few_steps(
+        q in (1usize..5).prop_flat_map(ConvexQuadratic::strategy)
+    ) {
+        let exact = minimize_quadratic(&q.m, &q.alpha).expect("SPD");
+        let result = Newton::default().minimize(&q, &vec![0.0; q.dim()]).expect("convex");
+        prop_assert!(result.converged);
+        // A quadratic is solved by one full Newton step (plus line-search
+        // bookkeeping); allow a handful.
+        prop_assert!(result.iterations <= 5, "{} iterations", result.iterations);
+        prop_assert!(vecops::dist2(&result.omega, &exact) <= 1e-6 * (1.0 + vecops::norm2(&exact)));
+    }
+
+    #[test]
+    fn gd_never_increases_the_objective(
+        q in (1usize..5).prop_flat_map(ConvexQuadratic::strategy),
+        start in proptest::collection::vec(-2.0..2.0f64, 5),
+    ) {
+        let d = q.dim();
+        let omega0: Vec<f64> = start.into_iter().take(d).collect();
+        let omega0 = if omega0.len() < d { vec![0.5; d] } else { omega0 };
+        let gd = GradientDescent::new(500, 1e-9).expect("config");
+        let result = gd.minimize(&q, &omega0).expect("convex");
+        // Armijo line search guarantees monotone decrease.
+        prop_assert!(result.value <= q.value(&omega0) + 1e-12);
+    }
+
+    #[test]
+    fn numerical_gradient_validates_analytic(
+        q in (1usize..5).prop_flat_map(ConvexQuadratic::strategy),
+        probe in proptest::collection::vec(-1.0..1.0f64, 5),
+    ) {
+        let d = q.dim();
+        let omega: Vec<f64> = probe.into_iter().take(d).collect();
+        let omega = if omega.len() < d { vec![0.1; d] } else { omega };
+        let analytic = q.gradient(&omega);
+        let numeric = numerical_gradient(&q, &omega, 1e-6);
+        for i in 0..d {
+            let scale = 1.0 + analytic[i].abs();
+            prop_assert!((analytic[i] - numeric[i]).abs() <= 1e-4 * scale,
+                "component {i}: {} vs {}", analytic[i], numeric[i]);
+        }
+    }
+
+    #[test]
+    fn indefinite_quadratics_are_reported_unbounded(
+        d in 1usize..5,
+        negative_idx in 0usize..5,
+    ) {
+        // M with one negative diagonal entry: unbounded below.
+        let idx = negative_idx % d;
+        let diag: Vec<f64> = (0..d).map(|i| if i == idx { -1.0 } else { 1.0 }).collect();
+        let m = Matrix::from_diagonal(&diag);
+        prop_assert!(!is_bounded_below(&m));
+        prop_assert!(matches!(
+            minimize_quadratic(&m, &vec![0.0; d]),
+            Err(fm_optim::OptimError::UnboundedObjective)
+        ));
+    }
+}

@@ -1,0 +1,297 @@
+//! Chebyshev degree-2 approximation of scalar objective components — the
+//! alternative "analytical tool" the paper's future-work section (§8) asks
+//! about.
+//!
+//! Section 5 approximates `f_l(z)` by its degree-2 **Taylor** polynomial at
+//! `z_l = 0`, which is optimal *at the centre* but degrades like `|z|³`
+//! towards the edge of the working interval. A degree-2 **Chebyshev**
+//! truncation over `z ∈ [−R, R]` instead spreads the error evenly across
+//! the interval (it is within a small factor of the true minimax
+//! polynomial), so:
+//!
+//! * for the same interval (`R = 1`, the paper's Lemma-4 window) the
+//!   worst-case approximation error is strictly smaller than Taylor's; and
+//! * `R` becomes a tuning knob: a larger `R` keeps the approximation honest
+//!   for models with larger `|xᵀω|`, in exchange for more error near 0 and
+//!   a (slightly) different coefficient sensitivity.
+//!
+//! The fitted polynomial is returned in monomial form `a₀ + a₁z + a₂z²`
+//! and can be re-packaged as a [`TaylorComponent`]
+//! so the whole Algorithm-2 pipeline (per-tuple accumulation, perturbation,
+//! §6 post-processing) is reused unchanged; only the sensitivity constant
+//! changes (see `fm-core::logreg`'s Chebyshev objective).
+
+use crate::taylor::TaylorComponent;
+
+/// Number of Chebyshev–Gauss quadrature nodes used to project onto
+/// `T₀, T₁, T₂`. The integrand (logistic loss and friends) is analytic, so
+/// coefficients converge geometrically; 64 nodes leave the projection error
+/// at machine precision.
+const QUADRATURE_NODES: usize = 64;
+
+/// Grid resolution for the numerical sup-error scan.
+const ERROR_SCAN_POINTS: usize = 2_001;
+
+/// A degree-2 Chebyshev truncation `p(z) = a₀ + a₁z + a₂z²` of a scalar
+/// function over `[−R, R]`, with its measured sup-error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChebyshevQuadratic {
+    half_width: f64,
+    /// Monomial coefficients `[a₀, a₁, a₂]`.
+    coeffs: [f64; 3],
+    /// `sup_{|z| ≤ R} |f(z) − p(z)|`, estimated on a dense grid.
+    max_error: f64,
+}
+
+impl ChebyshevQuadratic {
+    /// Fits the degree-2 Chebyshev truncation of `f` on `[−half_width,
+    /// half_width]`.
+    ///
+    /// The first three Chebyshev coefficients are computed with
+    /// Chebyshev–Gauss quadrature
+    /// (`c_k = (2/N) Σ_j f(R·cos θ_j)·cos(k θ_j)`), then converted to
+    /// monomial form via `T₀ = 1`, `T₁ = u`, `T₂ = 2u² − 1` with `u = z/R`.
+    ///
+    /// # Panics
+    /// Panics if `half_width` is not a finite positive number, or if `f`
+    /// returns a non-finite value on the interval — both indicate programmer
+    /// error (the interval and component functions are compile-time choices,
+    /// not data).
+    #[must_use]
+    pub fn fit(f: impl Fn(f64) -> f64, half_width: f64) -> Self {
+        assert!(
+            half_width.is_finite() && half_width > 0.0,
+            "half_width must be finite and positive, got {half_width}"
+        );
+        let r = half_width;
+        let n = QUADRATURE_NODES;
+        let mut c = [0.0f64; 3];
+        for j in 0..n {
+            let theta = std::f64::consts::PI * (j as f64 + 0.5) / n as f64;
+            let fz = f(r * theta.cos());
+            assert!(fz.is_finite(), "component function non-finite at z = {}", r * theta.cos());
+            for (k, ck) in c.iter_mut().enumerate() {
+                *ck += fz * (k as f64 * theta).cos();
+            }
+        }
+        for ck in &mut c {
+            *ck *= 2.0 / n as f64;
+        }
+
+        // p(z) = c₀/2 + c₁·(z/R) + c₂·(2(z/R)² − 1).
+        let a0 = 0.5 * c[0] - c[2];
+        let a1 = c[1] / r;
+        let a2 = 2.0 * c[2] / (r * r);
+
+        // Sup-error over a dense grid (the truncation error of an analytic
+        // function is smooth, so a 2001-point scan is accurate to ~1e-6·R³).
+        let mut max_error = 0.0f64;
+        for i in 0..ERROR_SCAN_POINTS {
+            let z = r * (2.0 * i as f64 / (ERROR_SCAN_POINTS - 1) as f64 - 1.0);
+            let p = a0 + a1 * z + a2 * z * z;
+            max_error = max_error.max((f(z) - p).abs());
+        }
+
+        ChebyshevQuadratic {
+            half_width,
+            coeffs: [a0, a1, a2],
+            max_error,
+        }
+    }
+
+    /// The approximation interval's half-width `R`.
+    #[must_use]
+    pub fn half_width(&self) -> f64 {
+        self.half_width
+    }
+
+    /// Monomial coefficients `[a₀, a₁, a₂]` of `p(z) = a₀ + a₁z + a₂z²`.
+    #[must_use]
+    pub fn coefficients(&self) -> [f64; 3] {
+        self.coeffs
+    }
+
+    /// Evaluates the fitted polynomial.
+    #[must_use]
+    pub fn eval(&self, z: f64) -> f64 {
+        let [a0, a1, a2] = self.coeffs;
+        a0 + a1 * z + a2 * z * z
+    }
+
+    /// `sup_{|z| ≤ R} |f(z) − p(z)|`, estimated numerically at fit time.
+    #[must_use]
+    pub fn max_error(&self) -> f64 {
+        self.max_error
+    }
+
+    /// The Lemma-3 style bound on the *averaged* optimality gap when this
+    /// approximation replaces the exact component: `L − S ≤ 2·max_error`
+    /// per tuple (both the max and the min of `f − p` lie in
+    /// `[−max_error, max_error]`).
+    #[must_use]
+    pub fn lemma3_gap_bound(&self) -> f64 {
+        2.0 * self.max_error
+    }
+
+    /// Repackages the polynomial as a [`TaylorComponent`] (centre 0, derivs
+    /// `[a₀, a₁, 2a₂]`) so the Algorithm-2 accumulation machinery is reused
+    /// verbatim.
+    ///
+    /// The component's `third_deriv_range` is zeroed: the Chebyshev error is
+    /// *not* a Taylor remainder, so Lemma-4 bookkeeping does not apply —
+    /// callers should use [`ChebyshevQuadratic::max_error`] /
+    /// [`ChebyshevQuadratic::lemma3_gap_bound`] instead.
+    #[must_use]
+    pub fn as_component(&self) -> TaylorComponent {
+        let [a0, a1, a2] = self.coeffs;
+        TaylorComponent {
+            center: 0.0,
+            derivs: [a0, a1, 2.0 * a2],
+            third_deriv_range: (0.0, 0.0),
+        }
+    }
+}
+
+/// The Chebyshev counterpart of
+/// [`logistic_log1pexp_component`](crate::taylor::logistic_log1pexp_component):
+/// degree-2 Chebyshev truncation of `f₁(z) = log(1 + eᶻ)` over `[−R, R]`.
+///
+/// Because `log(1+eᶻ) − z/2` is even, the fitted `a₁` equals `½` exactly
+/// (up to quadrature rounding) for every `R` — only the curvature `a₂` and
+/// the constant `a₀` move. As `R → 0` the fit converges to the paper's
+/// Taylor constants `(log 2, ½, ⅛)`.
+#[must_use]
+pub fn logistic_chebyshev(half_width: f64) -> ChebyshevQuadratic {
+    ChebyshevQuadratic::fit(crate::taylor::log1p_exp, half_width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taylor::{log1p_exp, logistic_log1pexp_component};
+
+    #[test]
+    fn recovers_exact_quadratic() {
+        // Fitting a degree-2 polynomial must reproduce it exactly.
+        let f = |z: f64| 1.5 - 0.7 * z + 0.3 * z * z;
+        let cheb = ChebyshevQuadratic::fit(f, 2.0);
+        let [a0, a1, a2] = cheb.coefficients();
+        assert!((a0 - 1.5).abs() < 1e-12);
+        assert!((a1 + 0.7).abs() < 1e-12);
+        assert!((a2 - 0.3).abs() < 1e-12);
+        assert!(cheb.max_error() < 1e-12);
+        assert!(cheb.lemma3_gap_bound() < 1e-11);
+    }
+
+    #[test]
+    fn logistic_linear_coefficient_is_half() {
+        // log(1+eᶻ) − z/2 is even ⇒ a₁ = ½ exactly, for every R.
+        for &r in &[0.5, 1.0, 2.0, 4.0] {
+            let cheb = logistic_chebyshev(r);
+            assert!(
+                (cheb.coefficients()[1] - 0.5).abs() < 1e-12,
+                "a₁ = {} at R = {r}",
+                cheb.coefficients()[1]
+            );
+        }
+    }
+
+    #[test]
+    fn logistic_converges_to_taylor_as_r_shrinks() {
+        let cheb = logistic_chebyshev(1e-3);
+        let [a0, a1, a2] = cheb.coefficients();
+        assert!((a0 - std::f64::consts::LN_2).abs() < 1e-7);
+        assert!((a1 - 0.5).abs() < 1e-7);
+        assert!((a2 - 0.125).abs() < 1e-4, "a₂ = {a2}");
+    }
+
+    #[test]
+    fn logistic_beats_taylor_sup_error_on_same_interval() {
+        // On [−1, 1] the Chebyshev fit's worst error must be strictly below
+        // the Taylor truncation's worst error (≈ 0.0152·? — measure both).
+        let cheb = logistic_chebyshev(1.0);
+        let taylor = logistic_log1pexp_component();
+        let mut taylor_sup = 0.0f64;
+        for i in 0..=2_000 {
+            let z = -1.0 + 2.0 * i as f64 / 2_000.0;
+            taylor_sup = taylor_sup.max((taylor.eval_truncated(z) - log1p_exp(z)).abs());
+        }
+        assert!(
+            cheb.max_error() < taylor_sup,
+            "chebyshev {} should beat taylor {}",
+            cheb.max_error(),
+            taylor_sup
+        );
+        // And by a real margin (minimax spreads error: typically several-fold lower
+        // for cubic-dominated remainders).
+        assert!(cheb.max_error() < 0.6 * taylor_sup);
+    }
+
+    #[test]
+    fn error_grows_with_interval() {
+        let e1 = logistic_chebyshev(1.0).max_error();
+        let e2 = logistic_chebyshev(2.0).max_error();
+        let e4 = logistic_chebyshev(4.0).max_error();
+        assert!(e1 < e2 && e2 < e4, "{e1} {e2} {e4}");
+    }
+
+    #[test]
+    fn curvature_shrinks_with_interval() {
+        // Wider fits flatten the parabola (the paper-relevant effect: lower
+        // a₂ ⇒ lower degree-2 sensitivity contribution).
+        let a2_1 = logistic_chebyshev(1.0).coefficients()[2];
+        let a2_4 = logistic_chebyshev(4.0).coefficients()[2];
+        assert!(a2_1 > a2_4 && a2_4 > 0.0, "{a2_1} vs {a2_4}");
+    }
+
+    #[test]
+    fn as_component_accumulates_identically() {
+        use crate::QuadraticForm;
+        let cheb = logistic_chebyshev(1.0);
+        let comp = cheb.as_component();
+        let c = [0.6, -0.3];
+        let mut q = QuadraticForm::zero(2);
+        comp.accumulate_into(&c, &mut q);
+        for omega in [[0.0, 0.0], [0.5, 1.0], [-1.0, 0.4]] {
+            let z = c[0] * omega[0] + c[1] * omega[1];
+            assert!(
+                (q.eval(&omega) - cheb.eval(z)).abs() < 1e-12,
+                "mismatch at {omega:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_matches_coefficients() {
+        let cheb = logistic_chebyshev(2.0);
+        let [a0, a1, a2] = cheb.coefficients();
+        for &z in &[-2.0, -0.5, 0.0, 1.0, 2.0] {
+            assert!((cheb.eval(z) - (a0 + a1 * z + a2 * z * z)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "half_width must be finite and positive")]
+    fn rejects_bad_interval() {
+        let _ = ChebyshevQuadratic::fit(|z| z, 0.0);
+    }
+
+    #[test]
+    fn near_equioscillation_of_the_error() {
+        // A Chebyshev truncation of an analytic function is near-minimax:
+        // the error should touch ≈ ±max_error several times rather than
+        // being one-sided. Check the error attains both signs at ≥ 60% of
+        // the sup magnitude.
+        let cheb = logistic_chebyshev(1.0);
+        let mut min_err = f64::INFINITY;
+        let mut max_err = f64::NEG_INFINITY;
+        for i in 0..=2_000 {
+            let z = -1.0 + 2.0 * i as f64 / 2_000.0;
+            let err = log1p_exp(z) - cheb.eval(z);
+            min_err = min_err.min(err);
+            max_err = max_err.max(err);
+        }
+        assert!(max_err > 0.6 * cheb.max_error(), "{max_err}");
+        assert!(min_err < -0.6 * cheb.max_error(), "{min_err}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Multivariate polynomial machinery for objective-function perturbation.
+//!
+//! Section 4 of *Functional Mechanism* (Zhang et al., VLDB 2012) rests on
+//! the polynomial representation of objective functions: by the
+//! Stone–Weierstrass theorem any continuous differentiable cost
+//! `f(t_i, ω)` can be written as `Σ_j Σ_{φ∈Φ_j} λ_{φ t_i} · φ(ω)` where
+//! `Φ_j` is the set of degree-`j` monomials over `ω₁…ω_d` (Equation 3).
+//! The mechanism then perturbs the *coefficients* `λ_φ`.
+//!
+//! This crate provides:
+//!
+//! * [`monomial::Monomial`] and [`monomial::monomials_of_degree`] — the
+//!   `φ` and `Φ_j` of Equation 2, with exact enumeration.
+//! * [`polynomial::Polynomial`] — a sparse multivariate polynomial keyed by
+//!   monomials; evaluation, gradient, arithmetic.
+//! * [`quadratic::QuadraticForm`] — the dense degree-≤2 specialisation
+//!   `ωᵀMω + αᵀω + β` in which both of the paper's case studies live after
+//!   (exact or Taylor-truncated) expansion; this is the structure Algorithm 1
+//!   actually perturbs and Section 6 post-processes.
+//! * [`taylor`] — Section 5's approximation: decompositions
+//!   `f(t,ω) = Σ_l f_l(g_l(t,ω))` with `g_l` linear in ω, degree-2 Taylor
+//!   truncation, and the Lemma-4 remainder bounds (including the paper's
+//!   closed-form `(e²−e)/6(1+e)³ ≈ 0.015` constant for logistic loss).
+//! * [`chebyshev`] — the §8-future-work alternative: degree-2 Chebyshev
+//!   truncation over a configurable interval, with measured sup-error;
+//!   strictly better worst-case approximation than Taylor on the same
+//!   interval, and a width knob trading centre accuracy for tail accuracy.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chebyshev;
+pub mod monomial;
+pub mod polynomial;
+pub mod quadratic;
+pub mod taylor;
+
+pub use chebyshev::ChebyshevQuadratic;
+pub use monomial::Monomial;
+pub use polynomial::Polynomial;
+pub use quadratic::QuadraticForm;

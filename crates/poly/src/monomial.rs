@@ -1,0 +1,309 @@
+//! Monomials `φ(ω) = ω₁^{c₁} · ω₂^{c₂} ⋯ ω_d^{c_d}` and the degree sets
+//! `Φ_j` of Equation 2 in the paper.
+
+use std::fmt;
+
+/// A monomial over `d` model-parameter variables, stored as its exponent
+/// vector. `Monomial { exponents: vec![2, 0, 1] }` is `ω₁²·ω₃`.
+///
+/// Ordering is degree-then-lexicographic so that collections of monomials
+/// sort into the paper's `Φ₀, Φ₁, Φ₂, …` grouping naturally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Monomial {
+    degree: u32,
+    exponents: Vec<u32>,
+}
+
+impl Monomial {
+    /// Creates a monomial from its exponent vector.
+    #[must_use]
+    pub fn new(exponents: Vec<u32>) -> Self {
+        let degree = exponents.iter().sum();
+        Monomial { degree, exponents }
+    }
+
+    /// The constant monomial `1` over `d` variables (the sole member of Φ₀).
+    #[must_use]
+    pub fn constant(d: usize) -> Self {
+        Monomial::new(vec![0; d])
+    }
+
+    /// The degree-1 monomial `ω_i` over `d` variables.
+    ///
+    /// # Panics
+    /// If `i >= d` (an index bug in the caller, not a data error).
+    #[must_use]
+    pub fn linear(d: usize, i: usize) -> Self {
+        assert!(i < d, "variable index {i} out of range for d={d}");
+        let mut e = vec![0; d];
+        e[i] = 1;
+        Monomial::new(e)
+    }
+
+    /// The degree-2 monomial `ω_i·ω_j` (or `ω_i²` when `i == j`).
+    ///
+    /// # Panics
+    /// If `i >= d` or `j >= d`.
+    #[must_use]
+    pub fn quadratic(d: usize, i: usize, j: usize) -> Self {
+        assert!(i < d && j < d, "variable index out of range for d={d}");
+        let mut e = vec![0; d];
+        e[i] += 1;
+        e[j] += 1;
+        Monomial::new(e)
+    }
+
+    /// Total degree `Σ c_l`.
+    #[must_use]
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Number of variables `d`.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.exponents.len()
+    }
+
+    /// Borrow of the exponent vector.
+    #[must_use]
+    pub fn exponents(&self) -> &[u32] {
+        &self.exponents
+    }
+
+    /// Evaluates `φ(ω)`.
+    ///
+    /// # Panics
+    /// Debug-asserts `ω.len() == d`; in release the shorter length wins.
+    #[must_use]
+    pub fn eval(&self, omega: &[f64]) -> f64 {
+        debug_assert_eq!(omega.len(), self.exponents.len(), "monomial eval arity");
+        self.exponents
+            .iter()
+            .zip(omega)
+            .map(|(&c, &w)| w.powi(c as i32))
+            .product()
+    }
+
+    /// The partial derivative `∂φ/∂ω_i` as a `(coefficient, monomial)` pair,
+    /// or `None` when the variable does not appear.
+    #[must_use]
+    pub fn partial_derivative(&self, i: usize) -> Option<(f64, Monomial)> {
+        let c = *self.exponents.get(i)?;
+        if c == 0 {
+            return None;
+        }
+        let mut e = self.exponents.clone();
+        e[i] -= 1;
+        Some((f64::from(c), Monomial::new(e)))
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.degree == 0 {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (i, &c) in self.exponents.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, "·")?;
+            }
+            first = false;
+            write!(f, "ω{}", i + 1)?;
+            if c > 1 {
+                write!(f, "^{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates `Φ_j`: every monomial of total degree exactly `j` over `d`
+/// variables (Equation 2 of the paper), in lexicographic exponent order.
+///
+/// `|Φ_j| = C(d + j − 1, j)`; for the paper's cases only `j ≤ 2` is ever
+/// materialised, but the enumeration is fully general.
+#[must_use]
+pub fn monomials_of_degree(d: usize, j: u32) -> Vec<Monomial> {
+    let mut out = Vec::new();
+    let mut exponents = vec![0u32; d];
+    enumerate_rec(d, j, 0, &mut exponents, &mut out);
+    out
+}
+
+fn enumerate_rec(d: usize, remaining: u32, var: usize, exponents: &mut Vec<u32>, out: &mut Vec<Monomial>) {
+    if var == d {
+        if remaining == 0 {
+            out.push(Monomial::new(exponents.clone()));
+        }
+        return;
+    }
+    if var == d - 1 {
+        // Last variable absorbs whatever degree remains: one leaf, no loop.
+        exponents[var] = remaining;
+        out.push(Monomial::new(exponents.clone()));
+        exponents[var] = 0;
+        return;
+    }
+    for c in 0..=remaining {
+        exponents[var] = c;
+        enumerate_rec(d, remaining - c, var + 1, exponents, out);
+        exponents[var] = 0;
+    }
+}
+
+/// Enumerates `Φ₀ ∪ Φ₁ ∪ … ∪ Φ_J` in degree-major order.
+#[must_use]
+pub fn monomials_up_to_degree(d: usize, j_max: u32) -> Vec<Monomial> {
+    (0..=j_max).flat_map(|j| monomials_of_degree(d, j)).collect()
+}
+
+/// `|Φ_j| = C(d + j − 1, j)` without materialising the set.
+#[must_use]
+pub fn count_monomials_of_degree(d: usize, j: u32) -> usize {
+    // Multiset coefficient computed multiplicatively to avoid overflow for
+    // the small d, j used here.
+    if d == 0 {
+        return usize::from(j == 0);
+    }
+    let mut num = 1.0_f64;
+    for i in 0..j as usize {
+        num *= (d + i) as f64 / (i + 1) as f64;
+    }
+    num.round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_monomial() {
+        let one = Monomial::constant(3);
+        assert_eq!(one.degree(), 0);
+        assert_eq!(one.eval(&[5.0, 6.0, 7.0]), 1.0);
+        assert_eq!(one.to_string(), "1");
+    }
+
+    #[test]
+    fn linear_and_quadratic_constructors() {
+        let w2 = Monomial::linear(3, 1);
+        assert_eq!(w2.eval(&[9.0, 4.0, 2.0]), 4.0);
+        assert_eq!(w2.to_string(), "ω2");
+
+        let w1w3 = Monomial::quadratic(3, 0, 2);
+        assert_eq!(w1w3.eval(&[2.0, 0.0, 5.0]), 10.0);
+        assert_eq!(w1w3.to_string(), "ω1·ω3");
+
+        let w1sq = Monomial::quadratic(3, 0, 0);
+        assert_eq!(w1sq.eval(&[3.0, 1.0, 1.0]), 9.0);
+        assert_eq!(w1sq.to_string(), "ω1^2");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn linear_index_checked() {
+        let _ = Monomial::linear(2, 2);
+    }
+
+    #[test]
+    fn eval_general() {
+        // ω1²·ω3 at (2, 100, 3) = 4·3 = 12
+        let m = Monomial::new(vec![2, 0, 1]);
+        assert_eq!(m.degree(), 3);
+        assert_eq!(m.eval(&[2.0, 100.0, 3.0]), 12.0);
+    }
+
+    #[test]
+    fn partial_derivatives() {
+        // ∂(ω1²ω2)/∂ω1 = 2·ω1ω2
+        let m = Monomial::new(vec![2, 1]);
+        let (c, dm) = m.partial_derivative(0).unwrap();
+        assert_eq!(c, 2.0);
+        assert_eq!(dm, Monomial::new(vec![1, 1]));
+        // ∂/∂ω2 = ω1²
+        let (c2, dm2) = m.partial_derivative(1).unwrap();
+        assert_eq!(c2, 1.0);
+        assert_eq!(dm2, Monomial::new(vec![2, 0]));
+        // Missing variable → None.
+        assert!(Monomial::new(vec![0, 1]).partial_derivative(0).is_none());
+        assert!(m.partial_derivative(5).is_none());
+    }
+
+    #[test]
+    fn phi_0_is_the_constant() {
+        let phi0 = monomials_of_degree(3, 0);
+        assert_eq!(phi0, vec![Monomial::constant(3)]);
+    }
+
+    #[test]
+    fn phi_1_is_the_variables() {
+        let phi1 = monomials_of_degree(3, 1);
+        assert_eq!(phi1.len(), 3);
+        for (i, m) in phi1.iter().enumerate() {
+            // Lexicographic order puts ω3 first (exponent vector [0,0,1]).
+            assert_eq!(m.degree(), 1);
+            let mut omega = vec![0.0; 3];
+            omega[2 - i] = 7.0;
+            assert_eq!(m.eval(&omega), 7.0);
+        }
+    }
+
+    #[test]
+    fn phi_2_count_matches_formula() {
+        // |Φ₂| over d vars = d(d+1)/2.
+        for d in 1..6 {
+            let phi2 = monomials_of_degree(d, 2);
+            assert_eq!(phi2.len(), d * (d + 1) / 2);
+            assert_eq!(phi2.len(), count_monomials_of_degree(d, 2));
+            assert!(phi2.iter().all(|m| m.degree() == 2));
+        }
+    }
+
+    #[test]
+    fn counts_match_enumeration_generally() {
+        for d in 1..5 {
+            for j in 0..5 {
+                assert_eq!(
+                    monomials_of_degree(d, j).len(),
+                    count_monomials_of_degree(d, j),
+                    "d={d}, j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn up_to_degree_is_union() {
+        let all = monomials_up_to_degree(2, 2);
+        // 1 + 2 + 3 = 6 monomials: {1, ω2, ω1, ω2², ω1ω2, ω1²}
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0].degree(), 0);
+        assert!(all.windows(2).all(|w| w[0].degree() <= w[1].degree()));
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates() {
+        let mut seen = std::collections::HashSet::new();
+        for m in monomials_up_to_degree(4, 3) {
+            assert!(seen.insert(m.clone()), "duplicate monomial {m}");
+        }
+    }
+
+    #[test]
+    fn ordering_is_degree_major() {
+        let a = Monomial::new(vec![0, 1]); // degree 1
+        let b = Monomial::new(vec![2, 0]); // degree 2
+        assert!(a < b);
+    }
+
+    #[test]
+    fn degenerate_zero_variables() {
+        assert_eq!(count_monomials_of_degree(0, 0), 1);
+        assert_eq!(count_monomials_of_degree(0, 3), 0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Sparse multivariate polynomials: the Equation-3 representation
+//! `f(ω) = Σ_j Σ_{φ∈Φ_j} λ_φ · φ(ω)`.
+//!
+//! [`Polynomial`] is the general-degree form used to express objective
+//! functions abstractly and to state the sensitivity bound of Lemma 1
+//! (`Σ_φ |λ_φ|` is [`Polynomial::coefficient_l1_norm`]). Degree-≤2
+//! polynomials convert losslessly to the dense
+//! [`crate::quadratic::QuadraticForm`] that the solver consumes.
+
+use std::collections::BTreeMap;
+
+use crate::monomial::Monomial;
+use crate::quadratic::QuadraticForm;
+
+/// Coefficients smaller than this are dropped on insertion to keep the
+/// representation canonical (so `PartialEq` means mathematical equality for
+/// exactly-representable inputs).
+const COEFF_EPS: f64 = 0.0;
+
+/// A sparse multivariate polynomial over `d` variables.
+///
+/// Invariants: every stored monomial has `num_vars() == d`; no stored
+/// coefficient is exactly zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    num_vars: usize,
+    terms: BTreeMap<Monomial, f64>,
+}
+
+impl Polynomial {
+    /// The zero polynomial over `d` variables.
+    #[must_use]
+    pub fn zero(d: usize) -> Self {
+        Polynomial {
+            num_vars: d,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// A constant polynomial.
+    #[must_use]
+    pub fn constant(d: usize, c: f64) -> Self {
+        let mut p = Polynomial::zero(d);
+        p.add_term(Monomial::constant(d), c);
+        p
+    }
+
+    /// Number of variables `d`.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of stored (non-zero) terms.
+    #[must_use]
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    #[must_use]
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Adds `coeff · φ` into the polynomial, merging with any existing term.
+    ///
+    /// # Panics
+    /// If the monomial's variable count differs from the polynomial's.
+    pub fn add_term(&mut self, phi: Monomial, coeff: f64) {
+        assert_eq!(
+            phi.num_vars(),
+            self.num_vars,
+            "monomial arity does not match polynomial"
+        );
+        let entry = self.terms.entry(phi).or_insert(0.0);
+        *entry += coeff;
+        if entry.abs() <= COEFF_EPS {
+            // Remove exact zeros to keep the map canonical.
+            let key = self
+                .terms
+                .iter()
+                .find(|(_, &v)| v == 0.0)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = key {
+                self.terms.remove(&k);
+            }
+        }
+    }
+
+    /// The coefficient of `φ` (zero when absent).
+    #[must_use]
+    pub fn coefficient(&self, phi: &Monomial) -> f64 {
+        self.terms.get(phi).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates `(φ, λ_φ)` in degree-major order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, f64)> {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// Evaluates the polynomial at `ω`.
+    #[must_use]
+    pub fn eval(&self, omega: &[f64]) -> f64 {
+        self.terms.iter().map(|(m, c)| c * m.eval(omega)).sum()
+    }
+
+    /// The gradient `∇f(ω)` evaluated at `ω`.
+    #[must_use]
+    pub fn gradient(&self, omega: &[f64]) -> Vec<f64> {
+        let mut grad = vec![0.0; self.num_vars];
+        for (m, c) in &self.terms {
+            for (i, g) in grad.iter_mut().enumerate() {
+                if let Some((k, dm)) = m.partial_derivative(i) {
+                    *g += c * k * dm.eval(omega);
+                }
+            }
+        }
+        grad
+    }
+
+    /// Adds another polynomial into this one.
+    ///
+    /// # Panics
+    /// On mismatched variable counts.
+    pub fn add_assign(&mut self, other: &Polynomial) {
+        assert_eq!(self.num_vars, other.num_vars, "polynomial arity mismatch");
+        for (m, c) in other.terms() {
+            self.add_term(m.clone(), c);
+        }
+    }
+
+    /// Scales every coefficient.
+    pub fn scale(&mut self, a: f64) {
+        if a == 0.0 {
+            self.terms.clear();
+            return;
+        }
+        for c in self.terms.values_mut() {
+            *c *= a;
+        }
+    }
+
+    /// `Σ_φ |λ_φ|` over terms of degree ≥ 1 — the quantity whose doubled
+    /// per-tuple maximum is the sensitivity `Δ` of Lemma 1 / Algorithm 1
+    /// line 1. (The paper's sums run from `j = 1`; the constant term does
+    /// not affect the minimiser and is excluded.)
+    #[must_use]
+    pub fn coefficient_l1_norm(&self) -> f64 {
+        self.terms
+            .iter()
+            .filter(|(m, _)| m.degree() >= 1)
+            .map(|(_, c)| c.abs())
+            .sum()
+    }
+
+    /// `Σ_φ |λ_φ|` including the constant term.
+    #[must_use]
+    pub fn coefficient_l1_norm_with_constant(&self) -> f64 {
+        self.terms.values().map(|c| c.abs()).sum()
+    }
+
+    /// Converts a degree-≤2 polynomial to its dense quadratic form.
+    ///
+    /// Returns `None` when any term has degree ≥ 3. Cross terms `ω_iω_j`
+    /// are split evenly between `M[i][j]` and `M[j][i]` so `M` is symmetric
+    /// by construction, matching §6.1's requirement.
+    #[must_use]
+    pub fn to_quadratic_form(&self) -> Option<QuadraticForm> {
+        if self.degree() > 2 {
+            return None;
+        }
+        let d = self.num_vars;
+        let mut q = QuadraticForm::zero(d);
+        for (m, c) in self.terms() {
+            match m.degree() {
+                0 => *q.beta_mut() += c,
+                1 => {
+                    let i = m.exponents().iter().position(|&e| e == 1).expect("degree 1");
+                    q.alpha_mut()[i] += c;
+                }
+                2 => {
+                    let idx: Vec<usize> = m
+                        .exponents()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &e)| e > 0)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if idx.len() == 1 {
+                        // ω_i² term.
+                        let i = idx[0];
+                        q.m_mut()[(i, i)] += c;
+                    } else {
+                        // ω_iω_j cross term, split symmetrically.
+                        let (i, j) = (idx[0], idx[1]);
+                        q.m_mut()[(i, j)] += c / 2.0;
+                        q.m_mut()[(j, i)] += c / 2.0;
+                    }
+                }
+                _ => unreachable!("degree checked above"),
+            }
+        }
+        Some(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// p(ω) = 2ω1² − 3ω1ω2 + ω2 + 5 over two variables.
+    fn sample_poly() -> Polynomial {
+        let mut p = Polynomial::zero(2);
+        p.add_term(Monomial::quadratic(2, 0, 0), 2.0);
+        p.add_term(Monomial::quadratic(2, 0, 1), -3.0);
+        p.add_term(Monomial::linear(2, 1), 1.0);
+        p.add_term(Monomial::constant(2), 5.0);
+        p
+    }
+
+    #[test]
+    fn construction_and_metadata() {
+        let p = sample_poly();
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_terms(), 4);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn zero_polynomial() {
+        let z = Polynomial::zero(3);
+        assert_eq!(z.num_terms(), 0);
+        assert_eq!(z.degree(), 0);
+        assert_eq!(z.eval(&[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(z.coefficient_l1_norm(), 0.0);
+    }
+
+    #[test]
+    fn eval_known_values() {
+        let p = sample_poly();
+        // At (1, 1): 2 − 3 + 1 + 5 = 5.
+        assert_eq!(p.eval(&[1.0, 1.0]), 5.0);
+        // At (2, −1): 8 + 6 − 1 + 5 = 18.
+        assert_eq!(p.eval(&[2.0, -1.0]), 18.0);
+    }
+
+    #[test]
+    fn gradient_matches_hand_computation() {
+        let p = sample_poly();
+        // ∂p/∂ω1 = 4ω1 − 3ω2 ; ∂p/∂ω2 = −3ω1 + 1.
+        let g = p.gradient(&[2.0, -1.0]);
+        assert_eq!(g, vec![11.0, -5.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let p = sample_poly();
+        let omega = [0.3, -0.7];
+        let g = p.gradient(&omega);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut up = omega;
+            up[i] += h;
+            let mut dn = omega;
+            dn[i] -= h;
+            let fd = (p.eval(&up) - p.eval(&dn)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-6, "component {i}: {} vs {fd}", g[i]);
+        }
+    }
+
+    #[test]
+    fn merging_terms_and_cancellation() {
+        let mut p = Polynomial::zero(1);
+        p.add_term(Monomial::linear(1, 0), 2.0);
+        p.add_term(Monomial::linear(1, 0), 3.0);
+        assert_eq!(p.coefficient(&Monomial::linear(1, 0)), 5.0);
+        assert_eq!(p.num_terms(), 1);
+        p.add_term(Monomial::linear(1, 0), -5.0);
+        assert_eq!(p.num_terms(), 0, "cancelled term must be removed");
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut p = sample_poly();
+        let q = sample_poly();
+        p.add_assign(&q);
+        assert_eq!(p.eval(&[1.0, 1.0]), 10.0);
+        p.scale(0.5);
+        assert_eq!(p.eval(&[1.0, 1.0]), 5.0);
+        p.scale(0.0);
+        assert_eq!(p.num_terms(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut p = Polynomial::zero(2);
+        p.add_term(Monomial::constant(3), 1.0);
+    }
+
+    #[test]
+    fn l1_norms() {
+        let p = sample_poly();
+        // Degree ≥ 1 terms: |2| + |−3| + |1| = 6; with constant: 11.
+        assert_eq!(p.coefficient_l1_norm(), 6.0);
+        assert_eq!(p.coefficient_l1_norm_with_constant(), 11.0);
+    }
+
+    #[test]
+    fn quadratic_form_roundtrip() {
+        let p = sample_poly();
+        let q = p.to_quadratic_form().expect("degree 2");
+        for omega in [[0.0, 0.0], [1.0, 1.0], [2.0, -1.0], [-0.5, 0.25]] {
+            assert!(
+                (q.eval(&omega) - p.eval(&omega)).abs() < 1e-12,
+                "mismatch at {omega:?}"
+            );
+        }
+        // M must come out symmetric.
+        assert!(q.m().is_symmetric(0.0));
+    }
+
+    #[test]
+    fn quadratic_form_rejects_cubics() {
+        let mut p = Polynomial::zero(1);
+        p.add_term(Monomial::new(vec![3]), 1.0);
+        assert!(p.to_quadratic_form().is_none());
+    }
+
+    #[test]
+    fn paper_worked_example_section_4_2() {
+        // D = {(1, 0.4), (0.9, 0.3), (−0.5, −1)}, d = 1:
+        // f_D(ω) = Σ (y_i − x_i ω)² = 2.06ω² − 2.34ω + 1.25.
+        let data = [(1.0, 0.4), (0.9, 0.3), (-0.5, -1.0)];
+        let mut f = Polynomial::zero(1);
+        for (x, y) in data {
+            f.add_term(Monomial::constant(1), y * y);
+            f.add_term(Monomial::linear(1, 0), -2.0 * x * y);
+            f.add_term(Monomial::new(vec![2]), x * x);
+        }
+        assert!((f.coefficient(&Monomial::new(vec![2])) - 2.06).abs() < 1e-12);
+        assert!((f.coefficient(&Monomial::linear(1, 0)) - (-2.34)).abs() < 1e-12);
+        assert!((f.coefficient(&Monomial::constant(1)) - 1.25).abs() < 1e-12);
+        // Minimiser ω* = 2.34 / (2·2.06) = 117/206.
+        let q = f.to_quadratic_form().unwrap();
+        let omega_star = 117.0 / 206.0;
+        let g = q.gradient(&[omega_star]);
+        assert!(g[0].abs() < 1e-12, "gradient at paper's ω* should vanish");
+    }
+}

@@ -1,0 +1,298 @@
+//! Dense degree-2 objective functions `f(ω) = ωᵀMω + αᵀω + β`.
+//!
+//! After expansion (linear regression, §4.2) or Taylor truncation (logistic
+//! regression, §5.2), both of the paper's case studies produce objective
+//! functions of exactly this shape. Algorithm 1 perturbs the entries of
+//! `(M, α, β)`; Section 6 post-processes `M`. Keeping the quadratic in
+//! dense matrix form (rather than as a sparse [`crate::Polynomial`]) is what
+//! makes the solve and the spectral analysis direct.
+
+use fm_linalg::{vecops, Matrix};
+
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+
+/// A quadratic function `ωᵀMω + αᵀω + β` over `d` variables.
+///
+/// `M` is kept symmetric by every constructor and mutation helper in this
+/// workspace; [`QuadraticForm::symmetrize`] exists for callers that edit
+/// `M` directly through [`QuadraticForm::m_mut`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadraticForm {
+    m: Matrix,
+    alpha: Vec<f64>,
+    beta: f64,
+}
+
+impl QuadraticForm {
+    /// The zero quadratic over `d` variables.
+    #[must_use]
+    pub fn zero(d: usize) -> Self {
+        QuadraticForm {
+            m: Matrix::zeros(d, d),
+            alpha: vec![0.0; d],
+            beta: 0.0,
+        }
+    }
+
+    /// Builds from parts.
+    ///
+    /// # Panics
+    /// If shapes disagree (`M` must be `d×d`, `α` length `d`) — construction
+    /// sites are all internal, so this is an invariant, not input validation.
+    #[must_use]
+    pub fn new(m: Matrix, alpha: Vec<f64>, beta: f64) -> Self {
+        assert!(m.is_square(), "M must be square");
+        assert_eq!(m.rows(), alpha.len(), "α length must match M dimension");
+        QuadraticForm { m, alpha, beta }
+    }
+
+    /// Number of variables `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// The quadratic coefficient matrix `M`.
+    #[must_use]
+    pub fn m(&self) -> &Matrix {
+        &self.m
+    }
+
+    /// Mutable access to `M` (callers that break symmetry must
+    /// [`QuadraticForm::symmetrize`] afterwards).
+    pub fn m_mut(&mut self) -> &mut Matrix {
+        &mut self.m
+    }
+
+    /// The linear coefficient vector `α`.
+    #[must_use]
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Mutable access to `α`.
+    pub fn alpha_mut(&mut self) -> &mut [f64] {
+        &mut self.alpha
+    }
+
+    /// The constant term `β`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Mutable access to `β`.
+    pub fn beta_mut(&mut self) -> &mut f64 {
+        &mut self.beta
+    }
+
+    /// Evaluates `ωᵀMω + αᵀω + β`.
+    ///
+    /// # Panics
+    /// Debug-asserts the arity; release builds truncate (`zip` semantics).
+    #[must_use]
+    pub fn eval(&self, omega: &[f64]) -> f64 {
+        debug_assert_eq!(omega.len(), self.dim(), "quadratic eval arity");
+        let quad = self
+            .m
+            .quadratic_form(omega)
+            .expect("dimension checked by constructor");
+        quad + vecops::dot(&self.alpha, omega) + self.beta
+    }
+
+    /// The gradient `∇f(ω) = (M + Mᵀ)ω + α`; for symmetric `M` this is
+    /// `2Mω + α`.
+    #[must_use]
+    pub fn gradient(&self, omega: &[f64]) -> Vec<f64> {
+        let m_omega = self.m.matvec(omega).expect("dimension checked");
+        let mt_omega = self.m.matvec_transposed(omega).expect("dimension checked");
+        let mut g = vecops::add(&m_omega, &mt_omega);
+        vecops::axpy(1.0, &self.alpha, &mut g);
+        g
+    }
+
+    /// The (constant) Hessian `M + Mᵀ`; `2M` for symmetric `M`.
+    #[must_use]
+    pub fn hessian(&self) -> Matrix {
+        self.m.add(&self.m.transpose()).expect("square")
+    }
+
+    /// Adds another quadratic form coefficient-wise.
+    ///
+    /// # Panics
+    /// On dimension mismatch (internal invariant).
+    pub fn add_assign(&mut self, other: &QuadraticForm) {
+        assert_eq!(self.dim(), other.dim(), "quadratic dimension mismatch");
+        self.m = self.m.add(&other.m).expect("same shape");
+        vecops::axpy(1.0, &other.alpha, &mut self.alpha);
+        self.beta += other.beta;
+    }
+
+    /// Scales all coefficients by `a`.
+    pub fn scale(&mut self, a: f64) {
+        self.m.scale_in_place(a);
+        vecops::scale(a, &mut self.alpha);
+        self.beta *= a;
+    }
+
+    /// Forces `M ← (M + Mᵀ)/2`.
+    pub fn symmetrize(&mut self) {
+        self.m.symmetrize().expect("square by construction");
+    }
+
+    /// Adds `λ` to the diagonal of `M` — the §6.1 ridge regularizer.
+    pub fn regularize(&mut self, lambda: f64) {
+        self.m.add_diagonal(lambda);
+    }
+
+    /// `Σ |coefficients|` over degree ≥ 1 terms (`M` entries and `α`),
+    /// the per-tuple quantity inside Lemma 1's sensitivity bound.
+    #[must_use]
+    pub fn coefficient_l1_norm(&self) -> f64 {
+        vecops::norm1(self.m.as_slice()) + vecops::norm1(&self.alpha)
+    }
+
+    /// Total number of scalar coefficients subject to perturbation
+    /// (`d² + d + 1`).
+    #[must_use]
+    pub fn num_coefficients(&self) -> usize {
+        let d = self.dim();
+        d * d + d + 1
+    }
+
+    /// Converts to the sparse polynomial representation (exact).
+    #[must_use]
+    pub fn to_polynomial(&self) -> Polynomial {
+        let d = self.dim();
+        let mut p = Polynomial::zero(d);
+        if self.beta != 0.0 {
+            p.add_term(Monomial::constant(d), self.beta);
+        }
+        for (i, &a) in self.alpha.iter().enumerate() {
+            if a != 0.0 {
+                p.add_term(Monomial::linear(d, i), a);
+            }
+        }
+        for i in 0..d {
+            for j in 0..d {
+                let v = self.m[(i, j)];
+                if v != 0.0 {
+                    p.add_term(Monomial::quadratic(d, i, j), v);
+                }
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f(ω) = 2ω1² + 3ω2² + ω1ω2 − ω1 + 4ω2 + 7, M symmetric.
+    fn sample() -> QuadraticForm {
+        let m = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 3.0]]).unwrap();
+        QuadraticForm::new(m, vec![-1.0, 4.0], 7.0)
+    }
+
+    #[test]
+    fn eval_known_value() {
+        let q = sample();
+        // At (1, −1): 2 + 3 − 1 + (−1) + (−4) + 7 = 6.
+        assert_eq!(q.eval(&[1.0, -1.0]), 6.0);
+        // At origin: β.
+        assert_eq!(q.eval(&[0.0, 0.0]), 7.0);
+    }
+
+    #[test]
+    fn gradient_symmetric_case() {
+        let q = sample();
+        // ∇f = 2Mω + α = (4ω1 + ω2 − 1, ω1 + 6ω2 + 4).
+        assert_eq!(q.gradient(&[1.0, -1.0]), vec![2.0, -1.0]);
+        assert_eq!(q.gradient(&[0.0, 0.0]), vec![-1.0, 4.0]);
+    }
+
+    #[test]
+    fn gradient_asymmetric_m_uses_m_plus_mt() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        let q = QuadraticForm::new(m, vec![0.0, 0.0], 0.0);
+        // (M + Mᵀ)ω with ω = (1, 1) → [[2,2],[2,2]]·(1,1) = (4, 4).
+        assert_eq!(q.gradient(&[1.0, 1.0]), vec![4.0, 4.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let q = sample();
+        let omega = [0.4, -0.9];
+        let g = q.gradient(&omega);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut up = omega;
+            up[i] += h;
+            let mut dn = omega;
+            dn[i] -= h;
+            let fd = (q.eval(&up) - q.eval(&dn)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn hessian_is_twice_m_for_symmetric() {
+        let q = sample();
+        let h = q.hessian();
+        assert!(h.approx_eq(&q.m().scaled(2.0), 1e-15));
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut q = sample();
+        q.add_assign(&sample());
+        assert_eq!(q.eval(&[1.0, -1.0]), 12.0);
+        q.scale(0.25);
+        assert_eq!(q.eval(&[1.0, -1.0]), 3.0);
+    }
+
+    #[test]
+    fn regularize_shifts_diagonal_only() {
+        let mut q = sample();
+        q.regularize(10.0);
+        assert_eq!(q.m()[(0, 0)], 12.0);
+        assert_eq!(q.m()[(1, 1)], 13.0);
+        assert_eq!(q.m()[(0, 1)], 0.5);
+    }
+
+    #[test]
+    fn l1_norm_and_coefficient_count() {
+        let q = sample();
+        // |M| entries: 2 + 0.5 + 0.5 + 3 = 6; |α|: 1 + 4 = 5.
+        assert_eq!(q.coefficient_l1_norm(), 11.0);
+        assert_eq!(q.num_coefficients(), 4 + 2 + 1);
+    }
+
+    #[test]
+    fn polynomial_roundtrip() {
+        let q = sample();
+        let p = q.to_polynomial();
+        let q2 = p.to_quadratic_form().expect("degree 2");
+        for omega in [[0.0, 0.0], [1.0, 2.0], [-0.3, 0.7]] {
+            assert!((q.eval(&omega) - q2.eval(&omega)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetrize_after_manual_edit() {
+        let mut q = sample();
+        q.m_mut()[(0, 1)] = 5.0; // break symmetry
+        assert!(!q.m().is_symmetric(1e-9));
+        q.symmetrize();
+        assert!(q.m().is_symmetric(0.0));
+        assert_eq!(q.m()[(0, 1)], 2.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "α length")]
+    fn shape_invariant_enforced() {
+        let _ = QuadraticForm::new(Matrix::zeros(2, 2), vec![0.0; 3], 0.0);
+    }
+}

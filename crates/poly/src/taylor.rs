@@ -1,0 +1,330 @@
+//! Section 5 of the paper: degree-2 Taylor truncation of non-polynomial
+//! objective functions.
+//!
+//! The paper assumes the cost decomposes as
+//! `f(t_i, ω) = Σ_{l=1}^{m} f_l(g_l(t_i, ω))` where each `g_l` is linear in
+//! ω, i.e. `g_l(t_i, ω) = c_l(t_i)ᵀ ω` for some per-tuple coefficient
+//! vector `c_l(t_i)` (Equation 6; both case studies have this shape). Each
+//! scalar `f_l` is Taylor-expanded around a centre `z_l` and truncated at
+//! degree 2 (Equation 10), yielding a per-tuple [`QuadraticForm`]
+//! contribution:
+//!
+//! ```text
+//! f_l(cᵀω) ≈ f_l(z) + f_l'(z)(cᵀω − z) + ½f_l''(z)(cᵀω − z)²
+//!          = [f−f'z+½f''z²] + [(f'−f''z)·c]ᵀω + ωᵀ[½f''·ccᵀ]ω
+//! ```
+//!
+//! [`TaylorComponent`] packages `(z_l, f_l(z_l), f_l'(z_l), f_l''(z_l))`
+//! together with a bound on the third derivative over `[z_l−1, z_l+1]`,
+//! from which Lemmas 3–4's approximation-error interval follows.
+//!
+//! For logistic regression the two components are
+//! [`logistic_log1pexp_component`] (`f₁(z) = log(1+eᶻ)`, centred at 0, with
+//! `f₁(0)=log 2`, `f₁'(0)=½`, `f₁''(0)=¼`) and [`identity_component`]
+//! (`f₂(z) = z`, exact at degree 1).
+
+use fm_linalg::vecops;
+
+use crate::quadratic::QuadraticForm;
+
+/// One scalar component `f_l` of a decomposed objective, carrying the data
+/// needed for degree-2 truncation and for the Lemma-4 remainder bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaylorComponent {
+    /// Expansion centre `z_l`.
+    pub center: f64,
+    /// `[f_l(z_l), f_l'(z_l), f_l''(z_l)]`.
+    pub derivs: [f64; 3],
+    /// `(min, max)` of `f_l'''` over `[z_l − 1, z_l + 1]`; both zero for
+    /// polynomials of degree ≤ 2 (exact truncation).
+    pub third_deriv_range: (f64, f64),
+}
+
+impl TaylorComponent {
+    /// Evaluates the truncated scalar `f̂_l(z)` (degree-2 Taylor polynomial
+    /// around the centre).
+    #[must_use]
+    pub fn eval_truncated(&self, z: f64) -> f64 {
+        let dz = z - self.center;
+        self.derivs[0] + self.derivs[1] * dz + 0.5 * self.derivs[2] * dz * dz
+    }
+
+    /// Accumulates this component's per-tuple quadratic contribution for the
+    /// linear form `g(ω) = cᵀω` into `q`.
+    ///
+    /// # Panics
+    /// Debug-asserts that `c.len() == q.dim()`.
+    pub fn accumulate_into(&self, c: &[f64], q: &mut QuadraticForm) {
+        debug_assert_eq!(c.len(), q.dim(), "coefficient arity");
+        let z = self.center;
+        let [f0, f1, f2] = self.derivs;
+        // Constant: f − f'z + ½f''z².
+        *q.beta_mut() += f0 - f1 * z + 0.5 * f2 * z * z;
+        // Linear: (f' − f''z)·c.
+        let lin = f1 - f2 * z;
+        vecops::axpy(lin, c, q.alpha_mut());
+        // Quadratic: ½f'' · ccᵀ (symmetric by construction).
+        if f2 != 0.0 {
+            q.m_mut()
+                .rank1_update(0.5 * f2, c)
+                .expect("arity checked above");
+        }
+    }
+
+    /// This component's per-tuple quadratic contribution as a fresh form.
+    #[must_use]
+    pub fn quadratic_contribution(&self, c: &[f64]) -> QuadraticForm {
+        let mut q = QuadraticForm::zero(c.len());
+        self.accumulate_into(c, &mut q);
+        q
+    }
+
+    /// Width of the Lemma-4 remainder interval for this component:
+    /// `(max f''' − min f''')/6` with `(z − z_l)³ ∈ [−1, 1]`.
+    ///
+    /// Summed over components this bounds `f̃_D(ω̂) − f̃_D(ω̃)` *per tuple*
+    /// (Lemma 3's `L − S` divided by `n`).
+    #[must_use]
+    pub fn remainder_width(&self) -> f64 {
+        let (lo, hi) = self.third_deriv_range;
+        (hi - lo) / 6.0
+    }
+}
+
+/// The `f₁(z) = log(1 + eᶻ)` component of logistic loss, expanded at
+/// `z₁ = 0` with the paper's constants `f₁(0)=log 2, f₁'(0)=½, f₁''(0)=¼`
+/// (Section 5.1).
+///
+/// The third derivative is `f₁'''(z) = (eᶻ − e²ᶻ)/(1+eᶻ)³`; over `[−1, 1]`
+/// its extrema are `±(e² − e)/(1+e)³` (Section 5.2).
+#[must_use]
+pub fn logistic_log1pexp_component() -> TaylorComponent {
+    let e = std::f64::consts::E;
+    let extreme = (e * e - e) / (1.0 + e).powi(3);
+    TaylorComponent {
+        center: 0.0,
+        derivs: [std::f64::consts::LN_2, 0.5, 0.25],
+        third_deriv_range: (-extreme, extreme),
+    }
+}
+
+/// The `f₂(z) = z` component of logistic loss: exact at degree 1, zero
+/// remainder.
+#[must_use]
+pub fn identity_component() -> TaylorComponent {
+    TaylorComponent {
+        center: 0.0,
+        derivs: [0.0, 1.0, 0.0],
+        third_deriv_range: (0.0, 0.0),
+    }
+}
+
+/// The `f₁(z) = eᶻ` component of **Poisson** loss
+/// `f(t, ω) = exp(xᵀω) − y·xᵀω`, expanded at `z₁ = 0`
+/// (`f₁(0) = f₁'(0) = f₁''(0) = 1`) — the §8-future-work extension of
+/// Algorithm 2 to count regression.
+///
+/// The third derivative is `eᶻ` itself; over `[−1, 1]` its range is
+/// `[1/e, e]`, so the Lemma-4 remainder width is `(e − 1/e)/6 ≈ 0.392` —
+/// larger than the logistic constant but still data-independent.
+#[must_use]
+pub fn poisson_exp_component() -> TaylorComponent {
+    let e = std::f64::consts::E;
+    TaylorComponent {
+        center: 0.0,
+        derivs: [1.0, 1.0, 1.0],
+        third_deriv_range: (1.0 / e, e),
+    }
+}
+
+/// The paper's headline truncation-error constant for logistic regression,
+/// `(e² − e) / (6(1 + e)³) ≈ 0.015` (end of Section 5.2).
+///
+/// Note: the paper's displayed derivation `L/n − S/n` actually evaluates to
+/// twice this value (`≈ 0.030`, see [`logistic_truncation_error_bound`]);
+/// the `≈ 0.015` constant printed in the paper matches the single-sided
+/// magnitude. Both are exposed so the experiment harness can report either.
+#[must_use]
+pub fn paper_logistic_error_constant() -> f64 {
+    let e = std::f64::consts::E;
+    (e * e - e) / (6.0 * (1.0 + e).powi(3))
+}
+
+/// The full Lemma-3 bound `(L − S)/n` on the averaged optimality gap
+/// `(f̃_D(ω̂) − f̃_D(ω̃))/n` for logistic regression: the remainder-interval
+/// width of the `log(1+eᶻ)` component (`≈ 0.030`).
+#[must_use]
+pub fn logistic_truncation_error_bound() -> f64 {
+    logistic_log1pexp_component().remainder_width()
+}
+
+/// True logistic scalar loss `log(1 + eᶻ)`, computed stably for large `|z|`.
+///
+/// Exposed here so both the exact (NoPrivacy) and truncated objectives share
+/// one numerically careful implementation.
+#[must_use]
+pub fn log1p_exp(z: f64) -> f64 {
+    if z > 0.0 {
+        // log(1+e^z) = z + log(1+e^{−z}) avoids overflow.
+        z + (-z).exp().ln_1p()
+    } else {
+        z.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logistic_constants_match_paper() {
+        let c = logistic_log1pexp_component();
+        assert!((c.derivs[0] - std::f64::consts::LN_2).abs() < 1e-15);
+        assert_eq!(c.derivs[1], 0.5);
+        assert_eq!(c.derivs[2], 0.25);
+        assert_eq!(c.center, 0.0);
+    }
+
+    #[test]
+    fn paper_error_constant_is_0_015() {
+        let v = paper_logistic_error_constant();
+        assert!((v - 0.015).abs() < 2e-3, "constant {v} should be ≈ 0.015");
+    }
+
+    #[test]
+    fn full_bound_is_twice_paper_constant() {
+        let full = logistic_truncation_error_bound();
+        assert!((full - 2.0 * paper_logistic_error_constant()).abs() < 1e-15);
+        assert!((full - 0.0303).abs() < 1e-3, "bound {full} should be ≈ 0.030");
+    }
+
+    #[test]
+    fn third_derivative_extrema_verified_numerically() {
+        // f'''(z) = (e^z − e^{2z})/(1+e^z)³ scanned over [−1, 1].
+        let f3 = |z: f64| -> f64 {
+            let ez: f64 = z.exp();
+            (ez - ez * ez) / (1.0 + ez).powi(3)
+        };
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let steps = 20_000;
+        for i in 0..=steps {
+            let z = -1.0 + 2.0 * i as f64 / steps as f64;
+            min = min.min(f3(z));
+            max = max.max(f3(z));
+        }
+        let c = logistic_log1pexp_component();
+        assert!((min - c.third_deriv_range.0).abs() < 1e-6, "min {min}");
+        assert!((max - c.third_deriv_range.1).abs() < 1e-6, "max {max}");
+    }
+
+    #[test]
+    fn truncated_eval_matches_taylor_by_hand() {
+        let c = logistic_log1pexp_component();
+        // f̂(z) = ln2 + z/2 + z²/8.
+        let z = 0.6;
+        let expected = std::f64::consts::LN_2 + 0.3 + 0.045;
+        assert!((c.eval_truncated(z) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_error_small_near_center() {
+        let c = logistic_log1pexp_component();
+        for &z in &[-1.0, -0.5, 0.0, 0.5, 1.0] {
+            let err = (c.eval_truncated(z) - log1p_exp(z)).abs();
+            // The cubic remainder over [−1,1] is ≤ max|f'''|/6 ≈ 0.0151.
+            assert!(err <= 0.0152, "error {err} at z={z}");
+        }
+    }
+
+    #[test]
+    fn poisson_component_constants() {
+        let c = poisson_exp_component();
+        assert_eq!(c.derivs, [1.0, 1.0, 1.0]);
+        assert_eq!(c.center, 0.0);
+        // Truncated eval is 1 + z + z²/2.
+        assert!((c.eval_truncated(0.4) - (1.0 + 0.4 + 0.08)).abs() < 1e-15);
+        // Remainder width (e − 1/e)/6 ≈ 0.392.
+        assert!((c.remainder_width() - 0.3918).abs() < 1e-3);
+        // Truncation error within the remainder bound over [−1, 1].
+        for &z in &[-1.0, -0.5, 0.0, 0.5, 1.0] {
+            let err = (c.eval_truncated(z) - z.exp()).abs();
+            assert!(err <= c.third_deriv_range.1 / 6.0 + 1e-12, "err {err} at z={z}");
+        }
+    }
+
+    #[test]
+    fn identity_component_is_exact() {
+        let c = identity_component();
+        for &z in &[-3.0, 0.0, 2.5] {
+            assert_eq!(c.eval_truncated(z), z);
+        }
+        assert_eq!(c.remainder_width(), 0.0);
+    }
+
+    #[test]
+    fn quadratic_contribution_expands_correctly() {
+        // Component f(z) = log(1+e^z) at c = (0.5, −0.5):
+        // contribution = ln2 + ½cᵀω + ⅛(cᵀω)².
+        let comp = logistic_log1pexp_component();
+        let c = [0.5, -0.5];
+        let q = comp.quadratic_contribution(&c);
+        for omega in [[0.0, 0.0], [1.0, 1.0], [0.3, -0.8]] {
+            let z = vecops::dot(&c, &omega);
+            let expected = comp.eval_truncated(z);
+            assert!(
+                (q.eval(&omega) - expected).abs() < 1e-12,
+                "mismatch at {omega:?}"
+            );
+        }
+        // M = ⅛ccᵀ must be symmetric.
+        assert!(q.m().is_symmetric(0.0));
+        assert!((q.m()[(0, 0)] - 0.125 * 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nonzero_center_expansion() {
+        // f(z) = z² expanded at z=1: derivs (1, 2, 2), exact.
+        let comp = TaylorComponent {
+            center: 1.0,
+            derivs: [1.0, 2.0, 2.0],
+            third_deriv_range: (0.0, 0.0),
+        };
+        let c = [2.0];
+        let q = comp.quadratic_contribution(&c);
+        for &w in &[-1.0, 0.0, 0.5, 3.0] {
+            let z = 2.0 * w;
+            assert!((q.eval(&[w]) - z * z).abs() < 1e-12, "at ω={w}");
+        }
+    }
+
+    #[test]
+    fn accumulate_sums_components() {
+        // Logistic loss for a tuple (x, y): f₁(xᵀω) + f₂(−y·xᵀω).
+        let x = [0.3, 0.4];
+        let y = 1.0;
+        let mut q = QuadraticForm::zero(2);
+        logistic_log1pexp_component().accumulate_into(&x, &mut q);
+        let neg_yx = [-y * x[0], -y * x[1]];
+        identity_component().accumulate_into(&neg_yx, &mut q);
+        // Check against the direct formula ln2 + ½z + ⅛z² − yz at a point.
+        let omega = [1.0, -2.0];
+        let z = vecops::dot(&x, &omega);
+        let expected = std::f64::consts::LN_2 + 0.5 * z + 0.125 * z * z - y * z;
+        assert!((q.eval(&omega) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log1p_exp_stability() {
+        // No overflow at large positive z; correct asymptotics.
+        assert!((log1p_exp(800.0) - 800.0).abs() < 1e-9);
+        assert!(log1p_exp(-800.0) >= 0.0);
+        assert!(log1p_exp(-800.0) < 1e-300);
+        assert!((log1p_exp(0.0) - std::f64::consts::LN_2).abs() < 1e-15);
+        // Agreement with naive formula in the safe range.
+        for &z in &[-20.0_f64, -1.0, 0.5, 20.0] {
+            let naive = (1.0 + z.exp()).ln();
+            assert!((log1p_exp(z) - naive).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based tests for the polynomial machinery: algebra laws that the
+//! functional mechanism's coefficient bookkeeping silently relies on.
+
+use fm_linalg::vecops;
+use fm_poly::taylor::{identity_component, logistic_log1pexp_component, log1p_exp};
+use fm_poly::{monomial, Monomial, Polynomial};
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    -5.0..5.0
+}
+
+fn omega(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0..2.0f64, d)
+}
+
+/// A random polynomial of degree ≤ 2 over `d` variables.
+fn quadratic_poly(d: usize) -> impl Strategy<Value = Polynomial> {
+    let n_terms = monomial::monomials_up_to_degree(d, 2).len();
+    proptest::collection::vec(small_f64(), n_terms).prop_map(move |coeffs| {
+        let mut p = Polynomial::zero(d);
+        for (m, c) in monomial::monomials_up_to_degree(d, 2).into_iter().zip(coeffs) {
+            if c != 0.0 {
+                p.add_term(m, c);
+            }
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn monomial_eval_is_multiplicative(
+        e1 in proptest::collection::vec(0u32..3, 3),
+        e2 in proptest::collection::vec(0u32..3, 3),
+        w in omega(3),
+    ) {
+        // φ₁(ω)·φ₂(ω) = (φ₁·φ₂)(ω) where the product adds exponents.
+        let m1 = Monomial::new(e1.clone());
+        let m2 = Monomial::new(e2.clone());
+        let prod = Monomial::new(e1.iter().zip(&e2).map(|(a, b)| a + b).collect());
+        let lhs = m1.eval(&w) * m2.eval(&w);
+        let rhs = prod.eval(&w);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs().max(rhs.abs())));
+    }
+
+    #[test]
+    fn monomial_degree_is_exponent_sum(e in proptest::collection::vec(0u32..4, 5)) {
+        let m = Monomial::new(e.clone());
+        prop_assert_eq!(m.degree(), e.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn partial_derivative_matches_finite_difference(
+        e in proptest::collection::vec(0u32..3, 3),
+        w in proptest::collection::vec(0.1..2.0f64, 3),
+        var in 0usize..3,
+    ) {
+        let m = Monomial::new(e);
+        let h = 1e-7;
+        let mut up = w.clone();
+        up[var] += h;
+        let mut dn = w.clone();
+        dn[var] -= h;
+        let fd = (m.eval(&up) - m.eval(&dn)) / (2.0 * h);
+        let analytic = m
+            .partial_derivative(var)
+            .map(|(c, dm)| c * dm.eval(&w))
+            .unwrap_or(0.0);
+        prop_assert!((fd - analytic).abs() <= 1e-4 * (1.0 + analytic.abs()), "{fd} vs {analytic}");
+    }
+
+    #[test]
+    fn polynomial_addition_is_pointwise(
+        (p, q, w) in (1usize..4).prop_flat_map(|d| (quadratic_poly(d), quadratic_poly(d), omega(d)))
+    ) {
+        let mut sum = p.clone();
+        sum.add_assign(&q);
+        let lhs = sum.eval(&w);
+        let rhs = p.eval(&w) + q.eval(&w);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs().max(rhs.abs())));
+    }
+
+    #[test]
+    fn polynomial_scaling_is_pointwise(
+        (p, w) in (1usize..4).prop_flat_map(|d| (quadratic_poly(d), omega(d))),
+        a in small_f64(),
+    ) {
+        let mut scaled = p.clone();
+        scaled.scale(a);
+        let lhs = scaled.eval(&w);
+        let rhs = a * p.eval(&w);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs().max(rhs.abs())));
+    }
+
+    #[test]
+    fn quadratic_form_roundtrip_is_exact(
+        (p, w) in (1usize..4).prop_flat_map(|d| (quadratic_poly(d), omega(d)))
+    ) {
+        let q = p.to_quadratic_form().expect("degree ≤ 2 by construction");
+        // M always comes out symmetric…
+        prop_assert!(q.m().is_symmetric(1e-12));
+        // …and evaluation is preserved both ways.
+        prop_assert!((q.eval(&w) - p.eval(&w)).abs() <= 1e-9 * (1.0 + p.eval(&w).abs()));
+        let back = q.to_polynomial();
+        prop_assert!((back.eval(&w) - p.eval(&w)).abs() <= 1e-9 * (1.0 + p.eval(&w).abs()));
+    }
+
+    #[test]
+    fn quadratic_gradient_matches_finite_difference(
+        (p, w) in (1usize..4).prop_flat_map(|d| (quadratic_poly(d), omega(d)))
+    ) {
+        let q = p.to_quadratic_form().expect("degree ≤ 2");
+        let g = q.gradient(&w);
+        let h = 1e-6;
+        for i in 0..w.len() {
+            let mut up = w.clone();
+            up[i] += h;
+            let mut dn = w.clone();
+            dn[i] -= h;
+            let fd = (q.eval(&up) - q.eval(&dn)) / (2.0 * h);
+            prop_assert!((g[i] - fd).abs() <= 1e-4 * (1.0 + fd.abs()), "var {i}: {} vs {fd}", g[i]);
+        }
+    }
+
+    #[test]
+    fn coefficient_l1_norm_is_subadditive(
+        (p, q) in (1usize..4).prop_flat_map(|d| (quadratic_poly(d), quadratic_poly(d)))
+    ) {
+        let mut sum = p.clone();
+        sum.add_assign(&q);
+        prop_assert!(
+            sum.coefficient_l1_norm() <= p.coefficient_l1_norm() + q.coefficient_l1_norm() + 1e-9
+        );
+    }
+
+    #[test]
+    fn taylor_contribution_evaluates_to_truncated_scalar(
+        c in proptest::collection::vec(-1.0..1.0f64, 3),
+        w in omega(3),
+    ) {
+        // The quadratic contribution of a component at coefficient vector c
+        // must equal f̂(cᵀω) for every ω — for both logistic components.
+        for comp in [logistic_log1pexp_component(), identity_component()] {
+            let q = comp.quadratic_contribution(&c);
+            let z = vecops::dot(&c, &w);
+            let expected = comp.eval_truncated(z);
+            prop_assert!((q.eval(&w) - expected).abs() <= 1e-9 * (1.0 + expected.abs()));
+        }
+    }
+
+    #[test]
+    fn logistic_truncation_error_within_lemma4_bound(z in -1.0..1.0f64) {
+        // |f̂₁(z) − f₁(z)| ≤ max|f₁'''|/6 · |z|³ ≤ the paper's constant,
+        // for any z in the unit interval the paper's domain guarantees.
+        let comp = logistic_log1pexp_component();
+        let err = (comp.eval_truncated(z) - log1p_exp(z)).abs();
+        prop_assert!(err <= fm_poly::taylor::paper_logistic_error_constant() + 1e-12);
+    }
+
+    #[test]
+    fn quadratic_regularization_shifts_eval_by_lambda_norm_sq(
+        (p, w) in (1usize..4).prop_flat_map(|d| (quadratic_poly(d), omega(d))),
+        lambda in 0.0..5.0f64,
+    ) {
+        // (M + λI) adds exactly λ‖ω‖² to the objective.
+        let q = p.to_quadratic_form().expect("degree ≤ 2");
+        let mut reg = q.clone();
+        reg.regularize(lambda);
+        let lhs = reg.eval(&w);
+        let rhs = q.eval(&w) + lambda * vecops::dot(&w, &w);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs().max(rhs.abs())));
+    }
+
+    #[test]
+    fn phi_j_enumeration_counts(d in 1usize..6, j in 0u32..4) {
+        let set = monomial::monomials_of_degree(d, j);
+        prop_assert_eq!(set.len(), monomial::count_monomials_of_degree(d, j));
+        prop_assert!(set.iter().all(|m| m.degree() == j && m.num_vars() == d));
+    }
+
+    #[test]
+    fn quadratic_add_assign_is_pointwise(
+        (p, q, w) in (1usize..4).prop_flat_map(|d| (quadratic_poly(d), quadratic_poly(d), omega(d)))
+    ) {
+        let qa = p.to_quadratic_form().expect("deg 2");
+        let qb = q.to_quadratic_form().expect("deg 2");
+        let mut sum = qa.clone();
+        sum.add_assign(&qb);
+        let lhs = sum.eval(&w);
+        let rhs = qa.eval(&w) + qb.eval(&w);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs().max(rhs.abs())));
+    }
+
+    #[test]
+    fn chebyshev_recovers_arbitrary_quadratics_exactly(
+        a0 in small_f64(),
+        a1 in small_f64(),
+        a2 in small_f64(),
+        half_width in 0.1..5.0f64,
+    ) {
+        // Fitting a degree-2 polynomial with the degree-2 Chebyshev
+        // projection is exact for every interval width.
+        let cheb = fm_poly::ChebyshevQuadratic::fit(|z| a0 + a1 * z + a2 * z * z, half_width);
+        let [b0, b1, b2] = cheb.coefficients();
+        let scale = 1.0 + a0.abs() + a1.abs() + a2.abs();
+        prop_assert!((b0 - a0).abs() <= 1e-9 * scale, "{b0} vs {a0}");
+        prop_assert!((b1 - a1).abs() <= 1e-9 * scale, "{b1} vs {a1}");
+        prop_assert!((b2 - a2).abs() <= 1e-9 * scale, "{b2} vs {a2}");
+        prop_assert!(cheb.max_error() <= 1e-9 * scale);
+    }
+
+    #[test]
+    fn chebyshev_error_bound_holds_pointwise(
+        half_width in 0.2..4.0f64,
+        t in -1.0..=1.0f64,
+    ) {
+        // The reported max_error must dominate the actual error at every
+        // point of the interval (here sampled via t·R).
+        let cheb = fm_poly::chebyshev::logistic_chebyshev(half_width);
+        let z = t * half_width;
+        let err = (cheb.eval(z) - log1p_exp(z)).abs();
+        // Grid-estimated sup can undershoot between grid points by O(h²);
+        // allow a 1e-6 absolute slack.
+        prop_assert!(err <= cheb.max_error() + 1e-6, "err {err} > sup {}", cheb.max_error());
+    }
+
+    #[test]
+    fn chebyshev_component_roundtrip(
+        half_width in 0.2..4.0f64,
+        c in proptest::collection::vec(-1.0..1.0f64, 2),
+        w in omega(2),
+    ) {
+        // as_component() must reproduce the fitted polynomial through the
+        // TaylorComponent accumulation path.
+        let cheb = fm_poly::chebyshev::logistic_chebyshev(half_width);
+        let q = cheb.as_component().quadratic_contribution(&c);
+        let z = vecops::dot(&c, &w);
+        let expected = cheb.eval(z);
+        prop_assert!((q.eval(&w) - expected).abs() <= 1e-9 * (1.0 + expected.abs()));
+    }
+}

@@ -1,0 +1,485 @@
+//! Privacy-budget accounting: sequential composition and the
+//! advanced-composition bound.
+//!
+//! ε-DP composes additively: running an ε₁-DP algorithm followed by an
+//! ε₂-DP algorithm on the same data is (ε₁+ε₂)-DP. The paper leans on this
+//! twice: Lemma 5 shows that re-running Algorithm 1 until the noisy
+//! objective is bounded costs `2ε`, and the experiment harness must ensure
+//! each method consumes exactly its advertised budget.
+//!
+//! Two ledgers are provided:
+//!
+//! * [`PrivacyBudget`] — the strict-ε ledger: construct with a total ε,
+//!   [`PrivacyBudget::spend`] draws down, and over-spending is an error
+//!   rather than a silent privacy violation.
+//! * [`EpsDeltaLedger`] — an (ε, δ) audit trail for workloads mixing the
+//!   Laplace and Gaussian variants; reports both **basic** composition
+//!   `(Σεᵢ, Σδᵢ)` and the **advanced** composition bound of Dwork,
+//!   Rothblum & Vadhan, which pays an extra δ′ to shrink the ε total from
+//!   `Σεᵢ` to `√(2 ln(1/δ′)·Σεᵢ²) + Σεᵢ(e^{εᵢ} − 1)` — a large saving
+//!   when many small-ε queries compose.
+
+use crate::{PrivacyError, Result};
+
+/// Tolerance for floating-point slack when comparing spends against the
+/// remaining budget (ε values are user-scale numbers like 0.1–3.2).
+const EPS_SLACK: f64 = 1e-12;
+
+/// A sequential-composition ε ledger.
+///
+/// ```
+/// use fm_privacy::budget::PrivacyBudget;
+///
+/// let mut budget = PrivacyBudget::new(1.0).unwrap();
+/// budget.spend(0.4).unwrap();
+/// budget.spend(0.6).unwrap();
+/// assert!(budget.spend(0.1).is_err()); // exhausted
+/// assert!(budget.remaining() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrivacyBudget {
+    total: f64,
+    spent: f64,
+    /// Individual spends, for auditing.
+    ledger: Vec<f64>,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget with `total` ε available.
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] unless `total` is finite and > 0.
+    pub fn new(total: f64) -> Result<Self> {
+        if !total.is_finite() || total <= 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "total epsilon",
+                value: total,
+                constraint: "finite and > 0",
+            });
+        }
+        Ok(PrivacyBudget {
+            total,
+            spent: 0.0,
+            ledger: Vec::new(),
+        })
+    }
+
+    /// Total ε this budget started with.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// ε consumed so far.
+    #[must_use]
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// ε still available (never negative).
+    #[must_use]
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Number of recorded spends.
+    #[must_use]
+    pub fn num_operations(&self) -> usize {
+        self.ledger.len()
+    }
+
+    /// The audit trail of individual spends, in order.
+    #[must_use]
+    pub fn ledger(&self) -> &[f64] {
+        &self.ledger
+    }
+
+    /// Records a spend of `epsilon`.
+    ///
+    /// # Errors
+    /// * [`PrivacyError::InvalidParameter`] for non-positive/non-finite ε.
+    /// * [`PrivacyError::BudgetExhausted`] when the spend would exceed what
+    ///   remains (beyond floating-point slack).
+    pub fn spend(&mut self, epsilon: f64) -> Result<()> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                constraint: "finite and > 0",
+            });
+        }
+        if epsilon > self.remaining() + EPS_SLACK {
+            return Err(PrivacyError::BudgetExhausted {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += epsilon;
+        self.ledger.push(epsilon);
+        Ok(())
+    }
+
+    /// Splits the *remaining* budget into `parts` equal spends, recording
+    /// and returning the per-part ε.
+    ///
+    /// Useful for mechanisms that make a known number of sequential noisy
+    /// queries (e.g. DPME noising each histogram cell would instead use
+    /// parallel composition; this helper is for genuinely sequential steps).
+    ///
+    /// # Errors
+    /// * [`PrivacyError::InvalidParameter`] when `parts == 0`.
+    /// * [`PrivacyError::BudgetExhausted`] when nothing remains.
+    pub fn split_remaining(&mut self, parts: usize) -> Result<f64> {
+        if parts == 0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "parts",
+                value: 0.0,
+                constraint: "at least 1",
+            });
+        }
+        let remaining = self.remaining();
+        if remaining <= 0.0 {
+            return Err(PrivacyError::BudgetExhausted {
+                requested: 0.0,
+                remaining,
+            });
+        }
+        let per_part = remaining / parts as f64;
+        for _ in 0..parts {
+            self.spend(per_part)?;
+        }
+        Ok(per_part)
+    }
+}
+
+/// One recorded (ε, δ) mechanism invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsDeltaEntry {
+    /// The invocation's ε.
+    pub epsilon: f64,
+    /// The invocation's δ (0 for pure ε-DP mechanisms such as Laplace).
+    pub delta: f64,
+}
+
+/// An append-only (ε, δ) audit ledger with basic and advanced composition
+/// reports.
+///
+/// Unlike [`PrivacyBudget`] this ledger does not enforce a cap — mixing
+/// pure-ε and (ε, δ) mechanisms has no single scalar budget to enforce.
+/// Instead it answers the question an auditor asks after the fact: *what
+/// total guarantee do these invocations compose to?*
+///
+/// ```
+/// use fm_privacy::budget::EpsDeltaLedger;
+///
+/// let mut ledger = EpsDeltaLedger::new();
+/// for _ in 0..100 {
+///     ledger.record(0.05, 1e-8).unwrap(); // 100 small Gaussian queries
+/// }
+/// let (eps_basic, _) = ledger.basic_composition();    // 5.0
+/// let (eps_adv, _) = ledger.advanced_composition(1e-6).unwrap(); // ≈ 2.9
+/// assert!(eps_adv < eps_basic); // the √k regime: advanced wins
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EpsDeltaLedger {
+    entries: Vec<EpsDeltaEntry>,
+}
+
+impl EpsDeltaLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        EpsDeltaLedger::default()
+    }
+
+    /// Records an (ε, δ)-DP invocation (`δ = 0` for pure ε-DP).
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] for ε ≤ 0, non-finite values, or
+    /// δ outside `[0, 1)`.
+    pub fn record(&mut self, epsilon: f64, delta: f64) -> Result<()> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                constraint: "finite and > 0",
+            });
+        }
+        if !delta.is_finite() || !(0.0..1.0).contains(&delta) {
+            return Err(PrivacyError::InvalidParameter {
+                name: "delta",
+                value: delta,
+                constraint: "in [0, 1)",
+            });
+        }
+        self.entries.push(EpsDeltaEntry { epsilon, delta });
+        Ok(())
+    }
+
+    /// The recorded invocations, in order.
+    #[must_use]
+    pub fn entries(&self) -> &[EpsDeltaEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded invocations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ledger is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Basic (sequential) composition: the invocations jointly satisfy
+    /// `(Σεᵢ, Σδᵢ)`-DP.
+    #[must_use]
+    pub fn basic_composition(&self) -> (f64, f64) {
+        let eps: f64 = self.entries.iter().map(|e| e.epsilon).sum();
+        let delta: f64 = self.entries.iter().map(|e| e.delta).sum();
+        (eps, delta)
+    }
+
+    /// Advanced composition (Dwork–Rothblum–Vadhan, heterogeneous form):
+    /// for any slack `δ′ > 0` the invocations jointly satisfy
+    /// `(ε*, Σδᵢ + δ′)`-DP with
+    ///
+    /// ```text
+    /// ε* = √(2 ln(1/δ′) · Σεᵢ²)  +  Σ εᵢ·(e^{εᵢ} − 1)
+    /// ```
+    ///
+    /// The bound beats basic composition when many small-ε invocations
+    /// compose (the `√k` regime) and loses to it for a few large-ε ones —
+    /// use [`EpsDeltaLedger::best_composition`] to always report the
+    /// tighter of the two.
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] unless `δ′ ∈ (0, 1)`.
+    pub fn advanced_composition(&self, delta_prime: f64) -> Result<(f64, f64)> {
+        if !delta_prime.is_finite() || delta_prime <= 0.0 || delta_prime >= 1.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "delta_prime",
+                value: delta_prime,
+                constraint: "in (0, 1)",
+            });
+        }
+        let sum_sq: f64 = self.entries.iter().map(|e| e.epsilon * e.epsilon).sum();
+        let linear: f64 = self
+            .entries
+            .iter()
+            .map(|e| e.epsilon * (e.epsilon.exp_m1()))
+            .sum();
+        let eps = (2.0 * (1.0 / delta_prime).ln() * sum_sq).sqrt() + linear;
+        let delta: f64 = self.entries.iter().map(|e| e.delta).sum::<f64>() + delta_prime;
+        Ok((eps, delta))
+    }
+
+    /// The tighter of basic and advanced composition at slack `δ′`:
+    /// returns whichever pair has the smaller ε (basic is reported with its
+    /// original `Σδᵢ`, i.e. without paying δ′ it does not need).
+    ///
+    /// # Errors
+    /// As [`EpsDeltaLedger::advanced_composition`].
+    pub fn best_composition(&self, delta_prime: f64) -> Result<(f64, f64)> {
+        let basic = self.basic_composition();
+        let advanced = self.advanced_composition(delta_prime)?;
+        Ok(if advanced.0 < basic.0 { advanced } else { basic })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(PrivacyBudget::new(0.0).is_err());
+        assert!(PrivacyBudget::new(-1.0).is_err());
+        assert!(PrivacyBudget::new(f64::INFINITY).is_err());
+        assert!(PrivacyBudget::new(0.8).is_ok());
+    }
+
+    #[test]
+    fn sequential_composition_adds_up() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        b.spend(0.3).unwrap();
+        b.spend(0.2).unwrap();
+        assert!((b.spent() - 0.5).abs() < 1e-15);
+        assert!((b.remaining() - 0.5).abs() < 1e-15);
+        assert_eq!(b.num_operations(), 2);
+        assert_eq!(b.ledger(), &[0.3, 0.2]);
+    }
+
+    #[test]
+    fn overspend_is_rejected_and_not_recorded() {
+        let mut b = PrivacyBudget::new(0.5).unwrap();
+        b.spend(0.4).unwrap();
+        let err = b.spend(0.2).unwrap_err();
+        assert!(matches!(err, PrivacyError::BudgetExhausted { .. }));
+        assert_eq!(b.num_operations(), 1);
+        assert!((b.remaining() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_exhaustion_allowed() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        b.spend(1.0).unwrap();
+        assert!(b.remaining() < 1e-15);
+        assert!(b.spend(1e-6).is_err());
+    }
+
+    #[test]
+    fn floating_point_slack_tolerated() {
+        let mut b = PrivacyBudget::new(0.3).unwrap();
+        b.spend(0.1).unwrap();
+        b.spend(0.1).unwrap();
+        // 0.3 - 0.2 leaves 0.09999999999999998; spending "0.1" must work.
+        b.spend(0.1).unwrap();
+    }
+
+    #[test]
+    fn invalid_spends_rejected() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        assert!(b.spend(0.0).is_err());
+        assert!(b.spend(-0.1).is_err());
+        assert!(b.spend(f64::NAN).is_err());
+        assert_eq!(b.num_operations(), 0);
+    }
+
+    #[test]
+    fn split_remaining_even_parts() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        b.spend(0.2).unwrap();
+        let per = b.split_remaining(4).unwrap();
+        assert!((per - 0.2).abs() < 1e-12);
+        assert!(b.remaining() < 1e-9);
+        assert_eq!(b.num_operations(), 5);
+    }
+
+    #[test]
+    fn split_remaining_validation() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        assert!(b.split_remaining(0).is_err());
+        b.spend(1.0).unwrap();
+        assert!(b.split_remaining(2).is_err());
+    }
+
+    #[test]
+    fn lemma5_retry_costs_double() {
+        // Lemma 5: repeating an ε-DP mechanism until its output satisfies a
+        // data-independent predicate is 2ε-DP. The accountant models this as
+        // two spends of ε.
+        let eps = 0.8;
+        let mut b = PrivacyBudget::new(2.0 * eps).unwrap();
+        b.spend(eps).unwrap(); // the (possibly repeated) mechanism
+        b.spend(eps).unwrap(); // the retry premium
+        assert!(b.remaining() < 1e-12);
+    }
+
+    #[test]
+    fn eps_delta_ledger_records_and_validates() {
+        let mut l = EpsDeltaLedger::new();
+        assert!(l.is_empty());
+        l.record(0.5, 0.0).unwrap();
+        l.record(0.3, 1e-6).unwrap();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.entries()[1].delta, 1e-6);
+        assert!(l.record(0.0, 0.0).is_err());
+        assert!(l.record(0.1, -0.1).is_err());
+        assert!(l.record(0.1, 1.0).is_err());
+        assert!(l.record(f64::NAN, 0.0).is_err());
+        assert_eq!(l.len(), 2, "rejected records must not be stored");
+    }
+
+    #[test]
+    fn basic_composition_sums() {
+        let mut l = EpsDeltaLedger::new();
+        l.record(0.5, 1e-6).unwrap();
+        l.record(0.3, 2e-6).unwrap();
+        let (eps, delta) = l.basic_composition();
+        assert!((eps - 0.8).abs() < 1e-15);
+        assert!((delta - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn advanced_composition_matches_drv_formula_homogeneous() {
+        // k identical (ε, 0) entries: ε* = ε√(2k ln(1/δ′)) + kε(e^ε − 1).
+        let (k, eps, dp) = (20usize, 0.1, 1e-6);
+        let mut l = EpsDeltaLedger::new();
+        for _ in 0..k {
+            l.record(eps, 0.0).unwrap();
+        }
+        let (e_adv, d_adv) = l.advanced_composition(dp).unwrap();
+        let expected =
+            eps * (2.0 * (k as f64) * (1.0f64 / dp).ln()).sqrt() + k as f64 * eps * (eps.exp() - 1.0);
+        assert!((e_adv - expected).abs() < 1e-12, "{e_adv} vs {expected}");
+        assert!((d_adv - dp).abs() < 1e-18);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_small_queries() {
+        let mut l = EpsDeltaLedger::new();
+        for _ in 0..100 {
+            l.record(0.05, 0.0).unwrap();
+        }
+        let (basic, _) = l.basic_composition();
+        let (adv, _) = l.advanced_composition(1e-6).unwrap();
+        assert!(adv < basic, "advanced {adv} should beat basic {basic} = 5");
+        let (best, best_d) = l.best_composition(1e-6).unwrap();
+        assert_eq!(best, adv);
+        assert!((best_d - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn basic_beats_advanced_for_one_large_query() {
+        let mut l = EpsDeltaLedger::new();
+        l.record(2.0, 0.0).unwrap();
+        let (basic, basic_d) = l.basic_composition();
+        let (adv, _) = l.advanced_composition(1e-6).unwrap();
+        assert!(basic < adv);
+        let best = l.best_composition(1e-6).unwrap();
+        assert_eq!(best, (basic, basic_d), "best must fall back to basic");
+    }
+
+    #[test]
+    fn advanced_composition_validates_slack() {
+        let mut l = EpsDeltaLedger::new();
+        l.record(0.1, 0.0).unwrap();
+        assert!(l.advanced_composition(0.0).is_err());
+        assert!(l.advanced_composition(1.0).is_err());
+        assert!(l.advanced_composition(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empty_ledger_composes_to_zero() {
+        let l = EpsDeltaLedger::new();
+        assert_eq!(l.basic_composition(), (0.0, 0.0));
+        let (eps, delta) = l.advanced_composition(1e-6).unwrap();
+        assert_eq!(eps, 0.0);
+        assert!((delta - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn mixed_laplace_gaussian_workload_audit() {
+        // The repo's own mixed workload: 5 Laplace fits at ε = 0.2 and
+        // 5 Gaussian fits at (0.2, 1e−7). Basic: (2.0, 5e−7).
+        let mut l = EpsDeltaLedger::new();
+        for _ in 0..5 {
+            l.record(0.2, 0.0).unwrap();
+            l.record(0.2, 1e-7).unwrap();
+        }
+        let (eps_b, delta_b) = l.basic_composition();
+        assert!((eps_b - 2.0).abs() < 1e-12);
+        assert!((delta_b - 5e-7).abs() < 1e-18);
+        // At k = 10 invocations of ε = 0.2, the √k saving does not yet pay
+        // for the √(2 ln(1/δ′)) factor — best_composition must fall back to
+        // basic rather than report the looser advanced bound.
+        let (eps_a, _) = l.advanced_composition(1e-6).unwrap();
+        assert!(eps_a > eps_b, "advanced {eps_a} only wins at larger k");
+        let best = l.best_composition(1e-6).unwrap();
+        assert_eq!(best, (eps_b, delta_b));
+    }
+}

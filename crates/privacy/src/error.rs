@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Errors produced by privacy primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrivacyError {
+    /// A privacy parameter was outside its valid domain.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// The constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A budget spend would exceed the remaining ε.
+    BudgetExhausted {
+        /// ε requested by the operation.
+        requested: f64,
+        /// ε still available.
+        remaining: f64,
+    },
+}
+
+impl fmt::Display for PrivacyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivacyError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid {name} = {value}: must be {constraint}"),
+            PrivacyError::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested ε = {requested}, remaining ε = {remaining}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrivacyError {}

@@ -1,0 +1,249 @@
+//! The exponential mechanism (McSherry & Talwar, FOCS 2007) for queries
+//! with *discrete* output spaces.
+//!
+//! The paper's related-work section (§2) positions this as the complement
+//! of the Laplace mechanism: where Laplace perturbs real-valued outputs,
+//! the exponential mechanism selects one of `k` candidates `r₁…r_k` with
+//! probability proportional to `exp(ε·u(D, rᵢ) / (2·Δu))`, where `u` is a
+//! utility score and `Δu = max_r max_{D₁~D₂} |u(D₁, r) − u(D₂, r)|` its
+//! per-tuple sensitivity. The result is ε-differentially private.
+//!
+//! In this workspace it powers **private model selection** — choosing a
+//! hyper-parameter (e.g. the §6.1 regularization multiplier) by utility on
+//! a validation split without leaking that split (see
+//! `examples/model_selection.rs`).
+
+use rand::Rng;
+
+use crate::{PrivacyError, Result};
+
+/// A configured exponential mechanism: privacy budget + utility sensitivity.
+///
+/// ```
+/// use fm_privacy::exponential::ExponentialMechanism;
+/// use rand::SeedableRng;
+///
+/// let mech = ExponentialMechanism::new(1.0, 0.5).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// // Three candidates; the last has the highest utility.
+/// let winner = mech.select(&[0.1, 0.2, 5.0], &mut rng).unwrap();
+/// assert_eq!(winner, 2); // overwhelmingly likely at this ε/Δu
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialMechanism {
+    epsilon: f64,
+    utility_sensitivity: f64,
+}
+
+impl ExponentialMechanism {
+    /// Creates a mechanism with privacy budget `epsilon` and utility
+    /// sensitivity `utility_sensitivity` (`Δu`).
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] if either parameter is
+    /// non-positive or non-finite.
+    pub fn new(epsilon: f64, utility_sensitivity: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                constraint: "finite and > 0",
+            });
+        }
+        if !utility_sensitivity.is_finite() || utility_sensitivity <= 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "utility_sensitivity",
+                value: utility_sensitivity,
+                constraint: "finite and > 0",
+            });
+        }
+        Ok(ExponentialMechanism {
+            epsilon,
+            utility_sensitivity,
+        })
+    }
+
+    /// The privacy parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The utility sensitivity Δu.
+    #[must_use]
+    pub fn utility_sensitivity(&self) -> f64 {
+        self.utility_sensitivity
+    }
+
+    /// The normalized selection probabilities
+    /// `P(i) ∝ exp(ε·uᵢ / (2Δu))`, computed stably (max-shifted softmax).
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] for an empty candidate list or a
+    /// non-finite utility.
+    pub fn selection_probabilities(&self, utilities: &[f64]) -> Result<Vec<f64>> {
+        if utilities.is_empty() {
+            return Err(PrivacyError::InvalidParameter {
+                name: "utilities",
+                value: 0.0,
+                constraint: "a non-empty candidate list",
+            });
+        }
+        if let Some(&bad) = utilities.iter().find(|u| !u.is_finite()) {
+            return Err(PrivacyError::InvalidParameter {
+                name: "utilities",
+                value: bad,
+                constraint: "finite utility scores",
+            });
+        }
+        let scale = self.epsilon / (2.0 * self.utility_sensitivity);
+        let max = utilities.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = utilities.iter().map(|&u| ((u - max) * scale).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        Ok(weights.into_iter().map(|w| w / total).collect())
+    }
+
+    /// Selects a candidate index with probability
+    /// `∝ exp(ε·uᵢ / (2Δu))` — the ε-DP release.
+    ///
+    /// # Errors
+    /// As [`ExponentialMechanism::selection_probabilities`].
+    pub fn select(&self, utilities: &[f64], rng: &mut impl Rng) -> Result<usize> {
+        let probs = self.selection_probabilities(utilities)?;
+        let mut u: f64 = rng.gen();
+        for (i, &p) in probs.iter().enumerate() {
+            if u < p {
+                return Ok(i);
+            }
+            u -= p;
+        }
+        // Floating-point round-off: fall back to the last candidate.
+        Ok(probs.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(606)
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(ExponentialMechanism::new(0.0, 1.0).is_err());
+        assert!(ExponentialMechanism::new(1.0, 0.0).is_err());
+        assert!(ExponentialMechanism::new(f64::NAN, 1.0).is_err());
+        assert!(ExponentialMechanism::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_utilities() {
+        let m = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let mut r = rng();
+        assert!(m.select(&[], &mut r).is_err());
+        assert!(m.select(&[1.0, f64::NAN], &mut r).is_err());
+        assert!(m.selection_probabilities(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn probabilities_normalize_and_order_by_utility() {
+        let m = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let p = m.selection_probabilities(&[0.0, 1.0, 2.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] < p[1] && p[1] < p[2]);
+        // Exact ratio: p[2]/p[1] = exp(ε/(2Δu)) = e^{1/2}.
+        assert!((p[2] / p[1] - 0.5f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_invariant_to_utility_shift() {
+        let m = ExponentialMechanism::new(0.7, 2.0).unwrap();
+        let a = m.selection_probabilities(&[0.0, 3.0, 1.0]).unwrap();
+        let b = m.selection_probabilities(&[100.0, 103.0, 101.0]).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_theory() {
+        let m = ExponentialMechanism::new(2.0, 1.0).unwrap();
+        let utilities = [0.0, 1.0, 0.5];
+        let theory = m.selection_probabilities(&utilities).unwrap();
+        let mut r = rng();
+        let n = 60_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[m.select(&utilities, &mut r).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - theory[i]).abs() < 0.01,
+                "candidate {i}: {freq} vs {}",
+                theory[i]
+            );
+        }
+    }
+
+    #[test]
+    fn higher_epsilon_concentrates_on_the_best() {
+        let utilities = [0.0, 1.0];
+        let weak = ExponentialMechanism::new(0.1, 1.0).unwrap();
+        let strong = ExponentialMechanism::new(10.0, 1.0).unwrap();
+        let pw = weak.selection_probabilities(&utilities).unwrap();
+        let ps = strong.selection_probabilities(&utilities).unwrap();
+        assert!(ps[1] > pw[1]);
+        assert!(ps[1] > 0.99);
+        // At ε → 0 the choice approaches uniform.
+        let tiny = ExponentialMechanism::new(1e-6, 1.0).unwrap();
+        let pt = tiny.selection_probabilities(&utilities).unwrap();
+        assert!((pt[0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn large_utility_gaps_are_numerically_stable() {
+        // Max-shifted softmax must not overflow even with huge scores.
+        let m = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let p = m.selection_probabilities(&[-1e305, 0.0, 1e305]).unwrap();
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_candidate_always_selected() {
+        let m = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let mut r = rng();
+        assert_eq!(m.select(&[42.0], &mut r).unwrap(), 0);
+    }
+
+    #[test]
+    fn dp_ratio_bound_between_neighbour_utilities() {
+        // The defining property: shifting every utility by at most Δu
+        // (a neighbour-database change) moves each selection probability by
+        // at most a factor e^ε. Verify on a worst-case shift pattern.
+        let eps = 1.0;
+        let du = 0.5;
+        let m = ExponentialMechanism::new(eps, du).unwrap();
+        let u1 = [0.3, 1.2, 0.7, 2.0];
+        // Adversarial neighbour: the chosen candidate loses Δu, all others
+        // gain Δu.
+        for target in 0..u1.len() {
+            let u2: Vec<f64> = u1
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| if i == target { u - du } else { u + du })
+                .collect();
+            let p1 = m.selection_probabilities(&u1).unwrap();
+            let p2 = m.selection_probabilities(&u2).unwrap();
+            let ratio = p1[target] / p2[target];
+            assert!(
+                ratio <= eps.exp() + 1e-9,
+                "candidate {target}: ratio {ratio} exceeds e^ε"
+            );
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The Laplace distribution `Lap(b)` with zero mean and scale `b`.
+//!
+//! Section 3 of the paper: the Laplace mechanism draws noise
+//! `η ~ pdf(η) = (1/2b)·exp(−|η|/b)` with `b = S(Q)/ε`. The functional
+//! mechanism (Algorithm 1, line 4) draws one such variate per polynomial
+//! coefficient with `b = Δ/ε`.
+
+use rand::Rng;
+
+use crate::{PrivacyError, Result};
+
+/// A zero-location Laplace distribution with scale `b > 0`.
+///
+/// Sampling uses the exact inverse-CDF transform: for `u ~ U(−½, ½)`,
+/// `η = −b · sgn(u) · ln(1 − 2|u|)` is Laplace-distributed. This avoids the
+/// precision loss of the naive two-exponential approach near zero.
+///
+/// ```
+/// use fm_privacy::laplace::Laplace;
+/// use rand::SeedableRng;
+///
+/// let lap = Laplace::new(2.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let eta = lap.sample(&mut rng);
+/// assert!(eta.is_finite());
+/// assert_eq!(lap.variance(), 8.0); // 2b²
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates `Lap(scale)`.
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] unless `scale` is finite and
+    /// strictly positive.
+    pub fn new(scale: f64) -> Result<Self> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "scale",
+                value: scale,
+                constraint: "finite and > 0",
+            });
+        }
+        Ok(Laplace { scale })
+    }
+
+    /// Creates the mechanism-calibrated distribution `Lap(sensitivity/ε)`.
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] if either argument is non-positive
+    /// or non-finite.
+    pub fn from_sensitivity(sensitivity: f64, epsilon: f64) -> Result<Self> {
+        if !sensitivity.is_finite() || sensitivity <= 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "sensitivity",
+                value: sensitivity,
+                constraint: "finite and > 0",
+            });
+        }
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                constraint: "finite and > 0",
+            });
+        }
+        Laplace::new(sensitivity / epsilon)
+    }
+
+    /// The scale parameter `b`.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Variance `2b²`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Standard deviation `b·√2`.
+    ///
+    /// Section 6.1 of the paper sets the regularization constant to four
+    /// times this quantity.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.scale * std::f64::consts::SQRT_2
+    }
+
+    /// Probability density at `x`.
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        (-(x.abs()) / self.scale).exp() / (2.0 * self.scale)
+    }
+
+    /// Cumulative distribution function at `x`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (x / self.scale).exp()
+        } else {
+            1.0 - 0.5 * (-x / self.scale).exp()
+        }
+    }
+
+    /// Inverse CDF (quantile function) at `p ∈ (0, 1)`.
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] for `p` outside the open interval.
+    pub fn inverse_cdf(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "p",
+                value: p,
+                constraint: "in the open interval (0, 1)",
+            });
+        }
+        Ok(if p < 0.5 {
+            self.scale * (2.0 * p).ln()
+        } else {
+            -self.scale * (2.0 - 2.0 * p).ln()
+        })
+    }
+
+    /// Draws one variate.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        // u ∈ (−½, ½); gen::<f64>() ∈ [0, 1) so 1 − 2|u| ∈ (0, 1] — the log
+        // never sees zero.
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Fills `out` with i.i.d. variates.
+    pub fn sample_into(&self, rng: &mut impl Rng, out: &mut [f64]) {
+        for v in out {
+            *v = self.sample(rng);
+        }
+    }
+
+    /// Draws `n` i.i.d. variates into a fresh vector.
+    pub fn sample_vec(&self, rng: &mut impl Rng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xFACADE)
+    }
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(Laplace::new(0.0).is_err());
+        assert!(Laplace::new(-1.0).is_err());
+        assert!(Laplace::new(f64::NAN).is_err());
+        assert!(Laplace::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn from_sensitivity_divides() {
+        let lap = Laplace::from_sensitivity(8.0, 2.0).unwrap();
+        assert_eq!(lap.scale(), 4.0);
+        assert!(Laplace::from_sensitivity(0.0, 1.0).is_err());
+        assert!(Laplace::from_sensitivity(1.0, 0.0).is_err());
+        assert!(Laplace::from_sensitivity(1.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let lap = Laplace::new(3.0).unwrap();
+        assert_eq!(lap.variance(), 18.0);
+        assert!((lap.std_dev() - 3.0 * std::f64::consts::SQRT_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pdf_properties() {
+        let lap = Laplace::new(1.5).unwrap();
+        // Symmetric, peak at 0 with height 1/(2b).
+        assert!((lap.pdf(0.7) - lap.pdf(-0.7)).abs() < 1e-15);
+        assert!((lap.pdf(0.0) - 1.0 / 3.0).abs() < 1e-15);
+        assert!(lap.pdf(100.0) < 1e-20);
+    }
+
+    #[test]
+    fn cdf_properties() {
+        let lap = Laplace::new(2.0).unwrap();
+        assert!((lap.cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!(lap.cdf(-1e9) < 1e-15);
+        assert!((lap.cdf(1e9) - 1.0).abs() < 1e-15);
+        // Monotone.
+        assert!(lap.cdf(-1.0) < lap.cdf(0.0));
+        assert!(lap.cdf(0.0) < lap.cdf(1.0));
+    }
+
+    #[test]
+    fn cdf_inverse_roundtrip() {
+        let lap = Laplace::new(0.7).unwrap();
+        for &p in &[0.01, 0.25, 0.5, 0.75, 0.99] {
+            let x = lap.inverse_cdf(p).unwrap();
+            assert!((lap.cdf(x) - p).abs() < 1e-12, "roundtrip failed at p={p}");
+        }
+        assert!(lap.inverse_cdf(0.0).is_err());
+        assert!(lap.inverse_cdf(1.0).is_err());
+        assert!(lap.inverse_cdf(-0.1).is_err());
+        assert!(lap.inverse_cdf(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn median_of_inverse_cdf_is_zero() {
+        let lap = Laplace::new(5.0).unwrap();
+        assert_eq!(lap.inverse_cdf(0.5).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sample_mean_and_variance_converge() {
+        let lap = Laplace::new(2.0).unwrap();
+        let mut r = rng();
+        let n = 200_000;
+        let samples = lap.sample_vec(&mut r, n);
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        // Mean 0 ± a few σ/√n; σ = 2√2 ≈ 2.83 → tolerance 0.05 is > 7σ_mean.
+        assert!(mean.abs() < 0.05, "sample mean {mean} too far from 0");
+        assert!(
+            (var - 8.0).abs() < 0.4,
+            "sample variance {var} too far from 8"
+        );
+    }
+
+    #[test]
+    fn sample_quantiles_match_cdf() {
+        let lap = Laplace::new(1.0).unwrap();
+        let mut r = rng();
+        let n = 100_000;
+        let mut samples = lap.sample_vec(&mut r, n);
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &p in &[0.1, 0.5, 0.9] {
+            let empirical = samples[(p * n as f64) as usize];
+            let theoretical = lap.inverse_cdf(p).unwrap();
+            assert!(
+                (empirical - theoretical).abs() < 0.05,
+                "quantile {p}: empirical {empirical} vs theoretical {theoretical}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_into_fills_everything() {
+        let lap = Laplace::new(1.0).unwrap();
+        let mut r = rng();
+        let mut buf = vec![f64::NAN; 64];
+        lap.sample_into(&mut r, &mut buf);
+        assert!(buf.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn seeded_sampling_is_reproducible() {
+        let lap = Laplace::new(1.0).unwrap();
+        let a = lap.sample_vec(&mut rng(), 16);
+        let b = lap.sample_vec(&mut rng(), 16);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based tests for the DP primitives: distribution identities,
+//! mechanism calibration arithmetic, and ledger invariants.
+
+use fm_privacy::budget::PrivacyBudget;
+use fm_privacy::exponential::ExponentialMechanism;
+use fm_privacy::laplace::Laplace;
+use fm_privacy::mechanism::{GaussianMechanism, LaplaceMechanism};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn scale() -> impl Strategy<Value = f64> {
+    0.01..100.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(b in scale(), x1 in -50.0..50.0f64, x2 in -50.0..50.0f64) {
+        let lap = Laplace::new(b).unwrap();
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(lap.cdf(lo) <= lap.cdf(hi) + 1e-15);
+        prop_assert!((0.0..=1.0).contains(&lap.cdf(x1)));
+    }
+
+    #[test]
+    fn cdf_symmetry(b in scale(), x in 0.0..50.0f64) {
+        // F(−x) = 1 − F(x) for the symmetric Laplace.
+        let lap = Laplace::new(b).unwrap();
+        prop_assert!((lap.cdf(-x) + lap.cdf(x) - 1.0).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn inverse_cdf_roundtrip(b in scale(), p in 0.001..0.999f64) {
+        let lap = Laplace::new(b).unwrap();
+        let x = lap.inverse_cdf(p).unwrap();
+        prop_assert!((lap.cdf(x) - p).abs() <= 1e-10);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf_increments(b in 0.1..10.0f64, x in -5.0..5.0f64) {
+        // F(x+h) − F(x) ≈ f(x)·h for small h (density consistency).
+        let lap = Laplace::new(b).unwrap();
+        let h = 1e-6;
+        let lhs = (lap.cdf(x + h) - lap.cdf(x)) / h;
+        prop_assert!((lhs - lap.pdf(x)).abs() <= 1e-3 * (1.0 + lap.pdf(x)));
+    }
+
+    #[test]
+    fn samples_respect_distributional_bounds(b in 0.1..10.0f64, seed in 0u64..1000) {
+        // Any single sample is finite; the probability of |η| > 20b is
+        // e^{−20} ≈ 2e−9, so a small batch never exceeds it.
+        let lap = Laplace::new(b).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = lap.sample(&mut rng);
+            prop_assert!(x.is_finite());
+            prop_assert!(x.abs() <= 20.0 * b);
+        }
+    }
+
+    #[test]
+    fn mechanism_scale_arithmetic(s in scale(), eps in 0.01..10.0f64) {
+        let m = LaplaceMechanism::new(s, eps).unwrap();
+        prop_assert!((m.noise_scale() - s / eps).abs() <= 1e-12 * (1.0 + s / eps));
+        prop_assert!((m.noise_std_dev() - std::f64::consts::SQRT_2 * s / eps).abs()
+            <= 1e-12 * (1.0 + s / eps));
+    }
+
+    #[test]
+    fn privatize_output_length_matches(s in scale(), eps in 0.1..5.0f64, n in 0usize..64, seed in 0u64..100) {
+        let m = LaplaceMechanism::new(s, eps).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let values = vec![1.0; n];
+        prop_assert_eq!(m.privatize(&values, &mut rng).len(), n);
+    }
+
+    #[test]
+    fn budget_ledger_conserves_epsilon(spends in proptest::collection::vec(0.01..0.3f64, 1..8)) {
+        let total: f64 = spends.iter().sum::<f64>() + 0.5;
+        let mut b = PrivacyBudget::new(total).unwrap();
+        for &s in &spends {
+            b.spend(s).unwrap();
+        }
+        prop_assert!((b.spent() - spends.iter().sum::<f64>()).abs() <= 1e-9);
+        prop_assert!((b.spent() + b.remaining() - total).abs() <= 1e-9);
+        prop_assert_eq!(b.num_operations(), spends.len());
+        prop_assert_eq!(b.ledger().len(), spends.len());
+    }
+
+    #[test]
+    fn budget_never_goes_negative(spends in proptest::collection::vec(0.05..1.0f64, 1..20)) {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        for &s in &spends {
+            let _ = b.spend(s); // some succeed, some are refused
+        }
+        prop_assert!(b.remaining() >= 0.0);
+        prop_assert!(b.spent() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn split_remaining_sums_back(total in 0.5..4.0f64, parts in 1usize..10) {
+        let mut b = PrivacyBudget::new(total).unwrap();
+        let per = b.split_remaining(parts).unwrap();
+        prop_assert!((per * parts as f64 - total).abs() <= 1e-9);
+        prop_assert!(b.remaining() <= 1e-9);
+    }
+
+    #[test]
+    fn gaussian_samples_are_finite(seed in 0u64..500, mean in -10.0..10.0f64, std in 0.0..5.0f64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let x = fm_privacy::gaussian::normal(&mut rng, mean, std);
+            prop_assert!(x.is_finite());
+            if std == 0.0 {
+                prop_assert_eq!(x, mean);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_mechanism_sigma_formula(
+        s in scale(),
+        eps in 0.01..0.99f64,
+        delta_exp in 1.0..12.0f64,
+    ) {
+        let delta = 10f64.powf(-delta_exp);
+        let m = GaussianMechanism::new(s, eps, delta).unwrap();
+        let expected = s * (2.0 * (1.25 / delta).ln()).sqrt() / eps;
+        prop_assert!((m.noise_std_dev() - expected).abs() <= 1e-9 * expected);
+        // σ is monotone: decreasing in ε and in δ.
+        let stricter_eps = GaussianMechanism::new(s, eps / 2.0, delta).unwrap();
+        prop_assert!(stricter_eps.noise_std_dev() > m.noise_std_dev());
+        let stricter_delta = GaussianMechanism::new(s, eps, delta / 10.0).unwrap();
+        prop_assert!(stricter_delta.noise_std_dev() > m.noise_std_dev());
+    }
+
+    #[test]
+    fn exponential_probabilities_form_distribution(
+        utilities in proptest::collection::vec(-100.0..100.0f64, 1..16),
+        eps in 0.01..10.0f64,
+        du in 0.01..10.0f64,
+    ) {
+        let m = ExponentialMechanism::new(eps, du).unwrap();
+        let p = m.selection_probabilities(&utilities).unwrap();
+        prop_assert_eq!(p.len(), utilities.len());
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() <= 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Monotone in utility: higher utility never gets lower probability.
+        for i in 0..utilities.len() {
+            for j in 0..utilities.len() {
+                if utilities[i] > utilities[j] {
+                    prop_assert!(p[i] >= p[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_dp_ratio_under_bounded_utility_shifts(
+        utilities in proptest::collection::vec(-10.0..10.0f64, 2..8),
+        shifts in proptest::collection::vec(-1.0..=1.0f64, 8),
+        eps in 0.1..4.0f64,
+        du in 0.1..2.0f64,
+    ) {
+        // Any per-candidate utility shift bounded by Δu (a neighbour-
+        // database change) moves every selection probability by at most
+        // e^ε — the mechanism's defining guarantee.
+        let m = ExponentialMechanism::new(eps, du).unwrap();
+        let shifted: Vec<f64> = utilities
+            .iter()
+            .zip(&shifts)
+            .map(|(u, s)| u + s * du)
+            .collect();
+        let p1 = m.selection_probabilities(&utilities).unwrap();
+        let p2 = m.selection_probabilities(&shifted).unwrap();
+        for (a, b) in p1.iter().zip(&p2) {
+            prop_assert!(a / b <= eps.exp() + 1e-9, "ratio {} vs e^ε {}", a / b, eps.exp());
+            prop_assert!(b / a <= eps.exp() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn exponential_select_returns_valid_index(
+        utilities in proptest::collection::vec(-50.0..50.0f64, 1..12),
+        seed in 0u64..500,
+    ) {
+        let m = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let i = m.select(&utilities, &mut rng).unwrap();
+        prop_assert!(i < utilities.len());
+    }
+}
+
+/// A slower, deterministic statistical test kept out of the proptest block:
+/// the empirical ε of the scalar Laplace mechanism on adjacent inputs never
+/// undershoots the configured guarantee by more than sampling error.
+#[test]
+fn empirical_privacy_loss_matches_epsilon_across_scales() {
+    for &eps in &[0.5, 2.0] {
+        let m = LaplaceMechanism::new(1.0, eps).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 200_000;
+        // Adjacent outputs 0 and 1 (sensitivity 1). Compare densities at a
+        // grid of points via histogram ratios.
+        let mut h0 = [0u32; 32];
+        let mut h1 = [0u32; 32];
+        let bin = |x: f64| -> Option<usize> {
+            let idx = ((x + 4.0) / 0.25).floor();
+            (0.0..32.0).contains(&idx).then_some(idx as usize)
+        };
+        for _ in 0..n {
+            if let Some(i) = bin(m.privatize_scalar(0.0, &mut rng)) {
+                h0[i] += 1;
+            }
+            if let Some(i) = bin(m.privatize_scalar(1.0, &mut rng)) {
+                h1[i] += 1;
+            }
+        }
+        let bound = eps.exp() * 1.3;
+        for i in 0..32 {
+            if h0[i] > 400 && h1[i] > 400 {
+                let ratio = f64::from(h0[i]) / f64::from(h1[i]);
+                assert!(
+                    ratio < bound && 1.0 / ratio < bound,
+                    "ε={eps}, bin {i}: ratio {ratio} vs bound {bound}"
+                );
+            }
+        }
+    }
+}

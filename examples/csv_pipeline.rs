@@ -1,0 +1,94 @@
+//! The practitioner's end-to-end workflow: raw CSV on disk → normalized
+//! dataset → ε-DP model → de-normalized predictions.
+//!
+//! This is the path a real deployment takes with the paper's IPUMS data:
+//!
+//! 1. a raw census extract sits in a CSV with natural units (ages in
+//!    years, income in dollars);
+//! 2. the footnote-1 map `x ← (x − α)/((β − α)·√d)` puts features inside
+//!    the unit ball, and income is rescaled to `[−1, 1]` — using *public*
+//!    schema bounds, never data-derived ones (data-derived bounds would
+//!    themselves leak);
+//! 3. the Functional Mechanism fits under ε-DP;
+//! 4. predictions are mapped back to dollars with the same public bounds.
+//!
+//! Run with: `cargo run --release --example csv_pipeline`
+
+use functional_mechanism::data::census::{self, CensusProfile};
+use functional_mechanism::data::{csv, normalize::Normalizer};
+use functional_mechanism::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let dir = std::env::temp_dir().join("fm_csv_pipeline");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("census_us.csv");
+
+    // --- 1. A raw extract lands on disk (here: the synthetic census). ---
+    let profile = CensusProfile::us();
+    let raw = census::generate(&profile, 30_000, &mut rng).expect("generate");
+    csv::write_dataset(&raw, &path).expect("write csv");
+    println!(
+        "wrote {} ({} rows × {} columns + label)",
+        path.display(),
+        raw.n(),
+        raw.d()
+    );
+
+    // --- 2. Read it back and normalize with PUBLIC schema bounds. ---
+    let loaded = csv::read_dataset(&path).expect("read csv");
+    assert_eq!(loaded.n(), raw.n());
+    let schema = census::schema(&profile);
+    let normalizer = Normalizer::from_schema(&schema, "AnnualIncome").expect("normalizer");
+    let data = normalizer.normalize_linear(&loaded).expect("normalize");
+    data.check_normalized_linear().expect("contract");
+    println!(
+        "normalized: max ‖x‖₂ = {:.4} (contract requires ≤ 1)",
+        data.max_feature_norm()
+    );
+
+    // --- 3. Fit under ε-DP. ---
+    let epsilon = 0.8;
+    let model = DpLinearRegression::builder()
+        .epsilon(epsilon)
+        .build()
+        .fit(&data, &mut rng)
+        .expect("DP fit");
+    let mse = metrics::mse(&model.predict_batch(data.x()), data.y());
+    println!("FM ε = {epsilon}: normalized-scale MSE = {mse:.5}");
+
+    // --- 4. Predict in dollars for a fresh record. ---
+    let query_norm = data.x().row(0);
+    let dollars = normalizer.denormalize_label(model.predict(query_norm));
+    let actual = normalizer.denormalize_label(data.y()[0]);
+    println!("example prediction: ${dollars:.0} (actual ${actual:.0})");
+
+    // The model, not the data, is what leaves the silo: its parameters are
+    // ε-DP, and de-normalization uses only public bounds.
+    println!(
+        "\nreleased parameters (ε-DP): {:?}",
+        model
+            .weights()
+            .iter()
+            .map(|w| (w * 1_000.0).round() / 1_000.0)
+            .collect::<Vec<_>>()
+    );
+
+    // --- 5. Ship the artefact: persist, reload, predictions identical. ---
+    let model_path = dir.join("income_model.fm");
+    SavedModel::from(&model).save(&model_path).expect("save model");
+    let reloaded = SavedModel::load(&model_path)
+        .expect("load model")
+        .into_linear()
+        .expect("linear model");
+    assert_eq!(reloaded.predict(query_norm), model.predict(query_norm));
+    println!(
+        "model persisted to {} and reloaded bit-exactly (ε = {:?})",
+        model_path.display(),
+        reloaded.epsilon()
+    );
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&model_path).ok();
+}

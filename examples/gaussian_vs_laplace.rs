@@ -1,0 +1,73 @@
+//! Strict ε-DP (Laplace) vs relaxed (ε, δ)-DP (Gaussian) noise in the
+//! Functional Mechanism.
+//!
+//! The paper's related-work section notes the (ε, δ) relaxation exists but
+//! argues regression works fine under strict ε-DP. This example quantifies
+//! what the relaxation would buy: the Laplace calibration pays the **L1**
+//! coefficient sensitivity `Δ₁ = 2(d+1)²` (quadratic in the
+//! dimensionality), while the Gaussian calibration pays the **L2**
+//! sensitivity `Δ₂ = 2√6` (a constant) — so the gap widens rapidly with
+//! `d`.
+//!
+//! Run with: `cargo run --release --example gaussian_vs_laplace`
+
+use functional_mechanism::core::linreg;
+use functional_mechanism::core::NoiseDistribution;
+use functional_mechanism::data::{metrics, synth};
+use functional_mechanism::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2_718);
+    let epsilon = 0.8; // < 1, as the classical Gaussian mechanism requires
+    let delta = 1e-6;
+    let repeats = 20;
+
+    println!("ε = {epsilon}, δ = {delta} (Gaussian column only), {repeats} repeats\n");
+    println!(
+        "{:>4} {:>12} {:>12} {:>14} {:>14} {:>12}",
+        "d", "Δ₁ = 2(d+1)²", "Δ₂ = 2√6", "Laplace MSE", "Gaussian MSE", "NoPrivacy"
+    );
+
+    for d in [2usize, 5, 8, 11, 14] {
+        let truth = synth::ground_truth_weights(&mut rng, d);
+        let data = synth::linear_dataset_with_weights(&mut rng, 20_000, &truth, 0.05);
+
+        let floor = {
+            let m = LinearRegression::new().fit(&data).expect("OLS");
+            metrics::mse(&m.predict_batch(data.x()), data.y())
+        };
+
+        let mut mean_mse = |noise: NoiseDistribution| -> f64 {
+            (0..repeats)
+                .map(|_| {
+                    let m = DpLinearRegression::builder()
+                        .epsilon(epsilon)
+                        .noise(noise)
+                        .build()
+                        .fit(&data, &mut rng)
+                        .expect("fit");
+                    metrics::mse(&m.predict_batch(data.x()), data.y())
+                })
+                .sum::<f64>()
+                / repeats as f64
+        };
+
+        let laplace = mean_mse(NoiseDistribution::Laplace);
+        let gaussian = mean_mse(NoiseDistribution::Gaussian { delta });
+
+        println!(
+            "{d:>4} {:>12.0} {:>12.2} {laplace:>14.5} {gaussian:>14.5} {floor:>12.5}",
+            linreg::sensitivity_paper(d),
+            linreg::sensitivity_l2(),
+        );
+    }
+
+    println!(
+        "\nThe Laplace column degrades as Δ₁ grows quadratically in d; the Gaussian\n\
+         column tracks the non-private floor because Δ₂ is dimension-independent.\n\
+         The price is the relaxation itself: with probability up to δ the ε\n\
+         guarantee can fail — which is why the paper (and this library's default)\n\
+         stays with strict ε-DP."
+    );
+}

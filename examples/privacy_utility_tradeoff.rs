@@ -1,0 +1,75 @@
+//! Privacy–utility trade-off and budget accounting.
+//!
+//! Sweeps the privacy budget ε over the paper's Table-2 grid and reports
+//! FM's error at each point (the single-dataset analogue of Figure 6),
+//! then demonstrates the [`PrivacyBudget`] ledger: composing two queries
+//! under one budget and the Lemma-5 "resample at ε/2" strategy.
+//!
+//! Run with: `cargo run --release --example privacy_utility_tradeoff`
+
+use functional_mechanism::core::Strategy;
+use functional_mechanism::data::{metrics, synth};
+use functional_mechanism::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(68_000);
+    let truth = synth::ground_truth_weights(&mut rng, 6);
+    let data = synth::linear_dataset_with_weights(&mut rng, 50_000, &truth, 0.05);
+
+    let exact = LinearRegression::new().fit(&data).expect("OLS");
+    let floor = metrics::mse(&exact.predict_batch(data.x()), data.y());
+    println!("non-private MSE floor: {floor:.5}\n");
+    println!("{:>8} {:>12} {:>14}", "ε", "FM MSE", "FM (resample)");
+
+    // Table 2's ε grid, averaged over a few repeats per point.
+    let repeats = 10;
+    for epsilon in [0.1, 0.2, 0.4, 0.8, 1.6, 3.2] {
+        let mut mse_default = 0.0;
+        let mut mse_resample = 0.0;
+        for _ in 0..repeats {
+            let m = DpLinearRegression::builder()
+                .epsilon(epsilon)
+                .build()
+                .fit(&data, &mut rng)
+                .expect("fit");
+            mse_default += metrics::mse(&m.predict_batch(data.x()), data.y());
+
+            let m2 = DpLinearRegression::builder()
+                .epsilon(epsilon)
+                .strategy(Strategy::Resample { max_attempts: 100 })
+                .build()
+                .fit(&data, &mut rng)
+                .expect("fit");
+            mse_resample += metrics::mse(&m2.predict_batch(data.x()), data.y());
+        }
+        println!(
+            "{epsilon:>8} {:>12.5} {:>14.5}",
+            mse_default / f64::from(repeats),
+            mse_resample / f64::from(repeats)
+        );
+    }
+
+    println!(
+        "\nThe Lemma-5 resampling strategy runs each attempt at ε/2, so its error\n\
+         tracks the regularize+trim pipeline at half the effective budget —\n\
+         which is exactly why the paper prefers §6 post-processing.\n"
+    );
+
+    // Budget accounting: one analyst, one dataset, total ε = 1.0.
+    let mut budget = PrivacyBudget::new(1.0).expect("budget");
+    budget.spend(0.8).expect("linear model spend");
+    println!(
+        "after fitting the income model at ε = 0.8: spent {:.1}, remaining {:.1}",
+        budget.spent(),
+        budget.remaining()
+    );
+    budget.spend(0.2).expect("follow-up query spend");
+    println!(
+        "after a follow-up ε = 0.2 query:          spent {:.1}, remaining {:.1}",
+        budget.spent(),
+        budget.remaining()
+    );
+    let refused = budget.spend(0.1);
+    println!("a third ε = 0.1 request is refused: {}", refused.unwrap_err());
+}

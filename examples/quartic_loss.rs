@@ -1,0 +1,88 @@
+//! Algorithm 1 beyond degree 2: private regression with a **quartic** loss.
+//!
+//! The paper's abstract promises a mechanism for "a large class of
+//! optimization-based analyses"; its case studies both reduce to degree-2
+//! polynomials. This example exercises the general-degree path on
+//! `f(t, ω) = (y − xᵀω)⁴` — a loss that penalises large residuals much
+//! harder than squared error, and whose polynomial form has monomials up
+//! to degree 4 (so the dense quadratic machinery cannot represent it).
+//!
+//! Algorithm 1 applies verbatim: expand per-tuple coefficients over
+//! `Φ_0 … Φ_4`, bound their L1 norm over the normalized domain
+//! (`Δ = 2((1+d)⁴ − 1)`), perturb *every* monomial coefficient with
+//! `Lap(Δ/ε)` — structural zeros included — and minimise the noisy
+//! polynomial. The §6 post-processing story changes: a noisy quartic may
+//! be unbounded below, which the minimiser detects and reports; this
+//! example retries on a fresh draw, paying for each attempt out of an
+//! explicit budget (Lemma-5 style accounting).
+//!
+//! Run with: `cargo run --release --example quartic_loss`
+
+use functional_mechanism::core::generic::{
+    GeneralObjective, GenericFunctionalMechanism, QuarticObjective,
+};
+use functional_mechanism::data::synth;
+use functional_mechanism::linalg::vecops;
+use functional_mechanism::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4_444);
+    let d = 3;
+    let truth = synth::ground_truth_weights(&mut rng, d);
+    let data = synth::linear_dataset_with_weights(&mut rng, 50_000, &truth, 0.03);
+    println!("ground truth ω* = {:?}", rounded(&truth));
+    println!(
+        "quartic sensitivity Δ = 2((1+d)⁴ − 1) = {} at d = {d} (vs {} for squared loss)\n",
+        QuarticObjective.sensitivity(d),
+        functional_mechanism::core::linreg::sensitivity_paper(d),
+    );
+
+    // The noise-free quartic minimiser (for reference): with symmetric
+    // noise it is close to the squared-loss OLS solution.
+    let exact_q = QuarticObjective.assemble(&data);
+    println!(
+        "clean quartic objective: {} monomials, degree {}",
+        exact_q.num_terms(),
+        exact_q.degree()
+    );
+
+    // Private fits: each attempt draws a fresh noisy polynomial; unbounded
+    // draws are retried, and every attempt is paid for.
+    for epsilon in [32.0, 8.0, 2.0] {
+        let attempts = 8;
+        let mut budget = PrivacyBudget::new(epsilon).expect("budget");
+        let per_attempt = budget.split_remaining(attempts).expect("split");
+        let fm = GenericFunctionalMechanism::new(per_attempt).expect("mechanism");
+        let mut outcome = None;
+        let mut used = 0;
+        for _ in 0..attempts {
+            used += 1;
+            let noisy = fm.perturb(&data, &QuarticObjective, &mut rng).expect("perturb");
+            if let Ok(omega) = noisy.minimize(&[0.0; 3], 1e3) {
+                outcome = Some(omega);
+                break;
+            }
+        }
+        match outcome {
+            Some(omega) => println!(
+                "ε = {epsilon:>4} (per-attempt {per_attempt:.2}): ω̄ = {:?}  ‖ω̄ − ω*‖ = {:.4}  ({used} attempt(s))",
+                rounded(&omega),
+                vecops::dist2(&omega, &truth)
+            ),
+            None => println!(
+                "ε = {epsilon:>4}: all {attempts} draws unbounded — budget too small for a degree-4 release"
+            ),
+        }
+    }
+
+    println!(
+        "\nThe quartic Δ grows like d⁴, so useful budgets are larger than for the\n\
+         degree-2 losses — the paper's observation that FM shines when the\n\
+         objective has low-degree polynomial form, made quantitative."
+    );
+}
+
+fn rounded(w: &[f64]) -> Vec<f64> {
+    w.iter().map(|v| (v * 1_000.0).round() / 1_000.0).collect()
+}

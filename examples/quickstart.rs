@@ -1,0 +1,43 @@
+//! Quickstart: ε-differentially private linear regression in ~30 lines.
+//!
+//! Generates a synthetic dataset with a known ground-truth parameter
+//! vector, fits the Functional Mechanism at several privacy budgets, and
+//! compares against the non-private optimum.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use functional_mechanism::data::{metrics, synth};
+use functional_mechanism::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2012);
+
+    // 20,000 tuples, 5 features, mild label noise — already in the paper's
+    // normalized domain (‖x‖₂ ≤ 1, y ∈ [−1, 1]).
+    let truth = synth::ground_truth_weights(&mut rng, 5);
+    let data = synth::linear_dataset_with_weights(&mut rng, 20_000, &truth, 0.05);
+    println!("ground truth ω* = {truth:?}\n");
+
+    // The non-private ceiling.
+    let exact = LinearRegression::new().fit(&data).expect("OLS fit");
+    let exact_mse = metrics::mse(&exact.predict_batch(data.x()), data.y());
+    println!("{:<12} mse = {exact_mse:.6}   ω = {:?}", "NoPrivacy", rounded(exact.weights()));
+
+    // The Functional Mechanism across privacy budgets.
+    for epsilon in [3.2, 0.8, 0.2] {
+        let model = DpLinearRegression::builder()
+            .epsilon(epsilon)
+            .build()
+            .fit(&data, &mut rng)
+            .expect("DP fit");
+        let mse = metrics::mse(&model.predict_batch(data.x()), data.y());
+        println!("{:<12} mse = {mse:.6}   ω = {:?}", format!("FM ε={epsilon}"), rounded(model.weights()));
+    }
+
+    println!("\nSmaller ε ⇒ more noise ⇒ higher MSE; at generous budgets FM ≈ NoPrivacy.");
+}
+
+fn rounded(w: &[f64]) -> Vec<f64> {
+    w.iter().map(|v| (v * 1_000.0).round() / 1_000.0).collect()
+}

@@ -1,0 +1,69 @@
+//! # functional-mechanism
+//!
+//! A from-scratch Rust implementation of **"Functional Mechanism: Regression
+//! Analysis under Differential Privacy"** (Zhang, Zhang, Xiao, Yang,
+//! Winslett — PVLDB 5(11), 2012), together with every substrate the paper
+//! depends on and every baseline it is evaluated against.
+//!
+//! This crate is a facade: it re-exports the workspace member crates under
+//! stable module names so downstream users depend on a single crate.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`core`] | `fm-core` | the Functional Mechanism (Algorithms 1 & 2), DP linear / logistic / Poisson regression, §6 post-processing, (ε, δ) Gaussian variant |
+//! | [`baselines`] | `fm-baselines` | NoPrivacy, Truncated, DPME, Filter-Priority, objective perturbation |
+//! | [`data`] | `fm-data` | datasets, normalization, synthetic census, cross-validation, metrics |
+//! | [`privacy`] | `fm-privacy` | Laplace / Gaussian / exponential mechanisms, privacy budget accounting |
+//! | [`poly`] | `fm-poly` | multivariate polynomials, quadratic forms, Taylor & Chebyshev machinery |
+//! | [`optim`] | `fm-optim` | quadratic minimiser, gradient descent, Newton's method |
+//! | [`linalg`] | `fm-linalg` | dense matrices, LU/Cholesky/QR/SVD, Jacobi eigendecomposition |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use functional_mechanism::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A small synthetic regression dataset, already normalized to the
+//! // paper's domain (‖x‖₂ ≤ 1, y ∈ [−1, 1]).
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let data = functional_mechanism::data::synth::linear_dataset(&mut rng, 2_000, 5, 0.1);
+//!
+//! // ε-differentially private linear regression (ε = 1).
+//! let model = DpLinearRegression::builder()
+//!     .epsilon(1.0)
+//!     .build()
+//!     .fit(&data, &mut rng)
+//!     .expect("fit succeeds on a well-formed dataset");
+//!
+//! let prediction = model.predict(data.x().row(0));
+//! assert!(prediction.is_finite());
+//! ```
+
+pub use fm_baselines as baselines;
+pub use fm_core as core;
+pub use fm_data as data;
+pub use fm_linalg as linalg;
+pub use fm_optim as optim;
+pub use fm_poly as poly;
+pub use fm_privacy as privacy;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use fm_baselines::{
+        dpme::Dpme, fp::FilterPriority, noprivacy::{LinearRegression, LogisticRegression},
+        truncated::TruncatedLogistic,
+    };
+    pub use fm_core::{
+        linreg::DpLinearRegression,
+        logreg::{Approximation, DpLogisticRegression},
+        model::{LinearModel, LogisticModel},
+        persist::SavedModel,
+        poisson::{DpPoissonRegression, PoissonModel},
+        FmError, NoiseDistribution,
+    };
+    pub use fm_data::{dataset::Dataset, metrics, normalize::Normalizer};
+    pub use fm_privacy::{
+        budget::PrivacyBudget, exponential::ExponentialMechanism, laplace::Laplace,
+    };
+}

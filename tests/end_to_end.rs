@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: the full paper pipeline from raw census
+//! records to evaluated private models.
+
+use functional_mechanism::baselines::{dpme::Dpme, fp::FilterPriority};
+use functional_mechanism::data::{census, cv::KFold, metrics, normalize::Normalizer, sampling};
+use functional_mechanism::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Build a normalized linear-regression census dataset of `n` rows.
+fn census_linear(n: usize, seed: u64) -> Dataset {
+    let mut r = rng(seed);
+    let profile = census::CensusProfile::us();
+    let raw = census::generate(&profile, n, &mut r).unwrap();
+    let normalizer = Normalizer::from_schema(&census::schema(&profile), census::LABEL).unwrap();
+    normalizer.normalize_linear(&raw).unwrap()
+}
+
+/// Build a normalized logistic-regression census dataset of `n` rows.
+fn census_logistic(n: usize, seed: u64) -> Dataset {
+    let mut r = rng(seed);
+    let profile = census::CensusProfile::us();
+    let raw = census::generate(&profile, n, &mut r).unwrap();
+    let normalizer = Normalizer::from_schema(&census::schema(&profile), census::LABEL).unwrap();
+    normalizer
+        .normalize_logistic(&raw, profile.income_threshold())
+        .unwrap()
+}
+
+#[test]
+fn census_pipeline_satisfies_paper_contracts() {
+    let linear = census_linear(2_000, 1);
+    linear.check_normalized_linear().unwrap();
+    assert_eq!(linear.d(), 13);
+
+    let logistic = census_logistic(2_000, 1);
+    logistic.check_normalized_logistic().unwrap();
+    // Both classes present.
+    let ones = logistic.y().iter().filter(|&&y| y == 1.0).count();
+    assert!(ones > 100 && ones < 1_900, "degenerate class balance: {ones}");
+}
+
+#[test]
+fn attribute_subsets_flow_through_fitting() {
+    let full = census_linear(4_000, 2);
+    let mut r = rng(3);
+    for dim in [5usize, 8, 11, 14] {
+        let subset = census::attribute_subset(dim).unwrap();
+        let data = full.select_features(subset).unwrap();
+        // NOTE: selecting a column subset keeps the √13 scaling, so ‖x‖ ≤ 1
+        // still holds (it only gets smaller). The paper renormalizes per
+        // subset; both satisfy the contract.
+        data.check_normalized_linear().unwrap();
+        let model = DpLinearRegression::builder()
+            .epsilon(1.0)
+            .build()
+            .fit(&data, &mut r)
+            .unwrap();
+        assert_eq!(model.dim(), dim - 1);
+    }
+}
+
+#[test]
+fn full_method_matrix_runs_on_census_linear() {
+    let data = census_linear(6_000, 4);
+    let mut r = rng(5);
+    let eps = 0.8;
+
+    let no_priv = LinearRegression::new().fit(&data).unwrap();
+    let fm = DpLinearRegression::builder().epsilon(eps).build().fit(&data, &mut r).unwrap();
+    let dpme = Dpme::new(eps).unwrap().fit_linear(&data, &mut r).unwrap();
+    let fp = FilterPriority::new(eps).unwrap().fit_linear(&data, &mut r).unwrap();
+
+    for (name, model) in [("NoPrivacy", &no_priv), ("FM", &fm), ("DPME", &dpme), ("FP", &fp)] {
+        let preds = model.predict_batch(data.x());
+        let mse = metrics::mse(&preds, data.y());
+        assert!(mse.is_finite(), "{name} produced non-finite MSE");
+        assert!(mse < 10.0, "{name} MSE {mse} implausible");
+    }
+    // NoPrivacy is the floor.
+    let floor = metrics::mse(&no_priv.predict_batch(data.x()), data.y());
+    let fm_mse = metrics::mse(&fm.predict_batch(data.x()), data.y());
+    assert!(fm_mse >= floor - 1e-9, "FM cannot beat the non-private optimum in-sample");
+}
+
+#[test]
+fn full_method_matrix_runs_on_census_logistic() {
+    let data = census_logistic(6_000, 6);
+    let mut r = rng(7);
+    let eps = 0.8;
+
+    let no_priv = LogisticRegression::new().fit(&data).unwrap();
+    let trunc = TruncatedLogistic::new().fit(&data).unwrap();
+    let fm = DpLogisticRegression::builder().epsilon(eps).build().fit(&data, &mut r).unwrap();
+    let dpme = Dpme::new(eps).unwrap().fit_logistic(&data, &mut r).unwrap();
+    let fp = FilterPriority::new(eps).unwrap().fit_logistic(&data, &mut r).unwrap();
+
+    for (name, model) in [
+        ("NoPrivacy", &no_priv),
+        ("Truncated", &trunc),
+        ("FM", &fm),
+        ("DPME", &dpme),
+        ("FP", &fp),
+    ] {
+        let probs = model.probabilities_batch(data.x());
+        assert!(
+            probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "{name} produced out-of-range probabilities"
+        );
+        let err = metrics::misclassification_rate(&probs, data.y());
+        assert!((0.0..=1.0).contains(&err), "{name} misclassification {err}");
+    }
+}
+
+#[test]
+fn five_fold_cv_protocol_runs() {
+    // The paper's protocol at miniature scale: 5-fold CV, mean test MSE.
+    let data = census_linear(3_000, 8);
+    let mut r = rng(9);
+    let kf = KFold::new(data.n(), 5, &mut r).unwrap();
+    let mut scores = Vec::new();
+    for f in 0..kf.k() {
+        let (train, test) = kf.split(&data, f).unwrap();
+        let model = DpLinearRegression::builder()
+            .epsilon(3.2)
+            .build()
+            .fit(&train, &mut r)
+            .unwrap();
+        scores.push(metrics::mse(&model.predict_batch(test.x()), test.y()));
+    }
+    let (mean, std) = metrics::mean_and_std(&scores);
+    assert!(mean.is_finite() && std.is_finite());
+    assert!(mean < 5.0, "CV mean MSE {mean} implausible");
+}
+
+#[test]
+fn sampling_rate_axis_behaves() {
+    // Table 2's sampling-rate axis: every rate produces a usable dataset
+    // and FM fits at each.
+    let data = census_linear(5_000, 10);
+    let mut r = rng(11);
+    for rate in [0.1, 0.5, 1.0] {
+        let sub = sampling::subsample(&data, rate, &mut r).unwrap();
+        assert_eq!(sub.n(), (rate * 5_000.0).ceil() as usize);
+        let model = DpLinearRegression::builder()
+            .epsilon(1.6)
+            .build()
+            .fit(&sub, &mut r)
+            .unwrap();
+        assert_eq!(model.dim(), 13);
+    }
+}
+
+#[test]
+fn seeded_runs_are_bitwise_reproducible_end_to_end() {
+    let run = || {
+        let data = census_linear(2_000, 12);
+        let mut r = rng(13);
+        DpLinearRegression::builder()
+            .epsilon(0.4)
+            .build()
+            .fit(&data, &mut r)
+            .unwrap()
+            .weights()
+            .to_vec()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,396 @@
+//! Machine-checkable slices of the paper's privacy argument, tested across
+//! crate boundaries.
+//!
+//! ε-DP itself is a distributional property proved on paper (Theorem 1);
+//! what code *can* verify is (a) the sensitivity contracts that the proof
+//! consumes, (b) calibration of the injected noise, and (c) an empirical
+//! likelihood-ratio check of the end-to-end coefficient release on a pair
+//! of neighbour databases.
+
+use functional_mechanism::core::linreg::LinearObjective;
+use functional_mechanism::core::logreg::{ChebyshevLogisticObjective, LogisticObjective};
+use functional_mechanism::core::poisson::PoissonObjective;
+use functional_mechanism::core::{
+    FunctionalMechanism, NoiseDistribution, PolynomialObjective, SensitivityBound,
+};
+use functional_mechanism::data::{synth, Dataset};
+use functional_mechanism::linalg::Matrix;
+use functional_mechanism::poly::QuadraticForm;
+use functional_mechanism::privacy::budget::PrivacyBudget;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lemma 1's per-tuple contract for linear regression, fuzzed over the
+    /// whole normalized domain (boundary-heavy sampling).
+    #[test]
+    fn linear_sensitivity_contract(
+        seed in 0u64..10_000,
+        d in 1usize..14,
+        y in -1.0f64..=1.0,
+        boundary in proptest::bool::ANY,
+    ) {
+        let mut r = rng(seed);
+        let mut x = synth::sample_in_ball(&mut r, d, 1.0);
+        if boundary {
+            // Push to the sphere surface — the sensitivity extremum.
+            let norm = functional_mechanism::linalg::vecops::norm2(&x);
+            if norm > 0.0 {
+                functional_mechanism::linalg::vecops::scale(1.0 / norm, &mut x);
+            }
+        }
+        let mut q = QuadraticForm::zero(d);
+        LinearObjective.accumulate_tuple(&x, y, &mut q);
+        let l1 = q.coefficient_l1_norm();
+        let delta = LinearObjective.sensitivity(d, SensitivityBound::Paper);
+        prop_assert!(l1 <= delta / 2.0 + 1e-9);
+        let tight = LinearObjective.sensitivity(d, SensitivityBound::Tight);
+        prop_assert!(l1 <= tight / 2.0 + 1e-9);
+    }
+
+    /// Lemma 1's per-tuple contract for the truncated logistic objective.
+    #[test]
+    fn logistic_sensitivity_contract(
+        seed in 0u64..10_000,
+        d in 1usize..14,
+        label in proptest::bool::ANY,
+        boundary in proptest::bool::ANY,
+    ) {
+        let mut r = rng(seed);
+        let mut x = synth::sample_in_ball(&mut r, d, 1.0);
+        if boundary {
+            let norm = functional_mechanism::linalg::vecops::norm2(&x);
+            if norm > 0.0 {
+                functional_mechanism::linalg::vecops::scale(1.0 / norm, &mut x);
+            }
+        }
+        let mut q = QuadraticForm::zero(d);
+        LogisticObjective.accumulate_tuple(&x, f64::from(label), &mut q);
+        let l1 = q.coefficient_l1_norm();
+        let delta = LogisticObjective.sensitivity(d, SensitivityBound::Paper);
+        prop_assert!(l1 <= delta / 2.0 + 1e-9);
+        let tight = LogisticObjective.sensitivity(d, SensitivityBound::Tight);
+        prop_assert!(l1 <= tight / 2.0 + 1e-9);
+    }
+
+    /// The per-tuple contract for the Poisson objective, over random caps
+    /// and in-range counts — both the L1 (Laplace) and L2 (Gaussian)
+    /// sensitivities must dominate their respective per-tuple norms.
+    #[test]
+    fn poisson_sensitivity_contract(
+        seed in 0u64..10_000,
+        d in 1usize..14,
+        y_max in 1.0f64..20.0,
+        count_frac in 0.0f64..=1.0,
+        boundary in proptest::bool::ANY,
+    ) {
+        let mut r = rng(seed);
+        let mut x = synth::sample_in_ball(&mut r, d, 1.0);
+        if boundary {
+            let norm = functional_mechanism::linalg::vecops::norm2(&x);
+            if norm > 0.0 {
+                functional_mechanism::linalg::vecops::scale(1.0 / norm, &mut x);
+            }
+        }
+        let y = (count_frac * y_max).floor();
+        let obj = PoissonObjective::taylor(y_max).unwrap();
+        let mut q = QuadraticForm::zero(d);
+        obj.accumulate_tuple(&x, y, &mut q);
+        let l1 = q.coefficient_l1_norm();
+        prop_assert!(l1 <= obj.sensitivity(d, SensitivityBound::Paper) / 2.0 + 1e-9);
+        prop_assert!(l1 <= obj.sensitivity(d, SensitivityBound::Tight) / 2.0 + 1e-9);
+        // L2 contract (degree ≥ 1 blocks; the constant cancels between
+        // neighbours for Poisson).
+        let l2 = (functional_mechanism::linalg::vecops::dot(q.alpha(), q.alpha())
+            + q.m().frobenius_norm().powi(2)).sqrt();
+        prop_assert!(l2 <= obj.sensitivity_l2(d) / 2.0 + 1e-9);
+    }
+
+    /// The per-tuple L1 and L2 contracts for the Chebyshev logistic
+    /// surrogate, across interval widths.
+    #[test]
+    fn chebyshev_logistic_sensitivity_contract(
+        seed in 0u64..10_000,
+        d in 1usize..14,
+        label in proptest::bool::ANY,
+        width_idx in 0usize..3,
+    ) {
+        let widths = [0.5, 1.0, 4.0];
+        let obj = ChebyshevLogisticObjective::new(widths[width_idx]).unwrap();
+        let mut r = rng(seed);
+        let x = synth::sample_in_ball(&mut r, d, 1.0);
+        let mut q = QuadraticForm::zero(d);
+        obj.accumulate_tuple(&x, f64::from(label), &mut q);
+        let l1 = q.coefficient_l1_norm();
+        prop_assert!(l1 <= obj.sensitivity(d, SensitivityBound::Paper) / 2.0 + 1e-9);
+        let l2 = (functional_mechanism::linalg::vecops::dot(q.alpha(), q.alpha())
+            + q.m().frobenius_norm().powi(2)).sqrt();
+        prop_assert!(l2 <= obj.sensitivity_l2(d) / 2.0 + 1e-9);
+    }
+
+    /// The L2 neighbour-distance statement backing the Gaussian variant:
+    /// coefficient vectors of neighbour databases differ by at most Δ₂
+    /// in L2 (including the data-dependent β for linear regression).
+    #[test]
+    fn gaussian_neighbour_l2_distance(seed in 0u64..10_000, d in 1usize..8) {
+        let mut r = rng(seed);
+        let n = 20;
+        let data = synth::linear_dataset(&mut r, n, d, 0.1);
+        let mut x2 = data.x().clone();
+        let replacement = synth::sample_in_ball(&mut r, d, 1.0);
+        for (j, v) in replacement.iter().enumerate() {
+            x2[(n - 1, j)] = *v;
+        }
+        let mut y2 = data.y().to_vec();
+        y2[n - 1] = -y2[n - 1].clamp(-1.0, 1.0);
+        let neighbour = Dataset::new(x2, y2).unwrap();
+
+        let q1 = LinearObjective.assemble(&data);
+        let q2 = LinearObjective.assemble(&neighbour);
+        let mut dist_sq = (q1.beta() - q2.beta()).powi(2);
+        for (a, b) in q1.m().as_slice().iter().zip(q2.m().as_slice()) {
+            dist_sq += (a - b) * (a - b);
+        }
+        for (a, b) in q1.alpha().iter().zip(q2.alpha()) {
+            dist_sq += (a - b) * (a - b);
+        }
+        let delta2 = LinearObjective.sensitivity_l2(d);
+        prop_assert!(dist_sq.sqrt() <= delta2 + 1e-9,
+            "neighbour L2 distance {} > Δ₂ {delta2}", dist_sq.sqrt());
+    }
+
+    /// Neighbour databases: the *clean* coefficient vectors of two
+    /// databases differing in one tuple differ by at most Δ in L1 —
+    /// the exact statement of Lemma 1.
+    #[test]
+    fn lemma1_neighbour_l1_distance(seed in 0u64..10_000, d in 1usize..8) {
+        let mut r = rng(seed);
+        let n = 20;
+        let data = synth::linear_dataset(&mut r, n, d, 0.1);
+        // Replace the last tuple with a fresh one.
+        let mut x2 = data.x().clone();
+        let replacement = synth::sample_in_ball(&mut r, d, 1.0);
+        for (j, v) in replacement.iter().enumerate() {
+            x2[(n - 1, j)] = *v;
+        }
+        let mut y2 = data.y().to_vec();
+        y2[n - 1] = -y2[n - 1].clamp(-1.0, 1.0);
+        let neighbour = Dataset::new(x2, y2).unwrap();
+
+        let q1 = LinearObjective.assemble(&data);
+        let q2 = LinearObjective.assemble(&neighbour);
+        // L1 distance over all degree ≥ 1 coefficients.
+        let mut dist = 0.0;
+        for (a, b) in q1.m().as_slice().iter().zip(q2.m().as_slice()) {
+            dist += (a - b).abs();
+        }
+        for (a, b) in q1.alpha().iter().zip(q2.alpha()) {
+            dist += (a - b).abs();
+        }
+        let delta = LinearObjective.sensitivity(d, SensitivityBound::Paper);
+        prop_assert!(dist <= delta + 1e-9, "neighbour distance {dist} > Δ {delta}");
+    }
+}
+
+#[test]
+fn empirical_epsilon_on_neighbour_databases() {
+    // End-to-end likelihood-ratio check on the released β coefficient for
+    // two neighbour databases, at ε = 1. Binned output frequencies must
+    // respect e^ε up to sampling slack. (β is one coordinate of the
+    // released vector; every coordinate receives the same calibration.)
+    let d = 2;
+    let mut r = rng(42);
+    let base = synth::linear_dataset(&mut r, 30, d, 0.1);
+    // Neighbour: flip the last label to the opposite extreme.
+    let mut y2 = base.y().to_vec();
+    y2[29] = if y2[29] > 0.0 { -1.0 } else { 1.0 };
+    let neighbour = Dataset::new(base.x().clone(), y2).unwrap();
+
+    let eps = 1.0;
+    let fm = FunctionalMechanism::new(eps).unwrap();
+    let n_draws = 60_000;
+    let mut hist_a = vec![0u32; 64];
+    let mut hist_b = vec![0u32; 64];
+    let clean_beta = LinearObjective.assemble(&base).beta();
+    let scale = LinearObjective.sensitivity(d, SensitivityBound::Paper) / eps;
+    let bin_of = |v: f64| -> Option<usize> {
+        let t = (v - clean_beta) / scale; // noise in units of the scale
+        let idx = ((t + 4.0) / 0.125).floor();
+        if (0.0..64.0).contains(&idx) {
+            Some(idx as usize)
+        } else {
+            None
+        }
+    };
+    for _ in 0..n_draws {
+        let a = fm.perturb(&base, &LinearObjective, &mut r).unwrap();
+        if let Some(i) = bin_of(a.objective().beta()) {
+            hist_a[i] += 1;
+        }
+        let b = fm.perturb(&neighbour, &LinearObjective, &mut r).unwrap();
+        if let Some(i) = bin_of(b.objective().beta()) {
+            hist_b[i] += 1;
+        }
+    }
+    let bound = eps.exp() * 1.35; // sampling slack
+    for i in 0..64 {
+        if hist_a[i] >= 300 && hist_b[i] >= 300 {
+            let ratio = f64::from(hist_a[i]) / f64::from(hist_b[i]);
+            assert!(
+                ratio < bound && 1.0 / ratio < bound,
+                "bin {i}: ratio {ratio} vs bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn budget_composes_across_two_model_fits() {
+    // An analyst fits a linear and a logistic model on the same database:
+    // sequential composition must account ε₁ + ε₂.
+    let mut budget = PrivacyBudget::new(1.0).unwrap();
+    let mut r = rng(9);
+    let linear_data = synth::linear_dataset(&mut r, 2_000, 3, 0.1);
+    let logistic_data = synth::logistic_dataset(&mut r, 2_000, 3, 6.0);
+
+    let eps1 = 0.6;
+    budget.spend(eps1).unwrap();
+    let m1 = functional_mechanism::core::linreg::DpLinearRegression::builder()
+        .epsilon(eps1)
+        .build()
+        .fit(&linear_data, &mut r)
+        .unwrap();
+    assert_eq!(m1.epsilon(), Some(eps1));
+
+    let eps2 = 0.4;
+    budget.spend(eps2).unwrap();
+    let m2 = functional_mechanism::core::logreg::DpLogisticRegression::builder()
+        .epsilon(eps2)
+        .build()
+        .fit(&logistic_data, &mut r)
+        .unwrap();
+    assert_eq!(m2.epsilon(), Some(eps2));
+
+    // Third fit would overdraw.
+    assert!(budget.spend(0.1).is_err());
+}
+
+#[test]
+fn noise_scale_is_cardinality_independent_linear() {
+    // Section 4.2 / 5.3: Δ depends only on d.
+    let mut r = rng(17);
+    let small = synth::linear_dataset(&mut r, 50, 5, 0.1);
+    let large = synth::linear_dataset(&mut r, 50_000, 5, 0.1);
+    let fm = FunctionalMechanism::new(0.5).unwrap();
+    let a = fm.perturb(&small, &LinearObjective, &mut r).unwrap();
+    let b = fm.perturb(&large, &LinearObjective, &mut r).unwrap();
+    assert_eq!(a.noise_scale(), b.noise_scale());
+    assert_eq!(a.sensitivity(), 2.0 * 36.0); // 2(d+1)², d = 5
+}
+
+#[test]
+fn unnormalized_data_is_rejected_not_silently_accepted() {
+    // The sensitivity bound is void outside the normalized domain; the
+    // mechanism must refuse rather than under-noise.
+    let x = Matrix::from_rows(&[&[1.2, 0.0], &[0.0, 0.5]]).unwrap();
+    let bad = Dataset::new(x, vec![0.1, 0.2]).unwrap();
+    let fm = FunctionalMechanism::new(1.0).unwrap();
+    let mut r = rng(23);
+    assert!(fm.perturb(&bad, &LinearObjective, &mut r).is_err());
+}
+
+#[test]
+fn empirical_epsilon_delta_on_neighbour_databases_gaussian() {
+    // The Gaussian-variant analogue of the Laplace likelihood-ratio check:
+    // at (ε, δ) = (0.8, 1e−3), binned output frequencies of the released β
+    // for neighbour databases must respect e^ε outside a δ-mass tail.
+    // With the classical calibration the ratio bound holds on all but a
+    // δ-probability region; the bins we test are well inside the bulk.
+    let d = 2;
+    let mut r = rng(77);
+    let base = synth::linear_dataset(&mut r, 30, d, 0.1);
+    let mut y2 = base.y().to_vec();
+    y2[29] = if y2[29] > 0.0 { -1.0 } else { 1.0 };
+    let neighbour = Dataset::new(base.x().clone(), y2).unwrap();
+
+    let (eps, delta) = (0.8, 1e-3);
+    let fm = FunctionalMechanism::with_config(
+        eps,
+        SensitivityBound::Paper,
+        NoiseDistribution::Gaussian { delta },
+    )
+    .unwrap();
+    let n_draws = 60_000;
+    let mut hist_a = vec![0u32; 64];
+    let mut hist_b = vec![0u32; 64];
+    let clean_beta = LinearObjective.assemble(&base).beta();
+    let sigma = LinearObjective.sensitivity_l2(d) * (2.0 * (1.25f64 / delta).ln()).sqrt() / eps;
+    let bin_of = |v: f64| -> Option<usize> {
+        let t = (v - clean_beta) / sigma;
+        let idx = ((t + 2.0) / 0.0625).floor();
+        if (0.0..64.0).contains(&idx) {
+            Some(idx as usize)
+        } else {
+            None
+        }
+    };
+    for _ in 0..n_draws {
+        let a = fm.perturb(&base, &LinearObjective, &mut r).unwrap();
+        if let Some(i) = bin_of(a.objective().beta()) {
+            hist_a[i] += 1;
+        }
+        let b = fm.perturb(&neighbour, &LinearObjective, &mut r).unwrap();
+        if let Some(i) = bin_of(b.objective().beta()) {
+            hist_b[i] += 1;
+        }
+    }
+    let bound = eps.exp() * 1.35;
+    for i in 0..64 {
+        if hist_a[i] >= 300 && hist_b[i] >= 300 {
+            let ratio = f64::from(hist_a[i]) / f64::from(hist_b[i]);
+            assert!(
+                ratio < bound && 1.0 / ratio < bound,
+                "bin {i}: ratio {ratio} vs bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn noise_scale_is_cardinality_independent_poisson() {
+    let mut r = rng(29);
+    let small = synth::poisson_dataset(&mut r, 50, 5, 8.0);
+    let large = synth::poisson_dataset(&mut r, 50_000, 5, 8.0);
+    let fm = FunctionalMechanism::new(0.5).unwrap();
+    let obj = PoissonObjective::taylor(8.0).unwrap();
+    let a = fm.perturb(&small, &obj, &mut r).unwrap();
+    let b = fm.perturb(&large, &obj, &mut r).unwrap();
+    assert_eq!(a.noise_scale(), b.noise_scale());
+    // Δ = 2((1+8)·5 + 12.5) = 115.
+    assert_eq!(a.sensitivity(), 115.0);
+}
+
+#[test]
+fn gaussian_noisy_quadratic_records_delta() {
+    let mut r = rng(31);
+    let data = synth::linear_dataset(&mut r, 500, 3, 0.1);
+    let fm = FunctionalMechanism::with_config(
+        0.5,
+        SensitivityBound::Paper,
+        NoiseDistribution::Gaussian { delta: 1e-5 },
+    )
+    .unwrap();
+    let noisy = fm.perturb(&data, &LinearObjective, &mut r).unwrap();
+    assert_eq!(noisy.delta(), Some(1e-5));
+    assert_eq!(noisy.sensitivity(), LinearObjective.sensitivity_l2(3));
+    // Laplace draws record no δ.
+    let fm_l = FunctionalMechanism::new(0.5).unwrap();
+    let noisy_l = fm_l.perturb(&data, &LinearObjective, &mut r).unwrap();
+    assert_eq!(noisy_l.delta(), None);
+}
