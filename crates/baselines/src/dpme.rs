@@ -13,7 +13,12 @@
 //! 3. Produce a synthetic dataset matching the (non-negative, rounded)
 //!    noisy histogram — `count` copies of each cell centre.
 //! 4. Run *ordinary* (non-private) regression on the synthetic data; by
-//!    post-processing the result stays ε-DP.
+//!    post-processing the result stays ε-DP. Both solvers route through
+//!    the workspace's batched Gram kernels (`fm_linalg::Matrix::syrk_acc`
+//!    family): the linear fit solves normal equations assembled by blocked
+//!    syrk/gemv, and the logistic fit's Newton Hessians use the weighted
+//!    syrk — so the synthetic-data regressions ride the same hot path as
+//!    the Functional Mechanism's coefficient assembly.
 //!
 //! With `d = 13` and `b = 2` there are already `2^14 = 16384` cells sharing
 //! `n` tuples of signal plus `16384` independent Laplace draws — the
@@ -187,7 +192,10 @@ impl Dpme {
                 noisy.insert(cell, rounded as u64);
             }
         }
-        grid.synthesize(&noisy, data.n().saturating_mul(SYNTHETIC_CAP_FACTOR).max(16))
+        grid.synthesize(
+            &noisy,
+            data.n().saturating_mul(SYNTHETIC_CAP_FACTOR).max(16),
+        )
     }
 }
 
@@ -234,7 +242,11 @@ mod tests {
         let mut r = rng();
         let w = vec![0.5, -0.4];
         let data = fm_data::synth::linear_dataset_with_weights(&mut r, 40_000, &w, 0.05);
-        let model = Dpme::new(4.0).unwrap().with_symmetric_domain().fit_linear(&data, &mut r).unwrap();
+        let model = Dpme::new(4.0)
+            .unwrap()
+            .with_symmetric_domain()
+            .fit_linear(&data, &mut r)
+            .unwrap();
         // Loose check: direction should correlate with the ground truth.
         let cos = vecops::dot(model.weights(), &w)
             / (vecops::norm2(model.weights()).max(1e-9) * vecops::norm2(&w));
@@ -245,7 +257,11 @@ mod tests {
     fn logistic_fit_runs_and_is_bounded() {
         let mut r = rng();
         let data = fm_data::synth::logistic_dataset(&mut r, 20_000, 3, 8.0);
-        let model = Dpme::new(2.0).unwrap().with_symmetric_domain().fit_logistic(&data, &mut r).unwrap();
+        let model = Dpme::new(2.0)
+            .unwrap()
+            .with_symmetric_domain()
+            .fit_logistic(&data, &mut r)
+            .unwrap();
         assert_eq!(model.dim(), 3);
         let p = model.probability(data.x().row(0));
         assert!((0.0..=1.0).contains(&p));
@@ -285,13 +301,19 @@ mod tests {
         let mut r = rng();
         let w = vec![0.4, -0.3, 0.2];
         let data = fm_data::synth::linear_dataset_with_weights(&mut r, 20_000, &w, 0.05);
-        let ols = crate::noprivacy::LinearRegression::new().fit(&data).unwrap();
+        let ols = crate::noprivacy::LinearRegression::new()
+            .fit(&data)
+            .unwrap();
         let ols_mse = fm_data::metrics::mse(&ols.predict_batch(data.x()), data.y());
         let reps = 6;
         let excess = |eps: f64, r: &mut rand::rngs::StdRng| -> f64 {
             let mut total = 0.0;
             for _ in 0..reps {
-                let dpme = Dpme::new(eps).unwrap().with_symmetric_domain().fit_linear(&data, r).unwrap();
+                let dpme = Dpme::new(eps)
+                    .unwrap()
+                    .with_symmetric_domain()
+                    .fit_linear(&data, r)
+                    .unwrap();
                 total += fm_data::metrics::mse(&dpme.predict_batch(data.x()), data.y()) - ols_mse;
             }
             total / reps as f64

@@ -264,8 +264,14 @@ mod tests {
     fn config_validation() {
         assert!(FilterPriority::new(0.0).is_err());
         assert!(FilterPriority::new(-2.0).is_err());
-        assert!(FilterPriority::new(1.0).unwrap().with_feature_bins(0).is_err());
-        assert!(FilterPriority::new(1.0).unwrap().with_feature_bins(8).is_ok());
+        assert!(FilterPriority::new(1.0)
+            .unwrap()
+            .with_feature_bins(0)
+            .is_err());
+        assert!(FilterPriority::new(1.0)
+            .unwrap()
+            .with_feature_bins(8)
+            .is_ok());
     }
 
     #[test]
@@ -291,7 +297,10 @@ mod tests {
         assert!((mean - 5.0).abs() < 0.3, "poisson regime mean {mean}");
         // Normal regime.
         let k = sample_count(&mut r, 1e9, 1e-4, 1e5);
-        assert!((90_000..110_000).contains(&(k as i64)), "normal regime k={k}");
+        assert!(
+            (90_000..110_000).contains(&(k as i64)),
+            "normal regime k={k}"
+        );
         // Degenerate inputs.
         assert_eq!(sample_count(&mut r, 0.0, 0.5, 0.0), 0);
         assert_eq!(sample_count(&mut r, 100.0, 0.0, 0.0), 0);
@@ -303,7 +312,11 @@ mod tests {
         // sparse. FP must still produce a model.
         let mut r = rng();
         let data = fm_data::synth::linear_dataset(&mut r, 5_000, 8, 0.1);
-        let model = FilterPriority::new(1.0).unwrap().with_symmetric_domain().fit_linear(&data, &mut r).unwrap();
+        let model = FilterPriority::new(1.0)
+            .unwrap()
+            .with_symmetric_domain()
+            .fit_linear(&data, &mut r)
+            .unwrap();
         assert_eq!(model.dim(), 8);
         assert!(model.weights().iter().all(|w| w.is_finite()));
     }
@@ -332,8 +345,7 @@ mod tests {
             .fit_linear(&data, &mut r)
             .unwrap();
         let cos = fm_linalg::vecops::dot(model.weights(), &w)
-            / (fm_linalg::vecops::norm2(model.weights()).max(1e-9)
-                * fm_linalg::vecops::norm2(&w));
+            / (fm_linalg::vecops::norm2(model.weights()).max(1e-9) * fm_linalg::vecops::norm2(&w));
         assert!(cos > 0.3, "cosine {cos} (weights {:?})", model.weights());
     }
 
@@ -342,7 +354,10 @@ mod tests {
         let x = fm_linalg::Matrix::from_rows(&[&[4.0]]).unwrap();
         let data = Dataset::new(x, vec![0.0]).unwrap();
         let mut r = rng();
-        assert!(FilterPriority::new(1.0).unwrap().fit_linear(&data, &mut r).is_err());
+        assert!(FilterPriority::new(1.0)
+            .unwrap()
+            .fit_linear(&data, &mut r)
+            .is_err());
     }
 
     #[test]

@@ -191,8 +191,7 @@ impl JointGrid {
         debug_assert_eq!(x.len(), self.d(), "grid arity");
         let mut idx: u64 = self.label.index_of(y) as u64;
         for (v, &(lo, hi)) in x.iter().zip(&self.feature_bounds) {
-            idx = idx * self.feature_bins as u64
-                + bin_index(*v, lo, hi, self.feature_bins) as u64;
+            idx = idx * self.feature_bins as u64 + bin_index(*v, lo, hi, self.feature_bins) as u64;
         }
         idx
     }
@@ -308,13 +307,21 @@ mod tests {
         assert!(JointGrid::over_normalized_domain(
             2,
             2,
-            LabelSpec::Continuous { bins: 0, lo: 0.0, hi: 1.0 }
+            LabelSpec::Continuous {
+                bins: 0,
+                lo: 0.0,
+                hi: 1.0
+            }
         )
         .is_err());
         assert!(JointGrid::over_normalized_domain(
             2,
             2,
-            LabelSpec::Continuous { bins: 2, lo: 1.0, hi: 0.0 }
+            LabelSpec::Continuous {
+                bins: 2,
+                lo: 1.0,
+                hi: 0.0
+            }
         )
         .is_err());
     }

@@ -78,12 +78,14 @@ impl LinearRegression {
             OlsSolver::Qr => qr::lstsq(data.x(), data.y())?,
             OlsSolver::SvdMinNorm => fm_linalg::lstsq_min_norm(data.x(), data.y())?,
             OlsSolver::NormalEquations => {
-                let mut xtx = Matrix::zeros(data.d(), data.d());
-                let mut xty = vec![0.0; data.d()];
-                for (x, y) in data.tuples() {
-                    xtx.rank1_update(1.0, x)?;
-                    vecops::axpy(y, x, &mut xty);
-                }
+                // Same batched Gram kernels as the Functional Mechanism's
+                // coefficient assembly: XᵀX via blocked syrk, Xᵀy via the
+                // transposed-gemv kernel.
+                let d = data.d();
+                let mut xtx = Matrix::zeros(d, d);
+                let mut xty = vec![0.0; d];
+                xtx.syrk_acc(1.0, data.x().as_slice(), d)?;
+                vecops::gemv_t_acc(1.0, data.x().as_slice(), d, data.y(), &mut xty);
                 fm_linalg::Lu::new(&xtx)?.solve(&xty)?
             }
         };
@@ -139,17 +141,21 @@ impl Objective for ExactLogisticLoss<'_> {
 
 impl TwiceDifferentiable for ExactLogisticLoss<'_> {
     fn hessian(&self, omega: &[f64]) -> Matrix {
-        // H = Σ σ(1−σ)·x xᵀ.
+        // H = Σ σ(1−σ)·x xᵀ = Xᵀ·diag(w)·X — one pass for the weights,
+        // then the blocked weighted-syrk kernel (shared with the batched
+        // assembly path) instead of n rank-1 updates.
         let d = self.dim();
+        let w: Vec<f64> = self
+            .data
+            .tuples()
+            .map(|(x, _)| {
+                let sigma = stable_sigmoid(vecops::dot(x, omega));
+                sigma * (1.0 - sigma)
+            })
+            .collect();
         let mut h = Matrix::zeros(d, d);
-        for (x, _) in self.data.tuples() {
-            let z = vecops::dot(x, omega);
-            let sigma = stable_sigmoid(z);
-            let w = sigma * (1.0 - sigma);
-            if w > 0.0 {
-                h.rank1_update(w, x).expect("row arity");
-            }
-        }
+        h.syrk_weighted_acc(1.0, self.data.x().as_slice(), d, &w)
+            .expect("row arity");
         h
     }
 }
@@ -265,7 +271,10 @@ mod tests {
         let mut r = rng();
         let w = vec![0.3, -0.5];
         let data = fm_data::synth::linear_dataset_with_weights(&mut r, 500, &w, 0.0);
-        for reg in [LinearRegression::new(), LinearRegression::with_normal_equations()] {
+        for reg in [
+            LinearRegression::new(),
+            LinearRegression::with_normal_equations(),
+        ] {
             let model = reg.fit(&data).unwrap();
             assert!(vecops::approx_eq(model.weights(), &w, 1e-8));
         }
@@ -276,7 +285,9 @@ mod tests {
         let mut r = rng();
         let data = fm_data::synth::linear_dataset(&mut r, 2_000, 5, 0.1);
         let a = LinearRegression::new().fit(&data).unwrap();
-        let b = LinearRegression::with_normal_equations().fit(&data).unwrap();
+        let b = LinearRegression::with_normal_equations()
+            .fit(&data)
+            .unwrap();
         assert!(vecops::approx_eq(a.weights(), b.weights(), 1e-7));
     }
 
@@ -299,7 +310,9 @@ mod tests {
         let data = Dataset::new(x, y).unwrap();
 
         assert!(LinearRegression::new().fit(&data).is_err());
-        assert!(LinearRegression::with_normal_equations().fit(&data).is_err());
+        assert!(LinearRegression::with_normal_equations()
+            .fit(&data)
+            .is_err());
 
         let model = LinearRegression::with_min_norm().fit(&data).unwrap();
         // y = x₁ = x₂ ⇒ min-norm solution is (0.5, 0.5).
@@ -350,8 +363,8 @@ mod tests {
         let w = vec![0.6, -0.3];
         let data = fm_data::synth::logistic_dataset_with_weights(&mut r, 20_000, &w, 10.0);
         let model = LogisticRegression::new().fit(&data).unwrap();
-        let cos = vecops::dot(model.weights(), &w)
-            / (vecops::norm2(model.weights()) * vecops::norm2(&w));
+        let cos =
+            vecops::dot(model.weights(), &w) / (vecops::norm2(model.weights()) * vecops::norm2(&w));
         assert!(cos > 0.98, "cosine {cos}");
         let probs = model.probabilities_batch(data.x());
         let err = fm_data::metrics::misclassification_rate(&probs, data.y());

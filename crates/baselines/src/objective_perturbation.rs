@@ -103,11 +103,11 @@ impl Objective for RegularizedLogistic<'_> {
         let loss: f64 = self
             .data
             .tuples()
-            .map(|(x, y)| fm_poly::taylor::log1p_exp(-Self::signed_label(y) * vecops::dot(x, omega)))
+            .map(|(x, y)| {
+                fm_poly::taylor::log1p_exp(-Self::signed_label(y) * vecops::dot(x, omega))
+            })
             .sum();
-        loss / n
-            + 0.5 * self.lambda * vecops::dot(omega, omega)
-            + vecops::dot(&self.b, omega) / n
+        loss / n + 0.5 * self.lambda * vecops::dot(omega, omega) + vecops::dot(&self.b, omega) / n
     }
 
     fn gradient(&self, omega: &[f64]) -> Vec<f64> {
@@ -132,23 +132,28 @@ impl Objective for RegularizedLogistic<'_> {
 
 impl TwiceDifferentiable for RegularizedLogistic<'_> {
     fn hessian(&self, omega: &[f64]) -> Matrix {
+        // H = (1/n)·Xᵀ·diag(σ(1−σ))·X + Λ·I via the blocked weighted-syrk
+        // kernel shared with the batched assembly path.
         let n = self.data.n() as f64;
         let d = self.dim();
+        let w: Vec<f64> = self
+            .data
+            .tuples()
+            .map(|(x, y)| {
+                let s = Self::signed_label(y);
+                let z = -s * vecops::dot(x, omega);
+                let sigma = if z >= 0.0 {
+                    1.0 / (1.0 + (-z).exp())
+                } else {
+                    let e = z.exp();
+                    e / (1.0 + e)
+                };
+                sigma * (1.0 - sigma) / n
+            })
+            .collect();
         let mut h = Matrix::zeros(d, d);
-        for (x, y) in self.data.tuples() {
-            let s = Self::signed_label(y);
-            let z = -s * vecops::dot(x, omega);
-            let sigma = if z >= 0.0 {
-                1.0 / (1.0 + (-z).exp())
-            } else {
-                let e = z.exp();
-                e / (1.0 + e)
-            };
-            let w = sigma * (1.0 - sigma) / n;
-            if w > 0.0 {
-                h.rank1_update(w, x).expect("row arity");
-            }
-        }
+        h.syrk_weighted_acc(1.0, self.data.x().as_slice(), d, &w)
+            .expect("row arity");
         h.add_diagonal(self.lambda);
         h
     }
@@ -194,7 +199,8 @@ impl ObjectivePerturbation {
         // ε' = ε − log(1 + 2c/(nΛ) + c²/(n²Λ²)); if non-positive, raise Λ
         // effectively (JMLR's Λ-adjustment) by solving for the Λ' that makes
         // ε' = ε/2, then use ε/2 for the noise.
-        let slack = (1.0 + 2.0 * c / (n * self.lambda) + c * c / (n * n * self.lambda * self.lambda)).ln();
+        let slack =
+            (1.0 + 2.0 * c / (n * self.lambda) + c * c / (n * n * self.lambda * self.lambda)).ln();
         let (eps_noise, lambda_eff) = if self.epsilon > 2.0 * slack {
             (self.epsilon - slack, self.lambda)
         } else {
@@ -279,7 +285,9 @@ mod tests {
         let mut r = rng();
         let w = vec![0.5, -0.4];
         let data = fm_data::synth::logistic_dataset_with_weights(&mut r, 30_000, &w, 10.0);
-        let model = ObjectivePerturbation::new(2.0, 1e-3).fit(&data, &mut r).unwrap();
+        let model = ObjectivePerturbation::new(2.0, 1e-3)
+            .fit(&data, &mut r)
+            .unwrap();
         let cos = vecops::dot(model.weights(), &w)
             / (vecops::norm2(model.weights()).max(1e-12) * vecops::norm2(&w));
         assert!(cos > 0.8, "cosine {cos}");
@@ -290,7 +298,9 @@ mod tests {
         let mut r = rng();
         let w = vec![0.5, -0.4];
         let data = fm_data::synth::logistic_dataset_with_weights(&mut r, 30_000, &w, 10.0);
-        let model = OutputPerturbation::new(2.0, 1e-3).fit(&data, &mut r).unwrap();
+        let model = OutputPerturbation::new(2.0, 1e-3)
+            .fit(&data, &mut r)
+            .unwrap();
         let cos = vecops::dot(model.weights(), &w)
             / (vecops::norm2(model.weights()).max(1e-12) * vecops::norm2(&w));
         assert!(cos > 0.5, "cosine {cos}");
@@ -302,7 +312,9 @@ mod tests {
         // path runs; the fit must still succeed.
         let mut r = rng();
         let data = fm_data::synth::logistic_dataset(&mut r, 500, 2, 6.0);
-        let model = ObjectivePerturbation::new(1e-4, 1e-9).fit(&data, &mut r).unwrap();
+        let model = ObjectivePerturbation::new(1e-4, 1e-9)
+            .fit(&data, &mut r)
+            .unwrap();
         assert!(model.weights().iter().all(|w| w.is_finite()));
     }
 
@@ -310,13 +322,21 @@ mod tests {
     fn parameter_validation() {
         let mut r = rng();
         let data = fm_data::synth::logistic_dataset(&mut r, 100, 2, 6.0);
-        assert!(ObjectivePerturbation::new(0.0, 0.1).fit(&data, &mut r).is_err());
-        assert!(ObjectivePerturbation::new(1.0, 0.0).fit(&data, &mut r).is_err());
-        assert!(OutputPerturbation::new(-1.0, 0.1).fit(&data, &mut r).is_err());
+        assert!(ObjectivePerturbation::new(0.0, 0.1)
+            .fit(&data, &mut r)
+            .is_err());
+        assert!(ObjectivePerturbation::new(1.0, 0.0)
+            .fit(&data, &mut r)
+            .is_err());
+        assert!(OutputPerturbation::new(-1.0, 0.1)
+            .fit(&data, &mut r)
+            .is_err());
         // Non-binary labels rejected.
         let x = fm_linalg::Matrix::from_rows(&[&[0.1]]).unwrap();
         let bad = Dataset::new(x, vec![0.3]).unwrap();
-        assert!(ObjectivePerturbation::new(1.0, 0.1).fit(&bad, &mut r).is_err());
+        assert!(ObjectivePerturbation::new(1.0, 0.1)
+            .fit(&bad, &mut r)
+            .is_err());
     }
 
     #[test]
@@ -338,6 +358,9 @@ mod tests {
         };
         let strong = mean_dist(0.1, &mut r);
         let weak = mean_dist(0.001, &mut r);
-        assert!(strong < weak, "Λ=0.1 dist {strong} should beat Λ=0.001 dist {weak}");
+        assert!(
+            strong < weak,
+            "Λ=0.1 dist {strong} should beat Λ=0.001 dist {weak}"
+        );
     }
 }

@@ -17,10 +17,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use fm_core::linreg::DpLinearRegression;
 use fm_core::logreg::{Approximation, DpLogisticRegression};
 use fm_core::mechanism::NoiseDistribution;
 use fm_core::poisson::DpPoissonRegression;
-use fm_core::linreg::DpLinearRegression;
 use fm_linalg::{Matrix, Svd, SymmetricEigen, TridiagonalEigen};
 use fm_poly::chebyshev::logistic_chebyshev;
 
@@ -112,7 +112,10 @@ fn bench_svd(c: &mut Criterion) {
         let svd = Svd::new(&m).expect("svd");
         let rhs = vec![1.0; d];
         group.bench_with_input(BenchmarkId::new("min_norm_solve", d), &d, |b, _| {
-            b.iter(|| svd.solve_min_norm(std::hint::black_box(&rhs)).expect("solve"))
+            b.iter(|| {
+                svd.solve_min_norm(std::hint::black_box(&rhs))
+                    .expect("solve")
+            })
         });
     }
     group.finish();

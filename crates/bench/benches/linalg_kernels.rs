@@ -35,26 +35,77 @@ fn bench_factorizations(c: &mut Criterion) {
 }
 
 fn bench_gram_assembly(c: &mut Criterion) {
-    // Σ x xᵀ over n rows — the dominant cost of objective assembly.
+    // Σ x xᵀ over n rows — the dominant cost of objective assembly — as
+    // (a) the per-tuple rank-1 reference and (b) the blocked syrk kernel.
     let mut group = c.benchmark_group("gram_assembly");
     for &n in &[1_000usize, 10_000] {
-        let d = 13;
-        let mut rng = StdRng::seed_from_u64(17);
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| fm_data::synth::sample_in_ball(&mut rng, d, 1.0))
-            .collect();
-        group.bench_with_input(BenchmarkId::new("rank1_updates_d13", n), &n, |b, _| {
-            b.iter(|| {
-                let mut m = Matrix::zeros(d, d);
-                for x in &rows {
-                    m.rank1_update(1.0, x).expect("arity");
-                }
-                m
-            })
+        for &d in &[4usize, 13, 32] {
+            let mut rng = StdRng::seed_from_u64(17);
+            let flat: Vec<f64> = (0..n)
+                .flat_map(|_| fm_data::synth::sample_in_ball(&mut rng, d, 1.0))
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("rank1_updates_d{d}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut m = Matrix::zeros(d, d);
+                        for x in flat.chunks_exact(d) {
+                            m.rank1_update(1.0, x).expect("arity");
+                        }
+                        m
+                    })
+                },
+            );
+            group.bench_with_input(BenchmarkId::new(format!("syrk_d{d}"), n), &n, |b, _| {
+                b.iter(|| {
+                    let mut m = Matrix::zeros(d, d);
+                    m.syrk_acc(1.0, &flat, d).expect("arity");
+                    m
+                })
+            });
+            let w: Vec<f64> = (0..n).map(|i| 0.25 + (i % 3) as f64 * 0.1).collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("syrk_weighted_d{d}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut m = Matrix::zeros(d, d);
+                        m.syrk_weighted_acc(1.0, &flat, d, &w).expect("arity");
+                        m
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_objective_assembly(c: &mut Criterion) {
+    // End-to-end coefficient assembly (β, α, M) for the linear objective:
+    // per-tuple reference vs the batched chunked pipeline.
+    use fm_core::assembly::{assemble_per_tuple, assemble_with_chunk_rows};
+    use fm_core::linreg::LinearObjective;
+
+    let mut group = c.benchmark_group("objective_assembly");
+    let n = 50_000;
+    for &d in &[4usize, 13, 32] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = fm_data::synth::linear_dataset(&mut rng, n, d, 0.05);
+        group.bench_with_input(BenchmarkId::new("per_tuple", d), &d, |b, _| {
+            b.iter(|| assemble_per_tuple(&LinearObjective, &data))
+        });
+        group.bench_with_input(BenchmarkId::new("batched", d), &d, |b, _| {
+            b.iter(|| assemble_with_chunk_rows(&LinearObjective, &data, 4096))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_factorizations, bench_gram_assembly);
+criterion_group!(
+    benches,
+    bench_factorizations,
+    bench_gram_assembly,
+    bench_objective_assembly
+);
 criterion_main!(benches);

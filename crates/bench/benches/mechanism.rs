@@ -21,11 +21,17 @@ fn bench_perturb(c: &mut Criterion) {
         let data = fm_data::synth::linear_dataset(&mut rng, 10_000, d, 0.1);
         let fm = FunctionalMechanism::new(0.8).expect("ε");
         group.bench_with_input(BenchmarkId::new("linear_n10k", d), &d, |b, _| {
-            b.iter(|| fm.perturb(&data, &LinearObjective, &mut rng).expect("perturb"))
+            b.iter(|| {
+                fm.perturb(&data, &LinearObjective, &mut rng)
+                    .expect("perturb")
+            })
         });
         let log_data = fm_data::synth::logistic_dataset(&mut rng, 10_000, d, 6.0);
         group.bench_with_input(BenchmarkId::new("logistic_n10k", d), &d, |b, _| {
-            b.iter(|| fm.perturb(&log_data, &LogisticObjective, &mut rng).expect("perturb"))
+            b.iter(|| {
+                fm.perturb(&log_data, &LogisticObjective, &mut rng)
+                    .expect("perturb")
+            })
         });
     }
     group.finish();
@@ -37,7 +43,9 @@ fn bench_postprocess(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(11);
         let data = fm_data::synth::linear_dataset(&mut rng, 10_000, d, 0.1);
         let fm = FunctionalMechanism::new(0.8).expect("ε");
-        let noisy = fm.perturb(&data, &LinearObjective, &mut rng).expect("perturb");
+        let noisy = fm
+            .perturb(&data, &LinearObjective, &mut rng)
+            .expect("perturb");
 
         group.bench_with_input(BenchmarkId::new("regularize_trim_solve", d), &d, |b, _| {
             b.iter(|| {
@@ -46,13 +54,17 @@ fn bench_postprocess(c: &mut Criterion) {
                 postprocess::spectral_trim_minimize_with_floor(&n, lambda).expect("solve")
             })
         });
-        group.bench_with_input(BenchmarkId::new("direct_minimize_attempt", d), &d, |b, _| {
-            b.iter(|| {
-                let mut n = noisy.clone();
-                postprocess::regularize(&mut n);
-                let _ = postprocess::minimize(&n); // may legitimately fail; we time the attempt
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("direct_minimize_attempt", d),
+            &d,
+            |b, _| {
+                b.iter(|| {
+                    let mut n = noisy.clone();
+                    postprocess::regularize(&mut n);
+                    let _ = postprocess::minimize(&n); // may legitimately fail; we time the attempt
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -65,12 +77,24 @@ fn bench_sensitivity_scaling(c: &mut Criterion) {
     let data = fm_data::synth::linear_dataset(&mut rng, 10_000, 8, 0.1);
     for &eps in &[0.1, 3.2] {
         let fm = FunctionalMechanism::new(eps).expect("ε");
-        group.bench_with_input(BenchmarkId::new("perturb_n10k_d8", format!("{eps}")), &eps, |b, _| {
-            b.iter(|| fm.perturb(&data, &LinearObjective, &mut rng).expect("perturb"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("perturb_n10k_d8", format!("{eps}")),
+            &eps,
+            |b, _| {
+                b.iter(|| {
+                    fm.perturb(&data, &LinearObjective, &mut rng)
+                        .expect("perturb")
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_perturb, bench_postprocess, bench_sensitivity_scaling);
+criterion_group!(
+    benches,
+    bench_perturb,
+    bench_postprocess,
+    bench_sensitivity_scaling
+);
 criterion_main!(benches);

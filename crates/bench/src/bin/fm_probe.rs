@@ -29,10 +29,18 @@ fn main() -> ExitCode {
             "--epsilon" => epsilon = next().parse().unwrap_or(epsilon),
             "--repeats" => repeats = next().parse().unwrap_or(repeats),
             "--task" => {
-                task = if next().starts_with("log") { Task::Logistic } else { Task::Linear }
+                task = if next().starts_with("log") {
+                    Task::Logistic
+                } else {
+                    Task::Linear
+                }
             }
             "--country" => {
-                country = if next().starts_with("br") { Country::Brazil } else { Country::Us }
+                country = if next().starts_with("br") {
+                    Country::Brazil
+                } else {
+                    Country::Us
+                }
             }
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -54,7 +62,10 @@ fn main() -> ExitCode {
         task.name()
     );
     let w = build(country, task, rows, dim, cfg.seed);
-    println!("{:<12} {:>12} {:>10} {:>12}", "method", "error", "± std", "sec/fit");
+    println!(
+        "{:<12} {:>12} {:>10} {:>12}",
+        "method", "error", "± std", "sec/fit"
+    );
     for (mi, &m) in Method::lineup(task).iter().enumerate() {
         let cell = evaluate(&w.data, task, m, epsilon, 1.0, &cfg, mi as u64);
         println!(

@@ -64,7 +64,9 @@ pub fn fig2(seed: u64) -> String {
 
     let mut rng = StdRng::seed_from_u64(seed);
     let fm = FunctionalMechanism::new(1.0).expect("ε");
-    let noisy = fm.perturb(&data, &LinearObjective, &mut rng).expect("perturb");
+    let noisy = fm
+        .perturb(&data, &LinearObjective, &mut rng)
+        .expect("perturb");
     let nq = noisy.objective().clone();
     // The raw minimiser of f̄_D (what Figure 2 plots), when it exists …
     let raw_min = postprocess::minimize(&noisy)
@@ -101,7 +103,11 @@ pub fn fig2(seed: u64) -> String {
     out.push_str("\n        ω      f_D(ω)     f̄_D(ω)\n");
     for i in 0..=10 {
         let w = i as f64 / 10.0;
-        out.push_str(&format!("{w:>9.1} {:>11.4} {:>11.4}\n", clean.eval(&[w]), nq.eval(&[w])));
+        out.push_str(&format!(
+            "{w:>9.1} {:>11.4} {:>11.4}\n",
+            clean.eval(&[w]),
+            nq.eval(&[w])
+        ));
     }
     out
 }
@@ -115,7 +121,9 @@ pub fn fig3() -> String {
     let truncated = fm_core::logreg::truncated_objective(&data);
 
     let mut out = String::new();
-    out.push_str("\n== Figure 3 — logistic objective vs polynomial approximation (§5.2 example) ==\n");
+    out.push_str(
+        "\n== Figure 3 — logistic objective vs polynomial approximation (§5.2 example) ==\n",
+    );
     out.push_str("        ω      f_D(ω)     f̂_D(ω)        gap\n");
     for i in 0..=10 {
         let w = -0.5 + i as f64 * 0.25; // ω ∈ [−0.5, 2.0] like the paper's plot
@@ -166,14 +174,28 @@ pub fn accuracy_figure(figure: &str, axis: Axis, cfg: &EvalConfig) -> Vec<Table>
         let default_workload = if axis == Axis::Dimensionality {
             None
         } else {
-            Some(build(country, task, rows, params::DEFAULT_DIMENSIONALITY, cfg.seed))
+            Some(build(
+                country,
+                task,
+                rows,
+                params::DEFAULT_DIMENSIONALITY,
+                cfg.seed,
+            ))
         };
 
         for (xi, &x) in axis.values().iter().enumerate() {
             let (dim, rate, eps) = match axis {
-                Axis::Dimensionality => (x as usize, params::DEFAULT_SAMPLING_RATE, params::DEFAULT_EPSILON),
+                Axis::Dimensionality => (
+                    x as usize,
+                    params::DEFAULT_SAMPLING_RATE,
+                    params::DEFAULT_EPSILON,
+                ),
                 Axis::SamplingRate => (params::DEFAULT_DIMENSIONALITY, x, params::DEFAULT_EPSILON),
-                Axis::Epsilon => (params::DEFAULT_DIMENSIONALITY, params::DEFAULT_SAMPLING_RATE, x),
+                Axis::Epsilon => (
+                    params::DEFAULT_DIMENSIONALITY,
+                    params::DEFAULT_SAMPLING_RATE,
+                    x,
+                ),
             };
             let built;
             let data = match &default_workload {
@@ -227,14 +249,28 @@ pub fn timing_figure(figure: &str, axis: Axis, cfg: &EvalConfig) -> Vec<Table> {
         let default_workload = if axis == Axis::Dimensionality {
             None
         } else {
-            Some(build(country, task, rows, params::DEFAULT_DIMENSIONALITY, cfg.seed))
+            Some(build(
+                country,
+                task,
+                rows,
+                params::DEFAULT_DIMENSIONALITY,
+                cfg.seed,
+            ))
         };
 
         for (xi, &x) in axis.values().iter().enumerate() {
             let (dim, rate, eps) = match axis {
-                Axis::Dimensionality => (x as usize, params::DEFAULT_SAMPLING_RATE, params::DEFAULT_EPSILON),
+                Axis::Dimensionality => (
+                    x as usize,
+                    params::DEFAULT_SAMPLING_RATE,
+                    params::DEFAULT_EPSILON,
+                ),
                 Axis::SamplingRate => (params::DEFAULT_DIMENSIONALITY, x, params::DEFAULT_EPSILON),
-                Axis::Epsilon => (params::DEFAULT_DIMENSIONALITY, params::DEFAULT_SAMPLING_RATE, x),
+                Axis::Epsilon => (
+                    params::DEFAULT_DIMENSIONALITY,
+                    params::DEFAULT_SAMPLING_RATE,
+                    x,
+                ),
             };
             let built;
             let data = match &default_workload {
@@ -263,7 +299,13 @@ pub fn timing_figure(figure: &str, axis: Axis, cfg: &EvalConfig) -> Vec<Table> {
 #[must_use]
 pub fn ablation(cfg: &EvalConfig) -> Vec<Table> {
     let mut tables = Vec::new();
-    let w = build(Country::Us, Task::Linear, cfg.rows_us, params::DEFAULT_DIMENSIONALITY, cfg.seed);
+    let w = build(
+        Country::Us,
+        Task::Linear,
+        cfg.rows_us,
+        params::DEFAULT_DIMENSIONALITY,
+        cfg.seed,
+    );
     let data = &w.data;
     let d = data.d();
 
@@ -277,8 +319,7 @@ pub fn ablation(cfg: &EvalConfig) -> Vec<Table> {
             ("Resample", Strategy::Resample { max_attempts: 64 }),
         ];
         let names: Vec<&str> = strategies.iter().map(|(n, _)| *n).collect();
-        let mut failures_cols: Vec<String> =
-            names.iter().map(|n| format!("{n}:fail%")).collect();
+        let mut failures_cols: Vec<String> = names.iter().map(|n| format!("{n}:fail%")).collect();
         let mut columns: Vec<&str> = names.clone();
         let fail_refs: Vec<&str> = failures_cols.iter().map(String::as_str).collect();
         columns.extend(fail_refs);
@@ -336,9 +377,12 @@ pub fn ablation(cfg: &EvalConfig) -> Vec<Table> {
                 let mut total = 0.0;
                 let mut ok = 0usize;
                 for _ in 0..reps {
-                    let mut noisy = fm.perturb(data, &LinearObjective, &mut rng).expect("perturb");
+                    let mut noisy = fm
+                        .perturb(data, &LinearObjective, &mut rng)
+                        .expect("perturb");
                     let lambda = postprocess::regularize_with(&mut noisy, mult);
-                    if let Ok((omega, _)) = postprocess::spectral_trim_minimize_with_floor(&noisy, lambda)
+                    if let Ok((omega, _)) =
+                        postprocess::spectral_trim_minimize_with_floor(&noisy, lambda)
                     {
                         let m = fm_core::model::LinearModel::new(omega, Some(eps));
                         total += fm_data::metrics::mse(&m.predict_batch(data.x()), data.y());
@@ -416,7 +460,10 @@ pub fn ablation_approx(cfg: &EvalConfig) -> Vec<Table> {
         ("ChebR2", Approximation::Chebyshev { half_width: 2.0 }),
     ];
 
-    let mut columns: Vec<String> = approximations.iter().map(|(n, _)| format!("FM {n}")).collect();
+    let mut columns: Vec<String> = approximations
+        .iter()
+        .map(|(n, _)| format!("FM {n}"))
+        .collect();
     columns.extend(approximations.iter().map(|(n, _)| format!("Tr {n}")));
     let refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     let mut table = Table::new(
@@ -514,7 +561,10 @@ pub fn ablation_noise(cfg: &EvalConfig) -> Vec<Table> {
             .build()
             .fit_without_privacy(data)
             .expect("OLS");
-        row.push(fm_data::metrics::mse(&clean.predict_batch(data.x()), data.y()));
+        row.push(fm_data::metrics::mse(
+            &clean.predict_batch(data.x()),
+            data.y(),
+        ));
         table.push_row(&format!("{d}"), row);
     }
     println!(
@@ -545,7 +595,10 @@ pub fn poisson_figure(cfg: &EvalConfig) -> Vec<Table> {
     let data = fm_data::synth::poisson_dataset_with_weights(&mut rng, cfg.rows_us, &truth, y_max);
 
     let mae = |m: &fm_core::poisson::PoissonModel| -> f64 {
-        data.tuples().map(|(x, y)| (m.rate(x) - y).abs()).sum::<f64>() / data.n() as f64
+        data.tuples()
+            .map(|(x, y)| (m.rate(x) - y).abs())
+            .sum::<f64>()
+            / data.n() as f64
     };
 
     let mut tables = Vec::new();
@@ -623,7 +676,10 @@ pub fn poisson_figure(cfg: &EvalConfig) -> Vec<Table> {
                         .build()
                         .fit(&clipped, &mut rng)
                         .expect("fit");
-                    total += data.tuples().map(|(x, y)| (m.rate(x) - y).abs()).sum::<f64>()
+                    total += data
+                        .tuples()
+                        .map(|(x, y)| (m.rate(x) - y).abs())
+                        .sum::<f64>()
                         / data.n() as f64;
                 }
                 row.push(total / reps as f64);

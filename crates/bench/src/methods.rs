@@ -89,7 +89,13 @@ impl FittedModel {
 /// On configuration errors (invalid ε) — the harness validates its grids
 /// up front, so a failure here is a bug, not an input condition.
 #[must_use]
-pub fn fit(method: Method, task: Task, train: &Dataset, epsilon: f64, rng: &mut StdRng) -> FittedModel {
+pub fn fit(
+    method: Method,
+    task: Task,
+    train: &Dataset,
+    epsilon: f64,
+    rng: &mut StdRng,
+) -> FittedModel {
     match (task, method) {
         (Task::Linear, Method::Fm) => FittedModel::Linear(
             DpLinearRegression::builder()

@@ -94,7 +94,13 @@ fn format_value(v: f64) -> String {
 fn slug(title: &str) -> String {
     title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect::<String>()
         .split('_')
         .filter(|s| !s.is_empty())
@@ -132,7 +138,10 @@ mod tests {
 
     #[test]
     fn slug_is_filesystem_safe() {
-        assert_eq!(slug("Figure 4a — US-Linear (MSE)"), "figure_4a_us_linear_mse");
+        assert_eq!(
+            slug("Figure 4a — US-Linear (MSE)"),
+            "figure_4a_us_linear_mse"
+        );
     }
 
     #[test]

@@ -84,7 +84,13 @@ pub struct Workload {
 /// On invalid dimensionality or generation failure — harness code treats
 /// these as fatal configuration errors.
 #[must_use]
-pub fn build(country: Country, task: Task, rows: usize, dimensionality: usize, seed: u64) -> Workload {
+pub fn build(
+    country: Country,
+    task: Task,
+    rows: usize,
+    dimensionality: usize,
+    seed: u64,
+) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
     let profile = country.profile();
     let raw = census::generate(&profile, rows, &mut rng).expect("census generation");
@@ -99,7 +105,11 @@ pub fn build(country: Country, task: Task, rows: usize, dimensionality: usize, s
     };
     let subset = census::attribute_subset(dimensionality).expect("dimensionality");
     let data = full.select_features(subset).expect("subset");
-    Workload { data, country, task }
+    Workload {
+        data,
+        country,
+        task,
+    }
 }
 
 #[cfg(test)]

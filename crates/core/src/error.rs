@@ -39,10 +39,16 @@ impl fmt::Display for FmError {
             FmError::Optim(e) => write!(f, "optimisation error: {e}"),
             FmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             FmError::ResampleExhausted { attempts } => {
-                write!(f, "noisy objective unbounded after {attempts} resampling attempts")
+                write!(
+                    f,
+                    "noisy objective unbounded after {attempts} resampling attempts"
+                )
             }
             FmError::EmptySpectrum => {
-                write!(f, "spectral trimming removed all eigenvalues; ε is too small for this data")
+                write!(
+                    f,
+                    "spectral trimming removed all eigenvalues; ε is too small for this data"
+                )
             }
             FmError::InvalidConfig { name, reason } => {
                 write!(f, "invalid configuration `{name}`: {reason}")

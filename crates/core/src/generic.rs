@@ -47,9 +47,24 @@ pub const MAX_COEFFICIENTS: usize = 200_000;
 /// accepts, the L1 norm of the degree-≥1 coefficients of
 /// [`GeneralObjective::tuple_polynomial`] must be at most
 /// `sensitivity(d) / 2`.
-pub trait GeneralObjective {
+/// `Sync` is a supertrait for the same reason as on
+/// [`crate::PolynomialObjective`]: [`GeneralObjective::assemble`] fans the
+/// accumulation out across row chunks.
+pub trait GeneralObjective: Sync {
     /// The per-tuple cost `f(t, ω)` as a polynomial in ω.
     fn tuple_polynomial(&self, x: &[f64], y: f64, d: usize) -> Polynomial;
+
+    /// Accumulates a whole row chunk (`xs` row-major `k × d`, `ys` the
+    /// matching labels) into the partial objective `f`. The default sums
+    /// [`GeneralObjective::tuple_polynomial`] row by row; objectives whose
+    /// per-tuple polynomial has Gram structure (e.g.
+    /// [`GeneralLinearObjective`]) override it with batched kernels.
+    fn accumulate_chunk(&self, xs: &[f64], ys: &[f64], d: usize, f: &mut Polynomial) {
+        debug_assert_eq!(xs.len(), ys.len() * d, "accumulate_chunk: shape mismatch");
+        for (x, &y) in xs.chunks_exact(d).zip(ys) {
+            f.add_assign(&self.tuple_polynomial(x, y, d));
+        }
+    }
 
     /// The maximum degree `J` any tuple's polynomial can reach.
     fn max_degree(&self, d: usize) -> u32;
@@ -64,14 +79,24 @@ pub trait GeneralObjective {
     /// A [`fm_data::DataError`] describing the violation.
     fn validate(&self, data: &Dataset) -> fm_data::Result<()>;
 
-    /// Assembles the exact objective `f_D(ω) = Σ_i f(t_i, ω)`.
+    /// Assembles the exact objective `f_D(ω) = Σ_i f(t_i, ω)` through the
+    /// same chunked map-reduce as the degree-2 path (data-parallel with
+    /// the `parallel` feature; deterministic merge order).
     fn assemble(&self, data: &Dataset) -> Polynomial {
         let d = data.d();
-        let mut f = Polynomial::zero(d);
-        for (x, y) in data.tuples() {
-            f.add_assign(&self.tuple_polynomial(x, y, d));
-        }
-        f
+        let xs = data.x().as_slice();
+        let ys = data.y();
+        crate::assembly::map_reduce_chunks(
+            data.n(),
+            crate::assembly::DEFAULT_CHUNK_ROWS,
+            |lo, hi| {
+                let mut f = Polynomial::zero(d);
+                self.accumulate_chunk(&xs[lo * d..hi * d], &ys[lo..hi], d, &mut f);
+                f
+            },
+            |acc, part| acc.add_assign(&part),
+        )
+        .unwrap_or_else(|| Polynomial::zero(d))
     }
 }
 
@@ -133,7 +158,9 @@ impl NoisyPolynomial {
             }
         }
 
-        let objective = PolyObjective { p: &self.polynomial };
+        let objective = PolyObjective {
+            p: &self.polynomial,
+        };
         let gd = fm_optim::gd::GradientDescent::default();
         let result = gd.minimize(&objective, start).map_err(FmError::from)?;
         if !result.omega.iter().all(|v| v.is_finite())
@@ -256,6 +283,18 @@ impl GeneralObjective for GeneralLinearObjective {
         p
     }
 
+    fn accumulate_chunk(&self, xs: &[f64], ys: &[f64], d: usize, f: &mut Polynomial) {
+        // Gram-kernel fast path: assemble the chunk densely (yᵀy, Xᵀy,
+        // XᵀX — same kernels as the degree-2 pipeline), then convert once.
+        // `to_polynomial` splits each off-diagonal M entry across (i,j) and
+        // (j,i), which add onto the same monomial, matching the per-tuple
+        // expansion's single 2·x_j·x_l term.
+        use crate::mechanism::PolynomialObjective;
+        let mut q = fm_poly::QuadraticForm::zero(d);
+        crate::linreg::LinearObjective.accumulate_batch(xs, ys, d, &mut q);
+        f.add_assign(&q.to_polynomial());
+    }
+
     fn max_degree(&self, _d: usize) -> u32 {
         2
     }
@@ -369,9 +408,7 @@ mod tests {
         let fm = GenericFunctionalMechanism::new(1.0).unwrap();
         let mut r = rng();
         let noisy = fm.perturb(&data, &GeneralLinearObjective, &mut r).unwrap();
-        let coeff = noisy
-            .polynomial()
-            .coefficient(&Monomial::linear(2, 1));
+        let coeff = noisy.polynomial().coefficient(&Monomial::linear(2, 1));
         assert_ne!(coeff, 0.0, "structural zero must be perturbed");
         // Every monomial of degree ≤ 2 over d = 2 is present: |Φ_0..2| = 6.
         assert_eq!(noisy.polynomial().num_terms(), 6);

@@ -4,6 +4,11 @@
 //! under Differential Privacy* (Zhang, Zhang, Xiao, Yang, Winslett — PVLDB
 //! 5(11), 2012), implemented in full:
 //!
+//! * [`assembly`] — the **batched coefficient-assembly hot path**: chunked
+//!   map-reduce over the dataset's rows with blocked Gram kernels
+//!   (`yᵀy` / `Xᵀy` / `XᵀX`) and a deterministic pairwise tree reduction;
+//!   data-parallel behind the `parallel` cargo feature with bit-identical
+//!   results for every worker count.
 //! * [`mechanism`] — **Algorithm 1**: express the objective function
 //!   `f_D(ω) = Σ_i f(t_i, ω)` in its polynomial representation, compute the
 //!   coefficient sensitivity `Δ` (Lemma 1), inject i.i.d. `Lap(Δ/ε)` noise
@@ -70,6 +75,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod assembly;
 pub mod generic;
 pub mod linreg;
 pub mod logreg;

@@ -65,6 +65,16 @@ impl PolynomialObjective for LinearObjective {
             .expect("dataset row arity matches objective dimension");
     }
 
+    fn accumulate_batch(&self, xs: &[f64], ys: &[f64], d: usize, q: &mut QuadraticForm) {
+        // The three Gram products of the expanded objective, each as one
+        // blocked kernel pass: β += yᵀy; α += −2·Xᵀy; M += XᵀX.
+        *q.beta_mut() += fm_linalg::vecops::sum_squares(ys);
+        fm_linalg::vecops::gemv_t_acc(-2.0, xs, d, ys, q.alpha_mut());
+        q.m_mut()
+            .syrk_acc(1.0, xs, d)
+            .expect("dataset row arity matches objective dimension");
+    }
+
     fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64 {
         match bound {
             SensitivityBound::Paper => sensitivity_paper(d),
@@ -248,15 +258,15 @@ impl DpLinearRegression {
             let aug = data.augment_for_intercept();
             LinearObjective.validate(&aug)?;
             let q = LinearObjective.assemble(&aug);
-            let omega_aug = fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha())
-                .map_err(FmError::from)?;
+            let omega_aug =
+                fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha()).map_err(FmError::from)?;
             let (omega, b) = crate::model::split_augmented_weights(omega_aug);
             return Ok(LinearModel::with_intercept(omega, b, None));
         }
         LinearObjective.validate(data)?;
         let q = LinearObjective.assemble(data);
-        let omega = fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha())
-            .map_err(FmError::from)?;
+        let omega =
+            fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha()).map_err(FmError::from)?;
         Ok(LinearModel::new(omega, None))
     }
 }
@@ -366,7 +376,11 @@ mod tests {
                 let mut q = QuadraticForm::zero(d);
                 LinearObjective.accumulate_tuple(&x, y, &mut q);
                 let l1 = q.coefficient_l1_norm();
-                assert!(l1 <= delta / 2.0 + 1e-9, "d={d}: L1 {l1} > Δ/2 {}", delta / 2.0);
+                assert!(
+                    l1 <= delta / 2.0 + 1e-9,
+                    "d={d}: L1 {l1} > Δ/2 {}",
+                    delta / 2.0
+                );
                 assert!(l1 <= tight / 2.0 + 1e-9, "d={d}: L1 {l1} > tight Δ/2");
             }
         }
@@ -496,17 +510,23 @@ mod tests {
             let t = (i * 13 + j * 7) % 100;
             (t as f64 / 100.0 - 0.5) / 2.0
         });
-        let y: Vec<f64> = (0..n)
-            .map(|i| vecops::dot(x.row(i), &w) + 0.3)
-            .collect();
+        let y: Vec<f64> = (0..n).map(|i| vecops::dot(x.row(i), &w) + 0.3).collect();
         let data = Dataset::new(x, y).unwrap();
         let model = DpLinearRegression::builder()
             .fit_intercept(true)
             .build()
             .fit_without_privacy(&data)
             .unwrap();
-        assert!(vecops::approx_eq(model.weights(), &w, 1e-9), "{:?}", model.weights());
-        assert!((model.intercept() - 0.3).abs() < 1e-9, "b = {}", model.intercept());
+        assert!(
+            vecops::approx_eq(model.weights(), &w, 1e-9),
+            "{:?}",
+            model.weights()
+        );
+        assert!(
+            (model.intercept() - 0.3).abs() < 1e-9,
+            "b = {}",
+            model.intercept()
+        );
         // Predictions include the offset.
         assert!((model.predict(&[0.0, 0.0]) - 0.3).abs() < 1e-9);
 
@@ -515,9 +535,7 @@ mod tests {
             .build()
             .fit_without_privacy(&data)
             .unwrap();
-        let mse = |m: &LinearModel| {
-            fm_data::metrics::mse(&m.predict_batch(data.x()), data.y())
-        };
+        let mse = |m: &LinearModel| fm_data::metrics::mse(&m.predict_batch(data.x()), data.y());
         assert!(mse(&model) < mse(&flat), "intercept must help");
     }
 
@@ -527,7 +545,11 @@ mod tests {
         let w = vec![0.4, -0.3];
         // Build offset data inside the contract: y = xᵀw + 0.2 ∈ [−1, 1].
         let base = fm_data::synth::linear_dataset_with_weights(&mut r, 80_000, &w, 0.02);
-        let y: Vec<f64> = base.y().iter().map(|y| (y + 0.2).clamp(-1.0, 1.0)).collect();
+        let y: Vec<f64> = base
+            .y()
+            .iter()
+            .map(|y| (y + 0.2).clamp(-1.0, 1.0))
+            .collect();
         let data = Dataset::new(base.x().clone(), y).unwrap();
         let model = DpLinearRegression::builder()
             .epsilon(2.0)
@@ -540,7 +562,11 @@ mod tests {
             "weights {:?}",
             model.weights()
         );
-        assert!((model.intercept() - 0.2).abs() < 0.15, "b = {}", model.intercept());
+        assert!(
+            (model.intercept() - 0.2).abs() < 0.15,
+            "b = {}",
+            model.intercept()
+        );
     }
 
     #[test]
@@ -575,7 +601,11 @@ mod tests {
             .fit(&data, &mut r)
             .unwrap();
         assert_eq!(model.dim(), 2);
-        assert!(vecops::dist2(model.weights(), &w) < 0.2, "{:?}", model.weights());
+        assert!(
+            vecops::dist2(model.weights(), &w) < 0.2,
+            "{:?}",
+            model.weights()
+        );
     }
 
     #[test]

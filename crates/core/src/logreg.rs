@@ -81,6 +81,14 @@ impl PolynomialObjective for LogisticObjective {
         }
     }
 
+    fn accumulate_batch(&self, xs: &[f64], ys: &[f64], d: usize, q: &mut QuadraticForm) {
+        // f₁ batched: β += k·log 2, α += ½·Σx, M += ⅛·XᵀX (Gram kernels).
+        logistic_log1pexp_component().accumulate_batch_into(xs, q);
+        // f₂ batched: α += −Xᵀy (y = 0 rows contribute exactly zero, as in
+        // the per-tuple skip).
+        fm_linalg::vecops::gemv_t_acc(-1.0, xs, d, ys, q.alpha_mut());
+    }
+
     fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64 {
         match bound {
             SensitivityBound::Paper => sensitivity_paper(d),
@@ -190,6 +198,13 @@ impl PolynomialObjective for ChebyshevLogisticObjective {
             let neg_yx: Vec<f64> = x.iter().map(|&v| -y * v).collect();
             identity_component().accumulate_into(&neg_yx, q);
         }
+    }
+
+    fn accumulate_batch(&self, xs: &[f64], ys: &[f64], d: usize, q: &mut QuadraticForm) {
+        // Surrogate batched: β += k·a₀', α += a₁·Σx, M += ½a₂''·XᵀX.
+        self.component.accumulate_batch_into(xs, q);
+        // Exact f₂ batched: α += −Xᵀy.
+        fm_linalg::vecops::gemv_t_acc(-1.0, xs, d, ys, q.alpha_mut());
     }
 
     fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64 {
@@ -415,8 +430,8 @@ impl DpLogisticRegression {
                 objective.assemble(work)
             }
         };
-        let omega_raw = fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha())
-            .map_err(FmError::from)?;
+        let omega_raw =
+            fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha()).map_err(FmError::from)?;
         if self.fit_intercept {
             let (omega, b) = crate::model::split_augmented_weights(omega_raw);
             Ok(LogisticModel::with_intercept(omega, b, None))
@@ -517,8 +532,8 @@ mod tests {
             .fit_truncated_without_privacy(&data)
             .unwrap();
         // Direction of the weights must match the ground truth.
-        let cos = vecops::dot(model.weights(), &w)
-            / (vecops::norm2(model.weights()) * vecops::norm2(&w));
+        let cos =
+            vecops::dot(model.weights(), &w) / (vecops::norm2(model.weights()) * vecops::norm2(&w));
         assert!(cos > 0.95, "cosine {cos}");
     }
 
@@ -570,7 +585,11 @@ mod tests {
             .build()
             .fit_truncated_without_privacy(&data)
             .unwrap();
-        assert!(model.intercept() > 0.0, "b = {} should be positive", model.intercept());
+        assert!(
+            model.intercept() > 0.0,
+            "b = {} should be positive",
+            model.intercept()
+        );
         assert!(
             model.probability(&[0.0, 0.0]) > 0.5,
             "base rate not captured: {}",
@@ -622,7 +641,10 @@ mod tests {
             let cheb = obj.sensitivity(d, SensitivityBound::Paper);
             let taylor = sensitivity_paper(d);
             assert!(cheb <= taylor + 1e-9, "d={d}: {cheb} > {taylor}");
-            assert!(cheb > 0.9 * taylor, "d={d}: {cheb} unexpectedly far below {taylor}");
+            assert!(
+                cheb > 0.9 * taylor,
+                "d={d}: {cheb} unexpectedly far below {taylor}"
+            );
         }
     }
 
@@ -643,7 +665,10 @@ mod tests {
                     obj.accumulate_tuple(&x, y, &mut q);
                     let l1 = q.coefficient_l1_norm();
                     assert!(l1 <= delta / 2.0 + 1e-9, "R={half_width} d={d}: {l1}");
-                    assert!(l1 <= tight / 2.0 + 1e-9, "R={half_width} d={d}: {l1} (tight)");
+                    assert!(
+                        l1 <= tight / 2.0 + 1e-9,
+                        "R={half_width} d={d}: {l1} (tight)"
+                    );
                 }
             }
         }

@@ -76,9 +76,33 @@ pub enum NoiseDistribution {
 /// by that tuple is at most `sensitivity(d, bound) / 2` (resp.
 /// `sensitivity_l2(d) / 2`). The property tests in `linreg`/`logreg`/
 /// `poisson` machine-check this contract on random in-domain tuples.
-pub trait PolynomialObjective {
+///
+/// `Sync` is a supertrait so [`PolynomialObjective::assemble`] can fan the
+/// accumulation out across row chunks (see [`crate::assembly`]); every
+/// objective here is a small plain-data struct, so the bound costs nothing.
+pub trait PolynomialObjective: Sync {
     /// Accumulates tuple `(x, y)`'s coefficient contribution into `q`.
     fn accumulate_tuple(&self, x: &[f64], y: f64, q: &mut QuadraticForm);
+
+    /// Accumulates a whole row chunk at once: `xs` is a row-major
+    /// `k × d` feature block (`k = ys.len()`, `xs.len() = k·d`, `d =
+    /// q.dim()`) and `ys` the matching labels.
+    ///
+    /// The default delegates to [`PolynomialObjective::accumulate_tuple`]
+    /// row by row, so existing objectives keep working unchanged. The
+    /// built-in objectives override this with blocked Gram kernels
+    /// (`yᵀy` / `Xᵀy` / `XᵀX`) that are several times faster than the
+    /// per-tuple loop — see the module docs of [`crate::assembly`].
+    ///
+    /// Overrides must produce the same coefficient sums as the per-tuple
+    /// loop up to floating-point regrouping (the equivalence suite in the
+    /// facade's `tests/batched_assembly.rs` machine-checks ≤ 1e-12).
+    fn accumulate_batch(&self, xs: &[f64], ys: &[f64], d: usize, q: &mut QuadraticForm) {
+        debug_assert_eq!(xs.len(), ys.len() * d, "accumulate_batch: shape mismatch");
+        for (x, &y) in xs.chunks_exact(d).zip(ys) {
+            self.accumulate_tuple(x, y, q);
+        }
+    }
 
     /// The coefficient-vector L1 sensitivity `Δ₁` for dimension `d`.
     fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64;
@@ -96,13 +120,12 @@ pub trait PolynomialObjective {
     /// A [`fm_data::DataError::NotNormalized`] describing the violation.
     fn validate(&self, data: &Dataset) -> fm_data::Result<()>;
 
-    /// Assembles the exact (noise-free) objective `f_D(ω) = Σ_i f(t_i, ω)`.
+    /// Assembles the exact (noise-free) objective `f_D(ω) = Σ_i f(t_i, ω)`
+    /// through the batched chunk pipeline of [`crate::assembly`]
+    /// (data-parallel with the `parallel` feature; deterministic across
+    /// worker counts either way).
     fn assemble(&self, data: &Dataset) -> QuadraticForm {
-        let mut q = QuadraticForm::zero(data.d());
-        for (x, y) in data.tuples() {
-            self.accumulate_tuple(x, y, &mut q);
-        }
-        q
+        crate::assembly::assemble(self, data)
     }
 }
 
@@ -271,9 +294,7 @@ impl FunctionalMechanism {
             if epsilon >= 1.0 {
                 return Err(FmError::InvalidConfig {
                     name: "epsilon",
-                    reason: format!(
-                        "{epsilon} must be < 1 for the classical Gaussian mechanism"
-                    ),
+                    reason: format!("{epsilon} must be < 1 for the classical Gaussian mechanism"),
                 });
             }
         }

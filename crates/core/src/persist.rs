@@ -14,7 +14,7 @@
 //! weights 0.5 -0.25 0.125
 //! ```
 //!
-//! Floats are serialised with [`f64::to_string`]'s shortest-roundtrip
+//! Floats are serialised with `f64::to_string`'s shortest-roundtrip
 //! representation, so a write → read cycle is **bit-exact**. `epsilon
 //! none` marks non-private baselines. Unknown keys are rejected (a model
 //! file is a security-relevant artefact; silent tolerance invites
@@ -143,7 +143,11 @@ impl SavedModel {
                     set_once(&mut epsilon, v, "epsilon")?;
                 }
                 "intercept" => {
-                    set_once(&mut intercept, parse_finite(value, "intercept")?, "intercept")?;
+                    set_once(
+                        &mut intercept,
+                        parse_finite(value, "intercept")?,
+                        "intercept",
+                    )?;
                 }
                 "weights" => {
                     let ws: Vec<f64> = value
@@ -197,7 +201,11 @@ impl SavedModel {
     /// [`FmError::InvalidConfig`] when the file holds a different family.
     pub fn into_linear(self) -> Result<LinearModel> {
         self.expect_kind(ModelKind::Linear)?;
-        Ok(LinearModel::with_intercept(self.weights, self.intercept, self.epsilon))
+        Ok(LinearModel::with_intercept(
+            self.weights,
+            self.intercept,
+            self.epsilon,
+        ))
     }
 
     /// Converts into a [`LogisticModel`].
@@ -206,7 +214,11 @@ impl SavedModel {
     /// [`FmError::InvalidConfig`] when the file holds a different family.
     pub fn into_logistic(self) -> Result<LogisticModel> {
         self.expect_kind(ModelKind::Logistic)?;
-        Ok(LogisticModel::with_intercept(self.weights, self.intercept, self.epsilon))
+        Ok(LogisticModel::with_intercept(
+            self.weights,
+            self.intercept,
+            self.epsilon,
+        ))
     }
 
     /// Converts into a [`PoissonModel`].
@@ -215,7 +227,11 @@ impl SavedModel {
     /// [`FmError::InvalidConfig`] when the file holds a different family.
     pub fn into_poisson(self) -> Result<PoissonModel> {
         self.expect_kind(ModelKind::Poisson)?;
-        Ok(PoissonModel::with_intercept(self.weights, self.intercept, self.epsilon))
+        Ok(PoissonModel::with_intercept(
+            self.weights,
+            self.intercept,
+            self.epsilon,
+        ))
     }
 
     fn expect_kind(&self, want: ModelKind) -> Result<()> {
@@ -224,7 +240,11 @@ impl SavedModel {
         } else {
             Err(FmError::InvalidConfig {
                 name: "model kind",
-                reason: format!("file holds a {} model, expected {}", self.kind.as_str(), want.as_str()),
+                reason: format!(
+                    "file holds a {} model, expected {}",
+                    self.kind.as_str(),
+                    want.as_str()
+                ),
             })
         }
     }
@@ -324,12 +344,18 @@ mod tests {
         let lm = LogisticModel::with_intercept(vec![1.0, 2.0], -0.5, None);
         let text = SavedModel::from(&lm).to_text().unwrap();
         assert!(text.contains("epsilon none"));
-        let back = SavedModel::from_text(&text).unwrap().into_logistic().unwrap();
+        let back = SavedModel::from_text(&text)
+            .unwrap()
+            .into_logistic()
+            .unwrap();
         assert_eq!(back, lm);
 
         let pm = PoissonModel::with_intercept(vec![0.3], 0.7, Some(1.6));
         let text = SavedModel::from(&pm).to_text().unwrap();
-        let back = SavedModel::from_text(&text).unwrap().into_poisson().unwrap();
+        let back = SavedModel::from_text(&text)
+            .unwrap()
+            .into_poisson()
+            .unwrap();
         assert_eq!(back, pm);
     }
 
@@ -345,8 +371,8 @@ mod tests {
     #[test]
     fn malformed_inputs_are_rejected() {
         for bad in [
-            "",                                        // no header
-            "fm-model v2\nkind linear",                // wrong version
+            "",                         // no header
+            "fm-model v2\nkind linear", // wrong version
             "fm-model v1\nkind martian\nepsilon none\nintercept 0\nweights 1",
             "fm-model v1\nepsilon none\nintercept 0\nweights 1", // missing kind
             "fm-model v1\nkind linear\nepsilon none\nintercept 0\nweights", // malformed line

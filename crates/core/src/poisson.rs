@@ -178,6 +178,13 @@ impl PolynomialObjective for PoissonObjective {
         }
     }
 
+    fn accumulate_batch(&self, xs: &[f64], ys: &[f64], d: usize, q: &mut QuadraticForm) {
+        // Surrogate batched: β += k·a₀, α += a₁·Σx, M += a₂·XᵀX.
+        self.component.accumulate_batch_into(xs, q);
+        // Exact −y·xᵀω part batched: α += −Xᵀy.
+        fm_linalg::vecops::gemv_t_acc(-1.0, xs, d, ys, q.alpha_mut());
+    }
+
     fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64 {
         let s = match bound {
             SensitivityBound::Paper => d as f64,
@@ -461,8 +468,8 @@ impl DpPoissonRegression {
         };
         objective.validate(work)?;
         let q = objective.assemble(work);
-        let omega_raw = fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha())
-            .map_err(FmError::from)?;
+        let omega_raw =
+            fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha()).map_err(FmError::from)?;
         if self.fit_intercept {
             let (omega, b) = crate::model::split_augmented_weights(omega_raw);
             Ok(PoissonModel::with_intercept(omega, b, None))
@@ -568,8 +575,8 @@ mod tests {
             .build()
             .fit_truncated_without_privacy(&data)
             .unwrap();
-        let cos = vecops::dot(model.weights(), &w)
-            / (vecops::norm2(model.weights()) * vecops::norm2(&w));
+        let cos =
+            vecops::dot(model.weights(), &w) / (vecops::norm2(model.weights()) * vecops::norm2(&w));
         assert!(cos > 0.95, "cosine {cos}, weights {:?}", model.weights());
     }
 
@@ -644,7 +651,11 @@ mod tests {
         // The truncated surrogate is biased for rates this far from 1, but
         // the intercept must capture most of the log-rate (log 2 ≈ 0.69).
         assert!(model.intercept() > 0.3, "b = {}", model.intercept());
-        assert!(model.rate(&[0.0, 0.0]) > 1.3, "rate {}", model.rate(&[0.0, 0.0]));
+        assert!(
+            model.rate(&[0.0, 0.0]) > 1.3,
+            "rate {}",
+            model.rate(&[0.0, 0.0])
+        );
     }
 
     #[test]
@@ -653,12 +664,16 @@ mod tests {
         let over_cap = Dataset::new(x.clone(), vec![100.0]).unwrap();
         let mut r = rng();
         assert!(matches!(
-            DpPoissonRegression::builder().build().fit(&over_cap, &mut r),
+            DpPoissonRegression::builder()
+                .build()
+                .fit(&over_cap, &mut r),
             Err(FmError::Data(_))
         ));
         let negative = Dataset::new(x, vec![-2.0]).unwrap();
         assert!(matches!(
-            DpPoissonRegression::builder().build().fit(&negative, &mut r),
+            DpPoissonRegression::builder()
+                .build()
+                .fit(&negative, &mut r),
             Err(FmError::Data(_))
         ));
     }

@@ -18,9 +18,8 @@
 //!   (`linreg`/`logreg`), because it needs to re-run the mechanism itself;
 //!   it is exposed through [`Strategy::Resample`].
 
-use fm_linalg::{vecops, Matrix, SymmetricEigen, TridiagonalEigen};
+use fm_linalg::{Matrix, SymmetricEigen, TridiagonalEigen};
 use fm_optim::quadratic::minimize_quadratic;
-
 
 use crate::mechanism::NoisyQuadratic;
 use crate::{FmError, Result};
@@ -51,8 +50,7 @@ fn symmetric_eigen(m: &Matrix) -> Result<(Vec<f64>, Matrix)> {
 }
 
 /// How a fitted regression handles a potentially unbounded noisy objective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Strategy {
     /// §6.1 then §6.2 (the paper's full pipeline, and the default):
     /// regularize; if the objective is still unbounded, spectrally trim.
@@ -72,7 +70,6 @@ pub enum Strategy {
         max_attempts: usize,
     },
 }
-
 
 /// Applies §6.1 ridge regularization in place with the paper's multiplier.
 /// Returns the `λ` that was added.
@@ -148,16 +145,17 @@ pub fn spectral_trim_minimize_with_floor(
     let alpha = q.alpha();
     let mut v = vec![0.0; kept];
     for (k, vk) in v.iter_mut().enumerate() {
-        let eigvec = vectors.col(k);
-        let proj = vecops::dot(&eigvec, alpha);
+        // Stream the eigenvector column — no per-k buffer allocation.
+        let proj: f64 = vectors.col(k).zip(alpha).map(|(e, &a)| e * a).sum();
         *vk = -proj / (2.0 * values[k]);
     }
 
     // Minimum-norm pre-image: ω = Q'ᵀV = Σ_k V_k · eigvec_k.
     let mut omega = vec![0.0; d];
     for (k, &vk) in v.iter().enumerate() {
-        let eigvec = vectors.col(k);
-        vecops::axpy(vk, &eigvec, &mut omega);
+        for (o, e) in omega.iter_mut().zip(vectors.col(k)) {
+            *o += vk * e;
+        }
     }
     Ok((omega, trimmed))
 }
@@ -199,8 +197,8 @@ pub fn solve(mut noisy: NoisyQuadratic, strategy: Strategy) -> Result<Vec<f64>> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fm_linalg::{vecops, Matrix};
     use fm_optim::OptimError;
-    use fm_linalg::Matrix;
     use fm_poly::QuadraticForm;
 
     fn noisy_from(m: Matrix, alpha: Vec<f64>, epsilon: f64, delta: f64) -> NoisyQuadratic {
@@ -247,7 +245,12 @@ mod tests {
     fn trimming_drops_negative_eigenvalues() {
         // M = diag(2, −1): one positive eigenvalue survives. α = (−4, 6).
         // Reduced problem: 2v² − 4v (v along e1) ⇒ v = 1 ⇒ ω = (1, 0).
-        let noisy = noisy_from(Matrix::from_diagonal(&[2.0, -1.0]), vec![-4.0, 6.0], 1.0, 1.0);
+        let noisy = noisy_from(
+            Matrix::from_diagonal(&[2.0, -1.0]),
+            vec![-4.0, 6.0],
+            1.0,
+            1.0,
+        );
         let (omega, trimmed) = spectral_trim_minimize(&noisy).unwrap();
         assert_eq!(trimmed, 1);
         assert!((omega[0] - 1.0).abs() < 1e-10, "{omega:?}");
@@ -266,7 +269,12 @@ mod tests {
 
     #[test]
     fn trimming_everything_is_an_error() {
-        let noisy = noisy_from(Matrix::from_diagonal(&[-1.0, -2.0]), vec![0.0, 0.0], 1.0, 1.0);
+        let noisy = noisy_from(
+            Matrix::from_diagonal(&[-1.0, -2.0]),
+            vec![0.0, 0.0],
+            1.0,
+            1.0,
+        );
         assert!(matches!(
             spectral_trim_minimize(&noisy),
             Err(FmError::EmptySpectrum)
@@ -277,7 +285,12 @@ mod tests {
     fn trimmed_solution_is_minimum_norm() {
         // With M = diag(1, 0−ish→negative) and α only in the kept direction,
         // the trimmed coordinate of ω must be exactly zero.
-        let noisy = noisy_from(Matrix::from_diagonal(&[1.0, -0.5]), vec![-2.0, 0.0], 1.0, 1.0);
+        let noisy = noisy_from(
+            Matrix::from_diagonal(&[1.0, -0.5]),
+            vec![-2.0, 0.0],
+            1.0,
+            1.0,
+        );
         let (omega, _) = spectral_trim_minimize(&noisy).unwrap();
         assert!((omega[0] - 1.0).abs() < 1e-10);
         assert_eq!(omega[1], 0.0);
@@ -297,10 +310,15 @@ mod tests {
             Err(FmError::EmptySpectrum)
         ));
         // A mixed-signature draw is rescued by trimming.
-        let mixed = noisy_from(Matrix::from_diagonal(&[3.0, -5.0]), vec![-6.0, 1.0], 1.0, 0.001);
+        let mixed = noisy_from(
+            Matrix::from_diagonal(&[3.0, -5.0]),
+            vec![-6.0, 1.0],
+            1.0,
+            0.001,
+        );
         let omega = solve(mixed, Strategy::RegularizeThenTrim).unwrap();
         assert!((omega[0] - 1.0).abs() < 1e-2); // ≈ 6/(2·(3+λ))
-        // Resample is rejected here (regression front-ends own it).
+                                                // Resample is rejected here (regression front-ends own it).
         assert!(matches!(
             solve(unbounded(), Strategy::Resample { max_attempts: 3 }),
             Err(FmError::InvalidConfig { .. })
@@ -346,7 +364,12 @@ mod tests {
     #[test]
     fn regularization_can_rescue_mildly_indefinite() {
         // Noise scale 1 ⇒ λ = 4√2 ≈ 5.66 > 5: regularization alone fixes it.
-        let noisy = noisy_from(Matrix::from_diagonal(&[-5.0, 2.0]), vec![1.0, 1.0], 1.0, 1.0);
+        let noisy = noisy_from(
+            Matrix::from_diagonal(&[-5.0, 2.0]),
+            vec![1.0, 1.0],
+            1.0,
+            1.0,
+        );
         let omega = solve(noisy, Strategy::RegularizeOnly).unwrap();
         assert_eq!(omega.len(), 2);
     }
@@ -368,7 +391,7 @@ mod tests {
         let kept = eig.count_above(0.5);
         let mut expected = vec![0.0; d];
         for k in 0..kept {
-            let v = eig.vectors().col(k);
+            let v: Vec<f64> = eig.vectors().col(k).collect();
             let coeff = -vecops::dot(&v, &alpha) / (2.0 * eig.values()[k]);
             vecops::axpy(coeff, &v, &mut expected);
         }

@@ -123,7 +123,8 @@ impl CensusProfile {
         // Roughly the median of the generated income distribution: the
         // typical conditional mean times the log-normal median factor
         // exp(−σ²/2).
-        let typical = self.base_income + self.coef_education * self.edu_mean + self.coef_hours * 26.0;
+        let typical =
+            self.base_income + self.coef_education * self.edu_mean + self.coef_hours * 26.0;
         typical * (-0.5 * self.lognorm_sigma * self.lognorm_sigma).exp()
     }
 }
@@ -246,8 +247,7 @@ fn generate_record(profile: &CensusProfile, rng: &mut impl Rng) -> Record {
 
     // Working hours: zero for non-participants (more likely if disabled or
     // past retirement age), otherwise ≈ 40h.
-    let p_not_working =
-        (0.10 + 0.45 * disability + 0.50 * sigmoid((age - 67.0) / 4.0)).min(0.95);
+    let p_not_working = (0.10 + 0.45 * disability + 0.50 * sigmoid((age - 67.0) / 4.0)).min(0.95);
     let hours = if rng.gen_bool(p_not_working) {
         0.0
     } else {
@@ -260,7 +260,9 @@ fn generate_record(profile: &CensusProfile, rng: &mut impl Rng) -> Record {
 
     // Family size / children: married couples run larger.
     let fam_mean = if is_married == 1.0 { 3.4 } else { 1.7 };
-    let family_size = gaussian::normal(rng, fam_mean, 1.4).clamp(1.0, 15.0).round();
+    let family_size = gaussian::normal(rng, fam_mean, 1.4)
+        .clamp(1.0, 15.0)
+        .round();
     let kid_mean = if is_married == 1.0 { 1.3 } else { 0.3 };
     let num_children = gaussian::normal(rng, kid_mean, 1.0)
         .clamp(0.0, (family_size - 1.0).max(0.0))
@@ -292,9 +294,9 @@ fn generate_record(profile: &CensusProfile, rng: &mut impl Rng) -> Record {
     let num_autos = (gaussian::normal(rng, 4.5 * income_frac + 0.6, 0.8))
         .clamp(0.0, 6.0)
         .round();
-    let dwelling = f64::from(rng.gen_bool(
-        (0.15 + 0.45 * sigmoid((age - 32.0) / 9.0) + 0.35 * income_frac).min(0.97),
-    ));
+    let dwelling = f64::from(
+        rng.gen_bool((0.15 + 0.45 * sigmoid((age - 32.0) / 9.0) + 0.35 * income_frac).min(0.97)),
+    );
 
     Record {
         features: [
@@ -433,7 +435,12 @@ mod tests {
         let n = a.len() as f64;
         let ma = a.iter().sum::<f64>() / n;
         let mb = b.iter().sum::<f64>() / n;
-        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+        let cov: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - ma) * (y - mb))
+            .sum::<f64>()
+            / n;
         let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n;
         let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n;
         cov / (va.sqrt() * vb.sqrt())

@@ -63,12 +63,10 @@ pub fn read_dataset(path: &Path) -> Result<Dataset> {
 pub fn read_dataset_from(r: impl Read) -> Result<Dataset> {
     let reader = BufReader::new(r);
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or(DataError::Parse {
-            line: 1,
-            detail: "empty file".to_string(),
-        })??;
+    let header = lines.next().ok_or(DataError::Parse {
+        line: 1,
+        detail: "empty file".to_string(),
+    })??;
     let columns: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
     if columns.len() < 2 {
         return Err(DataError::Parse {

@@ -74,10 +74,13 @@ impl KFold {
     /// Propagates [`Dataset::subset`] errors (cannot occur for indices this
     /// type produced over the same dataset).
     pub fn split(&self, data: &Dataset, f: usize) -> Result<(Dataset, Dataset)> {
-        let fold = self.folds.get(f).ok_or_else(|| DataError::InvalidParameter {
-            name: "fold",
-            reason: format!("fold {f} out of range for k = {}", self.k()),
-        })?;
+        let fold = self
+            .folds
+            .get(f)
+            .ok_or_else(|| DataError::InvalidParameter {
+                name: "fold",
+                reason: format!("fold {f} out of range for k = {}", self.k()),
+            })?;
         Ok((data.subset(&fold.train)?, data.subset(&fold.test)?))
     }
 }

@@ -37,7 +37,11 @@ impl Dataset {
             return Err(DataError::EmptyDataset);
         }
         let feature_names = (0..x.cols()).map(|j| format!("x{j}")).collect();
-        Ok(Dataset { x, y, feature_names })
+        Ok(Dataset {
+            x,
+            y,
+            feature_names,
+        })
     }
 
     /// Creates a dataset with explicit feature names.
@@ -148,7 +152,11 @@ impl Dataset {
         }
         let n = self.n();
         let x = Matrix::from_fn(n, cols.len(), |r, c| self.x[(r, cols[c])]);
-        Dataset::with_names(x, self.y.clone(), names.iter().map(|s| s.to_string()).collect())
+        Dataset::with_names(
+            x,
+            self.y.clone(),
+            names.iter().map(|s| s.to_string()).collect(),
+        )
     }
 
     /// Verifies the paper's linear-regression input contract:
@@ -312,7 +320,8 @@ mod tests {
     #[test]
     fn select_features_reorders_columns() {
         let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
-        let ds = Dataset::with_names(x, vec![0.5], vec!["a".into(), "b".into(), "c".into()]).unwrap();
+        let ds =
+            Dataset::with_names(x, vec![0.5], vec!["a".into(), "b".into(), "c".into()]).unwrap();
         let sel = ds.select_features(&["c", "a"]).unwrap();
         assert_eq!(sel.d(), 2);
         assert_eq!(sel.tuple(0).0, &[3.0, 1.0]);

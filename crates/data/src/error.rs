@@ -67,7 +67,9 @@ impl fmt::Display for DataError {
             }
             DataError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             DataError::Io(e) => write!(f, "I/O error: {e}"),
-            DataError::Parse { line, detail } => write!(f, "CSV parse error at line {line}: {detail}"),
+            DataError::Parse { line, detail } => {
+                write!(f, "CSV parse error at line {line}: {detail}")
+            }
         }
     }
 }

@@ -61,7 +61,10 @@ impl Normalizer {
         if label_bounds.1 <= label_bounds.0 {
             return Err(DataError::InvalidParameter {
                 name: "schema",
-                reason: format!("degenerate label domain [{}, {}]", label_bounds.0, label_bounds.1),
+                reason: format!(
+                    "degenerate label domain [{}, {}]",
+                    label_bounds.0, label_bounds.1
+                ),
             });
         }
         Ok(Normalizer {
@@ -133,7 +136,9 @@ impl Normalizer {
     /// Binarizes a raw label vector at `threshold` without touching features.
     #[must_use]
     pub fn binarize_labels(y: &[f64], threshold: f64) -> Vec<f64> {
-        y.iter().map(|&v| if v > threshold { 1.0 } else { 0.0 }).collect()
+        y.iter()
+            .map(|&v| if v > threshold { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// Maps a normalized label prediction back to raw units (inverse of the
@@ -177,12 +182,23 @@ mod tests {
         Schema::new()
             .with("age", AttributeKind::Integer { min: 0, max: 100 })
             .with("hours", AttributeKind::Integer { min: 0, max: 50 })
-            .with("income", AttributeKind::Continuous { min: 0.0, max: 1000.0 })
+            .with(
+                "income",
+                AttributeKind::Continuous {
+                    min: 0.0,
+                    max: 1000.0,
+                },
+            )
     }
 
     fn raw() -> Dataset {
         let x = Matrix::from_rows(&[&[50.0, 25.0], &[100.0, 0.0], &[0.0, 50.0]]).unwrap();
-        Dataset::with_names(x, vec![500.0, 1000.0, 0.0], vec!["age".into(), "hours".into()]).unwrap()
+        Dataset::with_names(
+            x,
+            vec![500.0, 1000.0, 0.0],
+            vec!["age".into(), "hours".into()],
+        )
+        .unwrap()
     }
 
     #[test]

@@ -188,7 +188,13 @@ mod tests {
         Schema::new()
             .with("age", AttributeKind::Integer { min: 16, max: 95 })
             .with("gender", AttributeKind::Binary)
-            .with("income", AttributeKind::Continuous { min: 0.0, max: 500_000.0 })
+            .with(
+                "income",
+                AttributeKind::Continuous {
+                    min: 0.0,
+                    max: 500_000.0,
+                },
+            )
     }
 
     #[test]

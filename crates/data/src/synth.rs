@@ -245,7 +245,9 @@ mod tests {
         let mut r = rng();
         let rate = 2.3;
         let n = 40_000;
-        let samples: Vec<f64> = (0..n).map(|_| sample_poisson(&mut r, rate) as f64).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_poisson(&mut r, rate) as f64)
+            .collect();
         let mean = vecops::mean(&samples);
         let var = vecops::variance(&samples);
         // Poisson: mean = variance = rate.

@@ -18,7 +18,11 @@ fn raw_dataset() -> impl Strategy<Value = (Dataset, Vec<(f64, f64)>, (f64, f64))
     (1usize..6, 1usize..30).prop_flat_map(|(d, n)| {
         let bounds = proptest::collection::vec((-100.0..0.0f64, 1.0..100.0f64), d);
         let label_bounds = (-50.0..0.0f64, 1.0..50.0f64);
-        (bounds, label_bounds, proptest::collection::vec(-200.0..200.0f64, n * (d + 1)))
+        (
+            bounds,
+            label_bounds,
+            proptest::collection::vec(-200.0..200.0f64, n * (d + 1)),
+        )
             .prop_map(move |(bounds, label_bounds, values)| {
                 let x = Matrix::from_vec(n, d, values[..n * d].to_vec()).unwrap();
                 let y = values[n * d..].to_vec();

@@ -119,7 +119,7 @@ impl SymmetricEigen {
         let n = self.values.len();
         let mut out = Matrix::zeros(n, n);
         for k in 0..n {
-            let col = self.vectors.col(k);
+            let col: Vec<f64> = self.vectors.col(k).collect();
             // out += λ_k · v_k v_kᵀ
             out.rank1_update(self.values[k], &col)
                 .expect("eigenvector length equals dimension");
@@ -203,7 +203,7 @@ mod tests {
         let e = SymmetricEigen::new(&m).unwrap();
         assert!(vecops::approx_eq(e.values(), &[3.0, 1.0], 1e-12));
         // Eigenvector for λ=3 is (1,1)/√2 up to sign.
-        let v0 = e.vectors().col(0);
+        let v0: Vec<f64> = e.vectors().col(0).collect();
         assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
         assert!((v0[0] - v0[1]).abs() < 1e-10);
     }
@@ -235,27 +235,19 @@ mod tests {
 
     #[test]
     fn reconstruction_matches_input() {
-        let m = Matrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 3.0, 0.0],
-            &[-2.0, 0.0, 5.0],
-        ])
-        .unwrap();
+        let m =
+            Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 3.0, 0.0], &[-2.0, 0.0, 5.0]]).unwrap();
         let e = SymmetricEigen::new(&m).unwrap();
         assert!(e.reconstruct().approx_eq(&m, 1e-9));
     }
 
     #[test]
     fn eigenpairs_satisfy_definition() {
-        let m = Matrix::from_rows(&[
-            &[2.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ])
-        .unwrap();
+        let m =
+            Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]).unwrap();
         let e = SymmetricEigen::new(&m).unwrap();
         for k in 0..3 {
-            let vk = e.vectors().col(k);
+            let vk: Vec<f64> = e.vectors().col(k).collect();
             let mv = m.matvec(&vk).unwrap();
             let lv = vecops::scaled(e.values()[k], &vk);
             assert!(vecops::approx_eq(&mv, &lv, 1e-9), "eigenpair {k} violated");

@@ -71,7 +71,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} failed to converge after {iterations} iterations"
+            ),
             LinalgError::BadConstruction { reason } => {
                 write!(f, "invalid matrix construction: {reason}")
             }

@@ -75,7 +75,11 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -133,7 +137,7 @@ impl Lu {
         }
         let mut out = Matrix::zeros(n, b.cols());
         for c in 0..b.cols() {
-            let col = self.solve(&b.col(c))?;
+            let col = self.solve(&b.col(c).collect::<Vec<f64>>())?;
             for (r, v) in col.into_iter().enumerate() {
                 out[(r, c)] = v;
             }
@@ -204,7 +208,10 @@ mod tests {
             Lu::new(&Matrix::zeros(2, 3)),
             Err(LinalgError::NotSquare { .. })
         ));
-        assert!(matches!(Lu::new(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
     }
 
     #[test]
@@ -230,7 +237,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[2.0, 4.0], &[4.0, 8.0]]).unwrap();
         let x = Lu::new(&a).unwrap().solve_matrix(&b).unwrap();
-        assert!(x.approx_eq(&Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]).unwrap(), 1e-12));
+        assert!(x.approx_eq(
+            &Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]).unwrap(),
+            1e-12
+        ));
     }
 
     #[test]

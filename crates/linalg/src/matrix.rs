@@ -76,7 +76,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Creates a matrix by evaluating `f(r, c)` at every position.
@@ -151,11 +155,15 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Copy of column `c`. Panics if `c >= cols`.
-    #[must_use]
-    pub fn col(&self, c: usize) -> Vec<f64> {
+    /// Allocation-free iterator over column `c` (top to bottom).
+    /// Panics if `c >= cols`.
+    ///
+    /// Callers that need owned storage can `.collect::<Vec<_>>()`; most
+    /// consumers (dot products, norms, scaled accumulation) can stream the
+    /// entries directly.
+    pub fn col(&self, c: usize) -> impl Iterator<Item = f64> + '_ {
         assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        self.data.iter().skip(c).step_by(self.cols).copied()
     }
 
     /// Copy of the main diagonal (length `min(rows, cols)`).
@@ -166,10 +174,12 @@ impl Matrix {
             .collect()
     }
 
-    /// Sum of the diagonal entries.
+    /// Sum of the diagonal entries (allocation-free).
     #[must_use]
     pub fn trace(&self) -> f64 {
-        self.diagonal().iter().sum()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.data[i * self.cols + i])
+            .sum()
     }
 
     /// Returns the transpose as a new matrix.
@@ -197,17 +207,24 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // ikj loop order: stream over rhs rows for cache friendliness.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self.data[i * self.cols + k];
-                if aik == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += aik * b;
+        // Cache-blocked ikj: tile the i (output rows) and k (depth) loops so
+        // the touched `rhs` panel stays L1/L2-resident while each output row
+        // is streamed. Inner loop stays a contiguous axpy for vectorization.
+        const BLOCK_I: usize = 32;
+        const BLOCK_K: usize = 64;
+        for i0 in (0..self.rows).step_by(BLOCK_I) {
+            let i1 = (i0 + BLOCK_I).min(self.rows);
+            for k0 in (0..self.cols).step_by(BLOCK_K) {
+                let k1 = (k0 + BLOCK_K).min(self.cols);
+                for i in i0..i1 {
+                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    for k in k0..k1 {
+                        let aik = self.data[i * self.cols + k];
+                        let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                        for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                            *o += aik * b;
+                        }
+                    }
                 }
             }
         }
@@ -258,6 +275,23 @@ impl Matrix {
         self.zip_with(rhs, "add", |a, b| a + b)
     }
 
+    /// In-place element-wise sum `self ← self + rhs` (no allocation) — the
+    /// merge primitive behind `fm-poly`'s partial-objective reduction.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] on differing shapes.
+    pub fn add_assign(&mut self, rhs: &Matrix) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add_assign",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        crate::vecops::axpy(1.0, &rhs.data, &mut self.data);
+        Ok(())
+    }
+
     /// Element-wise difference.
     ///
     /// # Errors
@@ -266,7 +300,12 @@ impl Matrix {
         self.zip_with(rhs, "sub", |a, b| a - b)
     }
 
-    fn zip_with(&self, rhs: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
             return Err(LinalgError::ShapeMismatch {
                 op,
@@ -334,6 +373,178 @@ impl Matrix {
         Ok(())
     }
 
+    /// Blocked symmetric rank-k accumulation `self ← self + a · XᵀX`, where
+    /// `rows` is a row-major `k × d` block of tuples (`rows.len() = k·d`,
+    /// `d = self.rows()`) — the `XᵀX` kernel of batched coefficient
+    /// assembly.
+    ///
+    /// Only the upper triangle is accumulated (half the FLOPs of repeated
+    /// [`Matrix::rank1_update`]); tuples are register-blocked four at a
+    /// time so the accumulator matrix is streamed once per quad instead of
+    /// once per tuple. The lower triangle is mirrored before returning, so
+    /// a symmetric `self` stays symmetric.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] unless `self` is `d × d` and
+    /// `rows.len()` is a multiple of `d`. `self` must be symmetric on
+    /// entry (debug-asserted): the mirror step overwrites the lower
+    /// triangle.
+    pub fn syrk_acc(&mut self, a: f64, rows: &[f64], d: usize) -> Result<()> {
+        if self.rows != d || self.cols != d || d == 0 || rows.len() % d != 0 {
+            return Err(LinalgError::ShapeMismatch {
+                op: "syrk_acc",
+                lhs: self.shape(),
+                rhs: (rows.len() / d.max(1), d),
+            });
+        }
+        debug_assert!(
+            self.is_symmetric(0.0),
+            "syrk_acc requires a symmetric accumulator"
+        );
+        // Pack-and-dot formulation: each panel of tuples is transposed
+        // into a column-major scratch buffer, turning every C[i][j]
+        // update into one *long contiguous* dot product — the shape the
+        // register-blocked FMA kernels below turn into packed `vfmadd`s.
+        // The naive in-place alternative (per-tuple rank-1 with j-loops of
+        // length ≤ d) never vectorizes for the paper's small d.
+        //
+        // The panel is sized to stay L1-resident (~24 KB) whatever `d`
+        // is — the dot phase re-reads each column ~d/2 times, so a panel
+        // that spills to L2 forfeits most of the formulation's win. The
+        // scratch buffer is thread-local so chunked callers don't pay an
+        // allocation (and fresh-page faults) per call.
+        let panel_rows = (3_072 / d.max(1)).max(16) & !7;
+        SYRK_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.resize(panel_rows * d, 0.0);
+            self.syrk_panels(a, rows, d, panel_rows, &mut scratch);
+        });
+        self.mirror_upper();
+        Ok(())
+    }
+
+    /// The pack-and-dot panel loop of [`Matrix::syrk_acc`] (shapes
+    /// pre-validated by the caller).
+    fn syrk_panels(
+        &mut self,
+        a: f64,
+        rows: &[f64],
+        d: usize,
+        panel_rows: usize,
+        scratch: &mut [f64],
+    ) {
+        for panel in rows.chunks(panel_rows * d) {
+            let k = panel.len() / d;
+            for (r, row) in panel.chunks_exact(d).enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    scratch[j * k + r] = v;
+                }
+            }
+            let col = |j: usize| &scratch[j * k..j * k + k];
+            let mut i = 0;
+            while i + 1 < d {
+                let (ci0, ci1) = (col(i), col(i + 1));
+                // Diagonal corner of the 2-row strip.
+                let (d00, d01, _, d11) = dot_2x2(ci0, ci1, ci0, ci1);
+                self.data[i * d + i] += a * d00;
+                self.data[i * d + i + 1] += a * d01;
+                self.data[(i + 1) * d + i + 1] += a * d11;
+                let mut j = i + 2;
+                // 2×4 register blocking: eight independent accumulator
+                // chains hide FMA latency; eight FMAs per six loads keep
+                // the load ports off the critical path.
+                while j + 3 < d {
+                    let c = dot_2x4(ci0, ci1, col(j), col(j + 1), col(j + 2), col(j + 3));
+                    for (t, &v) in c[..4].iter().enumerate() {
+                        self.data[i * d + j + t] += a * v;
+                    }
+                    for (t, &v) in c[4..].iter().enumerate() {
+                        self.data[(i + 1) * d + j + t] += a * v;
+                    }
+                    j += 4;
+                }
+                while j + 1 < d {
+                    let (c00, c01, c10, c11) = dot_2x2(ci0, ci1, col(j), col(j + 1));
+                    self.data[i * d + j] += a * c00;
+                    self.data[i * d + j + 1] += a * c01;
+                    self.data[(i + 1) * d + j] += a * c10;
+                    self.data[(i + 1) * d + j + 1] += a * c11;
+                    j += 2;
+                }
+                if j < d {
+                    let cj = col(j);
+                    self.data[i * d + j] += a * dot_lanes(ci0, cj);
+                    self.data[(i + 1) * d + j] += a * dot_lanes(ci1, cj);
+                }
+                i += 2;
+            }
+            if i < d {
+                let ci = col(i);
+                for j in i..d {
+                    self.data[i * d + j] += a * dot_lanes(ci, col(j));
+                }
+            }
+        }
+    }
+
+    /// Weighted symmetric rank-k accumulation
+    /// `self ← self + a · Σ_i w_i·x_i x_iᵀ` (`Xᵀ·diag(w)·X`) over a
+    /// row-major `k × d` block — the batched form of the per-row weighted
+    /// [`Matrix::rank1_update`] loops in Newton-type Hessian assembly.
+    ///
+    /// # Errors
+    /// As [`Matrix::syrk_acc`], plus a shape error when
+    /// `w.len() · d != rows.len()`.
+    pub fn syrk_weighted_acc(&mut self, a: f64, rows: &[f64], d: usize, w: &[f64]) -> Result<()> {
+        if self.rows != d || self.cols != d || d == 0 || rows.len() != w.len() * d {
+            return Err(LinalgError::ShapeMismatch {
+                op: "syrk_weighted_acc",
+                lhs: self.shape(),
+                rhs: (w.len(), d),
+            });
+        }
+        debug_assert!(
+            self.is_symmetric(0.0),
+            "syrk_weighted_acc requires a symmetric accumulator"
+        );
+        let mut quads = rows.chunks_exact(4 * d);
+        let mut w_quads = w.chunks_exact(4);
+        for (quad, wq) in (&mut quads).zip(&mut w_quads) {
+            let (r0, rest) = quad.split_at(d);
+            let (r1, rest) = rest.split_at(d);
+            let (r2, r3) = rest.split_at(d);
+            for i in 0..d {
+                let (a0, a1) = (a * wq[0] * r0[i], a * wq[1] * r1[i]);
+                let (a2, a3) = (a * wq[2] * r2[i], a * wq[3] * r3[i]);
+                let out = &mut self.data[i * d..(i + 1) * d];
+                for j in i..d {
+                    out[j] += (a0 * r0[j] + a1 * r1[j]) + (a2 * r2[j] + a3 * r3[j]);
+                }
+            }
+        }
+        for (row, &wi) in quads.remainder().chunks_exact(d).zip(w_quads.remainder()) {
+            for i in 0..d {
+                let ai = a * wi * row[i];
+                let out = &mut self.data[i * d..(i + 1) * d];
+                for j in i..d {
+                    out[j] += ai * row[j];
+                }
+            }
+        }
+        self.mirror_upper();
+        Ok(())
+    }
+
+    /// Copies the upper triangle onto the lower one (strict symmetry).
+    fn mirror_upper(&mut self) {
+        let n = self.rows;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                self.data[j * n + i] = self.data[i * n + j];
+            }
+        }
+    }
+
     /// `true` when `|self[r][c] − self[c][r]| ≤ tol` for all entries.
     #[must_use]
     pub fn is_symmetric(&self, tol: f64) -> bool {
@@ -356,7 +567,9 @@ impl Matrix {
     /// [`LinalgError::NotSquare`] for rectangular input.
     pub fn symmetrize(&mut self) -> Result<()> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         for r in 0..self.rows {
             for c in (r + 1)..self.cols {
@@ -396,18 +609,167 @@ impl Matrix {
     }
 }
 
+/// SIMD lane width for the fused-dot kernels: eight f64 lanes (one
+/// AVX-512 register, or an even pair of AVX2 registers).
+const LANES: usize = 8;
+
+thread_local! {
+    /// Reusable column-major panel buffer for [`Matrix::syrk_acc`] — the
+    /// kernel is called once per row chunk on the assembly hot path, and a
+    /// fresh zeroed allocation per call costs more than the pack itself.
+    static SYRK_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Contiguous dot product with eight independent accumulator lanes. The
+/// lane-parallel shape is what LLVM turns into packed mul/add pairs — a
+/// plain `zip().sum()` is a single serial reduction chain and stays
+/// scalar. Deliberately *unfused*: rustc cannot contract `a*b + c` into
+/// an FMA (fusion changes rounding), and explicit `mul_add` measured ~2x
+/// slower than dual-issued mul+add on the reference hosts.
+fn dot_lanes(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = [0.0_f64; LANES];
+    let mut xq = x.chunks_exact(LANES);
+    let mut yq = y.chunks_exact(LANES);
+    for (a, b) in (&mut xq).zip(&mut yq) {
+        for l in 0..LANES {
+            acc[l] += a[l] * b[l];
+        }
+    }
+    let tail: f64 = xq
+        .remainder()
+        .iter()
+        .zip(yq.remainder())
+        .map(|(a, b)| a * b)
+        .sum();
+    acc.iter().sum::<f64>() + tail
+}
+
+/// Four dot products sharing their loads: `(x0·y0, x0·y1, x1·y0, x1·y1)`.
+/// Register blocking doubles arithmetic intensity over independent dots
+/// (four FMAs per four loads), keeping the FMA ports — not the load
+/// ports — on the critical path.
+fn dot_2x2(x0: &[f64], x1: &[f64], y0: &[f64], y1: &[f64]) -> (f64, f64, f64, f64) {
+    debug_assert!(x0.len() == x1.len() && y0.len() == y1.len() && x0.len() == y0.len());
+    let mut c00 = [0.0_f64; LANES];
+    let mut c01 = [0.0_f64; LANES];
+    let mut c10 = [0.0_f64; LANES];
+    let mut c11 = [0.0_f64; LANES];
+    // chunks_exact-based iteration: no bounds checks in the hot loop, so
+    // the lane arrays lower to packed FMAs.
+    let mut x0q = x0.chunks_exact(LANES);
+    let mut x1q = x1.chunks_exact(LANES);
+    let mut y0q = y0.chunks_exact(LANES);
+    let mut y1q = y1.chunks_exact(LANES);
+    for (((xa, xb), ya), yb) in (&mut x0q).zip(&mut x1q).zip(&mut y0q).zip(&mut y1q) {
+        for l in 0..LANES {
+            let (a, b) = (xa[l], xb[l]);
+            let (c, d) = (ya[l], yb[l]);
+            c00[l] += a * c;
+            c01[l] += a * d;
+            c10[l] += b * c;
+            c11[l] += b * d;
+        }
+    }
+    let (mut t00, mut t01, mut t10, mut t11) = (0.0, 0.0, 0.0, 0.0);
+    for (((a, b), c), d) in x0q
+        .remainder()
+        .iter()
+        .zip(x1q.remainder())
+        .zip(y0q.remainder())
+        .zip(y1q.remainder())
+    {
+        t00 += a * c;
+        t01 += a * d;
+        t10 += b * c;
+        t11 += b * d;
+    }
+    (
+        c00.iter().sum::<f64>() + t00,
+        c01.iter().sum::<f64>() + t01,
+        c10.iter().sum::<f64>() + t10,
+        c11.iter().sum::<f64>() + t11,
+    )
+}
+
+/// Eight dot products from a 2×4 tile of column pairs, sharing loads
+/// across both axes: eight FMAs per six loads, eight independent
+/// accumulator chains to hide FMA latency. Returns
+/// `[x0·y0, x0·y1, x0·y2, x0·y3, x1·y0, x1·y1, x1·y2, x1·y3]`.
+fn dot_2x4(x0: &[f64], x1: &[f64], y0: &[f64], y1: &[f64], y2: &[f64], y3: &[f64]) -> [f64; 8] {
+    let n = x0.len();
+    debug_assert!(
+        x1.len() == n && y0.len() == n && y1.len() == n && y2.len() == n && y3.len() == n
+    );
+    let mut c00 = [0.0_f64; LANES];
+    let mut c01 = [0.0_f64; LANES];
+    let mut c02 = [0.0_f64; LANES];
+    let mut c03 = [0.0_f64; LANES];
+    let mut c10 = [0.0_f64; LANES];
+    let mut c11 = [0.0_f64; LANES];
+    let mut c12 = [0.0_f64; LANES];
+    let mut c13 = [0.0_f64; LANES];
+    let quads = n - n % LANES;
+    let mut i = 0;
+    while i < quads {
+        let (xa, xb) = (&x0[i..i + LANES], &x1[i..i + LANES]);
+        let (ya, yb) = (&y0[i..i + LANES], &y1[i..i + LANES]);
+        let (yc, yd) = (&y2[i..i + LANES], &y3[i..i + LANES]);
+        for l in 0..LANES {
+            let (a, b) = (xa[l], xb[l]);
+            c00[l] += a * ya[l];
+            c01[l] += a * yb[l];
+            c02[l] += a * yc[l];
+            c03[l] += a * yd[l];
+            c10[l] += b * ya[l];
+            c11[l] += b * yb[l];
+            c12[l] += b * yc[l];
+            c13[l] += b * yd[l];
+        }
+        i += LANES;
+    }
+    let mut out = [
+        c00.iter().sum::<f64>(),
+        c01.iter().sum::<f64>(),
+        c02.iter().sum::<f64>(),
+        c03.iter().sum::<f64>(),
+        c10.iter().sum::<f64>(),
+        c11.iter().sum::<f64>(),
+        c12.iter().sum::<f64>(),
+        c13.iter().sum::<f64>(),
+    ];
+    for l in quads..n {
+        let (a, b) = (x0[l], x1[l]);
+        out[0] += a * y0[l];
+        out[1] += a * y1[l];
+        out[2] += a * y2[l];
+        out[3] += a * y3[l];
+        out[4] += b * y0[l];
+        out[5] += b * y1[l];
+        out[6] += b * y2[l];
+        out[7] += b * y3[l];
+    }
+    out
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -478,7 +840,7 @@ mod tests {
     fn row_col_access() {
         let m = m22(1.0, 2.0, 3.0, 4.0);
         assert_eq!(m.row(0), &[1.0, 2.0]);
-        assert_eq!(m.col(1), vec![2.0, 4.0]);
+        assert_eq!(m.col(1).collect::<Vec<_>>(), vec![2.0, 4.0]);
     }
 
     #[test]
@@ -527,7 +889,10 @@ mod tests {
     fn matvec_and_transposed() {
         let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
         assert_eq!(m.matvec(&[1.0, 0.0, -1.0]).unwrap(), vec![-2.0, -2.0]);
-        assert_eq!(m.matvec_transposed(&[1.0, 1.0]).unwrap(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(
+            m.matvec_transposed(&[1.0, 1.0]).unwrap(),
+            vec![5.0, 7.0, 9.0]
+        );
         assert!(m.matvec(&[1.0]).is_err());
         assert!(m.matvec_transposed(&[1.0]).is_err());
     }
@@ -537,7 +902,10 @@ mod tests {
         let a = m22(1.0, 2.0, 3.0, 4.0);
         let b = m22(4.0, 3.0, 2.0, 1.0);
         assert!(a.add(&b).unwrap().approx_eq(&m22(5.0, 5.0, 5.0, 5.0), 0.0));
-        assert!(a.sub(&b).unwrap().approx_eq(&m22(-3.0, -1.0, 1.0, 3.0), 0.0));
+        assert!(a
+            .sub(&b)
+            .unwrap()
+            .approx_eq(&m22(-3.0, -1.0, 1.0, 3.0), 0.0));
         assert!(a.scaled(2.0).approx_eq(&m22(2.0, 4.0, 6.0, 8.0), 0.0));
         let mut c = a.clone();
         c.scale_in_place(0.5);
@@ -560,6 +928,89 @@ mod tests {
         // x1 x1ᵀ + x2 x2ᵀ
         assert!(m.approx_eq(&m22(10.0, -1.0, -1.0, 5.0), 1e-12));
         assert!(m.rank1_update(1.0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_blocked_matches_naive_on_odd_shapes() {
+        // Shapes straddling the 32/64 block boundaries.
+        for (n, k, m) in [
+            (1usize, 1usize, 1usize),
+            (7, 5, 3),
+            (33, 65, 34),
+            (70, 64, 31),
+        ] {
+            let a = Matrix::from_fn(n, k, |r, c| ((r * 31 + c * 17) % 13) as f64 - 6.0);
+            let b = Matrix::from_fn(k, m, |r, c| ((r * 7 + c * 29) % 11) as f64 - 5.0);
+            let fast = a.matmul(&b).unwrap();
+            let mut naive = Matrix::zeros(n, m);
+            for i in 0..n {
+                for j in 0..m {
+                    let mut s = 0.0;
+                    for t in 0..k {
+                        s += a[(i, t)] * b[(t, j)];
+                    }
+                    naive[(i, j)] = s;
+                }
+            }
+            assert!(fast.approx_eq(&naive, 1e-9), "{n}x{k}x{m}");
+        }
+    }
+
+    #[test]
+    fn add_assign_in_place() {
+        let mut a = m22(1.0, 2.0, 3.0, 4.0);
+        a.add_assign(&m22(4.0, 3.0, 2.0, 1.0)).unwrap();
+        assert!(a.approx_eq(&m22(5.0, 5.0, 5.0, 5.0), 0.0));
+        assert!(a.add_assign(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn syrk_acc_matches_rank1_updates() {
+        for k in [0usize, 1, 3, 4, 5, 9, 16] {
+            let d = 3;
+            let rows: Vec<f64> = (0..k * d)
+                .map(|i| ((i * 11) % 7) as f64 / 7.0 - 0.4)
+                .collect();
+            let mut fast = Matrix::from_diagonal(&[0.5, 0.5, 0.5]);
+            let mut slow = fast.clone();
+            fast.syrk_acc(2.0, &rows, d).unwrap();
+            for row in rows.chunks_exact(d) {
+                slow.rank1_update(2.0, row).unwrap();
+            }
+            assert!(fast.approx_eq(&slow, 1e-12), "k={k}");
+            assert!(fast.is_symmetric(0.0));
+        }
+    }
+
+    #[test]
+    fn syrk_weighted_acc_matches_weighted_rank1() {
+        for k in [0usize, 2, 4, 7] {
+            let d = 4;
+            let rows: Vec<f64> = (0..k * d)
+                .map(|i| ((i * 5) % 9) as f64 / 9.0 - 0.3)
+                .collect();
+            let w: Vec<f64> = (0..k).map(|i| 0.1 + (i as f64) * 0.2).collect();
+            let mut fast = Matrix::zeros(d, d);
+            let mut slow = Matrix::zeros(d, d);
+            fast.syrk_weighted_acc(1.5, &rows, d, &w).unwrap();
+            for (row, &wi) in rows.chunks_exact(d).zip(&w) {
+                slow.rank1_update(1.5 * wi, row).unwrap();
+            }
+            assert!(fast.approx_eq(&slow, 1e-12), "k={k}");
+        }
+    }
+
+    #[test]
+    fn syrk_shape_errors() {
+        let mut m = Matrix::zeros(2, 2);
+        // Ragged block (length not a multiple of d).
+        assert!(m.syrk_acc(1.0, &[1.0, 2.0, 3.0], 2).is_err());
+        // Accumulator shape mismatch.
+        assert!(m.syrk_acc(1.0, &[1.0, 2.0, 3.0], 3).is_err());
+        // Weight count mismatch.
+        assert!(m
+            .syrk_weighted_acc(1.0, &[1.0, 2.0], 2, &[1.0, 1.0])
+            .is_err());
     }
 
     #[test]

@@ -187,13 +187,7 @@ mod tests {
 
     #[test]
     fn matches_normal_equations() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 9.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]).unwrap();
         let b = [1.0, 0.5, -0.5, 2.0];
         let x_qr = lstsq(&a, &b).unwrap();
         // Normal equations: (AᵀA) x = Aᵀ b.
@@ -219,14 +213,20 @@ mod tests {
     fn rank_deficient_detected_on_solve() {
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
         let qr = Qr::new(&a).unwrap();
-        assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            qr.solve(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]
     fn zero_column_no_op_reflector() {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 3.0]]).unwrap();
         let qr = Qr::new(&a).unwrap();
-        assert!(matches!(qr.solve(&[1.0, 1.0, 1.0]), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            qr.solve(&[1.0, 1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 // Column-pair sweeps read better with explicit indices.
 #![allow(clippy::needless_range_loop)]
 
-use crate::{vecops, LinalgError, Matrix, Result};
+use crate::{LinalgError, Matrix, Result};
 
 /// Relative tolerance below which a column pair counts as orthogonal and the
 /// Jacobi sweep skips it.
@@ -113,7 +113,11 @@ impl Svd {
 
         // Sort descending, permuting U and V columns along.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).expect("finite singular values"));
+        order.sort_by(|&i, &j| {
+            sigma[j]
+                .partial_cmp(&sigma[i])
+                .expect("finite singular values")
+        });
         let u = Matrix::from_fn(m, n, |r, c| u[(r, order[c])]);
         let v = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
         sigma = order.iter().map(|&i| sigma[i]).collect();
@@ -187,8 +191,8 @@ impl Svd {
                 continue;
             }
             // out += (1/σ_k) · v_k u_kᵀ
-            let vk = self.v.col(k);
-            let uk = self.u.col(k);
+            let vk: Vec<f64> = self.v.col(k).collect();
+            let uk: Vec<f64> = self.u.col(k).collect();
             for r in 0..n {
                 let w = vk[r] / s;
                 for c in 0..m {
@@ -224,10 +228,11 @@ impl Svd {
             if s <= tol {
                 continue;
             }
-            let uk = self.u.col(k);
-            let coeff = vecops::dot(&uk, b) / s;
-            let vk = self.v.col(k);
-            vecops::axpy(coeff, &vk, &mut x);
+            // Stream the columns — no per-k buffer allocations.
+            let coeff = self.u.col(k).zip(b).map(|(u, &bi)| u * bi).sum::<f64>() / s;
+            for (xi, v) in x.iter_mut().zip(self.v.col(k)) {
+                *xi += coeff * v;
+            }
         }
         Ok(x)
     }
@@ -239,8 +244,8 @@ impl Svd {
         let n = self.v.rows();
         let mut out = Matrix::zeros(m, n);
         for (k, &s) in self.singular_values.iter().enumerate() {
-            let uk = self.u.col(k);
-            let vk = self.v.col(k);
+            let uk: Vec<f64> = self.u.col(k).collect();
+            let vk: Vec<f64> = self.v.col(k).collect();
             for r in 0..m {
                 let w = s * uk[r];
                 for c in 0..n {
@@ -318,6 +323,7 @@ fn orthogonalize_pair(w: &mut Matrix, v: &mut Matrix, p: usize, q: usize, zero_f
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vecops;
 
     fn assert_orthonormal_columns(m: &Matrix, tol: f64) {
         let gram = m.transpose().matmul(m).unwrap();
@@ -330,7 +336,11 @@ mod tests {
     #[test]
     fn identity_has_unit_singular_values() {
         let svd = Svd::new(&Matrix::identity(3)).unwrap();
-        assert!(vecops::approx_eq(svd.singular_values(), &[1.0, 1.0, 1.0], 1e-14));
+        assert!(vecops::approx_eq(
+            svd.singular_values(),
+            &[1.0, 1.0, 1.0],
+            1e-14
+        ));
         assert_eq!(svd.rank(None), 3);
         assert_eq!(svd.condition_number(), 1.0);
     }
@@ -338,7 +348,11 @@ mod tests {
     #[test]
     fn diagonal_matrix_singular_values_sorted_by_magnitude() {
         let svd = Svd::new(&Matrix::from_diagonal(&[2.0, -5.0, 3.0])).unwrap();
-        assert!(vecops::approx_eq(svd.singular_values(), &[5.0, 3.0, 2.0], 1e-13));
+        assert!(vecops::approx_eq(
+            svd.singular_values(),
+            &[5.0, 3.0, 2.0],
+            1e-13
+        ));
     }
 
     #[test]
@@ -352,12 +366,8 @@ mod tests {
 
     #[test]
     fn reconstruction_square() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 0.5],
-            &[-1.0, 0.3, 2.2],
-            &[0.0, -0.7, 1.1],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[-1.0, 0.3, 2.2], &[0.0, -0.7, 1.1]]).unwrap();
         let svd = Svd::new(&a).unwrap();
         assert!(svd.reconstruct().approx_eq(&a, 1e-12));
         assert_orthonormal_columns(svd.u(), 1e-12);
@@ -393,12 +403,8 @@ mod tests {
     #[test]
     fn rank_deficient_detected() {
         // Rank 1: every row a multiple of (1, 2, 3).
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[2.0, 4.0, 6.0],
-            &[-1.0, -2.0, -3.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], &[-1.0, -2.0, -3.0]]).unwrap();
         let svd = Svd::new(&a).unwrap();
         assert_eq!(svd.rank(None), 1);
         assert_eq!(svd.condition_number(), f64::INFINITY);
@@ -408,12 +414,7 @@ mod tests {
     #[test]
     fn pseudo_inverse_satisfies_moore_penrose_axioms() {
         // Rank-deficient 3×3 (rank 2).
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0, 1.0],
-            &[0.0, 1.0, 1.0],
-            &[1.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 1.0], &[1.0, 1.0, 2.0]]).unwrap();
         let pinv = Svd::new(&a).unwrap().pseudo_inverse();
         let apa = a.matmul(&pinv).unwrap().matmul(&a).unwrap();
         assert!(apa.approx_eq(&a, 1e-10), "A A⁺ A ≠ A");
@@ -471,8 +472,14 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert!(matches!(Svd::new(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
-        assert!(matches!(Svd::new(&Matrix::zeros(3, 0)), Err(LinalgError::Empty)));
+        assert!(matches!(
+            Svd::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+        assert!(matches!(
+            Svd::new(&Matrix::zeros(3, 0)),
+            Err(LinalgError::Empty)
+        ));
     }
 
     #[test]
@@ -501,7 +508,10 @@ mod tests {
         let d = 14;
         let m = Matrix::from_fn(d, d, |r, c| (((r * 31 + c * 17) % 13) as f64 - 6.0) / 6.0);
         let svd = Svd::new(&m).expect("must converge");
-        assert!(svd.rank(None) < d, "matrix is rank deficient by construction");
+        assert!(
+            svd.rank(None) < d,
+            "matrix is rank deficient by construction"
+        );
         assert!(svd.reconstruct().approx_eq(&m, 1e-10));
     }
 

@@ -88,7 +88,7 @@ impl TridiagonalEigen {
         let n = self.values.len();
         let mut out = Matrix::zeros(n, n);
         for k in 0..n {
-            let col = self.vectors.col(k);
+            let col: Vec<f64> = self.vectors.col(k).collect();
             out.rank1_update(self.values[k], &col)
                 .expect("eigenvector length equals dimension");
         }
@@ -330,7 +330,7 @@ mod tests {
         let m = deterministic_symmetric(9);
         let e = TridiagonalEigen::new(&m).unwrap();
         for k in 0..9 {
-            let vk = e.vectors().col(k);
+            let vk: Vec<f64> = e.vectors().col(k).collect();
             let mv = m.matvec(&vk).unwrap();
             let lv = vecops::scaled(e.values()[k], &vk);
             assert!(vecops::approx_eq(&mv, &lv, 1e-8), "eigenpair {k} violated");
@@ -383,7 +383,11 @@ mod tests {
         let m = deterministic_symmetric(n);
         let ql = TridiagonalEigen::new(&m).unwrap();
         let jac = SymmetricEigen::new(&m).unwrap();
-        assert!(vecops::approx_eq(ql.values(), jac.values(), 1e-7 * (1.0 + m.max_abs())));
+        assert!(vecops::approx_eq(
+            ql.values(),
+            jac.values(),
+            1e-7 * (1.0 + m.max_abs())
+        ));
         assert!(ql.reconstruct().approx_eq(&m, 1e-7));
     }
 }

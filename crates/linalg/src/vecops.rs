@@ -25,6 +25,99 @@ pub fn norm2(x: &[f64]) -> f64 {
     dot(x, x).sqrt()
 }
 
+/// Sum of the entries.
+#[must_use]
+pub fn sum(x: &[f64]) -> f64 {
+    let mut acc = [0.0_f64; 4];
+    let mut chunks = x.chunks_exact(4);
+    for c in &mut chunks {
+        acc[0] += c[0];
+        acc[1] += c[1];
+        acc[2] += c[2];
+        acc[3] += c[3];
+    }
+    let tail: f64 = chunks.remainder().iter().sum();
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Fused sum of squares `Σ x_i²` — the `yᵀy` kernel of batched coefficient
+/// assembly (one pass, four independent accumulators).
+#[must_use]
+pub fn sum_squares(x: &[f64]) -> f64 {
+    let mut acc = [0.0_f64; 4];
+    let mut chunks = x.chunks_exact(4);
+    for c in &mut chunks {
+        for l in 0..4 {
+            acc[l] += c[l] * c[l];
+        }
+    }
+    let tail: f64 = chunks.remainder().iter().map(|v| v * v).sum();
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Batched transposed matrix-vector accumulation
+/// `out ← out + a · Xᵀy`, where `rows` is a row-major `k × d` block
+/// (`k = y.len()`, `rows.len() = k·d`) — the `Xᵀy` kernel of batched
+/// coefficient assembly. Rows are processed four at a time so `out`
+/// stays register/L1-resident instead of being re-streamed per tuple.
+///
+/// # Panics
+/// If `rows.len() != y.len()·d` or `out.len() != d` — a silent zip
+/// truncation here would mean silently wrong coefficients, so the shape
+/// relation is enforced in release builds too (one comparison per call).
+pub fn gemv_t_acc(a: f64, rows: &[f64], d: usize, y: &[f64], out: &mut [f64]) {
+    assert_eq!(rows.len(), y.len() * d, "gemv_t_acc: shape mismatch");
+    assert_eq!(out.len(), d, "gemv_t_acc: output arity");
+    if d == 0 {
+        return;
+    }
+    let mut row_quads = rows.chunks_exact(4 * d);
+    let mut y_quads = y.chunks_exact(4);
+    for (quad, yq) in (&mut row_quads).zip(&mut y_quads) {
+        let (c0, c1, c2, c3) = (a * yq[0], a * yq[1], a * yq[2], a * yq[3]);
+        let (r0, rest) = quad.split_at(d);
+        let (r1, rest) = rest.split_at(d);
+        let (r2, r3) = rest.split_at(d);
+        for j in 0..d {
+            out[j] += (c0 * r0[j] + c1 * r1[j]) + (c2 * r2[j] + c3 * r3[j]);
+        }
+    }
+    for (row, &yi) in row_quads
+        .remainder()
+        .chunks_exact(d)
+        .zip(y_quads.remainder())
+    {
+        axpy(a * yi, row, out);
+    }
+}
+
+/// Batched column-sum accumulation `out ← out + a · Σ_i x_i` over a
+/// row-major `k × d` block — the `Σ x` kernel feeding the linear
+/// coefficients of Taylor-truncated objectives.
+///
+/// # Panics
+/// If `rows.len()` is not a multiple of `d == out.len()` (enforced in
+/// release builds: a silent truncation would be silently wrong sums).
+pub fn col_sums_acc(a: f64, rows: &[f64], d: usize, out: &mut [f64]) {
+    assert_eq!(out.len(), d, "col_sums_acc: output arity");
+    assert_eq!(rows.len() % d.max(1), 0, "col_sums_acc: ragged block");
+    if d == 0 {
+        return;
+    }
+    let mut quads = rows.chunks_exact(4 * d);
+    for quad in &mut quads {
+        let (r0, rest) = quad.split_at(d);
+        let (r1, rest) = rest.split_at(d);
+        let (r2, r3) = rest.split_at(d);
+        for j in 0..d {
+            out[j] += a * ((r0[j] + r1[j]) + (r2[j] + r3[j]));
+        }
+    }
+    for row in quads.remainder().chunks_exact(d) {
+        axpy(a, row, out);
+    }
+}
+
 /// Manhattan norm `‖x‖₁`.
 #[must_use]
 pub fn norm1(x: &[f64]) -> f64 {
@@ -213,5 +306,50 @@ mod tests {
         let mut x = vec![0.0, 0.0];
         assert_eq!(normalize(&mut x), 0.0);
         assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sum_and_sum_squares_match_naive() {
+        for n in [0usize, 1, 3, 4, 5, 8, 17] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 - 2.5) / 3.0).collect();
+            let naive_sum: f64 = x.iter().sum();
+            let naive_sq: f64 = x.iter().map(|v| v * v).sum();
+            assert!((sum(&x) - naive_sum).abs() < 1e-12, "n={n}");
+            assert!((sum_squares(&x) - naive_sq).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn gemv_t_acc_matches_per_row_axpy() {
+        for k in [0usize, 1, 3, 4, 5, 9] {
+            let d = 3;
+            let rows: Vec<f64> = (0..k * d).map(|i| (i as f64) * 0.1 - 0.7).collect();
+            let y: Vec<f64> = (0..k).map(|i| (i as f64) * 0.3 - 0.4).collect();
+            let mut fast = vec![1.0, -2.0, 0.5];
+            let mut slow = fast.clone();
+            gemv_t_acc(-2.0, &rows, d, &y, &mut fast);
+            for (row, &yi) in rows.chunks_exact(d).zip(&y) {
+                axpy(-2.0 * yi, row, &mut slow);
+            }
+            assert!(
+                approx_eq(&fast, &slow, 1e-12),
+                "k={k}: {fast:?} vs {slow:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn col_sums_acc_matches_per_row_axpy() {
+        for k in [0usize, 1, 4, 6, 11] {
+            let d = 4;
+            let rows: Vec<f64> = (0..k * d).map(|i| ((i * 7) % 13) as f64 / 13.0).collect();
+            let mut fast = vec![0.0; d];
+            let mut slow = vec![0.0; d];
+            col_sums_acc(0.5, &rows, d, &mut fast);
+            for row in rows.chunks_exact(d) {
+                axpy(0.5, row, &mut slow);
+            }
+            assert!(approx_eq(&fast, &slow, 1e-12), "k={k}");
+        }
     }
 }

@@ -31,7 +31,10 @@ impl fmt::Display for OptimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OptimError::UnboundedObjective => {
-                write!(f, "objective is unbounded below (Hessian not positive definite)")
+                write!(
+                    f,
+                    "objective is unbounded below (Hessian not positive definite)"
+                )
             }
             OptimError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             OptimError::DimensionMismatch { expected, got } => {

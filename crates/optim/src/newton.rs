@@ -63,7 +63,10 @@ impl Newton {
                 reason: format!("{grad_tol} must be > 0"),
             });
         }
-        Ok(Newton { max_iters, grad_tol })
+        Ok(Newton {
+            max_iters,
+            grad_tol,
+        })
     }
 
     /// Minimises `f` from `omega0`.
@@ -113,7 +116,11 @@ impl Newton {
                 match Cholesky::new(&h) {
                     Ok(chol) => break chol.solve(&neg_grad)?,
                     Err(LinalgError::NotPositiveDefinite { .. } | LinalgError::NotSymmetric) => {
-                        ridge = if ridge == 0.0 { RIDGE_INIT } else { ridge * RIDGE_GROWTH };
+                        ridge = if ridge == 0.0 {
+                            RIDGE_INIT
+                        } else {
+                            ridge * RIDGE_GROWTH
+                        };
                         if ridge > 1e12 {
                             return Err(OptimError::Linalg(LinalgError::NotPositiveDefinite {
                                 pivot: 0,

@@ -32,9 +32,7 @@ pub fn minimize_quadratic(m: &Matrix, alpha: &[f64]) -> Result<Vec<f64>> {
     }
     let chol = match Cholesky::new(m) {
         Ok(c) => c,
-        Err(LinalgError::NotPositiveDefinite { .. }) => {
-            return Err(OptimError::UnboundedObjective)
-        }
+        Err(LinalgError::NotPositiveDefinite { .. }) => return Err(OptimError::UnboundedObjective),
         Err(e) => return Err(OptimError::Linalg(e)),
     };
     // 2Mω = −α.
@@ -120,7 +118,10 @@ mod tests {
         let m = Matrix::identity(2);
         assert!(matches!(
             minimize_quadratic(&m, &[1.0]),
-            Err(OptimError::DimensionMismatch { expected: 2, got: 1 })
+            Err(OptimError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 }

@@ -69,7 +69,11 @@ impl ChebyshevQuadratic {
         for j in 0..n {
             let theta = std::f64::consts::PI * (j as f64 + 0.5) / n as f64;
             let fz = f(r * theta.cos());
-            assert!(fz.is_finite(), "component function non-finite at z = {}", r * theta.cos());
+            assert!(
+                fz.is_finite(),
+                "component function non-finite at z = {}",
+                r * theta.cos()
+            );
             for (k, ck) in c.iter_mut().enumerate() {
                 *ck += fz * (k as f64 * theta).cos();
             }

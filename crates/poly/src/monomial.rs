@@ -135,7 +135,13 @@ pub fn monomials_of_degree(d: usize, j: u32) -> Vec<Monomial> {
     out
 }
 
-fn enumerate_rec(d: usize, remaining: u32, var: usize, exponents: &mut Vec<u32>, out: &mut Vec<Monomial>) {
+fn enumerate_rec(
+    d: usize,
+    remaining: u32,
+    var: usize,
+    exponents: &mut Vec<u32>,
+    out: &mut Vec<Monomial>,
+) {
     if var == d {
         if remaining == 0 {
             out.push(Monomial::new(exponents.clone()));
@@ -159,7 +165,9 @@ fn enumerate_rec(d: usize, remaining: u32, var: usize, exponents: &mut Vec<u32>,
 /// Enumerates `Φ₀ ∪ Φ₁ ∪ … ∪ Φ_J` in degree-major order.
 #[must_use]
 pub fn monomials_up_to_degree(d: usize, j_max: u32) -> Vec<Monomial> {
-    (0..=j_max).flat_map(|j| monomials_of_degree(d, j)).collect()
+    (0..=j_max)
+        .flat_map(|j| monomials_of_degree(d, j))
+        .collect()
 }
 
 /// `|Φ_j| = C(d + j − 1, j)` without materialising the set.

@@ -176,7 +176,11 @@ impl Polynomial {
             match m.degree() {
                 0 => *q.beta_mut() += c,
                 1 => {
-                    let i = m.exponents().iter().position(|&e| e == 1).expect("degree 1");
+                    let i = m
+                        .exponents()
+                        .iter()
+                        .position(|&e| e == 1)
+                        .expect("degree 1");
                     q.alpha_mut()[i] += c;
                 }
                 2 => {

@@ -118,15 +118,28 @@ impl QuadraticForm {
         self.m.add(&self.m.transpose()).expect("square")
     }
 
-    /// Adds another quadratic form coefficient-wise.
+    /// Adds another quadratic form coefficient-wise (in place, no
+    /// allocation).
     ///
     /// # Panics
     /// On dimension mismatch (internal invariant).
     pub fn add_assign(&mut self, other: &QuadraticForm) {
         assert_eq!(self.dim(), other.dim(), "quadratic dimension mismatch");
-        self.m = self.m.add(&other.m).expect("same shape");
+        self.m.add_assign(&other.m).expect("same shape");
         vecops::axpy(1.0, &other.alpha, &mut self.alpha);
         self.beta += other.beta;
+    }
+
+    /// Merges a partial objective into this one: coefficient-wise sum,
+    /// consuming `other`. This is the reduction step of batched/parallel
+    /// coefficient assembly — per-chunk partial `QuadraticForm`s are merged
+    /// pairwise in a fixed order, so the reduced result is identical
+    /// regardless of how many workers produced the partials.
+    ///
+    /// # Panics
+    /// On dimension mismatch (internal invariant).
+    pub fn merge(&mut self, other: QuadraticForm) {
+        self.add_assign(&other);
     }
 
     /// Scales all coefficients by `a`.
@@ -251,6 +264,47 @@ mod tests {
         assert_eq!(q.eval(&[1.0, -1.0]), 12.0);
         q.scale(0.25);
         assert_eq!(q.eval(&[1.0, -1.0]), 3.0);
+    }
+
+    #[test]
+    fn merge_is_coefficientwise_sum() {
+        let mut q = sample();
+        q.merge(sample());
+        let mut expected = sample();
+        expected.add_assign(&sample());
+        assert_eq!(q, expected);
+        assert_eq!(q.eval(&[1.0, -1.0]), 12.0);
+    }
+
+    #[test]
+    fn merge_order_fixed_reduction_is_deterministic() {
+        // Pairwise in-order reduction of the same partials must be
+        // bit-identical however many times it is repeated.
+        let partials: Vec<QuadraticForm> = (0..5)
+            .map(|i| {
+                let mut p = sample();
+                p.scale(1.0 / (i as f64 + 1.7));
+                p
+            })
+            .collect();
+        let reduce = || {
+            let mut parts = partials.clone();
+            while parts.len() > 1 {
+                let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+                let mut it = parts.into_iter();
+                while let Some(mut left) = it.next() {
+                    if let Some(right) = it.next() {
+                        left.merge(right);
+                    }
+                    next.push(left);
+                }
+                parts = next;
+            }
+            parts.pop().expect("nonempty")
+        };
+        let a = reduce();
+        let b = reduce();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -71,6 +71,41 @@ impl TaylorComponent {
         }
     }
 
+    /// Accumulates this component's contribution for a whole row-major
+    /// block of linear forms `g_i(ω) = c_iᵀω` at once (`rows.len() = k·d`,
+    /// `k` tuples of dimension `d = q.dim()`): the batched counterpart of
+    /// calling [`TaylorComponent::accumulate_into`] per tuple, expressed as
+    /// three Gram kernels —
+    ///
+    /// ```text
+    /// β += k·(f − f'z + ½f''z²)      (constant, closed form)
+    /// α += (f' − f''z)·Σᵢ cᵢ         (column sums)
+    /// M += ½f''·CᵀC                  (blocked syrk)
+    /// ```
+    ///
+    /// # Panics
+    /// Debug-asserts that `rows.len()` is a multiple of `q.dim()`.
+    pub fn accumulate_batch_into(&self, rows: &[f64], q: &mut QuadraticForm) {
+        let d = q.dim();
+        debug_assert_eq!(rows.len() % d.max(1), 0, "batch arity");
+        let k = rows.len().checked_div(d).unwrap_or(0);
+        if k == 0 {
+            return;
+        }
+        let z = self.center;
+        let [f0, f1, f2] = self.derivs;
+        *q.beta_mut() += k as f64 * (f0 - f1 * z + 0.5 * f2 * z * z);
+        let lin = f1 - f2 * z;
+        if lin != 0.0 {
+            vecops::col_sums_acc(lin, rows, d, q.alpha_mut());
+        }
+        if f2 != 0.0 {
+            q.m_mut()
+                .syrk_acc(0.5 * f2, rows, d)
+                .expect("arity checked above");
+        }
+    }
+
     /// This component's per-tuple quadratic contribution as a fresh form.
     #[must_use]
     pub fn quadratic_contribution(&self, c: &[f64]) -> QuadraticForm {
@@ -177,6 +212,34 @@ mod tests {
     use super::*;
 
     #[test]
+    fn batch_accumulation_matches_per_tuple() {
+        for component in [
+            logistic_log1pexp_component(),
+            identity_component(),
+            poisson_exp_component(),
+        ] {
+            for k in [0usize, 1, 3, 4, 5, 9] {
+                let d = 3;
+                let rows: Vec<f64> = (0..k * d)
+                    .map(|i| ((i * 13) % 11) as f64 / 11.0 - 0.45)
+                    .collect();
+                let mut batched = QuadraticForm::zero(d);
+                component.accumulate_batch_into(&rows, &mut batched);
+                let mut tupled = QuadraticForm::zero(d);
+                for row in rows.chunks_exact(d) {
+                    component.accumulate_into(row, &mut tupled);
+                }
+                assert!((batched.beta() - tupled.beta()).abs() < 1e-12, "β k={k}");
+                assert!(
+                    vecops::approx_eq(batched.alpha(), tupled.alpha(), 1e-12),
+                    "α k={k}"
+                );
+                assert!(batched.m().approx_eq(tupled.m(), 1e-12), "M k={k}");
+            }
+        }
+    }
+
+    #[test]
     fn logistic_constants_match_paper() {
         let c = logistic_log1pexp_component();
         assert!((c.derivs[0] - std::f64::consts::LN_2).abs() < 1e-15);
@@ -195,7 +258,10 @@ mod tests {
     fn full_bound_is_twice_paper_constant() {
         let full = logistic_truncation_error_bound();
         assert!((full - 2.0 * paper_logistic_error_constant()).abs() < 1e-15);
-        assert!((full - 0.0303).abs() < 1e-3, "bound {full} should be ≈ 0.030");
+        assert!(
+            (full - 0.0303).abs() < 1e-3,
+            "bound {full} should be ≈ 0.030"
+        );
     }
 
     #[test]
@@ -249,7 +315,10 @@ mod tests {
         // Truncation error within the remainder bound over [−1, 1].
         for &z in &[-1.0, -0.5, 0.0, 0.5, 1.0] {
             let err = (c.eval_truncated(z) - z.exp()).abs();
-            assert!(err <= c.third_deriv_range.1 / 6.0 + 1e-12, "err {err} at z={z}");
+            assert!(
+                err <= c.third_deriv_range.1 / 6.0 + 1e-12,
+                "err {err} at z={z}"
+            );
         }
     }
 

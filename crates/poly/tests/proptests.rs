@@ -2,7 +2,7 @@
 //! functional mechanism's coefficient bookkeeping silently relies on.
 
 use fm_linalg::vecops;
-use fm_poly::taylor::{identity_component, logistic_log1pexp_component, log1p_exp};
+use fm_poly::taylor::{identity_component, log1p_exp, logistic_log1pexp_component};
 use fm_poly::{monomial, Monomial, Polynomial};
 use proptest::prelude::*;
 
@@ -19,7 +19,10 @@ fn quadratic_poly(d: usize) -> impl Strategy<Value = Polynomial> {
     let n_terms = monomial::monomials_up_to_degree(d, 2).len();
     proptest::collection::vec(small_f64(), n_terms).prop_map(move |coeffs| {
         let mut p = Polynomial::zero(d);
-        for (m, c) in monomial::monomials_up_to_degree(d, 2).into_iter().zip(coeffs) {
+        for (m, c) in monomial::monomials_up_to_degree(d, 2)
+            .into_iter()
+            .zip(coeffs)
+        {
             if c != 0.0 {
                 p.add_term(m, c);
             }

@@ -286,7 +286,11 @@ impl EpsDeltaLedger {
     pub fn best_composition(&self, delta_prime: f64) -> Result<(f64, f64)> {
         let basic = self.basic_composition();
         let advanced = self.advanced_composition(delta_prime)?;
-        Ok(if advanced.0 < basic.0 { advanced } else { basic })
+        Ok(if advanced.0 < basic.0 {
+            advanced
+        } else {
+            basic
+        })
     }
 }
 
@@ -413,8 +417,8 @@ mod tests {
             l.record(eps, 0.0).unwrap();
         }
         let (e_adv, d_adv) = l.advanced_composition(dp).unwrap();
-        let expected =
-            eps * (2.0 * (k as f64) * (1.0f64 / dp).ln()).sqrt() + k as f64 * eps * (eps.exp() - 1.0);
+        let expected = eps * (2.0 * (k as f64) * (1.0f64 / dp).ln()).sqrt()
+            + k as f64 * eps * (eps.exp() - 1.0);
         assert!((e_adv - expected).abs() < 1e-12, "{e_adv} vs {expected}");
         assert!((d_adv - dp).abs() < 1e-18);
     }

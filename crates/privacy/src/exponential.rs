@@ -98,7 +98,10 @@ impl ExponentialMechanism {
         }
         let scale = self.epsilon / (2.0 * self.utility_sensitivity);
         let max = utilities.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let weights: Vec<f64> = utilities.iter().map(|&u| ((u - max) * scale).exp()).collect();
+        let weights: Vec<f64> = utilities
+            .iter()
+            .map(|&u| ((u - max) * scale).exp())
+            .collect();
         let total: f64 = weights.iter().sum();
         Ok(weights.into_iter().map(|w| w / total).collect())
     }

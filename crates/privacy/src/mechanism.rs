@@ -282,7 +282,10 @@ mod tests {
         let m = LaplaceMechanism::new(1.0, 1.0).unwrap();
         let mut r = rng();
         let n = 100_000;
-        let mean: f64 = (0..n).map(|_| m.privatize_scalar(42.0, &mut r)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| m.privatize_scalar(42.0, &mut r))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 42.0).abs() < 0.05, "mean {mean}");
     }
 
@@ -319,7 +322,10 @@ mod tests {
         let var = values.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         let sigma2 = m.noise_std_dev() * m.noise_std_dev();
         assert!(mean.abs() < m.noise_std_dev() * 0.02, "mean {mean}");
-        assert!((var - sigma2).abs() < sigma2 * 0.05, "var {var} vs {sigma2}");
+        assert!(
+            (var - sigma2).abs() < sigma2 * 0.05,
+            "var {var} vs {sigma2}"
+        );
     }
 
     #[test]

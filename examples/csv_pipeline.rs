@@ -77,7 +77,9 @@ fn main() {
 
     // --- 5. Ship the artefact: persist, reload, predictions identical. ---
     let model_path = dir.join("income_model.fm");
-    SavedModel::from(&model).save(&model_path).expect("save model");
+    SavedModel::from(&model)
+        .save(&model_path)
+        .expect("save model");
     let reloaded = SavedModel::load(&model_path)
         .expect("load model")
         .into_linear()

@@ -45,12 +45,20 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1_729);
     let train = patient_cohort(&mut rng, 40_000);
     let test = patient_cohort(&mut rng, 10_000);
-    println!("cohort: {} training patients, {} held-out\n", train.n(), test.n());
+    println!(
+        "cohort: {} training patients, {} held-out\n",
+        train.n(),
+        test.n()
+    );
 
     let report = |name: &str, model: &LogisticModel| {
         let probs = model.probabilities_batch(test.x());
         let err = metrics::misclassification_rate(&probs, test.y());
-        println!("{name:<14} misclassification = {:.3}   ω = {:?}", err, model.weights());
+        println!(
+            "{name:<14} misclassification = {:.3}   ω = {:?}",
+            err,
+            model.weights()
+        );
     };
 
     // Non-private ceiling.
@@ -77,7 +85,10 @@ fn main() {
         .build()
         .fit(&train, &mut rng)
         .expect("DP fit");
-    let patient = [0.15 / std::f64::consts::SQRT_2, 0.30 / std::f64::consts::SQRT_2];
+    let patient = [
+        0.15 / std::f64::consts::SQRT_2,
+        0.30 / std::f64::consts::SQRT_2,
+    ];
     println!(
         "\nExample patient (age +0.15, cholesterol +0.30 above cohort mean): \
          P(diabetes) = {:.2} under the ε=0.8 private model",

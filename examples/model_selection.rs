@@ -16,9 +16,9 @@
 //!
 //! Run with: `cargo run --release --example model_selection`
 
+use functional_mechanism::core::linreg::LinearObjective;
 use functional_mechanism::core::postprocess;
 use functional_mechanism::core::FunctionalMechanism;
-use functional_mechanism::core::linreg::LinearObjective;
 use functional_mechanism::data::{cv, synth};
 use functional_mechanism::prelude::*;
 use functional_mechanism::privacy::exponential::ExponentialMechanism;
@@ -55,7 +55,9 @@ fn main() {
     println!("{:>12} {:>14} {:>12}", "multiplier", "val MSE", "utility");
     for &multiplier in &candidates {
         budget.spend(eps_fit).expect("fit budget");
-        let mut noisy = fm.perturb(&train, &LinearObjective, &mut rng).expect("perturb");
+        let mut noisy = fm
+            .perturb(&train, &LinearObjective, &mut rng)
+            .expect("perturb");
         let lambda = postprocess::regularize_with(&mut noisy, multiplier);
         let omega = postprocess::spectral_trim_minimize_with_floor(&noisy, lambda)
             .expect("minimise")
@@ -81,7 +83,9 @@ fn main() {
     budget.spend(eps_select).expect("selection budget");
     let delta_u = 4.0 / validation.n() as f64;
     let mech = ExponentialMechanism::new(eps_select, delta_u).expect("mechanism");
-    let probs = mech.selection_probabilities(&utilities).expect("probabilities");
+    let probs = mech
+        .selection_probabilities(&utilities)
+        .expect("probabilities");
     let winner = mech.select(&utilities, &mut rng).expect("select");
 
     println!("\nselection probabilities: {:?}", rounded(&probs));

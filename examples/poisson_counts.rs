@@ -36,8 +36,7 @@ fn main() {
         .position(|n| n == "NumChildren")
         .expect("census has NumChildren");
     let y_max = 10.0;
-    let feature_cols: Vec<usize> =
-        (0..raw.d()).filter(|&c| c != label_col).collect();
+    let feature_cols: Vec<usize> = (0..raw.d()).filter(|&c| c != label_col).collect();
     let d = feature_cols.len();
     let sqrt_d = (d as f64).sqrt();
     let bounds: Vec<(f64, f64)> = feature_cols
@@ -54,7 +53,9 @@ fn main() {
         let (alpha, beta) = bounds[j];
         (raw.x()[(r, feature_cols[j])] - alpha) / ((beta - alpha) * sqrt_d)
     });
-    let y: Vec<f64> = (0..raw.n()).map(|r| raw.x()[(r, label_col)].min(y_max)).collect();
+    let y: Vec<f64> = (0..raw.n())
+        .map(|r| raw.x()[(r, label_col)].min(y_max))
+        .collect();
     let names: Vec<String> = feature_cols
         .iter()
         .map(|&c| raw.feature_names()[c].clone())
@@ -73,7 +74,10 @@ fn main() {
     // carries the base rate (log of the mean count); the weights carry the
     // demographic effects (married households skew larger, etc.).
     let mae = |m: &functional_mechanism::core::poisson::PoissonModel| -> f64 {
-        data.tuples().map(|(x, y)| (m.rate(x) - y).abs()).sum::<f64>() / data.n() as f64
+        data.tuples()
+            .map(|(x, y)| (m.rate(x) - y).abs())
+            .sum::<f64>()
+            / data.n() as f64
     };
 
     let truncated = DpPoissonRegression::builder()
@@ -115,7 +119,11 @@ fn main() {
         .build()
         .fit(&data, &mut rng)
         .expect("DP fit");
-    let married_idx = data.feature_names().iter().position(|n| n == "IsMarried").unwrap();
+    let married_idx = data
+        .feature_names()
+        .iter()
+        .position(|n| n == "IsMarried")
+        .unwrap();
     let profile_single = vec![0.0; data.d()];
     let mut profile_married = vec![0.0; data.d()];
     profile_married[married_idx] = 1.0 / ((1.0) * sqrt_d); // IsMarried is 0/1 ⇒ β−α = 1

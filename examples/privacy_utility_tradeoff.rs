@@ -71,5 +71,8 @@ fn main() {
         budget.remaining()
     );
     let refused = budget.spend(0.1);
-    println!("a third ε = 0.1 request is refused: {}", refused.unwrap_err());
+    println!(
+        "a third ε = 0.1 request is refused: {}",
+        refused.unwrap_err()
+    );
 }

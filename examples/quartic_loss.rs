@@ -58,7 +58,9 @@ fn main() {
         let mut used = 0;
         for _ in 0..attempts {
             used += 1;
-            let noisy = fm.perturb(&data, &QuarticObjective, &mut rng).expect("perturb");
+            let noisy = fm
+                .perturb(&data, &QuarticObjective, &mut rng)
+                .expect("perturb");
             if let Ok(omega) = noisy.minimize(&[0.0; 3], 1e3) {
                 outcome = Some(omega);
                 break;

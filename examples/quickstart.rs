@@ -22,7 +22,11 @@ fn main() {
     // The non-private ceiling.
     let exact = LinearRegression::new().fit(&data).expect("OLS fit");
     let exact_mse = metrics::mse(&exact.predict_batch(data.x()), data.y());
-    println!("{:<12} mse = {exact_mse:.6}   ω = {:?}", "NoPrivacy", rounded(exact.weights()));
+    println!(
+        "{:<12} mse = {exact_mse:.6}   ω = {:?}",
+        "NoPrivacy",
+        rounded(exact.weights())
+    );
 
     // The Functional Mechanism across privacy budgets.
     for epsilon in [3.2, 0.8, 0.2] {
@@ -32,7 +36,11 @@ fn main() {
             .fit(&data, &mut rng)
             .expect("DP fit");
         let mse = metrics::mse(&model.predict_batch(data.x()), data.y());
-        println!("{:<12} mse = {mse:.6}   ω = {:?}", format!("FM ε={epsilon}"), rounded(model.weights()));
+        println!(
+            "{:<12} mse = {mse:.6}   ω = {:?}",
+            format!("FM ε={epsilon}"),
+            rounded(model.weights())
+        );
     }
 
     println!("\nSmaller ε ⇒ more noise ⇒ higher MSE; at generous budgets FM ≈ NoPrivacy.");

@@ -16,7 +16,43 @@
 //! | [`privacy`] | `fm-privacy` | Laplace / Gaussian / exponential mechanisms, privacy budget accounting |
 //! | [`poly`] | `fm-poly` | multivariate polynomials, quadratic forms, Taylor & Chebyshev machinery |
 //! | [`optim`] | `fm-optim` | quadratic minimiser, gradient descent, Newton's method |
-//! | [`linalg`] | `fm-linalg` | dense matrices, LU/Cholesky/QR/SVD, Jacobi eigendecomposition |
+//! | [`linalg`] | `fm-linalg` | dense matrices, LU/Cholesky/QR/SVD, Jacobi eigendecomposition, batched Gram kernels |
+//!
+//! ## Batched coefficient assembly (the hot path)
+//!
+//! Algorithm 1's wall-clock cost is dominated by assembling the
+//! objective's polynomial coefficients `λ_φ = Σ_i λ_{φ t_i}` over the full
+//! dataset — `O(n·d²)` at the paper's census scale (370,000 rows × 5-fold
+//! × 50 repeats). The workspace runs this through a chunked map-reduce
+//! pipeline ([`core::assembly`]):
+//!
+//! 1. the row-major feature block is split into fixed-size row chunks;
+//! 2. each chunk is accumulated into a partial
+//!    [`poly::QuadraticForm`] via
+//!    [`core::PolynomialObjective::accumulate_batch`], which the built-in
+//!    objectives override with blocked Gram kernels — `yᵀy`
+//!    ([`linalg::vecops::sum_squares`]), `Xᵀy`
+//!    ([`linalg::vecops::gemv_t_acc`]) and a pack-and-dot `XᵀX`
+//!    ([`linalg::Matrix::syrk_acc`]) — instead of per-tuple rank-1
+//!    updates;
+//! 3. the partials are merged by a deterministic pairwise tree reduction
+//!    ([`poly::QuadraticForm::merge`]) in chunk order.
+//!
+//! ### The `parallel` feature
+//!
+//! `--features parallel` maps step 2 across worker threads (rayon). The
+//! chunk boundaries are a pure function of `(n, chunk_rows)` and the
+//! reduction order a pure function of the chunk count, so assembled
+//! coefficients are **bit-identical for every worker count**, including
+//! the sequential build — reproducibility of experiments never depends on
+//! the machine's core count. The equivalence suite
+//! (`tests/batched_assembly.rs`) pins batched-vs-per-tuple agreement
+//! (≤ 1e-12 relative), chunk-size invariance, and bit-exact determinism in
+//! both configurations.
+//!
+//! Custom objectives keep working unchanged: the default
+//! `accumulate_batch` delegates to `accumulate_tuple` row by row and still
+//! rides the same chunked (and optionally parallel) pipeline.
 //!
 //! ## Quickstart
 //!
@@ -51,7 +87,9 @@ pub use fm_privacy as privacy;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use fm_baselines::{
-        dpme::Dpme, fp::FilterPriority, noprivacy::{LinearRegression, LogisticRegression},
+        dpme::Dpme,
+        fp::FilterPriority,
+        noprivacy::{LinearRegression, LogisticRegression},
         truncated::TruncatedLogistic,
     };
     pub use fm_core::{

@@ -54,8 +54,8 @@ fn averaged_noisy_objective_converges_to_population_objective() {
     // Lemma 2 + Theorem 2's mechanism: (1/n)·f̄_D(ω) → g(ω) pointwise.
     // Empirically: evaluate the averaged noisy objective at a fixed probe ω
     // for growing n; the value must stabilise (variance across draws → 0).
-    use functional_mechanism::core::FunctionalMechanism;
     use functional_mechanism::core::linreg::LinearObjective;
+    use functional_mechanism::core::FunctionalMechanism;
 
     let probe = [0.2, -0.1];
     let w = vec![0.3, -0.2];
@@ -113,7 +113,10 @@ fn logistic_truncation_gap_does_not_vanish() {
         &exact.probabilities_batch(data.x()),
         data.y(),
     );
-    assert!((err_t - err_e).abs() < 0.01, "truncated {err_t} vs exact {err_e}");
+    assert!(
+        (err_t - err_e).abs() < 0.01,
+        "truncated {err_t} vs exact {err_e}"
+    );
 }
 
 #[test]

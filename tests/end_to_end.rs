@@ -40,7 +40,10 @@ fn census_pipeline_satisfies_paper_contracts() {
     logistic.check_normalized_logistic().unwrap();
     // Both classes present.
     let ones = logistic.y().iter().filter(|&&y| y == 1.0).count();
-    assert!(ones > 100 && ones < 1_900, "degenerate class balance: {ones}");
+    assert!(
+        ones > 100 && ones < 1_900,
+        "degenerate class balance: {ones}"
+    );
 }
 
 #[test]
@@ -70,11 +73,23 @@ fn full_method_matrix_runs_on_census_linear() {
     let eps = 0.8;
 
     let no_priv = LinearRegression::new().fit(&data).unwrap();
-    let fm = DpLinearRegression::builder().epsilon(eps).build().fit(&data, &mut r).unwrap();
+    let fm = DpLinearRegression::builder()
+        .epsilon(eps)
+        .build()
+        .fit(&data, &mut r)
+        .unwrap();
     let dpme = Dpme::new(eps).unwrap().fit_linear(&data, &mut r).unwrap();
-    let fp = FilterPriority::new(eps).unwrap().fit_linear(&data, &mut r).unwrap();
+    let fp = FilterPriority::new(eps)
+        .unwrap()
+        .fit_linear(&data, &mut r)
+        .unwrap();
 
-    for (name, model) in [("NoPrivacy", &no_priv), ("FM", &fm), ("DPME", &dpme), ("FP", &fp)] {
+    for (name, model) in [
+        ("NoPrivacy", &no_priv),
+        ("FM", &fm),
+        ("DPME", &dpme),
+        ("FP", &fp),
+    ] {
         let preds = model.predict_batch(data.x());
         let mse = metrics::mse(&preds, data.y());
         assert!(mse.is_finite(), "{name} produced non-finite MSE");
@@ -83,7 +98,10 @@ fn full_method_matrix_runs_on_census_linear() {
     // NoPrivacy is the floor.
     let floor = metrics::mse(&no_priv.predict_batch(data.x()), data.y());
     let fm_mse = metrics::mse(&fm.predict_batch(data.x()), data.y());
-    assert!(fm_mse >= floor - 1e-9, "FM cannot beat the non-private optimum in-sample");
+    assert!(
+        fm_mse >= floor - 1e-9,
+        "FM cannot beat the non-private optimum in-sample"
+    );
 }
 
 #[test]
@@ -94,9 +112,16 @@ fn full_method_matrix_runs_on_census_logistic() {
 
     let no_priv = LogisticRegression::new().fit(&data).unwrap();
     let trunc = TruncatedLogistic::new().fit(&data).unwrap();
-    let fm = DpLogisticRegression::builder().epsilon(eps).build().fit(&data, &mut r).unwrap();
+    let fm = DpLogisticRegression::builder()
+        .epsilon(eps)
+        .build()
+        .fit(&data, &mut r)
+        .unwrap();
     let dpme = Dpme::new(eps).unwrap().fit_logistic(&data, &mut r).unwrap();
-    let fp = FilterPriority::new(eps).unwrap().fit_logistic(&data, &mut r).unwrap();
+    let fp = FilterPriority::new(eps)
+        .unwrap()
+        .fit_logistic(&data, &mut r)
+        .unwrap();
 
     for (name, model) in [
         ("NoPrivacy", &no_priv),

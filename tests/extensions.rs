@@ -28,7 +28,11 @@ fn intercept_pipeline_beats_flat_model_on_offset_data() {
     let mut r = rng(100);
     let w = vec![0.25, -0.2, 0.15];
     let base = synth::linear_dataset_with_weights(&mut r, 40_000, &w, 0.02);
-    let y: Vec<f64> = base.y().iter().map(|y| (y + 0.35).clamp(-1.0, 1.0)).collect();
+    let y: Vec<f64> = base
+        .y()
+        .iter()
+        .map(|y| (y + 0.35).clamp(-1.0, 1.0))
+        .collect();
     let data = Dataset::new(base.x().clone(), y).unwrap();
 
     let scores_with = cv::cross_validate(&data, 5, &mut r, |train, test| {
@@ -143,10 +147,12 @@ fn chebyshev_and_taylor_agree_at_generous_budget() {
         .build()
         .fit(&data, &mut r)
         .unwrap();
-    let err_t =
-        metrics::misclassification_rate(&taylor.probabilities_batch(data.x()), data.y());
+    let err_t = metrics::misclassification_rate(&taylor.probabilities_batch(data.x()), data.y());
     let err_c = metrics::misclassification_rate(&cheb.probabilities_batch(data.x()), data.y());
-    assert!((err_t - err_c).abs() < 0.05, "taylor {err_t} vs chebyshev {err_c}");
+    assert!(
+        (err_t - err_c).abs() < 0.05,
+        "taylor {err_t} vs chebyshev {err_c}"
+    );
 }
 
 // ------------------------------------------------------- gaussian variant
@@ -175,7 +181,10 @@ fn gaussian_variant_dominates_laplace_at_d14() {
     };
     let laplace = mean_mse(NoiseDistribution::Laplace, &mut r);
     let gaussian = mean_mse(NoiseDistribution::Gaussian { delta: 1e-6 }, &mut r);
-    assert!(gaussian < laplace, "gaussian {gaussian} vs laplace {laplace}");
+    assert!(
+        gaussian < laplace,
+        "gaussian {gaussian} vs laplace {laplace}"
+    );
 }
 
 #[test]
@@ -216,9 +225,9 @@ fn exponential_mechanism_selects_good_multiplier_end_to_end() {
     let utilities: Vec<f64> = candidates
         .iter()
         .map(|&mult| {
+            use functional_mechanism::core::linreg::LinearObjective;
             use functional_mechanism::core::postprocess;
             use functional_mechanism::core::FunctionalMechanism;
-            use functional_mechanism::core::linreg::LinearObjective;
             let fm = FunctionalMechanism::new(0.4).unwrap();
             let mut noisy = fm.perturb(&train, &LinearObjective, &mut r).unwrap();
             let lambda = postprocess::regularize_with(&mut noisy, mult);
@@ -238,10 +247,7 @@ fn exponential_mechanism_selects_good_multiplier_end_to_end() {
 
     let delta_u = 4.0 / val.n() as f64;
     let mech = ExponentialMechanism::new(2.0, delta_u).unwrap();
-    let best = utilities
-        .iter()
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let best = utilities.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let winner = mech.select(&utilities, &mut r).unwrap();
     // With ε/(2Δu) this large, the selection is essentially argmax.
     assert!(
@@ -290,9 +296,18 @@ fn nan_labels_are_rejected_everywhere() {
     let mut r = rng(601);
     let x = Matrix::from_rows(&[&[0.1, 0.1]]).unwrap();
     let bad = Dataset::new(x, vec![f64::NAN]).unwrap();
-    assert!(DpLinearRegression::builder().build().fit(&bad, &mut r).is_err());
-    assert!(DpLogisticRegression::builder().build().fit(&bad, &mut r).is_err());
-    assert!(DpPoissonRegression::builder().build().fit(&bad, &mut r).is_err());
+    assert!(DpLinearRegression::builder()
+        .build()
+        .fit(&bad, &mut r)
+        .is_err());
+    assert!(DpLogisticRegression::builder()
+        .build()
+        .fit(&bad, &mut r)
+        .is_err());
+    assert!(DpPoissonRegression::builder()
+        .build()
+        .fit(&bad, &mut r)
+        .is_err());
 }
 
 #[test]
@@ -311,7 +326,9 @@ fn strategies_and_noise_combinations_are_validated() {
     ));
     // Chebyshev with broken interval: rejected at fit time.
     assert!(DpLogisticRegression::builder()
-        .approximation(Approximation::Chebyshev { half_width: f64::NAN })
+        .approximation(Approximation::Chebyshev {
+            half_width: f64::NAN
+        })
         .build()
         .fit(&synth::logistic_dataset(&mut r, 100, 2, 5.0), &mut r)
         .is_err());

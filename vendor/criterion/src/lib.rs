@@ -1,0 +1,230 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the measurement surface its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], `bench_function` /
+//! `bench_with_input`, `b.iter(..)`, [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, a short warm-up, then timed batches
+//! until ~`measurement_millis` elapse; the mean ns/iteration is printed.
+//! No statistical analysis, plots, or baselines — swap the directory for
+//! the real crate once a registry is reachable for those.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benched
+/// code (wraps `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark, in milliseconds.
+    measurement_millis: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_millis: 400,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&format!("{id}"), self.measurement_millis, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes the sample count; the stub's time-budgeted runner
+    /// ignores it (kept so call sites compile unchanged).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_millis = d.as_millis() as u64;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_benchmark(&label, self.criterion.measurement_millis, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_benchmark(&label, self.criterion.measurement_millis, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub prints
+    /// as it goes).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: format!("{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: format!("{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the closure being benchmarked; owns iteration timing.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: a few untimed iterations.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let mut batch: u64 = 1;
+        while self.elapsed < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iters_done += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+}
+
+fn run_benchmark(label: &str, measurement_millis: u64, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget: Duration::from_millis(measurement_millis),
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        eprintln!("  {label:<40} (no iterations)");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    eprintln!(
+        "  {label:<40} {ns_per_iter:>14.1} ns/iter ({} iters)",
+        b.iters_done
+    );
+}
+
+/// Declares the benchmark groups a bench target runs.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench target's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iterations() {
+        let mut c = Criterion {
+            measurement_millis: 5,
+        };
+        let mut group = c.benchmark_group("smoke");
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 1), &1u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x + 1
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,421 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the exact property-testing surface its test suites use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, [`collection::vec`], [`bool::ANY`],
+//! [`Just`], and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//! * **No shrinking** — a failing case reports its seed and case index so
+//!   it can be replayed, but is not minimised.
+//! * **Deterministic**: each test derives its RNG stream from the test
+//!   function's name, so runs are reproducible without a persistence file.
+//!
+//! Swap the directory for the real crate once a registry is reachable; no
+//! call-site changes are needed for the subset above.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Re-exported RNG type driving generation (used by the macro internals).
+pub type TestRng = StdRng;
+
+/// Seeds the RNG for one property-test function, deterministically derived
+/// from the test's name (FNV-1a).
+#[must_use]
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values (subset of `proptest::strategy::Strategy`;
+/// generation only, no shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (retries; panics after
+    /// too many consecutive rejections).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+    fn generate(&self, rng: &mut TestRng) -> U::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive values: {}",
+            self.whence
+        );
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Anything usable as the length parameter of [`vec()`].
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `element` and a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (subset of `proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniform random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rand::Rng::gen_bool(rng, 0.5)
+        }
+    }
+}
+
+/// The `proptest!` macro: declares `#[test]` functions whose arguments are
+/// drawn from strategies for `config.cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::rng_for(stringify!($name));
+            for __case in 0..config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                // The body may `continue` (prop_assume!) or panic
+                // (prop_assert!); a panic message carries the case index
+                // via the std test harness's captured output below.
+                let __guard = $crate::CaseReporter {
+                    test: stringify!($name),
+                    case: __case,
+                };
+                $body
+                std::mem::forget(__guard);
+            }
+        }
+    )*};
+}
+
+/// Prints the failing case on unwind so failures are attributable even
+/// without shrinking. Created per-case by [`proptest!`]; forgotten on
+/// success.
+#[doc(hidden)]
+pub struct CaseReporter {
+    /// Test function name.
+    pub test: &'static str,
+    /// Zero-based case index.
+    pub case: u32,
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        // Dropped without `forget` either on panic (report the case) or on
+        // a `prop_assume!` skip (stay silent).
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed at case {} (deterministic per-test stream; rerun to replay)",
+                self.test, self.case
+            );
+        }
+    }
+}
+
+/// Asserts a property, attributing the failure to the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality, attributing the failure to the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality, attributing the failure to the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// The common imports (subset of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::bool as prop_bool;
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0..2.0f64, n in 1usize..5) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn flat_map_and_vec(v in (1usize..4).prop_flat_map(|n| collection::vec(0.0..1.0f64, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn bools_and_just(b in crate::bool::ANY, u in Just(7u8)) {
+            prop_assert!(u == 7 || b);
+            prop_assert_eq!(u, 7);
+        }
+    }
+}

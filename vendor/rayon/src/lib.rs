@@ -1,0 +1,200 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the data-parallel surface it uses: `into_par_iter()` over index ranges,
+//! `ParallelIterator::map(..).collect::<Vec<_>>()` (order-preserving), and
+//! [`join`]. Execution uses `std::thread::scope` with one thread per
+//! contiguous block rather than upstream's work-stealing pool — the
+//! workspace only parallelises coarse, evenly-sized row chunks, where
+//! static splitting is within noise of work stealing.
+//!
+//! Swap the directory for the real crate once a registry is reachable; no
+//! call-site changes are needed for the subset above.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Number of worker threads a parallel call fans out to.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join: right half panicked");
+        (ra, rb)
+    })
+}
+
+/// Conversion into a parallel iterator (subset of
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// An order-preserving parallel iterator (generation-only subset of
+/// `rayon::iter::ParallelIterator`).
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Drains this iterator into a `Vec`, preserving the original order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `f` in parallel.
+    fn map<U: Send, F>(self, f: F) -> MapParIter<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        MapParIter { inner: self, f }
+    }
+
+    /// Collects into a container, preserving the original element order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.drive())
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeParIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+    fn drive(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// See [`ParallelIterator::map`]. The map is where the fan-out happens:
+/// items are split into one contiguous block per worker thread and mapped
+/// in parallel; block results are re-concatenated in order.
+pub struct MapParIter<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for MapParIter<I, F>
+where
+    I: ParallelIterator,
+    I::Item: Send,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync + Send,
+{
+    type Item = U;
+
+    fn drive(self) -> Vec<U> {
+        let items = self.inner.drive();
+        let n = items.len();
+        let workers = current_num_threads().clamp(1, n.max(1));
+        if n <= 1 || workers == 1 {
+            return items.into_iter().map(self.f).collect();
+        }
+        let f = &self.f;
+        let block = n.div_ceil(workers);
+        let mut blocks: Vec<Vec<I::Item>> = Vec::with_capacity(workers);
+        let mut it = items.into_iter();
+        loop {
+            let chunk: Vec<I::Item> = it.by_ref().take(block).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            blocks.push(chunk);
+        }
+        let mapped: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = blocks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon worker panicked"))
+                .collect()
+        });
+        mapped.into_iter().flatten().collect()
+    }
+}
+
+/// The common imports (subset of `rayon::prelude`).
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn vec_input_and_join() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|i| format!("v{i}"))
+            .collect();
+        assert_eq!(out, vec!["v1", "v2", "v3"]);
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+        let one: Vec<usize> = (5..6usize).into_par_iter().map(|i| i).collect();
+        assert_eq!(one, vec![5]);
+    }
+}
