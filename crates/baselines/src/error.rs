@@ -86,3 +86,26 @@ impl From<fm_core::FmError> for BaselineError {
         BaselineError::Fm(e)
     }
 }
+
+/// The reverse mapping, used when a baseline runs behind `fm-core`'s
+/// generic `DpEstimator` surface: shared substrate errors map variant to
+/// variant, wrapped FM errors unwrap, and the baseline-only failures
+/// surface as configuration errors.
+impl From<BaselineError> for fm_core::FmError {
+    fn from(e: BaselineError) -> Self {
+        match e {
+            BaselineError::Data(e) => fm_core::FmError::Data(e),
+            BaselineError::Privacy(e) => fm_core::FmError::Privacy(e),
+            BaselineError::Optim(e) => fm_core::FmError::Optim(e),
+            BaselineError::Linalg(e) => fm_core::FmError::Linalg(e),
+            BaselineError::Fm(e) => e,
+            BaselineError::NoSyntheticData => fm_core::FmError::InvalidConfig {
+                name: "synthetic data",
+                reason: "noisy histogram produced no synthetic tuples".to_string(),
+            },
+            BaselineError::InvalidConfig { name, reason } => {
+                fm_core::FmError::InvalidConfig { name, reason }
+            }
+        }
+    }
+}

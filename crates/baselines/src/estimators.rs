@@ -1,0 +1,231 @@
+//! The baselines behind `fm-core`'s generic [`DpEstimator`] surface.
+//!
+//! Section 7's comparison runs five methods through one protocol; these
+//! impls are what let the harness hold the whole line-up as
+//! `&dyn DpEstimator<Model = …>` and drive every method — private or not —
+//! through the same budget-aware [`fm_core::session::PrivacySession`]
+//! loop:
+//!
+//! * [`LinearRegression`] / [`LogisticRegression`] / [`TruncatedLogistic`]
+//!   implement the trait directly (`epsilon() == None`: the session runs
+//!   them without debiting).
+//! * DPME and FP each fit *two* families, so a `DpEstimator` impl (one
+//!   `Model` type per estimator) lives on the task-pinned wrappers
+//!   [`DpmeLinear`] / [`DpmeLogistic`] / [`FpLinear`] / [`FpLogistic`].
+//!
+//! ```
+//! use fm_baselines::estimators::DpmeLinear;
+//! use fm_baselines::dpme::Dpme;
+//! use fm_baselines::noprivacy::LinearRegression;
+//! use fm_core::estimator::DpEstimator;
+//! use fm_core::model::LinearModel;
+//!
+//! let lineup: Vec<(&str, Box<dyn DpEstimator<Model = LinearModel>>)> = vec![
+//!     ("NoPrivacy", Box::new(LinearRegression::new())),
+//!     ("DPME", Box::new(DpmeLinear(Dpme::new(0.8).unwrap()))),
+//! ];
+//! assert_eq!(lineup[0].1.epsilon(), None);
+//! assert_eq!(lineup[1].1.epsilon(), Some(0.8));
+//! ```
+
+use rand::RngCore;
+
+use fm_core::estimator::DpEstimator;
+use fm_core::model::{LinearModel, LogisticModel, ModelKind};
+use fm_core::FmError;
+use fm_data::Dataset;
+
+use crate::dpme::Dpme;
+use crate::fp::FilterPriority;
+use crate::noprivacy::{LinearRegression, LogisticRegression};
+use crate::truncated::TruncatedLogistic;
+
+type CoreResult<T> = std::result::Result<T, FmError>;
+
+impl DpEstimator for LinearRegression {
+    type Model = LinearModel;
+
+    fn fit(&self, data: &Dataset, _rng: &mut dyn RngCore) -> CoreResult<LinearModel> {
+        LinearRegression::fit(self, data).map_err(FmError::from)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        None
+    }
+
+    fn task(&self) -> ModelKind {
+        ModelKind::Linear
+    }
+}
+
+impl DpEstimator for LogisticRegression {
+    type Model = LogisticModel;
+
+    fn fit(&self, data: &Dataset, _rng: &mut dyn RngCore) -> CoreResult<LogisticModel> {
+        LogisticRegression::fit(self, data).map_err(FmError::from)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        None
+    }
+
+    fn task(&self) -> ModelKind {
+        ModelKind::Logistic
+    }
+}
+
+impl DpEstimator for TruncatedLogistic {
+    type Model = LogisticModel;
+
+    fn fit(&self, data: &Dataset, _rng: &mut dyn RngCore) -> CoreResult<LogisticModel> {
+        TruncatedLogistic::fit(self, data).map_err(FmError::from)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        None
+    }
+
+    fn task(&self) -> ModelKind {
+        ModelKind::Logistic
+    }
+}
+
+/// [`Dpme`] pinned to the linear-regression task.
+#[derive(Debug, Clone)]
+pub struct DpmeLinear(pub Dpme);
+
+impl DpEstimator for DpmeLinear {
+    type Model = LinearModel;
+
+    fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> CoreResult<LinearModel> {
+        self.0.fit_linear(data, &mut rng).map_err(FmError::from)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.0.epsilon())
+    }
+
+    fn task(&self) -> ModelKind {
+        ModelKind::Linear
+    }
+}
+
+/// [`Dpme`] pinned to the logistic-regression task.
+#[derive(Debug, Clone)]
+pub struct DpmeLogistic(pub Dpme);
+
+impl DpEstimator for DpmeLogistic {
+    type Model = LogisticModel;
+
+    fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> CoreResult<LogisticModel> {
+        self.0.fit_logistic(data, &mut rng).map_err(FmError::from)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.0.epsilon())
+    }
+
+    fn task(&self) -> ModelKind {
+        ModelKind::Logistic
+    }
+}
+
+/// [`FilterPriority`] pinned to the linear-regression task.
+#[derive(Debug, Clone)]
+pub struct FpLinear(pub FilterPriority);
+
+impl DpEstimator for FpLinear {
+    type Model = LinearModel;
+
+    fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> CoreResult<LinearModel> {
+        self.0.fit_linear(data, &mut rng).map_err(FmError::from)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.0.epsilon())
+    }
+
+    fn task(&self) -> ModelKind {
+        ModelKind::Linear
+    }
+}
+
+/// [`FilterPriority`] pinned to the logistic-regression task.
+#[derive(Debug, Clone)]
+pub struct FpLogistic(pub FilterPriority);
+
+impl DpEstimator for FpLogistic {
+    type Model = LogisticModel;
+
+    fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> CoreResult<LogisticModel> {
+        self.0.fit_logistic(data, &mut rng).map_err(FmError::from)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.0.epsilon())
+    }
+
+    fn task(&self) -> ModelKind {
+        ModelKind::Logistic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_core::estimator::FitConfig;
+    use fm_core::linreg::DpLinearRegression;
+    use fm_core::model::Model;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2_024)
+    }
+
+    #[test]
+    fn heterogeneous_lineup_runs_through_one_call_site() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 3_000, 2, 0.1);
+        let fm = DpLinearRegression::builder()
+            .config(FitConfig::new().epsilon(0.8))
+            .build();
+        let lineup: Vec<(&str, Box<dyn DpEstimator<Model = LinearModel>>)> = vec![
+            ("NoPrivacy", Box::new(LinearRegression::new())),
+            ("FM", Box::new(fm)),
+            ("DPME", Box::new(DpmeLinear(Dpme::new(0.8).unwrap()))),
+            ("FP", Box::new(FpLinear(FilterPriority::new(0.8).unwrap()))),
+        ];
+        for (name, est) in &lineup {
+            let model = est
+                .fit(&data, &mut r)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(model.dim(), 2, "{name}");
+            assert_eq!(est.task(), ModelKind::Linear, "{name}");
+            // Private methods advertise their ε; NoPrivacy advertises none,
+            // and the fitted models carry the same metadata.
+            match est.epsilon() {
+                Some(eps) if *name == "FM" => assert_eq!(model.epsilon(), Some(eps)),
+                Some(_) => {}
+                None => assert_eq!(model.epsilon(), None),
+            }
+        }
+    }
+
+    #[test]
+    fn logistic_baselines_expose_the_trait() {
+        let mut r = rng();
+        let data = fm_data::synth::logistic_dataset(&mut r, 3_000, 2, 8.0);
+        let lineup: Vec<Box<dyn DpEstimator<Model = LogisticModel>>> = vec![
+            Box::new(LogisticRegression::new()),
+            Box::new(TruncatedLogistic::new()),
+            Box::new(DpmeLogistic(Dpme::new(1.0).unwrap())),
+            Box::new(FpLogistic(FilterPriority::new(1.0).unwrap())),
+        ];
+        for est in &lineup {
+            assert_eq!(est.task(), ModelKind::Logistic);
+            let model = est.fit(&data, &mut r).unwrap();
+            let p = model.predict(data.x().row(0));
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

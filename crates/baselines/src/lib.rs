@@ -19,11 +19,14 @@
 #![forbid(unsafe_code)]
 
 pub mod dpme;
+pub mod estimators;
 pub mod fp;
 pub mod histogram;
 pub mod noprivacy;
 pub mod objective_perturbation;
 pub mod truncated;
+
+pub use estimators::{DpmeLinear, DpmeLogistic, FpLinear, FpLogistic};
 
 mod error;
 

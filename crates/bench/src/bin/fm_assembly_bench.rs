@@ -16,7 +16,11 @@
 //! cargo run --release -p fm-bench --bin fm-assembly-bench -- --rows 50000 --out /tmp/a.json
 //! ```
 //!
-//! The JSON schema (stable; append-only across PRs):
+//! The binary emits one run record; the committed `BENCH_assembly.json`
+//! is a JSON *array* of such records, each tagged with a `"run"` label —
+//! append the new record there to extend the performance trajectory.
+//!
+//! The per-run JSON schema (stable; append-only across PRs):
 //!
 //! ```json
 //! {

@@ -121,8 +121,32 @@ where
     O: PolynomialObjective + ?Sized,
 {
     let d = data.d();
-    let xs = data.x().as_slice();
     let ys = data.y();
+    if objective.supports_columnar() {
+        // Column-major fast path: read the dataset's cached `d × n`
+        // transpose instead of re-packing each row chunk into column
+        // panels. `columnar_on_reuse` only materialises the transpose
+        // from a dataset's second assembly pass onward, so one-shot fits
+        // (fresh CV folds, intercept-augmented copies) skip the `n·d`
+        // allocation while repeat workloads amortize it. The columnar
+        // kernels replicate the row-major kernels' floating-point
+        // grouping, so both branches are bit-identical and the choice
+        // can never perturb coefficients.
+        if let Some(xt) = data.columnar_on_reuse() {
+            return map_reduce_chunks(
+                data.n(),
+                chunk_rows,
+                |lo, hi| {
+                    let mut q = QuadraticForm::zero(d);
+                    objective.accumulate_batch_columnar(xt, ys, lo, hi, &mut q);
+                    q
+                },
+                |acc, part| acc.merge(part),
+            )
+            .unwrap_or_else(|| QuadraticForm::zero(d));
+        }
+    }
+    let xs = data.x().as_slice();
     map_reduce_chunks(
         data.n(),
         chunk_rows,

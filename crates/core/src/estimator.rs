@@ -1,0 +1,490 @@
+//! The generic estimator core: one trait-driven surface for every
+//! regression the Functional Mechanism can fit.
+//!
+//! The paper's Algorithm 1 is *one* mechanism instantiated per loss; this
+//! module makes the code match that shape. A [`FitConfig`] owns the knobs
+//! every fit shares (ε, sensitivity bound, §6 strategy, intercept, noise
+//! distribution), a [`RegressionObjective`] ties a
+//! [`PolynomialObjective`] to the model family it releases, and
+//! [`FmEstimator`] runs the one shared pipeline:
+//!
+//! 1. optionally augment the data for an intercept (footnote 2);
+//! 2. run Algorithm 1 — assemble, perturb with calibrated noise;
+//! 3. resolve unboundedness per the §6 [`Strategy`];
+//! 4. wrap the released weights in the family's model type.
+//!
+//! `linreg`, `logreg` and `poisson` are thin instantiations of this core
+//! (a type alias for linear; two-field wrappers for the families whose
+//! surrogate construction can fail), so a new objective — median
+//! regression, the quartic demo, a user loss — plugs in as one
+//! `RegressionObjective` impl instead of a ~700-line copied stack.
+//!
+//! The [`DpEstimator`] trait is the dyn-compatible face of all of this:
+//! private estimators *and* the `fm-baselines` comparators implement it,
+//! so harness code (cross-validation, method line-ups, the
+//! [`crate::session::PrivacySession`] ledger) runs over `&dyn DpEstimator`
+//! without knowing which method it is driving.
+
+use rand::{Rng, RngCore};
+
+use fm_data::Dataset;
+
+use crate::mechanism::{
+    FunctionalMechanism, NoiseDistribution, PolynomialObjective, SensitivityBound,
+};
+use crate::model::{ModelKind, PersistableModel};
+use crate::postprocess::{self, Strategy};
+use crate::{FmError, Result};
+
+/// The configuration every Functional-Mechanism fit shares, regardless of
+/// objective: the fields the per-family builders used to re-declare.
+///
+/// ```
+/// use fm_core::estimator::FitConfig;
+/// use fm_core::SensitivityBound;
+///
+/// let config = FitConfig::new()
+///     .epsilon(0.8)
+///     .sensitivity_bound(SensitivityBound::Tight)
+///     .fit_intercept(true);
+/// assert_eq!(config.epsilon, 0.8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitConfig {
+    /// The privacy budget ε (default 1.0).
+    pub epsilon: f64,
+    /// Which sensitivity bound calibrates the noise (default
+    /// [`SensitivityBound::Paper`]).
+    pub bound: SensitivityBound,
+    /// The §6 unboundedness strategy (default
+    /// [`Strategy::RegularizeThenTrim`]).
+    pub strategy: Strategy,
+    /// Whether to fit the footnote-2 intercept term (default `false`).
+    pub fit_intercept: bool,
+    /// The noise distribution (default [`NoiseDistribution::Laplace`],
+    /// strict ε-DP).
+    pub noise: NoiseDistribution,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        FitConfig {
+            epsilon: 1.0,
+            bound: SensitivityBound::Paper,
+            strategy: Strategy::default(),
+            fit_intercept: false,
+            noise: NoiseDistribution::Laplace,
+        }
+    }
+}
+
+impl FitConfig {
+    /// The default configuration (ε = 1, paper bound, regularize-then-trim,
+    /// no intercept, Laplace noise).
+    #[must_use]
+    pub fn new() -> Self {
+        FitConfig::default()
+    }
+
+    /// Sets the privacy budget ε.
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the sensitivity bound.
+    #[must_use]
+    pub fn sensitivity_bound(mut self, bound: SensitivityBound) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Sets the §6 unboundedness strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enables/disables the footnote-2 intercept term.
+    #[must_use]
+    pub fn fit_intercept(mut self, yes: bool) -> Self {
+        self.fit_intercept = yes;
+        self
+    }
+
+    /// Sets the noise distribution.
+    #[must_use]
+    pub fn noise(mut self, noise: NoiseDistribution) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The δ of the configured noise distribution (`None` under strict
+    /// ε-DP Laplace noise).
+    #[must_use]
+    pub fn delta(&self) -> Option<f64> {
+        match self.noise {
+            NoiseDistribution::Laplace => None,
+            NoiseDistribution::Gaussian { delta } => Some(delta),
+        }
+    }
+}
+
+/// A differentially-private (or deliberately non-private baseline)
+/// estimator: anything that can turn a [`Dataset`] plus randomness into a
+/// fitted model, and can state up front what the fit costs in (ε, δ).
+///
+/// The trait is dyn-compatible — `&dyn DpEstimator<Model = LinearModel>`
+/// is how the experiment harness runs FM next to DPME, FP and NoPrivacy
+/// through one code path, and how [`crate::session::PrivacySession`]
+/// debits every fit against a shared budget.
+pub trait DpEstimator {
+    /// The released model family.
+    type Model;
+
+    /// Fits a model on `data`, drawing noise from `rng`.
+    ///
+    /// Typed estimators also expose an inherent `fit(&self, data, &mut
+    /// impl Rng)` with identical behaviour; this dyn-compatible form
+    /// exists so heterogeneous line-ups can share one call site (any
+    /// `&mut impl Rng` coerces to `&mut dyn RngCore` at the call).
+    ///
+    /// # Errors
+    /// Family-specific: contract violations ([`FmError::Data`]), invalid
+    /// configuration, solver breakdown.
+    fn fit(&self, data: &Dataset, rng: &mut dyn RngCore) -> Result<Self::Model>;
+
+    /// The privacy budget ε one [`DpEstimator::fit`] call consumes, or
+    /// `None` for non-private baselines.
+    fn epsilon(&self) -> Option<f64>;
+
+    /// The failure probability δ of one fit (`None` for pure ε-DP and for
+    /// non-private estimators).
+    fn delta(&self) -> Option<f64> {
+        None
+    }
+
+    /// Which regression family this estimator releases.
+    fn task(&self) -> ModelKind;
+}
+
+/// A [`PolynomialObjective`] that knows which model family its released
+/// weight vector belongs to — the only thing a loss must add to plug into
+/// the generic [`FmEstimator`] core.
+pub trait RegressionObjective: PolynomialObjective {
+    /// The model type wrapping this objective's released weights.
+    type Model: PersistableModel;
+}
+
+/// The one generic Functional-Mechanism estimator: Algorithm 1 (and its
+/// Algorithm-2 surrogate instantiations) over any
+/// [`RegressionObjective`], configured by a shared [`FitConfig`].
+///
+/// `DpLinearRegression` is exactly `FmEstimator<LinearObjective>`;
+/// the logistic and Poisson front-ends are two-field wrappers that build
+/// their surrogate objective and delegate here. Fitting a *new* loss
+/// needs only an objective:
+///
+/// ```
+/// use fm_core::estimator::{FitConfig, FmEstimator};
+/// use fm_core::linreg::LinearObjective;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let data = fm_data::synth::linear_dataset(&mut rng, 5_000, 3, 0.1);
+/// let est = FmEstimator::new(LinearObjective, FitConfig::new().epsilon(0.8));
+/// let model = est.fit(&data, &mut rng).unwrap();
+/// assert_eq!(model.epsilon(), Some(0.8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FmEstimator<O> {
+    objective: O,
+    config: FitConfig,
+}
+
+impl<O: RegressionObjective> FmEstimator<O> {
+    /// Wraps an objective with a fit configuration.
+    #[must_use]
+    pub fn new(objective: O, config: FitConfig) -> Self {
+        FmEstimator { objective, config }
+    }
+
+    /// The shared fit configuration.
+    #[must_use]
+    pub fn config(&self) -> &FitConfig {
+        &self.config
+    }
+
+    /// The objective this estimator perturbs.
+    #[must_use]
+    pub fn objective(&self) -> &O {
+        &self.objective
+    }
+
+    /// The configured privacy budget.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.config.epsilon
+    }
+
+    /// Fits a private model on `data`, which must satisfy the objective's
+    /// normalized-domain contract.
+    ///
+    /// # Errors
+    /// * [`FmError::Data`] for contract violations.
+    /// * [`FmError::InvalidConfig`] for a bad ε/δ or zero resample attempts.
+    /// * [`FmError::ResampleExhausted`] / [`FmError::EmptySpectrum`] /
+    ///   [`FmError::Optim`] when the configured strategy cannot produce a
+    ///   bounded objective.
+    pub fn fit(&self, data: &Dataset, rng: &mut impl Rng) -> Result<O::Model> {
+        let aug;
+        let work: &Dataset = if self.config.fit_intercept {
+            // Footnote 2: fit d+1 weights on the √2-scaled augmented data,
+            // then map back to (ω, b). The augmented dataset's contract is
+            // implied by the original's.
+            aug = data.augment_for_intercept();
+            &aug
+        } else {
+            data
+        };
+        let omega_raw = fit_with_mechanism_noise(
+            work,
+            &self.objective,
+            self.config.epsilon,
+            self.config.bound,
+            self.config.noise,
+            self.config.strategy,
+            rng,
+        )?;
+        Ok(self.finish(omega_raw, Some(self.config.epsilon)))
+    }
+
+    /// Fits the *non-private* minimiser of the same (possibly truncated)
+    /// objective — ε = ∞. For exactly-polynomial losses this is the exact
+    /// optimum; for Taylor/Chebyshev surrogates it is the paper's
+    /// `Truncated` baseline, isolating approximation error from privacy
+    /// noise.
+    ///
+    /// # Errors
+    /// [`FmError::Data`] on contract violation, [`FmError::Optim`] on a
+    /// degenerate (rank-deficient) quadratic.
+    pub fn fit_without_privacy(&self, data: &Dataset) -> Result<O::Model> {
+        let aug;
+        let work: &Dataset = if self.config.fit_intercept {
+            aug = data.augment_for_intercept();
+            &aug
+        } else {
+            data
+        };
+        self.objective.validate(work)?;
+        let q = self.objective.assemble(work);
+        let omega_raw =
+            fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha()).map_err(FmError::from)?;
+        Ok(self.finish(omega_raw, None))
+    }
+
+    /// Wraps released weights in the family's model type, undoing the
+    /// intercept augmentation when one was fitted.
+    fn finish(&self, omega_raw: Vec<f64>, epsilon: Option<f64>) -> O::Model {
+        if self.config.fit_intercept {
+            let (omega, b) = crate::model::split_augmented_weights(omega_raw);
+            O::Model::from_parts(omega, b, epsilon)
+        } else {
+            O::Model::from_parts(omega_raw, 0.0, epsilon)
+        }
+    }
+}
+
+impl<O: RegressionObjective> DpEstimator for FmEstimator<O> {
+    type Model = O::Model;
+
+    fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> Result<O::Model> {
+        FmEstimator::fit(self, data, &mut rng)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.config.epsilon)
+    }
+
+    fn delta(&self) -> Option<f64> {
+        self.config.delta()
+    }
+
+    fn task(&self) -> ModelKind {
+        <O::Model as PersistableModel>::KIND
+    }
+}
+
+/// The builder shared by every estimator front-end: the five common knobs
+/// live here exactly once; each family adds its own (`approximation`,
+/// `y_max`, `build`) in an `impl` on its concrete instantiation.
+#[derive(Debug, Clone, Default)]
+pub struct EstimatorBuilder<F> {
+    pub(crate) config: FitConfig,
+    pub(crate) family: F,
+}
+
+impl<F> EstimatorBuilder<F> {
+    /// Sets the privacy budget ε (default 1.0).
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the sensitivity bound (default [`SensitivityBound::Paper`]).
+    #[must_use]
+    pub fn sensitivity_bound(mut self, bound: SensitivityBound) -> Self {
+        self.config.bound = bound;
+        self
+    }
+
+    /// Sets the unboundedness strategy (default
+    /// [`Strategy::RegularizeThenTrim`]).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Also fits an intercept term `b` (default `false`), via the paper's
+    /// footnote-2 generalisation: the data is mapped to `(x/√2, 1/√2)` —
+    /// which preserves the `‖x‖₂ ≤ 1` contract — and a `d+1`-dimensional
+    /// model is fitted, so the sensitivity (hence the noise) is the
+    /// standard bound at dimension `d+1`.
+    #[must_use]
+    pub fn fit_intercept(mut self, yes: bool) -> Self {
+        self.config.fit_intercept = yes;
+        self
+    }
+
+    /// Chooses the noise distribution (default
+    /// [`NoiseDistribution::Laplace`], strict ε-DP).
+    /// [`NoiseDistribution::Gaussian`] switches to the relaxed (ε, δ)
+    /// guarantee with L2-calibrated noise; incompatible with
+    /// [`Strategy::Resample`].
+    #[must_use]
+    pub fn noise(mut self, noise: NoiseDistribution) -> Self {
+        self.config.noise = noise;
+        self
+    }
+
+    /// Replaces the whole shared configuration at once.
+    #[must_use]
+    pub fn config(mut self, config: FitConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// Shared fit pipeline for all regression types: run Algorithm 1 with the
+/// chosen noise distribution, then resolve unboundedness per `strategy`.
+pub(crate) fn fit_with_mechanism_noise(
+    data: &Dataset,
+    objective: &impl PolynomialObjective,
+    epsilon: f64,
+    bound: SensitivityBound,
+    noise: NoiseDistribution,
+    strategy: Strategy,
+    rng: &mut impl Rng,
+) -> Result<Vec<f64>> {
+    match strategy {
+        Strategy::Resample { max_attempts } => {
+            if max_attempts == 0 {
+                return Err(FmError::InvalidConfig {
+                    name: "max_attempts",
+                    reason: "must be at least 1".to_string(),
+                });
+            }
+            if !matches!(noise, NoiseDistribution::Laplace) {
+                // Lemma 5's conditioning argument is specific to pure ε-DP;
+                // re-running an (ε, δ) mechanism until success does not
+                // compose to a clean (2ε, δ') guarantee, so we refuse rather
+                // than advertise an unsound budget.
+                return Err(FmError::InvalidConfig {
+                    name: "strategy",
+                    reason: "Resample (Lemma 5) is only sound with Laplace noise".to_string(),
+                });
+            }
+            // Lemma 5: repetition costs 2× the per-run budget, so run each
+            // attempt at ε/2 to honour the advertised total.
+            let fm = FunctionalMechanism::with_bound(epsilon / 2.0, bound)?;
+            for _ in 0..max_attempts {
+                let noisy = fm.perturb(data, objective, rng)?;
+                match postprocess::minimize(&noisy) {
+                    Ok(omega) => return Ok(omega),
+                    Err(FmError::Optim(fm_optim::OptimError::UnboundedObjective)) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(FmError::ResampleExhausted {
+                attempts: max_attempts,
+            })
+        }
+        other => {
+            let fm = FunctionalMechanism::with_config(epsilon, bound, noise)?;
+            let noisy = fm.perturb(data, objective, rng)?;
+            postprocess::solve(noisy, other)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::LinearObjective;
+    use crate::model::Model;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(90_210)
+    }
+
+    #[test]
+    fn config_defaults_match_the_old_builders() {
+        let c = FitConfig::default();
+        assert_eq!(c.epsilon, 1.0);
+        assert_eq!(c.bound, SensitivityBound::Paper);
+        assert!(!c.fit_intercept);
+        assert_eq!(c.noise, NoiseDistribution::Laplace);
+        assert_eq!(c.delta(), None);
+        assert_eq!(
+            FitConfig::new()
+                .noise(NoiseDistribution::Gaussian { delta: 1e-6 })
+                .delta(),
+            Some(1e-6)
+        );
+    }
+
+    #[test]
+    fn generic_estimator_fits_and_reports_metadata() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 5_000, 3, 0.1);
+        let est = FmEstimator::new(LinearObjective, FitConfig::new().epsilon(0.8));
+        assert_eq!(DpEstimator::epsilon(&est), Some(0.8));
+        assert_eq!(est.task(), ModelKind::Linear);
+        assert_eq!(est.delta(), None);
+        let model = est.fit(&data, &mut r).unwrap();
+        assert_eq!(model.dim(), 3);
+        assert_eq!(Model::epsilon(&model), Some(0.8));
+    }
+
+    #[test]
+    fn dyn_estimator_fit_matches_inherent_fit() {
+        // The dyn-compatible trait fit and the typed inherent fit must draw
+        // the same noise stream and release the same weights.
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 2_000, 2, 0.1);
+        let est = FmEstimator::new(LinearObjective, FitConfig::new().epsilon(1.0));
+
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(7);
+        let typed = est.fit(&data, &mut r1).unwrap();
+
+        let dyn_est: &dyn DpEstimator<Model = crate::model::LinearModel> = &est;
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(7);
+        let boxed = dyn_est.fit(&data, &mut r2).unwrap();
+        assert_eq!(typed, boxed);
+    }
+}

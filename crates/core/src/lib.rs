@@ -4,6 +4,17 @@
 //! under Differential Privacy* (Zhang, Zhang, Xiao, Yang, Winslett — PVLDB
 //! 5(11), 2012), implemented in full:
 //!
+//! * [`estimator`] — the **generic estimator core**: one
+//!   [`estimator::FmEstimator`] runs the shared fit pipeline (augment →
+//!   Algorithm 1 → §6 post-processing → model wrapping) for every
+//!   [`estimator::RegressionObjective`]; the dyn-compatible
+//!   [`estimator::DpEstimator`] trait is the uniform face private
+//!   estimators and `fm-baselines` comparators share, configured by one
+//!   [`estimator::FitConfig`] instead of per-family builder clones.
+//! * [`session`] — [`session::PrivacySession`]: budget-aware fitting that
+//!   debits every `fit` against a `fm_privacy` ledger and reports the
+//!   honest composed (ε, δ) — basic and advanced composition — for
+//!   multi-fit workloads (CV repeats, ε-sweeps, model selection).
 //! * [`assembly`] — the **batched coefficient-assembly hot path**: chunked
 //!   map-reduce over the dataset's rows with blocked Gram kernels
 //!   (`yᵀy` / `Xᵀy` / `XᵀX`) and a deterministic pairwise tree reduction;
@@ -76,6 +87,7 @@
 #![forbid(unsafe_code)]
 
 pub mod assembly;
+pub mod estimator;
 pub mod generic;
 pub mod linreg;
 pub mod logreg;
@@ -84,14 +96,18 @@ pub mod model;
 pub mod persist;
 pub mod poisson;
 pub mod postprocess;
+pub mod session;
 
 mod error;
 
 pub use error::FmError;
+pub use estimator::{DpEstimator, EstimatorBuilder, FitConfig, FmEstimator, RegressionObjective};
 pub use mechanism::{
     FunctionalMechanism, NoiseDistribution, NoisyQuadratic, PolynomialObjective, SensitivityBound,
 };
+pub use model::{Model, ModelKind, PersistableModel};
 pub use postprocess::Strategy;
+pub use session::PrivacySession;
 
 /// Result alias for fallible functional-mechanism operations.
 pub type Result<T> = std::result::Result<T, FmError>;

@@ -12,17 +12,12 @@
 //! normalized domain (`‖x‖₂ ≤ 1`, `y ∈ [−1,1]`) the paper bounds the
 //! coefficient sensitivity by `Δ = 2(1 + 2d + d²) = 2(d+1)²`.
 
-use rand::Rng;
-
 use fm_data::Dataset;
 use fm_poly::QuadraticForm;
 
-use crate::mechanism::{
-    FunctionalMechanism, NoiseDistribution, PolynomialObjective, SensitivityBound,
-};
+use crate::estimator::{EstimatorBuilder, FmEstimator, RegressionObjective};
+use crate::mechanism::{PolynomialObjective, SensitivityBound};
 use crate::model::LinearModel;
-use crate::postprocess::{self, Strategy};
-use crate::{FmError, Result};
 
 /// The paper's linear-regression sensitivity: `Δ = 2(d+1)²` (Section 4.2).
 #[must_use]
@@ -75,6 +70,30 @@ impl PolynomialObjective for LinearObjective {
             .expect("dataset row arity matches objective dimension");
     }
 
+    fn supports_columnar(&self) -> bool {
+        true
+    }
+
+    fn accumulate_batch_columnar(
+        &self,
+        xt: &fm_linalg::Matrix,
+        ys: &[f64],
+        lo: usize,
+        hi: usize,
+        q: &mut QuadraticForm,
+    ) {
+        // Same three Gram products read from the cached transpose;
+        // bit-identical grouping to the row-major kernels above.
+        let yr = &ys[lo..hi];
+        *q.beta_mut() += fm_linalg::vecops::sum_squares(yr);
+        for (j, out) in q.alpha_mut().iter_mut().enumerate() {
+            fm_linalg::vecops::dot_blocked_acc(-2.0, &xt.row(j)[lo..hi], yr, out);
+        }
+        q.m_mut()
+            .syrk_cols_acc(1.0, xt, lo, hi)
+            .expect("columnar view arity matches objective dimension");
+    }
+
     fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64 {
         match bound {
             SensitivityBound::Paper => sensitivity_paper(d),
@@ -91,87 +110,14 @@ impl PolynomialObjective for LinearObjective {
     }
 }
 
-/// Builder for [`DpLinearRegression`].
-#[derive(Debug, Clone)]
-pub struct DpLinearRegressionBuilder {
-    epsilon: f64,
-    bound: SensitivityBound,
-    strategy: Strategy,
-    fit_intercept: bool,
-    noise: NoiseDistribution,
+impl RegressionObjective for LinearObjective {
+    type Model = LinearModel;
 }
 
-impl Default for DpLinearRegressionBuilder {
-    fn default() -> Self {
-        DpLinearRegressionBuilder {
-            epsilon: 1.0,
-            bound: SensitivityBound::Paper,
-            strategy: Strategy::default(),
-            fit_intercept: false,
-            noise: NoiseDistribution::Laplace,
-        }
-    }
-}
-
-impl DpLinearRegressionBuilder {
-    /// Sets the privacy budget ε (default 1.0).
-    #[must_use]
-    pub fn epsilon(mut self, epsilon: f64) -> Self {
-        self.epsilon = epsilon;
-        self
-    }
-
-    /// Sets the sensitivity bound (default [`SensitivityBound::Paper`]).
-    #[must_use]
-    pub fn sensitivity_bound(mut self, bound: SensitivityBound) -> Self {
-        self.bound = bound;
-        self
-    }
-
-    /// Sets the unboundedness strategy (default
-    /// [`Strategy::RegularizeThenTrim`]).
-    #[must_use]
-    pub fn strategy(mut self, strategy: Strategy) -> Self {
-        self.strategy = strategy;
-        self
-    }
-
-    /// Also fits an intercept term `b` (default `false`), via the paper's
-    /// footnote-2 generalisation `ŷ = xᵀω + b`. Internally the data is
-    /// mapped to `(x/√2, 1/√2)` — which preserves the `‖x‖₂ ≤ 1` contract —
-    /// and a `d+1`-dimensional model is fitted, so the sensitivity (hence
-    /// the noise) is the standard bound at dimension `d+1`.
-    #[must_use]
-    pub fn fit_intercept(mut self, yes: bool) -> Self {
-        self.fit_intercept = yes;
-        self
-    }
-
-    /// Chooses the noise distribution (default
-    /// [`NoiseDistribution::Laplace`], strict ε-DP).
-    /// [`NoiseDistribution::Gaussian`] switches to the relaxed (ε, δ)
-    /// guarantee with L2-calibrated noise; incompatible with
-    /// [`Strategy::Resample`].
-    #[must_use]
-    pub fn noise(mut self, noise: NoiseDistribution) -> Self {
-        self.noise = noise;
-        self
-    }
-
-    /// Finalises the configuration.
-    #[must_use]
-    pub fn build(self) -> DpLinearRegression {
-        DpLinearRegression {
-            epsilon: self.epsilon,
-            bound: self.bound,
-            strategy: self.strategy,
-            fit_intercept: self.fit_intercept,
-            noise: self.noise,
-        }
-    }
-}
-
-/// ε-differentially private linear regression via the Functional Mechanism.
+/// ε-differentially private linear regression via the Functional
+/// Mechanism — the generic [`FmEstimator`] core instantiated at
+/// [`LinearObjective`] (fit pipeline, intercept handling and model
+/// wrapping all live in [`crate::estimator`]).
 ///
 /// ```
 /// use fm_core::linreg::DpLinearRegression;
@@ -186,13 +132,18 @@ impl DpLinearRegressionBuilder {
 ///     .unwrap();
 /// assert_eq!(model.epsilon(), Some(0.8));
 /// ```
-#[derive(Debug, Clone)]
-pub struct DpLinearRegression {
-    epsilon: f64,
-    bound: SensitivityBound,
-    strategy: Strategy,
-    fit_intercept: bool,
-    noise: NoiseDistribution,
+pub type DpLinearRegression = FmEstimator<LinearObjective>;
+
+/// Builder for [`DpLinearRegression`] — the shared
+/// [`EstimatorBuilder`] with no family-specific knobs.
+pub type DpLinearRegressionBuilder = EstimatorBuilder<LinearObjective>;
+
+impl DpLinearRegressionBuilder {
+    /// Finalises the configuration.
+    #[must_use]
+    pub fn build(self) -> DpLinearRegression {
+        FmEstimator::new(self.family, self.config)
+    }
 }
 
 impl DpLinearRegression {
@@ -202,130 +153,12 @@ impl DpLinearRegression {
     pub fn builder() -> DpLinearRegressionBuilder {
         DpLinearRegressionBuilder::default()
     }
-
-    /// The configured privacy budget.
-    #[must_use]
-    pub fn epsilon(&self) -> f64 {
-        self.epsilon
-    }
-
-    /// Fits an ε-DP linear model on `data`, which must satisfy Definition
-    /// 1's normalized-domain contract.
-    ///
-    /// # Errors
-    /// * [`FmError::Data`] for contract violations.
-    /// * [`FmError::InvalidConfig`] for a bad ε or zero resample attempts.
-    /// * [`FmError::ResampleExhausted`] / [`FmError::EmptySpectrum`] /
-    ///   [`FmError::Optim`] when the configured strategy cannot produce a
-    ///   bounded objective.
-    pub fn fit(&self, data: &Dataset, rng: &mut impl Rng) -> Result<LinearModel> {
-        if self.fit_intercept {
-            // Footnote 2: fit d+1 weights on the √2-scaled augmented data,
-            // then map back to (ω, b). Validation runs on the augmented
-            // dataset, whose contract is implied by the original's.
-            let aug = data.augment_for_intercept();
-            let omega_aug = fit_with_mechanism_noise(
-                &aug,
-                &LinearObjective,
-                self.epsilon,
-                self.bound,
-                self.noise,
-                self.strategy,
-                rng,
-            )?;
-            let (omega, b) = crate::model::split_augmented_weights(omega_aug);
-            return Ok(LinearModel::with_intercept(omega, b, Some(self.epsilon)));
-        }
-        let omega = fit_with_mechanism_noise(
-            data,
-            &LinearObjective,
-            self.epsilon,
-            self.bound,
-            self.noise,
-            self.strategy,
-            rng,
-        )?;
-        Ok(LinearModel::new(omega, Some(self.epsilon)))
-    }
-
-    /// Fits the *non-private* minimiser of the same objective (ε = ∞),
-    /// useful for measuring the privacy cost in isolation.
-    ///
-    /// # Errors
-    /// [`FmError::Data`] / [`FmError::Optim`] as in [`DpLinearRegression::fit`].
-    pub fn fit_without_privacy(&self, data: &Dataset) -> Result<LinearModel> {
-        if self.fit_intercept {
-            let aug = data.augment_for_intercept();
-            LinearObjective.validate(&aug)?;
-            let q = LinearObjective.assemble(&aug);
-            let omega_aug =
-                fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha()).map_err(FmError::from)?;
-            let (omega, b) = crate::model::split_augmented_weights(omega_aug);
-            return Ok(LinearModel::with_intercept(omega, b, None));
-        }
-        LinearObjective.validate(data)?;
-        let q = LinearObjective.assemble(data);
-        let omega =
-            fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha()).map_err(FmError::from)?;
-        Ok(LinearModel::new(omega, None))
-    }
-}
-
-/// Shared fit pipeline for all regression types: run Algorithm 1 with the
-/// chosen noise distribution, then resolve unboundedness per `strategy`.
-pub(crate) fn fit_with_mechanism_noise(
-    data: &Dataset,
-    objective: &impl PolynomialObjective,
-    epsilon: f64,
-    bound: SensitivityBound,
-    noise: NoiseDistribution,
-    strategy: Strategy,
-    rng: &mut impl Rng,
-) -> Result<Vec<f64>> {
-    match strategy {
-        Strategy::Resample { max_attempts } => {
-            if max_attempts == 0 {
-                return Err(FmError::InvalidConfig {
-                    name: "max_attempts",
-                    reason: "must be at least 1".to_string(),
-                });
-            }
-            if !matches!(noise, NoiseDistribution::Laplace) {
-                // Lemma 5's conditioning argument is specific to pure ε-DP;
-                // re-running an (ε, δ) mechanism until success does not
-                // compose to a clean (2ε, δ') guarantee, so we refuse rather
-                // than advertise an unsound budget.
-                return Err(FmError::InvalidConfig {
-                    name: "strategy",
-                    reason: "Resample (Lemma 5) is only sound with Laplace noise".to_string(),
-                });
-            }
-            // Lemma 5: repetition costs 2× the per-run budget, so run each
-            // attempt at ε/2 to honour the advertised total.
-            let fm = FunctionalMechanism::with_bound(epsilon / 2.0, bound)?;
-            for _ in 0..max_attempts {
-                let noisy = fm.perturb(data, objective, rng)?;
-                match postprocess::minimize(&noisy) {
-                    Ok(omega) => return Ok(omega),
-                    Err(FmError::Optim(fm_optim::OptimError::UnboundedObjective)) => continue,
-                    Err(e) => return Err(e),
-                }
-            }
-            Err(FmError::ResampleExhausted {
-                attempts: max_attempts,
-            })
-        }
-        other => {
-            let fm = FunctionalMechanism::with_config(epsilon, bound, noise)?;
-            let noisy = fm.perturb(data, objective, rng)?;
-            postprocess::solve(noisy, other)
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{FmError, NoiseDistribution, Strategy};
     use fm_linalg::{vecops, Matrix};
     use rand::SeedableRng;
 

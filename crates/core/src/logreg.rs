@@ -18,17 +18,18 @@
 //! paper stresses — the injected noise is independent of the dataset
 //! cardinality.
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use fm_data::Dataset;
 use fm_poly::chebyshev::logistic_chebyshev;
 use fm_poly::taylor::{identity_component, logistic_log1pexp_component, TaylorComponent};
 use fm_poly::QuadraticForm;
 
-use crate::linreg::fit_with_mechanism_noise;
-use crate::mechanism::{NoiseDistribution, PolynomialObjective, SensitivityBound};
-use crate::model::LogisticModel;
-use crate::postprocess::Strategy;
+use crate::estimator::{
+    DpEstimator, EstimatorBuilder, FitConfig, FmEstimator, RegressionObjective,
+};
+use crate::mechanism::{PolynomialObjective, SensitivityBound};
+use crate::model::{LogisticModel, ModelKind};
 use crate::{FmError, Result};
 
 /// The paper's logistic-regression sensitivity: `Δ = d²/4 + 3d`
@@ -87,6 +88,26 @@ impl PolynomialObjective for LogisticObjective {
         // f₂ batched: α += −Xᵀy (y = 0 rows contribute exactly zero, as in
         // the per-tuple skip).
         fm_linalg::vecops::gemv_t_acc(-1.0, xs, d, ys, q.alpha_mut());
+    }
+
+    fn supports_columnar(&self) -> bool {
+        true
+    }
+
+    fn accumulate_batch_columnar(
+        &self,
+        xt: &fm_linalg::Matrix,
+        ys: &[f64],
+        lo: usize,
+        hi: usize,
+        q: &mut QuadraticForm,
+    ) {
+        // Same kernels read from the cached transpose (bit-identical).
+        logistic_log1pexp_component().accumulate_cols_into(xt, lo, hi, q);
+        let yr = &ys[lo..hi];
+        for (j, out) in q.alpha_mut().iter_mut().enumerate() {
+            fm_linalg::vecops::dot_blocked_acc(-1.0, &xt.row(j)[lo..hi], yr, out);
+        }
     }
 
     fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64 {
@@ -207,6 +228,25 @@ impl PolynomialObjective for ChebyshevLogisticObjective {
         fm_linalg::vecops::gemv_t_acc(-1.0, xs, d, ys, q.alpha_mut());
     }
 
+    fn supports_columnar(&self) -> bool {
+        true
+    }
+
+    fn accumulate_batch_columnar(
+        &self,
+        xt: &fm_linalg::Matrix,
+        ys: &[f64],
+        lo: usize,
+        hi: usize,
+        q: &mut QuadraticForm,
+    ) {
+        self.component.accumulate_cols_into(xt, lo, hi, q);
+        let yr = &ys[lo..hi];
+        for (j, out) in q.alpha_mut().iter_mut().enumerate() {
+            fm_linalg::vecops::dot_blocked_acc(-1.0, &xt.row(j)[lo..hi], yr, out);
+        }
+    }
+
     fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64 {
         // Same derivation as §5.3 with (a₁, a₂) in place of (½, ⅛):
         // Δ = 2·max_t (a₁Σ|x| + a₂(Σ|x|)² + yΣ|x|) ≤ 2((a₁+1)S + a₂S²)
@@ -228,78 +268,93 @@ impl PolynomialObjective for ChebyshevLogisticObjective {
     }
 }
 
-/// Builder for [`DpLogisticRegression`].
-#[derive(Debug, Clone)]
-pub struct DpLogisticRegressionBuilder {
-    epsilon: f64,
-    bound: SensitivityBound,
-    strategy: Strategy,
-    fit_intercept: bool,
-    approximation: Approximation,
-    noise: NoiseDistribution,
+impl RegressionObjective for LogisticObjective {
+    type Model = LogisticModel;
 }
 
-impl Default for DpLogisticRegressionBuilder {
-    fn default() -> Self {
-        DpLogisticRegressionBuilder {
-            epsilon: 1.0,
-            bound: SensitivityBound::Paper,
-            strategy: Strategy::default(),
-            fit_intercept: false,
-            approximation: Approximation::Taylor,
-            noise: NoiseDistribution::Laplace,
+impl RegressionObjective for ChebyshevLogisticObjective {
+    type Model = LogisticModel;
+}
+
+/// Either degree-2 surrogate of the logistic loss, as one
+/// [`RegressionObjective`] the generic [`FmEstimator`] core can hold —
+/// what [`DpLogisticRegression`] instantiates from its configured
+/// [`Approximation`].
+#[derive(Debug, Clone, Copy)]
+pub enum LogisticSurrogate {
+    /// The §5 Taylor truncation.
+    Taylor(LogisticObjective),
+    /// The §8-alternative Chebyshev fit.
+    Chebyshev(ChebyshevLogisticObjective),
+}
+
+impl LogisticSurrogate {
+    /// Builds the surrogate for an [`Approximation`] choice.
+    ///
+    /// # Errors
+    /// [`FmError::InvalidConfig`] for a bad Chebyshev interval.
+    pub fn new(approximation: Approximation) -> Result<Self> {
+        Ok(match approximation {
+            Approximation::Taylor => LogisticSurrogate::Taylor(LogisticObjective),
+            Approximation::Chebyshev { half_width } => {
+                LogisticSurrogate::Chebyshev(ChebyshevLogisticObjective::new(half_width)?)
+            }
+        })
+    }
+
+    fn inner(&self) -> &dyn PolynomialObjective {
+        match self {
+            LogisticSurrogate::Taylor(o) => o,
+            LogisticSurrogate::Chebyshev(o) => o,
         }
     }
 }
 
+impl PolynomialObjective for LogisticSurrogate {
+    fn accumulate_tuple(&self, x: &[f64], y: f64, q: &mut QuadraticForm) {
+        self.inner().accumulate_tuple(x, y, q);
+    }
+    fn accumulate_batch(&self, xs: &[f64], ys: &[f64], d: usize, q: &mut QuadraticForm) {
+        self.inner().accumulate_batch(xs, ys, d, q);
+    }
+    fn supports_columnar(&self) -> bool {
+        true
+    }
+    fn accumulate_batch_columnar(
+        &self,
+        xt: &fm_linalg::Matrix,
+        ys: &[f64],
+        lo: usize,
+        hi: usize,
+        q: &mut QuadraticForm,
+    ) {
+        self.inner().accumulate_batch_columnar(xt, ys, lo, hi, q);
+    }
+    fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64 {
+        self.inner().sensitivity(d, bound)
+    }
+    fn sensitivity_l2(&self, d: usize) -> f64 {
+        self.inner().sensitivity_l2(d)
+    }
+    fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
+        self.inner().validate(data)
+    }
+}
+
+impl RegressionObjective for LogisticSurrogate {
+    type Model = LogisticModel;
+}
+
+/// Builder for [`DpLogisticRegression`]: the shared [`EstimatorBuilder`]
+/// knobs plus the surrogate choice.
+pub type DpLogisticRegressionBuilder = EstimatorBuilder<Approximation>;
+
 impl DpLogisticRegressionBuilder {
-    /// Sets the privacy budget ε (default 1.0).
-    #[must_use]
-    pub fn epsilon(mut self, epsilon: f64) -> Self {
-        self.epsilon = epsilon;
-        self
-    }
-
-    /// Sets the sensitivity bound (default [`SensitivityBound::Paper`]).
-    #[must_use]
-    pub fn sensitivity_bound(mut self, bound: SensitivityBound) -> Self {
-        self.bound = bound;
-        self
-    }
-
-    /// Sets the unboundedness strategy (default
-    /// [`Strategy::RegularizeThenTrim`]).
-    #[must_use]
-    pub fn strategy(mut self, strategy: Strategy) -> Self {
-        self.strategy = strategy;
-        self
-    }
-
-    /// Also fits an intercept term `b` (default `false`): the decision
-    /// function becomes `σ(xᵀω + b)`. Internally the data is mapped to
-    /// `(x/√2, 1/√2)` — preserving `‖x‖₂ ≤ 1` — and a `d+1`-dimensional
-    /// model is fitted with the standard sensitivity at dimension `d+1`.
-    #[must_use]
-    pub fn fit_intercept(mut self, yes: bool) -> Self {
-        self.fit_intercept = yes;
-        self
-    }
-
     /// Chooses the degree-2 surrogate of the logistic loss (default
     /// [`Approximation::Taylor`], the paper's §5 expansion).
     #[must_use]
     pub fn approximation(mut self, approximation: Approximation) -> Self {
-        self.approximation = approximation;
-        self
-    }
-
-    /// Chooses the noise distribution (default
-    /// [`NoiseDistribution::Laplace`], strict ε-DP);
-    /// [`NoiseDistribution::Gaussian`] switches to (ε, δ)-DP with
-    /// L2-calibrated noise; incompatible with [`Strategy::Resample`].
-    #[must_use]
-    pub fn noise(mut self, noise: NoiseDistribution) -> Self {
-        self.noise = noise;
+        self.family = approximation;
         self
     }
 
@@ -307,18 +362,19 @@ impl DpLogisticRegressionBuilder {
     #[must_use]
     pub fn build(self) -> DpLogisticRegression {
         DpLogisticRegression {
-            epsilon: self.epsilon,
-            bound: self.bound,
-            strategy: self.strategy,
-            fit_intercept: self.fit_intercept,
-            approximation: self.approximation,
-            noise: self.noise,
+            config: self.config,
+            approximation: self.family,
         }
     }
 }
 
 /// ε-differentially private logistic regression via Algorithm 2
-/// (Taylor truncation + the Functional Mechanism).
+/// (Taylor truncation + the Functional Mechanism) — a thin wrapper that
+/// builds a [`LogisticSurrogate`] from its configured [`Approximation`]
+/// and delegates the entire fit pipeline to the generic
+/// [`FmEstimator`] core. (It is a two-field struct rather than a type
+/// alias only because Chebyshev surrogate construction can fail, and that
+/// error is reported at `fit` time, not `build` time.)
 ///
 /// ```
 /// use fm_core::logreg::DpLogisticRegression;
@@ -336,12 +392,8 @@ impl DpLogisticRegressionBuilder {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DpLogisticRegression {
-    epsilon: f64,
-    bound: SensitivityBound,
-    strategy: Strategy,
-    fit_intercept: bool,
+    config: FitConfig,
     approximation: Approximation,
-    noise: NoiseDistribution,
 }
 
 impl DpLogisticRegression {
@@ -355,52 +407,31 @@ impl DpLogisticRegression {
     /// The configured privacy budget.
     #[must_use]
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        self.config.epsilon
+    }
+
+    /// The shared fit configuration.
+    #[must_use]
+    pub fn config(&self) -> &FitConfig {
+        &self.config
+    }
+
+    /// Instantiates the generic core for the configured surrogate.
+    fn estimator(&self) -> Result<FmEstimator<LogisticSurrogate>> {
+        Ok(FmEstimator::new(
+            LogisticSurrogate::new(self.approximation)?,
+            self.config,
+        ))
     }
 
     /// Fits an ε-DP logistic model on `data`, which must satisfy
     /// Definition 2's contract (`‖x‖₂ ≤ 1`, `y ∈ {0, 1}`).
     ///
     /// # Errors
-    /// As [`crate::linreg::DpLinearRegression::fit`], plus
-    /// [`FmError::InvalidConfig`] for a bad Chebyshev interval.
+    /// As [`FmEstimator::fit`], plus [`FmError::InvalidConfig`] for a bad
+    /// Chebyshev interval.
     pub fn fit(&self, data: &Dataset, rng: &mut impl Rng) -> Result<LogisticModel> {
-        let aug;
-        let work: &Dataset = if self.fit_intercept {
-            aug = data.augment_for_intercept();
-            &aug
-        } else {
-            data
-        };
-        let omega_raw = match self.approximation {
-            Approximation::Taylor => fit_with_mechanism_noise(
-                work,
-                &LogisticObjective,
-                self.epsilon,
-                self.bound,
-                self.noise,
-                self.strategy,
-                rng,
-            )?,
-            Approximation::Chebyshev { half_width } => {
-                let objective = ChebyshevLogisticObjective::new(half_width)?;
-                fit_with_mechanism_noise(
-                    work,
-                    &objective,
-                    self.epsilon,
-                    self.bound,
-                    self.noise,
-                    self.strategy,
-                    rng,
-                )?
-            }
-        };
-        if self.fit_intercept {
-            let (omega, b) = crate::model::split_augmented_weights(omega_raw);
-            Ok(LogisticModel::with_intercept(omega, b, Some(self.epsilon)))
-        } else {
-            Ok(LogisticModel::new(omega_raw, Some(self.epsilon)))
-        }
+        self.estimator()?.fit(data, rng)
     }
 
     /// Fits the *non-private* minimiser of the truncated objective — the
@@ -412,32 +443,27 @@ impl DpLogisticRegression {
     /// [`FmError::Data`] / [`FmError::Optim`] on contract violation or a
     /// degenerate (rank-deficient) Hessian.
     pub fn fit_truncated_without_privacy(&self, data: &Dataset) -> Result<LogisticModel> {
-        let aug;
-        let work: &Dataset = if self.fit_intercept {
-            aug = data.augment_for_intercept();
-            &aug
-        } else {
-            data
-        };
-        let q = match self.approximation {
-            Approximation::Taylor => {
-                LogisticObjective.validate(work)?;
-                truncated_objective(work)
-            }
-            Approximation::Chebyshev { half_width } => {
-                let objective = ChebyshevLogisticObjective::new(half_width)?;
-                objective.validate(work)?;
-                objective.assemble(work)
-            }
-        };
-        let omega_raw =
-            fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha()).map_err(FmError::from)?;
-        if self.fit_intercept {
-            let (omega, b) = crate::model::split_augmented_weights(omega_raw);
-            Ok(LogisticModel::with_intercept(omega, b, None))
-        } else {
-            Ok(LogisticModel::new(omega_raw, None))
-        }
+        self.estimator()?.fit_without_privacy(data)
+    }
+}
+
+impl DpEstimator for DpLogisticRegression {
+    type Model = LogisticModel;
+
+    fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> Result<LogisticModel> {
+        DpLogisticRegression::fit(self, data, &mut rng)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.config.epsilon)
+    }
+
+    fn delta(&self) -> Option<f64> {
+        self.config.delta()
+    }
+
+    fn task(&self) -> ModelKind {
+        ModelKind::Logistic
     }
 }
 

@@ -104,6 +104,51 @@ pub trait PolynomialObjective: Sync {
         }
     }
 
+    /// Whether [`PolynomialObjective::accumulate_batch_columnar`] is backed
+    /// by real column-major kernels. When `true`, [`crate::assembly`] reads
+    /// the dataset's cached [`fm_data::Dataset::columnar`] transpose
+    /// instead of re-packing the row-major block every assemble — the
+    /// ROADMAP's CV-repeat amortization. The built-in objectives all opt
+    /// in; custom objectives keep the row-major path by default.
+    fn supports_columnar(&self) -> bool {
+        false
+    }
+
+    /// Accumulates tuples `[lo, hi)` read from `xt` — the `d × n`
+    /// **transpose** of the feature block (one contiguous row per feature
+    /// column, see [`fm_data::Dataset::columnar`]) — and the full label
+    /// vector `ys` (length `n`).
+    ///
+    /// Overrides must produce **bit-identical** coefficients to
+    /// [`PolynomialObjective::accumulate_batch`] over the same rows: the
+    /// columnar kernels in `fm-linalg`/`fm-poly` replicate the row-major
+    /// kernels' floating-point grouping exactly, so layout choice can
+    /// never perturb an experiment. The default upholds that contract for
+    /// *any* objective by materialising the range back into a row-major
+    /// block and delegating to
+    /// [`PolynomialObjective::accumulate_batch`] — correct and
+    /// bit-identical even for an objective that overrides only
+    /// `supports_columnar`, at the cost of a transient `(hi−lo)·d` copy.
+    fn accumulate_batch_columnar(
+        &self,
+        xt: &fm_linalg::Matrix,
+        ys: &[f64],
+        lo: usize,
+        hi: usize,
+        q: &mut QuadraticForm,
+    ) {
+        debug_assert_eq!(xt.rows(), q.dim(), "accumulate_batch_columnar: arity");
+        debug_assert!(lo <= hi && hi <= ys.len() && ys.len() == xt.cols());
+        let d = q.dim();
+        let mut rows = vec![0.0; (hi - lo) * d];
+        for (offset, i) in (lo..hi).enumerate() {
+            for j in 0..d {
+                rows[offset * d + j] = xt[(j, i)];
+            }
+        }
+        self.accumulate_batch(&rows, &ys[lo..hi], d, q);
+    }
+
     /// The coefficient-vector L1 sensitivity `Δ₁` for dimension `d`.
     fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64;
 

@@ -1,15 +1,98 @@
-//! Released model artefacts.
+//! Released model artefacts and the unified [`Model`] trait.
 //!
 //! A fitted model is just its parameter vector `ω̄` — the output of
 //! Algorithm 1 — plus the fit metadata. Predictions are deterministic
 //! functions of `ω̄` and the query point, so they are post-processing and
 //! carry the same ε-DP guarantee as the parameters themselves.
 //!
-//! Both model types optionally carry an **intercept** `b` (the paper's
+//! All model types optionally carry an **intercept** `b` (the paper's
 //! footnote-2 generalisation `ŷ = xᵀω + b`); models fitted without one have
 //! `b = 0` and behave exactly as Definition 1/2 prescribe.
+//!
+//! The three concrete families — [`LinearModel`], [`LogisticModel`],
+//! [`PoissonModel`] — share one dyn-compatible [`Model`] trait (weights,
+//! intercept, spent ε, task-appropriate batch prediction), which is what
+//! [`crate::persist::SavedModel`] and the generic cross-validation in
+//! [`crate::session`] consume instead of matching per kind. The sized
+//! companion trait [`PersistableModel`] adds the construction direction
+//! (kind tag + `from_parts`) used by persistence round-trips and by the
+//! generic [`crate::estimator::FmEstimator`] fit path.
 
 use fm_linalg::{vecops, Matrix};
+
+/// Which regression family a model (or estimator) belongs to — the `task`
+/// metadata of [`crate::estimator::DpEstimator`] and the `kind` tag of
+/// serialised [`crate::persist::SavedModel`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// `ŷ = xᵀω + b` (Definition 1 / footnote 2).
+    Linear,
+    /// `P(y=1|x) = σ(xᵀω + b)` (Definition 2).
+    Logistic,
+    /// `λ(x) = exp(xᵀω + b)` (the §8 count-regression extension).
+    Poisson,
+}
+
+impl ModelKind {
+    /// Stable lower-case name (used by the `fm-model v1` text format and
+    /// experiment reports).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModelKind::Linear => "linear",
+            ModelKind::Logistic => "logistic",
+            ModelKind::Poisson => "poisson",
+        }
+    }
+}
+
+/// The family-agnostic surface of a released regression model.
+///
+/// Everything here is post-processing of the (already private) parameter
+/// vector, so generic consumers — persistence, cross-validation, the
+/// benchmark harness — inherit the fit's (ε[, δ]) guarantee for free.
+/// The trait is dyn-compatible: `Box<dyn Model>` works for heterogeneous
+/// model stores.
+pub trait Model {
+    /// The regression family this model belongs to.
+    fn kind(&self) -> ModelKind;
+
+    /// The parameter vector `ω`.
+    fn weights(&self) -> &[f64];
+
+    /// The intercept `b` (0 when fitted without one).
+    fn intercept(&self) -> f64;
+
+    /// Privacy budget spent fitting, if any (`None` for non-private
+    /// baselines).
+    fn epsilon(&self) -> Option<f64>;
+
+    /// Dimensionality `d` (excluding the intercept).
+    fn dim(&self) -> usize {
+        self.weights().len()
+    }
+
+    /// The family's natural point prediction: `ŷ` for linear,
+    /// `P(y = 1 | x)` for logistic, the rate `λ(x)` for Poisson.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// [`Model::predict`] for every row of `x`.
+    fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict(x.row(r))).collect()
+    }
+}
+
+/// The sized companion of [`Model`]: a statically-known family tag plus
+/// the constructor persistence and the generic estimator core use to
+/// materialise a model from raw parts.
+pub trait PersistableModel: Model + Sized {
+    /// The family tag, known without an instance (what
+    /// [`crate::persist::SavedModel::into_model`] checks against).
+    const KIND: ModelKind;
+
+    /// Builds a model from its released parts.
+    fn from_parts(weights: Vec<f64>, intercept: f64, epsilon: Option<f64>) -> Self;
+}
 
 /// A fitted linear-regression model `ρ(x) = xᵀω + b` (Definition 1;
 /// footnote 2 for the intercept `b`).
@@ -157,6 +240,156 @@ impl LogisticModel {
     #[must_use]
     pub fn probabilities_batch(&self, x: &Matrix) -> Vec<f64> {
         (0..x.rows()).map(|r| self.probability(x.row(r))).collect()
+    }
+}
+
+/// A fitted Poisson-regression model with rate `λ(x) = exp(xᵀω + b)` (the
+/// §8 count-regression extension).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonModel {
+    weights: Vec<f64>,
+    intercept: f64,
+    epsilon: Option<f64>,
+}
+
+impl PoissonModel {
+    /// Wraps a parameter vector (no intercept).
+    #[must_use]
+    pub fn new(weights: Vec<f64>, epsilon: Option<f64>) -> Self {
+        PoissonModel {
+            weights,
+            intercept: 0.0,
+            epsilon,
+        }
+    }
+
+    /// Wraps a parameter vector together with an intercept term.
+    #[must_use]
+    pub fn with_intercept(weights: Vec<f64>, intercept: f64, epsilon: Option<f64>) -> Self {
+        PoissonModel {
+            weights,
+            intercept,
+            epsilon,
+        }
+    }
+
+    /// The model parameters `ω`.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The intercept `b` (0 when fitted without one).
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Privacy budget spent fitting, if any.
+    #[must_use]
+    pub fn epsilon(&self) -> Option<f64> {
+        self.epsilon
+    }
+
+    /// Dimensionality `d` (excluding the intercept).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The log-rate `xᵀω + b`.
+    #[must_use]
+    pub fn log_rate(&self, x: &[f64]) -> f64 {
+        vecops::dot(x, &self.weights) + self.intercept
+    }
+
+    /// The predicted rate (= expected count) `λ(x) = exp(xᵀω + b)`.
+    #[must_use]
+    pub fn rate(&self, x: &[f64]) -> f64 {
+        self.log_rate(x).exp()
+    }
+
+    /// Rates for every row of `x`.
+    #[must_use]
+    pub fn rates_batch(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.rate(x.row(r))).collect()
+    }
+}
+
+impl Model for LinearModel {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Linear
+    }
+    fn weights(&self) -> &[f64] {
+        LinearModel::weights(self)
+    }
+    fn intercept(&self) -> f64 {
+        LinearModel::intercept(self)
+    }
+    fn epsilon(&self) -> Option<f64> {
+        LinearModel::epsilon(self)
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        LinearModel::predict(self, x)
+    }
+}
+
+impl PersistableModel for LinearModel {
+    const KIND: ModelKind = ModelKind::Linear;
+    fn from_parts(weights: Vec<f64>, intercept: f64, epsilon: Option<f64>) -> Self {
+        LinearModel::with_intercept(weights, intercept, epsilon)
+    }
+}
+
+impl Model for LogisticModel {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Logistic
+    }
+    fn weights(&self) -> &[f64] {
+        LogisticModel::weights(self)
+    }
+    fn intercept(&self) -> f64 {
+        LogisticModel::intercept(self)
+    }
+    fn epsilon(&self) -> Option<f64> {
+        LogisticModel::epsilon(self)
+    }
+    /// The task-natural prediction: `P(y = 1 | x)`.
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.probability(x)
+    }
+}
+
+impl PersistableModel for LogisticModel {
+    const KIND: ModelKind = ModelKind::Logistic;
+    fn from_parts(weights: Vec<f64>, intercept: f64, epsilon: Option<f64>) -> Self {
+        LogisticModel::with_intercept(weights, intercept, epsilon)
+    }
+}
+
+impl Model for PoissonModel {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Poisson
+    }
+    fn weights(&self) -> &[f64] {
+        PoissonModel::weights(self)
+    }
+    fn intercept(&self) -> f64 {
+        PoissonModel::intercept(self)
+    }
+    fn epsilon(&self) -> Option<f64> {
+        PoissonModel::epsilon(self)
+    }
+    /// The task-natural prediction: the rate `λ(x)`.
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.rate(x)
+    }
+}
+
+impl PersistableModel for PoissonModel {
+    const KIND: ModelKind = ModelKind::Poisson;
+    fn from_parts(weights: Vec<f64>, intercept: f64, epsilon: Option<f64>) -> Self {
+        PoissonModel::with_intercept(weights, intercept, epsilon)
     }
 }
 

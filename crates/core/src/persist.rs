@@ -23,40 +23,20 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use crate::model::{LinearModel, LogisticModel};
-use crate::poisson::PoissonModel;
+use crate::model::{LinearModel, LogisticModel, Model, PersistableModel, PoissonModel};
 use crate::{FmError, Result};
+
+pub use crate::model::ModelKind;
 
 /// Format magic + version line.
 const HEADER: &str = "fm-model v1";
 
-/// Which model family a serialised file holds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ModelKind {
-    /// `ŷ = xᵀω + b` (Definition 1 / footnote 2).
-    Linear,
-    /// `P(y=1|x) = σ(xᵀω + b)` (Definition 2).
-    Logistic,
-    /// `λ(x) = exp(xᵀω + b)` (the §8 count-regression extension).
-    Poisson,
-}
-
-impl ModelKind {
-    fn as_str(self) -> &'static str {
-        match self {
-            ModelKind::Linear => "linear",
-            ModelKind::Logistic => "logistic",
-            ModelKind::Poisson => "poisson",
-        }
-    }
-
-    fn parse(s: &str) -> Result<Self> {
-        match s {
-            "linear" => Ok(ModelKind::Linear),
-            "logistic" => Ok(ModelKind::Logistic),
-            "poisson" => Ok(ModelKind::Poisson),
-            other => Err(parse_error(format!("unknown model kind `{other}`"))),
-        }
+fn parse_kind(s: &str) -> Result<ModelKind> {
+    match s {
+        "linear" => Ok(ModelKind::Linear),
+        "logistic" => Ok(ModelKind::Logistic),
+        "poisson" => Ok(ModelKind::Poisson),
+        other => Err(parse_error(format!("unknown model kind `{other}`"))),
     }
 }
 
@@ -133,7 +113,7 @@ impl SavedModel {
                 .split_once(' ')
                 .ok_or_else(|| parse_error(format!("malformed line `{line}`")))?;
             match key {
-                "kind" => set_once(&mut kind, ModelKind::parse(value)?, "kind")?,
+                "kind" => set_once(&mut kind, parse_kind(value)?, "kind")?,
                 "epsilon" => {
                     let v = if value == "none" {
                         None
@@ -195,17 +175,34 @@ impl SavedModel {
         Self::from_text(&text)
     }
 
+    /// Captures any [`Model`] (including a `dyn Model`) as a serialisable
+    /// payload — the generic form of the `From<&M>` conversions.
+    pub fn from_model<M: Model + ?Sized>(m: &M) -> Self {
+        SavedModel {
+            kind: m.kind(),
+            weights: m.weights().to_vec(),
+            intercept: m.intercept(),
+            epsilon: m.epsilon(),
+        }
+    }
+
+    /// Converts into any [`PersistableModel`] family, checking the stored
+    /// kind tag against the requested type's `KIND` — the one generic
+    /// round-trip the per-family `into_*` helpers forward to.
+    ///
+    /// # Errors
+    /// [`FmError::InvalidConfig`] when the file holds a different family.
+    pub fn into_model<M: PersistableModel>(self) -> Result<M> {
+        self.expect_kind(M::KIND)?;
+        Ok(M::from_parts(self.weights, self.intercept, self.epsilon))
+    }
+
     /// Converts into a [`LinearModel`].
     ///
     /// # Errors
     /// [`FmError::InvalidConfig`] when the file holds a different family.
     pub fn into_linear(self) -> Result<LinearModel> {
-        self.expect_kind(ModelKind::Linear)?;
-        Ok(LinearModel::with_intercept(
-            self.weights,
-            self.intercept,
-            self.epsilon,
-        ))
+        self.into_model()
     }
 
     /// Converts into a [`LogisticModel`].
@@ -213,12 +210,7 @@ impl SavedModel {
     /// # Errors
     /// [`FmError::InvalidConfig`] when the file holds a different family.
     pub fn into_logistic(self) -> Result<LogisticModel> {
-        self.expect_kind(ModelKind::Logistic)?;
-        Ok(LogisticModel::with_intercept(
-            self.weights,
-            self.intercept,
-            self.epsilon,
-        ))
+        self.into_model()
     }
 
     /// Converts into a [`PoissonModel`].
@@ -226,12 +218,7 @@ impl SavedModel {
     /// # Errors
     /// [`FmError::InvalidConfig`] when the file holds a different family.
     pub fn into_poisson(self) -> Result<PoissonModel> {
-        self.expect_kind(ModelKind::Poisson)?;
-        Ok(PoissonModel::with_intercept(
-            self.weights,
-            self.intercept,
-            self.epsilon,
-        ))
+        self.into_model()
     }
 
     fn expect_kind(&self, want: ModelKind) -> Result<()> {
@@ -250,36 +237,9 @@ impl SavedModel {
     }
 }
 
-impl From<&LinearModel> for SavedModel {
-    fn from(m: &LinearModel) -> Self {
-        SavedModel {
-            kind: ModelKind::Linear,
-            weights: m.weights().to_vec(),
-            intercept: m.intercept(),
-            epsilon: m.epsilon(),
-        }
-    }
-}
-
-impl From<&LogisticModel> for SavedModel {
-    fn from(m: &LogisticModel) -> Self {
-        SavedModel {
-            kind: ModelKind::Logistic,
-            weights: m.weights().to_vec(),
-            intercept: m.intercept(),
-            epsilon: m.epsilon(),
-        }
-    }
-}
-
-impl From<&PoissonModel> for SavedModel {
-    fn from(m: &PoissonModel) -> Self {
-        SavedModel {
-            kind: ModelKind::Poisson,
-            weights: m.weights().to_vec(),
-            intercept: m.intercept(),
-            epsilon: m.epsilon(),
-        }
+impl<M: Model> From<&M> for SavedModel {
+    fn from(m: &M) -> Self {
+        SavedModel::from_model(m)
     }
 }
 

@@ -35,18 +35,22 @@
 //! Chebyshev surrogate (`Approximation::Chebyshev`) roughly quarters the
 //! sup-error on the same interval.
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use fm_data::Dataset;
 use fm_poly::chebyshev::ChebyshevQuadratic;
 use fm_poly::taylor::{identity_component, poisson_exp_component, TaylorComponent};
 use fm_poly::QuadraticForm;
 
-use crate::linreg::fit_with_mechanism_noise;
+use crate::estimator::{
+    DpEstimator, EstimatorBuilder, FitConfig, FmEstimator, RegressionObjective,
+};
 use crate::logreg::Approximation;
-use crate::mechanism::{NoiseDistribution, PolynomialObjective, SensitivityBound};
-use crate::postprocess::Strategy;
+use crate::mechanism::{PolynomialObjective, SensitivityBound};
+use crate::model::ModelKind;
 use crate::{FmError, Result};
+
+pub use crate::model::PoissonModel;
 
 /// Default count cap: covers IPUMS-style count attributes (children,
 /// automobiles) and clips essentially nothing when rates stay in `[1/e, e]`.
@@ -185,6 +189,25 @@ impl PolynomialObjective for PoissonObjective {
         fm_linalg::vecops::gemv_t_acc(-1.0, xs, d, ys, q.alpha_mut());
     }
 
+    fn supports_columnar(&self) -> bool {
+        true
+    }
+
+    fn accumulate_batch_columnar(
+        &self,
+        xt: &fm_linalg::Matrix,
+        ys: &[f64],
+        lo: usize,
+        hi: usize,
+        q: &mut QuadraticForm,
+    ) {
+        self.component.accumulate_cols_into(xt, lo, hi, q);
+        let yr = &ys[lo..hi];
+        for (j, out) in q.alpha_mut().iter_mut().enumerate() {
+            fm_linalg::vecops::dot_blocked_acc(-1.0, &xt.row(j)[lo..hi], yr, out);
+        }
+    }
+
     fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64 {
         let s = match bound {
             SensitivityBound::Paper => d as f64,
@@ -202,140 +225,36 @@ impl PolynomialObjective for PoissonObjective {
     }
 }
 
-/// A fitted Poisson-regression model with rate `λ(x) = exp(xᵀω + b)`.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PoissonModel {
-    weights: Vec<f64>,
-    intercept: f64,
-    epsilon: Option<f64>,
+impl RegressionObjective for PoissonObjective {
+    type Model = PoissonModel;
 }
 
-impl PoissonModel {
-    /// Wraps a parameter vector (no intercept).
-    #[must_use]
-    pub fn new(weights: Vec<f64>, epsilon: Option<f64>) -> Self {
-        PoissonModel {
-            weights,
-            intercept: 0.0,
-            epsilon,
-        }
-    }
-
-    /// Wraps a parameter vector together with an intercept term.
-    #[must_use]
-    pub fn with_intercept(weights: Vec<f64>, intercept: f64, epsilon: Option<f64>) -> Self {
-        PoissonModel {
-            weights,
-            intercept,
-            epsilon,
-        }
-    }
-
-    /// The model parameters `ω`.
-    #[must_use]
-    pub fn weights(&self) -> &[f64] {
-        &self.weights
-    }
-
-    /// The intercept `b` (0 when fitted without one).
-    #[must_use]
-    pub fn intercept(&self) -> f64 {
-        self.intercept
-    }
-
-    /// Privacy budget spent fitting, if any.
-    #[must_use]
-    pub fn epsilon(&self) -> Option<f64> {
-        self.epsilon
-    }
-
-    /// Dimensionality `d` (excluding the intercept).
-    #[must_use]
-    pub fn dim(&self) -> usize {
-        self.weights.len()
-    }
-
-    /// The log-rate `xᵀω + b`.
-    #[must_use]
-    pub fn log_rate(&self, x: &[f64]) -> f64 {
-        fm_linalg::vecops::dot(x, &self.weights) + self.intercept
-    }
-
-    /// The predicted rate (= expected count) `λ(x) = exp(xᵀω + b)`.
-    #[must_use]
-    pub fn rate(&self, x: &[f64]) -> f64 {
-        self.log_rate(x).exp()
-    }
-
-    /// Rates for every row of `x`.
-    #[must_use]
-    pub fn rates_batch(&self, x: &fm_linalg::Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|r| self.rate(x.row(r))).collect()
-    }
-}
-
-/// Builder for [`DpPoissonRegression`].
-#[derive(Debug, Clone)]
-pub struct DpPoissonRegressionBuilder {
-    epsilon: f64,
-    bound: SensitivityBound,
-    strategy: Strategy,
-    fit_intercept: bool,
+/// The Poisson-specific builder knobs carried next to the shared
+/// [`FitConfig`]: the surrogate choice and the count cap.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonSettings {
     approximation: Approximation,
     y_max: f64,
-    noise: NoiseDistribution,
 }
 
-impl Default for DpPoissonRegressionBuilder {
+impl Default for PoissonSettings {
     fn default() -> Self {
-        DpPoissonRegressionBuilder {
-            epsilon: 1.0,
-            bound: SensitivityBound::Paper,
-            strategy: Strategy::default(),
-            fit_intercept: false,
+        PoissonSettings {
             approximation: Approximation::Taylor,
             y_max: DEFAULT_Y_MAX,
-            noise: NoiseDistribution::Laplace,
         }
     }
 }
 
+/// Builder for [`DpPoissonRegression`]: the shared [`EstimatorBuilder`]
+/// knobs plus the surrogate choice and count cap.
+pub type DpPoissonRegressionBuilder = EstimatorBuilder<PoissonSettings>;
+
 impl DpPoissonRegressionBuilder {
-    /// Sets the privacy budget ε (default 1.0).
-    #[must_use]
-    pub fn epsilon(mut self, epsilon: f64) -> Self {
-        self.epsilon = epsilon;
-        self
-    }
-
-    /// Sets the sensitivity bound (default [`SensitivityBound::Paper`]).
-    #[must_use]
-    pub fn sensitivity_bound(mut self, bound: SensitivityBound) -> Self {
-        self.bound = bound;
-        self
-    }
-
-    /// Sets the unboundedness strategy (default
-    /// [`Strategy::RegularizeThenTrim`]).
-    #[must_use]
-    pub fn strategy(mut self, strategy: Strategy) -> Self {
-        self.strategy = strategy;
-        self
-    }
-
-    /// Also fits an intercept term (default `false`); the rate becomes
-    /// `exp(xᵀω + b)` via the same `(x/√2, 1/√2)` augmentation as
-    /// linear/logistic.
-    #[must_use]
-    pub fn fit_intercept(mut self, yes: bool) -> Self {
-        self.fit_intercept = yes;
-        self
-    }
-
     /// Chooses the degree-2 surrogate of `eᶻ` (default Taylor).
     #[must_use]
     pub fn approximation(mut self, approximation: Approximation) -> Self {
-        self.approximation = approximation;
+        self.family.approximation = approximation;
         self
     }
 
@@ -344,17 +263,7 @@ impl DpPoissonRegressionBuilder {
     /// data. A larger cap admits larger counts but scales Δ linearly.
     #[must_use]
     pub fn y_max(mut self, y_max: f64) -> Self {
-        self.y_max = y_max;
-        self
-    }
-
-    /// Chooses the noise distribution (default
-    /// [`NoiseDistribution::Laplace`], strict ε-DP);
-    /// [`NoiseDistribution::Gaussian`] switches to (ε, δ)-DP with
-    /// L2-calibrated noise; incompatible with [`Strategy::Resample`].
-    #[must_use]
-    pub fn noise(mut self, noise: NoiseDistribution) -> Self {
-        self.noise = noise;
+        self.family.y_max = y_max;
         self
     }
 
@@ -362,18 +271,18 @@ impl DpPoissonRegressionBuilder {
     #[must_use]
     pub fn build(self) -> DpPoissonRegression {
         DpPoissonRegression {
-            epsilon: self.epsilon,
-            bound: self.bound,
-            strategy: self.strategy,
-            fit_intercept: self.fit_intercept,
-            approximation: self.approximation,
-            y_max: self.y_max,
-            noise: self.noise,
+            config: self.config,
+            settings: self.family,
         }
     }
 }
 
-/// ε-differentially private Poisson regression via the Functional Mechanism.
+/// ε-differentially private Poisson regression via the Functional
+/// Mechanism — a thin wrapper that builds a [`PoissonObjective`] from its
+/// configured surrogate and count cap and delegates the entire fit
+/// pipeline to the generic [`FmEstimator`] core. (A two-field struct
+/// rather than a type alias only because objective construction validates
+/// `y_max`/`half_width`, and those errors are reported at `fit` time.)
 ///
 /// ```
 /// use fm_core::poisson::DpPoissonRegression;
@@ -390,13 +299,8 @@ impl DpPoissonRegressionBuilder {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DpPoissonRegression {
-    epsilon: f64,
-    bound: SensitivityBound,
-    strategy: Strategy,
-    fit_intercept: bool,
-    approximation: Approximation,
-    y_max: f64,
-    noise: NoiseDistribution,
+    config: FitConfig,
+    settings: PoissonSettings,
 }
 
 impl DpPoissonRegression {
@@ -410,45 +314,37 @@ impl DpPoissonRegression {
     /// The configured privacy budget.
     #[must_use]
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        self.config.epsilon
     }
 
     /// The configured count cap.
     #[must_use]
     pub fn y_max(&self) -> f64 {
-        self.y_max
+        self.settings.y_max
+    }
+
+    /// The shared fit configuration.
+    #[must_use]
+    pub fn config(&self) -> &FitConfig {
+        &self.config
+    }
+
+    /// Instantiates the generic core for the configured surrogate and cap.
+    fn estimator(&self) -> Result<FmEstimator<PoissonObjective>> {
+        Ok(FmEstimator::new(
+            PoissonObjective::from_approximation(self.settings.y_max, self.settings.approximation)?,
+            self.config,
+        ))
     }
 
     /// Fits an ε-DP Poisson model on `data`, which must satisfy the count
     /// contract (`‖x‖₂ ≤ 1`, `y ∈ [0, y_max]`).
     ///
     /// # Errors
-    /// As [`crate::linreg::DpLinearRegression::fit`], plus
-    /// [`FmError::InvalidConfig`] for a bad cap or Chebyshev interval.
+    /// As [`FmEstimator::fit`], plus [`FmError::InvalidConfig`] for a bad
+    /// cap or Chebyshev interval.
     pub fn fit(&self, data: &Dataset, rng: &mut impl Rng) -> Result<PoissonModel> {
-        let objective = PoissonObjective::from_approximation(self.y_max, self.approximation)?;
-        let aug;
-        let work: &Dataset = if self.fit_intercept {
-            aug = data.augment_for_intercept();
-            &aug
-        } else {
-            data
-        };
-        let omega_raw = fit_with_mechanism_noise(
-            work,
-            &objective,
-            self.epsilon,
-            self.bound,
-            self.noise,
-            self.strategy,
-            rng,
-        )?;
-        if self.fit_intercept {
-            let (omega, b) = crate::model::split_augmented_weights(omega_raw);
-            Ok(PoissonModel::with_intercept(omega, b, Some(self.epsilon)))
-        } else {
-            Ok(PoissonModel::new(omega_raw, Some(self.epsilon)))
-        }
+        self.estimator()?.fit(data, rng)
     }
 
     /// Fits the *non-private* minimiser of the truncated objective
@@ -458,24 +354,27 @@ impl DpPoissonRegression {
     /// [`FmError::Data`] / [`FmError::Optim`] on contract violation or a
     /// degenerate Hessian.
     pub fn fit_truncated_without_privacy(&self, data: &Dataset) -> Result<PoissonModel> {
-        let objective = PoissonObjective::from_approximation(self.y_max, self.approximation)?;
-        let aug;
-        let work: &Dataset = if self.fit_intercept {
-            aug = data.augment_for_intercept();
-            &aug
-        } else {
-            data
-        };
-        objective.validate(work)?;
-        let q = objective.assemble(work);
-        let omega_raw =
-            fm_optim::quadratic::minimize_quadratic(q.m(), q.alpha()).map_err(FmError::from)?;
-        if self.fit_intercept {
-            let (omega, b) = crate::model::split_augmented_weights(omega_raw);
-            Ok(PoissonModel::with_intercept(omega, b, None))
-        } else {
-            Ok(PoissonModel::new(omega_raw, None))
-        }
+        self.estimator()?.fit_without_privacy(data)
+    }
+}
+
+impl DpEstimator for DpPoissonRegression {
+    type Model = PoissonModel;
+
+    fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> Result<PoissonModel> {
+        DpPoissonRegression::fit(self, data, &mut rng)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.config.epsilon)
+    }
+
+    fn delta(&self) -> Option<f64> {
+        self.config.delta()
+    }
+
+    fn task(&self) -> ModelKind {
+        ModelKind::Poisson
     }
 }
 

@@ -1,0 +1,360 @@
+//! [`PrivacySession`]: budget-aware fitting with automatic composition
+//! accounting.
+//!
+//! The paper's evaluation protocol fits *many* models on the same data —
+//! 50 repeats × 5-fold cross-validation per method, ε-sweeps, model
+//! selection — and every one of those fits spends privacy budget on the
+//! same individuals. Before this module, `fm_privacy::budget` had the
+//! ledgers but nothing consulted them; a 250-fold experiment silently
+//! advertised its per-fit ε as if the fits were free to compose.
+//!
+//! A [`PrivacySession`] wraps a [`PrivacyBudget`] (optional hard cap) and
+//! an [`EpsDeltaLedger`] (always-on audit trail) around any
+//! [`DpEstimator`]: every fit drawn through [`PrivacySession::fit`] first
+//! debits its advertised (ε, δ) — an over-budget fit **errors before
+//! touching the data** — and the session can then report the honest total
+//! under basic composition `(Σεᵢ, Σδᵢ)` and the Dwork–Rothblum–Vadhan
+//! advanced bound (the `√k` regime that pays off exactly in the many-
+//! small-fits CV setting).
+//!
+//! Non-private baselines (`epsilon() == None`) pass through without a
+//! debit, so one harness loop can run FM, DPME, FP *and* NoPrivacy while
+//! the ledger tracks only the mechanisms that actually spend.
+//!
+//! ```
+//! use fm_core::linreg::DpLinearRegression;
+//! use fm_core::session::PrivacySession;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+//! let data = fm_data::synth::linear_dataset(&mut rng, 4_000, 2, 0.1);
+//! let est = DpLinearRegression::builder().epsilon(0.2).build();
+//!
+//! let mut session = PrivacySession::with_budget(1.0).unwrap();
+//! for _ in 0..5 {
+//!     session.fit(&est, &data, &mut rng).unwrap();
+//! }
+//! assert!((session.spent_epsilon() - 1.0).abs() < 1e-9);
+//! assert!(session.fit(&est, &data, &mut rng).is_err()); // budget exhausted
+//! ```
+
+use rand::Rng;
+
+use fm_data::cv::KFold;
+use fm_data::Dataset;
+use fm_privacy::budget::{EpsDeltaLedger, PrivacyBudget};
+
+use crate::estimator::DpEstimator;
+use crate::{FmError, Result};
+
+/// A budget-aware fitting session: every [`DpEstimator::fit`] drawn
+/// through it is debited against an optional hard ε cap and recorded in an
+/// (ε, δ) audit ledger.
+#[derive(Debug, Clone, Default)]
+pub struct PrivacySession {
+    budget: Option<PrivacyBudget>,
+    ledger: EpsDeltaLedger,
+    fits: usize,
+}
+
+/// The composed guarantee of everything a session has fitted, in the
+/// forms an auditor asks for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompositionReport {
+    /// Number of budget-consuming fits recorded.
+    pub fits: usize,
+    /// Basic (sequential) composition `(Σεᵢ, Σδᵢ)`.
+    pub basic: (f64, f64),
+    /// The advanced-composition bound at the report's slack δ′.
+    pub advanced: (f64, f64),
+    /// The tighter of the two (what should be quoted).
+    pub best: (f64, f64),
+}
+
+impl PrivacySession {
+    /// A session with no hard cap: fits always run, and the ledger answers
+    /// *what did all of this compose to?* after the fact.
+    #[must_use]
+    pub fn new() -> Self {
+        PrivacySession::default()
+    }
+
+    /// A session enforcing a total ε budget: a fit whose advertised ε
+    /// exceeds what remains errors with
+    /// [`fm_privacy::PrivacyError::BudgetExhausted`] *before* running.
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] unless `total_epsilon` is finite and > 0.
+    pub fn with_budget(total_epsilon: f64) -> Result<Self> {
+        Ok(PrivacySession {
+            budget: Some(PrivacyBudget::new(total_epsilon)?),
+            ledger: EpsDeltaLedger::new(),
+            fits: 0,
+        })
+    }
+
+    /// Whether `estimator`'s advertised (ε, δ) would be accepted right
+    /// now: its metadata is well-formed and the remaining budget (if any)
+    /// covers its ε. A pre-flight for harnesses that want to plan a
+    /// line-up before spending anything.
+    #[must_use]
+    pub fn can_fit<E: DpEstimator + ?Sized>(&self, estimator: &E) -> bool {
+        let Some(epsilon) = estimator.epsilon() else {
+            return true; // non-private: never debited
+        };
+        if fm_privacy::budget::EpsDeltaEntry::validated(epsilon, estimator.delta().unwrap_or(0.0))
+            .is_err()
+        {
+            return false;
+        }
+        self.budget.as_ref().map_or(true, |b| b.can_spend(epsilon))
+    }
+
+    /// Fits `estimator` on `data`, debiting its advertised (ε, δ) first.
+    ///
+    /// The debit is atomic: the (ε, δ) metadata is validated and the cap
+    /// checked before anything is committed, so the budget and the audit
+    /// ledger can never diverge. Once debited, the spend is kept even if
+    /// the fit subsequently fails: a mechanism run that may have touched
+    /// the data must be paid for whether or not it produced a usable
+    /// model (its failure mode may itself be data-dependent — this is
+    /// deliberately conservative for failures that precede data access,
+    /// e.g. a bad surrogate interval). Non-private estimators
+    /// (`epsilon() == None`) are not debited.
+    ///
+    /// # Errors
+    /// * [`FmError::Privacy`] for malformed (ε, δ) metadata or when the
+    ///   debit would exceed the remaining budget (the fit is **not** run
+    ///   and nothing is recorded).
+    /// * Whatever the estimator's own `fit` returns.
+    pub fn fit<E, R>(&mut self, estimator: &E, data: &Dataset, rng: &mut R) -> Result<E::Model>
+    where
+        E: DpEstimator + ?Sized,
+        R: Rng,
+    {
+        if let Some(epsilon) = estimator.epsilon() {
+            // Validate the full (ε, δ) pair before committing anywhere.
+            let entry = fm_privacy::budget::EpsDeltaEntry::validated(
+                epsilon,
+                estimator.delta().unwrap_or(0.0),
+            )?;
+            if let Some(budget) = &mut self.budget {
+                budget.spend(epsilon)?;
+            }
+            self.ledger.record_entry(entry);
+            self.fits += 1;
+        }
+        estimator.fit(data, rng)
+    }
+
+    /// Runs the paper's k-fold protocol through the session: one fit per
+    /// fold (each debited individually, so the session's total is the
+    /// honest `k·ε` of sequential composition), scored on the held-out
+    /// fold by `score`.
+    ///
+    /// Generic over `dyn`/`impl` [`DpEstimator`], so the same call drives
+    /// FM, the baselines, or a mixed line-up.
+    ///
+    /// # Errors
+    /// Fold-construction errors, budget exhaustion, or fit failures.
+    pub fn cross_validate<E, R>(
+        &mut self,
+        estimator: &E,
+        data: &Dataset,
+        k: usize,
+        rng: &mut R,
+        mut score: impl FnMut(&E::Model, &Dataset) -> f64,
+    ) -> Result<Vec<f64>>
+    where
+        E: DpEstimator + ?Sized,
+        R: Rng,
+    {
+        let kfold = KFold::new(data.n(), k, rng).map_err(FmError::Data)?;
+        let mut scores = Vec::with_capacity(k);
+        for f in 0..k {
+            let (train, test) = kfold.split(data, f).map_err(FmError::Data)?;
+            let model = self.fit(estimator, &train, rng)?;
+            scores.push(score(&model, &test));
+        }
+        Ok(scores)
+    }
+
+    /// Number of budget-consuming fits recorded so far.
+    #[must_use]
+    pub fn num_fits(&self) -> usize {
+        self.fits
+    }
+
+    /// Total ε spent under basic composition.
+    #[must_use]
+    pub fn spent_epsilon(&self) -> f64 {
+        self.ledger.basic_composition().0
+    }
+
+    /// Total δ accumulated under basic composition.
+    #[must_use]
+    pub fn spent_delta(&self) -> f64 {
+        self.ledger.basic_composition().1
+    }
+
+    /// ε still available under the hard cap (`None` when the session is
+    /// uncapped).
+    #[must_use]
+    pub fn remaining_epsilon(&self) -> Option<f64> {
+        self.budget.as_ref().map(PrivacyBudget::remaining)
+    }
+
+    /// The underlying (ε, δ) audit ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &EpsDeltaLedger {
+        &self.ledger
+    }
+
+    /// The composed guarantee at advanced-composition slack `delta_prime`.
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] unless `delta_prime ∈ (0, 1)`.
+    pub fn report(&self, delta_prime: f64) -> Result<CompositionReport> {
+        let basic = self.ledger.basic_composition();
+        let advanced = self.ledger.advanced_composition(delta_prime)?;
+        let best = self.ledger.best_composition(delta_prime)?;
+        Ok(CompositionReport {
+            fits: self.fits,
+            basic,
+            advanced,
+            best,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::DpLinearRegression;
+    use fm_data::metrics;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(808)
+    }
+
+    #[test]
+    fn session_debits_every_fit() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 2_000, 2, 0.1);
+        let est = DpLinearRegression::builder().epsilon(0.3).build();
+        let mut session = PrivacySession::new();
+        for _ in 0..4 {
+            session.fit(&est, &data, &mut r).unwrap();
+        }
+        assert_eq!(session.num_fits(), 4);
+        assert!((session.spent_epsilon() - 1.2).abs() < 1e-12);
+        assert_eq!(session.spent_delta(), 0.0);
+        assert_eq!(session.remaining_epsilon(), None);
+    }
+
+    #[test]
+    fn over_budget_fit_errors_before_running() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 1_000, 2, 0.1);
+        let est = DpLinearRegression::builder().epsilon(0.6).build();
+        let mut session = PrivacySession::with_budget(1.0).unwrap();
+        session.fit(&est, &data, &mut r).unwrap();
+        let err = session.fit(&est, &data, &mut r).unwrap_err();
+        assert!(matches!(err, FmError::Privacy(_)), "{err}");
+        // The refused fit must not be recorded.
+        assert_eq!(session.num_fits(), 1);
+        assert!((session.spent_epsilon() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_delta_is_refused_without_touching_budget_or_ledger() {
+        // An estimator advertising an invalid δ must be rejected *before*
+        // anything is committed: budget and ledger stay in lock-step.
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 500, 2, 0.1);
+        let est = DpLinearRegression::builder()
+            .epsilon(0.5)
+            .noise(crate::NoiseDistribution::Gaussian { delta: 1.0 })
+            .build();
+        let mut session = PrivacySession::with_budget(1.0).unwrap();
+        assert!(!session.can_fit(&est));
+        let err = session.fit(&est, &data, &mut r).unwrap_err();
+        assert!(matches!(err, FmError::Privacy(_)), "{err}");
+        assert_eq!(session.num_fits(), 0);
+        assert_eq!(session.spent_epsilon(), 0.0);
+        assert_eq!(session.remaining_epsilon(), Some(1.0));
+    }
+
+    #[test]
+    fn can_fit_preflight_tracks_the_budget() {
+        // A non-private stand-in: never debited, always passes pre-flight.
+        struct Free;
+        impl DpEstimator for Free {
+            type Model = ();
+            fn fit(&self, _: &Dataset, _: &mut dyn rand::RngCore) -> Result<()> {
+                Ok(())
+            }
+            fn epsilon(&self) -> Option<f64> {
+                None
+            }
+            fn task(&self) -> crate::ModelKind {
+                crate::ModelKind::Linear
+            }
+        }
+
+        let est = DpLinearRegression::builder().epsilon(0.6).build();
+        let mut session = PrivacySession::with_budget(1.0).unwrap();
+        assert!(session.can_fit(&est));
+        assert!(session.can_fit(&Free));
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 500, 2, 0.1);
+        session.fit(&est, &data, &mut r).unwrap();
+        assert!(!session.can_fit(&est), "0.4 left < 0.6 asked");
+        assert!(session.can_fit(&Free), "non-private is never refused");
+    }
+
+    #[test]
+    fn cross_validate_composes_k_times_epsilon() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 2_500, 2, 0.1);
+        let est = DpLinearRegression::builder().epsilon(0.2).build();
+        let mut session = PrivacySession::new();
+        let scores = session
+            .cross_validate(&est, &data, 5, &mut r, |m, test| {
+                metrics::mse(&m.predict_batch(test.x()), test.y())
+            })
+            .unwrap();
+        assert_eq!(scores.len(), 5);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        assert_eq!(session.num_fits(), 5);
+        assert!((session.spent_epsilon() - 1.0).abs() < 1e-12);
+        let report = session.report(1e-6).unwrap();
+        assert_eq!(report.fits, 5);
+        assert!((report.basic.0 - 1.0).abs() < 1e-12);
+        assert!(report.best.0 <= report.basic.0 + 1e-12);
+    }
+
+    #[test]
+    fn report_prefers_advanced_composition_for_many_small_fits() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 500, 2, 0.1);
+        let est = DpLinearRegression::builder().epsilon(0.05).build();
+        let mut session = PrivacySession::new();
+        for _ in 0..100 {
+            // At ε = 0.05 some draws leave no positive spectrum and the fit
+            // fails — but the mechanism ran, so the debit stands either way.
+            let _ = session.fit(&est, &data, &mut r);
+        }
+        assert_eq!(session.num_fits(), 100);
+        let report = session.report(1e-6).unwrap();
+        assert!((report.basic.0 - 5.0).abs() < 1e-9);
+        assert!(
+            report.best.0 < report.basic.0,
+            "√k regime: advanced ({}) must beat basic ({})",
+            report.advanced.0,
+            report.basic.0
+        );
+        assert_eq!(report.best, report.advanced);
+    }
+}

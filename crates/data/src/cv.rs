@@ -118,16 +118,21 @@ pub fn train_test_split(
 }
 
 /// Runs `evaluate(train, test)` over every fold and returns the per-fold
-/// scores — the inner loop of the paper's evaluation protocol.
+/// results — the inner loop of the paper's evaluation protocol.
+///
+/// Generic over the fold result `S`: a plain `f64` score, a fitted model,
+/// or any richer record — whatever the evaluation closure produces.
+/// (`fm-core`'s `PrivacySession::cross_validate` layers budget accounting
+/// on top of the same fold machinery for estimator-trait consumers.)
 ///
 /// # Errors
 /// Propagates fold-construction and callback errors.
-pub fn cross_validate<E>(
+pub fn cross_validate<S, E>(
     data: &Dataset,
     k: usize,
     rng: &mut impl Rng,
-    mut evaluate: impl FnMut(&Dataset, &Dataset) -> std::result::Result<f64, E>,
-) -> Result<Vec<f64>>
+    mut evaluate: impl FnMut(&Dataset, &Dataset) -> std::result::Result<S, E>,
+) -> Result<Vec<S>>
 where
     DataError: From<E>,
 {

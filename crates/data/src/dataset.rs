@@ -13,11 +13,31 @@ const NORM_TOL: f64 = 1e-9;
 /// `x` is `n × d` (one row per tuple), `y` has length `n`. Feature names
 /// are carried for experiment reporting and attribute-subset selection;
 /// they are optional semantics, not part of equality.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Dataset {
     x: Matrix,
     y: Vec<f64>,
     feature_names: Vec<String>,
+    /// Lazily-built column-major view of `x` (the `d × n` transpose),
+    /// shared by every fit on this dataset — see [`Dataset::columnar`].
+    xt: std::sync::OnceLock<Matrix>,
+    /// How many coefficient-assembly passes this dataset has served —
+    /// the reuse signal behind [`Dataset::columnar_on_reuse`].
+    scans: std::sync::atomic::AtomicU32,
+}
+
+impl Clone for Dataset {
+    fn clone(&self) -> Self {
+        Dataset {
+            x: self.x.clone(),
+            y: self.y.clone(),
+            feature_names: self.feature_names.clone(),
+            xt: self.xt.clone(),
+            scans: std::sync::atomic::AtomicU32::new(
+                self.scans.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
+    }
 }
 
 impl Dataset {
@@ -41,6 +61,8 @@ impl Dataset {
             x,
             y,
             feature_names,
+            xt: std::sync::OnceLock::new(),
+            scans: std::sync::atomic::AtomicU32::new(0),
         })
     }
 
@@ -83,6 +105,51 @@ impl Dataset {
     #[must_use]
     pub fn y(&self) -> &[f64] {
         &self.y
+    }
+
+    /// The cached column-major view of the feature block: the `d × n`
+    /// transpose of [`Dataset::x`], built on first use and reused by every
+    /// subsequent call — row `j` of the returned matrix is feature column
+    /// `j`, stored contiguously.
+    ///
+    /// This is what lets repeated fits on the same dataset (the paper's 50
+    /// repeats × 5 folds protocol, ε-sweeps, error-vs-budget averaging)
+    /// amortize the transpose that coefficient assembly otherwise re-does
+    /// per call: the Gram kernels (`XᵀX`, `Xᵀy`, `Σx`) read these
+    /// contiguous columns directly instead of packing row-major chunks
+    /// into column panels every time. The view costs one extra `n·d` block
+    /// of memory and is only materialised when something asks for it.
+    #[must_use]
+    pub fn columnar(&self) -> &Matrix {
+        self.xt.get_or_init(|| self.x.transpose())
+    }
+
+    /// The columnar view, but only once this dataset is demonstrably
+    /// *reused*: returns the cache when it is already built, or builds it
+    /// from the second assembly pass onward; the very first pass over a
+    /// fresh dataset gets `None`.
+    ///
+    /// This is the policy coefficient assembly consults. A one-shot fit
+    /// (a CV fold's training split, an intercept-augmented copy) never
+    /// pays the `n·d` transpose allocation; repeat workloads — the
+    /// paper's 50-repeats protocol on the same split, ε-sweeps, bench
+    /// loops — amortize it automatically from the second fit on. Since
+    /// the columnar and row-major kernels are bit-identical, which branch
+    /// a given pass takes can never perturb assembled coefficients.
+    #[must_use]
+    pub fn columnar_on_reuse(&self) -> Option<&Matrix> {
+        if let Some(xt) = self.xt.get() {
+            return Some(xt);
+        }
+        if self
+            .scans
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            > 0
+        {
+            Some(self.columnar())
+        } else {
+            None
+        }
     }
 
     /// Feature names, in column order.
@@ -360,6 +427,39 @@ mod tests {
             bad.check_normalized_logistic(),
             Err(DataError::NotNormalized { .. })
         ));
+    }
+
+    #[test]
+    fn columnar_view_is_exact_transpose_and_cached() {
+        let ds = small();
+        let xt = ds.columnar();
+        assert_eq!(xt.rows(), ds.d());
+        assert_eq!(xt.cols(), ds.n());
+        for r in 0..ds.n() {
+            for c in 0..ds.d() {
+                assert_eq!(xt[(c, r)], ds.x()[(r, c)], "bit-exact transpose");
+            }
+        }
+        // Repeated calls return the same cached allocation, not a rebuild.
+        assert!(std::ptr::eq(ds.columnar(), xt));
+    }
+
+    #[test]
+    fn columnar_on_reuse_waits_for_a_second_pass() {
+        let ds = small();
+        // First pass: no cache yet — the one-shot case stays row-major.
+        assert!(ds.columnar_on_reuse().is_none());
+        // Second pass: the reuse signal fires and the cache materialises.
+        let xt = ds.columnar_on_reuse().expect("built on reuse");
+        assert_eq!(xt.rows(), ds.d());
+        // Once built, every pass gets the same cached view.
+        assert!(std::ptr::eq(ds.columnar_on_reuse().unwrap(), xt));
+        // An explicitly warmed dataset serves the view from pass one.
+        let warm = small();
+        let _ = warm.columnar();
+        assert!(warm.columnar_on_reuse().is_some());
+        // A clone carries the warmed cache along.
+        assert!(warm.clone().columnar_on_reuse().is_some());
     }
 
     #[test]

@@ -441,50 +441,52 @@ impl Matrix {
                 }
             }
             let col = |j: usize| &scratch[j * k..j * k + k];
-            let mut i = 0;
-            while i + 1 < d {
-                let (ci0, ci1) = (col(i), col(i + 1));
-                // Diagonal corner of the 2-row strip.
-                let (d00, d01, _, d11) = dot_2x2(ci0, ci1, ci0, ci1);
-                self.data[i * d + i] += a * d00;
-                self.data[i * d + i + 1] += a * d01;
-                self.data[(i + 1) * d + i + 1] += a * d11;
-                let mut j = i + 2;
-                // 2×4 register blocking: eight independent accumulator
-                // chains hide FMA latency; eight FMAs per six loads keep
-                // the load ports off the critical path.
-                while j + 3 < d {
-                    let c = dot_2x4(ci0, ci1, col(j), col(j + 1), col(j + 2), col(j + 3));
-                    for (t, &v) in c[..4].iter().enumerate() {
-                        self.data[i * d + j + t] += a * v;
-                    }
-                    for (t, &v) in c[4..].iter().enumerate() {
-                        self.data[(i + 1) * d + j + t] += a * v;
-                    }
-                    j += 4;
-                }
-                while j + 1 < d {
-                    let (c00, c01, c10, c11) = dot_2x2(ci0, ci1, col(j), col(j + 1));
-                    self.data[i * d + j] += a * c00;
-                    self.data[i * d + j + 1] += a * c01;
-                    self.data[(i + 1) * d + j] += a * c10;
-                    self.data[(i + 1) * d + j + 1] += a * c11;
-                    j += 2;
-                }
-                if j < d {
-                    let cj = col(j);
-                    self.data[i * d + j] += a * dot_lanes(ci0, cj);
-                    self.data[(i + 1) * d + j] += a * dot_lanes(ci1, cj);
-                }
-                i += 2;
-            }
-            if i < d {
-                let ci = col(i);
-                for j in i..d {
-                    self.data[i * d + j] += a * dot_lanes(ci, col(j));
-                }
-            }
+            syrk_dot_panel(&mut self.data, d, a, &col);
         }
+    }
+
+    /// Column-major symmetric rank-k accumulation
+    /// `self ← self + a · XᵀX` over the row range `[lo, hi)`, where `xt`
+    /// is the `d × n` **transpose** of the design matrix (each feature
+    /// column stored contiguously as one of `xt`'s rows) — typically the
+    /// cached `Dataset::columnar()` view from `fm-data`, so repeated
+    /// assemblies skip [`Matrix::syrk_acc`]'s per-call pack step.
+    ///
+    /// Panel blocking and the register-blocked dot kernels are shared with
+    /// [`Matrix::syrk_acc`], so for the same row range the two paths are
+    /// **bit-identical** — switching a caller between them can never
+    /// perturb assembled coefficients.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] unless `self` is `d × d` with
+    /// `d = xt.rows()` and `lo ≤ hi ≤ xt.cols()`. `self` must be symmetric
+    /// on entry (debug-asserted): the mirror step overwrites the lower
+    /// triangle.
+    pub fn syrk_cols_acc(&mut self, a: f64, xt: &Matrix, lo: usize, hi: usize) -> Result<()> {
+        let d = xt.rows();
+        if self.rows != d || self.cols != d || d == 0 || lo > hi || hi > xt.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "syrk_cols_acc",
+                lhs: self.shape(),
+                rhs: (d, hi.saturating_sub(lo)),
+            });
+        }
+        debug_assert!(
+            self.is_symmetric(0.0),
+            "syrk_cols_acc requires a symmetric accumulator"
+        );
+        // Identical L1-resident panel size to `syrk_acc`, so the partial
+        // sums group the same way (bit-exact agreement between the paths).
+        let panel_rows = (3_072 / d.max(1)).max(16) & !7;
+        let mut plo = lo;
+        while plo < hi {
+            let phi = (plo + panel_rows).min(hi);
+            let col = |j: usize| &xt.row(j)[plo..phi];
+            syrk_dot_panel(&mut self.data, d, a, &col);
+            plo = phi;
+        }
+        self.mirror_upper();
+        Ok(())
     }
 
     /// Weighted symmetric rank-k accumulation
@@ -618,6 +620,57 @@ thread_local! {
     /// kernel is called once per row chunk on the assembly hot path, and a
     /// fresh zeroed allocation per call costs more than the pack itself.
     static SYRK_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The register-blocked upper-triangle update shared by
+/// [`Matrix::syrk_acc`] (packed scratch columns) and
+/// [`Matrix::syrk_cols_acc`] (cached transpose rows): for one panel of `k`
+/// tuples whose `d` feature columns are served contiguously by `col`,
+/// accumulates `data[i·d + j] += a · col(i)·col(j)` for `i ≤ j`.
+fn syrk_dot_panel<'a>(data: &mut [f64], d: usize, a: f64, col: &impl Fn(usize) -> &'a [f64]) {
+    let mut i = 0;
+    while i + 1 < d {
+        let (ci0, ci1) = (col(i), col(i + 1));
+        // Diagonal corner of the 2-row strip.
+        let (d00, d01, _, d11) = dot_2x2(ci0, ci1, ci0, ci1);
+        data[i * d + i] += a * d00;
+        data[i * d + i + 1] += a * d01;
+        data[(i + 1) * d + i + 1] += a * d11;
+        let mut j = i + 2;
+        // 2×4 register blocking: eight independent accumulator
+        // chains hide FMA latency; eight FMAs per six loads keep
+        // the load ports off the critical path.
+        while j + 3 < d {
+            let c = dot_2x4(ci0, ci1, col(j), col(j + 1), col(j + 2), col(j + 3));
+            for (t, &v) in c[..4].iter().enumerate() {
+                data[i * d + j + t] += a * v;
+            }
+            for (t, &v) in c[4..].iter().enumerate() {
+                data[(i + 1) * d + j + t] += a * v;
+            }
+            j += 4;
+        }
+        while j + 1 < d {
+            let (c00, c01, c10, c11) = dot_2x2(ci0, ci1, col(j), col(j + 1));
+            data[i * d + j] += a * c00;
+            data[i * d + j + 1] += a * c01;
+            data[(i + 1) * d + j] += a * c10;
+            data[(i + 1) * d + j + 1] += a * c11;
+            j += 2;
+        }
+        if j < d {
+            let cj = col(j);
+            data[i * d + j] += a * dot_lanes(ci0, cj);
+            data[(i + 1) * d + j] += a * dot_lanes(ci1, cj);
+        }
+        i += 2;
+    }
+    if i < d {
+        let ci = col(i);
+        for j in i..d {
+            data[i * d + j] += a * dot_lanes(ci, col(j));
+        }
+    }
 }
 
 /// Contiguous dot product with eight independent accumulator lanes. The

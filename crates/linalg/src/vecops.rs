@@ -118,6 +118,46 @@ pub fn col_sums_acc(a: f64, rows: &[f64], d: usize, out: &mut [f64]) {
     }
 }
 
+/// Column-major counterpart of [`gemv_t_acc`] for a single feature column:
+/// `out ← out + a · colᵀy` with the **same** four-row grouping
+/// `(c₀x₀ + c₁x₁) + (c₂x₂ + c₃x₃)` per quad (`c_l = a·y_l`), so assembling
+/// from a cached transpose is bit-identical to streaming the row-major
+/// block. Callers loop this over the `d` columns.
+///
+/// # Panics
+/// If `col.len() != y.len()` (a silent zip truncation would be silently
+/// wrong coefficients).
+pub fn dot_blocked_acc(a: f64, col: &[f64], y: &[f64], out: &mut f64) {
+    assert_eq!(col.len(), y.len(), "dot_blocked_acc: length mismatch");
+    let mut acc = *out;
+    let mut cq = col.chunks_exact(4);
+    let mut yq = y.chunks_exact(4);
+    for (c4, y4) in (&mut cq).zip(&mut yq) {
+        let (c0, c1, c2, c3) = (a * y4[0], a * y4[1], a * y4[2], a * y4[3]);
+        acc += (c0 * c4[0] + c1 * c4[1]) + (c2 * c4[2] + c3 * c4[3]);
+    }
+    for (&x, &yi) in cq.remainder().iter().zip(yq.remainder()) {
+        acc += (a * yi) * x;
+    }
+    *out = acc;
+}
+
+/// Column-major counterpart of [`col_sums_acc`] for a single feature
+/// column: `out ← out + a · Σ col`, grouping four rows per addition
+/// exactly as the row-major kernel does — bit-identical results when a
+/// caller switches between the two layouts.
+pub fn sum_blocked_acc(a: f64, col: &[f64], out: &mut f64) {
+    let mut acc = *out;
+    let mut cq = col.chunks_exact(4);
+    for c4 in &mut cq {
+        acc += a * ((c4[0] + c4[1]) + (c4[2] + c4[3]));
+    }
+    for &x in cq.remainder() {
+        acc += a * x;
+    }
+    *out = acc;
+}
+
 /// Manhattan norm `‖x‖₁`.
 #[must_use]
 pub fn norm1(x: &[f64]) -> f64 {

@@ -106,6 +106,45 @@ impl TaylorComponent {
         }
     }
 
+    /// Column-major counterpart of [`TaylorComponent::accumulate_batch_into`]:
+    /// accumulates the contribution of tuples `[lo, hi)` read from `ct`, the
+    /// `d × n` **transpose** of the coefficient block (feature columns
+    /// contiguous — e.g. a cached `Dataset::columnar()` view). The kernels
+    /// group floating-point sums exactly as the row-major path does, so the
+    /// two layouts produce bit-identical coefficients.
+    ///
+    /// # Panics
+    /// Debug-asserts `ct.rows() == q.dim()` and `lo ≤ hi ≤ ct.cols()`.
+    pub fn accumulate_cols_into(
+        &self,
+        ct: &fm_linalg::Matrix,
+        lo: usize,
+        hi: usize,
+        q: &mut QuadraticForm,
+    ) {
+        let d = q.dim();
+        debug_assert_eq!(ct.rows(), d, "columnar arity");
+        debug_assert!(lo <= hi && hi <= ct.cols(), "columnar range");
+        let k = hi - lo;
+        if k == 0 {
+            return;
+        }
+        let z = self.center;
+        let [f0, f1, f2] = self.derivs;
+        *q.beta_mut() += k as f64 * (f0 - f1 * z + 0.5 * f2 * z * z);
+        let lin = f1 - f2 * z;
+        if lin != 0.0 {
+            for (j, out) in q.alpha_mut().iter_mut().enumerate() {
+                vecops::sum_blocked_acc(lin, &ct.row(j)[lo..hi], out);
+            }
+        }
+        if f2 != 0.0 {
+            q.m_mut()
+                .syrk_cols_acc(0.5 * f2, ct, lo, hi)
+                .expect("arity checked above");
+        }
+    }
+
     /// This component's per-tuple quadratic contribution as a fresh form.
     #[must_use]
     pub fn quadratic_contribution(&self, c: &[f64]) -> QuadraticForm {

@@ -94,6 +94,14 @@ impl PrivacyBudget {
         &self.ledger
     }
 
+    /// Whether a spend of `epsilon` would be accepted right now — the
+    /// pre-flight check estimator sessions use to refuse a fit *before*
+    /// any mechanism touches the data.
+    #[must_use]
+    pub fn can_spend(&self, epsilon: f64) -> bool {
+        epsilon.is_finite() && epsilon > 0.0 && epsilon <= self.remaining() + EPS_SLACK
+    }
+
     /// Records a spend of `epsilon`.
     ///
     /// # Errors
@@ -161,6 +169,34 @@ pub struct EpsDeltaEntry {
     pub delta: f64,
 }
 
+impl EpsDeltaEntry {
+    /// Validates an (ε, δ) pair *without* committing it anywhere — the
+    /// hook budget-aware sessions use to check a fit's advertised cost
+    /// before debiting any ledger, so a malformed δ can never leave a
+    /// budget and an audit trail disagreeing.
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] for ε ≤ 0, non-finite values,
+    /// or δ outside `[0, 1)`.
+    pub fn validated(epsilon: f64, delta: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                constraint: "finite and > 0",
+            });
+        }
+        if !delta.is_finite() || !(0.0..1.0).contains(&delta) {
+            return Err(PrivacyError::InvalidParameter {
+                name: "delta",
+                value: delta,
+                constraint: "in [0, 1)",
+            });
+        }
+        Ok(EpsDeltaEntry { epsilon, delta })
+    }
+}
+
 /// An append-only (ε, δ) audit ledger with basic and advanced composition
 /// reports.
 ///
@@ -198,22 +234,16 @@ impl EpsDeltaLedger {
     /// [`PrivacyError::InvalidParameter`] for ε ≤ 0, non-finite values, or
     /// δ outside `[0, 1)`.
     pub fn record(&mut self, epsilon: f64, delta: f64) -> Result<()> {
-        if !epsilon.is_finite() || epsilon <= 0.0 {
-            return Err(PrivacyError::InvalidParameter {
-                name: "epsilon",
-                value: epsilon,
-                constraint: "finite and > 0",
-            });
-        }
-        if !delta.is_finite() || !(0.0..1.0).contains(&delta) {
-            return Err(PrivacyError::InvalidParameter {
-                name: "delta",
-                value: delta,
-                constraint: "in [0, 1)",
-            });
-        }
-        self.entries.push(EpsDeltaEntry { epsilon, delta });
+        self.record_entry(EpsDeltaEntry::validated(epsilon, delta)?);
         Ok(())
+    }
+
+    /// Appends an already-validated entry (see
+    /// [`EpsDeltaEntry::validated`]) — infallible, so callers that must
+    /// keep several ledgers in lock-step can validate first, commit
+    /// everywhere second.
+    pub fn record_entry(&mut self, entry: EpsDeltaEntry) {
+        self.entries.push(entry);
     }
 
     /// The recorded invocations, in order.
@@ -381,6 +411,36 @@ mod tests {
         b.spend(eps).unwrap(); // the (possibly repeated) mechanism
         b.spend(eps).unwrap(); // the retry premium
         assert!(b.remaining() < 1e-12);
+    }
+
+    #[test]
+    fn can_spend_preflight_matches_spend() {
+        let mut b = PrivacyBudget::new(0.5).unwrap();
+        assert!(b.can_spend(0.5));
+        assert!(!b.can_spend(0.6));
+        assert!(!b.can_spend(0.0));
+        assert!(!b.can_spend(f64::NAN));
+        b.spend(0.4).unwrap();
+        assert!(b.can_spend(0.1));
+        assert!(!b.can_spend(0.2));
+    }
+
+    #[test]
+    fn validated_entry_checks_without_committing() {
+        assert!(EpsDeltaEntry::validated(0.7, 0.0).is_ok());
+        assert!(EpsDeltaEntry::validated(-1.0, 0.0).is_err());
+        assert!(EpsDeltaEntry::validated(0.5, 1.0).is_err());
+        assert!(EpsDeltaEntry::validated(0.5, f64::NAN).is_err());
+        // record_entry is the infallible commit of a validated entry.
+        let mut l = EpsDeltaLedger::new();
+        l.record_entry(EpsDeltaEntry::validated(0.7, 0.0).unwrap());
+        assert_eq!(
+            l.entries(),
+            &[EpsDeltaEntry {
+                epsilon: 0.7,
+                delta: 0.0
+            }]
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! Run with: `cargo run --release --example csv_pipeline`
 
 use functional_mechanism::data::census::{self, CensusProfile};
-use functional_mechanism::data::{csv, normalize::Normalizer};
+use functional_mechanism::data::csv;
 use functional_mechanism::prelude::*;
 use rand::SeedableRng;
 

@@ -9,8 +9,6 @@
 //!
 //! Run with: `cargo run --release --example diabetes_logistic`
 
-use functional_mechanism::data::{metrics, Dataset};
-use functional_mechanism::linalg::Matrix;
 use functional_mechanism::prelude::*;
 use rand::Rng;
 use rand::SeedableRng;

@@ -12,8 +12,7 @@
 //! Run with: `cargo run --release --example gaussian_vs_laplace`
 
 use functional_mechanism::core::linreg;
-use functional_mechanism::core::NoiseDistribution;
-use functional_mechanism::data::{metrics, synth};
+use functional_mechanism::data::synth;
 use functional_mechanism::prelude::*;
 use rand::SeedableRng;
 

@@ -21,7 +21,6 @@ use functional_mechanism::core::postprocess;
 use functional_mechanism::core::FunctionalMechanism;
 use functional_mechanism::data::{cv, synth};
 use functional_mechanism::prelude::*;
-use functional_mechanism::privacy::exponential::ExponentialMechanism;
 use rand::SeedableRng;
 
 fn main() {

@@ -14,10 +14,8 @@
 //!
 //! Run with: `cargo run --release --example poisson_counts`
 
-use functional_mechanism::core::poisson::DpPoissonRegression;
 use functional_mechanism::data::census::{self, CensusProfile};
-use functional_mechanism::data::dataset::Dataset;
-use functional_mechanism::linalg::Matrix;
+use functional_mechanism::prelude::*;
 use rand::SeedableRng;
 
 fn main() {
@@ -73,7 +71,7 @@ fn main() {
     // 4. Non-private floor, then DP fits across budgets. The intercept
     // carries the base rate (log of the mean count); the weights carry the
     // demographic effects (married households skew larger, etc.).
-    let mae = |m: &functional_mechanism::core::poisson::PoissonModel| -> f64 {
+    let mae = |m: &PoissonModel| -> f64 {
         data.tuples()
             .map(|(x, y)| (m.rate(x) - y).abs())
             .sum::<f64>()

@@ -7,8 +7,7 @@
 //!
 //! Run with: `cargo run --release --example privacy_utility_tradeoff`
 
-use functional_mechanism::core::Strategy;
-use functional_mechanism::data::{metrics, synth};
+use functional_mechanism::data::synth;
 use functional_mechanism::prelude::*;
 use rand::SeedableRng;
 

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use functional_mechanism::data::{metrics, synth};
+use functional_mechanism::data::synth;
 use functional_mechanism::prelude::*;
 use rand::SeedableRng;
 

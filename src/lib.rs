@@ -54,6 +54,39 @@
 //! `accumulate_batch` delegates to `accumulate_tuple` row by row and still
 //! rides the same chunked (and optionally parallel) pipeline.
 //!
+//! ## One estimator API
+//!
+//! Every regression — the paper's linear and logistic case studies, the §8
+//! Poisson extension, and any user-supplied polynomial loss — runs through
+//! **one generic core** ([`core::estimator`]):
+//!
+//! * [`core::estimator::FitConfig`] owns the knobs every fit shares
+//!   (ε, sensitivity bound, §6 strategy, intercept, noise distribution);
+//! * [`core::estimator::FmEstimator`]`<O>` is Algorithm 1 over any
+//!   [`core::estimator::RegressionObjective`] `O` —
+//!   `DpLinearRegression` *is* `FmEstimator<LinearObjective>`, and the
+//!   logistic/Poisson front-ends are two-field wrappers over the same
+//!   core;
+//! * the dyn-compatible [`core::estimator::DpEstimator`] trait is
+//!   implemented by the private estimators **and** every `fm-baselines`
+//!   comparator, so method line-ups, cross-validation and experiment
+//!   harnesses hold `&dyn DpEstimator` instead of matching per method;
+//! * fitted models share the [`core::model::Model`] trait (weights /
+//!   intercept / spent ε / task-natural predictions), which persistence
+//!   ([`core::persist::SavedModel`]) and generic scoring consume;
+//! * [`core::session::PrivacySession`] debits every fit against a
+//!   [`privacy::budget::PrivacyBudget`] and reports the honest composed
+//!   (ε, δ) — basic and advanced composition — for multi-fit workloads
+//!   like the paper's 50×5-fold protocol.
+//!
+//! The long-standing `builder()` entry points (`DpLinearRegression::builder()`
+//! and friends) are kept as thin forwarding shims over `FitConfig` +
+//! `FmEstimator`, so existing code migrates without breaking; new code can
+//! construct `FmEstimator::new(objective, config)` directly. The shims are
+//! not going away soon — they are one `build()` away from the generic
+//! core — but new *capabilities* (budget sessions, generic CV, mixed
+//! line-ups) land on the trait surface only.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -65,15 +98,23 @@
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 //! let data = functional_mechanism::data::synth::linear_dataset(&mut rng, 2_000, 5, 0.1);
 //!
-//! // ε-differentially private linear regression (ε = 1).
-//! let model = DpLinearRegression::builder()
-//!     .epsilon(1.0)
-//!     .build()
-//!     .fit(&data, &mut rng)
+//! // ε-differentially private linear regression (ε = 0.8 per fit),
+//! // drawn through a budget-aware session (total ε = 1.0).
+//! let estimator = DpLinearRegression::builder()
+//!     .config(FitConfig::new().epsilon(0.8))
+//!     .build();
+//! let mut session = PrivacySession::with_budget(1.0).expect("valid budget");
+//! let model = session
+//!     .fit(&estimator, &data, &mut rng)
 //!     .expect("fit succeeds on a well-formed dataset");
 //!
 //! let prediction = model.predict(data.x().row(0));
 //! assert!(prediction.is_finite());
+//! assert_eq!(session.spent_epsilon(), 0.8);
+//!
+//! // A second ε = 0.8 fit would overdraw the ledger: the session refuses
+//! // *before* the mechanism touches the data.
+//! assert!(session.fit(&estimator, &data, &mut rng).is_err());
 //! ```
 
 pub use fm_baselines as baselines;
@@ -88,20 +129,26 @@ pub use fm_privacy as privacy;
 pub mod prelude {
     pub use fm_baselines::{
         dpme::Dpme,
+        estimators::{DpmeLinear, DpmeLogistic, FpLinear, FpLogistic},
         fp::FilterPriority,
         noprivacy::{LinearRegression, LogisticRegression},
         truncated::TruncatedLogistic,
     };
     pub use fm_core::{
+        estimator::{DpEstimator, FitConfig, FmEstimator, RegressionObjective},
         linreg::DpLinearRegression,
         logreg::{Approximation, DpLogisticRegression},
-        model::{LinearModel, LogisticModel},
+        model::{LinearModel, LogisticModel, Model, ModelKind, PersistableModel, PoissonModel},
         persist::SavedModel,
-        poisson::{DpPoissonRegression, PoissonModel},
-        FmError, NoiseDistribution,
+        poisson::DpPoissonRegression,
+        session::PrivacySession,
+        FmError, NoiseDistribution, SensitivityBound, Strategy,
     };
-    pub use fm_data::{dataset::Dataset, metrics, normalize::Normalizer};
+    pub use fm_data::{cv::KFold, dataset::Dataset, metrics, normalize::Normalizer};
+    pub use fm_linalg::Matrix;
     pub use fm_privacy::{
-        budget::PrivacyBudget, exponential::ExponentialMechanism, laplace::Laplace,
+        budget::{EpsDeltaLedger, PrivacyBudget},
+        exponential::ExponentialMechanism,
+        laplace::Laplace,
     };
 }

@@ -155,6 +155,87 @@ fn poisson_batched_assembly_matches_per_tuple() {
 }
 
 #[test]
+fn columnar_assembly_is_bit_identical_to_row_major() {
+    // The shipped assemble path reads the dataset's cached column-major
+    // view (`Dataset::columnar()`) for the built-in objectives; its
+    // kernels replicate the row-major kernels' floating-point grouping
+    // exactly, so accumulating the same row range from either layout must
+    // agree bit-for-bit — layout choice can never perturb an experiment.
+    fn check(objective: &impl PolynomialObjective, data: &Dataset, what: &str) {
+        assert!(objective.supports_columnar(), "{what} must opt in");
+        let d = data.d();
+        let xs = data.x().as_slice();
+        let ys = data.y();
+        let xt = data.columnar();
+        for (lo, hi) in [(0usize, data.n()), (0, 1), (5, 4096.min(data.n())), (7, 7)] {
+            let mut row_major = QuadraticForm::zero(d);
+            objective.accumulate_batch(&xs[lo * d..hi * d], &ys[lo..hi], d, &mut row_major);
+            let mut columnar = QuadraticForm::zero(d);
+            objective.accumulate_batch_columnar(xt, ys, lo, hi, &mut columnar);
+            assert_eq!(row_major, columnar, "{what} rows [{lo}, {hi})");
+        }
+    }
+    check(&LinearObjective, &linear_data(41), "linreg");
+    check(&LogisticObjective, &logistic_data(43), "logreg");
+    check(
+        &ChebyshevLogisticObjective::new(1.0).expect("valid width"),
+        &logistic_data(47),
+        "chebyshev-logreg",
+    );
+    check(
+        &PoissonObjective::taylor(8.0).expect("valid cap"),
+        &count_data(53),
+        "poisson",
+    );
+}
+
+#[test]
+fn default_columnar_hook_matches_accumulate_batch_bit_for_bit() {
+    // A custom objective that overrides accumulate_batch (blocked kernels)
+    // and opts into the columnar path WITHOUT overriding the columnar
+    // hook: the default must materialise rows and delegate to
+    // accumulate_batch, so both layouts still agree bit-for-bit and the
+    // assembly branch choice cannot perturb repeated fits.
+    struct BlockedOnly;
+    impl PolynomialObjective for BlockedOnly {
+        fn accumulate_tuple(&self, x: &[f64], y: f64, q: &mut QuadraticForm) {
+            LinearObjective.accumulate_tuple(x, y, q);
+        }
+        fn accumulate_batch(&self, xs: &[f64], ys: &[f64], d: usize, q: &mut QuadraticForm) {
+            LinearObjective.accumulate_batch(xs, ys, d, q);
+        }
+        fn supports_columnar(&self) -> bool {
+            true
+        }
+        fn sensitivity(
+            &self,
+            d: usize,
+            bound: functional_mechanism::core::SensitivityBound,
+        ) -> f64 {
+            LinearObjective.sensitivity(d, bound)
+        }
+        fn sensitivity_l2(&self, d: usize) -> f64 {
+            LinearObjective.sensitivity_l2(d)
+        }
+        fn validate(&self, data: &Dataset) -> functional_mechanism::data::Result<()> {
+            data.check_normalized_linear()
+        }
+    }
+    let data = linear_data(59);
+    let d = data.d();
+    let xs = data.x().as_slice();
+    let ys = data.y();
+    let xt = data.columnar();
+    for (lo, hi) in [(0usize, data.n()), (3, 2048)] {
+        let mut row_major = QuadraticForm::zero(d);
+        BlockedOnly.accumulate_batch(&xs[lo * d..hi * d], &ys[lo..hi], d, &mut row_major);
+        let mut columnar = QuadraticForm::zero(d);
+        BlockedOnly.accumulate_batch_columnar(xt, ys, lo, hi, &mut columnar);
+        assert_eq!(row_major, columnar, "rows [{lo}, {hi})");
+    }
+}
+
+#[test]
 fn default_batch_hook_delegates_to_per_tuple() {
     // An objective that does NOT override accumulate_batch must still go
     // through the chunked pipeline unchanged: the default hook is the

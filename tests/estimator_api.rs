@@ -1,0 +1,191 @@
+//! Integration suite for the generic estimator API: the unified `Model`
+//! trait, generic persistence round-trips, the dyn-compatible
+//! `DpEstimator` surface, and `PrivacySession` budget accounting over a
+//! full cross-validation experiment.
+
+use functional_mechanism::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// All three model kinds, fitted for real, survive a text round-trip
+/// through the *generic* `Model`/`PersistableModel` path bit-exactly.
+#[test]
+fn saved_model_roundtrips_all_kinds_through_the_model_trait() {
+    let mut r = rng(11);
+
+    let linear = {
+        let data = fm_data::synth::linear_dataset(&mut r, 4_000, 3, 0.1);
+        DpLinearRegression::builder()
+            .epsilon(0.8)
+            .fit_intercept(true)
+            .build()
+            .fit(&data, &mut r)
+            .expect("linear fit")
+    };
+    let logistic = {
+        let data = fm_data::synth::logistic_dataset(&mut r, 4_000, 3, 8.0);
+        DpLogisticRegression::builder()
+            .epsilon(0.8)
+            .build()
+            .fit(&data, &mut r)
+            .expect("logistic fit")
+    };
+    let poisson = {
+        let data = fm_data::synth::poisson_dataset(&mut r, 4_000, 3, 8.0);
+        DpPoissonRegression::builder()
+            .epsilon(0.8)
+            .build()
+            .fit(&data, &mut r)
+            .expect("poisson fit")
+    };
+
+    // The generic capture path accepts any `&dyn Model` …
+    let models: Vec<&dyn Model> = vec![&linear, &logistic, &poisson];
+    let kinds = [ModelKind::Linear, ModelKind::Logistic, ModelKind::Poisson];
+    for (m, want) in models.iter().zip(kinds) {
+        assert_eq!(m.kind(), want);
+        assert_eq!(m.epsilon(), Some(0.8));
+        let saved = SavedModel::from_model(*m);
+        let text = saved.to_text().expect("serialise");
+        let back = SavedModel::from_text(&text).expect("parse");
+        assert_eq!(back.kind, want);
+        assert_eq!(back.weights, m.weights());
+        assert_eq!(back.intercept, m.intercept());
+        assert_eq!(back.epsilon, m.epsilon());
+    }
+
+    // … and the typed restore path is bit-exact per family.
+    let text = SavedModel::from(&linear).to_text().unwrap();
+    let lin_back: LinearModel = SavedModel::from_text(&text).unwrap().into_model().unwrap();
+    assert_eq!(lin_back, linear);
+
+    let text = SavedModel::from(&logistic).to_text().unwrap();
+    let log_back: LogisticModel = SavedModel::from_text(&text).unwrap().into_model().unwrap();
+    assert_eq!(log_back, logistic);
+
+    let text = SavedModel::from(&poisson).to_text().unwrap();
+    let poi_back: PoissonModel = SavedModel::from_text(&text).unwrap().into_model().unwrap();
+    assert_eq!(poi_back, poisson);
+
+    // Kind mismatches are rejected by the generic path too.
+    let text = SavedModel::from(&linear).to_text().unwrap();
+    let saved = SavedModel::from_text(&text).unwrap();
+    assert!(saved.clone().into_model::<LogisticModel>().is_err());
+    assert!(saved.into_model::<PoissonModel>().is_err());
+}
+
+/// The session's total spent ε across a K-fold run equals the sum of the
+/// per-fit ε, and a fit that would overdraw the cap errors out.
+#[test]
+fn privacy_session_ledger_composes_kfold_and_blocks_overdraft() {
+    let mut r = rng(23);
+    let data = fm_data::synth::linear_dataset(&mut r, 5_000, 3, 0.1);
+    let per_fit = 0.4;
+    let k = 5;
+    let estimator = DpLinearRegression::builder().epsilon(per_fit).build();
+
+    // Cap exactly at k·ε: the K-fold run must fit, and nothing more.
+    let mut session = PrivacySession::with_budget(per_fit * k as f64).expect("budget");
+    let scores = session
+        .cross_validate(&estimator, &data, k, &mut r, |m, test| {
+            metrics::mse(&m.predict_batch(test.x()), test.y())
+        })
+        .expect("cv within budget");
+    assert_eq!(scores.len(), k);
+    assert_eq!(session.num_fits(), k);
+    // Σ per-fit ε, exactly.
+    let ledger_sum: f64 = session.ledger().entries().iter().map(|e| e.epsilon).sum();
+    assert!((session.spent_epsilon() - per_fit * k as f64).abs() < 1e-12);
+    assert!((ledger_sum - session.spent_epsilon()).abs() < 1e-15);
+    assert!(session.remaining_epsilon().unwrap() < 1e-9);
+
+    // The next fit would overdraw: refused before running, not recorded.
+    let err = session.fit(&estimator, &data, &mut r).unwrap_err();
+    assert!(matches!(err, FmError::Privacy(_)), "{err}");
+    assert_eq!(session.num_fits(), k);
+
+    // Non-private baselines still run — for free.
+    let ceiling = session
+        .fit(&LinearRegression::new(), &data, &mut r)
+        .expect("NoPrivacy is not budgeted");
+    assert_eq!(ceiling.epsilon(), None);
+    assert_eq!(session.num_fits(), k);
+}
+
+/// One generic CV loop drives the private estimator and a baseline through
+/// `dyn DpEstimator`, with the session reporting the composed (ε, δ).
+#[test]
+fn generic_cv_over_dyn_estimators_with_composed_epsilon() {
+    let mut r = rng(37);
+    let data = fm_data::synth::linear_dataset(&mut r, 4_000, 2, 0.1);
+    let lineup: Vec<(&str, Box<dyn DpEstimator<Model = LinearModel>>)> = vec![
+        ("NoPrivacy", Box::new(LinearRegression::new())),
+        (
+            "FM",
+            Box::new(DpLinearRegression::builder().epsilon(0.5).build()),
+        ),
+        ("DPME", Box::new(DpmeLinear(Dpme::new(0.5).unwrap()))),
+    ];
+
+    let mut session = PrivacySession::new();
+    for (name, est) in &lineup {
+        let scores = session
+            .cross_validate(est.as_ref(), &data, 4, &mut r, |m, test| {
+                metrics::mse(&m.predict_batch(test.x()), test.y())
+            })
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(scores.len(), 4, "{name}");
+        assert!(scores.iter().all(|s| s.is_finite()), "{name}");
+    }
+
+    // Two private methods × 4 folds × ε = 0.5 ⇒ basic composition (4.0, 0).
+    let report = session.report(1e-6).expect("report");
+    assert_eq!(report.fits, 8);
+    assert!((report.basic.0 - 4.0).abs() < 1e-12);
+    assert_eq!(report.basic.1, 0.0);
+    assert!(report.best.0 <= report.basic.0 + 1e-12);
+}
+
+/// The Gaussian (ε, δ) variant's δ flows through the estimator metadata
+/// into the session ledger.
+#[test]
+fn session_records_delta_of_gaussian_fits() {
+    let mut r = rng(41);
+    let data = fm_data::synth::linear_dataset(&mut r, 4_000, 4, 0.1);
+    let est = DpLinearRegression::builder()
+        .epsilon(0.5)
+        .noise(NoiseDistribution::Gaussian { delta: 1e-7 })
+        .build();
+    assert_eq!(DpEstimator::delta(&est), Some(1e-7));
+    let mut session = PrivacySession::new();
+    for _ in 0..3 {
+        session.fit(&est, &data, &mut r).expect("gaussian fit");
+    }
+    assert!((session.spent_epsilon() - 1.5).abs() < 1e-12);
+    assert!((session.spent_delta() - 3e-7).abs() < 1e-18);
+}
+
+/// The builder shims and the direct `FmEstimator` construction are the
+/// same estimator: identical seeds produce identical models.
+#[test]
+fn builder_shim_equals_direct_fm_estimator() {
+    use functional_mechanism::core::linreg::LinearObjective;
+
+    let mut r = rng(53);
+    let data = fm_data::synth::linear_dataset(&mut r, 3_000, 3, 0.1);
+    let config = FitConfig::new().epsilon(0.7).fit_intercept(true);
+
+    let via_builder = DpLinearRegression::builder()
+        .config(config)
+        .build()
+        .fit(&data, &mut rng(99))
+        .unwrap();
+    let direct = FmEstimator::new(LinearObjective, config)
+        .fit(&data, &mut rng(99))
+        .unwrap();
+    assert_eq!(via_builder, direct);
+}
