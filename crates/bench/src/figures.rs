@@ -183,6 +183,7 @@ pub fn accuracy_figure(figure: &str, axis: Axis, cfg: &EvalConfig) -> Vec<Table>
             ))
         };
 
+        let mut last_cells: Vec<(Method, crate::runner::CellResult)> = Vec::new();
         for (xi, &x) in axis.values().iter().enumerate() {
             let (dim, rate, eps) = match axis {
                 Axis::Dimensionality => (
@@ -205,18 +206,47 @@ pub fn accuracy_figure(figure: &str, axis: Axis, cfg: &EvalConfig) -> Vec<Table>
                     &built.data
                 }
             };
+            last_cells.clear();
             let mut row = Vec::with_capacity(methods.len());
             for (mi, &method) in methods.iter().enumerate() {
                 let cell_seed = (xi as u64) << 32 | (mi as u64) << 16 | panel as u64;
                 let cell = evaluate(data, task, method, eps, rate, cfg, cell_seed);
                 row.push(cell.error_mean);
+                last_cells.push((method, cell));
             }
             table.push_row(&format_axis_value(axis, x), row);
         }
         println!("{}", table.render());
+        print_composed_epsilon(&last_cells);
         tables.push(table);
     }
     tables
+}
+
+/// Footnote printed under each panel: the honest composed (ε) cost of one
+/// full CV cell — every plotted point spends `repeats × folds` sequential
+/// fits on the same individuals, which the per-fit ε on the axis does not
+/// show. Reported from each private method's last-row
+/// [`crate::runner::CellResult`] session ledger (basic Σεᵢ and the best of
+/// basic/advanced at δ′ = [`crate::runner::REPORT_DELTA_PRIME`]).
+fn print_composed_epsilon(last_cells: &[(Method, crate::runner::CellResult)]) {
+    let mut notes = Vec::new();
+    for (method, cell) in last_cells {
+        if let (Some(basic), Some(best)) = (cell.composed_epsilon_basic, cell.composed_epsilon_best)
+        {
+            notes.push(format!(
+                "{} Σε = {basic:.3} over {} fits (best composition ≈ {best:.3})",
+                method.name(),
+                cell.fits
+            ));
+        }
+    }
+    if !notes.is_empty() {
+        println!(
+            "   honest composed budget per cell (session ledger, last row): {}\n",
+            notes.join("; ")
+        );
+    }
 }
 
 /// Figures 7–9: the two computation-time panels (US, Brazil) for logistic
@@ -258,6 +288,7 @@ pub fn timing_figure(figure: &str, axis: Axis, cfg: &EvalConfig) -> Vec<Table> {
             ))
         };
 
+        let mut last_cells: Vec<(Method, crate::runner::CellResult)> = Vec::new();
         for (xi, &x) in axis.values().iter().enumerate() {
             let (dim, rate, eps) = match axis {
                 Axis::Dimensionality => (
@@ -280,15 +311,21 @@ pub fn timing_figure(figure: &str, axis: Axis, cfg: &EvalConfig) -> Vec<Table> {
                     &built.data
                 }
             };
+            last_cells.clear();
             let mut row = Vec::with_capacity(methods.len());
             for (mi, &method) in methods.iter().enumerate() {
-                let cell_seed = (xi as u64) << 32 | (mi as u64) << 16 | 0x77 | panel as u64;
+                // 0x77 decorrelates timing cells from the accuracy cells;
+                // it must sit above the panel byte or `| panel` is a no-op
+                // ('a'/'b' are both submasks of 0x77).
+                let cell_seed = (xi as u64) << 32 | (mi as u64) << 16 | 0x77 << 8 | panel as u64;
                 let cell = evaluate(data, task, method, eps, rate, cfg, cell_seed);
                 row.push(cell.seconds_mean);
+                last_cells.push((method, cell));
             }
             table.push_row(&format_axis_value(axis, x), row);
         }
         println!("{}", table.render());
+        print_composed_epsilon(&last_cells);
         tables.push(table);
     }
     tables

@@ -1,13 +1,28 @@
-//! Uniform dispatch over the paper's five methods.
+//! Uniform dispatch over the paper's five methods — through the
+//! dyn-compatible [`DpEstimator`] surface.
+//!
+//! Until PR 3 this module matched `(task, method)` and called five
+//! different concrete `fit` signatures; now it *constructs* the method as
+//! a boxed `dyn DpEstimator` ([`linear_estimator`] / [`logistic_estimator`])
+//! and every fit in the harness flows through one call site —
+//! [`fit_in_session`] — which debits a shared
+//! [`fm_core::session::PrivacySession`] so the figure harness can report
+//! the honest composed ε of its repeats × folds protocol instead of the
+//! per-fit ε alone. Non-private baselines advertise `epsilon() == None`
+//! and pass through the session without a debit.
 
 use rand::rngs::StdRng;
 
 use fm_baselines::dpme::Dpme;
+use fm_baselines::estimators::{DpmeLinear, DpmeLogistic, FpLinear, FpLogistic};
 use fm_baselines::fp::FilterPriority;
 use fm_baselines::noprivacy::{LinearRegression, LogisticRegression};
 use fm_baselines::truncated::TruncatedLogistic;
+use fm_core::estimator::DpEstimator;
 use fm_core::linreg::DpLinearRegression;
 use fm_core::logreg::DpLogisticRegression;
+use fm_core::model::{LinearModel, LogisticModel};
+use fm_core::session::PrivacySession;
 use fm_data::Dataset;
 
 use crate::workload::Task;
@@ -63,12 +78,50 @@ impl Method {
     }
 }
 
+/// Builds `method` as a boxed [`DpEstimator`] for the **linear** task.
+///
+/// # Panics
+/// On configuration errors (invalid ε) — the harness validates its grids
+/// up front, so a failure here is a bug, not an input condition. Also for
+/// [`Method::Truncated`], which is logistic-only (the linear objective is
+/// exact, so "truncated without noise" is just `NoPrivacy`).
+#[must_use]
+pub fn linear_estimator(method: Method, epsilon: f64) -> Box<dyn DpEstimator<Model = LinearModel>> {
+    match method {
+        Method::Fm => Box::new(DpLinearRegression::builder().epsilon(epsilon).build()),
+        Method::Dpme => Box::new(DpmeLinear(Dpme::new(epsilon).expect("DPME config"))),
+        Method::Fp => Box::new(FpLinear(FilterPriority::new(epsilon).expect("FP config"))),
+        Method::NoPrivacy => Box::new(LinearRegression::new()),
+        Method::Truncated => {
+            unreachable!("Truncated is logistic-only (linear objective is exact)")
+        }
+    }
+}
+
+/// Builds `method` as a boxed [`DpEstimator`] for the **logistic** task.
+///
+/// # Panics
+/// On configuration errors (invalid ε), as [`linear_estimator`].
+#[must_use]
+pub fn logistic_estimator(
+    method: Method,
+    epsilon: f64,
+) -> Box<dyn DpEstimator<Model = LogisticModel>> {
+    match method {
+        Method::Fm => Box::new(DpLogisticRegression::builder().epsilon(epsilon).build()),
+        Method::Dpme => Box::new(DpmeLogistic(Dpme::new(epsilon).expect("DPME config"))),
+        Method::Fp => Box::new(FpLogistic(FilterPriority::new(epsilon).expect("FP config"))),
+        Method::NoPrivacy => Box::new(LogisticRegression::new()),
+        Method::Truncated => Box::new(TruncatedLogistic::new()),
+    }
+}
+
 /// A fitted model of either kind, unified for prediction.
 pub enum FittedModel {
     /// Linear parameters.
-    Linear(fm_core::model::LinearModel),
+    Linear(LinearModel),
     /// Logistic parameters.
-    Logistic(fm_core::model::LogisticModel),
+    Logistic(LogisticModel),
 }
 
 impl FittedModel {
@@ -83,11 +136,47 @@ impl FittedModel {
     }
 }
 
-/// Fits `method` on `train` for `task` at privacy budget `epsilon`.
+/// Fits `method` on `train` through `session`: the estimator is built as a
+/// `dyn DpEstimator`, its advertised (ε, δ) debited against the session's
+/// ledger before the mechanism runs, and the released model returned in
+/// the task-unified wrapper.
 ///
 /// # Panics
-/// On configuration errors (invalid ε) — the harness validates its grids
-/// up front, so a failure here is a bug, not an input condition.
+/// On configuration errors or fit failures — the harness validates its
+/// grids up front, so a failure here is a bug, not an input condition.
+#[must_use]
+pub fn fit_in_session(
+    session: &mut PrivacySession,
+    method: Method,
+    task: Task,
+    train: &Dataset,
+    epsilon: f64,
+    rng: &mut StdRng,
+) -> FittedModel {
+    match task {
+        Task::Linear => {
+            let est = linear_estimator(method, epsilon);
+            FittedModel::Linear(
+                session
+                    .fit(est.as_ref(), train, rng)
+                    .unwrap_or_else(|e| panic!("{} linear fit: {e}", method.name())),
+            )
+        }
+        Task::Logistic => {
+            let est = logistic_estimator(method, epsilon);
+            FittedModel::Logistic(
+                session
+                    .fit(est.as_ref(), train, rng)
+                    .unwrap_or_else(|e| panic!("{} logistic fit: {e}", method.name())),
+            )
+        }
+    }
+}
+
+/// Fits `method` on `train` outside any session (one-off fits, tests).
+///
+/// # Panics
+/// As [`fit_in_session`].
 #[must_use]
 pub fn fit(
     method: Method,
@@ -96,58 +185,14 @@ pub fn fit(
     epsilon: f64,
     rng: &mut StdRng,
 ) -> FittedModel {
-    match (task, method) {
-        (Task::Linear, Method::Fm) => FittedModel::Linear(
-            DpLinearRegression::builder()
-                .epsilon(epsilon)
-                .build()
-                .fit(train, rng)
-                .expect("FM linear fit"),
-        ),
-        (Task::Linear, Method::Dpme) => FittedModel::Linear(
-            Dpme::new(epsilon)
-                .expect("DPME config")
-                .fit_linear(train, rng)
-                .expect("DPME linear fit"),
-        ),
-        (Task::Linear, Method::Fp) => FittedModel::Linear(
-            FilterPriority::new(epsilon)
-                .expect("FP config")
-                .fit_linear(train, rng)
-                .expect("FP linear fit"),
-        ),
-        (Task::Linear, Method::NoPrivacy) => {
-            FittedModel::Linear(LinearRegression::new().fit(train).expect("OLS fit"))
-        }
-        (Task::Linear, Method::Truncated) => {
-            unreachable!("Truncated is logistic-only (linear objective is exact)")
-        }
-        (Task::Logistic, Method::Fm) => FittedModel::Logistic(
-            DpLogisticRegression::builder()
-                .epsilon(epsilon)
-                .build()
-                .fit(train, rng)
-                .expect("FM logistic fit"),
-        ),
-        (Task::Logistic, Method::Dpme) => FittedModel::Logistic(
-            Dpme::new(epsilon)
-                .expect("DPME config")
-                .fit_logistic(train, rng)
-                .expect("DPME logistic fit"),
-        ),
-        (Task::Logistic, Method::Fp) => FittedModel::Logistic(
-            FilterPriority::new(epsilon)
-                .expect("FP config")
-                .fit_logistic(train, rng)
-                .expect("FP logistic fit"),
-        ),
-        (Task::Logistic, Method::NoPrivacy) => {
-            FittedModel::Logistic(LogisticRegression::new().fit(train).expect("MLE fit"))
-        }
-        (Task::Logistic, Method::Truncated) => {
-            FittedModel::Logistic(TruncatedLogistic::new().fit(train).expect("truncated fit"))
-        }
-    }
+    fit_in_session(
+        &mut PrivacySession::new(),
+        method,
+        task,
+        train,
+        epsilon,
+        rng,
+    )
 }
 
 /// The task-appropriate error metric (MSE or misclassification rate).
@@ -181,6 +226,18 @@ mod tests {
     }
 
     #[test]
+    fn estimators_advertise_epsilon_consistently_with_is_private() {
+        for &m in Method::lineup(Task::Linear) {
+            let est = linear_estimator(m, 0.8);
+            assert_eq!(est.epsilon().is_some(), m.is_private(), "{}", m.name());
+        }
+        for &m in Method::lineup(Task::Logistic) {
+            let est = logistic_estimator(m, 0.8);
+            assert_eq!(est.epsilon().is_some(), m.is_private(), "{}", m.name());
+        }
+    }
+
+    #[test]
     fn every_lineup_method_fits_both_tasks() {
         let mut rng = StdRng::seed_from_u64(1);
         let lin = fm_data::synth::linear_dataset(&mut rng, 400, 3, 0.1);
@@ -198,5 +255,31 @@ mod tests {
             let err = error_metric(Task::Logistic, &preds, log.y());
             assert!((0.0..=1.0).contains(&err));
         }
+    }
+
+    #[test]
+    fn session_debits_private_methods_only() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lin = fm_data::synth::linear_dataset(&mut rng, 400, 2, 0.1);
+        let mut session = PrivacySession::new();
+        let _ = fit_in_session(&mut session, Method::Fm, Task::Linear, &lin, 0.5, &mut rng);
+        let _ = fit_in_session(
+            &mut session,
+            Method::NoPrivacy,
+            Task::Linear,
+            &lin,
+            0.5,
+            &mut rng,
+        );
+        let _ = fit_in_session(
+            &mut session,
+            Method::Dpme,
+            Task::Linear,
+            &lin,
+            0.25,
+            &mut rng,
+        );
+        assert_eq!(session.num_fits(), 2, "NoPrivacy must not be debited");
+        assert!((session.spent_epsilon() - 0.75).abs() < 1e-12);
     }
 }

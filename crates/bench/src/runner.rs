@@ -6,12 +6,17 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use fm_core::session::PrivacySession;
 use fm_data::cv::KFold;
 use fm_data::sampling;
 use fm_data::Dataset;
 
 use crate::methods::{self, Method};
 use crate::workload::Task;
+
+/// Advanced-composition slack δ′ used when reporting a cell's honest
+/// composed guarantee.
+pub const REPORT_DELTA_PRIME: f64 = 1e-6;
 
 /// Evaluation knobs shared by every figure.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +68,17 @@ pub struct CellResult {
     pub error_std: f64,
     /// Mean training (fit-only) wall-clock seconds per fold.
     pub seconds_mean: f64,
+    /// Number of budget-consuming fits the cell's [`PrivacySession`]
+    /// recorded (0 for non-private methods).
+    pub fits: usize,
+    /// The cell's honest composed ε under basic (sequential) composition —
+    /// every fold of every repeat touches the same individuals, so this is
+    /// `repeats × folds × ε` — or `None` for non-private methods.
+    pub composed_epsilon_basic: Option<f64>,
+    /// The tighter of basic and Dwork–Rothblum–Vadhan advanced composition
+    /// at slack δ′ = [`REPORT_DELTA_PRIME`], or `None` for non-private
+    /// methods.
+    pub composed_epsilon_best: Option<f64>,
 }
 
 /// Runs `method` on `data` (already normalized + subsetted) with the CV
@@ -80,6 +96,9 @@ pub fn evaluate(
 ) -> CellResult {
     let mut errors = Vec::with_capacity(cfg.repeats * cfg.folds);
     let mut seconds = Vec::with_capacity(cfg.repeats * cfg.folds);
+    // One uncapped session per cell: every fold of every repeat is debited,
+    // so the cell can report what its whole protocol honestly composed to.
+    let mut session = PrivacySession::new();
 
     for rep in 0..cfg.repeats {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ cell_seed.wrapping_add(rep as u64 * 0x9E37));
@@ -92,7 +111,8 @@ pub fn evaluate(
         for f in 0..cfg.folds {
             let (train, test) = kf.split(&sampled, f).expect("split");
             let start = Instant::now();
-            let model = methods::fit(method, task, &train, epsilon, &mut rng);
+            let model =
+                methods::fit_in_session(&mut session, method, task, &train, epsilon, &mut rng);
             seconds.push(start.elapsed().as_secs_f64());
             let preds = model.predict(&test);
             errors.push(methods::error_metric(task, &preds, test.y()));
@@ -101,10 +121,19 @@ pub fn evaluate(
 
     let (error_mean, error_std) = fm_data::metrics::mean_and_std(&errors);
     let (seconds_mean, _) = fm_data::metrics::mean_and_std(&seconds);
+    let (composed_epsilon_basic, composed_epsilon_best) = if session.num_fits() > 0 {
+        let report = session.report(REPORT_DELTA_PRIME).expect("valid δ′");
+        (Some(report.basic.0), Some(report.best.0))
+    } else {
+        (None, None)
+    };
     CellResult {
         error_mean,
         error_std,
         seconds_mean,
+        fits: session.num_fits(),
+        composed_epsilon_basic,
+        composed_epsilon_best,
     }
 }
 
@@ -131,6 +160,22 @@ mod tests {
         assert!(cell.error_mean.is_finite());
         assert!(cell.error_std >= 0.0);
         assert!(cell.seconds_mean > 0.0);
+        // Non-private: nothing debited, no composed guarantee to report.
+        assert_eq!(cell.fits, 0);
+        assert_eq!(cell.composed_epsilon_basic, None);
+        assert_eq!(cell.composed_epsilon_best, None);
+    }
+
+    #[test]
+    fn evaluate_reports_honest_composed_epsilon_for_private_methods() {
+        let cfg = tiny_cfg();
+        let w = build(Country::Us, Task::Linear, cfg.rows_us, 5, 1);
+        let cell = evaluate(&w.data, Task::Linear, Method::Fm, 0.8, 1.0, &cfg, 5);
+        // 1 repeat × 3 folds, every fold debited sequentially.
+        assert_eq!(cell.fits, cfg.repeats * cfg.folds);
+        let basic = cell.composed_epsilon_basic.unwrap();
+        assert!((basic - 0.8 * cell.fits as f64).abs() < 1e-9);
+        assert!(cell.composed_epsilon_best.unwrap() <= basic + 1e-12);
     }
 
     #[test]

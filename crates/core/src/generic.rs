@@ -24,6 +24,15 @@
 //!   [`fm_optim::OptimError::UnboundedObjective`] when the iterates
 //!   diverge, leaving retry policy to the caller (Lemma 5 applies
 //!   unchanged).
+//!
+//! This module is the **mechanism level** of the general-degree story.
+//! Estimator-level code should use [`crate::sparse::SparseFmEstimator`],
+//! which runs [`GenericFunctionalMechanism`] through the same
+//! `FitConfig → Algorithm 1 → §6-style post-processing → Model` pipeline,
+//! `DpEstimator` surface and `PrivacySession` accounting as the degree-2
+//! families — driving `perturb`/`minimize` by hand (as the quartic example
+//! used to) is a deprecated pattern kept only for tests that pin the two
+//! paths equal.
 
 use rand::Rng;
 
@@ -135,6 +144,22 @@ impl NoisyPolynomial {
         self.noise_scale
     }
 
+    /// Standard deviation of the injected per-coefficient noise
+    /// (`√2·Δ/ε`) — the §6.1-style regularization constant for the
+    /// general-degree path is four times this, exactly as for
+    /// [`crate::mechanism::NoisyQuadratic`].
+    #[must_use]
+    pub fn noise_std_dev(&self) -> f64 {
+        self.noise_scale * std::f64::consts::SQRT_2
+    }
+
+    /// Mutable access for the §6-style post-processors (ridge shifts).
+    /// `pub(crate)` so only code operating on already-noised coefficients
+    /// can modify them.
+    pub(crate) fn polynomial_mut(&mut self) -> &mut Polynomial {
+        &mut self.polynomial
+    }
+
     /// Minimises `f̄_D` by gradient descent from `start`, with divergence
     /// detection: iterates escaping `‖ω‖ > radius` report the objective as
     /// unbounded (the general-degree analogue of §6's failure mode).
@@ -162,12 +187,9 @@ impl NoisyPolynomial {
             p: &self.polynomial,
         };
         let gd = fm_optim::gd::GradientDescent::default();
-        let result = gd.minimize(&objective, start).map_err(FmError::from)?;
-        if !result.omega.iter().all(|v| v.is_finite())
-            || fm_linalg::vecops::norm2(&result.omega) > radius
-        {
-            return Err(FmError::Optim(fm_optim::OptimError::UnboundedObjective));
-        }
+        let result = gd
+            .minimize_within(&objective, start, radius)
+            .map_err(FmError::from)?;
         Ok(result.omega)
     }
 }
@@ -329,8 +351,8 @@ impl GeneralObjective for QuarticObjective {
         for (j, &xj) in x.iter().enumerate() {
             s.add_term(Monomial::linear(d, j), -xj);
         }
-        let s2 = multiply(&s, &s);
-        multiply(&s2, &s2)
+        let s2 = s.mul(&s);
+        s2.mul(&s2)
     }
 
     fn max_degree(&self, _d: usize) -> u32 {
@@ -345,27 +367,6 @@ impl GeneralObjective for QuarticObjective {
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
         data.check_normalized_linear()
     }
-}
-
-/// Multiplies two sparse polynomials (exact, term-by-term). Lives here
-/// rather than in `fm-poly` because objective construction is the only
-/// consumer; promote it if more callers appear.
-fn multiply(a: &Polynomial, b: &Polynomial) -> Polynomial {
-    assert_eq!(a.num_vars(), b.num_vars(), "arity mismatch");
-    let d = a.num_vars();
-    let mut out = Polynomial::zero(d);
-    for (ma, ca) in a.terms() {
-        for (mb, cb) in b.terms() {
-            let exps: Vec<u32> = ma
-                .exponents()
-                .iter()
-                .zip(mb.exponents())
-                .map(|(ea, eb)| ea + eb)
-                .collect();
-            out.add_term(Monomial::new(exps), ca * cb);
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -554,20 +555,5 @@ mod tests {
         assert_eq!(a.noise_scale(), b.noise_scale());
         // Δ = 2((1+3)⁴ − 1) = 510.
         assert_eq!(a.sensitivity(), 510.0);
-    }
-
-    #[test]
-    fn polynomial_multiply_is_correct() {
-        // (1 + ω₀)·(1 − ω₀) = 1 − ω₀².
-        let mut a = Polynomial::zero(1);
-        a.add_term(Monomial::constant(1), 1.0);
-        a.add_term(Monomial::linear(1, 0), 1.0);
-        let mut b = Polynomial::zero(1);
-        b.add_term(Monomial::constant(1), 1.0);
-        b.add_term(Monomial::linear(1, 0), -1.0);
-        let prod = multiply(&a, &b);
-        assert_eq!(prod.coefficient(&Monomial::constant(1)), 1.0);
-        assert_eq!(prod.coefficient(&Monomial::linear(1, 0)), 0.0);
-        assert_eq!(prod.coefficient(&Monomial::new(vec![2])), -1.0);
     }
 }

@@ -39,10 +39,19 @@
 //!   same Algorithm-2 pipeline applied to `f(t,ω) = exp(xᵀω) − y·xᵀω`,
 //!   with the bounded-count contract `y ∈ [0, y_max]` and sensitivity
 //!   `Δ = 2((1 + y_max)d + d²/2)`.
+//! * [`robust`] — **robust regression objectives**: ε-DP median
+//!   regression (smoothed pinball loss after Chen et al. 2020) and Huber
+//!   regression as first-class [`estimator::RegressionObjective`]s with
+//!   weighted Gram batch/columnar kernels; saturating influence functions
+//!   make them resistant to label outliers where least squares is not.
 //! * [`generic`] — **Algorithm 1 at arbitrary degree**: the literal
 //!   Equation-2/3 mechanism over sparse polynomials, perturbing every
 //!   monomial in `Φ_0 ∪ … ∪ Φ_J` (structural zeros included), with a
 //!   worked quartic-loss objective showing the framework beyond degree 2.
+//! * [`sparse`] — the [`sparse::SparseFmEstimator`] front-end running the
+//!   general-degree mechanism through the same `FitConfig → Algorithm 1 →
+//!   §6-style post-processing → Model` pipeline, `DpEstimator` surface,
+//!   session accounting and persistence as the degree-2 families.
 //! * [`persist`] — a dependency-free, bit-exact text format for shipping
 //!   released models (parameters + privacy metadata) out of the silo;
 //!   post-processing keeps the guarantee intact.
@@ -96,7 +105,9 @@ pub mod model;
 pub mod persist;
 pub mod poisson;
 pub mod postprocess;
+pub mod robust;
 pub mod session;
+pub mod sparse;
 
 mod error;
 
@@ -107,7 +118,9 @@ pub use mechanism::{
 };
 pub use model::{Model, ModelKind, PersistableModel};
 pub use postprocess::Strategy;
+pub use robust::{DpHuberRegression, DpMedianRegression, HuberObjective, MedianObjective};
 pub use session::PrivacySession;
+pub use sparse::{SparseFmEstimator, SparseRegressionObjective};
 
 /// Result alias for fallible functional-mechanism operations.
 pub type Result<T> = std::result::Result<T, FmError>;

@@ -194,6 +194,79 @@ pub fn solve(mut noisy: NoisyQuadratic, strategy: Strategy) -> Result<Vec<f64>> 
     }
 }
 
+/// How many times [`solve_polynomial`] escalates the ridge under
+/// [`Strategy::RegularizeThenTrim`] before giving up (multiplier ×4 per
+/// round). Spectral trimming has no general-degree analogue — a noisy
+/// quartic has no eigendecomposition to trim — so the "then trim" rescue
+/// becomes "then regularize harder", which is likewise pure
+/// post-processing (the escalation schedule depends only on the
+/// data-independent noise scale and the draw already released).
+const POLY_RIDGE_ESCALATIONS: usize = 3;
+
+/// The §6 pipeline for **general-degree** noisy releases
+/// ([`crate::generic::NoisyPolynomial`]): the exact analogue of [`solve`]
+/// with ridge regularization in place of the quadratic-specific machinery.
+///
+/// * [`Strategy::FailIfUnbounded`] — minimise the raw release from
+///   `start`; iterates escaping `‖ω‖ > radius` report the objective as
+///   unbounded.
+/// * [`Strategy::RegularizeOnly`] — add the §6.1 ridge
+///   `λ·Σ_j ω_j²` with `λ = 4 × noise stddev`, then minimise.
+/// * [`Strategy::RegularizeThenTrim`] — as above, but on an unbounded
+///   draw escalate `λ` (×4, up to `POLY_RIDGE_ESCALATIONS` = 3 rounds)
+///   before giving up — the general-degree stand-in for §6.2's trim.
+/// * [`Strategy::Resample`] — rejected here; the sparse estimator drives
+///   it because it must re-run the mechanism.
+///
+/// All branches consume only already-noised coefficients plus the
+/// data-independent noise scale: no additional privacy cost.
+///
+/// # Errors
+/// * [`FmError::Optim`] (unbounded/divergent) when the chosen strategy
+///   cannot restore boundedness.
+/// * [`FmError::InvalidConfig`] if called with [`Strategy::Resample`].
+pub fn solve_polynomial(
+    noisy: crate::generic::NoisyPolynomial,
+    strategy: Strategy,
+    start: &[f64],
+    radius: f64,
+) -> Result<Vec<f64>> {
+    match strategy {
+        Strategy::FailIfUnbounded => noisy.minimize(start, radius),
+        Strategy::RegularizeOnly => {
+            let mut noisy = noisy;
+            let lambda = REGULARIZATION_MULTIPLIER * noisy.noise_std_dev();
+            noisy.polynomial_mut().regularize(lambda);
+            noisy.minimize(start, radius)
+        }
+        Strategy::RegularizeThenTrim => {
+            let mut noisy = noisy;
+            let base = REGULARIZATION_MULTIPLIER * noisy.noise_std_dev();
+            let mut added = 0.0;
+            for round in 0..=POLY_RIDGE_ESCALATIONS {
+                // Total ridge this round: base · 4^round (add the delta on
+                // top of what previous rounds already contributed).
+                let target = base * 4.0_f64.powi(round as i32);
+                noisy.polynomial_mut().regularize(target - added);
+                added = target;
+                match noisy.minimize(start, radius) {
+                    Ok(omega) => return Ok(omega),
+                    Err(FmError::Optim(
+                        fm_optim::OptimError::UnboundedObjective
+                        | fm_optim::OptimError::NonFiniteObjective,
+                    )) if round < POLY_RIDGE_ESCALATIONS => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            unreachable!("loop always returns on its final round")
+        }
+        Strategy::Resample { .. } => Err(FmError::InvalidConfig {
+            name: "strategy",
+            reason: "Resample must be handled by the sparse estimator front-end".to_string(),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

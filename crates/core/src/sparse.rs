@@ -1,0 +1,463 @@
+//! The [`SparsePolynomial`](fm_poly::SparsePolynomial)-backed estimator
+//! core: higher-degree losses through the **same** pipeline as everything
+//! else.
+//!
+//! [`crate::generic`] implements Algorithm 1 at arbitrary degree, but
+//! until this module it was a *side path*: callers drove
+//! `GenericFunctionalMechanism::perturb` and `NoisyPolynomial::minimize`
+//! by hand, outside the `FitConfig` configuration surface, the
+//! [`DpEstimator`] line-up, [`crate::session::PrivacySession`] accounting
+//! and [`crate::persist::SavedModel`] persistence. [`SparseFmEstimator`]
+//! closes that gap: it is to [`GeneralObjective`] what
+//! [`crate::estimator::FmEstimator`] is to
+//! [`crate::PolynomialObjective`] — one shared fit pipeline
+//!
+//! 1. optionally augment the data for an intercept (footnote 2);
+//! 2. run the general-degree Algorithm 1 (every monomial in
+//!    `Φ_0 ∪ … ∪ Φ_J` perturbed, structural zeros included);
+//! 3. resolve unboundedness per the configured §6 [`Strategy`] — ridge
+//!    regularization and the Lemma-5 resample loop carry over verbatim;
+//!    spectral trimming has no general-degree analogue and is replaced by
+//!    ridge escalation (see [`crate::postprocess::solve_polynomial`]);
+//! 4. wrap the released weights in the objective's model family.
+//!
+//! Two deliberate restrictions, both surfaced as loud errors instead of
+//! silent unsoundness:
+//!
+//! * **Laplace noise only.** The (ε, δ) Gaussian variant calibrates to an
+//!   L2 sensitivity; [`GeneralObjective`] declares only the L1 bound of
+//!   Lemma 1, so Gaussian noise is refused.
+//! * **One sensitivity bound.** The §4 Cauchy–Schwarz refinement is
+//!   specific to the degree-2 objectives; the general trait declares a
+//!   single Δ and [`FitConfig::bound`] is not consulted.
+
+use rand::{Rng, RngCore};
+
+use fm_data::Dataset;
+
+use crate::estimator::{DpEstimator, FitConfig};
+use crate::generic::{GeneralObjective, GenericFunctionalMechanism};
+use crate::mechanism::NoiseDistribution;
+use crate::model::{ModelKind, PersistableModel};
+use crate::postprocess::{self, Strategy};
+use crate::{FmError, Result};
+
+/// Default divergence radius for the bounded minimisation of noisy
+/// high-degree polynomials: far above any parameter norm the normalized
+/// domain can produce, so a genuine minimiser is never mistaken for a
+/// divergent iterate.
+pub const DEFAULT_DIVERGENCE_RADIUS: f64 = 1e3;
+
+/// A [`GeneralObjective`] that knows which model family its released
+/// weight vector belongs to — the general-degree counterpart of
+/// [`crate::estimator::RegressionObjective`], and the only thing a
+/// high-degree loss must add to plug into [`SparseFmEstimator`].
+pub trait SparseRegressionObjective: GeneralObjective {
+    /// The model type wrapping this objective's released weights.
+    type Model: PersistableModel;
+}
+
+impl SparseRegressionObjective for crate::generic::QuarticObjective {
+    /// The quartic loss releases a linear predictor `ŷ = xᵀω (+ b)`.
+    type Model = crate::model::LinearModel;
+}
+
+impl SparseRegressionObjective for crate::generic::GeneralLinearObjective {
+    type Model = crate::model::LinearModel;
+}
+
+/// The generic Functional-Mechanism estimator over **sparse polynomial**
+/// objectives of any finite degree: the quartic demo, and any user loss
+/// expressible per Equation 3 — configured by the same [`FitConfig`],
+/// implementing the same [`DpEstimator`] surface, debitable through the
+/// same [`crate::session::PrivacySession`], and releasing the same
+/// persistable model types as the degree-2 estimators.
+///
+/// ```
+/// use fm_core::generic::QuarticObjective;
+/// use fm_core::sparse::SparseFmEstimator;
+/// use fm_core::estimator::FitConfig;
+/// use fm_core::Strategy;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+/// let data = fm_data::synth::linear_dataset(&mut rng, 20_000, 2, 0.05);
+/// let est = SparseFmEstimator::new(
+///     QuarticObjective,
+///     FitConfig::new()
+///         .epsilon(32.0)
+///         .strategy(Strategy::Resample { max_attempts: 8 }),
+/// );
+/// let model = est.fit(&data, &mut rng).unwrap();
+/// assert_eq!(model.dim(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseFmEstimator<O> {
+    objective: O,
+    config: FitConfig,
+    radius: f64,
+}
+
+impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
+    /// Wraps an objective with a fit configuration (default divergence
+    /// radius [`DEFAULT_DIVERGENCE_RADIUS`]).
+    #[must_use]
+    pub fn new(objective: O, config: FitConfig) -> Self {
+        SparseFmEstimator {
+            objective,
+            config,
+            radius: DEFAULT_DIVERGENCE_RADIUS,
+        }
+    }
+
+    /// Overrides the divergence radius used by the bounded minimiser.
+    #[must_use]
+    pub fn divergence_radius(mut self, radius: f64) -> Self {
+        self.radius = radius;
+        self
+    }
+
+    /// The shared fit configuration.
+    #[must_use]
+    pub fn config(&self) -> &FitConfig {
+        &self.config
+    }
+
+    /// The objective this estimator perturbs.
+    #[must_use]
+    pub fn objective(&self) -> &O {
+        &self.objective
+    }
+
+    /// The configured privacy budget.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.config.epsilon
+    }
+
+    /// Fits a private model on `data`, which must satisfy the objective's
+    /// domain contract.
+    ///
+    /// # Errors
+    /// * [`FmError::Data`] for contract violations.
+    /// * [`FmError::InvalidConfig`] for a bad ε, Gaussian noise (no L2
+    ///   sensitivity analysis at general degree), a coefficient count
+    ///   beyond [`crate::generic::MAX_COEFFICIENTS`], or zero resample
+    ///   attempts.
+    /// * [`FmError::ResampleExhausted`] / [`FmError::Optim`] when the
+    ///   configured strategy cannot produce a bounded objective.
+    pub fn fit(&self, data: &Dataset, rng: &mut impl Rng) -> Result<O::Model> {
+        if !matches!(self.config.noise, NoiseDistribution::Laplace) {
+            return Err(FmError::InvalidConfig {
+                name: "noise",
+                reason: "general-degree objectives declare only an L1 sensitivity; \
+                         the (ε, δ) Gaussian variant needs Δ₂ and is refused"
+                    .to_string(),
+            });
+        }
+        let aug;
+        let work: &Dataset = if self.config.fit_intercept {
+            aug = data.augment_for_intercept();
+            &aug
+        } else {
+            data
+        };
+        let start = vec![0.0; work.d()];
+        let omega_raw = match self.config.strategy {
+            Strategy::Resample { max_attempts } => {
+                if max_attempts == 0 {
+                    return Err(FmError::InvalidConfig {
+                        name: "max_attempts",
+                        reason: "must be at least 1".to_string(),
+                    });
+                }
+                // Lemma 5: each attempt runs at ε/2 so the advertised
+                // total honours the 2× repetition cost — identical
+                // accounting to the degree-2 pipeline.
+                let fm = GenericFunctionalMechanism::new(self.config.epsilon / 2.0)?;
+                let mut found = None;
+                for _ in 0..max_attempts {
+                    let noisy = fm.perturb(work, &self.objective, rng)?;
+                    match postprocess::solve_polynomial(
+                        noisy,
+                        Strategy::FailIfUnbounded,
+                        &start,
+                        self.radius,
+                    ) {
+                        Ok(omega) => {
+                            found = Some(omega);
+                            break;
+                        }
+                        Err(FmError::Optim(
+                            fm_optim::OptimError::UnboundedObjective
+                            | fm_optim::OptimError::NonFiniteObjective,
+                        )) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                found.ok_or(FmError::ResampleExhausted {
+                    attempts: max_attempts,
+                })?
+            }
+            other => {
+                let fm = GenericFunctionalMechanism::new(self.config.epsilon)?;
+                let noisy = fm.perturb(work, &self.objective, rng)?;
+                postprocess::solve_polynomial(noisy, other, &start, self.radius)?
+            }
+        };
+        Ok(self.finish(omega_raw, Some(self.config.epsilon)))
+    }
+
+    /// Fits the *non-private* minimiser of the exact polynomial objective
+    /// (ε = ∞) — the reference isolating optimisation/approximation error
+    /// from privacy noise.
+    ///
+    /// # Errors
+    /// [`FmError::Data`] on contract violation, [`FmError::Optim`] when
+    /// the clean objective is itself unbounded within the radius.
+    pub fn fit_without_privacy(&self, data: &Dataset) -> Result<O::Model> {
+        let aug;
+        let work: &Dataset = if self.config.fit_intercept {
+            aug = data.augment_for_intercept();
+            &aug
+        } else {
+            data
+        };
+        self.objective.validate(work).map_err(FmError::Data)?;
+        let clean = self.objective.assemble(work);
+        struct PolyObjective<'a> {
+            p: &'a fm_poly::SparsePolynomial,
+        }
+        impl fm_optim::Objective for PolyObjective<'_> {
+            fn dim(&self) -> usize {
+                self.p.num_vars()
+            }
+            fn value(&self, omega: &[f64]) -> f64 {
+                self.p.eval(omega)
+            }
+            fn gradient(&self, omega: &[f64]) -> Vec<f64> {
+                self.p.gradient(omega)
+            }
+        }
+        let gd = fm_optim::gd::GradientDescent::default();
+        let result = gd
+            .minimize_within(
+                &PolyObjective { p: &clean },
+                &vec![0.0; work.d()],
+                self.radius,
+            )
+            .map_err(FmError::from)?;
+        Ok(self.finish(result.omega, None))
+    }
+
+    /// Wraps released weights in the family's model type, undoing the
+    /// intercept augmentation when one was fitted.
+    fn finish(&self, omega_raw: Vec<f64>, epsilon: Option<f64>) -> O::Model {
+        if self.config.fit_intercept {
+            let (omega, b) = crate::model::split_augmented_weights(omega_raw);
+            O::Model::from_parts(omega, b, epsilon)
+        } else {
+            O::Model::from_parts(omega_raw, 0.0, epsilon)
+        }
+    }
+}
+
+impl<O: SparseRegressionObjective> DpEstimator for SparseFmEstimator<O> {
+    type Model = O::Model;
+
+    fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> Result<O::Model> {
+        SparseFmEstimator::fit(self, data, &mut rng)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.config.epsilon)
+    }
+
+    fn delta(&self) -> Option<f64> {
+        None // Laplace-only: strict ε-DP.
+    }
+
+    fn task(&self) -> ModelKind {
+        <O::Model as PersistableModel>::KIND
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::QuarticObjective;
+    use crate::model::LinearModel;
+    use fm_linalg::vecops;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(515)
+    }
+
+    #[test]
+    fn unified_fit_matches_manual_mechanism_bit_for_bit() {
+        // FailIfUnbounded + no intercept is exactly the old side path:
+        // same RNG stream in, same released weights out.
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 2_000, 2, 0.05);
+        let est = SparseFmEstimator::new(
+            QuarticObjective,
+            FitConfig::new()
+                .epsilon(64.0)
+                .strategy(Strategy::FailIfUnbounded),
+        );
+
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(99);
+        let unified = est.fit(&data, &mut r1).unwrap();
+
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(99);
+        let fm = GenericFunctionalMechanism::new(64.0).unwrap();
+        let noisy = fm.perturb(&data, &QuarticObjective, &mut r2).unwrap();
+        let manual = noisy
+            .minimize(&[0.0; 2], DEFAULT_DIVERGENCE_RADIUS)
+            .unwrap();
+
+        assert_eq!(unified.weights(), manual.as_slice());
+    }
+
+    #[test]
+    fn resample_strategy_recovers_truth_at_generous_budget() {
+        let mut r = rng();
+        let w = vec![0.5, -0.3];
+        let data = fm_data::synth::linear_dataset_with_weights(&mut r, 40_000, &w, 0.02);
+        let est = SparseFmEstimator::new(
+            QuarticObjective,
+            FitConfig::new()
+                .epsilon(128.0)
+                .strategy(Strategy::Resample { max_attempts: 8 }),
+        );
+        let model = est.fit(&data, &mut r).unwrap();
+        let cos =
+            vecops::dot(model.weights(), &w) / (vecops::norm2(model.weights()) * vecops::norm2(&w));
+        assert!(cos > 0.9, "cosine {cos}, weights {:?}", model.weights());
+    }
+
+    #[test]
+    fn regularized_strategies_survive_hostile_draws() {
+        // At tiny ε most raw draws are unbounded; ridge escalation must
+        // still return a finite model (or a clean error), never panic or
+        // release non-finite weights.
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 200, 2, 0.05);
+        for strategy in [Strategy::RegularizeOnly, Strategy::RegularizeThenTrim] {
+            let est = SparseFmEstimator::new(
+                QuarticObjective,
+                FitConfig::new().epsilon(0.05).strategy(strategy),
+            );
+            for _ in 0..10 {
+                match est.fit(&data, &mut r) {
+                    Ok(m) => assert!(m.weights().iter().all(|v| v.is_finite())),
+                    Err(FmError::Optim(_)) => {}
+                    Err(e) => panic!("unexpected error class: {e}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_private_quartic_fit_matches_ols_direction() {
+        let mut r = rng();
+        let w = vec![0.4, -0.2];
+        let data = fm_data::synth::linear_dataset_with_weights(&mut r, 20_000, &w, 0.02);
+        let est = SparseFmEstimator::new(QuarticObjective, FitConfig::new());
+        let model = est.fit_without_privacy(&data).unwrap();
+        assert_eq!(model.epsilon(), None);
+        assert!(
+            vecops::dist2(model.weights(), &w) < 0.05,
+            "weights {:?}",
+            model.weights()
+        );
+    }
+
+    #[test]
+    fn intercept_fit_recovers_offset() {
+        // Quartic loss on offset data: the footnote-2 augmentation must
+        // carry over to the sparse path unchanged (non-private, exact).
+        let w = [0.3];
+        let n = 4_000;
+        let x = fm_linalg::Matrix::from_fn(n, 1, |i, _| ((i % 100) as f64 / 100.0 - 0.5) / 2.0);
+        let y: Vec<f64> = (0..n).map(|i| x[(i, 0)] * w[0] + 0.2).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let est = SparseFmEstimator::new(QuarticObjective, FitConfig::new().fit_intercept(true));
+        let model = est.fit_without_privacy(&data).unwrap();
+        assert!(
+            (model.intercept() - 0.2).abs() < 1e-3,
+            "b = {}",
+            model.intercept()
+        );
+        assert!((model.weights()[0] - 0.3).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gaussian_noise_is_refused() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 100, 2, 0.05);
+        let est = SparseFmEstimator::new(
+            QuarticObjective,
+            FitConfig::new()
+                .epsilon(0.5)
+                .noise(NoiseDistribution::Gaussian { delta: 1e-6 }),
+        );
+        assert!(matches!(
+            est.fit(&data, &mut r),
+            Err(FmError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn dyn_estimator_and_session_accounting() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 10_000, 2, 0.05);
+        let est = SparseFmEstimator::new(
+            QuarticObjective,
+            FitConfig::new()
+                .epsilon(50.0)
+                .strategy(Strategy::Resample { max_attempts: 8 }),
+        );
+        let dyn_est: &dyn DpEstimator<Model = LinearModel> = &est;
+        assert_eq!(dyn_est.epsilon(), Some(50.0));
+        assert_eq!(dyn_est.task(), ModelKind::Linear);
+        let mut session = crate::session::PrivacySession::with_budget(60.0).unwrap();
+        session.fit(dyn_est, &data, &mut r).unwrap();
+        assert!((session.spent_epsilon() - 50.0).abs() < 1e-12);
+        assert!(session.fit(dyn_est, &data, &mut r).is_err(), "over budget");
+    }
+
+    #[test]
+    fn persistence_roundtrip_through_saved_model() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 10_000, 2, 0.05);
+        let est = SparseFmEstimator::new(
+            QuarticObjective,
+            FitConfig::new()
+                .epsilon(64.0)
+                .strategy(Strategy::Resample { max_attempts: 8 }),
+        );
+        let model = est.fit(&data, &mut r).unwrap();
+        let text = crate::persist::SavedModel::from(&model).to_text().unwrap();
+        let back: LinearModel = crate::persist::SavedModel::from_text(&text)
+            .unwrap()
+            .into_model()
+            .unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn zero_resample_attempts_rejected() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 100, 2, 0.05);
+        let est = SparseFmEstimator::new(
+            QuarticObjective,
+            FitConfig::new().strategy(Strategy::Resample { max_attempts: 0 }),
+        );
+        assert!(matches!(
+            est.fit(&data, &mut r),
+            Err(FmError::InvalidConfig { .. })
+        ));
+    }
+}

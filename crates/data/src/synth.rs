@@ -65,6 +65,21 @@ pub fn linear_dataset_with_weights(
     Dataset::new(x, y).expect("non-empty by construction")
 }
 
+/// Replaces each label of `data` independently with `value` with
+/// probability `frac` — the label-contamination model behind the
+/// robust-regression tests and examples (sensor saturation / data-entry
+/// junk: in-contract, feature-independent outliers). `value` should lie
+/// in the task's label range so the contaminated dataset still satisfies
+/// the normalized-domain contract.
+pub fn inject_label_outliers(rng: &mut impl Rng, data: &Dataset, frac: f64, value: f64) -> Dataset {
+    let y: Vec<f64> = data
+        .y()
+        .iter()
+        .map(|&y| if rng.gen_bool(frac) { value } else { y })
+        .collect();
+    Dataset::new(data.x().clone(), y).expect("shape preserved")
+}
+
 /// Generates a logistic-regression dataset: `P(y = 1 | x) = σ(s·xᵀω*)`
 /// with `x` uniform in the unit ball and `s` a steepness factor (larger
 /// `s` ⇒ more separable classes).

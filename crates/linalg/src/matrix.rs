@@ -537,6 +537,80 @@ impl Matrix {
         Ok(())
     }
 
+    /// Column-major counterpart of [`Matrix::syrk_weighted_acc`]:
+    /// `self ← self + a · Σ_i w_i·x_i x_iᵀ` over tuples `[lo, hi)` read
+    /// from `xt`, the `d × n` **transpose** of the design matrix (feature
+    /// columns contiguous, e.g. the cached `Dataset::columnar()` view).
+    /// `w` holds one weight per tuple in the range (`w.len() = hi − lo`).
+    ///
+    /// The accumulation replicates [`Matrix::syrk_weighted_acc`]'s
+    /// floating-point grouping exactly — tuples in quads of four, partial
+    /// sums paired `(q₀ + q₁) + (q₂ + q₃)`, remainder tuples one at a
+    /// time — so for the same row range and weights the two layouts are
+    /// **bit-identical**: a caller switching between them can never
+    /// perturb assembled coefficients.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] unless `self` is `d × d` with
+    /// `d = xt.rows()`, `lo ≤ hi ≤ xt.cols()` and `w.len() = hi − lo`.
+    /// `self` must be symmetric on entry (debug-asserted): the mirror step
+    /// overwrites the lower triangle.
+    pub fn syrk_weighted_cols_acc(
+        &mut self,
+        a: f64,
+        xt: &Matrix,
+        lo: usize,
+        hi: usize,
+        w: &[f64],
+    ) -> Result<()> {
+        let d = xt.rows();
+        if self.rows != d || self.cols != d || d == 0 || lo > hi || hi > xt.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "syrk_weighted_cols_acc",
+                lhs: self.shape(),
+                rhs: (d, hi.saturating_sub(lo)),
+            });
+        }
+        if w.len() != hi - lo {
+            return Err(LinalgError::ShapeMismatch {
+                op: "syrk_weighted_cols_acc",
+                lhs: (w.len(), 1),
+                rhs: (hi - lo, 1),
+            });
+        }
+        debug_assert!(
+            self.is_symmetric(0.0),
+            "syrk_weighted_cols_acc requires a symmetric accumulator"
+        );
+        let k = hi - lo;
+        let quads = k / 4 * 4;
+        for i in 0..d {
+            let ri = &xt.row(i)[lo..hi];
+            // Split the mutable accumulator row out before borrowing rows
+            // of `xt` for j ≥ i.
+            for j in i..d {
+                let rj = &xt.row(j)[lo..hi];
+                let mut acc = self.data[i * d + j];
+                let mut t = 0;
+                while t < quads {
+                    // Same multiply order and pairing as the row-major
+                    // kernel: a_l = (a·w_l)·x_l[i], term = (a₀x₀[j] +
+                    // a₁x₁[j]) + (a₂x₂[j] + a₃x₃[j]).
+                    let (a0, a1) = (a * w[t] * ri[t], a * w[t + 1] * ri[t + 1]);
+                    let (a2, a3) = (a * w[t + 2] * ri[t + 2], a * w[t + 3] * ri[t + 3]);
+                    acc += (a0 * rj[t] + a1 * rj[t + 1]) + (a2 * rj[t + 2] + a3 * rj[t + 3]);
+                    t += 4;
+                }
+                for t in quads..k {
+                    acc += (a * w[t] * ri[t]) * rj[t];
+                }
+                self.data[i * d + j] = acc;
+            }
+        }
+        self.mirror_upper();
+        Ok(())
+    }
+
     /// Copies the upper triangle onto the lower one (strict symmetry).
     fn mirror_upper(&mut self) {
         let n = self.rows;
@@ -1054,6 +1128,41 @@ mod tests {
     }
 
     #[test]
+    fn syrk_weighted_cols_acc_is_bit_identical_to_row_major() {
+        // The columnar weighted kernel must replicate the row-major quad
+        // grouping exactly — bit-for-bit, not just to tolerance — over
+        // full ranges, sub-ranges, and remainder-heavy lengths.
+        let d = 5;
+        let n = 23;
+        let rows: Vec<f64> = (0..n * d)
+            .map(|i| ((i * 13) % 17) as f64 / 17.0 - 0.45)
+            .collect();
+        let w_all: Vec<f64> = (0..n)
+            .map(|i| ((i * 7) % 11) as f64 / 11.0 + 0.05)
+            .collect();
+        let mut xt = Matrix::zeros(d, n);
+        for (r, row) in rows.chunks_exact(d).enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                xt[(j, r)] = v;
+            }
+        }
+        for (lo, hi) in [(0usize, n), (0, 4), (3, 20), (7, 7), (1, n)] {
+            let mut row_major = Matrix::from_diagonal(&[0.25; 5]);
+            let mut columnar = row_major.clone();
+            row_major
+                .syrk_weighted_acc(0.5, &rows[lo * d..hi * d], d, &w_all[lo..hi])
+                .unwrap();
+            columnar
+                .syrk_weighted_cols_acc(0.5, &xt, lo, hi, &w_all[lo..hi])
+                .unwrap();
+            for (a, b) in row_major.as_slice().iter().zip(columnar.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "rows [{lo}, {hi})");
+            }
+            assert!(columnar.is_symmetric(0.0));
+        }
+    }
+
+    #[test]
     fn syrk_shape_errors() {
         let mut m = Matrix::zeros(2, 2);
         // Ragged block (length not a multiple of d).
@@ -1063,6 +1172,14 @@ mod tests {
         // Weight count mismatch.
         assert!(m
             .syrk_weighted_acc(1.0, &[1.0, 2.0], 2, &[1.0, 1.0])
+            .is_err());
+        // Columnar twin: range and weight-length mismatches.
+        let xt = Matrix::zeros(2, 4);
+        assert!(m.syrk_weighted_cols_acc(1.0, &xt, 0, 5, &[]).is_err());
+        assert!(m.syrk_weighted_cols_acc(1.0, &xt, 0, 2, &[1.0]).is_err());
+        let mut wrong = Matrix::zeros(3, 3);
+        assert!(wrong
+            .syrk_weighted_cols_acc(1.0, &xt, 0, 2, &[1.0, 1.0])
             .is_err());
     }
 

@@ -142,6 +142,35 @@ impl GradientDescent {
             iterations: self.max_iters,
         })
     }
+
+    /// [`GradientDescent::minimize`] with **divergence detection** for
+    /// objectives that may be unbounded below — the general-degree noisy
+    /// polynomials of the Functional Mechanism (an odd-degree noisy
+    /// release is *always* unbounded; even-degree ones can lose coercivity
+    /// to noise) and non-convex robust losses.
+    ///
+    /// Runs the same Armijo-backtracking iteration; an iterate escaping
+    /// `‖ω‖₂ > radius`, or a non-finite final iterate, is reported as
+    /// [`OptimError::UnboundedObjective`] instead of being returned as a
+    /// bogus minimiser. A minimiser genuinely outside the radius is
+    /// indistinguishable from divergence by design — callers pick a radius
+    /// comfortably above any plausible parameter norm.
+    ///
+    /// # Errors
+    /// * [`OptimError::UnboundedObjective`] on divergence.
+    /// * The failure modes of [`GradientDescent::minimize`].
+    pub fn minimize_within(
+        &self,
+        f: &dyn Objective,
+        omega0: &[f64],
+        radius: f64,
+    ) -> Result<OptimResult> {
+        let result = self.minimize(f, omega0)?;
+        if !result.omega.iter().all(|v| v.is_finite()) || vecops::norm2(&result.omega) > radius {
+            return Err(OptimError::UnboundedObjective);
+        }
+        Ok(result)
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +208,41 @@ mod tests {
                 200.0 * (w[1] - w[0] * w[0]),
             ]
         }
+    }
+
+    #[test]
+    fn minimize_within_accepts_interior_minimiser_and_flags_divergence() {
+        let gd = GradientDescent::default();
+        // Bowl minimiser at (3, −1), well inside radius 10.
+        let res = gd.minimize_within(&Bowl, &[0.0, 0.0], 10.0).unwrap();
+        assert!((res.omega[0] - 3.0).abs() < 1e-6);
+        // A minimiser outside the radius is reported as unbounded.
+        assert!(matches!(
+            gd.minimize_within(&Bowl, &[0.0, 0.0], 1.0),
+            Err(OptimError::UnboundedObjective)
+        ));
+
+        /// f(ω) = −ω² — unbounded below, iterates diverge.
+        struct Cap;
+        impl Objective for Cap {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn value(&self, w: &[f64]) -> f64 {
+                -w[0] * w[0]
+            }
+            fn gradient(&self, w: &[f64]) -> Vec<f64> {
+                vec![-2.0 * w[0]]
+            }
+        }
+        let err = gd.minimize_within(&Cap, &[0.5], 1e3);
+        assert!(
+            matches!(
+                err,
+                Err(OptimError::UnboundedObjective | OptimError::NonFiniteObjective)
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

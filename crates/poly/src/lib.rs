@@ -39,3 +39,9 @@ pub use chebyshev::ChebyshevQuadratic;
 pub use monomial::Monomial;
 pub use polynomial::Polynomial;
 pub use quadratic::QuadraticForm;
+
+/// The sparse Equation-3 representation under the name the general-degree
+/// estimator stack uses for it ([`Polynomial`] is keyed by monomials and
+/// stores only non-zero coefficients — "sparse" in contrast to the dense
+/// [`QuadraticForm`] the degree-2 pipeline perturbs).
+pub type SparsePolynomial = Polynomial;

@@ -130,6 +130,46 @@ impl Polynomial {
         }
     }
 
+    /// Multiplies two sparse polynomials exactly, term by term — the
+    /// workhorse for building higher-degree objectives (e.g. the quartic
+    /// loss as `((y − xᵀω)²)²`).
+    ///
+    /// # Panics
+    /// On mismatched variable counts.
+    #[must_use]
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        assert_eq!(self.num_vars, other.num_vars, "polynomial arity mismatch");
+        let d = self.num_vars;
+        let mut out = Polynomial::zero(d);
+        for (ma, ca) in self.terms() {
+            for (mb, cb) in other.terms() {
+                let exps: Vec<u32> = ma
+                    .exponents()
+                    .iter()
+                    .zip(mb.exponents())
+                    .map(|(ea, eb)| ea + eb)
+                    .collect();
+                out.add_term(Monomial::new(exps), ca * cb);
+            }
+        }
+        out
+    }
+
+    /// Adds the ridge term `λ·Σ_j ω_j²` — the general-degree analogue of
+    /// [`crate::quadratic::QuadraticForm::regularize`]'s `λ·I` diagonal
+    /// shift, used by the §6.1-style post-processing of noisy high-degree
+    /// releases.
+    pub fn regularize(&mut self, lambda: f64) {
+        if lambda == 0.0 {
+            return;
+        }
+        for j in 0..self.num_vars {
+            let mut exps = vec![0u32; self.num_vars];
+            exps[j] = 2;
+            self.add_term(Monomial::new(exps), lambda);
+        }
+    }
+
     /// Scales every coefficient.
     pub fn scale(&mut self, a: f64) {
         if a == 0.0 {
@@ -330,6 +370,39 @@ mod tests {
         let mut p = Polynomial::zero(1);
         p.add_term(Monomial::new(vec![3]), 1.0);
         assert!(p.to_quadratic_form().is_none());
+    }
+
+    #[test]
+    fn mul_is_exact() {
+        // (1 + ω₀)·(1 − ω₀) = 1 − ω₀².
+        let mut a = Polynomial::zero(1);
+        a.add_term(Monomial::constant(1), 1.0);
+        a.add_term(Monomial::linear(1, 0), 1.0);
+        let mut b = Polynomial::zero(1);
+        b.add_term(Monomial::constant(1), 1.0);
+        b.add_term(Monomial::linear(1, 0), -1.0);
+        let prod = a.mul(&b);
+        assert_eq!(prod.coefficient(&Monomial::constant(1)), 1.0);
+        assert_eq!(prod.coefficient(&Monomial::linear(1, 0)), 0.0);
+        assert_eq!(prod.coefficient(&Monomial::new(vec![2])), -1.0);
+        // Squaring twice yields the quartic expansion pointwise.
+        let q = a.mul(&a).mul(&a.mul(&a));
+        for w in [-1.5, 0.0, 0.3, 2.0] {
+            assert!((q.eval(&[w]) - (1.0 + w).powi(4)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn regularize_adds_ridge_to_every_square() {
+        let mut p = sample_poly();
+        let before = p.eval(&[0.5, -0.5]);
+        p.regularize(2.0);
+        // + 2(ω₁² + ω₂²) = + 2·0.5 at (0.5, −0.5).
+        assert!((p.eval(&[0.5, -0.5]) - (before + 1.0)).abs() < 1e-12);
+        // λ = 0 is a no-op.
+        let q = p.clone();
+        p.regularize(0.0);
+        assert_eq!(p, q);
     }
 
     #[test]

@@ -211,6 +211,68 @@ pub fn poisson_exp_component() -> TaylorComponent {
     }
 }
 
+/// Value and first two derivatives of the **pseudo-Huber** (smoothed
+/// absolute) loss `h(u) = √(u² + γ²) − γ` at `u` — the §5-style smoothing
+/// of the median-regression check loss `|u|` (Chen et al. 2020, "Median
+/// regression with differential privacy", smooth the non-differentiable
+/// pinball loss before Taylor truncation):
+///
+/// ```text
+/// h'(u)  = u / √(u² + γ²)            ∈ (−1, 1)
+/// h''(u) = γ² / (u² + γ²)^{3/2}      ∈ (0, 1/γ]
+/// ```
+///
+/// The `− γ` shift makes `h(0) = 0` without touching the minimiser or any
+/// degree-≥1 coefficient. As `γ → 0` the loss approaches `|u|`; the
+/// curvature bound `1/γ` (hence the sensitivity and the truncation
+/// remainder, see [`pseudo_huber_third_derivative_bound`]) grows in
+/// exchange.
+///
+/// # Panics
+/// Debug-asserts `γ > 0`.
+#[must_use]
+pub fn pseudo_huber_derivs(u: f64, gamma: f64) -> [f64; 3] {
+    debug_assert!(gamma > 0.0, "pseudo_huber_derivs: γ must be positive");
+    let s = (u * u + gamma * gamma).sqrt();
+    [s - gamma, u / s, gamma * gamma / (s * s * s)]
+}
+
+/// Upper bound on `|h'''|` of the pseudo-Huber loss over all of ℝ:
+/// `h'''(u) = −3γ²u/(u² + γ²)^{5/2}` peaks at `|u| = γ/2` with magnitude
+/// `(3/2)(4/5)^{5/2}/γ²` — the Lemma-4-style remainder constant of the
+/// smoothed median objective (data-independent, `O(1/γ²)`).
+#[must_use]
+pub fn pseudo_huber_third_derivative_bound(gamma: f64) -> f64 {
+    1.5 * 0.8_f64.powf(2.5) / (gamma * gamma)
+}
+
+/// Value and first two derivatives of the **Huber** loss at `u` with
+/// threshold `δ`:
+///
+/// ```text
+/// H(u)  = u²/2              if |u| ≤ δ,   δ(|u| − δ/2) otherwise
+/// H'(u) = clamp(u, −δ, δ)
+/// H''(u)= 1 if |u| < δ, else 0   (taken as 1 at |u| = δ)
+/// ```
+///
+/// `H` is `C¹` with piecewise-constant curvature: tuples inside the
+/// quadratic region contribute full least-squares curvature, tuples in the
+/// linear tails contribute a bounded-slope linear pull only — the
+/// bounded-influence property that makes the surrogate robust to label
+/// outliers.
+///
+/// # Panics
+/// Debug-asserts `δ > 0`.
+#[must_use]
+pub fn huber_derivs(u: f64, delta: f64) -> [f64; 3] {
+    debug_assert!(delta > 0.0, "huber_derivs: δ must be positive");
+    if u.abs() <= delta {
+        [0.5 * u * u, u, 1.0]
+    } else {
+        [delta * (u.abs() - 0.5 * delta), delta * u.signum(), 0.0]
+    }
+}
+
 /// The paper's headline truncation-error constant for logistic regression,
 /// `(e² − e) / (6(1 + e)³) ≈ 0.015` (end of Section 5.2).
 ///
@@ -420,6 +482,67 @@ mod tests {
         let z = vecops::dot(&x, &omega);
         let expected = std::f64::consts::LN_2 + 0.5 * z + 0.125 * z * z - y * z;
         assert!((q.eval(&omega) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pseudo_huber_derivs_match_finite_differences() {
+        let h = 1e-6;
+        for gamma in [0.1, 0.25, 1.0] {
+            for &u in &[-1.0, -0.3, 0.0, 0.2, 0.9] {
+                let [f, f1, f2] = pseudo_huber_derivs(u, gamma);
+                let fp = pseudo_huber_derivs(u + h, gamma)[0];
+                let fm = pseudo_huber_derivs(u - h, gamma)[0];
+                assert!((f1 - (fp - fm) / (2.0 * h)).abs() < 1e-5, "f' at {u}");
+                assert!(
+                    (f2 - (fp - 2.0 * f + fm) / (h * h)).abs() < 1e-3,
+                    "f'' at {u}"
+                );
+                assert!(f >= 0.0 && f1.abs() < 1.0 && f2 > 0.0 && f2 <= 1.0 / gamma + 1e-12);
+            }
+            // h(0) = 0 and h approaches |u| − γ + O(γ²/|u|) for large |u|.
+            assert_eq!(pseudo_huber_derivs(0.0, gamma)[0], 0.0);
+            let far = pseudo_huber_derivs(100.0, gamma)[0];
+            assert!((far - (100.0 - gamma)).abs() <= gamma * gamma / 200.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pseudo_huber_third_derivative_bound_dominates_scan() {
+        for gamma in [0.1, 0.5, 2.0] {
+            let bound = pseudo_huber_third_derivative_bound(gamma);
+            let h = 1e-4 * gamma;
+            let mut max_seen = 0.0_f64;
+            for i in -4000..=4000 {
+                let u = i as f64 * 1e-3;
+                let f2p = pseudo_huber_derivs(u + h, gamma)[2];
+                let f2m = pseudo_huber_derivs(u - h, gamma)[2];
+                max_seen = max_seen.max(((f2p - f2m) / (2.0 * h)).abs());
+            }
+            assert!(
+                max_seen <= bound * (1.0 + 1e-3),
+                "γ={gamma}: {max_seen} > {bound}"
+            );
+            // The bound is tight: the scan must reach ≥ 99% of it.
+            assert!(max_seen >= bound * 0.99, "γ={gamma}: bound too loose");
+        }
+    }
+
+    #[test]
+    fn huber_derivs_piecewise_structure() {
+        let delta = 0.5;
+        // Quadratic region: exactly least squares.
+        assert_eq!(huber_derivs(0.3, delta), [0.045, 0.3, 1.0]);
+        assert_eq!(huber_derivs(-0.5, delta), [0.125, -0.5, 1.0]);
+        // Linear tails: bounded slope ±δ, zero curvature.
+        let [f, f1, f2] = huber_derivs(0.9, delta);
+        assert!((f - 0.5 * (0.9 - 0.25)).abs() < 1e-15);
+        assert_eq!((f1, f2), (0.5, 0.0));
+        assert_eq!(huber_derivs(-2.0, delta)[1], -0.5);
+        // C¹ continuity at the knot.
+        let inner = huber_derivs(delta, delta);
+        let outer = huber_derivs(delta + 1e-12, delta);
+        assert!((inner[0] - outer[0]).abs() < 1e-11);
+        assert!((inner[1] - outer[1]).abs() < 1e-11);
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Robust private regression: **median** and **Huber** objectives vs
+//! least squares under label contamination.
+//!
+//! Squared error gives every tuple influence proportional to its
+//! residual, so a slice of junk labels (sensor saturation, data-entry
+//! errors — clamped to the contract range but uncorrelated with the
+//! features) drags the whole fit. The robust objectives' influence
+//! functions *saturate*: an outlier tuple contributes a bounded tug and
+//! almost no curvature, privately, at the same ε.
+//!
+//! This example injects one-sided label outliers at increasing rates and
+//! compares three private estimators at equal budget, plus their
+//! non-private references — all through one `dyn DpEstimator` line-up and
+//! one `PrivacySession`.
+//!
+//! Run with: `cargo run --release --example median_robust`
+
+use functional_mechanism::data::synth;
+use functional_mechanism::linalg::vecops;
+use functional_mechanism::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3_113);
+    let w = vec![0.3, -0.2];
+    let n = 40_000;
+    let epsilon = 2.0;
+    println!("ground truth ω* = {w:?}, n = {n}, per-fit ε = {epsilon}\n");
+    println!("outlier%   FM-least-squares   FM-median   FM-huber     (‖ω̄ − ω*‖, mean of 5)");
+
+    for frac in [0.0, 0.1, 0.25, 0.4] {
+        let base = synth::linear_dataset_with_weights(&mut rng, n, &w, 0.05);
+        // Ceiling junk: in-contract but meaningless labels.
+        let data = synth::inject_label_outliers(&mut rng, &base, frac, 1.0);
+
+        // One heterogeneous line-up, one budget-aware session.
+        let ols = DpLinearRegression::builder().epsilon(epsilon).build();
+        let median = DpMedianRegression::builder()
+            .epsilon(epsilon)
+            .smoothing(0.5)
+            .build();
+        let huber = DpHuberRegression::builder().epsilon(epsilon).build();
+        let lineup: Vec<&dyn DpEstimator<Model = LinearModel>> = vec![&ols, &median, &huber];
+
+        let mut session = PrivacySession::new();
+        let reps = 5;
+        let mut errs = Vec::new();
+        for est in &lineup {
+            let mut total = 0.0;
+            for _ in 0..reps {
+                let model = session.fit(*est, &data, &mut rng).expect("fit");
+                total += vecops::dist2(model.weights(), &w);
+            }
+            errs.push(total / f64::from(reps));
+        }
+        println!(
+            "{:>7.0}% {:>18.4} {:>11.4} {:>10.4}",
+            frac * 100.0,
+            errs[0],
+            errs[1],
+            errs[2]
+        );
+    }
+
+    // The honest cost of the table above, from the session ledger.
+    let mut session = PrivacySession::new();
+    let est = DpMedianRegression::builder().epsilon(epsilon).build();
+    let probe = synth::linear_dataset_with_weights(&mut rng, 5_000, &w, 0.05);
+    for _ in 0..5 {
+        let _ = session.fit(&est, &probe, &mut rng);
+    }
+    let report = session.report(1e-6).expect("valid δ′");
+    println!(
+        "\neach cell above spent 5 sequential fits: basic Σε = {}, best composition (δ′=1e-6) ε = {:.2}",
+        report.basic.0, report.best.0
+    );
+
+    // Non-private exact fits, for reference: the robust losses themselves
+    // (not their surrogates) minimised by gradient descent.
+    let base = synth::linear_dataset_with_weights(&mut rng, n, &w, 0.05);
+    let data = synth::inject_label_outliers(&mut rng, &base, 0.25, 1.0);
+    let exact_median = DpMedianRegression::builder()
+        .smoothing(0.1)
+        .build()
+        .fit_exact_without_privacy(&data)
+        .expect("exact median");
+    let exact_ols = DpLinearRegression::builder()
+        .build()
+        .fit_without_privacy(&data)
+        .expect("OLS");
+    println!(
+        "\nnon-private, 25% outliers: exact median ‖ω − ω*‖ = {:.4}, OLS = {:.4}",
+        vecops::dist2(exact_median.weights(), &w),
+        vecops::dist2(exact_ols.weights(), &w),
+    );
+    println!(
+        "\nThe saturating losses keep junk labels from buying influence — and the\n\
+         guarantee is unchanged: same Algorithm 1, same ε, sensitivity Δ still\n\
+         independent of the data."
+    );
+}

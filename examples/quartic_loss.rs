@@ -1,26 +1,22 @@
-//! Algorithm 1 beyond degree 2: private regression with a **quartic** loss.
+//! Algorithm 1 beyond degree 2: private regression with a **quartic** loss
+//! — now through the same one-estimator API as everything else.
 //!
 //! The paper's abstract promises a mechanism for "a large class of
 //! optimization-based analyses"; its case studies both reduce to degree-2
 //! polynomials. This example exercises the general-degree path on
-//! `f(t, ω) = (y − xᵀω)⁴` — a loss that penalises large residuals much
-//! harder than squared error, and whose polynomial form has monomials up
-//! to degree 4 (so the dense quadratic machinery cannot represent it).
+//! `f(t, ω) = (y − xᵀω)⁴` — a loss whose polynomial form has monomials up
+//! to degree 4, so the dense quadratic machinery cannot represent it.
 //!
-//! Algorithm 1 applies verbatim: expand per-tuple coefficients over
-//! `Φ_0 … Φ_4`, bound their L1 norm over the normalized domain
-//! (`Δ = 2((1+d)⁴ − 1)`), perturb *every* monomial coefficient with
-//! `Lap(Δ/ε)` — structural zeros included — and minimise the noisy
-//! polynomial. The §6 post-processing story changes: a noisy quartic may
-//! be unbounded below, which the minimiser detects and reports; this
-//! example retries on a fresh draw, paying for each attempt out of an
-//! explicit budget (Lemma-5 style accounting).
+//! Where this example used to drive `GenericFunctionalMechanism::perturb`
+//! and `NoisyPolynomial::minimize` by hand, it now builds a
+//! [`SparseFmEstimator`]: the same `FitConfig` knobs (ε, §6 strategy,
+//! intercept), the Lemma-5 `Strategy::Resample` loop with honest ε/2
+//! accounting per attempt, `PrivacySession` budget debiting, and
+//! `SavedModel` persistence — none of which the old side path offered.
 //!
 //! Run with: `cargo run --release --example quartic_loss`
 
-use functional_mechanism::core::generic::{
-    GeneralObjective, GenericFunctionalMechanism, QuarticObjective,
-};
+use functional_mechanism::core::generic::GeneralObjective;
 use functional_mechanism::data::synth;
 use functional_mechanism::linalg::vecops;
 use functional_mechanism::prelude::*;
@@ -38,44 +34,66 @@ fn main() {
         functional_mechanism::core::linreg::sensitivity_paper(d),
     );
 
-    // The noise-free quartic minimiser (for reference): with symmetric
-    // noise it is close to the squared-loss OLS solution.
-    let exact_q = QuarticObjective.assemble(&data);
+    // The noise-free quartic minimiser (ε = ∞ reference), through the
+    // same estimator.
+    let clean = SparseFmEstimator::new(QuarticObjective, FitConfig::new())
+        .fit_without_privacy(&data)
+        .expect("clean fit");
     println!(
-        "clean quartic objective: {} monomials, degree {}",
-        exact_q.num_terms(),
-        exact_q.degree()
+        "non-private quartic minimiser: ω = {:?}  ‖ω − ω*‖ = {:.4}\n",
+        rounded(clean.weights()),
+        vecops::dist2(clean.weights(), &truth)
     );
 
-    // Private fits: each attempt draws a fresh noisy polynomial; unbounded
-    // draws are retried, and every attempt is paid for.
+    // Private fits at three budgets, each drawn through one budget-aware
+    // session. Strategy::Resample is Lemma 5 verbatim: every attempt runs
+    // at ε/2 so the advertised total honours the 2× repetition cost, and
+    // unbounded draws are retried inside the estimator.
+    let mut session = PrivacySession::with_budget(48.0).expect("budget");
     for epsilon in [32.0, 8.0, 2.0] {
-        let attempts = 8;
-        let mut budget = PrivacyBudget::new(epsilon).expect("budget");
-        let per_attempt = budget.split_remaining(attempts).expect("split");
-        let fm = GenericFunctionalMechanism::new(per_attempt).expect("mechanism");
-        let mut outcome = None;
-        let mut used = 0;
-        for _ in 0..attempts {
-            used += 1;
-            let noisy = fm
-                .perturb(&data, &QuarticObjective, &mut rng)
-                .expect("perturb");
-            if let Ok(omega) = noisy.minimize(&[0.0; 3], 1e3) {
-                outcome = Some(omega);
-                break;
-            }
-        }
-        match outcome {
-            Some(omega) => println!(
-                "ε = {epsilon:>4} (per-attempt {per_attempt:.2}): ω̄ = {:?}  ‖ω̄ − ω*‖ = {:.4}  ({used} attempt(s))",
-                rounded(&omega),
-                vecops::dist2(&omega, &truth)
+        let est = SparseFmEstimator::new(
+            QuarticObjective,
+            FitConfig::new()
+                .epsilon(epsilon)
+                .strategy(Strategy::Resample { max_attempts: 8 }),
+        );
+        match session.fit(&est, &data, &mut rng) {
+            Ok(model) => println!(
+                "ε = {epsilon:>4}: ω̄ = {:?}  ‖ω̄ − ω*‖ = {:.4}   (session: Σε = {})",
+                rounded(model.weights()),
+                vecops::dist2(model.weights(), &truth),
+                session.spent_epsilon(),
             ),
-            None => println!(
+            Err(FmError::ResampleExhausted { attempts }) => println!(
                 "ε = {epsilon:>4}: all {attempts} draws unbounded — budget too small for a degree-4 release"
             ),
+            Err(e) => println!("ε = {epsilon:>4}: refused — {e}"),
         }
+    }
+    println!(
+        "fits recorded: {}, Σε spent: {}, remaining: {:?}",
+        session.num_fits(),
+        session.spent_epsilon(),
+        session.remaining_epsilon(),
+    );
+
+    // Released weights are a linear predictor: they persist through the
+    // standard model format like any other fit.
+    let est = SparseFmEstimator::new(
+        QuarticObjective,
+        FitConfig::new()
+            .epsilon(32.0)
+            .strategy(Strategy::Resample { max_attempts: 8 }),
+    );
+    let mut fresh = rand::rngs::StdRng::seed_from_u64(7);
+    if let Ok(model) = est.fit(&data, &mut fresh) {
+        let text = SavedModel::from(&model).to_text().expect("serialise");
+        let back: LinearModel = SavedModel::from_text(&text)
+            .expect("parse")
+            .into_model()
+            .expect("kind");
+        assert_eq!(back, model);
+        println!("\npersistence round-trip: bit-exact ({} bytes)", text.len());
     }
 
     println!(

@@ -136,12 +136,15 @@ pub mod prelude {
     };
     pub use fm_core::{
         estimator::{DpEstimator, FitConfig, FmEstimator, RegressionObjective},
+        generic::QuarticObjective,
         linreg::DpLinearRegression,
         logreg::{Approximation, DpLogisticRegression},
         model::{LinearModel, LogisticModel, Model, ModelKind, PersistableModel, PoissonModel},
         persist::SavedModel,
         poisson::DpPoissonRegression,
+        robust::{DpHuberRegression, DpMedianRegression},
         session::PrivacySession,
+        sparse::{SparseFmEstimator, SparseRegressionObjective},
         FmError, NoiseDistribution, SensitivityBound, Strategy,
     };
     pub use fm_data::{cv::KFold, dataset::Dataset, metrics, normalize::Normalizer};

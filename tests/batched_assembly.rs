@@ -22,6 +22,7 @@ use functional_mechanism::core::generic::{GeneralLinearObjective, GeneralObjecti
 use functional_mechanism::core::linreg::LinearObjective;
 use functional_mechanism::core::logreg::{ChebyshevLogisticObjective, LogisticObjective};
 use functional_mechanism::core::poisson::PoissonObjective;
+use functional_mechanism::core::robust::{HuberObjective, MedianObjective};
 use functional_mechanism::core::PolynomialObjective;
 use functional_mechanism::data::{synth, Dataset};
 use functional_mechanism::poly::QuadraticForm;
@@ -155,6 +156,18 @@ fn poisson_batched_assembly_matches_per_tuple() {
 }
 
 #[test]
+fn median_batched_assembly_matches_per_tuple() {
+    let objective = MedianObjective::new(0.25).expect("valid smoothing");
+    check_objective(&objective, &linear_data(21), "median");
+}
+
+#[test]
+fn huber_batched_assembly_matches_per_tuple() {
+    let objective = HuberObjective::new(0.5).expect("valid threshold");
+    check_objective(&objective, &linear_data(27), "huber");
+}
+
+#[test]
 fn columnar_assembly_is_bit_identical_to_row_major() {
     // The shipped assemble path reads the dataset's cached column-major
     // view (`Dataset::columnar()`) for the built-in objectives; its
@@ -186,6 +199,16 @@ fn columnar_assembly_is_bit_identical_to_row_major() {
         &PoissonObjective::taylor(8.0).expect("valid cap"),
         &count_data(53),
         "poisson",
+    );
+    check(
+        &MedianObjective::new(0.25).expect("valid smoothing"),
+        &linear_data(61),
+        "median",
+    );
+    check(
+        &HuberObjective::new(0.5).expect("valid threshold"),
+        &linear_data(67),
+        "huber",
     );
 }
 

@@ -4,12 +4,15 @@
 //! variant, private model selection, and failure injection on malformed
 //! inputs.
 
+use functional_mechanism::core::generic::{GenericFunctionalMechanism, QuarticObjective};
 use functional_mechanism::core::linreg::DpLinearRegression;
 use functional_mechanism::core::logreg::{Approximation, DpLogisticRegression};
 use functional_mechanism::core::poisson::DpPoissonRegression;
+use functional_mechanism::core::robust::{DpHuberRegression, DpMedianRegression};
+use functional_mechanism::core::sparse::{SparseFmEstimator, DEFAULT_DIVERGENCE_RADIUS};
 use functional_mechanism::core::{FmError, NoiseDistribution, Strategy};
 use functional_mechanism::data::{cv, metrics, synth};
-use functional_mechanism::linalg::Matrix;
+use functional_mechanism::linalg::{vecops, Matrix};
 use functional_mechanism::prelude::*;
 use functional_mechanism::privacy::exponential::ExponentialMechanism;
 use rand::SeedableRng;
@@ -371,6 +374,142 @@ fn single_row_datasets_never_panic() {
                 .map(|m| m.weights().to_vec()),
         );
     }
+}
+
+// ------------------------------------------------- robust regression pins
+
+/// A linear dataset with a fraction of labels replaced by one-sided
+/// outliers at the label ceiling (sensor saturation / data-entry junk:
+/// clamped to the contract range, uncorrelated with the features).
+fn outlier_dataset(seed: u64, n: usize, w: &[f64], frac: f64) -> Dataset {
+    let mut r = rng(seed);
+    let base = synth::linear_dataset_with_weights(&mut r, n, w, 0.05);
+    synth::inject_label_outliers(&mut r, &base, frac, 1.0)
+}
+
+#[test]
+fn median_regression_beats_least_squares_under_label_outliers() {
+    // Seed-pinned regression-utility pin: at equal per-fit ε on data with
+    // 25% injected label outliers, the private median fit must recover
+    // the true weights better (averaged over a handful of draws) than
+    // private least squares — the whole point of the robust objectives.
+    let w = vec![0.3, -0.2];
+    let data = outlier_dataset(900, 40_000, &w, 0.25);
+    let reps = 6;
+    let mean_err = |fit: &dyn Fn(&mut rand::rngs::StdRng) -> Vec<f64>| -> f64 {
+        let mut r = rng(901);
+        (0..reps)
+            .map(|_| vecops::dist2(&fit(&mut r), &w))
+            .sum::<f64>()
+            / reps as f64
+    };
+    // γ is chosen at the clean-label spread (|xᵀw| ≤ 0.36): residuals of
+    // genuine tuples sit in the near-quadratic region of the smoothed
+    // loss while the y = 1 outliers land deep in its saturated tail,
+    // which is exactly the regime the objective's docs prescribe.
+    let median = DpMedianRegression::builder()
+        .epsilon(2.0)
+        .smoothing(0.5)
+        .build();
+    let huber = DpHuberRegression::builder().epsilon(2.0).build();
+    let ols = DpLinearRegression::builder().epsilon(2.0).build();
+    let err_median = mean_err(&|r| median.fit(&data, r).unwrap().weights().to_vec());
+    let err_huber = mean_err(&|r| huber.fit(&data, r).unwrap().weights().to_vec());
+    let err_ols = mean_err(&|r| ols.fit(&data, r).unwrap().weights().to_vec());
+    assert!(
+        err_median < err_ols,
+        "median {err_median} should beat least squares {err_ols} under outliers"
+    );
+    assert!(
+        err_huber < err_ols,
+        "huber {err_huber} should beat least squares {err_ols} under outliers"
+    );
+}
+
+#[test]
+fn robust_fits_flow_through_session_and_persistence() {
+    // The new objectives are first-class citizens of the estimator API:
+    // session-debited like every other fit, persisted and reloaded
+    // bit-exactly through the same SavedModel format.
+    let mut r = rng(910);
+    let data = synth::linear_dataset(&mut r, 20_000, 3, 0.1);
+    let median = DpMedianRegression::builder().epsilon(0.5).build();
+    let huber = DpHuberRegression::builder().epsilon(0.7).build();
+    let mut session = PrivacySession::with_budget(1.5).unwrap();
+    let lineup: Vec<&dyn DpEstimator<Model = LinearModel>> = vec![&median, &huber];
+    for est in lineup {
+        let model = session.fit(est, &data, &mut r).unwrap();
+        let text = SavedModel::from(&model).to_text().unwrap();
+        let back: LinearModel = SavedModel::from_text(&text).unwrap().into_model().unwrap();
+        assert_eq!(back, model);
+    }
+    assert_eq!(session.num_fits(), 2);
+    assert!((session.spent_epsilon() - 1.2).abs() < 1e-12);
+}
+
+// ------------------------------------------------ unified sparse path pins
+
+#[test]
+fn unified_quartic_estimator_reproduces_generic_mechanism_bit_for_bit() {
+    // The acceptance pin for deprecating the GenericFunctionalMechanism
+    // side path: on the same RNG stream, the unified SparseFmEstimator
+    // (FailIfUnbounded = the old example's raw perturb→minimize) must
+    // release *exactly* the weights the manual drive produced.
+    let mut r = rng(920);
+    let data = synth::linear_dataset(&mut r, 5_000, 3, 0.05);
+    let est = SparseFmEstimator::new(
+        QuarticObjective,
+        FitConfig::new()
+            .epsilon(128.0)
+            .strategy(Strategy::FailIfUnbounded),
+    );
+
+    let mut r1 = rng(921);
+    let unified = est.fit(&data, &mut r1).unwrap();
+
+    let mut r2 = rng(921);
+    let fm = GenericFunctionalMechanism::new(128.0).unwrap();
+    let noisy = fm.perturb(&data, &QuarticObjective, &mut r2).unwrap();
+    let manual = noisy
+        .minimize(&[0.0; 3], DEFAULT_DIVERGENCE_RADIUS)
+        .unwrap();
+
+    assert_eq!(
+        unified.weights(),
+        manual.as_slice(),
+        "unified sparse path must match the old side path bit-for-bit"
+    );
+    assert_eq!(unified.epsilon(), Some(128.0));
+}
+
+#[test]
+fn quartic_estimator_end_to_end_with_session_and_persistence() {
+    // The quartic demo's whole story through the one estimator API:
+    // budget-aware resampling fit, honest Lemma-5 accounting, model
+    // persistence — none of which the old side path offered.
+    let mut r = rng(930);
+    let w = vec![0.4, -0.25];
+    let data = synth::linear_dataset_with_weights(&mut r, 30_000, &w, 0.03);
+    let est = SparseFmEstimator::new(
+        QuarticObjective,
+        FitConfig::new()
+            .epsilon(64.0)
+            .strategy(Strategy::Resample { max_attempts: 8 }),
+    );
+    let mut session = PrivacySession::with_budget(100.0).unwrap();
+    let model = session.fit(&est, &data, &mut r).unwrap();
+    assert_eq!(session.num_fits(), 1);
+    assert!((session.spent_epsilon() - 64.0).abs() < 1e-12);
+    assert!(
+        vecops::dist2(model.weights(), &w) < 0.2,
+        "weights {:?}",
+        model.weights()
+    );
+    let text = SavedModel::from(&model).to_text().unwrap();
+    let back: LinearModel = SavedModel::from_text(&text).unwrap().into_model().unwrap();
+    assert_eq!(back, model);
+    // A second fit would overdraw the cap: refused before running.
+    assert!(session.fit(&est, &data, &mut r).is_err());
 }
 
 #[test]
