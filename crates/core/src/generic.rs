@@ -52,10 +52,15 @@ pub const MAX_COEFFICIENTS: usize = 200_000;
 /// polynomial of degree ≤ [`GeneralObjective::max_degree`].
 ///
 /// Like [`crate::PolynomialObjective`], implementations own the Lemma-1
-/// contract: for every tuple in the domain [`GeneralObjective::validate`]
-/// accepts, the L1 norm of the degree-≥1 coefficients of
-/// [`GeneralObjective::tuple_polynomial`] must be at most
-/// `sensitivity(d) / 2`.
+/// contract, and it covers **every coefficient the mechanism releases** —
+/// [`GenericFunctionalMechanism::perturb`] draws noise for the whole of
+/// `Φ_0 ∪ … ∪ Φ_J`, the degree-0 monomial included. For any two tuples in
+/// the domain [`GeneralObjective::validate`] accepts, the L1 distance
+/// between their [`GeneralObjective::tuple_polynomial`] coefficient
+/// vectors must be at most `sensitivity(d)`; the usual sufficient
+/// per-tuple form is full coefficient L1 norm (constant included) at most
+/// `sensitivity(d) / 2`, though a data-*independent* constant cancels
+/// between neighbours and needs no Δ share.
 /// `Sync` is a supertrait for the same reason as on
 /// [`crate::PolynomialObjective`]: [`GeneralObjective::assemble`] fans the
 /// accumulation out across row chunks.
@@ -168,30 +173,39 @@ impl NoisyPolynomial {
     /// * [`FmError::Optim`] with `UnboundedObjective` on divergence, or the
     ///   solver's own failure modes.
     pub fn minimize(&self, start: &[f64], radius: f64) -> Result<Vec<f64>> {
-        struct PolyObjective<'a> {
-            p: &'a Polynomial,
-        }
-        impl fm_optim::Objective for PolyObjective<'_> {
-            fn dim(&self) -> usize {
-                self.p.num_vars()
-            }
-            fn value(&self, omega: &[f64]) -> f64 {
-                self.p.eval(omega)
-            }
-            fn gradient(&self, omega: &[f64]) -> Vec<f64> {
-                self.p.gradient(omega)
-            }
-        }
-
-        let objective = PolyObjective {
-            p: &self.polynomial,
-        };
-        let gd = fm_optim::gd::GradientDescent::default();
-        let result = gd
-            .minimize_within(&objective, start, radius)
-            .map_err(FmError::from)?;
-        Ok(result.omega)
+        minimize_polynomial(&self.polynomial, start, radius)
     }
+}
+
+/// Minimises an arbitrary-degree polynomial by gradient descent from
+/// `start`, with divergence detection past `radius` — the one solve shared
+/// by [`NoisyPolynomial::minimize`] and the sparse estimator's non-private
+/// reference fit, so the private and clean paths can never drift apart.
+///
+/// # Errors
+/// * [`FmError::Optim`] with `UnboundedObjective` on divergence, or the
+///   solver's own failure modes.
+pub(crate) fn minimize_polynomial(p: &Polynomial, start: &[f64], radius: f64) -> Result<Vec<f64>> {
+    struct PolyObjective<'a> {
+        p: &'a Polynomial,
+    }
+    impl fm_optim::Objective for PolyObjective<'_> {
+        fn dim(&self) -> usize {
+            self.p.num_vars()
+        }
+        fn value(&self, omega: &[f64]) -> f64 {
+            self.p.eval(omega)
+        }
+        fn gradient(&self, omega: &[f64]) -> Vec<f64> {
+            self.p.gradient(omega)
+        }
+    }
+
+    let gd = fm_optim::gd::GradientDescent::default();
+    let result = gd
+        .minimize_within(&PolyObjective { p }, start, radius)
+        .map_err(FmError::from)?;
+    Ok(result.omega)
 }
 
 /// Algorithm 1 over arbitrary-degree polynomial objectives.
@@ -338,8 +352,10 @@ impl GeneralObjective for GeneralLinearObjective {
 ///
 /// Sensitivity: expanding `(y − xᵀω)⁴ = Σ_{k=0}^{4} C(4,k) y^{4−k}
 /// (−xᵀω)^k`, the degree-`k` coefficients have total L1 mass at most
-/// `C(4,k)·|y|^{4−k}·(Σ|x_j|)^k ≤ C(4,k)·d^k` on the normalized domain, so
-/// `Δ = 2·Σ_{k=1}^{4} C(4,k)·d^k = 2((1+d)⁴ − 1)`.
+/// `C(4,k)·|y|^{4−k}·(Σ|x_j|)^k ≤ C(4,k)·d^k` on the normalized domain.
+/// The `k = 0` term is the released constant `y⁴` — data-dependent, so it
+/// takes its own Δ share (like linear regression's `+1` for `y²`) — giving
+/// `Δ = 2·Σ_{k=0}^{4} C(4,k)·d^k = 2(1+d)⁴`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QuarticObjective;
 
@@ -361,7 +377,7 @@ impl GeneralObjective for QuarticObjective {
 
     fn sensitivity(&self, d: usize) -> f64 {
         let dp1 = 1.0 + d as f64;
-        2.0 * (dp1.powi(4) - 1.0)
+        2.0 * dp1.powi(4)
     }
 
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
@@ -454,10 +470,12 @@ mod tests {
                 let x = fm_data::synth::sample_in_ball(&mut r, d, 1.0);
                 let y = rand::Rng::gen_range(&mut r, -1.0..=1.0);
                 let p = QuarticObjective.tuple_polynomial(&x, y, d);
+                // Constant included: the mechanism releases the Φ_0
+                // coefficient and its clean value y⁴ is data-dependent.
                 assert!(
-                    p.coefficient_l1_norm() <= delta / 2.0 + 1e-9,
+                    p.coefficient_l1_norm_with_constant() <= delta / 2.0 + 1e-9,
                     "d={d}: L1 {} > Δ/2 {}",
-                    p.coefficient_l1_norm(),
+                    p.coefficient_l1_norm_with_constant(),
                     delta / 2.0
                 );
             }
@@ -553,7 +571,7 @@ mod tests {
         let a = fm.perturb(&small, &QuarticObjective, &mut r).unwrap();
         let b = fm.perturb(&large, &QuarticObjective, &mut r).unwrap();
         assert_eq!(a.noise_scale(), b.noise_scale());
-        // Δ = 2((1+3)⁴ − 1) = 510.
-        assert_eq!(a.sensitivity(), 510.0);
+        // Δ = 2(1+3)⁴ = 512.
+        assert_eq!(a.sensitivity(), 512.0);
     }
 }

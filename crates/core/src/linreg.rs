@@ -197,8 +197,9 @@ mod tests {
 
     #[test]
     fn lemma1_contract_per_tuple_l1_below_half_delta() {
-        // Machine-check the sensitivity contract on random in-domain tuples:
-        // per-tuple coefficient L1 (degree ≥ 1 terms) ≤ Δ/2.
+        // Machine-check the sensitivity contract on random in-domain
+        // tuples: per-tuple coefficient L1 — β = y² included, since the
+        // mechanism releases it and Δ's +1 is its share — ≤ Δ/2.
         let mut r = rng();
         for d in [1usize, 3, 7, 13] {
             let delta = LinearObjective.sensitivity(d, SensitivityBound::Paper);
@@ -208,7 +209,7 @@ mod tests {
                 let y = rand::Rng::gen_range(&mut r, -1.0..=1.0);
                 let mut q = QuadraticForm::zero(d);
                 LinearObjective.accumulate_tuple(&x, y, &mut q);
-                let l1 = q.coefficient_l1_norm();
+                let l1 = q.coefficient_l1_norm_with_constant();
                 assert!(
                     l1 <= delta / 2.0 + 1e-9,
                     "d={d}: L1 {l1} > Δ/2 {}",

@@ -70,12 +70,19 @@ pub enum NoiseDistribution {
 /// An objective function in the form Algorithm 1 consumes: per-tuple
 /// polynomial coefficients (degree ≤ 2) plus a data-independent sensitivity.
 ///
-/// Implementations must uphold the **Lemma-1 contract**: for every tuple
-/// `(x, y)` in the normalized domain (`‖x‖₂ ≤ 1`, label in the model's
-/// range), the L1 (resp. L2) norm of the degree-≥1 coefficients contributed
-/// by that tuple is at most `sensitivity(d, bound) / 2` (resp.
-/// `sensitivity_l2(d) / 2`). The property tests in `linreg`/`logreg`/
-/// `poisson` machine-check this contract on random in-domain tuples.
+/// Implementations must uphold the **Lemma-1 contract**, and it covers
+/// every coefficient [`FunctionalMechanism::perturb`] releases — the
+/// degree-0 term β included: for any two tuples in the normalized domain
+/// (`‖x‖₂ ≤ 1`, label in the model's range), the L1 (resp. L2) distance
+/// between their full coefficient contributions is at most
+/// `sensitivity(d, bound)` (resp. `sensitivity_l2(d)`). The usual
+/// sufficient per-tuple form: degree-≥1 coefficient L1 norm plus the
+/// constant's data-dependent share at most `sensitivity(d, bound) / 2` —
+/// linear regression's `+1` for `y²` and the robust losses' `ρ_max` are
+/// that share, while a data-*independent* constant (logistic's `log 2`,
+/// Poisson's `a₀`) cancels between neighbours and needs none. The
+/// property tests in `linreg`/`logreg`/`poisson`/`robust` machine-check
+/// this contract on random in-domain tuples.
 ///
 /// `Sync` is a supertrait so [`PolynomialObjective::assemble`] can fan the
 /// accumulation out across row chunks (see [`crate::assembly`]); every

@@ -35,14 +35,19 @@
 //!
 //! ## Sensitivities (Lemma-1 contract)
 //!
-//! With `c₁ = max_{|y|≤1} |ρ'(y)|` and `c₂ = max_{|y|≤1} ρ''(y)`, the
-//! degree-≥1 per-tuple coefficient L1 norm is at most
-//! `c₁·Σ|x_j| + ½c₂·(Σ|x_j|)²`, so `Δ = 2(c₁·S + ½c₂·S²)` with `S = d`
-//! (paper-style) or `√d` (Cauchy–Schwarz). Both are `O(1)` in the data —
-//! the paper's headline property — and the property tests machine-check
-//! the contract on random in-domain tuples. For the L2 (Gaussian-variant)
-//! sensitivity the per-tuple blocks are bounded through `‖x‖₂ ≤ 1`
-//! directly, giving the dimension-independent
+//! Algorithm 1 perturbs and releases **every** coefficient of the
+//! truncated objective — the degree-0 term `β = Σρ(yᵢ)` included — so Δ
+//! must cover the constant. With `ρ_max = max_{|y|≤1} ρ(y)`,
+//! `c₁ = max_{|y|≤1} |ρ'(y)|` and `c₂ = max_{|y|≤1} ρ''(y)`, the full
+//! per-tuple coefficient L1 norm is at most
+//! `ρ_max + c₁·Σ|x_j| + ½c₂·(Σ|x_j|)²`, so
+//! `Δ = 2(ρ_max + c₁·S + ½c₂·S²)` with `S = d` (paper-style) or `√d`
+//! (Cauchy–Schwarz) — the `ρ_max` term mirrors linear regression's `+1`
+//! for its `y²` constant. Both are `O(1)` in the data — the paper's
+//! headline property — and the property tests machine-check the contract
+//! (constant included) on random in-domain tuples. For the L2
+//! (Gaussian-variant) sensitivity the per-tuple blocks are bounded
+//! through `‖x‖₂ ≤ 1` directly, giving the dimension-independent
 //! `Δ₂ = 2√(ρ_max² + c₁² + ¼c₂²)`.
 
 use rand::{Rng, RngCore};
@@ -70,14 +75,17 @@ pub const DEFAULT_SMOOTHING: f64 = 0.25;
 pub const DEFAULT_HUBER_DELTA: f64 = 0.5;
 
 /// The paper-style L1 sensitivity shared by every residual loss with
-/// derivative bounds `(c₁, c₂)`: `Δ = 2(c₁·S + ½c₂·S²)`, `S` as per the
-/// bound choice (see the module docs).
-fn residual_sensitivity(d: usize, bound: SensitivityBound, c1: f64, c2: f64) -> f64 {
+/// value bound `ρ_max` and derivative bounds `(c₁, c₂)`:
+/// `Δ = 2(ρ_max + c₁·S + ½c₂·S²)`, `S` as per the bound choice (see the
+/// module docs). The `ρ_max` term covers the released degree-0
+/// coefficient `β = Σρ(yᵢ)`, which changes by up to `ρ_max` under a
+/// one-tuple replacement.
+fn residual_sensitivity(d: usize, bound: SensitivityBound, rho_max: f64, c1: f64, c2: f64) -> f64 {
     let s = match bound {
         SensitivityBound::Paper => d as f64,
         SensitivityBound::Tight => (d as f64).sqrt(),
     };
-    2.0 * (c1 * s + 0.5 * c2 * s * s)
+    2.0 * (rho_max + c1 * s + 0.5 * c2 * s * s)
 }
 
 /// The dimension-independent L2 sensitivity of a residual loss with value
@@ -171,6 +179,8 @@ fn residual_weights(derivs: impl Fn(f64) -> [f64; 3], ys: &[f64]) -> (f64, Vec<f
 #[derive(Debug, Clone, Copy)]
 pub struct MedianObjective {
     gamma: f64,
+    /// `max ρ` on the label range (= `√(1+γ²) − γ`, attained at `|y|=1`).
+    rho_max: f64,
     /// `max |ρ'|` on the label range (= `1/√(1+γ²)`, attained at `|y|=1`).
     c1: f64,
     /// `max ρ''` on the label range (= `1/γ`, attained at `y = 0`).
@@ -191,6 +201,7 @@ impl MedianObjective {
         }
         Ok(MedianObjective {
             gamma,
+            rho_max: (1.0 + gamma * gamma).sqrt() - gamma,
             c1: 1.0 / (1.0 + gamma * gamma).sqrt(),
             c2: 1.0 / gamma,
         })
@@ -248,13 +259,11 @@ impl PolynomialObjective for MedianObjective {
     }
 
     fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64 {
-        residual_sensitivity(d, bound, self.c1, self.c2)
+        residual_sensitivity(d, bound, self.rho_max, self.c1, self.c2)
     }
 
     fn sensitivity_l2(&self, _d: usize) -> f64 {
-        // ρ_max = √(1+γ²) − γ at |y| = 1.
-        let rho_max = (1.0 + self.gamma * self.gamma).sqrt() - self.gamma;
-        residual_sensitivity_l2(rho_max, self.c1, self.c2)
+        residual_sensitivity_l2(self.rho_max, self.c1, self.c2)
     }
 
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
@@ -276,6 +285,8 @@ impl RegressionObjective for MedianObjective {
 #[derive(Debug, Clone, Copy)]
 pub struct HuberObjective {
     delta: f64,
+    /// `max ρ` on the label range: `½` for δ ≥ 1, else `δ(1 − δ/2)`.
+    rho_max: f64,
     /// `max |ρ'|` on the label range: `min(1, δ)`.
     c1: f64,
 }
@@ -294,6 +305,11 @@ impl HuberObjective {
         }
         Ok(HuberObjective {
             delta,
+            rho_max: if delta >= 1.0 {
+                0.5
+            } else {
+                delta * (1.0 - 0.5 * delta)
+            },
             c1: delta.min(1.0),
         })
     }
@@ -342,16 +358,11 @@ impl PolynomialObjective for HuberObjective {
     }
 
     fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64 {
-        residual_sensitivity(d, bound, self.c1, 1.0)
+        residual_sensitivity(d, bound, self.rho_max, self.c1, 1.0)
     }
 
     fn sensitivity_l2(&self, _d: usize) -> f64 {
-        let rho_max = if self.delta >= 1.0 {
-            0.5
-        } else {
-            self.delta * (1.0 - 0.5 * self.delta)
-        };
-        residual_sensitivity_l2(rho_max, self.c1, 1.0)
+        residual_sensitivity_l2(self.rho_max, self.c1, 1.0)
     }
 
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
@@ -744,24 +755,30 @@ mod tests {
 
     #[test]
     fn sensitivity_formulas() {
-        // Median: Δ = 2(c₁·d + d²/(2γ)) with c₁ = 1/√(1+γ²).
+        // Median: Δ = 2(ρ_max + c₁·d + d²/(2γ)) with c₁ = 1/√(1+γ²) and
+        // ρ_max = √(1+γ²) − γ — the constant term is part of the release.
         let m = MedianObjective::new(0.25).unwrap();
         let c1 = 1.0 / 1.0625_f64.sqrt();
+        let rho_max = 1.0625_f64.sqrt() - 0.25;
         for d in [1usize, 3, 13] {
-            let expect = 2.0 * (c1 * d as f64 + (d * d) as f64 / 0.5);
+            let expect = 2.0 * (rho_max + c1 * d as f64 + (d * d) as f64 / 0.5);
             assert!((m.sensitivity(d, SensitivityBound::Paper) - expect).abs() < 1e-12);
             assert!(m.sensitivity(d, SensitivityBound::Tight) <= expect);
             if d > 1 {
                 assert!(m.sensitivity(d, SensitivityBound::Tight) < expect);
             }
         }
-        // Huber: Δ = 2(min(1,δ)·d + d²/2).
+        // Huber: Δ = 2(ρ_max + min(1,δ)·d + d²/2) with ρ_max = δ(1−δ/2)
+        // below δ = 1 and ½ beyond (the quadratic cap on |y| ≤ 1).
         let h = HuberObjective::new(0.5).unwrap();
-        assert_eq!(h.sensitivity(2, SensitivityBound::Paper), 2.0 * (1.0 + 2.0));
+        assert_eq!(
+            h.sensitivity(2, SensitivityBound::Paper),
+            2.0 * (0.375 + 1.0 + 2.0)
+        );
         let wide = HuberObjective::new(3.0).unwrap();
         assert_eq!(
             wide.sensitivity(2, SensitivityBound::Paper),
-            2.0 * (2.0 + 2.0)
+            2.0 * (0.5 + 2.0 + 2.0)
         );
         // L2 sensitivities are dimension-independent.
         assert_eq!(m.sensitivity_l2(2), m.sensitivity_l2(14));
@@ -783,7 +800,10 @@ mod tests {
                 ] {
                     let mut q = QuadraticForm::zero(d);
                     obj.accumulate_tuple(&x, y, &mut q);
-                    let l1 = q.coefficient_l1_norm();
+                    // Every released coefficient counts, β included: the
+                    // mechanism perturbs the degree-0 term at the same
+                    // scale as the rest.
+                    let l1 = q.coefficient_l1_norm_with_constant();
                     let delta = obj.sensitivity(d, SensitivityBound::Paper);
                     let tight = obj.sensitivity(d, SensitivityBound::Tight);
                     assert!(l1 <= delta / 2.0 + 1e-9, "{name} d={d}: {l1} > Δ/2");

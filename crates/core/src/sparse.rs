@@ -225,29 +225,9 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
         };
         self.objective.validate(work).map_err(FmError::Data)?;
         let clean = self.objective.assemble(work);
-        struct PolyObjective<'a> {
-            p: &'a fm_poly::SparsePolynomial,
-        }
-        impl fm_optim::Objective for PolyObjective<'_> {
-            fn dim(&self) -> usize {
-                self.p.num_vars()
-            }
-            fn value(&self, omega: &[f64]) -> f64 {
-                self.p.eval(omega)
-            }
-            fn gradient(&self, omega: &[f64]) -> Vec<f64> {
-                self.p.gradient(omega)
-            }
-        }
-        let gd = fm_optim::gd::GradientDescent::default();
-        let result = gd
-            .minimize_within(
-                &PolyObjective { p: &clean },
-                &vec![0.0; work.d()],
-                self.radius,
-            )
-            .map_err(FmError::from)?;
-        Ok(self.finish(result.omega, None))
+        let omega =
+            crate::generic::minimize_polynomial(&clean, &vec![0.0; work.d()], self.radius)?;
+        Ok(self.finish(omega, None))
     }
 
     /// Wraps released weights in the family's model type, undoing the

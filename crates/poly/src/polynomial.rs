@@ -181,10 +181,13 @@ impl Polynomial {
         }
     }
 
-    /// `Σ_φ |λ_φ|` over terms of degree ≥ 1 — the quantity whose doubled
-    /// per-tuple maximum is the sensitivity `Δ` of Lemma 1 / Algorithm 1
-    /// line 1. (The paper's sums run from `j = 1`; the constant term does
-    /// not affect the minimiser and is excluded.)
+    /// `Σ_φ |λ_φ|` over terms of degree ≥ 1 only. The mechanism releases
+    /// the constant coefficient too, so a Lemma-1 sensitivity contract
+    /// bounded with this norm must account for the constant's
+    /// data-dependent share separately — when in doubt, bound
+    /// [`Polynomial::coefficient_l1_norm_with_constant`] instead. (A
+    /// data-*independent* constant cancels between neighbour databases
+    /// and needs no Δ share, which is when this norm is the right one.)
     #[must_use]
     pub fn coefficient_l1_norm(&self) -> f64 {
         self.terms
@@ -194,7 +197,9 @@ impl Polynomial {
             .sum()
     }
 
-    /// `Σ_φ |λ_φ|` including the constant term.
+    /// `Σ_φ |λ_φ|` over **all** terms, constant included — the quantity
+    /// whose doubled per-tuple maximum is a valid sensitivity `Δ` for the
+    /// full Algorithm-1 release (Lemma 1, line 1).
     #[must_use]
     pub fn coefficient_l1_norm_with_constant(&self) -> f64 {
         self.terms.values().map(|c| c.abs()).sum()

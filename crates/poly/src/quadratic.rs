@@ -159,11 +159,21 @@ impl QuadraticForm {
         self.m.add_diagonal(lambda);
     }
 
-    /// `Σ |coefficients|` over degree ≥ 1 terms (`M` entries and `α`),
-    /// the per-tuple quantity inside Lemma 1's sensitivity bound.
+    /// `Σ |coefficients|` over degree ≥ 1 terms (`M` entries and `α`)
+    /// only. The mechanism perturbs and releases β as well, so a Lemma-1
+    /// sensitivity contract needs β's data-dependent share on top of this
+    /// — see [`QuadraticForm::coefficient_l1_norm_with_constant`].
     #[must_use]
     pub fn coefficient_l1_norm(&self) -> f64 {
         vecops::norm1(self.m.as_slice()) + vecops::norm1(&self.alpha)
+    }
+
+    /// `Σ |coefficients|` over **all** released terms — β, `α` and `M` —
+    /// the per-tuple quantity whose doubled maximum is a valid Lemma-1
+    /// sensitivity for the full Algorithm-1 release.
+    #[must_use]
+    pub fn coefficient_l1_norm_with_constant(&self) -> f64 {
+        self.beta.abs() + vecops::norm1(self.m.as_slice()) + vecops::norm1(&self.alpha)
     }
 
     /// Total number of scalar coefficients subject to perturbation
@@ -319,8 +329,9 @@ mod tests {
     #[test]
     fn l1_norm_and_coefficient_count() {
         let q = sample();
-        // |M| entries: 2 + 0.5 + 0.5 + 3 = 6; |α|: 1 + 4 = 5.
+        // |M| entries: 2 + 0.5 + 0.5 + 3 = 6; |α|: 1 + 4 = 5; |β| = 7.
         assert_eq!(q.coefficient_l1_norm(), 11.0);
+        assert_eq!(q.coefficient_l1_norm_with_constant(), 18.0);
         assert_eq!(q.num_coefficients(), 4 + 2 + 1);
     }
 

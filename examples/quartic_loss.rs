@@ -29,7 +29,7 @@ fn main() {
     let data = synth::linear_dataset_with_weights(&mut rng, 50_000, &truth, 0.03);
     println!("ground truth ω* = {:?}", rounded(&truth));
     println!(
-        "quartic sensitivity Δ = 2((1+d)⁴ − 1) = {} at d = {d} (vs {} for squared loss)\n",
+        "quartic sensitivity Δ = 2(1+d)⁴ = {} at d = {d} (vs {} for squared loss)\n",
         QuarticObjective.sensitivity(d),
         functional_mechanism::core::linreg::sensitivity_paper(d),
     );
