@@ -141,6 +141,13 @@ impl FittedModel {
 /// ledger before the mechanism runs, and the released model returned in
 /// the task-unified wrapper.
 ///
+/// Dispatch goes through the **streaming** entry point
+/// ([`PrivacySession::fit_stream`] over an
+/// [`fm_data::stream::InMemorySource`]): the FM methods run their native
+/// out-of-core pipeline — releasing coefficients bit-identical to the
+/// in-memory `fit`, so no figure changes — while the baselines fall back
+/// to the materializing default. One call site, both worlds.
+///
 /// # Panics
 /// On configuration errors or fit failures — the harness validates its
 /// grids up front, so a failure here is a bug, not an input condition.
@@ -153,12 +160,13 @@ pub fn fit_in_session(
     epsilon: f64,
     rng: &mut StdRng,
 ) -> FittedModel {
+    let mut source = fm_data::stream::InMemorySource::new(train);
     match task {
         Task::Linear => {
             let est = linear_estimator(method, epsilon);
             FittedModel::Linear(
                 session
-                    .fit(est.as_ref(), train, rng)
+                    .fit_stream(est.as_ref(), &mut source, rng)
                     .unwrap_or_else(|e| panic!("{} linear fit: {e}", method.name())),
             )
         }
@@ -166,7 +174,7 @@ pub fn fit_in_session(
             let est = logistic_estimator(method, epsilon);
             FittedModel::Logistic(
                 session
-                    .fit(est.as_ref(), train, rng)
+                    .fit_stream(est.as_ref(), &mut source, rng)
                     .unwrap_or_else(|e| panic!("{} logistic fit: {e}", method.name())),
             )
         }

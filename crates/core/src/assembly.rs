@@ -26,10 +26,12 @@
 //! perturb coefficients at the ~1e-15 relative level; the chunk size is
 //! therefore fixed by default and an explicit parameter everywhere else.)
 
-use fm_data::Dataset;
+use fm_data::stream::{RowBlock, RowSource};
+use fm_data::{DataError, Dataset};
 use fm_poly::QuadraticForm;
 
 use crate::mechanism::PolynomialObjective;
+use crate::{FmError, Result};
 
 /// Rows per assembly chunk. Large enough that per-chunk bookkeeping
 /// (one partial `QuadraticForm` + one merge) is noise, small enough that
@@ -79,6 +81,352 @@ where
         .collect();
 
     tree_reduce(partials, merge)
+}
+
+/// Incremental pairwise merger: pushing chunk partials one at a time
+/// produces **exactly** the merge tree of [`tree_reduce`] over the full
+/// partial list, while holding only `O(log n_chunks)` partials at once —
+/// what lets the streaming accumulator run out-of-core without giving up
+/// bit-identity with the batched in-memory path.
+///
+/// Invariant: the stack holds runs of `2^rank` consecutive chunks, ranks
+/// strictly decreasing from the bottom. Pushing a new chunk carries like
+/// binary addition (equal ranks merge, left operand first); finishing
+/// merges the leftover runs right-to-left. Both orders reproduce the
+/// round-based neighbour pairing of [`tree_reduce`]: each round there
+/// merges runs covering index ranges `[i·2^r, (i+1)·2^r)` and pairs the
+/// trailing odd run with its left neighbour one round later — the same
+/// `(run, carry)` pairs, in the same left-to-right order, that the counter
+/// produces ([`tests::counter_merge_is_bit_identical_to_tree_reduce`]
+/// machine-checks the equivalence for every chunk count up to 260).
+pub(crate) struct TreeCounter<T> {
+    /// `(rank, partial)`, ranks strictly decreasing bottom → top.
+    stack: Vec<(u32, T)>,
+}
+
+impl<T> TreeCounter<T> {
+    pub(crate) fn new() -> Self {
+        TreeCounter { stack: Vec::new() }
+    }
+
+    /// Pushes the next chunk partial (chunks must arrive in order).
+    pub(crate) fn push(&mut self, mut item: T, merge: &impl Fn(&mut T, T)) {
+        let mut rank = 0u32;
+        while matches!(self.stack.last(), Some(&(r, _)) if r == rank) {
+            let (_, mut left) = self.stack.pop().expect("matched above");
+            merge(&mut left, item);
+            item = left;
+            rank += 1;
+        }
+        self.stack.push((rank, item));
+    }
+
+    /// Merges the leftover runs (smallest spans first, each folding into
+    /// its left neighbour) and returns the total; `None` if nothing was
+    /// pushed.
+    pub(crate) fn finish(mut self, merge: &impl Fn(&mut T, T)) -> Option<T> {
+        let mut total = self.stack.pop()?.1;
+        while let Some((_, mut left)) = self.stack.pop() {
+            merge(&mut left, total);
+            total = left;
+        }
+        Some(total)
+    }
+}
+
+/// Fixed-size re-chunking stage: whatever block sizes a stream delivers,
+/// `flush` sees exactly the `chunk_rows`-row chunks (plus one final
+/// ragged chunk) that [`assemble_with_chunk_rows`] would form over the
+/// materialized concatenation — the other half of the streaming path's
+/// bit-identity guarantee. Peak memory is one staged chunk; blocks that
+/// arrive chunk-aligned are flushed straight from the caller's slice
+/// without copying.
+pub(crate) struct ChunkStage {
+    d: usize,
+    chunk_rows: usize,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl ChunkStage {
+    pub(crate) fn new(d: usize, chunk_rows: usize) -> Self {
+        ChunkStage {
+            d,
+            chunk_rows: chunk_rows.max(1),
+            xs: Vec::new(),
+            ys: Vec::new(),
+        }
+    }
+
+    /// Rows that would complete the staged chunk — the natural block size
+    /// to request from a source so full blocks skip the staging copy.
+    pub(crate) fn rows_to_boundary(&self) -> usize {
+        self.chunk_rows - self.ys.len()
+    }
+
+    /// Feeds a row-major block, invoking `flush(xs, ys)` once per
+    /// completed chunk.
+    pub(crate) fn push(
+        &mut self,
+        mut xs: &[f64],
+        mut ys: &[f64],
+        flush: &mut impl FnMut(&[f64], &[f64]),
+    ) {
+        debug_assert_eq!(xs.len(), ys.len() * self.d, "chunk stage: shape mismatch");
+        loop {
+            if self.ys.is_empty() {
+                // Chunk-aligned fast path: no staging copy.
+                while ys.len() >= self.chunk_rows {
+                    let (cy, ry) = ys.split_at(self.chunk_rows);
+                    let (cx, rx) = xs.split_at(self.chunk_rows * self.d);
+                    flush(cx, cy);
+                    xs = rx;
+                    ys = ry;
+                }
+            }
+            if ys.is_empty() {
+                return;
+            }
+            let take = self.rows_to_boundary().min(ys.len());
+            self.xs.extend_from_slice(&xs[..take * self.d]);
+            self.ys.extend_from_slice(&ys[..take]);
+            xs = &xs[take * self.d..];
+            ys = &ys[take..];
+            if self.ys.len() == self.chunk_rows {
+                flush(&self.xs, &self.ys);
+                self.xs.clear();
+                self.ys.clear();
+            } else {
+                return; // input exhausted mid-chunk
+            }
+        }
+    }
+
+    /// Flushes the final ragged chunk, if any.
+    pub(crate) fn finish(self, flush: &mut impl FnMut(&[f64], &[f64])) {
+        if !self.ys.is_empty() {
+            flush(&self.xs, &self.ys);
+        }
+    }
+}
+
+/// A **resumable** coefficient accumulator: Algorithm 1's data pass as a
+/// feed-blocks-then-finish state machine, so the exact objective
+/// `f_D(ω) = Σ_i f(t_i, ω)` can be assembled out-of-core, shard at a
+/// time, or from any [`RowSource`] — with released coefficients
+/// **bit-identical** to [`assemble_with_chunk_rows`] on the materialized
+/// concatenation at the same `chunk_rows`, for *any* incoming block sizes
+/// or shard boundaries.
+///
+/// Three ingredients make that guarantee hold by construction rather than
+/// by luck:
+///
+/// 1. every incoming block is validated against the objective's
+///    normalized-domain contract
+///    ([`PolynomialObjective::validate_rows`]) and re-chunked by a
+///    fixed-size staging buffer (`ChunkStage`), so per-chunk kernel calls
+///    see exactly the row ranges the in-memory path forms;
+/// 2. each chunk is accumulated by the same
+///    [`PolynomialObjective::accumulate_batch`] Gram kernels;
+/// 3. partials merge through a binary-counter merger (`TreeCounter`),
+///    whose merge tree is provably identical to the in-memory pairwise
+///    tree reduction while holding only `O(log n_chunks)` partials.
+///
+/// Memory is bounded by one staged chunk (`chunk_rows × d`) plus the
+/// counter stack — independent of the stream length.
+pub struct CoefficientAccumulator<'a, O: PolynomialObjective + ?Sized> {
+    objective: &'a O,
+    core: StreamCore<QuadraticForm>,
+}
+
+/// The one merge the accumulator ever performs — identical to the merge
+/// closure of [`assemble_with_chunk_rows`].
+fn merge_quadratic(acc: &mut QuadraticForm, part: QuadraticForm) {
+    acc.merge(part);
+}
+
+impl<'a, O: PolynomialObjective + ?Sized> CoefficientAccumulator<'a, O> {
+    /// An empty accumulator over `d` features at the default chunk size.
+    #[must_use]
+    pub fn new(objective: &'a O, d: usize) -> Self {
+        Self::with_chunk_rows(objective, d, DEFAULT_CHUNK_ROWS)
+    }
+
+    /// An empty accumulator with an explicit chunk size (must match the
+    /// in-memory path's `chunk_rows` for bit-identical results).
+    #[must_use]
+    pub fn with_chunk_rows(objective: &'a O, d: usize, chunk_rows: usize) -> Self {
+        CoefficientAccumulator {
+            objective,
+            core: StreamCore::new(d, chunk_rows),
+        }
+    }
+
+    /// The feature dimensionality this accumulator expects.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.core.dim()
+    }
+
+    /// Total rows absorbed so far.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.core.rows()
+    }
+
+    /// Validates and absorbs a row-major block.
+    ///
+    /// # Errors
+    /// * [`FmError::Data`] for a shape mismatch or a normalized-domain
+    ///   contract violation (tuple indices in the error are block-local).
+    pub fn push_rows(&mut self, xs: &[f64], ys: &[f64]) -> Result<()> {
+        let objective = self.objective;
+        self.core.push_rows(
+            xs,
+            ys,
+            |xs, ys, d| objective.validate_rows(xs, ys, d),
+            |cx, cy, d| {
+                let mut q = QuadraticForm::zero(d);
+                objective.accumulate_batch(cx, cy, d, &mut q);
+                q
+            },
+            &merge_quadratic,
+        )
+    }
+
+    /// Validates and absorbs one [`RowBlock`].
+    ///
+    /// # Errors
+    /// As [`CoefficientAccumulator::push_rows`], plus [`FmError::Data`]
+    /// when the block's dimensionality differs from the accumulator's.
+    pub fn push_block(&mut self, block: &RowBlock) -> Result<()> {
+        self.core.check_dim("block", block.d())?;
+        self.push_rows(block.xs(), block.ys())
+    }
+
+    /// Drains `source`, absorbing every block it yields; returns the
+    /// number of rows absorbed. Blocks are requested at the staging
+    /// boundary, so a source that can honour the request exactly (e.g.
+    /// [`fm_data::stream::InMemorySource`]) feeds the kernels without a
+    /// staging copy.
+    ///
+    /// # Errors
+    /// [`FmError::Data`] for a dimensionality mismatch, transport errors
+    /// from the source, or contract violations.
+    pub fn absorb(&mut self, source: &mut (impl RowSource + ?Sized)) -> Result<usize> {
+        self.core.check_dim("source", source.dim())?;
+        let before = self.core.rows();
+        while let Some(block) = source
+            .next_block(self.core.stage.rows_to_boundary())
+            .map_err(FmError::Data)?
+        {
+            self.push_block(&block)?;
+        }
+        Ok(self.core.rows() - before)
+    }
+
+    /// Flushes the final ragged chunk and merges all partials into the
+    /// assembled objective; `None` if no rows were absorbed.
+    #[must_use]
+    pub fn finish(self) -> Option<QuadraticForm> {
+        let CoefficientAccumulator { objective, core } = self;
+        core.finish(
+            |cx, cy, d| {
+                let mut q = QuadraticForm::zero(d);
+                objective.accumulate_batch(cx, cy, d, &mut q);
+                q
+            },
+            &merge_quadratic,
+        )
+    }
+}
+
+/// The shared body of the streaming accumulators — staging, shape
+/// checking, counter merging, row accounting — generic over the partial
+/// type, so the degree-2 ([`CoefficientAccumulator`]) and general-degree
+/// (`fm_core::generic::PolynomialAccumulator`) paths can never drift on
+/// the chunking/merging logic their bit-identity guarantees rest on.
+pub(crate) struct StreamCore<T> {
+    d: usize,
+    pub(crate) stage: ChunkStage,
+    counter: TreeCounter<T>,
+    rows: usize,
+}
+
+impl<T> StreamCore<T> {
+    pub(crate) fn new(d: usize, chunk_rows: usize) -> Self {
+        StreamCore {
+            d,
+            stage: ChunkStage::new(d, chunk_rows),
+            counter: TreeCounter::new(),
+            rows: 0,
+        }
+    }
+
+    pub(crate) fn dim(&self) -> usize {
+        self.d
+    }
+
+    pub(crate) fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Refuses inputs whose dimensionality differs from the accumulator's.
+    pub(crate) fn check_dim(&self, what: &'static str, d: usize) -> Result<()> {
+        if d != self.d {
+            return Err(FmError::Data(DataError::InvalidParameter {
+                name: what,
+                reason: format!("{what} has d = {d}, accumulator expects {}", self.d),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Shape-checks, validates, stages, and accumulates one row-major
+    /// block; `make_chunk(xs, ys, d)` builds a chunk partial from exactly
+    /// the row ranges the in-memory chunking would form.
+    pub(crate) fn push_rows(
+        &mut self,
+        xs: &[f64],
+        ys: &[f64],
+        validate: impl Fn(&[f64], &[f64], usize) -> fm_data::Result<()>,
+        make_chunk: impl Fn(&[f64], &[f64], usize) -> T,
+        merge: &impl Fn(&mut T, T),
+    ) -> Result<()> {
+        if xs.len() != ys.len() * self.d {
+            return Err(FmError::Data(DataError::LengthMismatch {
+                rows: xs.len() / self.d.max(1),
+                labels: ys.len(),
+            }));
+        }
+        validate(xs, ys, self.d).map_err(FmError::Data)?;
+        let d = self.d;
+        let counter = &mut self.counter;
+        self.stage.push(xs, ys, &mut |cx, cy| {
+            counter.push(make_chunk(cx, cy, d), merge);
+        });
+        self.rows += ys.len();
+        Ok(())
+    }
+
+    /// Flushes the final ragged chunk and merges all partials; `None` if
+    /// nothing was pushed.
+    pub(crate) fn finish(
+        self,
+        make_chunk: impl Fn(&[f64], &[f64], usize) -> T,
+        merge: &impl Fn(&mut T, T),
+    ) -> Option<T> {
+        let StreamCore {
+            d,
+            stage,
+            mut counter,
+            ..
+        } = self;
+        stage.finish(&mut |cx, cy| {
+            counter.push(make_chunk(cx, cy, d), merge);
+        });
+        counter.finish(merge)
+    }
 }
 
 /// Pairwise in-order tree reduction; `None` on empty input.
@@ -212,5 +560,125 @@ mod tests {
     fn zero_chunk_rows_is_clamped() {
         let got = map_reduce_chunks(3, 0, |lo, hi| hi - lo, |a, b| *a += b).unwrap();
         assert_eq!(got, 3);
+    }
+
+    #[test]
+    fn counter_merge_is_bit_identical_to_tree_reduce() {
+        // The load-bearing equivalence behind streaming bit-identity: for
+        // every chunk count, the incremental binary-counter merge must
+        // reproduce the round-based pairwise reduction's floating-point
+        // grouping exactly.
+        let merge = |a: &mut f64, b: f64| *a += b;
+        for m in 0usize..=260 {
+            let parts: Vec<f64> = (0..m).map(|i| (i as f64 * 0.7).sin() / 3.0).collect();
+            let reference = tree_reduce(parts.clone(), merge);
+            let mut counter = TreeCounter::new();
+            for p in parts {
+                counter.push(p, &merge);
+            }
+            let streamed = counter.finish(&merge);
+            match (streamed, reference) {
+                (None, None) => assert_eq!(m, 0),
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits(), "m={m}: {a} vs {b}");
+                }
+                other => panic!("m={m}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_stage_reproduces_fixed_chunk_boundaries() {
+        // Whatever block split feeds the stage, flushed chunks must be the
+        // [c·chunk, (c+1)·chunk) ranges of the concatenation.
+        let d = 2;
+        let n = 23;
+        let xs: Vec<f64> = (0..n * d).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..n).map(|i| i as f64 * 10.0).collect();
+        for chunk in [1usize, 4, 7, 23, 64] {
+            for split in [vec![n], vec![1; n], vec![5, 1, 9, 8], vec![10, 13]] {
+                let mut stage = ChunkStage::new(d, chunk);
+                let mut got: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+                let mut pos = 0usize;
+                for take in split {
+                    let hi = (pos + take).min(n);
+                    stage.push(&xs[pos * d..hi * d], &ys[pos..hi], &mut |cx, cy| {
+                        got.push((cx.to_vec(), cy.to_vec()));
+                    });
+                    pos = hi;
+                }
+                stage.finish(&mut |cx, cy| got.push((cx.to_vec(), cy.to_vec())));
+                let expected: Vec<(Vec<f64>, Vec<f64>)> = (0..n.div_ceil(chunk))
+                    .map(|c| {
+                        let lo = c * chunk;
+                        let hi = ((c + 1) * chunk).min(n);
+                        (xs[lo * d..hi * d].to_vec(), ys[lo..hi].to_vec())
+                    })
+                    .collect();
+                assert_eq!(got, expected, "chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_is_bit_identical_to_batched_assembly() {
+        use crate::linreg::LinearObjective;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+        let data = fm_data::synth::linear_dataset(&mut rng, 1_500, 3, 0.1);
+        let d = data.d();
+        let xs = data.x().as_slice();
+        let ys = data.y();
+        for chunk in [64usize, 257, 4096] {
+            let reference = assemble_with_chunk_rows(&LinearObjective, &data, chunk);
+            // Feed the same rows in awkward block sizes.
+            for block in [1usize, 37, 64, 500, 1_500] {
+                let mut acc = CoefficientAccumulator::with_chunk_rows(&LinearObjective, d, chunk);
+                let mut pos = 0usize;
+                while pos < data.n() {
+                    let hi = (pos + block).min(data.n());
+                    acc.push_rows(&xs[pos * d..hi * d], &ys[pos..hi]).unwrap();
+                    pos = hi;
+                }
+                assert_eq!(acc.rows(), data.n());
+                let streamed = acc.finish().expect("rows were absorbed");
+                assert_eq!(streamed, reference, "chunk={chunk} block={block}");
+            }
+        }
+        // Empty accumulator yields nothing.
+        assert!(CoefficientAccumulator::new(&LinearObjective, d)
+            .finish()
+            .is_none());
+    }
+
+    #[test]
+    fn accumulator_absorbs_sources_and_validates() {
+        use crate::linreg::LinearObjective;
+        use fm_data::stream::InMemorySource;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(405);
+        let data = fm_data::synth::linear_dataset(&mut rng, 300, 2, 0.1);
+        let mut acc = CoefficientAccumulator::new(&LinearObjective, 2);
+        let absorbed = acc.absorb(&mut InMemorySource::new(&data)).unwrap();
+        assert_eq!(absorbed, 300);
+        let streamed = acc.finish().unwrap();
+        assert_eq!(streamed, assemble(&LinearObjective, &data));
+
+        // Contract violations surface as data errors.
+        let bad = fm_data::Dataset::new(
+            fm_linalg::Matrix::from_rows(&[&[3.0, 0.0]]).unwrap(),
+            vec![0.5],
+        )
+        .unwrap();
+        let mut acc = CoefficientAccumulator::new(&LinearObjective, 2);
+        assert!(matches!(
+            acc.absorb(&mut InMemorySource::new(&bad)),
+            Err(FmError::Data(_))
+        ));
+
+        // Arity mismatches are refused up front.
+        let mut acc = CoefficientAccumulator::new(&LinearObjective, 3);
+        assert!(acc.absorb(&mut InMemorySource::new(&data)).is_err());
+        assert!(acc.push_rows(&[0.1, 0.2], &[0.5]).is_err());
     }
 }

@@ -27,8 +27,11 @@
 
 use rand::{Rng, RngCore};
 
-use fm_data::Dataset;
+use fm_data::stream::{InterceptAugmentSource, RowBlock, RowSource};
+use fm_data::{DataError, Dataset};
+use fm_poly::QuadraticForm;
 
+use crate::assembly::CoefficientAccumulator;
 use crate::mechanism::{
     FunctionalMechanism, NoiseDistribution, PolynomialObjective, SensitivityBound,
 };
@@ -168,6 +171,25 @@ pub trait DpEstimator {
 
     /// Which regression family this estimator releases.
     fn task(&self) -> ModelKind;
+
+    /// Fits a model from a streaming [`RowSource`] instead of a
+    /// materialized [`Dataset`].
+    ///
+    /// The default drains the source into a temporary `Dataset` and
+    /// delegates to [`DpEstimator::fit`] — always correct, so baselines
+    /// and custom estimators keep working against streaming harness code,
+    /// just without the out-of-core memory profile. The Functional-
+    /// Mechanism estimators override it with the true streaming pipeline
+    /// (bounded memory, bit-identical released coefficients to `fit` on
+    /// the materialized data at the same seed).
+    ///
+    /// # Errors
+    /// Transport errors from the source as [`FmError::Data`], plus
+    /// whatever [`DpEstimator::fit`] returns.
+    fn fit_stream(&self, source: &mut dyn RowSource, rng: &mut dyn RngCore) -> Result<Self::Model> {
+        let data = fm_data::stream::materialize(source).map_err(FmError::Data)?;
+        self.fit(&data, rng)
+    }
 }
 
 /// A [`PolynomialObjective`] that knows which model family its released
@@ -261,6 +283,50 @@ impl<O: RegressionObjective> FmEstimator<O> {
         Ok(self.finish(omega_raw, Some(self.config.epsilon)))
     }
 
+    /// Fits a private model from a streaming [`RowSource`] — Algorithm 1
+    /// out-of-core: blocks are validated and accumulated as they arrive
+    /// (peak memory one staged chunk, whatever the stream length), then
+    /// the released coefficients are drawn exactly as
+    /// [`FmEstimator::fit`] would.
+    ///
+    /// For the same logical rows and RNG state, `fit_stream` is
+    /// **bit-identical** to `fit` on the materialized dataset — for any
+    /// block sizing or shard split the source happens to deliver (the
+    /// facade's `tests/streaming_equivalence.rs` property suite pins
+    /// this). Equivalently: `fit(data, rng)` *is*
+    /// `fit_stream(&mut InMemorySource::new(data), rng)`; the in-memory
+    /// entry point merely keeps its zero-copy/columnar assembly fast
+    /// path.
+    ///
+    /// # Errors
+    /// As [`FmEstimator::fit`], plus transport errors from the source as
+    /// [`FmError::Data`].
+    pub fn fit_stream(
+        &self,
+        source: &mut (impl RowSource + ?Sized),
+        rng: &mut impl Rng,
+    ) -> Result<O::Model> {
+        let mut partial = self.partial_fit();
+        partial.absorb(source)?;
+        partial.finalize(rng)
+    }
+
+    /// Begins a two-phase **shard-at-a-time** fit: feed any number of
+    /// sources/blocks through [`PartialFit::absorb`] /
+    /// [`PartialFit::push_block`], then draw the release once with
+    /// [`PartialFit::finalize`]. One mechanism invocation total — the
+    /// privacy cost is the estimator's configured ε once, not per shard —
+    /// and the released coefficients are bit-identical to a single
+    /// [`FmEstimator::fit`] over the shard concatenation.
+    #[must_use]
+    pub fn partial_fit(&self) -> PartialFit<'_, O> {
+        PartialFit {
+            estimator: self,
+            acc: None,
+            chunk_rows: crate::assembly::DEFAULT_CHUNK_ROWS,
+        }
+    }
+
     /// Fits the *non-private* minimiser of the same (possibly truncated)
     /// objective — ε = ∞. For exactly-polynomial losses this is the exact
     /// optimum; for Taylor/Chebyshev surrogates it is the paper's
@@ -297,11 +363,137 @@ impl<O: RegressionObjective> FmEstimator<O> {
     }
 }
 
+/// An in-progress shard-at-a-time fit (see [`FmEstimator::partial_fit`]):
+/// owns the streaming [`CoefficientAccumulator`] plus the estimator's
+/// configuration, applies the footnote-2 intercept augmentation to every
+/// incoming block when configured, and draws the mechanism's noise exactly
+/// once at [`PartialFit::finalize`].
+pub struct PartialFit<'a, O: RegressionObjective> {
+    estimator: &'a FmEstimator<O>,
+    acc: Option<CoefficientAccumulator<'a, O>>,
+    chunk_rows: usize,
+}
+
+impl<'a, O: RegressionObjective> PartialFit<'a, O> {
+    /// Overrides the accumulation chunk size — the out-of-core **memory
+    /// cap**: peak staged memory is one `chunk_rows × d` block whatever
+    /// the stream length. Must be set before any data is absorbed
+    /// (silently ignored afterwards — the chunking of already-absorbed
+    /// rows cannot be rewritten).
+    ///
+    /// At the default size the release is bit-identical to
+    /// [`FmEstimator::fit`]; a different size regroups floating-point
+    /// sums exactly as
+    /// [`crate::assembly::assemble_with_chunk_rows`] at that size would
+    /// (~1e-15 relative on the clean coefficients).
+    #[must_use]
+    pub fn chunk_rows(mut self, chunk_rows: usize) -> Self {
+        debug_assert!(
+            self.acc.is_none(),
+            "set the chunk size before absorbing data"
+        );
+        if self.acc.is_none() {
+            self.chunk_rows = chunk_rows.max(1);
+        }
+        self
+    }
+
+    /// The accumulator at working dimensionality `work_d` (the raw `d`,
+    /// plus one under the intercept augmentation), created lazily from the
+    /// first shard.
+    fn accumulator(&mut self, work_d: usize) -> Result<&mut CoefficientAccumulator<'a, O>> {
+        let estimator: &'a FmEstimator<O> = self.estimator;
+        let chunk_rows = self.chunk_rows;
+        let acc = self.acc.get_or_insert_with(|| {
+            CoefficientAccumulator::with_chunk_rows(&estimator.objective, work_d, chunk_rows)
+        });
+        if acc.dim() != work_d {
+            return Err(FmError::Data(DataError::InvalidParameter {
+                name: "shard",
+                reason: format!(
+                    "shard has working dimensionality {work_d}, earlier shards had {}",
+                    acc.dim()
+                ),
+            }));
+        }
+        Ok(acc)
+    }
+
+    /// Absorbs one shard (drains `source`); returns its row count.
+    ///
+    /// # Errors
+    /// [`FmError::Data`] for dimensionality mismatches across shards,
+    /// contract violations, or transport errors.
+    pub fn absorb(&mut self, source: &mut (impl RowSource + ?Sized)) -> Result<usize> {
+        if self.estimator.config.fit_intercept {
+            let mut aug = InterceptAugmentSource(source);
+            let work_d = aug.dim();
+            self.accumulator(work_d)?.absorb(&mut aug)
+        } else {
+            let work_d = source.dim();
+            self.accumulator(work_d)?.absorb(source)
+        }
+    }
+
+    /// Absorbs a single [`RowBlock`].
+    ///
+    /// # Errors
+    /// As [`PartialFit::absorb`].
+    pub fn push_block(&mut self, block: &RowBlock) -> Result<()> {
+        if self.estimator.config.fit_intercept {
+            let aug = block.augment_for_intercept();
+            self.accumulator(aug.d())?.push_block(&aug)
+        } else {
+            self.accumulator(block.d())?.push_block(block)
+        }
+    }
+
+    /// Total rows absorbed so far.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.acc.as_ref().map_or(0, CoefficientAccumulator::rows)
+    }
+
+    /// Runs the mechanism over the accumulated coefficients and wraps the
+    /// released weights — the one privacy-spending step of the two-phase
+    /// fit.
+    ///
+    /// # Errors
+    /// [`FmError::Data`] ([`DataError::EmptyDataset`]) when nothing was
+    /// absorbed; otherwise as [`FmEstimator::fit`].
+    pub fn finalize(self, rng: &mut impl Rng) -> Result<O::Model> {
+        let PartialFit { estimator, acc, .. } = self;
+        let clean = acc
+            .filter(|a| a.rows() > 0)
+            .and_then(CoefficientAccumulator::finish)
+            .ok_or(FmError::Data(DataError::EmptyDataset))?;
+        let config = &estimator.config;
+        let omega_raw = release_assembled(
+            &clean,
+            &estimator.objective,
+            config.epsilon,
+            config.bound,
+            config.noise,
+            config.strategy,
+            rng,
+        )?;
+        Ok(estimator.finish(omega_raw, Some(config.epsilon)))
+    }
+}
+
 impl<O: RegressionObjective> DpEstimator for FmEstimator<O> {
     type Model = O::Model;
 
     fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> Result<O::Model> {
         FmEstimator::fit(self, data, &mut rng)
+    }
+
+    fn fit_stream(
+        &self,
+        source: &mut dyn RowSource,
+        mut rng: &mut dyn RngCore,
+    ) -> Result<O::Model> {
+        FmEstimator::fit_stream(self, source, &mut rng)
     }
 
     fn epsilon(&self) -> Option<f64> {
@@ -379,10 +571,32 @@ impl<F> EstimatorBuilder<F> {
     }
 }
 
-/// Shared fit pipeline for all regression types: run Algorithm 1 with the
-/// chosen noise distribution, then resolve unboundedness per `strategy`.
+/// Shared fit pipeline for all regression types: validate, assemble once,
+/// then run Algorithm 1 with the chosen noise distribution and resolve
+/// unboundedness per `strategy`.
 pub(crate) fn fit_with_mechanism_noise(
     data: &Dataset,
+    objective: &impl PolynomialObjective,
+    epsilon: f64,
+    bound: SensitivityBound,
+    noise: NoiseDistribution,
+    strategy: Strategy,
+    rng: &mut impl Rng,
+) -> Result<Vec<f64>> {
+    objective.validate(data)?;
+    let clean = objective.assemble(data);
+    release_assembled(&clean, objective, epsilon, bound, noise, strategy, rng)
+}
+
+/// The post-assembly half of the fit pipeline, shared by the in-memory
+/// and streaming entry points: perturb the already-assembled (and
+/// already-validated) coefficients, then resolve unboundedness per
+/// `strategy`. The Lemma-5 resample loop re-perturbs the *same* clean
+/// coefficients per attempt — assembly is deterministic, so this draws
+/// the exact noise stream the pre-refactor per-attempt re-assembly drew,
+/// without re-scanning the data.
+pub(crate) fn release_assembled(
+    clean: &QuadraticForm,
     objective: &impl PolynomialObjective,
     epsilon: f64,
     bound: SensitivityBound,
@@ -412,7 +626,7 @@ pub(crate) fn fit_with_mechanism_noise(
             // attempt at ε/2 to honour the advertised total.
             let fm = FunctionalMechanism::with_bound(epsilon / 2.0, bound)?;
             for _ in 0..max_attempts {
-                let noisy = fm.perturb(data, objective, rng)?;
+                let noisy = fm.perturb_assembled(clean, objective, rng)?;
                 match postprocess::minimize(&noisy) {
                     Ok(omega) => return Ok(omega),
                     Err(FmError::Optim(fm_optim::OptimError::UnboundedObjective)) => continue,
@@ -425,7 +639,7 @@ pub(crate) fn fit_with_mechanism_noise(
         }
         other => {
             let fm = FunctionalMechanism::with_config(epsilon, bound, noise)?;
-            let noisy = fm.perturb(data, objective, rng)?;
+            let noisy = fm.perturb_assembled(clean, objective, rng)?;
             postprocess::solve(noisy, other)
         }
     }
@@ -469,6 +683,99 @@ mod tests {
         let model = est.fit(&data, &mut r).unwrap();
         assert_eq!(model.dim(), 3);
         assert_eq!(Model::epsilon(&model), Some(0.8));
+    }
+
+    #[test]
+    fn fit_stream_is_bit_identical_to_fit() {
+        use fm_data::stream::InMemorySource;
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 5_000, 3, 0.1);
+        for intercept in [false, true] {
+            let est = FmEstimator::new(
+                LinearObjective,
+                FitConfig::new().epsilon(1.0).fit_intercept(intercept),
+            );
+            let mut r1 = rand::rngs::StdRng::seed_from_u64(11);
+            let in_memory = est.fit(&data, &mut r1).unwrap();
+            let mut r2 = rand::rngs::StdRng::seed_from_u64(11);
+            let streamed = est
+                .fit_stream(&mut InMemorySource::new(&data), &mut r2)
+                .unwrap();
+            assert_eq!(in_memory, streamed, "intercept={intercept}");
+        }
+    }
+
+    #[test]
+    fn partial_fit_across_shards_matches_single_fit() {
+        use fm_data::stream::InMemorySource;
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 3_000, 2, 0.1);
+        let est = FmEstimator::new(LinearObjective, FitConfig::new().epsilon(1.0));
+
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(23);
+        let whole = est.fit(&data, &mut r1).unwrap();
+
+        // Three unequal shards, one absorb each.
+        let idx: Vec<usize> = (0..data.n()).collect();
+        let shards = [
+            data.subset(&idx[..700]).unwrap(),
+            data.subset(&idx[700..2_500]).unwrap(),
+            data.subset(&idx[2_500..]).unwrap(),
+        ];
+        let mut partial = est.partial_fit();
+        for shard in &shards {
+            partial.absorb(&mut InMemorySource::new(shard)).unwrap();
+        }
+        assert_eq!(partial.rows(), data.n());
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(23);
+        let sharded = partial.finalize(&mut r2).unwrap();
+        assert_eq!(whole, sharded);
+    }
+
+    #[test]
+    fn partial_fit_refuses_empty_and_mismatched_shards() {
+        use fm_data::stream::InMemorySource;
+        let mut r = rng();
+        let est = FmEstimator::new(LinearObjective, FitConfig::new());
+        // Finalizing with no data is a data error, not a release.
+        let empty = est.partial_fit();
+        assert!(matches!(
+            empty.finalize(&mut r),
+            Err(FmError::Data(DataError::EmptyDataset))
+        ));
+        // Shards must agree on dimensionality.
+        let d2 = fm_data::synth::linear_dataset(&mut r, 50, 2, 0.1);
+        let d3 = fm_data::synth::linear_dataset(&mut r, 50, 3, 0.1);
+        let mut partial = est.partial_fit();
+        partial.absorb(&mut InMemorySource::new(&d2)).unwrap();
+        assert!(partial.absorb(&mut InMemorySource::new(&d3)).is_err());
+    }
+
+    #[test]
+    fn default_trait_fit_stream_materializes_for_baseline_style_estimators() {
+        use fm_data::stream::InMemorySource;
+        // An estimator with no native streaming: the trait default must
+        // materialize the stream and produce the same model as fit.
+        struct Mean;
+        impl DpEstimator for Mean {
+            type Model = f64;
+            fn fit(&self, data: &Dataset, _: &mut dyn RngCore) -> Result<f64> {
+                Ok(data.y().iter().sum::<f64>() / data.n() as f64)
+            }
+            fn epsilon(&self) -> Option<f64> {
+                None
+            }
+            fn task(&self) -> ModelKind {
+                ModelKind::Linear
+            }
+        }
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 200, 2, 0.1);
+        let direct = Mean.fit(&data, &mut r).unwrap();
+        let streamed = Mean
+            .fit_stream(&mut InMemorySource::new(&data), &mut r)
+            .unwrap();
+        assert_eq!(direct, streamed);
     }
 
     #[test]

@@ -93,6 +93,29 @@ pub trait GeneralObjective: Sync {
     /// A [`fm_data::DataError`] describing the violation.
     fn validate(&self, data: &Dataset) -> fm_data::Result<()>;
 
+    /// Validates one streamed row-major block against the same contract —
+    /// the general-degree counterpart of
+    /// [`crate::PolynomialObjective::validate_rows`], consumed by
+    /// [`PolynomialAccumulator`]. The default materializes the block and
+    /// delegates; the built-ins override with the allocation-free row
+    /// checks.
+    ///
+    /// # Errors
+    /// A [`fm_data::DataError`] describing the violation (tuple indices
+    /// are block-local).
+    fn validate_rows(&self, xs: &[f64], ys: &[f64], d: usize) -> fm_data::Result<()> {
+        if ys.is_empty() {
+            return Ok(());
+        }
+        let x = fm_linalg::Matrix::from_vec(ys.len(), d, xs.to_vec()).map_err(|_| {
+            fm_data::DataError::LengthMismatch {
+                rows: xs.len() / d.max(1),
+                labels: ys.len(),
+            }
+        })?;
+        self.validate(&Dataset::new(x, ys.to_vec())?)
+    }
+
     /// Assembles the exact objective `f_D(ω) = Σ_i f(t_i, ω)` through the
     /// same chunked map-reduce as the degree-2 path (data-parallel with
     /// the `parallel` feature; deterministic merge order).
@@ -251,7 +274,31 @@ impl GenericFunctionalMechanism {
         rng: &mut impl Rng,
     ) -> Result<NoisyPolynomial> {
         objective.validate(data)?;
-        let d = data.d();
+        let clean = objective.assemble(data);
+        self.perturb_assembled(&clean, objective, rng)
+    }
+
+    /// Algorithm 1's noise step over a **pre-assembled** clean polynomial
+    /// — the general-degree counterpart of
+    /// [`crate::FunctionalMechanism::perturb_assembled`], used by the
+    /// streaming sparse-estimator pipeline (the data was validated block
+    /// by block while a [`PolynomialAccumulator`] assembled it) and by
+    /// the Lemma-5 resample loop to re-draw noise without re-scanning the
+    /// data. The caller owns the precondition that `clean` really is the
+    /// coefficient sum of a contract-satisfying dataset.
+    ///
+    /// # Errors
+    /// * [`FmError::InvalidConfig`] when `|Φ_0 ∪ … ∪ Φ_J|` exceeds
+    ///   [`MAX_COEFFICIENTS`] or the assembled degree exceeds the
+    ///   declared [`GeneralObjective::max_degree`].
+    /// * [`FmError::Privacy`] for degenerate noise parameters.
+    pub fn perturb_assembled(
+        &self,
+        clean: &Polynomial,
+        objective: &impl GeneralObjective,
+        rng: &mut impl Rng,
+    ) -> Result<NoisyPolynomial> {
+        let d = clean.num_vars();
         let j_max = objective.max_degree(d);
 
         // Enumerating Φ_0..Φ_J up front both sizes the release and defines
@@ -270,7 +317,6 @@ impl GenericFunctionalMechanism {
         let delta = objective.sensitivity(d);
         let mech = LaplaceMechanism::new(delta, self.epsilon)?;
 
-        let clean = objective.assemble(data);
         // A mis-declared max_degree would silently drop the out-of-range
         // coefficients from the release *and* void the sensitivity
         // analysis — refuse loudly instead.
@@ -295,6 +341,118 @@ impl GenericFunctionalMechanism {
             sensitivity: delta,
             noise_scale: delta / self.epsilon,
         })
+    }
+}
+
+/// The streaming counterpart of [`GeneralObjective::assemble`]: feed
+/// blocks, finish once — the general-degree sibling of
+/// [`crate::assembly::CoefficientAccumulator`], sharing its re-chunking
+/// stage and binary-counter merger, so a streamed sparse-polynomial
+/// objective is **bit-identical** to the in-memory chunked assembly for
+/// any block sizing or shard split.
+pub struct PolynomialAccumulator<'a, O: GeneralObjective + ?Sized> {
+    objective: &'a O,
+    core: crate::assembly::StreamCore<Polynomial>,
+}
+
+/// The same coefficient-wise merge [`GeneralObjective::assemble`] uses.
+fn merge_polynomial(acc: &mut Polynomial, part: Polynomial) {
+    acc.add_assign(&part);
+}
+
+impl<'a, O: GeneralObjective + ?Sized> PolynomialAccumulator<'a, O> {
+    /// An empty accumulator over `d` features at the default chunk size
+    /// (matching [`GeneralObjective::assemble`]'s chunking).
+    #[must_use]
+    pub fn new(objective: &'a O, d: usize) -> Self {
+        Self::with_chunk_rows(objective, d, crate::assembly::DEFAULT_CHUNK_ROWS)
+    }
+
+    /// An empty accumulator with an explicit chunk size — the out-of-core
+    /// memory cap; must match the in-memory path's chunking for
+    /// bit-identical results.
+    #[must_use]
+    pub fn with_chunk_rows(objective: &'a O, d: usize, chunk_rows: usize) -> Self {
+        PolynomialAccumulator {
+            objective,
+            core: crate::assembly::StreamCore::new(d, chunk_rows),
+        }
+    }
+
+    /// The feature dimensionality this accumulator expects.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.core.dim()
+    }
+
+    /// Total rows absorbed so far.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.core.rows()
+    }
+
+    /// Validates and absorbs a row-major block.
+    ///
+    /// # Errors
+    /// [`FmError::Data`] for shape mismatches or contract violations.
+    pub fn push_rows(&mut self, xs: &[f64], ys: &[f64]) -> Result<()> {
+        let objective = self.objective;
+        self.core.push_rows(
+            xs,
+            ys,
+            |xs, ys, d| objective.validate_rows(xs, ys, d),
+            |cx, cy, d| {
+                let mut f = Polynomial::zero(d);
+                objective.accumulate_chunk(cx, cy, d, &mut f);
+                f
+            },
+            &merge_polynomial,
+        )
+    }
+
+    /// Validates and absorbs one [`fm_data::stream::RowBlock`].
+    ///
+    /// # Errors
+    /// As [`PolynomialAccumulator::push_rows`], plus [`FmError::Data`]
+    /// when the block's dimensionality differs from the accumulator's.
+    pub fn push_block(&mut self, block: &fm_data::stream::RowBlock) -> Result<()> {
+        self.core.check_dim("block", block.d())?;
+        self.push_rows(block.xs(), block.ys())
+    }
+
+    /// Drains `source`, absorbing every block; returns the rows absorbed.
+    ///
+    /// # Errors
+    /// [`FmError::Data`] for a dimensionality mismatch, transport errors,
+    /// or contract violations.
+    pub fn absorb(
+        &mut self,
+        source: &mut (impl fm_data::stream::RowSource + ?Sized),
+    ) -> Result<usize> {
+        self.core.check_dim("source", source.dim())?;
+        let before = self.core.rows();
+        while let Some(block) = source
+            .next_block(self.core.stage.rows_to_boundary())
+            .map_err(FmError::Data)?
+        {
+            self.push_block(&block)?;
+        }
+        Ok(self.core.rows() - before)
+    }
+
+    /// Flushes the final ragged chunk and merges all partials; `None` if
+    /// no rows were absorbed.
+    #[must_use]
+    pub fn finish(self) -> Option<Polynomial> {
+        let PolynomialAccumulator { objective, core } = self;
+        core.finish(
+            |cx, cy, d| {
+                let mut f = Polynomial::zero(d);
+                objective.accumulate_chunk(cx, cy, d, &mut f);
+                f
+            },
+            &merge_polynomial,
+        )
     }
 }
 
@@ -342,6 +500,10 @@ impl GeneralObjective for GeneralLinearObjective {
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
         data.check_normalized_linear()
     }
+
+    fn validate_rows(&self, xs: &[f64], ys: &[f64], d: usize) -> fm_data::Result<()> {
+        fm_data::dataset::check_rows_normalized_linear(xs, ys, d)
+    }
 }
 
 /// A **quartic** regression objective `f(t, ω) = (y − xᵀω)⁴` — a loss the
@@ -382,6 +544,10 @@ impl GeneralObjective for QuarticObjective {
 
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
         data.check_normalized_linear()
+    }
+
+    fn validate_rows(&self, xs: &[f64], ys: &[f64], d: usize) -> fm_data::Result<()> {
+        fm_data::dataset::check_rows_normalized_linear(xs, ys, d)
     }
 }
 

@@ -111,14 +111,20 @@ pub mod sparse;
 
 mod error;
 
+pub use assembly::CoefficientAccumulator;
 pub use error::FmError;
-pub use estimator::{DpEstimator, EstimatorBuilder, FitConfig, FmEstimator, RegressionObjective};
+pub use estimator::{
+    DpEstimator, EstimatorBuilder, FitConfig, FmEstimator, PartialFit, RegressionObjective,
+};
 pub use mechanism::{
     FunctionalMechanism, NoiseDistribution, NoisyQuadratic, PolynomialObjective, SensitivityBound,
 };
 pub use model::{Model, ModelKind, PersistableModel};
 pub use postprocess::Strategy;
-pub use robust::{DpHuberRegression, DpMedianRegression, HuberObjective, MedianObjective};
+pub use robust::{
+    DpHuberRegression, DpMedianRegression, DpQuantileRegression, HuberObjective, MedianObjective,
+    QuantileObjective,
+};
 pub use session::PrivacySession;
 pub use sparse::{SparseFmEstimator, SparseRegressionObjective};
 

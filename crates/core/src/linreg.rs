@@ -61,13 +61,30 @@ impl PolynomialObjective for LinearObjective {
     }
 
     fn accumulate_batch(&self, xs: &[f64], ys: &[f64], d: usize, q: &mut QuadraticForm) {
-        // The three Gram products of the expanded objective, each as one
-        // blocked kernel pass: β += yᵀy; α += −2·Xᵀy; M += XᵀX.
+        // The three Gram products of the expanded objective: β += yᵀy
+        // (reads only the labels), then α += −2·Xᵀy fused into the XᵀX
+        // pack pass — the syrk kernel transposes each panel of tuples into
+        // column-major scratch anyway, so the Xᵀy dots read that pack
+        // instead of streaming the row-major block a second time. The
+        // per-column four-row grouping matches `gemv_t_acc` exactly and
+        // panels break on multiples of eight, so the fusion is
+        // bit-identical to the two-pass path (and to the columnar twin
+        // below; pinned by `tests/batched_assembly.rs`).
         *q.beta_mut() += fm_linalg::vecops::sum_squares(ys);
-        fm_linalg::vecops::gemv_t_acc(-2.0, xs, d, ys, q.alpha_mut());
-        q.m_mut()
-            .syrk_acc(1.0, xs, d)
-            .expect("dataset row arity matches objective dimension");
+        let (_, alpha, m) = q.parts_mut();
+        let mut pos = 0usize;
+        m.syrk_acc_visit(1.0, xs, d, &mut |panel, pk| {
+            for (j, out) in alpha.iter_mut().enumerate() {
+                fm_linalg::vecops::dot_blocked_acc(
+                    -2.0,
+                    &panel[j * pk..(j + 1) * pk],
+                    &ys[pos..pos + pk],
+                    out,
+                );
+            }
+            pos += pk;
+        })
+        .expect("dataset row arity matches objective dimension");
     }
 
     fn supports_columnar(&self) -> bool {
@@ -107,6 +124,10 @@ impl PolynomialObjective for LinearObjective {
 
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
         data.check_normalized_linear()
+    }
+
+    fn validate_rows(&self, xs: &[f64], ys: &[f64], d: usize) -> fm_data::Result<()> {
+        fm_data::dataset::check_rows_normalized_linear(xs, ys, d)
     }
 }
 

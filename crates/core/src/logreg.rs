@@ -124,6 +124,10 @@ impl PolynomialObjective for LogisticObjective {
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
         data.check_normalized_logistic()
     }
+
+    fn validate_rows(&self, xs: &[f64], ys: &[f64], d: usize) -> fm_data::Result<()> {
+        fm_data::dataset::check_rows_normalized_logistic(xs, ys, d)
+    }
 }
 
 /// Assembles the noise-free truncated objective `f̂_D(ω)` — shared with the
@@ -266,6 +270,10 @@ impl PolynomialObjective for ChebyshevLogisticObjective {
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
         data.check_normalized_logistic()
     }
+
+    fn validate_rows(&self, xs: &[f64], ys: &[f64], d: usize) -> fm_data::Result<()> {
+        fm_data::dataset::check_rows_normalized_logistic(xs, ys, d)
+    }
 }
 
 impl RegressionObjective for LogisticObjective {
@@ -338,6 +346,9 @@ impl PolynomialObjective for LogisticSurrogate {
     }
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
         self.inner().validate(data)
+    }
+    fn validate_rows(&self, xs: &[f64], ys: &[f64], d: usize) -> fm_data::Result<()> {
+        self.inner().validate_rows(xs, ys, d)
     }
 }
 
@@ -434,6 +445,23 @@ impl DpLogisticRegression {
         self.estimator()?.fit(data, rng)
     }
 
+    /// Fits an ε-DP logistic model from a streaming
+    /// [`fm_data::stream::RowSource`] — see [`FmEstimator::fit_stream`]:
+    /// bounded memory, bit-identical released weights to
+    /// [`DpLogisticRegression::fit`] on the materialized data at the same
+    /// seed.
+    ///
+    /// # Errors
+    /// As [`DpLogisticRegression::fit`], plus transport errors from the
+    /// source.
+    pub fn fit_stream(
+        &self,
+        source: &mut (impl fm_data::stream::RowSource + ?Sized),
+        rng: &mut impl Rng,
+    ) -> Result<LogisticModel> {
+        self.estimator()?.fit_stream(source, rng)
+    }
+
     /// Fits the *non-private* minimiser of the truncated objective — the
     /// paper's `Truncated` baseline (exposed here so `fm-baselines` and the
     /// harness share one implementation). Honours the configured
@@ -452,6 +480,14 @@ impl DpEstimator for DpLogisticRegression {
 
     fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> Result<LogisticModel> {
         DpLogisticRegression::fit(self, data, &mut rng)
+    }
+
+    fn fit_stream(
+        &self,
+        source: &mut dyn fm_data::stream::RowSource,
+        mut rng: &mut dyn RngCore,
+    ) -> Result<LogisticModel> {
+        DpLogisticRegression::fit_stream(self, source, &mut rng)
     }
 
     fn epsilon(&self) -> Option<f64> {

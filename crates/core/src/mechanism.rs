@@ -172,6 +172,34 @@ pub trait PolynomialObjective: Sync {
     /// A [`fm_data::DataError::NotNormalized`] describing the violation.
     fn validate(&self, data: &Dataset) -> fm_data::Result<()>;
 
+    /// Validates one streamed row-major block (`xs` is `k × d`,
+    /// `k = ys.len()`) against the same contract as
+    /// [`PolynomialObjective::validate`] — the per-block form the
+    /// streaming accumulator ([`crate::assembly::CoefficientAccumulator`])
+    /// checks as data arrives, so an out-of-core fit never needs the
+    /// dataset materialized just to validate it.
+    ///
+    /// The default materializes the block into a temporary [`Dataset`] and
+    /// delegates to `validate` — correct for any objective at the cost of
+    /// one block-sized copy. The built-in objectives override it with the
+    /// allocation-free row checks in `fm_data::dataset`. Tuple indices in
+    /// errors are block-local.
+    ///
+    /// # Errors
+    /// A [`fm_data::DataError`] describing the violation.
+    fn validate_rows(&self, xs: &[f64], ys: &[f64], d: usize) -> fm_data::Result<()> {
+        if ys.is_empty() {
+            return Ok(());
+        }
+        let x = fm_linalg::Matrix::from_vec(ys.len(), d, xs.to_vec()).map_err(|_| {
+            fm_data::DataError::LengthMismatch {
+                rows: xs.len() / d.max(1),
+                labels: ys.len(),
+            }
+        })?;
+        self.validate(&Dataset::new(x, ys.to_vec())?)
+    }
+
     /// Assembles the exact (noise-free) objective `f_D(ω) = Σ_i f(t_i, ω)`
     /// through the batched chunk pipeline of [`crate::assembly`]
     /// (data-parallel with the `parallel` feature; deterministic across
@@ -395,7 +423,32 @@ impl FunctionalMechanism {
         rng: &mut impl Rng,
     ) -> Result<NoisyQuadratic> {
         objective.validate(data)?;
-        let d = data.d();
+        let clean = objective.assemble(data);
+        self.perturb_assembled(&clean, objective, rng)
+    }
+
+    /// Algorithm 1's noise step over a **pre-assembled** clean objective:
+    /// the entry point the streaming pipeline uses once a
+    /// [`crate::assembly::CoefficientAccumulator`] has finished (the data
+    /// was validated block-by-block as it streamed), and what the Lemma-5
+    /// resample loop re-draws from without re-scanning the data.
+    ///
+    /// The caller owns the precondition that `clean` really is
+    /// `Σ_i λ_{φ t_i}` over a dataset satisfying the objective's contract
+    /// — the sensitivity calibration is meaningless otherwise. Noise draw
+    /// order (β, α, then the upper triangle of `M`) is identical to
+    /// [`FunctionalMechanism::perturb`], so for the same assembled
+    /// coefficients and RNG state the two release bit-identical output.
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] for degenerate noise parameters.
+    pub fn perturb_assembled(
+        &self,
+        clean: &QuadraticForm,
+        objective: &impl PolynomialObjective,
+        rng: &mut impl Rng,
+    ) -> Result<NoisyQuadratic> {
+        let d = clean.dim();
         let (sampler, sensitivity, delta_out, noise_scale, noise_std) = match self.noise {
             NoiseDistribution::Laplace => {
                 let s = objective.sensitivity(d, self.bound);
@@ -412,7 +465,7 @@ impl FunctionalMechanism {
             }
         };
 
-        let mut q = objective.assemble(data);
+        let mut q = clean.clone();
 
         // Perturb β.
         *q.beta_mut() = sampler.privatize_scalar(q.beta(), rng);

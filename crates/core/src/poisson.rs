@@ -223,6 +223,10 @@ impl PolynomialObjective for PoissonObjective {
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
         data.check_normalized_counts(self.y_max)
     }
+
+    fn validate_rows(&self, xs: &[f64], ys: &[f64], d: usize) -> fm_data::Result<()> {
+        fm_data::dataset::check_rows_normalized_counts(xs, ys, d, self.y_max)
+    }
 }
 
 impl RegressionObjective for PoissonObjective {
@@ -347,6 +351,20 @@ impl DpPoissonRegression {
         self.estimator()?.fit(data, rng)
     }
 
+    /// Fits an ε-DP Poisson model from a streaming
+    /// [`fm_data::stream::RowSource`] — see [`FmEstimator::fit_stream`].
+    ///
+    /// # Errors
+    /// As [`DpPoissonRegression::fit`], plus transport errors from the
+    /// source.
+    pub fn fit_stream(
+        &self,
+        source: &mut (impl fm_data::stream::RowSource + ?Sized),
+        rng: &mut impl Rng,
+    ) -> Result<PoissonModel> {
+        self.estimator()?.fit_stream(source, rng)
+    }
+
     /// Fits the *non-private* minimiser of the truncated objective
     /// (the Poisson analogue of the `Truncated` baseline).
     ///
@@ -363,6 +381,14 @@ impl DpEstimator for DpPoissonRegression {
 
     fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> Result<PoissonModel> {
         DpPoissonRegression::fit(self, data, &mut rng)
+    }
+
+    fn fit_stream(
+        &self,
+        source: &mut dyn fm_data::stream::RowSource,
+        mut rng: &mut dyn RngCore,
+    ) -> Result<PoissonModel> {
+        DpPoissonRegression::fit_stream(self, source, &mut rng)
     }
 
     fn epsilon(&self) -> Option<f64> {

@@ -53,7 +53,9 @@
 use rand::{Rng, RngCore};
 
 use fm_data::Dataset;
-use fm_poly::taylor::{huber_derivs, pseudo_huber_derivs, pseudo_huber_third_derivative_bound};
+use fm_poly::taylor::{
+    huber_derivs, pseudo_huber_derivs, pseudo_huber_third_derivative_bound, smoothed_pinball_derivs,
+};
 use fm_poly::QuadraticForm;
 
 use crate::estimator::{
@@ -269,9 +271,160 @@ impl PolynomialObjective for MedianObjective {
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
         data.check_normalized_linear()
     }
+
+    fn validate_rows(&self, xs: &[f64], ys: &[f64], d: usize) -> fm_data::Result<()> {
+        fm_data::dataset::check_rows_normalized_linear(xs, ys, d)
+    }
 }
 
 impl RegressionObjective for MedianObjective {
+    type Model = LinearModel;
+}
+
+// ---------------------------------------------------------------- quantile
+
+/// The smoothed-pinball **quantile** objective at general `τ ∈ (0, 1)` in
+/// Algorithm-1 form — the generalization of [`MedianObjective`] (τ = ½)
+/// to arbitrary conditional quantiles:
+///
+/// ```text
+/// ρ_τγ(u) = (2τ − 1)·u + √(u² + γ²) − γ
+/// ```
+///
+/// twice the γ-smoothed check loss `u·(τ − 1[u<0])` (see
+/// [`smoothed_pinball_derivs`]; the factor 2 makes τ = ½ coincide with
+/// the median loss exactly, smoothing constant included). Taylor
+/// truncation, weighted Gram kernels and the §5 residual scheme are all
+/// shared with the other residual losses.
+///
+/// ## Sensitivity (Lemma-1 contract, asymmetric slopes)
+///
+/// The added `(2τ−1)·u` term is linear in the residual, so only the value
+/// and slope bounds change relative to the median:
+/// `ρ_max = |2τ−1| + √(1+γ²) − γ`, `c₁ = |2τ−1| + 1/√(1+γ²)` — the
+/// asymmetric-slope bound: the loss pulls with slope approaching `2τ` on
+/// one side and `2(τ−1)` on the other, and `c₁` is the larger magnitude —
+/// while the curvature bound `c₂ = 1/γ` is τ-independent. The usual
+/// `Δ = 2(ρ_max + c₁·S + ½c₂·S²)` and dimension-independent
+/// `Δ₂ = 2√(ρ_max² + c₁² + ¼c₂²)` follow; the proptest suite
+/// machine-checks both on random in-domain tuples across τ.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantileObjective {
+    tau: f64,
+    gamma: f64,
+    /// `max |ρ|` on the label range (= `|2τ−1| + √(1+γ²) − γ`).
+    rho_max: f64,
+    /// `max |ρ'|` on the label range (= `|2τ−1| + 1/√(1+γ²)`).
+    c1: f64,
+    /// `max ρ''` on the label range (= `1/γ`, τ-independent).
+    c2: f64,
+}
+
+impl QuantileObjective {
+    /// A smoothed-pinball objective at quantile level `tau` with smoothing
+    /// half-width `gamma`.
+    ///
+    /// # Errors
+    /// [`FmError::InvalidConfig`] unless `τ ∈ (0, 1)` and γ is finite
+    /// and positive.
+    pub fn new(tau: f64, gamma: f64) -> Result<Self> {
+        if !tau.is_finite() || tau <= 0.0 || tau >= 1.0 {
+            return Err(FmError::InvalidConfig {
+                name: "tau",
+                reason: format!("{tau} must be in (0, 1)"),
+            });
+        }
+        if !gamma.is_finite() || gamma <= 0.0 {
+            return Err(FmError::InvalidConfig {
+                name: "gamma",
+                reason: format!("{gamma} must be finite and > 0"),
+            });
+        }
+        let slope = (2.0 * tau - 1.0).abs();
+        Ok(QuantileObjective {
+            tau,
+            gamma,
+            rho_max: slope + (1.0 + gamma * gamma).sqrt() - gamma,
+            c1: slope + 1.0 / (1.0 + gamma * gamma).sqrt(),
+            c2: 1.0 / gamma,
+        })
+    }
+
+    /// The configured quantile level τ.
+    #[must_use]
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The configured smoothing half-width γ.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The scalar loss's value and first two derivatives at residual `u`.
+    #[must_use]
+    pub fn derivs(&self, u: f64) -> [f64; 3] {
+        smoothed_pinball_derivs(u, self.tau, self.gamma)
+    }
+
+    /// Data-independent per-tuple truncation-remainder bound: the
+    /// `(2τ−1)·u` term is linear (zero remainder), so the bound is the
+    /// median loss's `O(1/γ²)` constant unchanged.
+    #[must_use]
+    pub fn remainder_bound(&self) -> f64 {
+        pseudo_huber_third_derivative_bound(self.gamma) / 6.0
+    }
+
+    /// Assembles the noise-free truncated objective.
+    #[must_use]
+    pub fn assemble_objective(&self, data: &Dataset) -> QuadraticForm {
+        self.assemble(data)
+    }
+}
+
+impl PolynomialObjective for QuantileObjective {
+    fn accumulate_tuple(&self, x: &[f64], y: f64, q: &mut QuadraticForm) {
+        accumulate_residual_tuple(self.derivs(y), x, q);
+    }
+
+    fn accumulate_batch(&self, xs: &[f64], ys: &[f64], d: usize, q: &mut QuadraticForm) {
+        accumulate_residual_batch(|y| self.derivs(y), xs, ys, d, q);
+    }
+
+    fn supports_columnar(&self) -> bool {
+        true
+    }
+
+    fn accumulate_batch_columnar(
+        &self,
+        xt: &fm_linalg::Matrix,
+        ys: &[f64],
+        lo: usize,
+        hi: usize,
+        q: &mut QuadraticForm,
+    ) {
+        accumulate_residual_cols(|y| self.derivs(y), xt, ys, lo, hi, q);
+    }
+
+    fn sensitivity(&self, d: usize, bound: SensitivityBound) -> f64 {
+        residual_sensitivity(d, bound, self.rho_max, self.c1, self.c2)
+    }
+
+    fn sensitivity_l2(&self, _d: usize) -> f64 {
+        residual_sensitivity_l2(self.rho_max, self.c1, self.c2)
+    }
+
+    fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
+        data.check_normalized_linear()
+    }
+
+    fn validate_rows(&self, xs: &[f64], ys: &[f64], d: usize) -> fm_data::Result<()> {
+        fm_data::dataset::check_rows_normalized_linear(xs, ys, d)
+    }
+}
+
+impl RegressionObjective for QuantileObjective {
     type Model = LinearModel;
 }
 
@@ -367,6 +520,10 @@ impl PolynomialObjective for HuberObjective {
 
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
         data.check_normalized_linear()
+    }
+
+    fn validate_rows(&self, xs: &[f64], ys: &[f64], d: usize) -> fm_data::Result<()> {
+        fm_data::dataset::check_rows_normalized_linear(xs, ys, d)
     }
 }
 
@@ -483,6 +640,23 @@ impl DpMedianRegression {
         self.estimator()?.fit(data, rng)
     }
 
+    /// Fits an ε-DP median-regression model from a streaming
+    /// [`fm_data::stream::RowSource`] — see
+    /// [`FmEstimator::fit_stream`]: bounded memory, bit-identical to
+    /// [`DpMedianRegression::fit`] on the materialized data at the same
+    /// seed.
+    ///
+    /// # Errors
+    /// As [`DpMedianRegression::fit`], plus transport errors from the
+    /// source.
+    pub fn fit_stream(
+        &self,
+        source: &mut (impl fm_data::stream::RowSource + ?Sized),
+        rng: &mut impl Rng,
+    ) -> Result<LinearModel> {
+        self.estimator()?.fit_stream(source, rng)
+    }
+
     /// Fits the *non-private* minimiser of the truncated objective (the
     /// median analogue of the `Truncated` baseline) — isolates surrogate
     /// bias from privacy noise.
@@ -512,6 +686,202 @@ impl DpEstimator for DpMedianRegression {
 
     fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> Result<LinearModel> {
         DpMedianRegression::fit(self, data, &mut rng)
+    }
+
+    fn fit_stream(
+        &self,
+        source: &mut dyn fm_data::stream::RowSource,
+        mut rng: &mut dyn RngCore,
+    ) -> Result<LinearModel> {
+        DpMedianRegression::fit_stream(self, source, &mut rng)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.config.epsilon)
+    }
+
+    fn delta(&self) -> Option<f64> {
+        self.config.delta()
+    }
+
+    fn task(&self) -> ModelKind {
+        ModelKind::Linear
+    }
+}
+
+/// The quantile-specific builder knobs: the level τ and the smoothing
+/// half-width.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantileSettings {
+    tau: f64,
+    smoothing: f64,
+}
+
+impl Default for QuantileSettings {
+    fn default() -> Self {
+        QuantileSettings {
+            tau: 0.5,
+            smoothing: DEFAULT_SMOOTHING,
+        }
+    }
+}
+
+/// Builder for [`DpQuantileRegression`]: the shared [`EstimatorBuilder`]
+/// knobs plus τ and the smoothing half-width.
+pub type DpQuantileRegressionBuilder = EstimatorBuilder<QuantileSettings>;
+
+impl DpQuantileRegressionBuilder {
+    /// Sets the quantile level τ ∈ (0, 1) (default ½, the median).
+    #[must_use]
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.family.tau = tau;
+        self
+    }
+
+    /// Sets the pinball smoothing half-width γ (default
+    /// [`DEFAULT_SMOOTHING`]); same trade-off as for the median.
+    #[must_use]
+    pub fn smoothing(mut self, gamma: f64) -> Self {
+        self.family.smoothing = gamma;
+        self
+    }
+
+    /// Finalises the configuration.
+    #[must_use]
+    pub fn build(self) -> DpQuantileRegression {
+        DpQuantileRegression {
+            config: self.config,
+            settings: self.family,
+        }
+    }
+}
+
+/// ε-differentially private **quantile regression** at general τ via the
+/// Functional Mechanism — the τ-generalization of [`DpMedianRegression`],
+/// over a [`QuantileObjective`]. At τ = ½ it releases exactly what the
+/// median estimator releases (same loss, same sensitivity, same noise
+/// stream).
+///
+/// ```
+/// use fm_core::robust::DpQuantileRegression;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+/// let data = fm_data::synth::linear_dataset(&mut rng, 20_000, 2, 0.1);
+/// let model = DpQuantileRegression::builder()
+///     .epsilon(1.0)
+///     .tau(0.9)
+///     .build()
+///     .fit(&data, &mut rng)
+///     .unwrap();
+/// assert_eq!(model.dim(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DpQuantileRegression {
+    config: FitConfig,
+    settings: QuantileSettings,
+}
+
+impl DpQuantileRegression {
+    /// Starts a builder with defaults (ε = 1, paper sensitivity,
+    /// regularize-then-trim, no intercept, τ = ½,
+    /// γ = [`DEFAULT_SMOOTHING`]).
+    #[must_use]
+    pub fn builder() -> DpQuantileRegressionBuilder {
+        DpQuantileRegressionBuilder::default()
+    }
+
+    /// The configured privacy budget.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.config.epsilon
+    }
+
+    /// The configured quantile level.
+    #[must_use]
+    pub fn tau(&self) -> f64 {
+        self.settings.tau
+    }
+
+    /// The configured smoothing half-width.
+    #[must_use]
+    pub fn smoothing(&self) -> f64 {
+        self.settings.smoothing
+    }
+
+    /// The shared fit configuration.
+    #[must_use]
+    pub fn config(&self) -> &FitConfig {
+        &self.config
+    }
+
+    /// Instantiates the generic core for the configured τ and smoothing.
+    fn estimator(&self) -> Result<FmEstimator<QuantileObjective>> {
+        Ok(FmEstimator::new(
+            QuantileObjective::new(self.settings.tau, self.settings.smoothing)?,
+            self.config,
+        ))
+    }
+
+    /// Fits an ε-DP quantile-regression model on `data` (`‖x‖₂ ≤ 1`,
+    /// `y ∈ [−1, 1]`).
+    ///
+    /// # Errors
+    /// As [`FmEstimator::fit`], plus [`FmError::InvalidConfig`] for a bad
+    /// τ or γ.
+    pub fn fit(&self, data: &Dataset, rng: &mut impl Rng) -> Result<LinearModel> {
+        self.estimator()?.fit(data, rng)
+    }
+
+    /// Fits an ε-DP quantile-regression model from a streaming
+    /// [`fm_data::stream::RowSource`] — see [`FmEstimator::fit_stream`].
+    ///
+    /// # Errors
+    /// As [`DpQuantileRegression::fit`], plus transport errors from the
+    /// source.
+    pub fn fit_stream(
+        &self,
+        source: &mut (impl fm_data::stream::RowSource + ?Sized),
+        rng: &mut impl Rng,
+    ) -> Result<LinearModel> {
+        self.estimator()?.fit_stream(source, rng)
+    }
+
+    /// Fits the *non-private* minimiser of the truncated objective.
+    ///
+    /// # Errors
+    /// [`FmError::Data`] / [`FmError::Optim`] on contract violation or a
+    /// degenerate surrogate Hessian.
+    pub fn fit_truncated_without_privacy(&self, data: &Dataset) -> Result<LinearModel> {
+        self.estimator()?.fit_without_privacy(data)
+    }
+
+    /// Fits the *exact* (non-truncated, non-private) smoothed-pinball loss
+    /// by gradient descent — the reference the asymmetry tests compare
+    /// the surrogate against.
+    ///
+    /// # Errors
+    /// [`FmError::Data`] on contract violation, [`FmError::Optim`] on
+    /// solver breakdown.
+    pub fn fit_exact_without_privacy(&self, data: &Dataset) -> Result<LinearModel> {
+        let objective = QuantileObjective::new(self.settings.tau, self.settings.smoothing)?;
+        fit_exact_residual(data, self.config.fit_intercept, |u| objective.derivs(u))
+    }
+}
+
+impl DpEstimator for DpQuantileRegression {
+    type Model = LinearModel;
+
+    fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> Result<LinearModel> {
+        DpQuantileRegression::fit(self, data, &mut rng)
+    }
+
+    fn fit_stream(
+        &self,
+        source: &mut dyn fm_data::stream::RowSource,
+        mut rng: &mut dyn RngCore,
+    ) -> Result<LinearModel> {
+        DpQuantileRegression::fit_stream(self, source, &mut rng)
     }
 
     fn epsilon(&self) -> Option<f64> {
@@ -632,6 +1002,20 @@ impl DpHuberRegression {
         self.estimator()?.fit(data, rng)
     }
 
+    /// Fits an ε-DP Huber-regression model from a streaming
+    /// [`fm_data::stream::RowSource`] — see [`FmEstimator::fit_stream`].
+    ///
+    /// # Errors
+    /// As [`DpHuberRegression::fit`], plus transport errors from the
+    /// source.
+    pub fn fit_stream(
+        &self,
+        source: &mut (impl fm_data::stream::RowSource + ?Sized),
+        rng: &mut impl Rng,
+    ) -> Result<LinearModel> {
+        self.estimator()?.fit_stream(source, rng)
+    }
+
     /// Fits the *non-private* minimiser of the truncated objective.
     ///
     /// # Errors
@@ -658,6 +1042,14 @@ impl DpEstimator for DpHuberRegression {
 
     fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> Result<LinearModel> {
         DpHuberRegression::fit(self, data, &mut rng)
+    }
+
+    fn fit_stream(
+        &self,
+        source: &mut dyn fm_data::stream::RowSource,
+        mut rng: &mut dyn RngCore,
+    ) -> Result<LinearModel> {
+        DpHuberRegression::fit_stream(self, source, &mut rng)
     }
 
     fn epsilon(&self) -> Option<f64> {
@@ -844,6 +1236,157 @@ mod tests {
         let q = m.assemble_objective(&data);
         let direct: f64 = data.y().iter().map(|&y| m.derivs(y)[0]).sum();
         assert!((q.eval(&[0.0, 0.0, 0.0]) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_at_half_is_the_median_objective_bitwise() {
+        // τ = ½: same loss, same bounds, same coefficients — the released
+        // noise stream cannot tell the two estimators apart.
+        let q = QuantileObjective::new(0.5, 0.25).unwrap();
+        let m = MedianObjective::new(0.25).unwrap();
+        for d in [1usize, 4] {
+            assert_eq!(
+                q.sensitivity(d, SensitivityBound::Paper),
+                m.sensitivity(d, SensitivityBound::Paper)
+            );
+            assert_eq!(q.sensitivity_l2(d), m.sensitivity_l2(d));
+        }
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 500, 3, 0.1);
+        let qq = q.assemble_objective(&data);
+        let mq = m.assemble_objective(&data);
+        assert_eq!(qq, mq);
+        // Full estimator parity under the same seed.
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(91);
+        let quant = DpQuantileRegression::builder()
+            .epsilon(2.0)
+            .build()
+            .fit(&data, &mut r1)
+            .unwrap();
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(91);
+        let med = DpMedianRegression::builder()
+            .epsilon(2.0)
+            .build()
+            .fit(&data, &mut r2)
+            .unwrap();
+        assert_eq!(quant, med);
+    }
+
+    #[test]
+    fn quantile_sensitivity_is_asymmetric_in_tau() {
+        // Moving τ off ½ raises both the value and slope bounds — more
+        // asymmetric pull, more noise — symmetrically in τ ↔ 1−τ.
+        let mid = QuantileObjective::new(0.5, 0.25).unwrap();
+        let hi = QuantileObjective::new(0.9, 0.25).unwrap();
+        let lo = QuantileObjective::new(0.1, 0.25).unwrap();
+        for d in [1usize, 5] {
+            let s_mid = mid.sensitivity(d, SensitivityBound::Paper);
+            let s_hi = hi.sensitivity(d, SensitivityBound::Paper);
+            assert!(s_hi > s_mid, "τ=0.9 must out-noise τ=0.5");
+            assert_eq!(s_hi, lo.sensitivity(d, SensitivityBound::Paper));
+        }
+        // Closed form: ρ_max and c₁ gain exactly |2τ−1|.
+        let gamma: f64 = 0.25;
+        let expect = 2.0
+            * ((0.8 + (1.0 + gamma * gamma).sqrt() - gamma)
+                + (0.8 + 1.0 / (1.0 + gamma * gamma).sqrt()) * 3.0
+                + 0.5 * (1.0 / gamma) * 9.0);
+        assert!((hi.sensitivity(3, SensitivityBound::Paper) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_quantile_fit_recovers_the_noise_quantile() {
+        // y = xᵀw + e with e ~ U[−0.2, 0.2]: with an intercept, the exact
+        // τ-pinball minimiser's offset estimates the τ-quantile of e,
+        // −0.2 + 0.4τ. This is the asymmetry working end-to-end: τ = 0.75
+        // must sit above τ = 0.25 by ≈ 0.2.
+        let w = [0.2];
+        let n = 6_000;
+        let x = fm_linalg::Matrix::from_fn(n, 1, |i, _| ((i % 100) as f64 / 100.0 - 0.5) / 2.0);
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                let e = ((i * 37) % 101) as f64 / 100.0 * 0.4 - 0.2; // deterministic ~uniform
+                x[(i, 0)] * w[0] + e
+            })
+            .collect();
+        let data = Dataset::new(x, y).unwrap();
+        let fit_at = |tau: f64| {
+            DpQuantileRegression::builder()
+                .tau(tau)
+                .smoothing(0.02)
+                .fit_intercept(true)
+                .build()
+                .fit_exact_without_privacy(&data)
+                .unwrap()
+        };
+        let hi = fit_at(0.75);
+        let lo = fit_at(0.25);
+        assert!(
+            (hi.intercept() - 0.1).abs() < 0.04,
+            "τ=0.75 intercept {} should be ≈ +0.1",
+            hi.intercept()
+        );
+        assert!(
+            (lo.intercept() + 0.1).abs() < 0.04,
+            "τ=0.25 intercept {} should be ≈ −0.1",
+            lo.intercept()
+        );
+    }
+
+    #[test]
+    fn quantile_batch_kernels_and_private_fits_work() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 500, 4, 0.1);
+        let obj = QuantileObjective::new(0.8, 0.25).unwrap();
+        let batched = crate::assembly::assemble(&obj, &data);
+        let reference = crate::assembly::assemble_per_tuple(&obj, &data);
+        assert!((batched.beta() - reference.beta()).abs() < 1e-10);
+        assert!(vecops::approx_eq(batched.alpha(), reference.alpha(), 1e-10));
+        assert!(batched.m().approx_eq(reference.m(), 1e-10));
+
+        let big = fm_data::synth::linear_dataset(&mut r, 20_000, 2, 0.1);
+        let model = DpQuantileRegression::builder()
+            .epsilon(2.0)
+            .tau(0.8)
+            .build()
+            .fit(&big, &mut r)
+            .unwrap();
+        assert_eq!(model.dim(), 2);
+        assert_eq!(model.epsilon(), Some(2.0));
+
+        // Streaming parity.
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(55);
+        let in_memory = DpQuantileRegression::builder()
+            .tau(0.8)
+            .build()
+            .fit(&big, &mut r1)
+            .unwrap();
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(55);
+        let streamed = DpQuantileRegression::builder()
+            .tau(0.8)
+            .build()
+            .fit_stream(&mut fm_data::stream::InMemorySource::new(&big), &mut r2)
+            .unwrap();
+        assert_eq!(in_memory, streamed);
+    }
+
+    #[test]
+    fn quantile_bad_parameters_rejected() {
+        for tau in [0.0, 1.0, -0.2, f64::NAN] {
+            assert!(QuantileObjective::new(tau, 0.25).is_err(), "τ = {tau}");
+        }
+        for gamma in [0.0, -1.0, f64::INFINITY] {
+            assert!(QuantileObjective::new(0.3, gamma).is_err(), "γ = {gamma}");
+        }
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 100, 2, 0.1);
+        assert!(matches!(
+            DpQuantileRegression::builder()
+                .tau(1.5)
+                .build()
+                .fit(&data, &mut r),
+            Err(FmError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

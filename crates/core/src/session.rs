@@ -41,6 +41,7 @@
 use rand::Rng;
 
 use fm_data::cv::KFold;
+use fm_data::stream::RowSource;
 use fm_data::Dataset;
 use fm_privacy::budget::{EpsDeltaLedger, PrivacyBudget};
 
@@ -132,8 +133,97 @@ impl PrivacySession {
         E: DpEstimator + ?Sized,
         R: Rng,
     {
+        self.debit(estimator)?;
+        estimator.fit(data, rng)
+    }
+
+    /// Fits `estimator` from a streaming [`RowSource`], debiting exactly
+    /// as [`PrivacySession::fit`] does. Estimators with a native streaming
+    /// pipeline (the Functional-Mechanism family) run out-of-core; others
+    /// fall back to materializing via the [`DpEstimator::fit_stream`]
+    /// default.
+    ///
+    /// # Errors
+    /// As [`PrivacySession::fit`], plus transport errors from the source.
+    pub fn fit_stream<E, R>(
+        &mut self,
+        estimator: &E,
+        source: &mut dyn RowSource,
+        rng: &mut R,
+    ) -> Result<E::Model>
+    where
+        E: DpEstimator + ?Sized,
+        R: Rng,
+    {
+        self.debit(estimator)?;
+        estimator.fit_stream(source, rng)
+    }
+
+    /// Opens an opt-in **parallel-composition** scope: a group of fits on
+    /// provably **disjoint** shards of one population, debited as a single
+    /// release costing `(max εᵢ, max δᵢ)` instead of the sequential
+    /// `(Σεᵢ, Σδᵢ)`.
+    ///
+    /// Parallel composition is the natural budget model for partitioned
+    /// data (Wu et al.'s privacy-first design analysis): each individual's
+    /// tuple lives in exactly one shard, so only one of the k mechanisms
+    /// ever touches it and the worst-case privacy loss is the *maximum*
+    /// per-shard ε, not the sum. That premise is also exactly what the
+    /// scope enforces as far as code can: every shard fit carries a label,
+    /// and fitting the **same label twice within one scope is refused** —
+    /// re-touching a shard breaks disjointness and would need sequential
+    /// accounting. (Code cannot verify that differently-labelled sources
+    /// really cover disjoint individuals; the caller owns that claim,
+    /// which is why the mode is opt-in and labelled. Note k-fold CV
+    /// *training* splits overlap — each tuple appears in k−1 of them — so
+    /// [`PrivacySession::cross_validate`] deliberately stays sequential.)
+    ///
+    /// Budget mechanics: the scope debits the hard cap incrementally (the
+    /// running max only ever grows, and each increment is checked *before*
+    /// the corresponding fit runs), and records one `(max ε, max δ)`
+    /// ledger entry when it closes — [`ParallelFits::finish`] or drop.
+    #[must_use]
+    pub fn parallel_fits(&mut self) -> ParallelFits<'_> {
+        ParallelFits {
+            session: self,
+            max_epsilon: 0.0,
+            max_delta: 0.0,
+            labels: Vec::new(),
+            closed: false,
+        }
+    }
+
+    /// Fits one model per disjoint shard under parallel composition —
+    /// the partitioned-data workhorse: `k` models for `max εᵢ = ε` total,
+    /// shards auto-labelled by index. Returns the released models in
+    /// shard order.
+    ///
+    /// # Errors
+    /// As [`ParallelFits::fit_shard_stream`].
+    pub fn fit_disjoint_shards<E, S, R>(
+        &mut self,
+        estimator: &E,
+        shards: &mut [S],
+        rng: &mut R,
+    ) -> Result<Vec<E::Model>>
+    where
+        E: DpEstimator + ?Sized,
+        S: RowSource,
+        R: Rng,
+    {
+        let mut scope = self.parallel_fits();
+        let mut models = Vec::with_capacity(shards.len());
+        for (i, shard) in shards.iter_mut().enumerate() {
+            models.push(scope.fit_shard_stream(&format!("shard-{i}"), estimator, shard, rng)?);
+        }
+        scope.finish();
+        Ok(models)
+    }
+
+    /// The debit every fitting entry point shares: validate the advertised
+    /// (ε, δ), spend against the cap, record in the ledger.
+    fn debit<E: DpEstimator + ?Sized>(&mut self, estimator: &E) -> Result<()> {
         if let Some(epsilon) = estimator.epsilon() {
-            // Validate the full (ε, δ) pair before committing anywhere.
             let entry = fm_privacy::budget::EpsDeltaEntry::validated(
                 epsilon,
                 estimator.delta().unwrap_or(0.0),
@@ -144,13 +234,26 @@ impl PrivacySession {
             self.ledger.record_entry(entry);
             self.fits += 1;
         }
-        estimator.fit(data, rng)
+        Ok(())
     }
 
     /// Runs the paper's k-fold protocol through the session: one fit per
     /// fold (each debited individually, so the session's total is the
     /// honest `k·ε` of sequential composition), scored on the held-out
     /// fold by `score`.
+    ///
+    /// Fold fits dispatch through the streaming entry point (an
+    /// [`fm_data::stream::InMemorySource`] per training split), so FM
+    /// estimators exercise their out-of-core pipeline — bit-identical
+    /// released coefficients, see [`crate::estimator::FmEstimator::fit_stream`]
+    /// — while baselines materialize via the trait default.
+    ///
+    /// Accounting stays **sequential** on purpose: the k training splits
+    /// *overlap* (every tuple appears in k−1 of them), so the
+    /// parallel-composition discount of
+    /// [`PrivacySession::parallel_fits`] does not apply here. For
+    /// shard-partitioned fitting at `max(ε)` cost, use
+    /// [`PrivacySession::fit_disjoint_shards`].
     ///
     /// Generic over `dyn`/`impl` [`DpEstimator`], so the same call drives
     /// FM, the baselines, or a mixed line-up.
@@ -173,7 +276,11 @@ impl PrivacySession {
         let mut scores = Vec::with_capacity(k);
         for f in 0..k {
             let (train, test) = kfold.split(data, f).map_err(FmError::Data)?;
-            let model = self.fit(estimator, &train, rng)?;
+            let model = self.fit_stream(
+                estimator,
+                &mut fm_data::stream::InMemorySource::new(&train),
+                rng,
+            )?;
             scores.push(score(&model, &test));
         }
         Ok(scores)
@@ -224,6 +331,142 @@ impl PrivacySession {
             advanced,
             best,
         })
+    }
+}
+
+/// An open parallel-composition scope (see
+/// [`PrivacySession::parallel_fits`]): shard fits recorded here debit the
+/// session `max(εᵢ)` in total, and shard labels enforce the only
+/// disjointness property code can check — no shard is fitted twice.
+///
+/// The scope commits its single `(max ε, max δ)` ledger entry when it
+/// closes, via [`ParallelFits::finish`] or implicitly on drop (the hard
+/// cap was already debited incrementally, so early exits can never
+/// under-count the budget).
+pub struct ParallelFits<'s> {
+    session: &'s mut PrivacySession,
+    max_epsilon: f64,
+    max_delta: f64,
+    labels: Vec<String>,
+    closed: bool,
+}
+
+impl ParallelFits<'_> {
+    /// Fits `estimator` on the shard identified by `label`, debiting only
+    /// the amount by which its ε raises the scope's running maximum —
+    /// checked against the hard cap *before* the fit runs.
+    ///
+    /// # Errors
+    /// * [`FmError::InvalidConfig`] when `label` was already fitted in
+    ///   this scope (overlapping shards — parallel composition is
+    ///   unsound; use sequential [`PrivacySession::fit`] instead).
+    /// * [`FmError::Privacy`] for malformed (ε, δ) metadata or an
+    ///   exhausted budget (nothing is committed and the fit is not run).
+    /// * Whatever the estimator's own fit returns.
+    pub fn fit_shard<E, R>(
+        &mut self,
+        label: &str,
+        estimator: &E,
+        shard: &Dataset,
+        rng: &mut R,
+    ) -> Result<E::Model>
+    where
+        E: DpEstimator + ?Sized,
+        R: Rng,
+    {
+        self.debit_shard(label, estimator)?;
+        estimator.fit(shard, rng)
+    }
+
+    /// As [`ParallelFits::fit_shard`], over a streaming [`RowSource`].
+    ///
+    /// # Errors
+    /// As [`ParallelFits::fit_shard`], plus transport errors.
+    pub fn fit_shard_stream<E, R>(
+        &mut self,
+        label: &str,
+        estimator: &E,
+        shard: &mut dyn RowSource,
+        rng: &mut R,
+    ) -> Result<E::Model>
+    where
+        E: DpEstimator + ?Sized,
+        R: Rng,
+    {
+        self.debit_shard(label, estimator)?;
+        estimator.fit_stream(shard, rng)
+    }
+
+    /// The scope's running `(max ε, max δ)` — what closing it will record.
+    #[must_use]
+    pub fn composed(&self) -> (f64, f64) {
+        (self.max_epsilon, self.max_delta)
+    }
+
+    /// Number of shard fits recorded in this scope.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Closes the scope, committing its `(max ε, max δ)` ledger entry
+    /// (a no-op scope with no private shard fits records nothing).
+    pub fn finish(mut self) {
+        self.commit();
+    }
+
+    fn debit_shard<E: DpEstimator + ?Sized>(&mut self, label: &str, estimator: &E) -> Result<()> {
+        let Some(epsilon) = estimator.epsilon() else {
+            return Ok(()); // non-private: no debit, no disjointness claim
+        };
+        if self.labels.iter().any(|l| l == label) {
+            return Err(FmError::InvalidConfig {
+                name: "shard",
+                reason: format!(
+                    "shard `{label}` was already fitted in this parallel-composition scope; \
+                     overlapping shards must compose sequentially"
+                ),
+            });
+        }
+        // Validate the full (ε, δ) pair before committing anywhere.
+        let entry = fm_privacy::budget::EpsDeltaEntry::validated(
+            epsilon,
+            estimator.delta().unwrap_or(0.0),
+        )?;
+        // Incremental max: only the *increase* over the running maximum is
+        // new spending under parallel composition.
+        let increment = (epsilon - self.max_epsilon).max(0.0);
+        if increment > 0.0 {
+            if let Some(budget) = &mut self.session.budget {
+                budget.spend(increment)?;
+            }
+        }
+        self.max_epsilon = self.max_epsilon.max(epsilon);
+        self.max_delta = self.max_delta.max(entry.delta);
+        self.labels.push(label.to_string());
+        Ok(())
+    }
+
+    fn commit(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        if self.labels.is_empty() {
+            return;
+        }
+        if let Ok(entry) =
+            fm_privacy::budget::EpsDeltaEntry::validated(self.max_epsilon, self.max_delta)
+        {
+            self.session.ledger.record_entry(entry);
+            self.session.fits += 1;
+        }
+    }
+}
+
+impl Drop for ParallelFits<'_> {
+    fn drop(&mut self) {
+        self.commit();
     }
 }
 
@@ -312,6 +555,111 @@ mod tests {
         session.fit(&est, &data, &mut r).unwrap();
         assert!(!session.can_fit(&est), "0.4 left < 0.6 asked");
         assert!(session.can_fit(&Free), "non-private is never refused");
+    }
+
+    #[test]
+    fn parallel_scope_debits_max_not_sum() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 3_000, 2, 0.1);
+        let idx: Vec<usize> = (0..data.n()).collect();
+        let shards = [
+            data.subset(&idx[..1_000]).unwrap(),
+            data.subset(&idx[1_000..2_000]).unwrap(),
+            data.subset(&idx[2_000..]).unwrap(),
+        ];
+        let small = DpLinearRegression::builder().epsilon(0.3).build();
+        let large = DpLinearRegression::builder().epsilon(0.5).build();
+
+        let mut session = PrivacySession::with_budget(1.0).unwrap();
+        let mut scope = session.parallel_fits();
+        scope.fit_shard("a", &small, &shards[0], &mut r).unwrap();
+        scope.fit_shard("b", &large, &shards[1], &mut r).unwrap();
+        scope.fit_shard("c", &small, &shards[2], &mut r).unwrap();
+        assert_eq!(scope.num_shards(), 3);
+        assert_eq!(scope.composed(), (0.5, 0.0));
+        scope.finish();
+
+        // One release at max(ε) = 0.5, not Σε = 1.1 (which would overdraw
+        // the 1.0 cap).
+        assert_eq!(session.num_fits(), 1);
+        assert!((session.spent_epsilon() - 0.5).abs() < 1e-12);
+        assert!((session.remaining_epsilon().unwrap() - 0.5).abs() < 1e-12);
+        let report = session.report(1e-6).unwrap();
+        assert!((report.basic.0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_scope_refuses_overlapping_shards() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 500, 2, 0.1);
+        let est = DpLinearRegression::builder().epsilon(0.2).build();
+        let mut session = PrivacySession::new();
+        let mut scope = session.parallel_fits();
+        scope.fit_shard("east", &est, &data, &mut r).unwrap();
+        // Touching the same shard again breaks disjointness: refused
+        // before the mechanism runs, nothing additional debited.
+        let err = scope.fit_shard("east", &est, &data, &mut r).unwrap_err();
+        assert!(matches!(err, FmError::InvalidConfig { .. }), "{err}");
+        assert_eq!(scope.num_shards(), 1);
+        scope.finish();
+        assert!((session.spent_epsilon() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_scope_commits_on_drop_and_respects_the_cap() {
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 500, 2, 0.1);
+        let est = DpLinearRegression::builder().epsilon(0.6).build();
+        let over = DpLinearRegression::builder().epsilon(0.9).build();
+        let mut session = PrivacySession::with_budget(0.7).unwrap();
+        {
+            let mut scope = session.parallel_fits();
+            scope.fit_shard("a", &est, &data, &mut r).unwrap();
+            // Raising the max to 0.9 needs 0.3 more than the 0.1 left:
+            // refused before running, scope keeps its 0.6 max.
+            assert!(scope.fit_shard("b", &over, &data, &mut r).is_err());
+            // Dropped without finish(): the ledger entry must still land.
+        }
+        assert_eq!(session.num_fits(), 1);
+        assert!((session.spent_epsilon() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_disjoint_shards_releases_one_model_per_shard() {
+        use fm_data::stream::InMemorySource;
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 3_000, 2, 0.1);
+        let idx: Vec<usize> = (0..data.n()).collect();
+        let parts = [
+            data.subset(&idx[..1_500]).unwrap(),
+            data.subset(&idx[1_500..]).unwrap(),
+        ];
+        let mut shards: Vec<InMemorySource> = parts.iter().map(InMemorySource::new).collect();
+        let est = DpLinearRegression::builder().epsilon(0.4).build();
+        let mut session = PrivacySession::with_budget(0.5).unwrap();
+        let models = session
+            .fit_disjoint_shards(&est, &mut shards, &mut r)
+            .unwrap();
+        assert_eq!(models.len(), 2);
+        assert!((session.spent_epsilon() - 0.4).abs() < 1e-12);
+        assert_eq!(session.num_fits(), 1);
+    }
+
+    #[test]
+    fn session_fit_stream_debits_like_fit() {
+        use fm_data::stream::InMemorySource;
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 2_000, 2, 0.1);
+        let est = DpLinearRegression::builder().epsilon(0.3).build();
+        let mut session = PrivacySession::with_budget(0.5).unwrap();
+        session
+            .fit_stream(&est, &mut InMemorySource::new(&data), &mut r)
+            .unwrap();
+        assert!((session.spent_epsilon() - 0.3).abs() < 1e-12);
+        // Second stream fit would overdraw: refused before touching data.
+        assert!(session
+            .fit_stream(&est, &mut InMemorySource::new(&data), &mut r)
+            .is_err());
     }
 
     #[test]

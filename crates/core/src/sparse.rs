@@ -35,8 +35,10 @@ use rand::{Rng, RngCore};
 
 use fm_data::Dataset;
 
+use fm_data::stream::RowSource as _;
+
 use crate::estimator::{DpEstimator, FitConfig};
-use crate::generic::{GeneralObjective, GenericFunctionalMechanism};
+use crate::generic::{GeneralObjective, GenericFunctionalMechanism, PolynomialAccumulator};
 use crate::mechanism::NoiseDistribution;
 use crate::model::{ModelKind, PersistableModel};
 use crate::postprocess::{self, Strategy};
@@ -147,6 +149,61 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
     /// * [`FmError::ResampleExhausted`] / [`FmError::Optim`] when the
     ///   configured strategy cannot produce a bounded objective.
     pub fn fit(&self, data: &Dataset, rng: &mut impl Rng) -> Result<O::Model> {
+        self.refuse_gaussian()?;
+        let aug;
+        let work: &Dataset = if self.config.fit_intercept {
+            aug = data.augment_for_intercept();
+            &aug
+        } else {
+            data
+        };
+        self.objective.validate(work).map_err(FmError::Data)?;
+        let clean = self.objective.assemble(work);
+        let omega_raw = self.release(&clean, rng)?;
+        Ok(self.finish(omega_raw, Some(self.config.epsilon)))
+    }
+
+    /// Fits a private model from a streaming
+    /// [`fm_data::stream::RowSource`] — the general-degree counterpart of
+    /// [`crate::estimator::FmEstimator::fit_stream`]: blocks are validated
+    /// and accumulated into a [`PolynomialAccumulator`] as they arrive,
+    /// then the mechanism runs once over the assembled coefficients.
+    /// Bit-identical released weights to [`SparseFmEstimator::fit`] on the
+    /// materialized data at the same seed, for any block sizing or shard
+    /// split.
+    ///
+    /// # Errors
+    /// As [`SparseFmEstimator::fit`], plus transport errors from the
+    /// source.
+    pub fn fit_stream(
+        &self,
+        source: &mut (impl fm_data::stream::RowSource + ?Sized),
+        rng: &mut impl Rng,
+    ) -> Result<O::Model> {
+        let mut partial = self.partial_fit()?;
+        partial.absorb(source)?;
+        partial.finalize(rng)
+    }
+
+    /// Begins a two-phase shard-at-a-time fit over the general-degree
+    /// objective; see [`crate::estimator::FmEstimator::partial_fit`] for
+    /// the protocol. The Gaussian refusal happens here, *before* any data
+    /// is absorbed.
+    ///
+    /// # Errors
+    /// [`FmError::InvalidConfig`] for Gaussian noise (no Δ₂ at general
+    /// degree).
+    pub fn partial_fit(&self) -> Result<SparsePartialFit<'_, O>> {
+        self.refuse_gaussian()?;
+        Ok(SparsePartialFit {
+            estimator: self,
+            acc: None,
+            chunk_rows: crate::assembly::DEFAULT_CHUNK_ROWS,
+        })
+    }
+
+    /// The Laplace-only guard every fitting entry point shares.
+    fn refuse_gaussian(&self) -> Result<()> {
         if !matches!(self.config.noise, NoiseDistribution::Laplace) {
             return Err(FmError::InvalidConfig {
                 name: "noise",
@@ -155,15 +212,18 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
                     .to_string(),
             });
         }
-        let aug;
-        let work: &Dataset = if self.config.fit_intercept {
-            aug = data.augment_for_intercept();
-            &aug
-        } else {
-            data
-        };
-        let start = vec![0.0; work.d()];
-        let omega_raw = match self.config.strategy {
+        Ok(())
+    }
+
+    /// The post-assembly half of the pipeline, shared by the in-memory and
+    /// streaming entry points: perturb the already-assembled polynomial
+    /// per the §6-style strategy. The Lemma-5 resample loop re-perturbs
+    /// the same clean coefficients per attempt — assembly is
+    /// deterministic, so the noise stream matches the per-attempt
+    /// re-assembly it replaces.
+    fn release(&self, clean: &fm_poly::Polynomial, rng: &mut impl Rng) -> Result<Vec<f64>> {
+        let start = vec![0.0; clean.num_vars()];
+        match self.config.strategy {
             Strategy::Resample { max_attempts } => {
                 if max_attempts == 0 {
                     return Err(FmError::InvalidConfig {
@@ -175,19 +235,15 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
                 // total honours the 2× repetition cost — identical
                 // accounting to the degree-2 pipeline.
                 let fm = GenericFunctionalMechanism::new(self.config.epsilon / 2.0)?;
-                let mut found = None;
                 for _ in 0..max_attempts {
-                    let noisy = fm.perturb(work, &self.objective, rng)?;
+                    let noisy = fm.perturb_assembled(clean, &self.objective, rng)?;
                     match postprocess::solve_polynomial(
                         noisy,
                         Strategy::FailIfUnbounded,
                         &start,
                         self.radius,
                     ) {
-                        Ok(omega) => {
-                            found = Some(omega);
-                            break;
-                        }
+                        Ok(omega) => return Ok(omega),
                         Err(FmError::Optim(
                             fm_optim::OptimError::UnboundedObjective
                             | fm_optim::OptimError::NonFiniteObjective,
@@ -195,17 +251,16 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
                         Err(e) => return Err(e),
                     }
                 }
-                found.ok_or(FmError::ResampleExhausted {
+                Err(FmError::ResampleExhausted {
                     attempts: max_attempts,
-                })?
+                })
             }
             other => {
                 let fm = GenericFunctionalMechanism::new(self.config.epsilon)?;
-                let noisy = fm.perturb(work, &self.objective, rng)?;
-                postprocess::solve_polynomial(noisy, other, &start, self.radius)?
+                let noisy = fm.perturb_assembled(clean, &self.objective, rng)?;
+                postprocess::solve_polynomial(noisy, other, &start, self.radius)
             }
-        };
-        Ok(self.finish(omega_raw, Some(self.config.epsilon)))
+        }
     }
 
     /// Fits the *non-private* minimiser of the exact polynomial objective
@@ -225,8 +280,7 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
         };
         self.objective.validate(work).map_err(FmError::Data)?;
         let clean = self.objective.assemble(work);
-        let omega =
-            crate::generic::minimize_polynomial(&clean, &vec![0.0; work.d()], self.radius)?;
+        let omega = crate::generic::minimize_polynomial(&clean, &vec![0.0; work.d()], self.radius)?;
         Ok(self.finish(omega, None))
     }
 
@@ -242,11 +296,106 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
     }
 }
 
+/// An in-progress shard-at-a-time fit over a general-degree objective
+/// (see [`SparseFmEstimator::partial_fit`]): the sparse sibling of
+/// [`crate::estimator::PartialFit`], holding a [`PolynomialAccumulator`]
+/// and applying the footnote-2 intercept augmentation per block.
+pub struct SparsePartialFit<'a, O: SparseRegressionObjective> {
+    estimator: &'a SparseFmEstimator<O>,
+    acc: Option<PolynomialAccumulator<'a, O>>,
+    chunk_rows: usize,
+}
+
+impl<'a, O: SparseRegressionObjective> SparsePartialFit<'a, O> {
+    /// Overrides the accumulation chunk size — the out-of-core memory
+    /// cap, exactly as [`crate::estimator::PartialFit::chunk_rows`]: set
+    /// it before absorbing data (silently ignored afterwards); the
+    /// default size is bit-identical to [`SparseFmEstimator::fit`].
+    #[must_use]
+    pub fn chunk_rows(mut self, chunk_rows: usize) -> Self {
+        debug_assert!(
+            self.acc.is_none(),
+            "set the chunk size before absorbing data"
+        );
+        if self.acc.is_none() {
+            self.chunk_rows = chunk_rows.max(1);
+        }
+        self
+    }
+
+    fn accumulator(&mut self, work_d: usize) -> Result<&mut PolynomialAccumulator<'a, O>> {
+        let estimator: &'a SparseFmEstimator<O> = self.estimator;
+        let chunk_rows = self.chunk_rows;
+        let acc = self.acc.get_or_insert_with(|| {
+            PolynomialAccumulator::with_chunk_rows(&estimator.objective, work_d, chunk_rows)
+        });
+        if acc.dim() != work_d {
+            return Err(FmError::Data(fm_data::DataError::InvalidParameter {
+                name: "shard",
+                reason: format!(
+                    "shard has working dimensionality {work_d}, earlier shards had {}",
+                    acc.dim()
+                ),
+            }));
+        }
+        Ok(acc)
+    }
+
+    /// Absorbs one shard (drains `source`); returns its row count.
+    ///
+    /// # Errors
+    /// [`FmError::Data`] for dimensionality mismatches, contract
+    /// violations, or transport errors.
+    pub fn absorb(
+        &mut self,
+        source: &mut (impl fm_data::stream::RowSource + ?Sized),
+    ) -> Result<usize> {
+        if self.estimator.config.fit_intercept {
+            let mut aug = fm_data::stream::InterceptAugmentSource(source);
+            let work_d = aug.dim();
+            self.accumulator(work_d)?.absorb(&mut aug)
+        } else {
+            let work_d = source.dim();
+            self.accumulator(work_d)?.absorb(source)
+        }
+    }
+
+    /// Total rows absorbed so far.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.acc.as_ref().map_or(0, PolynomialAccumulator::rows)
+    }
+
+    /// Runs the mechanism over the accumulated polynomial and wraps the
+    /// released weights.
+    ///
+    /// # Errors
+    /// [`FmError::Data`] ([`fm_data::DataError::EmptyDataset`]) when
+    /// nothing was absorbed; otherwise as [`SparseFmEstimator::fit`].
+    pub fn finalize(self, rng: &mut impl Rng) -> Result<O::Model> {
+        let SparsePartialFit { estimator, acc, .. } = self;
+        let clean = acc
+            .filter(|a| a.rows() > 0)
+            .and_then(PolynomialAccumulator::finish)
+            .ok_or(FmError::Data(fm_data::DataError::EmptyDataset))?;
+        let omega_raw = estimator.release(&clean, rng)?;
+        Ok(estimator.finish(omega_raw, Some(estimator.config.epsilon)))
+    }
+}
+
 impl<O: SparseRegressionObjective> DpEstimator for SparseFmEstimator<O> {
     type Model = O::Model;
 
     fn fit(&self, data: &Dataset, mut rng: &mut dyn RngCore) -> Result<O::Model> {
         SparseFmEstimator::fit(self, data, &mut rng)
+    }
+
+    fn fit_stream(
+        &self,
+        source: &mut dyn fm_data::stream::RowSource,
+        mut rng: &mut dyn RngCore,
+    ) -> Result<O::Model> {
+        SparseFmEstimator::fit_stream(self, source, &mut rng)
     }
 
     fn epsilon(&self) -> Option<f64> {
@@ -298,6 +447,54 @@ mod tests {
             .unwrap();
 
         assert_eq!(unified.weights(), manual.as_slice());
+    }
+
+    #[test]
+    fn fit_stream_is_bit_identical_to_fit() {
+        use fm_data::stream::InMemorySource;
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 3_000, 2, 0.05);
+        for strategy in [
+            Strategy::FailIfUnbounded,
+            Strategy::Resample { max_attempts: 8 },
+        ] {
+            let est = SparseFmEstimator::new(
+                QuarticObjective,
+                FitConfig::new().epsilon(64.0).strategy(strategy),
+            );
+            let mut r1 = rand::rngs::StdRng::seed_from_u64(77);
+            let in_memory = est.fit(&data, &mut r1).unwrap();
+            let mut r2 = rand::rngs::StdRng::seed_from_u64(77);
+            let streamed = est
+                .fit_stream(&mut InMemorySource::new(&data), &mut r2)
+                .unwrap();
+            assert_eq!(in_memory, streamed, "{strategy:?}");
+        }
+        // partial_fit across a shard split matches too.
+        let est = SparseFmEstimator::new(QuarticObjective, FitConfig::new().epsilon(64.0));
+        let idx: Vec<usize> = (0..data.n()).collect();
+        let shards = [
+            data.subset(&idx[..1_111]).unwrap(),
+            data.subset(&idx[1_111..]).unwrap(),
+        ];
+        let mut partial = est.partial_fit().unwrap();
+        for s in &shards {
+            partial.absorb(&mut InMemorySource::new(s)).unwrap();
+        }
+        assert_eq!(partial.rows(), data.n());
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(78);
+        let sharded = partial.finalize(&mut r1).unwrap();
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(78);
+        let whole = est.fit(&data, &mut r2).unwrap();
+        assert_eq!(sharded, whole);
+        // Gaussian is refused before any data is absorbed.
+        let gauss = SparseFmEstimator::new(
+            QuarticObjective,
+            FitConfig::new()
+                .epsilon(0.5)
+                .noise(NoiseDistribution::Gaussian { delta: 1e-6 }),
+        );
+        assert!(gauss.partial_fit().is_err());
     }
 
     #[test]

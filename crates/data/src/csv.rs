@@ -84,24 +84,7 @@ pub fn read_dataset_from(r: impl Read) -> Result<Dataset> {
         if line.trim().is_empty() {
             continue;
         }
-        let values: Vec<&str> = line.split(',').collect();
-        if values.len() != d + 1 {
-            return Err(DataError::Parse {
-                line: lineno + 2,
-                detail: format!("expected {} fields, found {}", d + 1, values.len()),
-            });
-        }
-        for (col, v) in values.iter().enumerate() {
-            let parsed: f64 = v.trim().parse().map_err(|_| DataError::Parse {
-                line: lineno + 2,
-                detail: format!("`{v}` is not a number"),
-            })?;
-            if col < d {
-                data.push(parsed);
-            } else {
-                y.push(parsed);
-            }
-        }
+        y.push(parse_numeric_row(&line, d, lineno + 2, &mut data)?);
     }
     let n = y.len();
     if n == 0 {
@@ -109,6 +92,57 @@ pub fn read_dataset_from(r: impl Read) -> Result<Dataset> {
     }
     let x = Matrix::from_vec(n, d, data)?;
     Dataset::with_names(x, y, names)
+}
+
+/// Parses one data line of the CSV dialect (`d` feature fields then the
+/// label), appending the features to `xs` and returning the label — shared
+/// by the materializing reader above and the streaming
+/// [`crate::stream::CsvStreamSource`], so the two can never drift on
+/// dialect details. `lineno` is the 1-based file line for error reporting.
+pub(crate) fn parse_numeric_row(
+    line: &str,
+    d: usize,
+    lineno: usize,
+    xs: &mut Vec<f64>,
+) -> Result<f64> {
+    // Single pass: parse-while-counting (this is the streaming reader's
+    // hot loop — a separate field-count scan would read every line
+    // twice). On any error the partial row is rolled back so callers
+    // keep a consistent buffer.
+    let start = xs.len();
+    let mut label = 0.0;
+    let mut fields = 0usize;
+    let mut it = line.split(',');
+    for v in it.by_ref() {
+        if fields == d + 1 {
+            let total = fields + 1 + it.count();
+            xs.truncate(start);
+            return Err(DataError::Parse {
+                line: lineno,
+                detail: format!("expected {} fields, found {total}", d + 1),
+            });
+        }
+        match v.trim().parse::<f64>() {
+            Ok(parsed) if fields < d => xs.push(parsed),
+            Ok(parsed) => label = parsed,
+            Err(_) => {
+                xs.truncate(start);
+                return Err(DataError::Parse {
+                    line: lineno,
+                    detail: format!("`{v}` is not a number"),
+                });
+            }
+        }
+        fields += 1;
+    }
+    if fields != d + 1 {
+        xs.truncate(start);
+        return Err(DataError::Parse {
+            line: lineno,
+            detail: format!("expected {} fields, found {fields}", d + 1),
+        });
+    }
+    Ok(label)
 }
 
 #[cfg(test)]

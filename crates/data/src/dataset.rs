@@ -232,20 +232,7 @@ impl Dataset {
     /// # Errors
     /// [`DataError::NotNormalized`] naming the first violating tuple.
     pub fn check_normalized_linear(&self) -> Result<()> {
-        for (i, (x, y)) in self.tuples().enumerate() {
-            let norm = vecops::norm2(x);
-            if !norm.is_finite() || norm > 1.0 + NORM_TOL {
-                return Err(DataError::NotNormalized {
-                    detail: format!("‖x_{i}‖₂ = {norm} > 1"),
-                });
-            }
-            if !(-1.0 - NORM_TOL..=1.0 + NORM_TOL).contains(&y) {
-                return Err(DataError::NotNormalized {
-                    detail: format!("y_{i} = {y} outside [−1, 1]"),
-                });
-            }
-        }
-        Ok(())
+        check_rows_normalized_linear(self.x.as_slice(), &self.y, self.d())
     }
 
     /// Verifies the logistic-regression input contract: `‖x_i‖₂ ≤ 1` and
@@ -254,20 +241,7 @@ impl Dataset {
     /// # Errors
     /// [`DataError::NotNormalized`] naming the first violating tuple.
     pub fn check_normalized_logistic(&self) -> Result<()> {
-        for (i, (x, y)) in self.tuples().enumerate() {
-            let norm = vecops::norm2(x);
-            if !norm.is_finite() || norm > 1.0 + NORM_TOL {
-                return Err(DataError::NotNormalized {
-                    detail: format!("‖x_{i}‖₂ = {norm} > 1"),
-                });
-            }
-            if y != 0.0 && y != 1.0 {
-                return Err(DataError::NotNormalized {
-                    detail: format!("y_{i} = {y} not in {{0, 1}}"),
-                });
-            }
-        }
-        Ok(())
+        check_rows_normalized_logistic(self.x.as_slice(), &self.y, self.d())
     }
 
     /// Verifies the count-regression (Poisson) input contract:
@@ -278,26 +252,7 @@ impl Dataset {
     /// [`DataError::NotNormalized`] naming the first violating tuple, or
     /// [`DataError::InvalidParameter`] for a non-positive/non-finite cap.
     pub fn check_normalized_counts(&self, y_max: f64) -> Result<()> {
-        if !y_max.is_finite() || y_max <= 0.0 {
-            return Err(DataError::InvalidParameter {
-                name: "y_max",
-                reason: format!("{y_max} must be finite and > 0"),
-            });
-        }
-        for (i, (x, y)) in self.tuples().enumerate() {
-            let norm = vecops::norm2(x);
-            if !norm.is_finite() || norm > 1.0 + NORM_TOL {
-                return Err(DataError::NotNormalized {
-                    detail: format!("‖x_{i}‖₂ = {norm} > 1"),
-                });
-            }
-            if !(0.0..=y_max + NORM_TOL).contains(&y) {
-                return Err(DataError::NotNormalized {
-                    detail: format!("y_{i} = {y} outside [0, {y_max}]"),
-                });
-            }
-        }
-        Ok(())
+        check_rows_normalized_counts(self.x.as_slice(), &self.y, self.d(), y_max)
     }
 
     /// The maximum `‖x_i‖₂` over all tuples (diagnostics).
@@ -335,6 +290,85 @@ impl Dataset {
         Dataset::with_names(x, self.y.clone(), names)
             .expect("augmented shapes are valid by construction")
     }
+}
+
+/// Verifies the linear-regression contract (`‖x_i‖₂ ≤ 1`, `y_i ∈ [−1, 1]`,
+/// Definition 1) over a row-major `k × d` block — the per-block form
+/// streaming ingestion validates without materializing a [`Dataset`].
+/// Tuple indices in error messages are block-local.
+///
+/// # Errors
+/// [`DataError::NotNormalized`] naming the first violating tuple.
+pub fn check_rows_normalized_linear(xs: &[f64], ys: &[f64], d: usize) -> Result<()> {
+    debug_assert_eq!(xs.len(), ys.len() * d.max(1), "block shape mismatch");
+    for (i, (x, &y)) in xs.chunks_exact(d).zip(ys).enumerate() {
+        let norm = vecops::norm2(x);
+        if !norm.is_finite() || norm > 1.0 + NORM_TOL {
+            return Err(DataError::NotNormalized {
+                detail: format!("‖x_{i}‖₂ = {norm} > 1"),
+            });
+        }
+        if !(-1.0 - NORM_TOL..=1.0 + NORM_TOL).contains(&y) {
+            return Err(DataError::NotNormalized {
+                detail: format!("y_{i} = {y} outside [−1, 1]"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Verifies the logistic-regression contract (`‖x_i‖₂ ≤ 1`, `y_i ∈ {0, 1}`,
+/// Definition 2) over a row-major block; see
+/// [`check_rows_normalized_linear`].
+///
+/// # Errors
+/// [`DataError::NotNormalized`] naming the first violating tuple.
+pub fn check_rows_normalized_logistic(xs: &[f64], ys: &[f64], d: usize) -> Result<()> {
+    debug_assert_eq!(xs.len(), ys.len() * d.max(1), "block shape mismatch");
+    for (i, (x, &y)) in xs.chunks_exact(d).zip(ys).enumerate() {
+        let norm = vecops::norm2(x);
+        if !norm.is_finite() || norm > 1.0 + NORM_TOL {
+            return Err(DataError::NotNormalized {
+                detail: format!("‖x_{i}‖₂ = {norm} > 1"),
+            });
+        }
+        if y != 0.0 && y != 1.0 {
+            return Err(DataError::NotNormalized {
+                detail: format!("y_{i} = {y} not in {{0, 1}}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Verifies the bounded-count contract (`‖x_i‖₂ ≤ 1`, `y_i ∈ [0, y_max]`)
+/// over a row-major block; see [`check_rows_normalized_linear`].
+///
+/// # Errors
+/// [`DataError::NotNormalized`] naming the first violating tuple, or
+/// [`DataError::InvalidParameter`] for a non-positive/non-finite cap.
+pub fn check_rows_normalized_counts(xs: &[f64], ys: &[f64], d: usize, y_max: f64) -> Result<()> {
+    if !y_max.is_finite() || y_max <= 0.0 {
+        return Err(DataError::InvalidParameter {
+            name: "y_max",
+            reason: format!("{y_max} must be finite and > 0"),
+        });
+    }
+    debug_assert_eq!(xs.len(), ys.len() * d.max(1), "block shape mismatch");
+    for (i, (x, &y)) in xs.chunks_exact(d).zip(ys).enumerate() {
+        let norm = vecops::norm2(x);
+        if !norm.is_finite() || norm > 1.0 + NORM_TOL {
+            return Err(DataError::NotNormalized {
+                detail: format!("‖x_{i}‖₂ = {norm} > 1"),
+            });
+        }
+        if !(0.0..=y_max + NORM_TOL).contains(&y) {
+            return Err(DataError::NotNormalized {
+                detail: format!("y_{i} = {y} outside [0, {y_max}]"),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -28,6 +28,14 @@
 //! * [`metrics`] — mean squared error and misclassification rate, the
 //!   paper's two accuracy measures.
 //! * [`csv`] — plain-text persistence for datasets and experiment output.
+//! * [`stream`] — **streaming ingestion**: the [`stream::RowSource`]
+//!   trait yields the logical dataset as bounded [`stream::RowBlock`]s,
+//!   with [`stream::InMemorySource`] wrapping a [`Dataset`],
+//!   [`stream::CsvStreamSource`] reading/normalizing/clamping CSV rows
+//!   without materializing the file, and [`stream::ShardedSource`]
+//!   concatenating disjoint shards — the surface `fm-core`'s
+//!   `fit_stream`/`partial_fit` entry points consume to run Algorithm 1
+//!   out-of-core.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -40,6 +48,7 @@ pub mod metrics;
 pub mod normalize;
 pub mod sampling;
 pub mod schema;
+pub mod stream;
 pub mod synth;
 
 mod error;

@@ -156,6 +156,33 @@ impl Normalizer {
         2.0 * (y_raw.clamp(lo, hi) - lo) / (hi - lo) - 1.0
     }
 
+    /// Applies the footnote-1 feature map to a single raw row, appending
+    /// the `d` normalized coordinates to `out` — the per-row form streaming
+    /// ingestion uses so a CSV never has to be materialized before
+    /// normalization. Values are clamped to their declared domains first,
+    /// exactly as [`Normalizer::normalize_linear`] does; the arithmetic is
+    /// identical operation for operation, so a streamed row is
+    /// **bit-identical** to the same row of the matrix path.
+    ///
+    /// # Errors
+    /// [`DataError::InvalidParameter`] when `raw.len()` differs from the
+    /// normalizer's feature count.
+    pub fn normalize_features_row(&self, raw: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        let d = self.d();
+        if raw.len() != d {
+            return Err(DataError::InvalidParameter {
+                name: "row",
+                reason: format!("row has {} features, normalizer expects {d}", raw.len()),
+            });
+        }
+        let sqrt_d = (d as f64).sqrt();
+        out.reserve(d);
+        for (&v, &(lo, hi)) in raw.iter().zip(&self.feature_bounds) {
+            out.push((v.clamp(lo, hi) - lo) / ((hi - lo) * sqrt_d));
+        }
+        Ok(())
+    }
+
     fn normalize_features(&self, raw: &Dataset) -> Result<Matrix> {
         let d = self.d();
         if raw.d() != d {

@@ -1,0 +1,699 @@
+//! Streaming row ingestion: [`RowSource`] and friends.
+//!
+//! The Functional Mechanism's only interaction with data is the one-pass
+//! accumulation of polynomial coefficients (Algorithm 1) — a sum over
+//! tuples that never needs the dataset in memory. This module provides the
+//! ingestion surface that matches that shape: a [`RowSource`] yields the
+//! logical dataset as a sequence of bounded [`RowBlock`]s, so a fit can
+//! run out-of-core (CSV files larger than RAM via [`CsvStreamSource`]),
+//! across shards ([`ShardedSource`], or shard-at-a-time through the
+//! estimators' `partial_fit` API in `fm-core`), or over a plain
+//! materialized [`Dataset`] ([`InMemorySource`]) — all through one trait.
+//!
+//! Sources are *transport*, not semantics: the chunking a source happens
+//! to deliver never influences results. `fm-core`'s streaming accumulator
+//! re-chunks every stream to its own fixed chunk size, so the released
+//! coefficients are bit-identical for any block sizing or shard split (the
+//! facade's `tests/streaming_equivalence.rs` pins this).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Lines, Read};
+use std::path::Path;
+
+use fm_linalg::Matrix;
+
+use crate::csv::parse_numeric_row;
+use crate::dataset::Dataset;
+use crate::normalize::Normalizer;
+use crate::{DataError, Result};
+
+/// A bounded, owned block of rows: the unit a [`RowSource`] yields.
+///
+/// `xs` is a row-major `rows × d` feature block, `ys` the matching labels.
+/// Blocks are plain data — validation against an objective's normalized-
+/// domain contract happens where they are consumed (see
+/// `fm_data::dataset::check_rows_normalized_linear` and friends).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowBlock {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    d: usize,
+}
+
+impl RowBlock {
+    /// Builds a block from a row-major feature buffer and labels.
+    ///
+    /// # Errors
+    /// * [`DataError::InvalidParameter`] for `d = 0`.
+    /// * [`DataError::LengthMismatch`] unless `xs.len() == ys.len()·d`.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>, d: usize) -> Result<Self> {
+        if d == 0 {
+            return Err(DataError::InvalidParameter {
+                name: "d",
+                reason: "a row block needs at least one feature column".to_string(),
+            });
+        }
+        if xs.len() != ys.len() * d {
+            return Err(DataError::LengthMismatch {
+                rows: xs.len() / d,
+                labels: ys.len(),
+            });
+        }
+        Ok(RowBlock { xs, ys, d })
+    }
+
+    /// The row-major `rows × d` feature buffer.
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The labels, one per row.
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The feature dimensionality `d`.
+    #[must_use]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of rows in this block.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// The footnote-2 intercept augmentation of this block: each row maps
+    /// to `(x/√2, 1/√2)` at dimension `d + 1`, operation-for-operation the
+    /// same arithmetic as [`Dataset::augment_for_intercept`], so a
+    /// streamed fit with an intercept stays **bit-identical** to the
+    /// in-memory one.
+    #[must_use]
+    pub fn augment_for_intercept(&self) -> RowBlock {
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        let d = self.d;
+        let mut xs = Vec::with_capacity(self.rows() * (d + 1));
+        for row in self.xs.chunks_exact(d) {
+            for &v in row {
+                xs.push(v * inv_sqrt2);
+            }
+            xs.push(inv_sqrt2);
+        }
+        RowBlock {
+            xs,
+            ys: self.ys.clone(),
+            d: d + 1,
+        }
+    }
+}
+
+/// An iterator-of-chunks over a logical dataset: the streaming ingestion
+/// trait every fit entry point can consume.
+///
+/// Contract for implementors:
+///
+/// * [`RowSource::next_block`] yields **at most** `max_rows` rows per call
+///   (callers size their staging buffers by it — this is the out-of-core
+///   memory cap), never an empty block, and `None` exactly once the
+///   source is exhausted;
+/// * every yielded block has dimensionality [`RowSource::dim`];
+/// * the concatenation of all yielded blocks, in order, is the logical
+///   dataset.
+///
+/// The trait is dyn-compatible: `&mut dyn RowSource` is what the
+/// estimator-level `fit_stream` entry points accept.
+pub trait RowSource {
+    /// Feature dimensionality `d` of every block this source yields.
+    fn dim(&self) -> usize;
+
+    /// Exact number of rows still to come, when the source knows it
+    /// (in-memory and sharded-in-memory sources do; a CSV stream does
+    /// not). Purely advisory.
+    fn hint_rows(&self) -> Option<usize> {
+        None
+    }
+
+    /// Yields the next block of at most `max_rows.max(1)` rows, or `None`
+    /// once exhausted.
+    ///
+    /// # Errors
+    /// Transport errors — I/O, parse failures — as [`DataError`].
+    fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>>;
+}
+
+impl<S: RowSource + ?Sized> RowSource for &mut S {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn hint_rows(&self) -> Option<usize> {
+        (**self).hint_rows()
+    }
+    fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
+        (**self).next_block(max_rows)
+    }
+}
+
+impl<S: RowSource + ?Sized> RowSource for Box<S> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn hint_rows(&self) -> Option<usize> {
+        (**self).hint_rows()
+    }
+    fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
+        (**self).next_block(max_rows)
+    }
+}
+
+/// A [`RowSource`] over a materialized [`Dataset`]: the adapter that makes
+/// `fit(&Dataset)` a special case of `fit_stream`.
+#[derive(Debug)]
+pub struct InMemorySource<'a> {
+    data: &'a Dataset,
+    pos: usize,
+}
+
+impl<'a> InMemorySource<'a> {
+    /// Streams `data` from its first row.
+    #[must_use]
+    pub fn new(data: &'a Dataset) -> Self {
+        InMemorySource { data, pos: 0 }
+    }
+
+    /// Rewinds to the first row (sources are single-pass; reuse needs an
+    /// explicit reset).
+    pub fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+impl RowSource for InMemorySource<'_> {
+    fn dim(&self) -> usize {
+        self.data.d()
+    }
+
+    fn hint_rows(&self) -> Option<usize> {
+        Some(self.data.n() - self.pos)
+    }
+
+    fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
+        let n = self.data.n();
+        if self.pos >= n {
+            return Ok(None);
+        }
+        let d = self.data.d();
+        let hi = (self.pos + max_rows.max(1)).min(n);
+        let xs = self.data.x().as_slice()[self.pos * d..hi * d].to_vec();
+        let ys = self.data.y()[self.pos..hi].to_vec();
+        self.pos = hi;
+        Ok(Some(RowBlock { xs, ys, d }))
+    }
+}
+
+/// How [`CsvStreamSource`] maps the raw label column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LabelTransform {
+    /// Pass the parsed label through unchanged.
+    Raw,
+    /// The Definition-1 affine map of the label domain onto `[−1, 1]`
+    /// (requires a [`Normalizer`]).
+    Linear,
+    /// Threshold into `{0, 1}` at the given raw-unit cutoff (Definition 2).
+    Binarize {
+        /// Labels strictly above this raw value become `1.0`.
+        threshold: f64,
+    },
+}
+
+/// A [`RowSource`] that reads, normalizes and clamps rows straight out of
+/// a numeric CSV (same dialect as [`crate::csv::read_dataset`]: one header
+/// row, label last) **without materializing the file** — the out-of-core
+/// entry point. Peak memory is one [`RowBlock`] of the caller's requested
+/// size, whatever the file size.
+///
+/// With a [`Normalizer`] attached ([`CsvStreamSource::with_normalizer`]),
+/// each row passes through the paper's footnote-1 feature map (clamp to
+/// the declared domain, then scale into the `1/√d` box) and the chosen
+/// [`LabelTransform`] as it is read — arithmetic identical to the
+/// materialized [`Normalizer::normalize_linear`] path, so streamed and
+/// in-memory pipelines release bit-identical coefficients.
+#[derive(Debug)]
+pub struct CsvStreamSource<R> {
+    lines: Lines<BufReader<R>>,
+    names: Vec<String>,
+    d: usize,
+    /// 1-based line number of the last line read (the header is line 1).
+    line: usize,
+    normalizer: Option<(Normalizer, LabelTransform)>,
+}
+
+impl CsvStreamSource<File> {
+    /// Opens a CSV file for streaming.
+    ///
+    /// # Errors
+    /// [`DataError::Io`] / [`DataError::Parse`] on open or header failure.
+    pub fn open(path: &Path) -> Result<Self> {
+        CsvStreamSource::from_reader(File::open(path)?)
+    }
+}
+
+impl<R: Read> CsvStreamSource<R> {
+    /// Streams CSV rows from any reader; the header row is consumed
+    /// immediately to fix the dimensionality.
+    ///
+    /// # Errors
+    /// [`DataError::Io`] / [`DataError::Parse`] on a missing or too-narrow
+    /// header.
+    pub fn from_reader(r: R) -> Result<Self> {
+        let mut lines = BufReader::new(r).lines();
+        let header = lines.next().ok_or(DataError::Parse {
+            line: 1,
+            detail: "empty file".to_string(),
+        })??;
+        let columns: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+        if columns.len() < 2 {
+            return Err(DataError::Parse {
+                line: 1,
+                detail: "need at least one feature column and a label column".to_string(),
+            });
+        }
+        let d = columns.len() - 1;
+        Ok(CsvStreamSource {
+            lines,
+            names: columns[..d].to_vec(),
+            d,
+            line: 1,
+            normalizer: None,
+        })
+    }
+
+    /// Attaches per-row normalization: footnote-1 feature scaling plus the
+    /// chosen label transform.
+    ///
+    /// # Errors
+    /// [`DataError::InvalidParameter`] when the normalizer's feature count
+    /// differs from the CSV's, or [`LabelTransform::Linear`] is requested —
+    /// it needs the normalizer's label bounds, which are part of it, so
+    /// this can only fail on the arity.
+    pub fn with_normalizer(
+        mut self,
+        normalizer: Normalizer,
+        label: LabelTransform,
+    ) -> Result<Self> {
+        if normalizer.d() != self.d {
+            return Err(DataError::InvalidParameter {
+                name: "normalizer",
+                reason: format!(
+                    "normalizer expects {} features, CSV has {}",
+                    normalizer.d(),
+                    self.d
+                ),
+            });
+        }
+        self.normalizer = Some((normalizer, label));
+        Ok(self)
+    }
+
+    /// The feature names from the header, in column order.
+    #[must_use]
+    pub fn feature_names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+impl<R: Read> RowSource for CsvStreamSource<R> {
+    fn dim(&self) -> usize {
+        self.d
+    }
+
+    fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
+        let want = max_rows.max(1);
+        let d = self.d;
+        let mut raw_row: Vec<f64> = Vec::with_capacity(d);
+        let mut xs = Vec::with_capacity(want * d);
+        let mut ys = Vec::with_capacity(want);
+        while ys.len() < want {
+            let Some(line) = self.lines.next() else { break };
+            let line = line?;
+            self.line += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            raw_row.clear();
+            let y_raw = parse_numeric_row(&line, d, self.line, &mut raw_row)?;
+            match &self.normalizer {
+                None => {
+                    xs.extend_from_slice(&raw_row);
+                    ys.push(y_raw);
+                }
+                Some((norm, label)) => {
+                    norm.normalize_features_row(&raw_row, &mut xs)?;
+                    ys.push(match *label {
+                        LabelTransform::Raw => y_raw,
+                        LabelTransform::Linear => norm.normalize_label(y_raw),
+                        LabelTransform::Binarize { threshold } => {
+                            if y_raw > threshold {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        if ys.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(RowBlock { xs, ys, d }))
+        }
+    }
+}
+
+/// A [`RowSource`] that concatenates several sources of equal
+/// dimensionality — disjoint shards presented as one logical dataset.
+/// Blocks are drawn from the shards in order; shard boundaries are
+/// invisible to the consumer (and, because `fm-core`'s accumulator
+/// re-chunks anyway, can never perturb released coefficients).
+#[derive(Debug)]
+pub struct ShardedSource<S> {
+    shards: Vec<S>,
+    current: usize,
+}
+
+impl<S: RowSource> ShardedSource<S> {
+    /// Concatenates `shards`.
+    ///
+    /// # Errors
+    /// [`DataError::InvalidParameter`] for an empty shard list or
+    /// mismatched dimensionalities.
+    pub fn new(shards: Vec<S>) -> Result<Self> {
+        let Some(first) = shards.first() else {
+            return Err(DataError::InvalidParameter {
+                name: "shards",
+                reason: "need at least one shard".to_string(),
+            });
+        };
+        let d = first.dim();
+        if let Some(bad) = shards.iter().position(|s| s.dim() != d) {
+            return Err(DataError::InvalidParameter {
+                name: "shards",
+                reason: format!(
+                    "shard {bad} has dimensionality {}, shard 0 has {d}",
+                    shards[bad].dim()
+                ),
+            });
+        }
+        Ok(ShardedSource { shards, current: 0 })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl<S: RowSource> RowSource for ShardedSource<S> {
+    fn dim(&self) -> usize {
+        self.shards[0].dim()
+    }
+
+    fn hint_rows(&self) -> Option<usize> {
+        self.shards[self.current..]
+            .iter()
+            .map(RowSource::hint_rows)
+            .sum()
+    }
+
+    fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
+        while self.current < self.shards.len() {
+            if let Some(block) = self.shards[self.current].next_block(max_rows)? {
+                return Ok(Some(block));
+            }
+            self.current += 1;
+        }
+        Ok(None)
+    }
+}
+
+/// A [`RowSource`] adapter applying the footnote-2 intercept augmentation
+/// to every block (dimensionality `d + 1`): what `fm-core`'s streaming fit
+/// pipeline wraps a source in when `fit_intercept` is on.
+#[derive(Debug)]
+pub struct InterceptAugmentSource<S>(pub S);
+
+impl<S: RowSource> RowSource for InterceptAugmentSource<S> {
+    fn dim(&self) -> usize {
+        self.0.dim() + 1
+    }
+
+    fn hint_rows(&self) -> Option<usize> {
+        self.0.hint_rows()
+    }
+
+    fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
+        Ok(self
+            .0
+            .next_block(max_rows)?
+            .map(|b| b.augment_for_intercept()))
+    }
+}
+
+/// Rows per block [`materialize`] requests while draining a source.
+const MATERIALIZE_BLOCK_ROWS: usize = 8_192;
+
+/// Drains a source into a materialized [`Dataset`] (default feature
+/// names) — the fallback estimators without a native streaming path use,
+/// and the bridge back from the streaming world for anything that still
+/// needs random access.
+///
+/// # Errors
+/// Transport errors from the source; [`DataError::EmptyDataset`] when the
+/// source yields no rows.
+pub fn materialize<S: RowSource + ?Sized>(source: &mut S) -> Result<Dataset> {
+    let d = source.dim();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    while let Some(block) = source.next_block(MATERIALIZE_BLOCK_ROWS)? {
+        debug_assert_eq!(block.d(), d, "source yielded a block of foreign arity");
+        xs.extend_from_slice(block.xs());
+        ys.extend_from_slice(block.ys());
+    }
+    if ys.is_empty() {
+        return Err(DataError::EmptyDataset);
+    }
+    let x = Matrix::from_vec(ys.len(), d, xs)?;
+    Dataset::new(x, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeKind;
+    use crate::Schema;
+
+    fn small() -> Dataset {
+        let x = Matrix::from_rows(&[
+            &[0.1, 0.2],
+            &[0.3, 0.4],
+            &[0.5, 0.6],
+            &[0.0, -0.1],
+            &[0.2, -0.3],
+        ])
+        .unwrap();
+        Dataset::new(x, vec![1.0, 0.0, 1.0, -0.5, 0.25]).unwrap()
+    }
+
+    #[test]
+    fn row_block_validates_shapes() {
+        assert!(RowBlock::new(vec![1.0, 2.0], vec![0.5], 2).is_ok());
+        assert!(matches!(
+            RowBlock::new(vec![1.0], vec![0.5], 2),
+            Err(DataError::LengthMismatch { .. })
+        ));
+        assert!(RowBlock::new(vec![], vec![], 0).is_err());
+    }
+
+    #[test]
+    fn in_memory_source_streams_every_row_in_order() {
+        let data = small();
+        for max_rows in [1usize, 2, 3, 5, 100] {
+            let mut src = InMemorySource::new(&data);
+            assert_eq!(src.dim(), 2);
+            assert_eq!(src.hint_rows(), Some(5));
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            while let Some(b) = src.next_block(max_rows).unwrap() {
+                assert!(b.rows() <= max_rows && b.rows() > 0);
+                assert_eq!(b.d(), 2);
+                xs.extend_from_slice(b.xs());
+                ys.extend_from_slice(b.ys());
+            }
+            assert_eq!(xs, data.x().as_slice());
+            assert_eq!(ys, data.y());
+            assert_eq!(src.hint_rows(), Some(0));
+            // Exhausted stays exhausted; reset rewinds.
+            assert!(src.next_block(4).unwrap().is_none());
+            src.reset();
+            assert!(src.next_block(4).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn materialize_roundtrips_in_memory() {
+        let data = small();
+        let back = materialize(&mut InMemorySource::new(&data)).unwrap();
+        assert_eq!(back.x().as_slice(), data.x().as_slice());
+        assert_eq!(back.y(), data.y());
+        // Empty source is refused.
+        let mut drained = InMemorySource::new(&data);
+        while drained.next_block(64).unwrap().is_some() {}
+        assert!(matches!(
+            materialize(&mut drained),
+            Err(DataError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn sharded_source_concatenates_in_order() {
+        let data = small();
+        let (a, b) = (
+            data.subset(&[0, 1]).unwrap(),
+            data.subset(&[2, 3, 4]).unwrap(),
+        );
+        let mut sharded =
+            ShardedSource::new(vec![InMemorySource::new(&a), InMemorySource::new(&b)]).unwrap();
+        assert_eq!(sharded.num_shards(), 2);
+        assert_eq!(sharded.hint_rows(), Some(5));
+        let merged = materialize(&mut sharded).unwrap();
+        assert_eq!(merged.x().as_slice(), data.x().as_slice());
+        assert_eq!(merged.y(), data.y());
+    }
+
+    #[test]
+    fn sharded_source_rejects_bad_shards() {
+        assert!(ShardedSource::<InMemorySource>::new(vec![]).is_err());
+        let two = small();
+        let one_col = two.select_features(&["x0"]).unwrap();
+        assert!(ShardedSource::new(vec![
+            InMemorySource::new(&two),
+            InMemorySource::new(&one_col)
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn boxed_dyn_sources_compose() {
+        let data = small();
+        let shards: Vec<Box<dyn RowSource>> = vec![
+            Box::new(InMemorySource::new(&data)),
+            Box::new(InMemorySource::new(&data)),
+        ];
+        let mut sharded = ShardedSource::new(shards).unwrap();
+        assert_eq!(materialize(&mut sharded).unwrap().n(), 10);
+    }
+
+    #[test]
+    fn intercept_augment_matches_dataset_augmentation_bitwise() {
+        let data = small();
+        let aug = data.augment_for_intercept();
+        let mut src = InterceptAugmentSource(InMemorySource::new(&data));
+        assert_eq!(src.dim(), 3);
+        let streamed = materialize(&mut src).unwrap();
+        for (a, b) in streamed.x().as_slice().iter().zip(aug.x().as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(streamed.y(), aug.y());
+    }
+
+    #[test]
+    fn csv_stream_matches_materialized_reader() {
+        let data = small();
+        let mut buf = Vec::new();
+        crate::csv::write_dataset_to(&data, &mut buf).unwrap();
+        let mut src = CsvStreamSource::from_reader(&buf[..]).unwrap();
+        assert_eq!(src.dim(), 2);
+        assert_eq!(src.feature_names(), data.feature_names());
+        let streamed = materialize(&mut src).unwrap();
+        let direct = crate::csv::read_dataset_from(&buf[..]).unwrap();
+        assert_eq!(streamed.x().as_slice(), direct.x().as_slice());
+        assert_eq!(streamed.y(), direct.y());
+    }
+
+    #[test]
+    fn csv_stream_reports_parse_errors_with_line_numbers() {
+        let csv = b"a,b,label\n0.1,0.2,0.3\n\n0.1,broken,0.3\n";
+        let mut src = CsvStreamSource::from_reader(&csv[..]).unwrap();
+        // First block parses the good row; the bad one (file line 4) errors.
+        let got = src.next_block(1).unwrap().unwrap();
+        assert_eq!(got.rows(), 1);
+        match src.next_block(1) {
+            Err(DataError::Parse { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Header failures.
+        assert!(CsvStreamSource::from_reader(&b""[..]).is_err());
+        assert!(CsvStreamSource::from_reader(&b"only\n"[..]).is_err());
+    }
+
+    #[test]
+    fn csv_stream_normalizes_rows_identically_to_the_matrix_path() {
+        let schema = Schema::new()
+            .with("age", AttributeKind::Integer { min: 0, max: 100 })
+            .with("hours", AttributeKind::Integer { min: 0, max: 50 })
+            .with(
+                "income",
+                AttributeKind::Continuous {
+                    min: 0.0,
+                    max: 1000.0,
+                },
+            );
+        let norm = Normalizer::from_schema(&schema, "income").unwrap();
+        let x = Matrix::from_rows(&[&[50.0, 25.0], &[150.0, -10.0], &[0.0, 50.0]]).unwrap();
+        let raw = Dataset::with_names(
+            x,
+            vec![500.0, 2000.0, 0.0],
+            vec!["age".into(), "hours".into()],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        crate::csv::write_dataset_to(&raw, &mut buf).unwrap();
+
+        // Linear label map.
+        let mut src = CsvStreamSource::from_reader(&buf[..])
+            .unwrap()
+            .with_normalizer(norm.clone(), LabelTransform::Linear)
+            .unwrap();
+        let streamed = materialize(&mut src).unwrap();
+        let reference = norm.normalize_linear(&raw).unwrap();
+        for (a, b) in streamed.x().as_slice().iter().zip(reference.x().as_slice()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "feature map must be bit-identical"
+            );
+        }
+        assert_eq!(streamed.y(), reference.y());
+        streamed.check_normalized_linear().unwrap();
+
+        // Binarized label map.
+        let mut src = CsvStreamSource::from_reader(&buf[..])
+            .unwrap()
+            .with_normalizer(norm.clone(), LabelTransform::Binarize { threshold: 400.0 })
+            .unwrap();
+        let streamed = materialize(&mut src).unwrap();
+        let reference = norm.normalize_logistic(&raw, 400.0).unwrap();
+        assert_eq!(streamed.y(), reference.y());
+
+        // Arity mismatch refused up front.
+        let narrow = Normalizer::from_bounds(vec![(0.0, 1.0)], (0.0, 1.0)).unwrap();
+        assert!(CsvStreamSource::from_reader(&buf[..])
+            .unwrap()
+            .with_normalizer(narrow, LabelTransform::Raw)
+            .is_err());
+    }
+}

@@ -22,6 +22,11 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+/// The panel tap handed to [`Matrix::syrk_acc_visit`]: receives each
+/// packed column-major panel (`panel`, then the tuple count `k`; feature
+/// column `j` is `panel[j*k..(j+1)*k]`).
+pub type PanelVisitor<'v> = dyn FnMut(&[f64], usize) + 'v;
+
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     #[must_use]
@@ -417,14 +422,59 @@ impl Matrix {
         SYRK_SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
             scratch.resize(panel_rows * d, 0.0);
-            self.syrk_panels(a, rows, d, panel_rows, &mut scratch);
+            self.syrk_panels(a, rows, d, panel_rows, &mut scratch, None);
         });
         self.mirror_upper();
         Ok(())
     }
 
-    /// The pack-and-dot panel loop of [`Matrix::syrk_acc`] (shapes
-    /// pre-validated by the caller).
+    /// [`Matrix::syrk_acc`] with a **panel tap**: after each L1-resident
+    /// panel of tuples has been packed column-major and fed to the syrk
+    /// dot kernels, `visit(panel, k)` receives the packed panel (`k`
+    /// tuples; feature column `j` is `panel[j*k..(j+1)*k]`, contiguous) so
+    /// callers can fuse their own column-panel kernels — `Xᵀy` via
+    /// [`crate::vecops::dot_blocked_acc`], `Σx` via
+    /// [`crate::vecops::sum_blocked_acc`] — into the same pack pass
+    /// instead of re-streaming the row-major chunk.
+    ///
+    /// Panel boundaries are multiples of eight tuples (only the final
+    /// panel may be ragged), so a visitor whose per-column kernel groups
+    /// rows four at a time accumulates **bit-identically** to one call
+    /// over the whole chunk: quads never straddle a panel boundary and
+    /// the sub-quad remainder can only occur at the very end.
+    ///
+    /// # Errors
+    /// As [`Matrix::syrk_acc`].
+    pub fn syrk_acc_visit(
+        &mut self,
+        a: f64,
+        rows: &[f64],
+        d: usize,
+        visit: &mut PanelVisitor<'_>,
+    ) -> Result<()> {
+        if self.rows != d || self.cols != d || d == 0 || rows.len() % d != 0 {
+            return Err(LinalgError::ShapeMismatch {
+                op: "syrk_acc_visit",
+                lhs: self.shape(),
+                rhs: (rows.len() / d.max(1), d),
+            });
+        }
+        debug_assert!(
+            self.is_symmetric(0.0),
+            "syrk_acc_visit requires a symmetric accumulator"
+        );
+        let panel_rows = (3_072 / d.max(1)).max(16) & !7;
+        SYRK_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.resize(panel_rows * d, 0.0);
+            self.syrk_panels(a, rows, d, panel_rows, &mut scratch, Some(visit));
+        });
+        self.mirror_upper();
+        Ok(())
+    }
+
+    /// The pack-and-dot panel loop of [`Matrix::syrk_acc`] /
+    /// [`Matrix::syrk_acc_visit`] (shapes pre-validated by the caller).
     fn syrk_panels(
         &mut self,
         a: f64,
@@ -432,6 +482,7 @@ impl Matrix {
         d: usize,
         panel_rows: usize,
         scratch: &mut [f64],
+        mut visit: Option<&mut PanelVisitor<'_>>,
     ) {
         for panel in rows.chunks(panel_rows * d) {
             let k = panel.len() / d;
@@ -442,6 +493,9 @@ impl Matrix {
             }
             let col = |j: usize| &scratch[j * k..j * k + k];
             syrk_dot_panel(&mut self.data, d, a, &col);
+            if let Some(tap) = visit.as_deref_mut() {
+                tap(&scratch[..k * d], k);
+            }
         }
     }
 
@@ -1107,6 +1161,55 @@ mod tests {
             assert!(fast.approx_eq(&slow, 1e-12), "k={k}");
             assert!(fast.is_symmetric(0.0));
         }
+    }
+
+    #[test]
+    fn syrk_acc_visit_is_bit_identical_and_taps_every_panel() {
+        // The tapped variant must (a) leave the syrk accumulation
+        // bit-identical to the untapped call and (b) hand the visitor
+        // column panels whose per-column four-row grouping reproduces a
+        // whole-chunk gemv_t_acc bit-for-bit.
+        for (k, d) in [(0usize, 3usize), (1, 3), (5, 3), (23, 5), (2000, 7)] {
+            let rows: Vec<f64> = (0..k * d)
+                .map(|i| ((i * 11) % 13) as f64 / 13.0 - 0.4)
+                .collect();
+            let y: Vec<f64> = (0..k).map(|i| ((i * 3) % 9) as f64 / 9.0 - 0.5).collect();
+
+            let mut plain = Matrix::from_diagonal(&vec![0.5; d]);
+            let mut tapped = plain.clone();
+            plain.syrk_acc(2.0, &rows, d).unwrap();
+
+            let mut fused_xty = vec![0.25; d];
+            let mut pos = 0usize;
+            tapped
+                .syrk_acc_visit(2.0, &rows, d, &mut |panel, pk| {
+                    for (j, out) in fused_xty.iter_mut().enumerate() {
+                        crate::vecops::dot_blocked_acc(
+                            -2.0,
+                            &panel[j * pk..(j + 1) * pk],
+                            &y[pos..pos + pk],
+                            out,
+                        );
+                    }
+                    pos += pk;
+                })
+                .unwrap();
+            assert_eq!(pos, k, "visitor must see every tuple exactly once");
+            for (a, b) in plain.as_slice().iter().zip(tapped.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "k={k} d={d}: syrk perturbed");
+            }
+
+            let mut reference = vec![0.25; d];
+            crate::vecops::gemv_t_acc(-2.0, &rows, d, &y, &mut reference);
+            for (a, b) in fused_xty.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "k={k} d={d}: fused Xᵀy drifted");
+            }
+        }
+        // Shape errors mirror syrk_acc.
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m
+            .syrk_acc_visit(1.0, &[1.0, 2.0, 3.0], 2, &mut |_, _| {})
+            .is_err());
     }
 
     #[test]

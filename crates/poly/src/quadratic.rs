@@ -87,6 +87,14 @@ impl QuadraticForm {
         &mut self.beta
     }
 
+    /// Simultaneous mutable access to `(β, α, M)` — the split borrow fused
+    /// accumulation kernels need to update the linear coefficients from
+    /// inside a panel tap on `M` (see `Matrix::syrk_acc_visit` in
+    /// `fm-linalg`).
+    pub fn parts_mut(&mut self) -> (&mut f64, &mut [f64], &mut Matrix) {
+        (&mut self.beta, &mut self.alpha, &mut self.m)
+    }
+
     /// Evaluates `ωᵀMω + αᵀω + β`.
     ///
     /// # Panics

@@ -96,13 +96,31 @@ impl TaylorComponent {
         let [f0, f1, f2] = self.derivs;
         *q.beta_mut() += k as f64 * (f0 - f1 * z + 0.5 * f2 * z * z);
         let lin = f1 - f2 * z;
-        if lin != 0.0 {
-            vecops::col_sums_acc(lin, rows, d, q.alpha_mut());
-        }
-        if f2 != 0.0 {
-            q.m_mut()
-                .syrk_acc(0.5 * f2, rows, d)
+        match (f2 != 0.0, lin != 0.0) {
+            (true, true) => {
+                // Single-pass fusion: the syrk kernel packs each panel of
+                // tuples column-major anyway, so the `Σx` column sums read
+                // the pack instead of re-streaming the row-major block.
+                // `sum_blocked_acc` groups rows four at a time exactly as
+                // `col_sums_acc` does and panels break on multiples of
+                // eight, so the fused path is bit-identical to the
+                // two-pass one (pinned by this module's tests and the
+                // facade's `tests/batched_assembly.rs`).
+                let (_, alpha, m) = q.parts_mut();
+                m.syrk_acc_visit(0.5 * f2, rows, d, &mut |panel, pk| {
+                    for (j, out) in alpha.iter_mut().enumerate() {
+                        vecops::sum_blocked_acc(lin, &panel[j * pk..(j + 1) * pk], out);
+                    }
+                })
                 .expect("arity checked above");
+            }
+            (true, false) => {
+                q.m_mut()
+                    .syrk_acc(0.5 * f2, rows, d)
+                    .expect("arity checked above");
+            }
+            (false, true) => vecops::col_sums_acc(lin, rows, d, q.alpha_mut()),
+            (false, false) => {}
         }
     }
 
@@ -244,6 +262,45 @@ pub fn pseudo_huber_derivs(u: f64, gamma: f64) -> [f64; 3] {
 #[must_use]
 pub fn pseudo_huber_third_derivative_bound(gamma: f64) -> f64 {
     1.5 * 0.8_f64.powf(2.5) / (gamma * gamma)
+}
+
+/// Value and first two derivatives of the **smoothed pinball** (quantile)
+/// loss at residual `u` for quantile level `τ ∈ (0, 1)` and smoothing
+/// half-width `γ > 0`:
+///
+/// ```text
+/// ρ_τγ(u) = (2τ − 1)·u + √(u² + γ²) − γ
+/// ```
+///
+/// This is twice the γ-smoothed pinball loss `u·(τ − 1[u<0])`: as
+/// `γ → 0`, `ρ_τγ(u) → 2τ·u` for `u > 0` and `2(τ−1)·u` for `u < 0` —
+/// the asymmetric check loss of quantile regression, scaled by the
+/// constant 2 so that **τ = ½ coincides bitwise with the pseudo-Huber
+/// median loss** ([`pseudo_huber_derivs`]): the `(2τ−1)` slope term
+/// vanishes identically and the remaining term *is* `√(u²+γ²) − γ`.
+///
+/// Derivatives (the added term is linear, so only `ρ'` changes):
+///
+/// ```text
+/// ρ'(u)  = (2τ − 1) + u/√(u² + γ²)   ∈ ((2τ−1) − 1, (2τ−1) + 1)
+/// ρ''(u) = γ²/(u² + γ²)^{3/2}        ∈ (0, 1/γ]   (τ-independent)
+/// ```
+///
+/// The slope bound is **asymmetric** in τ — on the label range `|u| ≤ 1`,
+/// `max |ρ'| = |2τ−1| + 1/√(1+γ²)` — which is exactly the `c₁` the
+/// quantile objective's Lemma-1 sensitivity consumes.
+///
+/// # Panics
+/// Debug-asserts `γ > 0` and `τ ∈ (0, 1)`.
+#[must_use]
+pub fn smoothed_pinball_derivs(u: f64, tau: f64, gamma: f64) -> [f64; 3] {
+    debug_assert!(
+        tau > 0.0 && tau < 1.0,
+        "smoothed_pinball_derivs: τ must be in (0, 1)"
+    );
+    let [h0, h1, h2] = pseudo_huber_derivs(u, gamma);
+    let slope = 2.0 * tau - 1.0;
+    [slope * u + h0, slope + h1, h2]
 }
 
 /// Value and first two derivatives of the **Huber** loss at `u` with
@@ -524,6 +581,82 @@ mod tests {
             );
             // The bound is tight: the scan must reach ≥ 99% of it.
             assert!(max_seen >= bound * 0.99, "γ={gamma}: bound too loose");
+        }
+    }
+
+    #[test]
+    fn smoothed_pinball_matches_finite_differences_and_asymptotes() {
+        let h = 1e-6;
+        for tau in [0.1, 0.25, 0.5, 0.9] {
+            for gamma in [0.1, 0.25] {
+                for &u in &[-1.0, -0.3, 0.0, 0.2, 0.9] {
+                    let [f, f1, f2] = smoothed_pinball_derivs(u, tau, gamma);
+                    let fp = smoothed_pinball_derivs(u + h, tau, gamma)[0];
+                    let fm = smoothed_pinball_derivs(u - h, tau, gamma)[0];
+                    assert!((f1 - (fp - fm) / (2.0 * h)).abs() < 1e-5, "ρ' at {u}");
+                    assert!(
+                        (f2 - (fp - 2.0 * f + fm) / (h * h)).abs() < 1e-3,
+                        "ρ'' at {u}"
+                    );
+                    // Slope bound is the asymmetric |2τ−1| + 1/√(1+γ²).
+                    let c1 = (2.0 * tau - 1.0).abs() + 1.0 / (1.0 + gamma * gamma).sqrt();
+                    assert!(f1.abs() <= c1 + 1e-12, "|ρ'({u})| = {} > c₁ {c1}", f1.abs());
+                }
+                // Far from the origin the loss approaches twice the exact
+                // pinball: 2τu for u ≫ 0, 2(τ−1)u for u ≪ 0.
+                let far = 100.0;
+                let up = smoothed_pinball_derivs(far, tau, gamma)[0];
+                assert!((up - 2.0 * tau * far).abs() < gamma + 1e-9, "τ={tau}");
+                let dn = smoothed_pinball_derivs(-far, tau, gamma)[0];
+                assert!((dn - 2.0 * (tau - 1.0) * (-far)).abs() < gamma + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn smoothed_pinball_at_half_is_the_pseudo_huber_loss() {
+        // τ = ½ kills the (2τ−1) term identically, so the quantile loss
+        // degenerates to the median loss bit-for-bit.
+        for gamma in [0.05, 0.25, 1.0] {
+            for &u in &[-1.0, -0.37, 0.0, 0.61, 1.0] {
+                let q = smoothed_pinball_derivs(u, 0.5, gamma);
+                let m = pseudo_huber_derivs(u, gamma);
+                assert_eq!(q[0].to_bits(), m[0].to_bits(), "ρ at {u}");
+                assert_eq!(q[1].to_bits(), m[1].to_bits(), "ρ' at {u}");
+                assert_eq!(q[2].to_bits(), m[2].to_bits(), "ρ'' at {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_batch_accumulation_is_bit_identical_to_two_pass() {
+        // The fused Σx-from-the-syrk-pack path must reproduce the separate
+        // col_sums_acc + syrk_acc passes bit-for-bit, remainder rows
+        // included.
+        for component in [logistic_log1pexp_component(), poisson_exp_component()] {
+            for k in [0usize, 1, 5, 233, 1000] {
+                let d = 4;
+                let rows: Vec<f64> = (0..k * d)
+                    .map(|i| ((i * 13) % 11) as f64 / 11.0 - 0.45)
+                    .collect();
+                let mut fused = QuadraticForm::zero(d);
+                component.accumulate_batch_into(&rows, &mut fused);
+
+                let mut two_pass = QuadraticForm::zero(d);
+                let z = component.center;
+                let [f0, f1, f2] = component.derivs;
+                *two_pass.beta_mut() += k as f64 * (f0 - f1 * z + 0.5 * f2 * z * z);
+                vecops::col_sums_acc(f1 - f2 * z, &rows, d, two_pass.alpha_mut());
+                two_pass.m_mut().syrk_acc(0.5 * f2, &rows, d).unwrap();
+
+                assert_eq!(fused.beta().to_bits(), two_pass.beta().to_bits(), "k={k}");
+                for (a, b) in fused.alpha().iter().zip(two_pass.alpha()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "α k={k}");
+                }
+                for (a, b) in fused.m().as_slice().iter().zip(two_pass.m().as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "M k={k}");
+                }
+            }
         }
     }
 

@@ -87,7 +87,27 @@
 //! core — but new *capabilities* (budget sessions, generic CV, mixed
 //! line-ups) land on the trait surface only.
 //!
+//! ## Streaming & sharded ingestion
+//!
+//! Because Algorithm 1 touches the data only through one accumulation
+//! pass, every estimator also fits from a stream
+//! ([`data::stream::RowSource`]): [`data::stream::InMemorySource`] wraps
+//! a [`data::Dataset`], [`data::stream::CsvStreamSource`] reads, clamps
+//! and normalizes CSV rows without materializing the file, and
+//! [`data::stream::ShardedSource`] concatenates disjoint shards.
+//! `fit_stream` (and the two-phase `partial_fit` → `absorb` → `finalize`
+//! protocol for shard-at-a-time fitting) releases coefficients
+//! **bit-identical** to `fit` on the materialized dataset at the same
+//! seed, for any block sizing or shard split — pinned by
+//! `tests/streaming_equivalence.rs`. [`core::session::PrivacySession`]
+//! adds an opt-in parallel-composition scope: k fits on disjoint shards
+//! debit `max(εᵢ)` instead of `Σεᵢ`.
+//!
 //! ## Quickstart
+//!
+//! Both entry points — the materialized [`data::Dataset`] and a streaming
+//! [`data::stream::RowSource`] — drive the same budget-aware pipeline and
+//! release identical coefficients under the same seed:
 //!
 //! ```
 //! use functional_mechanism::prelude::*;
@@ -99,21 +119,32 @@
 //! let data = functional_mechanism::data::synth::linear_dataset(&mut rng, 2_000, 5, 0.1);
 //!
 //! // ε-differentially private linear regression (ε = 0.8 per fit),
-//! // drawn through a budget-aware session (total ε = 1.0).
+//! // drawn through a budget-aware session (total ε = 2.0).
 //! let estimator = DpLinearRegression::builder()
 //!     .config(FitConfig::new().epsilon(0.8))
 //!     .build();
-//! let mut session = PrivacySession::with_budget(1.0).expect("valid budget");
+//! let mut session = PrivacySession::with_budget(2.0).expect("valid budget");
+//!
+//! // Entry point 1: the materialized dataset.
+//! let mut fit_rng = rand::rngs::StdRng::seed_from_u64(42);
 //! let model = session
-//!     .fit(&estimator, &data, &mut rng)
+//!     .fit(&estimator, &data, &mut fit_rng)
 //!     .expect("fit succeeds on a well-formed dataset");
+//! assert!(model.predict(data.x().row(0)).is_finite());
 //!
-//! let prediction = model.predict(data.x().row(0));
-//! assert!(prediction.is_finite());
-//! assert_eq!(session.spent_epsilon(), 0.8);
+//! // Entry point 2: the same rows as a stream (here an in-memory source;
+//! // a `CsvStreamSource` fits files larger than RAM the same way). Same
+//! // seed ⇒ bit-identical released weights.
+//! let mut fit_rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let streamed = session
+//!     .fit_stream(&estimator, &mut InMemorySource::new(&data), &mut fit_rng)
+//!     .expect("streamed fit");
+//! assert_eq!(model, streamed);
 //!
-//! // A second ε = 0.8 fit would overdraw the ledger: the session refuses
-//! // *before* the mechanism touches the data.
+//! // Both fits were debited: 2 × 0.8 spent, and a third ε = 0.8 fit
+//! // would overdraw — the session refuses *before* the mechanism
+//! // touches the data.
+//! assert_eq!(session.spent_epsilon(), 1.6);
 //! assert!(session.fit(&estimator, &data, &mut rng).is_err());
 //! ```
 
@@ -142,12 +173,20 @@ pub mod prelude {
         model::{LinearModel, LogisticModel, Model, ModelKind, PersistableModel, PoissonModel},
         persist::SavedModel,
         poisson::DpPoissonRegression,
-        robust::{DpHuberRegression, DpMedianRegression},
+        robust::{DpHuberRegression, DpMedianRegression, DpQuantileRegression},
         session::PrivacySession,
         sparse::{SparseFmEstimator, SparseRegressionObjective},
         FmError, NoiseDistribution, SensitivityBound, Strategy,
     };
-    pub use fm_data::{cv::KFold, dataset::Dataset, metrics, normalize::Normalizer};
+    pub use fm_data::{
+        cv::KFold,
+        dataset::Dataset,
+        metrics,
+        normalize::Normalizer,
+        stream::{
+            CsvStreamSource, InMemorySource, LabelTransform, RowBlock, RowSource, ShardedSource,
+        },
+    };
     pub use fm_linalg::Matrix;
     pub use fm_privacy::{
         budget::{EpsDeltaLedger, PrivacyBudget},

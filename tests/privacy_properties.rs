@@ -13,7 +13,8 @@ use functional_mechanism::core::logreg::{
 };
 use functional_mechanism::core::poisson::PoissonObjective;
 use functional_mechanism::core::robust::{
-    DpHuberRegression, DpMedianRegression, HuberObjective, MedianObjective,
+    DpHuberRegression, DpMedianRegression, DpQuantileRegression, HuberObjective, MedianObjective,
+    QuantileObjective,
 };
 use functional_mechanism::core::{
     FunctionalMechanism, NoiseDistribution, PolynomialObjective, SensitivityBound,
@@ -199,6 +200,42 @@ proptest! {
     ) {
         let gammas = [0.05, 0.25, 0.5, 2.0];
         let obj = MedianObjective::new(gammas[gamma_idx]).unwrap();
+        let mut r = rng(seed);
+        let mut x = synth::sample_in_ball(&mut r, d, 1.0);
+        if boundary {
+            let norm = functional_mechanism::linalg::vecops::norm2(&x);
+            if norm > 0.0 {
+                functional_mechanism::linalg::vecops::scale(1.0 / norm, &mut x);
+            }
+        }
+        let mut q = QuadraticForm::zero(d);
+        obj.accumulate_tuple(&x, y, &mut q);
+        let l1 = q.coefficient_l1_norm_with_constant();
+        prop_assert!(l1 <= obj.sensitivity(d, SensitivityBound::Paper) / 2.0 + 1e-9);
+        prop_assert!(l1 <= obj.sensitivity(d, SensitivityBound::Tight) / 2.0 + 1e-9);
+        let l2 = (q.beta() * q.beta()
+            + functional_mechanism::linalg::vecops::dot(q.alpha(), q.alpha())
+            + q.m().frobenius_norm().powi(2)).sqrt();
+        prop_assert!(l2 <= obj.sensitivity_l2(d) / 2.0 + 1e-9);
+    }
+
+    /// Lemma-1 contract for the general-τ smoothed-pinball (quantile)
+    /// objective, fuzzed over quantile levels, smoothing widths and the
+    /// whole normalized domain — the asymmetric slope bound
+    /// `c₁ = |2τ−1| + 1/√(1+γ²)` must dominate every per-tuple release,
+    /// constant included, in both L1 and L2.
+    #[test]
+    fn quantile_sensitivity_contract(
+        seed in 0u64..10_000,
+        d in 1usize..14,
+        y in -1.0f64..=1.0,
+        tau_idx in 0usize..5,
+        gamma_idx in 0usize..3,
+        boundary in proptest::bool::ANY,
+    ) {
+        let taus = [0.05, 0.25, 0.5, 0.8, 0.95];
+        let gammas = [0.05, 0.25, 1.0];
+        let obj = QuantileObjective::new(taus[tau_idx], gammas[gamma_idx]).unwrap();
         let mut r = rng(seed);
         let mut x = synth::sample_in_ball(&mut r, d, 1.0);
         if boundary {
@@ -543,6 +580,86 @@ fn empirical_epsilon_full_fit_huber() {
     empirical_epsilon_on_released_weights("huber", 1.0, &base, &neighbour, 19, |d, r| {
         est.fit(d, r).ok().map(|m| m.weights()[0])
     });
+}
+
+#[test]
+fn empirical_epsilon_full_fit_quantile() {
+    let (base, neighbour) = real_label_neighbours(1_007);
+    let est = DpQuantileRegression::builder()
+        .epsilon(1.0)
+        .tau(0.8)
+        .build();
+    empirical_epsilon_on_released_weights("quantile", 1.0, &base, &neighbour, 29, |d, r| {
+        est.fit(d, r).ok().map(|m| m.weights()[0])
+    });
+}
+
+#[test]
+fn empirical_epsilon_joint_two_coordinate_release() {
+    // Vector-valued empirical-ε: the per-coordinate harnesses above bin
+    // one marginal of the released weight vector, which can miss
+    // calibration bugs that only show in the *joint* law — e.g. noise
+    // drawn once and reused across coordinates, or a mirrored-triangle
+    // bug correlating coefficients, would leave every marginal perfectly
+    // Laplace while the joint likelihood ratio blows past e^ε. Here the
+    // full d = 2 release pipeline runs 30k times per neighbour database
+    // and the pair (ω₀, ω₁) is binned on a joint 12×12 grid: every
+    // well-populated *cell* ratio — a genuine multi-bin likelihood-ratio
+    // statement about the 2-D output event — must respect e^ε up to the
+    // binomial slack.
+    let d = 2;
+    let mut r = rng(1_008);
+    let base = synth::linear_dataset(&mut r, 40, d, 0.1);
+    let mut y2 = base.y().to_vec();
+    y2[39] = if y2[39] > 0.0 { -1.0 } else { 1.0 };
+    let neighbour = Dataset::new(base.x().clone(), y2).unwrap();
+
+    let eps = 1.0;
+    let est = DpLinearRegression::builder().epsilon(eps).build();
+    let side = 12usize; // 12×12 joint grid over [−0.5, 0.5]²
+    let cell_of = |w: &[f64]| -> Option<usize> {
+        let i = ((w[0] + 0.5) * side as f64).floor();
+        let j = ((w[1] + 0.5) * side as f64).floor();
+        if (0.0..side as f64).contains(&i) && (0.0..side as f64).contains(&j) {
+            Some(i as usize * side + j as usize)
+        } else {
+            None
+        }
+    };
+    let n_draws = 30_000;
+    let mut hist_a = vec![0u32; side * side];
+    let mut hist_b = vec![0u32; side * side];
+    let mut r = rng(31);
+    for _ in 0..n_draws {
+        if let Ok(m) = est.fit(&base, &mut r) {
+            if let Some(c) = cell_of(m.weights()) {
+                hist_a[c] += 1;
+            }
+        }
+        if let Ok(m) = est.fit(&neighbour, &mut r) {
+            if let Some(c) = cell_of(m.weights()) {
+                hist_b[c] += 1;
+            }
+        }
+    }
+    let mut compared = 0;
+    for c in 0..side * side {
+        if hist_a[c] >= 200 && hist_b[c] >= 200 {
+            compared += 1;
+            let bound = ratio_bound(eps, hist_a[c], hist_b[c]);
+            let ratio = f64::from(hist_a[c]) / f64::from(hist_b[c]);
+            assert!(
+                ratio < bound && 1.0 / ratio < bound,
+                "joint cell ({}, {}): ratio {ratio} vs bound {bound}",
+                c / side,
+                c % side
+            );
+        }
+    }
+    assert!(
+        compared >= 3,
+        "joint harness: only {compared} well-populated cells — mis-calibrated"
+    );
 }
 
 #[test]

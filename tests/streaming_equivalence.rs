@@ -1,0 +1,335 @@
+//! Streaming ≡ in-memory: the property suite pinning the tentpole
+//! guarantee of the ingestion redesign.
+//!
+//! For every supported family — linear, logistic, median, and the
+//! general-degree sparse quartic — `fit_stream` over **any** chunking and
+//! **any** shard split of a dataset must release coefficients
+//! **bit-identical** to `fit` on the materialized `Dataset` under the same
+//! seed, and the two-phase `partial_fit`/`finalize` protocol must match as
+//! well. The streaming pipeline earns this by construction (fixed
+//! re-chunking + a merge tree provably equal to the in-memory reduction);
+//! this suite is the machine check that no refactor silently breaks it.
+
+use functional_mechanism::core::estimator::{FitConfig, FmEstimator};
+use functional_mechanism::core::generic::QuarticObjective;
+use functional_mechanism::core::linreg::LinearObjective;
+use functional_mechanism::core::logreg::DpLogisticRegression;
+use functional_mechanism::core::robust::{DpMedianRegression, DpQuantileRegression};
+use functional_mechanism::core::sparse::SparseFmEstimator;
+use functional_mechanism::core::Strategy;
+use functional_mechanism::data::stream::{
+    CsvStreamSource, InMemorySource, RowBlock, RowSource, ShardedSource,
+};
+use functional_mechanism::data::{synth, Dataset};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A [`RowSource`] that yields a row range of a dataset in pseudo-random
+/// jagged block sizes — the adversarial transport the equivalence claim
+/// quantifies over.
+struct JaggedSource<'a> {
+    data: &'a Dataset,
+    pos: usize,
+    end: usize,
+    state: u64,
+}
+
+impl<'a> JaggedSource<'a> {
+    fn new(data: &'a Dataset, lo: usize, hi: usize, seed: u64) -> Self {
+        JaggedSource {
+            data,
+            pos: lo,
+            end: hi,
+            state: seed | 1,
+        }
+    }
+}
+
+impl RowSource for JaggedSource<'_> {
+    fn dim(&self) -> usize {
+        self.data.d()
+    }
+
+    fn next_block(
+        &mut self,
+        max_rows: usize,
+    ) -> functional_mechanism::data::Result<Option<RowBlock>> {
+        if self.pos >= self.end {
+            return Ok(None);
+        }
+        // xorshift: deliberately ignores the requested boundary except as
+        // an upper bound, so blocks land wherever they land.
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let cap = max_rows.max(1).min(self.end - self.pos);
+        let take = 1 + (self.state as usize) % cap;
+        let d = self.data.d();
+        let hi = self.pos + take;
+        let xs = self.data.x().as_slice()[self.pos * d..hi * d].to_vec();
+        let ys = self.data.y()[self.pos..hi].to_vec();
+        self.pos = hi;
+        Ok(Some(RowBlock::new(xs, ys, d).expect("consistent shapes")))
+    }
+}
+
+/// Splits `[0, n)` at the fractional cut points into at most 3 shards.
+fn shard_bounds(n: usize, cuts: (f64, f64)) -> Vec<(usize, usize)> {
+    let mut points = vec![
+        0usize,
+        ((n as f64) * cuts.0.min(cuts.1)) as usize,
+        ((n as f64) * cuts.0.max(cuts.1)) as usize,
+        n,
+    ];
+    points.dedup();
+    points.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Runs one family through all three entry points and asserts exact
+/// agreement of the released models (or of the failure outcome — at these
+/// sizes a hostile draw can legitimately leave no positive spectrum; the
+/// deterministic pipelines must then fail *together*).
+#[allow(clippy::type_complexity)]
+fn assert_stream_matches_fit<M, E>(
+    what: &str,
+    data: &Dataset,
+    seed: u64,
+    cuts: (f64, f64),
+    fit: impl Fn(&Dataset, &mut StdRng) -> Result<M, E>,
+    fit_stream: impl Fn(&mut dyn RowSource, &mut StdRng) -> Result<M, E>,
+    partial: Option<&dyn Fn(&mut [JaggedSource], &mut StdRng) -> Result<M, E>>,
+) where
+    M: PartialEq + std::fmt::Debug,
+    E: std::fmt::Debug,
+{
+    let mut r1 = StdRng::seed_from_u64(seed);
+    let in_memory = fit(data, &mut r1);
+
+    // One sharded, jagged-blocked source over the same rows.
+    let shards: Vec<JaggedSource> = shard_bounds(data.n(), cuts)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (lo, hi))| JaggedSource::new(data, lo, hi, seed ^ (i as u64 + 0x9E37)))
+        .collect();
+    let mut sharded = ShardedSource::new(shards).expect("non-empty, equal dims");
+    let mut r2 = StdRng::seed_from_u64(seed);
+    let streamed = fit_stream(&mut sharded, &mut r2);
+
+    match (&in_memory, &streamed) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "{what}: fit_stream drifted from fit"),
+        (Err(_), Err(_)) => {}
+        other => panic!("{what}: outcome mismatch {other:?}"),
+    }
+
+    if let Some(partial_fit) = partial {
+        let mut shards: Vec<JaggedSource> = shard_bounds(data.n(), cuts)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (lo, hi))| JaggedSource::new(data, lo, hi, seed ^ (i as u64 + 0x51DE)))
+            .collect();
+        let mut r3 = StdRng::seed_from_u64(seed);
+        let sharded = partial_fit(&mut shards, &mut r3);
+        match (&in_memory, &sharded) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "{what}: partial_fit drifted from fit"),
+            (Err(_), Err(_)) => {}
+            other => panic!("{what}: partial outcome mismatch {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Linear regression: `fit` ≡ `fit_stream` ≡ `partial_fit`+`finalize`
+    /// over arbitrary chunking/shard splits, with and without intercept.
+    #[test]
+    fn linreg_streaming_equivalence(
+        seed in 0u64..10_000,
+        n in 1usize..400,
+        d in 1usize..6,
+        intercept in proptest::bool::ANY,
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+    ) {
+        let mut r = StdRng::seed_from_u64(seed);
+        let data = synth::linear_dataset(&mut r, n, d, 0.1);
+        let est = FmEstimator::new(
+            LinearObjective,
+            FitConfig::new().epsilon(1.0).fit_intercept(intercept),
+        );
+        let partial = |shards: &mut [JaggedSource], rng: &mut StdRng| {
+            let mut pf = est.partial_fit();
+            for s in shards {
+                pf.absorb(s)?;
+            }
+            pf.finalize(rng)
+        };
+        assert_stream_matches_fit(
+            "linreg",
+            &data,
+            seed,
+            (cut_a, cut_b),
+            |data, rng| est.fit(data, rng),
+            |src, rng| est.fit_stream(src, rng),
+            Some(&partial),
+        );
+    }
+
+    /// Logistic regression (Algorithm 2's Taylor surrogate) through the
+    /// wrapper estimator.
+    #[test]
+    fn logistic_streaming_equivalence(
+        seed in 0u64..10_000,
+        n in 1usize..400,
+        d in 1usize..6,
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+    ) {
+        let mut r = StdRng::seed_from_u64(seed);
+        let data = synth::logistic_dataset(&mut r, n, d, 4.0);
+        let est = DpLogisticRegression::builder().epsilon(1.0).build();
+        assert_stream_matches_fit(
+            "logreg",
+            &data,
+            seed,
+            (cut_a, cut_b),
+            |data, rng| est.fit(data, rng),
+            |src, rng| est.fit_stream(src, rng),
+            None,
+        );
+    }
+
+    /// Median and general-τ quantile regression (weighted Gram kernels).
+    #[test]
+    fn median_and_quantile_streaming_equivalence(
+        seed in 0u64..10_000,
+        n in 1usize..300,
+        d in 1usize..5,
+        tau_idx in 0usize..3,
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+    ) {
+        let mut r = StdRng::seed_from_u64(seed);
+        let data = synth::linear_dataset(&mut r, n, d, 0.1);
+        let med = DpMedianRegression::builder().epsilon(1.0).build();
+        assert_stream_matches_fit(
+            "median",
+            &data,
+            seed,
+            (cut_a, cut_b),
+            |data, rng| med.fit(data, rng),
+            |src, rng| med.fit_stream(src, rng),
+            None,
+        );
+        let tau = [0.2, 0.5, 0.85][tau_idx];
+        let quant = DpQuantileRegression::builder().epsilon(1.0).tau(tau).build();
+        assert_stream_matches_fit(
+            "quantile",
+            &data,
+            seed,
+            (cut_a, cut_b),
+            |data, rng| quant.fit(data, rng),
+            |src, rng| quant.fit_stream(src, rng),
+            None,
+        );
+    }
+
+    /// The sparse general-degree path (quartic loss): polynomial
+    /// accumulator + generic mechanism, including the two-phase protocol.
+    #[test]
+    fn sparse_quartic_streaming_equivalence(
+        seed in 0u64..10_000,
+        n in 1usize..200,
+        d in 1usize..4,
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+    ) {
+        let mut r = StdRng::seed_from_u64(seed);
+        let data = synth::linear_dataset(&mut r, n, d, 0.05);
+        let est = SparseFmEstimator::new(
+            QuarticObjective,
+            FitConfig::new()
+                .epsilon(64.0)
+                .strategy(Strategy::FailIfUnbounded),
+        );
+        let partial = |shards: &mut [JaggedSource], rng: &mut StdRng| {
+            let mut pf = est.partial_fit()?;
+            for s in shards {
+                pf.absorb(s)?;
+            }
+            pf.finalize(rng)
+        };
+        assert_stream_matches_fit(
+            "sparse-quartic",
+            &data,
+            seed,
+            (cut_a, cut_b),
+            |data, rng| est.fit(data, rng),
+            |src, rng| est.fit_stream(src, rng),
+            Some(&partial),
+        );
+    }
+}
+
+#[test]
+fn csv_stream_fit_matches_materialized_fit_bitwise() {
+    // End-to-end out-of-core path: write a CSV, fit once from the file
+    // stream and once from the materialized reader — identical releases.
+    let mut r = StdRng::seed_from_u64(2_024);
+    let data = synth::linear_dataset(&mut r, 2_000, 3, 0.1);
+    let dir = std::env::temp_dir().join("fm_streaming_equivalence");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream_fit.csv");
+    functional_mechanism::data::csv::write_dataset(&data, &path).unwrap();
+
+    let est = FmEstimator::new(LinearObjective, FitConfig::new().epsilon(1.0));
+    let mut r1 = StdRng::seed_from_u64(7);
+    let from_file = {
+        let mut src = CsvStreamSource::open(&path).unwrap();
+        est.fit_stream(&mut src, &mut r1).unwrap()
+    };
+    let mut r2 = StdRng::seed_from_u64(7);
+    let materialized = {
+        let back = functional_mechanism::data::csv::read_dataset(&path).unwrap();
+        est.fit(&back, &mut r2).unwrap()
+    };
+    assert_eq!(from_file, materialized);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn in_memory_source_round_trip_is_bit_identical_for_every_family() {
+    // The plainest statement of the tentpole: wrapping the dataset in an
+    // InMemorySource and streaming it is indistinguishable from fit().
+    let mut r = StdRng::seed_from_u64(515);
+    let linear = synth::linear_dataset(&mut r, 1_000, 4, 0.1);
+    let logistic = synth::logistic_dataset(&mut r, 1_000, 4, 4.0);
+
+    let lin = FmEstimator::new(LinearObjective, FitConfig::new().epsilon(1.0));
+    let mut a = StdRng::seed_from_u64(1);
+    let mut b = StdRng::seed_from_u64(1);
+    assert_eq!(
+        lin.fit(&linear, &mut a).unwrap(),
+        lin.fit_stream(&mut InMemorySource::new(&linear), &mut b)
+            .unwrap()
+    );
+
+    let log = DpLogisticRegression::builder().epsilon(1.0).build();
+    let mut a = StdRng::seed_from_u64(2);
+    let mut b = StdRng::seed_from_u64(2);
+    assert_eq!(
+        log.fit(&logistic, &mut a).unwrap(),
+        log.fit_stream(&mut InMemorySource::new(&logistic), &mut b)
+            .unwrap()
+    );
+
+    let med = DpMedianRegression::builder().epsilon(1.0).build();
+    let mut a = StdRng::seed_from_u64(3);
+    let mut b = StdRng::seed_from_u64(3);
+    assert_eq!(
+        med.fit(&linear, &mut a).unwrap(),
+        med.fit_stream(&mut InMemorySource::new(&linear), &mut b)
+            .unwrap()
+    );
+}
