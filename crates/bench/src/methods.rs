@@ -146,7 +146,11 @@ impl FittedModel {
 /// [`fm_data::stream::InMemorySource`]): the FM methods run their native
 /// out-of-core pipeline — releasing coefficients bit-identical to the
 /// in-memory `fit`, so no figure changes — while the baselines fall back
-/// to the materializing default. One call site, both worlds.
+/// to the materializing default. One call site, both worlds, and since
+/// the zero-copy redesign no transport tax either: the in-memory source
+/// hands its backing dataset straight to the accumulator
+/// (`take_dataset`), so every bench cell and CV fold assembles at the
+/// batched path's rate (`BENCH_assembly.json`, `pr5-zero-copy-streaming`).
 ///
 /// # Panics
 /// On configuration errors or fit failures — the harness validates its

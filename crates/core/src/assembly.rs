@@ -140,7 +140,9 @@ impl<T> TreeCounter<T> {
 /// materialized concatenation — the other half of the streaming path's
 /// bit-identity guarantee. Peak memory is one staged chunk; blocks that
 /// arrive chunk-aligned are flushed straight from the caller's slice
-/// without copying.
+/// without copying, and the staging buffers persist across chunks
+/// (cleared after each flush, never reallocated), so a steady stream
+/// costs no per-chunk allocation.
 pub(crate) struct ChunkStage {
     d: usize,
     chunk_rows: usize,
@@ -162,6 +164,17 @@ impl ChunkStage {
     /// to request from a source so full blocks skip the staging copy.
     pub(crate) fn rows_to_boundary(&self) -> usize {
         self.chunk_rows - self.ys.len()
+    }
+
+    /// Rows currently staged (0 = the stage sits on a chunk boundary, so
+    /// aligned blocks flush straight from the caller's slice).
+    pub(crate) fn staged_rows(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// The fixed chunk size this stage re-chunks to.
+    pub(crate) fn chunk_rows(&self) -> usize {
+        self.chunk_rows
     }
 
     /// Feeds a row-major block, invoking `flush(xs, ys)` once per
@@ -281,17 +294,19 @@ impl<'a, O: PolynomialObjective + ?Sized> CoefficientAccumulator<'a, O> {
     ///   contract violation (tuple indices in the error are block-local).
     pub fn push_rows(&mut self, xs: &[f64], ys: &[f64]) -> Result<()> {
         let objective = self.objective;
-        self.core.push_rows(
-            xs,
-            ys,
-            |xs, ys, d| objective.validate_rows(xs, ys, d),
-            |cx, cy, d| {
-                let mut q = QuadraticForm::zero(d);
-                objective.accumulate_batch(cx, cy, d, &mut q);
-                q
-            },
-            &merge_quadratic,
-        )
+        self.core
+            .push_rows(
+                xs,
+                ys,
+                |xs, ys, d| objective.validate_rows(xs, ys, d),
+                |cx, cy, d| {
+                    let mut q = QuadraticForm::zero(d);
+                    objective.accumulate_batch(cx, cy, d, &mut q);
+                    q
+                },
+                &merge_quadratic,
+            )
+            .map_err(FmError::Data)
     }
 
     /// Validates and absorbs one [`RowBlock`].
@@ -305,24 +320,38 @@ impl<'a, O: PolynomialObjective + ?Sized> CoefficientAccumulator<'a, O> {
     }
 
     /// Drains `source`, absorbing every block it yields; returns the
-    /// number of rows absorbed. Blocks are requested at the staging
-    /// boundary, so a source that can honour the request exactly (e.g.
-    /// [`fm_data::stream::InMemorySource`]) feeds the kernels without a
-    /// staging copy.
+    /// number of rows absorbed. A fully-in-memory source hands its
+    /// backing [`fm_data::Dataset`] over whole
+    /// ([`RowSource::take_dataset`]) and is chunked in place — reusing
+    /// the dataset's cached columnar transpose when the objective has
+    /// columnar kernels — while genuinely streaming sources drain through
+    /// the **borrowed-block visitor** ([`RowSource::for_each_block`]) at
+    /// the chunk size: no block copy, no per-block allocation on either
+    /// path, so streamed in-memory assembly runs at batched speed.
     ///
     /// # Errors
     /// [`FmError::Data`] for a dimensionality mismatch, transport errors
     /// from the source, or contract violations.
     pub fn absorb(&mut self, source: &mut (impl RowSource + ?Sized)) -> Result<usize> {
-        self.core.check_dim("source", source.dim())?;
-        let before = self.core.rows();
-        while let Some(block) = source
-            .next_block(self.core.stage.rows_to_boundary())
-            .map_err(FmError::Data)?
-        {
-            self.push_block(&block)?;
-        }
-        Ok(self.core.rows() - before)
+        let objective = self.objective;
+        let make_chunk_cols = objective.supports_columnar().then_some(
+            move |xt: &fm_linalg::Matrix, ys: &[f64], lo: usize, hi: usize| {
+                let mut q = QuadraticForm::zero(xt.rows());
+                objective.accumulate_batch_columnar(xt, ys, lo, hi, &mut q);
+                q
+            },
+        );
+        self.core.absorb_source(
+            source,
+            |xs, ys, d| objective.validate_rows(xs, ys, d),
+            |cx, cy, d| {
+                let mut q = QuadraticForm::zero(d);
+                objective.accumulate_batch(cx, cy, d, &mut q);
+                q
+            },
+            make_chunk_cols,
+            &merge_quadratic,
+        )
     }
 
     /// Flushes the final ragged chunk and merges all partials into the
@@ -348,7 +377,7 @@ impl<'a, O: PolynomialObjective + ?Sized> CoefficientAccumulator<'a, O> {
 /// the chunking/merging logic their bit-identity guarantees rest on.
 pub(crate) struct StreamCore<T> {
     d: usize,
-    pub(crate) stage: ChunkStage,
+    stage: ChunkStage,
     counter: TreeCounter<T>,
     rows: usize,
 }
@@ -384,7 +413,10 @@ impl<T> StreamCore<T> {
 
     /// Shape-checks, validates, stages, and accumulates one row-major
     /// block; `make_chunk(xs, ys, d)` builds a chunk partial from exactly
-    /// the row ranges the in-memory chunking would form.
+    /// the row ranges the in-memory chunking would form. `DataError`-typed
+    /// so the borrowed-block visitor ([`RowSource::for_each_block`]) can
+    /// drive it directly; the public accumulator wrappers lift the error
+    /// into [`FmError::Data`].
     pub(crate) fn push_rows(
         &mut self,
         xs: &[f64],
@@ -392,14 +424,14 @@ impl<T> StreamCore<T> {
         validate: impl Fn(&[f64], &[f64], usize) -> fm_data::Result<()>,
         make_chunk: impl Fn(&[f64], &[f64], usize) -> T,
         merge: &impl Fn(&mut T, T),
-    ) -> Result<()> {
+    ) -> fm_data::Result<()> {
         if xs.len() != ys.len() * self.d {
-            return Err(FmError::Data(DataError::LengthMismatch {
+            return Err(DataError::LengthMismatch {
                 rows: xs.len() / self.d.max(1),
                 labels: ys.len(),
-            }));
+            });
         }
-        validate(xs, ys, self.d).map_err(FmError::Data)?;
+        validate(xs, ys, self.d)?;
         let d = self.d;
         let counter = &mut self.counter;
         self.stage.push(xs, ys, &mut |cx, cy| {
@@ -407,6 +439,105 @@ impl<T> StreamCore<T> {
         });
         self.rows += ys.len();
         Ok(())
+    }
+
+    /// Drains `source`, staging and accumulating every remaining row;
+    /// returns the number of rows absorbed. The drain has three phases:
+    ///
+    /// 1. a source that is a fully-unconsumed **materialized dataset**
+    ///    ([`RowSource::take_dataset`]) hands it over whole (only when the
+    ///    stage sits on a chunk boundary): the dataset is validated in one
+    ///    pass and chunked **on exactly the grid the stream would have
+    ///    been re-chunked to**, each chunk partial pushed into the merge
+    ///    counter in order — and when the objective has columnar kernels
+    ///    and the dataset a cached transpose
+    ///    ([`fm_data::Dataset::columnar_on_reuse`]), the chunks read it,
+    ///    so repeat in-memory fits through the streaming entry points
+    ///    reach the batched path's steady-state rate;
+    /// 2. while the stage holds a partial chunk (a previous shard ended
+    ///    mid-chunk), owned blocks are pulled at the staging boundary so a
+    ///    well-behaved source re-aligns the stage in one block;
+    /// 3. the aligned bulk goes through the **borrowed-block visitor**
+    ///    ([`RowSource::for_each_block`]) at exactly `chunk_rows` per
+    ///    block — sources with a zero-copy fast path (in-memory data,
+    ///    reused CSV buffers) feed the kernels without a single block
+    ///    copy, and chunk-aligned blocks skip the staging copy too.
+    ///
+    /// All phases produce identical chunk boundaries and an identical
+    /// merge tree (and the columnar kernels are bit-identical to the
+    /// row-major ones), so which path a source takes can never perturb
+    /// the assembled coefficients.
+    pub(crate) fn absorb_source<C>(
+        &mut self,
+        source: &mut (impl RowSource + ?Sized),
+        validate: impl Fn(&[f64], &[f64], usize) -> fm_data::Result<()>,
+        make_chunk: impl Fn(&[f64], &[f64], usize) -> T,
+        make_chunk_cols: Option<C>,
+        merge: &impl Fn(&mut T, T),
+    ) -> Result<usize>
+    where
+        C: Fn(&fm_linalg::Matrix, &[f64], usize, usize) -> T,
+    {
+        self.check_dim("source", source.dim())?;
+        let before = self.rows;
+        if self.stage.staged_rows() == 0 {
+            if let Some(data) = source.take_dataset() {
+                let d = self.d;
+                debug_assert_eq!(data.d(), d, "take_dataset arity drifted from dim()");
+                validate(data.x().as_slice(), data.y(), d).map_err(FmError::Data)?;
+                let n = data.n();
+                let chunk_rows = self.stage.chunk_rows();
+                let ys = data.y();
+                let xt = make_chunk_cols
+                    .as_ref()
+                    .and_then(|_| data.columnar_on_reuse());
+                let xs = data.x().as_slice();
+                // Only the *full* chunks may enter the counter here: a
+                // later absorb must be able to keep filling the final
+                // ragged chunk (continuation chunking is what makes a
+                // shard split invisible), so the tail goes through the
+                // ordinary stage exactly as a streamed block would.
+                let full_chunks = n / chunk_rows;
+                for c in 0..full_chunks {
+                    let lo = c * chunk_rows;
+                    let hi = lo + chunk_rows;
+                    let part = match (&make_chunk_cols, xt) {
+                        (Some(cols), Some(xt)) => cols(xt, ys, lo, hi),
+                        _ => make_chunk(&xs[lo * d..hi * d], &ys[lo..hi], d),
+                    };
+                    self.counter.push(part, merge);
+                }
+                let lo = full_chunks * chunk_rows;
+                if lo < n {
+                    let counter = &mut self.counter;
+                    self.stage.push(&xs[lo * d..], &ys[lo..], &mut |cx, cy| {
+                        counter.push(make_chunk(cx, cy, d), merge);
+                    });
+                }
+                self.rows += n;
+                return Ok(self.rows - before);
+            }
+        }
+        while self.stage.staged_rows() > 0 {
+            match source
+                .next_block(self.stage.rows_to_boundary())
+                .map_err(FmError::Data)?
+            {
+                Some(block) => {
+                    self.check_dim("block", block.d())?;
+                    self.push_rows(block.xs(), block.ys(), &validate, &make_chunk, merge)
+                        .map_err(FmError::Data)?;
+                }
+                None => return Ok(self.rows - before),
+            }
+        }
+        let chunk_rows = self.stage.chunk_rows();
+        source
+            .for_each_block(chunk_rows, &mut |block| {
+                self.push_rows(block.xs(), block.ys(), &validate, &make_chunk, merge)
+            })
+            .map_err(FmError::Data)?;
+        Ok(self.rows - before)
     }
 
     /// Flushes the final ragged chunk and merges all partials; `None` if
@@ -506,6 +637,87 @@ where
         |acc, part| acc.merge(part),
     )
     .unwrap_or_else(|| QuadraticForm::zero(d))
+}
+
+/// Assembles each shard's exact objective **independently** — one
+/// [`CoefficientAccumulator`] per shard, run concurrently under the
+/// `parallel` cargo feature — returning `(rows, coefficients)` per shard,
+/// in shard order (`None` coefficients for an empty shard).
+///
+/// Each shard is validated and re-chunked from its own first row, so the
+/// per-shard results are exactly what a serial
+/// `CoefficientAccumulator::absorb` + `finish` per shard produces — the
+/// parallel and sequential builds are **bit-identical** by construction
+/// (per-shard merge trees touch only their own chunks; nothing crosses a
+/// shard boundary until the caller merges the returned partials, in
+/// whatever order it chooses — shard order, for the built-in callers).
+///
+/// Shards may have different dimensionalities (each is its own
+/// accumulation); callers that merge the partials enforce equal dims
+/// themselves.
+///
+/// # Errors
+/// The first shard error in shard order — [`FmError::Data`] for contract
+/// violations or transport errors (under `parallel` every shard is still
+/// assembled; error selection stays deterministic).
+pub fn assemble_shards<O, S>(
+    objective: &O,
+    shards: &mut [S],
+    chunk_rows: usize,
+) -> Result<Vec<(usize, Option<QuadraticForm>)>>
+where
+    O: PolynomialObjective + ?Sized,
+    S: RowSource + Send,
+{
+    run_shards(shards, |shard| {
+        let mut acc = CoefficientAccumulator::with_chunk_rows(objective, shard.dim(), chunk_rows);
+        let rows = acc.absorb(shard)?;
+        Ok((rows, acc.finish()))
+    })
+}
+
+/// The one shard fan-out: maps `run` over every shard — concurrently
+/// under the `parallel` cargo feature, serially otherwise — returning the
+/// results in shard order, with the **first error in shard order**
+/// propagated either way (under `parallel` every shard still runs; error
+/// selection stays deterministic). Shared by the degree-2
+/// ([`assemble_shards`]) and general-degree
+/// (`fm_core::generic::assemble_polynomial_shards`) shard assemblies so
+/// the scheduling/error semantics can never drift between them.
+pub(crate) fn run_shards<S, T, F>(shards: &mut [S], run: F) -> Result<Vec<T>>
+where
+    S: Send,
+    T: Send,
+    F: Fn(&mut S) -> Result<T> + Sync + Send,
+{
+    #[cfg(feature = "parallel")]
+    let results: Vec<Result<T>> = {
+        use rayon::prelude::*;
+        let handles: Vec<&mut S> = shards.iter_mut().collect();
+        handles.into_par_iter().map(run).collect()
+    };
+    #[cfg(not(feature = "parallel"))]
+    let results: Vec<Result<T>> = shards.iter_mut().map(run).collect();
+
+    results.into_iter().collect()
+}
+
+/// Refuses shard lists whose members disagree on dimensionality — the
+/// shared pre-check of every caller that merges per-shard partials.
+pub(crate) fn check_shard_dims<S: RowSource>(shards: &[S]) -> Result<()> {
+    if let Some(first) = shards.first() {
+        let d = first.dim();
+        if let Some(bad) = shards.iter().position(|s| s.dim() != d) {
+            return Err(FmError::Data(DataError::InvalidParameter {
+                name: "shards",
+                reason: format!(
+                    "shard {bad} has dimensionality {}, shard 0 has {d}",
+                    shards[bad].dim()
+                ),
+            }));
+        }
+    }
+    Ok(())
 }
 
 /// The pre-batching reference path: one [`PolynomialObjective::accumulate_tuple`]

@@ -327,6 +327,94 @@ impl<O: RegressionObjective> FmEstimator<O> {
         }
     }
 
+    /// Fits **one** model over the union of disjoint shards, with the
+    /// shards assembled **concurrently** under the `parallel` cargo
+    /// feature: each shard runs its own streaming accumulator (validated
+    /// and re-chunked from the shard's first row), the per-shard
+    /// coefficient partials are merged in shard order, and the
+    /// mechanism's noise is drawn once over the merged objective — the
+    /// privacy cost is the configured ε once, exactly as for
+    /// [`FmEstimator::fit_stream`] over a
+    /// [`fm_data::stream::ShardedSource`] of the same shards.
+    ///
+    /// Determinism: the released coefficients are **bit-identical between
+    /// the serial and parallel builds** — per-shard merge trees touch
+    /// only their own chunks and the final shard-order merge is fixed, so
+    /// worker scheduling can never regroup a floating-point sum
+    /// (`tests/streaming_equivalence.rs` pins this). Relative to one
+    /// accumulator over the shard *concatenation* (`fit_stream`), the
+    /// per-shard chunk grids regroup sums exactly as a different
+    /// `chunk_rows` would (~1e-15 relative on the clean coefficients);
+    /// with a single shard the two paths are bit-identical.
+    ///
+    /// # Errors
+    /// * [`FmError::Data`] for an empty shard list, mismatched shard
+    ///   dimensionalities, contract violations, or transport errors.
+    /// * Otherwise as [`FmEstimator::fit`].
+    pub fn fit_sharded<S>(&self, shards: &mut [S], rng: &mut impl Rng) -> Result<O::Model>
+    where
+        S: RowSource + Send,
+    {
+        crate::assembly::check_shard_dims(shards)?;
+        let mut clean: Option<QuadraticForm> = None;
+        for (_, part) in self.assemble_shards_clean(shards)? {
+            if let Some(part) = part {
+                match &mut clean {
+                    None => clean = Some(part),
+                    Some(total) => total.merge(part),
+                }
+            }
+        }
+        let clean = clean.ok_or(FmError::Data(DataError::EmptyDataset))?;
+        self.release_clean(&clean, rng)
+    }
+
+    /// Runs the mechanism over already-assembled (and already-validated)
+    /// clean coefficients and wraps the released weights — the noise-
+    /// drawing half shared by [`FmEstimator::fit_sharded`] and the
+    /// session's parallel disjoint-shard fitting (where assembly runs
+    /// concurrently but every release draws from the shared rng in shard
+    /// order).
+    pub(crate) fn release_clean(
+        &self,
+        clean: &QuadraticForm,
+        rng: &mut impl Rng,
+    ) -> Result<O::Model> {
+        let config = &self.config;
+        let omega_raw = release_assembled(
+            clean,
+            &self.objective,
+            config.epsilon,
+            config.bound,
+            config.noise,
+            config.strategy,
+            rng,
+        )?;
+        Ok(self.finish(omega_raw, Some(config.epsilon)))
+    }
+
+    /// Per-shard clean coefficient assembly at the estimator's working
+    /// dimensionality (footnote-2 intercept augmentation applied per
+    /// shard when configured), concurrent under `parallel` — the shared
+    /// data pass behind [`FmEstimator::fit_sharded`] and
+    /// [`crate::session::PrivacySession::fit_disjoint_shards_parallel`].
+    pub(crate) fn assemble_shards_clean<S>(
+        &self,
+        shards: &mut [S],
+    ) -> Result<Vec<(usize, Option<QuadraticForm>)>>
+    where
+        S: RowSource + Send,
+    {
+        let chunk_rows = crate::assembly::DEFAULT_CHUNK_ROWS;
+        if self.config.fit_intercept {
+            let mut aug: Vec<InterceptAugmentSource<&mut S>> =
+                shards.iter_mut().map(InterceptAugmentSource::new).collect();
+            crate::assembly::assemble_shards(&self.objective, &mut aug, chunk_rows)
+        } else {
+            crate::assembly::assemble_shards(&self.objective, shards, chunk_rows)
+        }
+    }
+
     /// Fits the *non-private* minimiser of the same (possibly truncated)
     /// objective — ε = ∞. For exactly-polynomial losses this is the exact
     /// optimum; for Taylor/Chebyshev surrogates it is the paper's
@@ -426,7 +514,7 @@ impl<'a, O: RegressionObjective> PartialFit<'a, O> {
     /// contract violations, or transport errors.
     pub fn absorb(&mut self, source: &mut (impl RowSource + ?Sized)) -> Result<usize> {
         if self.estimator.config.fit_intercept {
-            let mut aug = InterceptAugmentSource(source);
+            let mut aug = InterceptAugmentSource::new(source);
             let work_d = aug.dim();
             self.accumulator(work_d)?.absorb(&mut aug)
         } else {

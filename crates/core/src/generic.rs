@@ -397,17 +397,19 @@ impl<'a, O: GeneralObjective + ?Sized> PolynomialAccumulator<'a, O> {
     /// [`FmError::Data`] for shape mismatches or contract violations.
     pub fn push_rows(&mut self, xs: &[f64], ys: &[f64]) -> Result<()> {
         let objective = self.objective;
-        self.core.push_rows(
-            xs,
-            ys,
-            |xs, ys, d| objective.validate_rows(xs, ys, d),
-            |cx, cy, d| {
-                let mut f = Polynomial::zero(d);
-                objective.accumulate_chunk(cx, cy, d, &mut f);
-                f
-            },
-            &merge_polynomial,
-        )
+        self.core
+            .push_rows(
+                xs,
+                ys,
+                |xs, ys, d| objective.validate_rows(xs, ys, d),
+                |cx, cy, d| {
+                    let mut f = Polynomial::zero(d);
+                    objective.accumulate_chunk(cx, cy, d, &mut f);
+                    f
+                },
+                &merge_polynomial,
+            )
+            .map_err(crate::FmError::Data)
     }
 
     /// Validates and absorbs one [`fm_data::stream::RowBlock`].
@@ -421,6 +423,9 @@ impl<'a, O: GeneralObjective + ?Sized> PolynomialAccumulator<'a, O> {
     }
 
     /// Drains `source`, absorbing every block; returns the rows absorbed.
+    /// Like the degree-2 accumulator, the bulk of the drain runs through
+    /// the borrowed-block visitor, so zero-copy sources feed the chunk
+    /// accumulation without per-block allocations.
     ///
     /// # Errors
     /// [`FmError::Data`] for a dimensionality mismatch, transport errors,
@@ -429,15 +434,22 @@ impl<'a, O: GeneralObjective + ?Sized> PolynomialAccumulator<'a, O> {
         &mut self,
         source: &mut (impl fm_data::stream::RowSource + ?Sized),
     ) -> Result<usize> {
-        self.core.check_dim("source", source.dim())?;
-        let before = self.core.rows();
-        while let Some(block) = source
-            .next_block(self.core.stage.rows_to_boundary())
-            .map_err(FmError::Data)?
-        {
-            self.push_block(&block)?;
-        }
-        Ok(self.core.rows() - before)
+        let objective = self.objective;
+        // No columnar kernels at general degree: an in-memory handoff
+        // still chunks the dataset's row-major block in place.
+        type ColumnarChunk = fn(&fm_linalg::Matrix, &[f64], usize, usize) -> Polynomial;
+        let no_cols: Option<ColumnarChunk> = None;
+        self.core.absorb_source(
+            source,
+            |xs, ys, d| objective.validate_rows(xs, ys, d),
+            |cx, cy, d| {
+                let mut f = Polynomial::zero(d);
+                objective.accumulate_chunk(cx, cy, d, &mut f);
+                f
+            },
+            no_cols,
+            &merge_polynomial,
+        )
     }
 
     /// Flushes the final ragged chunk and merges all partials; `None` if
@@ -454,6 +466,32 @@ impl<'a, O: GeneralObjective + ?Sized> PolynomialAccumulator<'a, O> {
             &merge_polynomial,
         )
     }
+}
+
+/// Per-shard streaming assembly of a general-degree objective — the
+/// sibling of [`crate::assembly::assemble_shards`] over sparse
+/// polynomials: one [`PolynomialAccumulator`] per shard, run concurrently
+/// under the `parallel` cargo feature, results returned in shard order
+/// (`None` for an empty shard). Per-shard accumulations are independent,
+/// so the serial and parallel builds are bit-identical.
+///
+/// # Errors
+/// The first shard error in shard order ([`FmError::Data`] for contract
+/// violations or transport errors).
+pub fn assemble_polynomial_shards<O, S>(
+    objective: &O,
+    shards: &mut [S],
+    chunk_rows: usize,
+) -> Result<Vec<(usize, Option<Polynomial>)>>
+where
+    O: GeneralObjective + ?Sized,
+    S: fm_data::stream::RowSource + Send,
+{
+    crate::assembly::run_shards(shards, |shard| {
+        let mut acc = PolynomialAccumulator::with_chunk_rows(objective, shard.dim(), chunk_rows);
+        let rows = acc.absorb(shard)?;
+        Ok((rows, acc.finish()))
+    })
 }
 
 /// The paper's linear regression expressed in the general form — used to

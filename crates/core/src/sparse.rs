@@ -185,6 +185,50 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
         partial.finalize(rng)
     }
 
+    /// Fits one model over the union of disjoint shards with the shards
+    /// assembled concurrently under the `parallel` cargo feature — the
+    /// general-degree counterpart of
+    /// [`crate::estimator::FmEstimator::fit_sharded`], with the same
+    /// determinism guarantee: serial and parallel builds release
+    /// bit-identical weights (per-shard accumulations are independent;
+    /// the final merge runs in shard order), and relative to a single
+    /// accumulator over the concatenation the per-shard chunk grids
+    /// regroup floating-point sums like a different `chunk_rows` would.
+    ///
+    /// # Errors
+    /// As [`SparseFmEstimator::fit`], plus [`FmError::Data`] for an empty
+    /// shard list, mismatched shard dimensionalities, or transport
+    /// errors.
+    pub fn fit_sharded<S>(&self, shards: &mut [S], rng: &mut impl Rng) -> Result<O::Model>
+    where
+        S: fm_data::stream::RowSource + Send,
+    {
+        self.refuse_gaussian()?;
+        crate::assembly::check_shard_dims(shards)?;
+        let chunk_rows = crate::assembly::DEFAULT_CHUNK_ROWS;
+        let parts = if self.config.fit_intercept {
+            let mut aug: Vec<_> = shards
+                .iter_mut()
+                .map(fm_data::stream::InterceptAugmentSource::new)
+                .collect();
+            crate::generic::assemble_polynomial_shards(&self.objective, &mut aug, chunk_rows)?
+        } else {
+            crate::generic::assemble_polynomial_shards(&self.objective, shards, chunk_rows)?
+        };
+        let mut clean: Option<fm_poly::Polynomial> = None;
+        for (_, part) in parts {
+            if let Some(part) = part {
+                match &mut clean {
+                    None => clean = Some(part),
+                    Some(total) => total.add_assign(&part),
+                }
+            }
+        }
+        let clean = clean.ok_or(FmError::Data(fm_data::DataError::EmptyDataset))?;
+        let omega_raw = self.release(&clean, rng)?;
+        Ok(self.finish(omega_raw, Some(self.config.epsilon)))
+    }
+
     /// Begins a two-phase shard-at-a-time fit over the general-degree
     /// objective; see [`crate::estimator::FmEstimator::partial_fit`] for
     /// the protocol. The Gaussian refusal happens here, *before* any data
@@ -351,7 +395,7 @@ impl<'a, O: SparseRegressionObjective> SparsePartialFit<'a, O> {
         source: &mut (impl fm_data::stream::RowSource + ?Sized),
     ) -> Result<usize> {
         if self.estimator.config.fit_intercept {
-            let mut aug = fm_data::stream::InterceptAugmentSource(source);
+            let mut aug = fm_data::stream::InterceptAugmentSource::new(source);
             let work_d = aug.dim();
             self.accumulator(work_d)?.absorb(&mut aug)
         } else {

@@ -292,6 +292,72 @@ impl Dataset {
     }
 }
 
+/// The squared norm bound the row checks compare against. Validation is
+/// on the hot streaming path (every absorbed block runs it before the
+/// Gram kernels), so the per-row check compares **squared** norms — no
+/// per-row `sqrt` — against this constant;
+/// `‖x‖₂ ≤ 1 + NORM_TOL  ⟺  ‖x‖₂² ≤ (1 + NORM_TOL)²` exactly, for any
+/// non-negative finite value. The `sqrt` is only taken on the error path,
+/// to report the offending norm in the units the contract states.
+const NORM_SQ_MAX: f64 = (1.0 + NORM_TOL) * (1.0 + NORM_TOL);
+
+/// Squared row norm with two independent accumulators, halving the
+/// floating-point dependency chain the plain `dot(x, x)` would serialise
+/// on — validation arithmetic only, never part of released coefficients.
+#[inline]
+fn sq_norm(x: &[f64]) -> f64 {
+    let mut a0 = 0.0_f64;
+    let mut a1 = 0.0_f64;
+    let mut chunks = x.chunks_exact(2);
+    for c in &mut chunks {
+        a0 += c[0] * c[0];
+        a1 += c[1] * c[1];
+    }
+    if let [v] = chunks.remainder() {
+        a0 += v * v;
+    }
+    a0 + a1
+}
+
+/// The branchless bulk scan behind the three contract checks: counts
+/// violating rows (norm or label) without any per-row branch, so the
+/// common all-clean case pipelines across rows. NaNs count as violations
+/// (every comparison with them is false) — which is exactly why the check
+/// is the negated `<=` rather than a `>` or a `partial_cmp`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+#[inline]
+fn count_violations(xs: &[f64], ys: &[f64], d: usize, y_ok: impl Fn(f64) -> bool) -> usize {
+    let mut bad = 0usize;
+    for (x, &y) in xs.chunks_exact(d).zip(ys) {
+        bad += usize::from(!(sq_norm(x) <= NORM_SQ_MAX)) + usize::from(!y_ok(y));
+    }
+    bad
+}
+
+/// The cold path: re-scans to name the first violating tuple (the scan is
+/// deterministic, so a counted violation is always found).
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // negated `<=` so NaN fails
+fn locate_violation(
+    xs: &[f64],
+    ys: &[f64],
+    d: usize,
+    y_ok: impl Fn(f64) -> bool,
+    y_err: impl Fn(usize, f64) -> DataError,
+) -> DataError {
+    for (i, (x, &y)) in xs.chunks_exact(d).zip(ys).enumerate() {
+        let norm_sq = sq_norm(x);
+        if !(norm_sq <= NORM_SQ_MAX) {
+            return DataError::NotNormalized {
+                detail: format!("‖x_{i}‖₂ = {} > 1", norm_sq.sqrt()),
+            };
+        }
+        if !y_ok(y) {
+            return y_err(i, y);
+        }
+    }
+    unreachable!("a counted contract violation must be locatable")
+}
+
 /// Verifies the linear-regression contract (`‖x_i‖₂ ≤ 1`, `y_i ∈ [−1, 1]`,
 /// Definition 1) over a row-major `k × d` block — the per-block form
 /// streaming ingestion validates without materializing a [`Dataset`].
@@ -301,20 +367,15 @@ impl Dataset {
 /// [`DataError::NotNormalized`] naming the first violating tuple.
 pub fn check_rows_normalized_linear(xs: &[f64], ys: &[f64], d: usize) -> Result<()> {
     debug_assert_eq!(xs.len(), ys.len() * d.max(1), "block shape mismatch");
-    for (i, (x, &y)) in xs.chunks_exact(d).zip(ys).enumerate() {
-        let norm = vecops::norm2(x);
-        if !norm.is_finite() || norm > 1.0 + NORM_TOL {
-            return Err(DataError::NotNormalized {
-                detail: format!("‖x_{i}‖₂ = {norm} > 1"),
-            });
-        }
-        if !(-1.0 - NORM_TOL..=1.0 + NORM_TOL).contains(&y) {
-            return Err(DataError::NotNormalized {
-                detail: format!("y_{i} = {y} outside [−1, 1]"),
-            });
-        }
+    let y_ok = |y: f64| (-1.0 - NORM_TOL..=1.0 + NORM_TOL).contains(&y);
+    if count_violations(xs, ys, d, y_ok) == 0 {
+        return Ok(());
     }
-    Ok(())
+    Err(locate_violation(xs, ys, d, y_ok, |i, y| {
+        DataError::NotNormalized {
+            detail: format!("y_{i} = {y} outside [−1, 1]"),
+        }
+    }))
 }
 
 /// Verifies the logistic-regression contract (`‖x_i‖₂ ≤ 1`, `y_i ∈ {0, 1}`,
@@ -325,20 +386,15 @@ pub fn check_rows_normalized_linear(xs: &[f64], ys: &[f64], d: usize) -> Result<
 /// [`DataError::NotNormalized`] naming the first violating tuple.
 pub fn check_rows_normalized_logistic(xs: &[f64], ys: &[f64], d: usize) -> Result<()> {
     debug_assert_eq!(xs.len(), ys.len() * d.max(1), "block shape mismatch");
-    for (i, (x, &y)) in xs.chunks_exact(d).zip(ys).enumerate() {
-        let norm = vecops::norm2(x);
-        if !norm.is_finite() || norm > 1.0 + NORM_TOL {
-            return Err(DataError::NotNormalized {
-                detail: format!("‖x_{i}‖₂ = {norm} > 1"),
-            });
-        }
-        if y != 0.0 && y != 1.0 {
-            return Err(DataError::NotNormalized {
-                detail: format!("y_{i} = {y} not in {{0, 1}}"),
-            });
-        }
+    let y_ok = |y: f64| y == 0.0 || y == 1.0;
+    if count_violations(xs, ys, d, y_ok) == 0 {
+        return Ok(());
     }
-    Ok(())
+    Err(locate_violation(xs, ys, d, y_ok, |i, y| {
+        DataError::NotNormalized {
+            detail: format!("y_{i} = {y} not in {{0, 1}}"),
+        }
+    }))
 }
 
 /// Verifies the bounded-count contract (`‖x_i‖₂ ≤ 1`, `y_i ∈ [0, y_max]`)
@@ -355,20 +411,15 @@ pub fn check_rows_normalized_counts(xs: &[f64], ys: &[f64], d: usize, y_max: f64
         });
     }
     debug_assert_eq!(xs.len(), ys.len() * d.max(1), "block shape mismatch");
-    for (i, (x, &y)) in xs.chunks_exact(d).zip(ys).enumerate() {
-        let norm = vecops::norm2(x);
-        if !norm.is_finite() || norm > 1.0 + NORM_TOL {
-            return Err(DataError::NotNormalized {
-                detail: format!("‖x_{i}‖₂ = {norm} > 1"),
-            });
-        }
-        if !(0.0..=y_max + NORM_TOL).contains(&y) {
-            return Err(DataError::NotNormalized {
-                detail: format!("y_{i} = {y} outside [0, {y_max}]"),
-            });
-        }
+    let y_ok = |y: f64| (0.0..=y_max + NORM_TOL).contains(&y);
+    if count_violations(xs, ys, d, y_ok) == 0 {
+        return Ok(());
     }
-    Ok(())
+    Err(locate_violation(xs, ys, d, y_ok, |i, y| {
+        DataError::NotNormalized {
+            detail: format!("y_{i} = {y} outside [0, {y_max}]"),
+        }
+    }))
 }
 
 #[cfg(test)]

@@ -15,6 +15,28 @@
 //! re-chunks every stream to its own fixed chunk size, so the released
 //! coefficients are bit-identical for any block sizing or shard split (the
 //! facade's `tests/streaming_equivalence.rs` pins this).
+//!
+//! ## Zero-copy ingestion
+//!
+//! [`RowSource`] has two data paths:
+//!
+//! * [`RowSource::next_block`] yields **owned** [`RowBlock`]s — the
+//!   simple, dyn-compatible pull API every source must implement;
+//! * [`RowSource::for_each_block`] drains the source through a visitor
+//!   that receives **borrowed** [`RowBlockRef`]s. The default wraps
+//!   `next_block`, but sources with a stable backing store override it to
+//!   hand out views with no per-block allocation or copy:
+//!   [`InMemorySource`] lends slices of the backing [`Dataset`] directly,
+//!   [`CsvStreamSource`] and [`InterceptAugmentSource`] parse/augment
+//!   into buffers reused across blocks, and [`ShardedSource`] forwards
+//!   each shard's own fast path.
+//!
+//! `fm-core`'s accumulators drain sources through the visitor, which is
+//! what lets in-memory data fitted *through the streaming entry points*
+//! (CV folds, `fit_in_session`, `fit_stream`) run at batched-kernel speed
+//! instead of paying one block copy per chunk. Both paths feed the same
+//! fixed re-chunking stage, so which one a source takes can never perturb
+//! released coefficients.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, Lines, Read};
@@ -86,6 +108,16 @@ impl RowBlock {
         self.ys.len()
     }
 
+    /// A borrowed view of this block.
+    #[must_use]
+    pub fn as_ref(&self) -> RowBlockRef<'_> {
+        RowBlockRef {
+            xs: &self.xs,
+            ys: &self.ys,
+            d: self.d,
+        }
+    }
+
     /// The footnote-2 intercept augmentation of this block: each row maps
     /// to `(x/√2, 1/√2)` at dimension `d + 1`, operation-for-operation the
     /// same arithmetic as [`Dataset::augment_for_intercept`], so a
@@ -110,6 +142,79 @@ impl RowBlock {
     }
 }
 
+/// A borrowed, row-major view of a block of rows — the zero-copy unit of
+/// the [`RowSource::for_each_block`] visitor path. Same shape contract as
+/// [`RowBlock`], but the buffers belong to the source (or its backing
+/// store) and are only valid for the duration of one visit.
+#[derive(Debug, Clone, Copy)]
+pub struct RowBlockRef<'a> {
+    xs: &'a [f64],
+    ys: &'a [f64],
+    d: usize,
+}
+
+impl<'a> RowBlockRef<'a> {
+    /// Builds a borrowed block view over a row-major feature slice and
+    /// matching labels.
+    ///
+    /// # Errors
+    /// * [`DataError::InvalidParameter`] for `d = 0`.
+    /// * [`DataError::LengthMismatch`] unless `xs.len() == ys.len()·d`.
+    pub fn new(xs: &'a [f64], ys: &'a [f64], d: usize) -> Result<Self> {
+        if d == 0 {
+            return Err(DataError::InvalidParameter {
+                name: "d",
+                reason: "a row block needs at least one feature column".to_string(),
+            });
+        }
+        if xs.len() != ys.len() * d {
+            return Err(DataError::LengthMismatch {
+                rows: xs.len() / d,
+                labels: ys.len(),
+            });
+        }
+        Ok(RowBlockRef { xs, ys, d })
+    }
+
+    /// The row-major `rows × d` feature slice.
+    #[must_use]
+    pub fn xs(&self) -> &'a [f64] {
+        self.xs
+    }
+
+    /// The labels, one per row.
+    #[must_use]
+    pub fn ys(&self) -> &'a [f64] {
+        self.ys
+    }
+
+    /// The feature dimensionality `d`.
+    #[must_use]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of rows in this view.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Copies this view into an owned [`RowBlock`].
+    #[must_use]
+    pub fn to_owned(&self) -> RowBlock {
+        RowBlock {
+            xs: self.xs.to_vec(),
+            ys: self.ys.to_vec(),
+            d: self.d,
+        }
+    }
+}
+
+/// The visitor type [`RowSource::for_each_block`] drives: receives each
+/// remaining block as a borrowed view; returning an error stops the drain.
+pub type BlockVisitor<'v> = dyn FnMut(RowBlockRef<'_>) -> Result<()> + 'v;
+
 /// An iterator-of-chunks over a logical dataset: the streaming ingestion
 /// trait every fit entry point can consume.
 ///
@@ -121,7 +226,11 @@ impl RowBlock {
 ///   source is exhausted;
 /// * every yielded block has dimensionality [`RowSource::dim`];
 /// * the concatenation of all yielded blocks, in order, is the logical
-///   dataset.
+///   dataset;
+/// * [`RowSource::for_each_block`], when overridden, must visit exactly
+///   the rows `next_block` would have yielded, in the same order, under
+///   the same `max_rows` cap — it is an alternative *transport*, never an
+///   alternative semantics.
 ///
 /// The trait is dyn-compatible: `&mut dyn RowSource` is what the
 /// estimator-level `fit_stream` entry points accept.
@@ -142,6 +251,44 @@ pub trait RowSource {
     /// # Errors
     /// Transport errors — I/O, parse failures — as [`DataError`].
     fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>>;
+
+    /// Hands over the **entire remaining** logical dataset as a borrowed,
+    /// materialized [`Dataset`] — when this source is nothing but a
+    /// fully-unconsumed in-memory dataset — marking the source exhausted
+    /// in the same call. Consumers with a random-access fast path (cached
+    /// columnar transposes, in-place chunking) use this to skip streaming
+    /// transport altogether; since `fm-core`'s accumulator chunks the
+    /// handed-over dataset on exactly the grid it would have re-chunked
+    /// the stream to, results are **bit-identical** either way.
+    ///
+    /// The default returns `None` (stream normally). Only sources whose
+    /// yielded rows *are* a materialized dataset, with **no pending
+    /// transformation** (no augmentation, no shard concatenation), may
+    /// return it — and only while still at their first row.
+    fn take_dataset(&mut self) -> Option<&Dataset> {
+        None
+    }
+
+    /// Drains the remaining rows through `f` as **borrowed**
+    /// [`RowBlockRef`]s of at most `max_rows.max(1)` rows each — the
+    /// zero-copy fast path of the streaming pipeline.
+    ///
+    /// The default pulls owned blocks from [`RowSource::next_block`] and
+    /// lends each one to `f`, so every implementor gets the visitor for
+    /// free; sources backed by stable storage override it to skip the
+    /// owned-block allocation entirely (see the module docs). After an
+    /// `Ok(())` return the source is exhausted; if `f` returns an error
+    /// the drain stops immediately and the error propagates (how many
+    /// rows were consumed at that point is source-specific).
+    ///
+    /// # Errors
+    /// Transport errors from the source, or the first error `f` returns.
+    fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
+        while let Some(block) = self.next_block(max_rows)? {
+            f(block.as_ref())?;
+        }
+        Ok(())
+    }
 }
 
 impl<S: RowSource + ?Sized> RowSource for &mut S {
@@ -153,6 +300,12 @@ impl<S: RowSource + ?Sized> RowSource for &mut S {
     }
     fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
         (**self).next_block(max_rows)
+    }
+    fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
+        (**self).for_each_block(max_rows, f)
+    }
+    fn take_dataset(&mut self) -> Option<&Dataset> {
+        (**self).take_dataset()
     }
 }
 
@@ -166,10 +319,22 @@ impl<S: RowSource + ?Sized> RowSource for Box<S> {
     fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
         (**self).next_block(max_rows)
     }
+    fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
+        (**self).for_each_block(max_rows, f)
+    }
+    fn take_dataset(&mut self) -> Option<&Dataset> {
+        (**self).take_dataset()
+    }
 }
 
 /// A [`RowSource`] over a materialized [`Dataset`]: the adapter that makes
 /// `fit(&Dataset)` a special case of `fit_stream`.
+///
+/// The visitor path ([`RowSource::for_each_block`]) lends slices of the
+/// backing dataset directly — **zero copies, zero allocations** — so
+/// in-memory data dispatched through the streaming entry points (CV
+/// folds, `PrivacySession::fit_stream`, the bench harness) assembles at
+/// the same rate as a direct `fit()`.
 #[derive(Debug)]
 pub struct InMemorySource<'a> {
     data: &'a Dataset,
@@ -211,6 +376,36 @@ impl RowSource for InMemorySource<'_> {
         self.pos = hi;
         Ok(Some(RowBlock { xs, ys, d }))
     }
+
+    fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
+        let n = self.data.n();
+        let d = self.data.d();
+        let step = max_rows.max(1);
+        let xs = self.data.x().as_slice();
+        let ys = self.data.y();
+        while self.pos < n {
+            let hi = (self.pos + step).min(n);
+            let lo = self.pos;
+            // Advance before the visit so an error from `f` leaves the
+            // cursor past the rows it already saw.
+            self.pos = hi;
+            f(RowBlockRef {
+                xs: &xs[lo * d..hi * d],
+                ys: &ys[lo..hi],
+                d,
+            })?;
+        }
+        Ok(())
+    }
+
+    fn take_dataset(&mut self) -> Option<&Dataset> {
+        if self.pos == 0 {
+            self.pos = self.data.n();
+            Some(self.data)
+        } else {
+            None
+        }
+    }
 }
 
 /// How [`CsvStreamSource`] maps the raw label column.
@@ -228,11 +423,86 @@ pub enum LabelTransform {
     },
 }
 
+/// What a raw CSV field position contributes to the mapped row.
+#[derive(Debug, Clone, Copy)]
+enum ColumnRole {
+    /// Feature column, landing at this output slot.
+    Feature(usize),
+    /// The label column.
+    Label,
+    /// Present in the file, not selected: skipped without parsing (so
+    /// foreign CSVs may carry non-numeric columns alongside the data).
+    Skip,
+}
+
+/// A header-driven column mapping (see
+/// [`CsvStreamSource::select_columns`]): which raw field feeds which
+/// output slot.
+#[derive(Debug, Clone)]
+struct ColumnMap {
+    /// One role per raw CSV field position.
+    roles: Vec<ColumnRole>,
+}
+
+impl ColumnMap {
+    /// Parses one data line under this mapping: selected features land in
+    /// `out` (resized to `d`, output order), the label is returned,
+    /// unselected fields are skipped without parsing.
+    fn parse_row(&self, line: &str, d: usize, lineno: usize, out: &mut Vec<f64>) -> Result<f64> {
+        out.clear();
+        out.resize(d, 0.0);
+        let mut label = 0.0;
+        let mut fields = 0usize;
+        for v in line.split(',') {
+            if fields == self.roles.len() {
+                return Err(DataError::Parse {
+                    line: lineno,
+                    detail: format!(
+                        "expected {} fields, found {}",
+                        self.roles.len(),
+                        line.split(',').count()
+                    ),
+                });
+            }
+            match self.roles[fields] {
+                ColumnRole::Skip => {}
+                role => match v.trim().parse::<f64>() {
+                    Ok(parsed) => match role {
+                        ColumnRole::Feature(slot) => out[slot] = parsed,
+                        ColumnRole::Label => label = parsed,
+                        ColumnRole::Skip => unreachable!("skip handled above"),
+                    },
+                    Err(_) => {
+                        return Err(DataError::Parse {
+                            line: lineno,
+                            detail: format!("field {}: `{v}` is not a number", fields + 1),
+                        });
+                    }
+                },
+            }
+            fields += 1;
+        }
+        if fields != self.roles.len() {
+            return Err(DataError::Parse {
+                line: lineno,
+                detail: format!("expected {} fields, found {fields}", self.roles.len()),
+            });
+        }
+        Ok(label)
+    }
+}
+
 /// A [`RowSource`] that reads, normalizes and clamps rows straight out of
 /// a numeric CSV (same dialect as [`crate::csv::read_dataset`]: one header
 /// row, label last) **without materializing the file** — the out-of-core
 /// entry point. Peak memory is one [`RowBlock`] of the caller's requested
-/// size, whatever the file size.
+/// size, whatever the file size; the visitor path
+/// ([`RowSource::for_each_block`]) parses into buffers reused across
+/// blocks, so a whole-file drain performs no per-block allocation.
+///
+/// Foreign CSVs whose columns are named but not laid out in the expected
+/// order (or that carry extra columns) can be re-keyed by header name
+/// with [`CsvStreamSource::select_columns`] — no rewrite pass needed.
 ///
 /// With a [`Normalizer`] attached ([`CsvStreamSource::with_normalizer`]),
 /// each row passes through the paper's footnote-1 feature map (clamp to
@@ -243,11 +513,22 @@ pub enum LabelTransform {
 #[derive(Debug)]
 pub struct CsvStreamSource<R> {
     lines: Lines<BufReader<R>>,
+    /// The full header, in file order (features *and* label columns).
+    header: Vec<String>,
+    /// Selected feature names, in output order.
     names: Vec<String>,
     d: usize,
     /// 1-based line number of the last line read (the header is line 1).
     line: usize,
     normalizer: Option<(Normalizer, LabelTransform)>,
+    /// Header-driven column mapping; `None` = the default dialect (every
+    /// column a feature in file order, label last).
+    map: Option<ColumnMap>,
+    /// Scratch reused across rows (raw parsed features of one row).
+    raw_row: Vec<f64>,
+    /// Block buffers reused across blocks by the visitor path.
+    block_xs: Vec<f64>,
+    block_ys: Vec<f64>,
 }
 
 impl CsvStreamSource<File> {
@@ -258,6 +539,57 @@ impl CsvStreamSource<File> {
     pub fn open(path: &Path) -> Result<Self> {
         CsvStreamSource::from_reader(File::open(path)?)
     }
+}
+
+/// Reads one block of up to `want` rows into `xs`/`ys` (appending) — the
+/// single row loop shared by the owned and borrowed block paths, so the
+/// two can never drift on dialect, mapping or normalization details.
+#[allow(clippy::too_many_arguments)]
+fn read_csv_block<R: Read>(
+    lines: &mut Lines<BufReader<R>>,
+    line_no: &mut usize,
+    d: usize,
+    map: Option<&ColumnMap>,
+    normalizer: Option<&(Normalizer, LabelTransform)>,
+    raw_row: &mut Vec<f64>,
+    want: usize,
+    xs: &mut Vec<f64>,
+    ys: &mut Vec<f64>,
+) -> Result<()> {
+    while ys.len() < want {
+        let Some(line) = lines.next() else { break };
+        let line = line?;
+        *line_no += 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        raw_row.clear();
+        let y_raw = match map {
+            None => parse_numeric_row(&line, d, *line_no, raw_row)?,
+            Some(m) => m.parse_row(&line, d, *line_no, raw_row)?,
+        };
+        match normalizer {
+            None => {
+                xs.extend_from_slice(raw_row);
+                ys.push(y_raw);
+            }
+            Some((norm, label)) => {
+                norm.normalize_features_row(raw_row, xs)?;
+                ys.push(match *label {
+                    LabelTransform::Raw => y_raw,
+                    LabelTransform::Linear => norm.normalize_label(y_raw),
+                    LabelTransform::Binarize { threshold } => {
+                        if y_raw > threshold {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 impl<R: Read> CsvStreamSource<R> {
@@ -284,10 +616,103 @@ impl<R: Read> CsvStreamSource<R> {
         Ok(CsvStreamSource {
             lines,
             names: columns[..d].to_vec(),
+            header: columns,
             d,
             line: 1,
             normalizer: None,
+            map: None,
+            raw_row: Vec::new(),
+            block_xs: Vec::new(),
+            block_ys: Vec::new(),
         })
+    }
+
+    /// Re-keys the stream by header name: the yielded rows carry exactly
+    /// the named `features`, in the order given, labelled by the `label`
+    /// column — wherever those columns sit in the file, and regardless of
+    /// any extra columns (which are skipped without being parsed, so they
+    /// may be non-numeric). This is what makes a foreign CSV ingestible
+    /// without a rewrite pass.
+    ///
+    /// Must be called before any rows are read, and before
+    /// [`CsvStreamSource::with_normalizer`] (the normalizer's arity is
+    /// checked against the *selected* features).
+    ///
+    /// # Errors
+    /// * [`DataError::UnknownAttribute`] when a requested column is not in
+    ///   the header.
+    /// * [`DataError::Parse`] when the header lists a requested column
+    ///   more than once (the mapping would be ambiguous).
+    /// * [`DataError::InvalidParameter`] for an empty feature list, a
+    ///   feature requested twice, the label doubling as a feature, rows
+    ///   already read, or a previously attached normalizer of foreign
+    ///   arity.
+    pub fn select_columns(mut self, features: &[&str], label: &str) -> Result<Self> {
+        if self.line != 1 {
+            return Err(DataError::InvalidParameter {
+                name: "select_columns",
+                reason: "columns must be selected before any rows are read".to_string(),
+            });
+        }
+        if features.is_empty() {
+            return Err(DataError::InvalidParameter {
+                name: "features",
+                reason: "need at least one feature column".to_string(),
+            });
+        }
+        if let Some((i, dup)) = features
+            .iter()
+            .enumerate()
+            .find(|&(i, name)| features[..i].contains(name))
+            .map(|(i, name)| (i, *name))
+        {
+            return Err(DataError::InvalidParameter {
+                name: "features",
+                reason: format!("column `{dup}` requested twice (positions {i} and earlier)"),
+            });
+        }
+        if features.contains(&label) {
+            return Err(DataError::InvalidParameter {
+                name: "label",
+                reason: format!("`{label}` cannot be both a feature and the label"),
+            });
+        }
+        let position_of = |want: &str| -> Result<usize> {
+            let mut hits = self.header.iter().enumerate().filter(|(_, h)| *h == want);
+            let Some((pos, _)) = hits.next() else {
+                return Err(DataError::UnknownAttribute {
+                    name: want.to_string(),
+                });
+            };
+            if hits.next().is_some() {
+                return Err(DataError::Parse {
+                    line: 1,
+                    detail: format!("header lists column `{want}` more than once"),
+                });
+            }
+            Ok(pos)
+        };
+        let mut roles = vec![ColumnRole::Skip; self.header.len()];
+        for (slot, name) in features.iter().enumerate() {
+            roles[position_of(name)?] = ColumnRole::Feature(slot);
+        }
+        roles[position_of(label)?] = ColumnRole::Label;
+        if let Some((norm, _)) = &self.normalizer {
+            if norm.d() != features.len() {
+                return Err(DataError::InvalidParameter {
+                    name: "normalizer",
+                    reason: format!(
+                        "normalizer expects {} features, {} were selected",
+                        norm.d(),
+                        features.len()
+                    ),
+                });
+            }
+        }
+        self.d = features.len();
+        self.names = features.iter().map(|s| (*s).to_string()).collect();
+        self.map = Some(ColumnMap { roles });
+        Ok(self)
     }
 
     /// Attaches per-row normalization: footnote-1 feature scaling plus the
@@ -317,10 +742,17 @@ impl<R: Read> CsvStreamSource<R> {
         Ok(self)
     }
 
-    /// The feature names from the header, in column order.
+    /// The feature names this stream yields, in column (output) order.
     #[must_use]
     pub fn feature_names(&self) -> &[String] {
         &self.names
+    }
+
+    /// The full CSV header, in file order — what
+    /// [`CsvStreamSource::select_columns`] selects from.
+    #[must_use]
+    pub fn header(&self) -> &[String] {
+        &self.header
     }
 }
 
@@ -332,43 +764,61 @@ impl<R: Read> RowSource for CsvStreamSource<R> {
     fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
         let want = max_rows.max(1);
         let d = self.d;
-        let mut raw_row: Vec<f64> = Vec::with_capacity(d);
         let mut xs = Vec::with_capacity(want * d);
         let mut ys = Vec::with_capacity(want);
-        while ys.len() < want {
-            let Some(line) = self.lines.next() else { break };
-            let line = line?;
-            self.line += 1;
-            if line.trim().is_empty() {
-                continue;
-            }
-            raw_row.clear();
-            let y_raw = parse_numeric_row(&line, d, self.line, &mut raw_row)?;
-            match &self.normalizer {
-                None => {
-                    xs.extend_from_slice(&raw_row);
-                    ys.push(y_raw);
-                }
-                Some((norm, label)) => {
-                    norm.normalize_features_row(&raw_row, &mut xs)?;
-                    ys.push(match *label {
-                        LabelTransform::Raw => y_raw,
-                        LabelTransform::Linear => norm.normalize_label(y_raw),
-                        LabelTransform::Binarize { threshold } => {
-                            if y_raw > threshold {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        }
-                    });
-                }
-            }
-        }
+        read_csv_block(
+            &mut self.lines,
+            &mut self.line,
+            d,
+            self.map.as_ref(),
+            self.normalizer.as_ref(),
+            &mut self.raw_row,
+            want,
+            &mut xs,
+            &mut ys,
+        )?;
         if ys.is_empty() {
             Ok(None)
         } else {
             Ok(Some(RowBlock { xs, ys, d }))
+        }
+    }
+
+    fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
+        let want = max_rows.max(1);
+        loop {
+            let CsvStreamSource {
+                lines,
+                line,
+                d,
+                normalizer,
+                map,
+                raw_row,
+                block_xs,
+                block_ys,
+                ..
+            } = self;
+            block_xs.clear();
+            block_ys.clear();
+            read_csv_block(
+                lines,
+                line,
+                *d,
+                map.as_ref(),
+                normalizer.as_ref(),
+                raw_row,
+                want,
+                block_xs,
+                block_ys,
+            )?;
+            if block_ys.is_empty() {
+                return Ok(());
+            }
+            f(RowBlockRef {
+                xs: block_xs,
+                ys: block_ys,
+                d: *d,
+            })?;
         }
     }
 }
@@ -377,7 +827,8 @@ impl<R: Read> RowSource for CsvStreamSource<R> {
 /// dimensionality — disjoint shards presented as one logical dataset.
 /// Blocks are drawn from the shards in order; shard boundaries are
 /// invisible to the consumer (and, because `fm-core`'s accumulator
-/// re-chunks anyway, can never perturb released coefficients).
+/// re-chunks anyway, can never perturb released coefficients). The
+/// visitor path forwards each shard's own zero-copy fast path.
 #[derive(Debug)]
 pub struct ShardedSource<S> {
     shards: Vec<S>,
@@ -438,28 +889,259 @@ impl<S: RowSource> RowSource for ShardedSource<S> {
         }
         Ok(None)
     }
+
+    fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
+        while self.current < self.shards.len() {
+            self.shards[self.current].for_each_block(max_rows, f)?;
+            self.current += 1;
+        }
+        Ok(())
+    }
 }
 
 /// A [`RowSource`] adapter applying the footnote-2 intercept augmentation
 /// to every block (dimensionality `d + 1`): what `fm-core`'s streaming fit
-/// pipeline wraps a source in when `fit_intercept` is on.
+/// pipeline wraps a source in when `fit_intercept` is on. The visitor path
+/// writes the augmented rows into a buffer reused across blocks, so the
+/// adapter adds no per-block allocation on top of the inner source.
 #[derive(Debug)]
-pub struct InterceptAugmentSource<S>(pub S);
+pub struct InterceptAugmentSource<S> {
+    inner: S,
+    /// Augmented-feature scratch reused across blocks by the visitor path.
+    scratch: Vec<f64>,
+}
+
+impl<S: RowSource> InterceptAugmentSource<S> {
+    /// Wraps `inner`, augmenting every block it yields.
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        InterceptAugmentSource {
+            inner,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The wrapped source.
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
 
 impl<S: RowSource> RowSource for InterceptAugmentSource<S> {
     fn dim(&self) -> usize {
-        self.0.dim() + 1
+        self.inner.dim() + 1
     }
 
     fn hint_rows(&self) -> Option<usize> {
-        self.0.hint_rows()
+        self.inner.hint_rows()
     }
 
     fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
         Ok(self
-            .0
+            .inner
             .next_block(max_rows)?
             .map(|b| b.augment_for_intercept()))
+    }
+
+    fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
+        let InterceptAugmentSource { inner, scratch } = self;
+        inner.for_each_block(max_rows, &mut |b| {
+            // Same arithmetic, in the same order, as
+            // `RowBlock::augment_for_intercept` — bit-identity with the
+            // materialized `Dataset::augment_for_intercept` is part of the
+            // streaming contract.
+            let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+            let d = b.d();
+            scratch.clear();
+            scratch.reserve(b.rows() * (d + 1));
+            for row in b.xs().chunks_exact(d) {
+                for &v in row {
+                    scratch.push(v * inv_sqrt2);
+                }
+                scratch.push(inv_sqrt2);
+            }
+            f(RowBlockRef {
+                xs: scratch,
+                ys: b.ys(),
+                d: d + 1,
+            })
+        })
+    }
+}
+
+#[cfg(feature = "parallel")]
+pub use self::prefetch::PrefetchSource;
+
+#[cfg(feature = "parallel")]
+mod prefetch {
+    use std::sync::mpsc::{Receiver, SyncSender};
+    use std::thread::JoinHandle;
+
+    use super::{BlockVisitor, Result, RowBlock, RowBlockRef, RowSource};
+
+    /// A double-buffering [`RowSource`] adapter: a worker thread pulls
+    /// (parses, clamps, normalizes) blocks from the inner source while the
+    /// consumer runs its kernels on the previous ones, overlapping
+    /// transport latency — CSV parse, file I/O — with accumulation.
+    ///
+    /// Blocks flow through a bounded channel of `depth` blocks, so peak
+    /// memory is `(depth + 1) · block_rows` staged rows. Ordering is
+    /// preserved exactly (single worker, FIFO channel), and `fm-core`'s
+    /// accumulator re-chunks every stream anyway, so wrapping a source in
+    /// a `PrefetchSource` can never perturb released coefficients — at
+    /// any `block_rows` or `depth` (`tests/streaming_equivalence.rs` pins
+    /// this).
+    ///
+    /// Worth it when the inner source does real per-row work
+    /// ([`super::CsvStreamSource`]); an already-in-memory source gains
+    /// nothing and pays the channel hop. Available with the `parallel`
+    /// cargo feature.
+    #[derive(Debug)]
+    pub struct PrefetchSource {
+        d: usize,
+        hint0: Option<usize>,
+        served: usize,
+        rx: Option<Receiver<Result<RowBlock>>>,
+        /// The block currently being served, plus how many of its rows
+        /// have already been yielded.
+        pending: Option<(RowBlock, usize)>,
+        worker: Option<JoinHandle<()>>,
+    }
+
+    impl PrefetchSource {
+        /// Moves `source` to a worker thread that reads ahead blocks of
+        /// `block_rows` rows, buffering at most `depth` parsed blocks
+        /// (both clamped to ≥ 1).
+        pub fn spawn<S>(mut source: S, block_rows: usize, depth: usize) -> Self
+        where
+            S: RowSource + Send + 'static,
+        {
+            let d = source.dim();
+            let hint0 = source.hint_rows();
+            let block_rows = block_rows.max(1);
+            let (tx, rx): (SyncSender<Result<RowBlock>>, _) =
+                std::sync::mpsc::sync_channel(depth.max(1));
+            let worker = std::thread::spawn(move || loop {
+                match source.next_block(block_rows) {
+                    Ok(Some(block)) => {
+                        if tx.send(Ok(block)).is_err() {
+                            return; // consumer dropped: stop reading ahead
+                        }
+                    }
+                    Ok(None) => return,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            });
+            PrefetchSource {
+                d,
+                hint0,
+                served: 0,
+                rx: Some(rx),
+                pending: None,
+                worker: Some(worker),
+            }
+        }
+
+        /// Receives the next read-ahead block into `pending`; `Ok(false)`
+        /// once the worker is done.
+        fn refill(&mut self) -> Result<bool> {
+            debug_assert!(self.pending.is_none(), "refill with a block pending");
+            let Some(rx) = &self.rx else { return Ok(false) };
+            match rx.recv() {
+                Ok(Ok(block)) => {
+                    self.pending = Some((block, 0));
+                    Ok(true)
+                }
+                Ok(Err(e)) => {
+                    self.rx = None;
+                    Err(e)
+                }
+                Err(_) => {
+                    // Worker exhausted the source and hung up.
+                    self.rx = None;
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    impl RowSource for PrefetchSource {
+        fn dim(&self) -> usize {
+            self.d
+        }
+
+        fn hint_rows(&self) -> Option<usize> {
+            self.hint0.map(|h| h.saturating_sub(self.served))
+        }
+
+        fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
+            let want = max_rows.max(1);
+            if self.pending.is_none() && !self.refill()? {
+                return Ok(None);
+            }
+            let (block, offset) = self.pending.take().expect("refilled above");
+            let remaining = block.rows() - offset;
+            if offset == 0 && remaining <= want {
+                // Whole-block handoff: no copy.
+                self.served += remaining;
+                return Ok(Some(block));
+            }
+            // The consumer's cap is smaller than the read-ahead block:
+            // serve a copied sub-range and keep the rest pending.
+            let take = want.min(remaining);
+            let d = block.d();
+            let sub = RowBlock {
+                xs: block.xs()[offset * d..(offset + take) * d].to_vec(),
+                ys: block.ys()[offset..offset + take].to_vec(),
+                d,
+            };
+            if offset + take < block.rows() {
+                self.pending = Some((block, offset + take));
+            }
+            self.served += take;
+            Ok(Some(sub))
+        }
+
+        fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
+            let want = max_rows.max(1);
+            loop {
+                if self.pending.is_none() && !self.refill()? {
+                    return Ok(());
+                }
+                let (block, offset) = self.pending.as_mut().expect("refilled above");
+                let d = block.d();
+                let lo = *offset;
+                let take = want.min(block.rows() - lo);
+                *offset += take;
+                let done = *offset >= block.rows();
+                let (block, _) = self.pending.as_ref().expect("still pending");
+                let view = RowBlockRef {
+                    xs: &block.xs()[lo * d..(lo + take) * d],
+                    ys: &block.ys()[lo..lo + take],
+                    d,
+                };
+                f(view)?;
+                self.served += take;
+                if done {
+                    self.pending = None;
+                }
+            }
+        }
+    }
+
+    impl Drop for PrefetchSource {
+        fn drop(&mut self) {
+            // Hang up first so a worker blocked on a full channel exits,
+            // then reap it.
+            drop(self.rx.take());
+            if let Some(worker) = self.worker.take() {
+                let _ = worker.join();
+            }
+        }
     }
 }
 
@@ -469,20 +1151,28 @@ const MATERIALIZE_BLOCK_ROWS: usize = 8_192;
 /// Drains a source into a materialized [`Dataset`] (default feature
 /// names) — the fallback estimators without a native streaming path use,
 /// and the bridge back from the streaming world for anything that still
-/// needs random access.
+/// needs random access. Runs through the borrowed-block visitor, so the
+/// only allocation is the destination buffers themselves (sized up front
+/// when the source hints its row count).
 ///
 /// # Errors
 /// Transport errors from the source; [`DataError::EmptyDataset`] when the
 /// source yields no rows.
 pub fn materialize<S: RowSource + ?Sized>(source: &mut S) -> Result<Dataset> {
+    /// Preallocation ceiling: `hint_rows` is advisory, so a buggy (or
+    /// hostile) hint must not trigger an unbounded up-front allocation —
+    /// growth past this is amortized doubling, same as no hint at all.
+    const PREALLOC_ROWS_MAX: usize = 1 << 20;
     let d = source.dim();
-    let mut xs = Vec::new();
-    let mut ys = Vec::new();
-    while let Some(block) = source.next_block(MATERIALIZE_BLOCK_ROWS)? {
+    let hint = source.hint_rows().unwrap_or(0).min(PREALLOC_ROWS_MAX);
+    let mut xs: Vec<f64> = Vec::with_capacity(hint.saturating_mul(d));
+    let mut ys: Vec<f64> = Vec::with_capacity(hint);
+    source.for_each_block(MATERIALIZE_BLOCK_ROWS, &mut |block| {
         debug_assert_eq!(block.d(), d, "source yielded a block of foreign arity");
         xs.extend_from_slice(block.xs());
         ys.extend_from_slice(block.ys());
-    }
+        Ok(())
+    })?;
     if ys.is_empty() {
         return Err(DataError::EmptyDataset);
     }
@@ -508,6 +1198,28 @@ mod tests {
         Dataset::new(x, vec![1.0, 0.0, 1.0, -0.5, 0.25]).unwrap()
     }
 
+    /// Drains `source` through the borrowed-block visitor, concatenating
+    /// everything it yields and checking the per-block contract.
+    fn drain_visitor<S: RowSource + ?Sized>(
+        source: &mut S,
+        max_rows: usize,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let d = source.dim();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        source
+            .for_each_block(max_rows, &mut |b| {
+                assert!(b.rows() > 0 && b.rows() <= max_rows.max(1));
+                assert_eq!(b.d(), d);
+                assert_eq!(b.xs().len(), b.rows() * d);
+                xs.extend_from_slice(b.xs());
+                ys.extend_from_slice(b.ys());
+                Ok(())
+            })
+            .unwrap();
+        (xs, ys)
+    }
+
     #[test]
     fn row_block_validates_shapes() {
         assert!(RowBlock::new(vec![1.0, 2.0], vec![0.5], 2).is_ok());
@@ -516,6 +1228,13 @@ mod tests {
             Err(DataError::LengthMismatch { .. })
         ));
         assert!(RowBlock::new(vec![], vec![], 0).is_err());
+        // Borrowed views share the contract; round-trips are exact.
+        let owned = RowBlock::new(vec![1.0, 2.0], vec![0.5], 2).unwrap();
+        let view = owned.as_ref();
+        assert_eq!(view.rows(), 1);
+        assert_eq!(view.to_owned(), owned);
+        assert!(RowBlockRef::new(&[1.0], &[0.5], 2).is_err());
+        assert!(RowBlockRef::new(&[], &[], 0).is_err());
     }
 
     #[test]
@@ -541,6 +1260,66 @@ mod tests {
             src.reset();
             assert!(src.next_block(4).unwrap().is_some());
         }
+    }
+
+    #[test]
+    fn in_memory_visitor_matches_owned_blocks_and_shares_the_cursor() {
+        let data = small();
+        for max_rows in [1usize, 2, 3, 5, 100] {
+            let mut src = InMemorySource::new(&data);
+            let (xs, ys) = drain_visitor(&mut src, max_rows);
+            assert_eq!(xs, data.x().as_slice());
+            assert_eq!(ys, data.y());
+            // Visitor drains fully: the owned path sees nothing after.
+            assert!(src.next_block(4).unwrap().is_none());
+            // Mixed consumption: pull one owned block, visit the rest.
+            src.reset();
+            let first = src.next_block(2).unwrap().unwrap();
+            let (xs_rest, ys_rest) = drain_visitor(&mut src, 2);
+            let mut all = first.ys().to_vec();
+            all.extend_from_slice(&ys_rest);
+            assert_eq!(all, data.y());
+            assert_eq!(xs_rest.len(), (data.n() - 2) * data.d());
+        }
+    }
+
+    #[test]
+    fn take_dataset_hands_over_only_a_fresh_source() {
+        let data = small();
+        let mut src = InMemorySource::new(&data);
+        let handed = src.take_dataset().expect("fresh source hands over");
+        assert!(std::ptr::eq(handed, &data));
+        // The handoff consumed the source.
+        assert_eq!(src.hint_rows(), Some(0));
+        assert!(src.next_block(8).unwrap().is_none());
+        assert!(src.take_dataset().is_none());
+        // A partially consumed source refuses.
+        let mut src = InMemorySource::new(&data);
+        let _ = src.next_block(2).unwrap();
+        assert!(src.take_dataset().is_none());
+        // Adapters with pending transformations never hand over.
+        assert!(InterceptAugmentSource::new(InMemorySource::new(&data))
+            .take_dataset()
+            .is_none());
+        let mut sharded = ShardedSource::new(vec![InMemorySource::new(&data)]).unwrap();
+        assert!(sharded.take_dataset().is_none());
+    }
+
+    #[test]
+    fn visitor_error_stops_the_drain() {
+        let data = small();
+        let mut src = InMemorySource::new(&data);
+        let mut seen = 0usize;
+        let err = src.for_each_block(1, &mut |_| {
+            seen += 1;
+            if seen == 2 {
+                Err(DataError::EmptyDataset)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(matches!(err, Err(DataError::EmptyDataset)));
+        assert_eq!(seen, 2, "drain must stop at the first callback error");
     }
 
     #[test]
@@ -572,6 +1351,12 @@ mod tests {
         let merged = materialize(&mut sharded).unwrap();
         assert_eq!(merged.x().as_slice(), data.x().as_slice());
         assert_eq!(merged.y(), data.y());
+        // The visitor path crosses shard boundaries in order too.
+        let mut sharded =
+            ShardedSource::new(vec![InMemorySource::new(&a), InMemorySource::new(&b)]).unwrap();
+        let (xs, ys) = drain_visitor(&mut sharded, 2);
+        assert_eq!(xs, data.x().as_slice());
+        assert_eq!(ys, data.y());
     }
 
     #[test]
@@ -601,13 +1386,23 @@ mod tests {
     fn intercept_augment_matches_dataset_augmentation_bitwise() {
         let data = small();
         let aug = data.augment_for_intercept();
-        let mut src = InterceptAugmentSource(InMemorySource::new(&data));
+        let mut src = InterceptAugmentSource::new(InMemorySource::new(&data));
         assert_eq!(src.dim(), 3);
         let streamed = materialize(&mut src).unwrap();
         for (a, b) in streamed.x().as_slice().iter().zip(aug.x().as_slice()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(streamed.y(), aug.y());
+        // The owned-block path produces the same bits (it augments each
+        // owned block instead of reusing the visitor scratch).
+        let mut src = InterceptAugmentSource::new(InMemorySource::new(&data));
+        let mut owned_xs = Vec::new();
+        while let Some(b) = src.next_block(2).unwrap() {
+            owned_xs.extend_from_slice(b.xs());
+        }
+        for (a, b) in owned_xs.iter().zip(aug.x().as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]
@@ -618,10 +1413,19 @@ mod tests {
         let mut src = CsvStreamSource::from_reader(&buf[..]).unwrap();
         assert_eq!(src.dim(), 2);
         assert_eq!(src.feature_names(), data.feature_names());
+        assert_eq!(src.header().last().map(String::as_str), Some("label"));
         let streamed = materialize(&mut src).unwrap();
         let direct = crate::csv::read_dataset_from(&buf[..]).unwrap();
         assert_eq!(streamed.x().as_slice(), direct.x().as_slice());
         assert_eq!(streamed.y(), direct.y());
+        // The owned-block path reads the same rows.
+        let mut src = CsvStreamSource::from_reader(&buf[..]).unwrap();
+        let mut ys = Vec::new();
+        while let Some(b) = src.next_block(2).unwrap() {
+            assert!(b.rows() <= 2);
+            ys.extend_from_slice(b.ys());
+        }
+        assert_eq!(ys, direct.y());
     }
 
     #[test]
@@ -635,9 +1439,120 @@ mod tests {
             Err(DataError::Parse { line, .. }) => assert_eq!(line, 4),
             other => panic!("expected parse error, got {other:?}"),
         }
+        // The visitor path surfaces the same transport errors.
+        let mut src = CsvStreamSource::from_reader(&csv[..]).unwrap();
+        let err = src.for_each_block(8, &mut |_| Ok(()));
+        assert!(matches!(err, Err(DataError::Parse { line: 4, .. })));
         // Header failures.
         assert!(CsvStreamSource::from_reader(&b""[..]).is_err());
         assert!(CsvStreamSource::from_reader(&b"only\n"[..]).is_err());
+    }
+
+    #[test]
+    fn csv_select_columns_reorders_by_header_name() {
+        // File order: junk, b, label-ish extra, a, y — the mapper must
+        // pick (a, b) as features and y as the label, skipping the rest
+        // (including the non-numeric junk column, unparsed).
+        let csv = b"junk,b,extra,a,y\n\
+                    hello,2.0,9.0,1.0,0.5\n\
+                    world,4.0,9.0,3.0,-0.5\n";
+        let mut src = CsvStreamSource::from_reader(&csv[..])
+            .unwrap()
+            .select_columns(&["a", "b"], "y")
+            .unwrap();
+        assert_eq!(src.dim(), 2);
+        assert_eq!(src.feature_names(), &["a".to_string(), "b".to_string()]);
+        let got = materialize(&mut src).unwrap();
+        assert_eq!(got.x().as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(got.y(), &[0.5, -0.5]);
+
+        // Ragged mapped rows are reported with their line number.
+        let bad = b"a,b,y\n1.0,2.0,0.1\n1.0,2.0\n";
+        let mut src = CsvStreamSource::from_reader(&bad[..])
+            .unwrap()
+            .select_columns(&["b"], "y")
+            .unwrap();
+        assert_eq!(src.next_block(1).unwrap().unwrap().xs(), &[2.0]);
+        assert!(matches!(
+            src.next_block(1),
+            Err(DataError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn csv_select_columns_rejects_bad_requests() {
+        let csv = b"a,b,a,y\n1.0,2.0,3.0,0.5\n";
+        let open = || CsvStreamSource::from_reader(&csv[..]).unwrap();
+        // Missing column.
+        assert!(matches!(
+            open().select_columns(&["nope"], "y"),
+            Err(DataError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            open().select_columns(&["b"], "nope"),
+            Err(DataError::UnknownAttribute { .. })
+        ));
+        // A requested column that the header lists twice is ambiguous.
+        assert!(matches!(
+            open().select_columns(&["a"], "y"),
+            Err(DataError::Parse { line: 1, .. })
+        ));
+        // Duplicate request / label doubling as feature / empty request.
+        assert!(open().select_columns(&["b", "b"], "y").is_err());
+        assert!(open().select_columns(&["y"], "y").is_err());
+        assert!(open().select_columns(&[], "y").is_err());
+        // Selecting after rows were read is refused.
+        let mut started = open();
+        let _ = started.next_block(1).unwrap();
+        assert!(started.select_columns(&["b"], "y").is_err());
+    }
+
+    #[test]
+    fn csv_select_columns_composes_with_normalization() {
+        let schema = Schema::new()
+            .with("age", AttributeKind::Integer { min: 0, max: 100 })
+            .with("hours", AttributeKind::Integer { min: 0, max: 50 })
+            .with(
+                "income",
+                AttributeKind::Continuous {
+                    min: 0.0,
+                    max: 1000.0,
+                },
+            );
+        let norm = Normalizer::from_schema(&schema, "income").unwrap();
+        // A foreign layout: label first, features reversed, plus noise.
+        let csv = b"income,noise,hours,age\n500.0,x,25.0,50.0\n0.0,y,50.0,0.0\n";
+        let mut src = CsvStreamSource::from_reader(&csv[..])
+            .unwrap()
+            .select_columns(&["age", "hours"], "income")
+            .unwrap()
+            .with_normalizer(norm.clone(), LabelTransform::Linear)
+            .unwrap();
+        let streamed = materialize(&mut src).unwrap();
+
+        // Reference: the same rows through the canonical layout.
+        let x = Matrix::from_rows(&[&[50.0, 25.0], &[0.0, 50.0]]).unwrap();
+        let raw =
+            Dataset::with_names(x, vec![500.0, 0.0], vec!["age".into(), "hours".into()]).unwrap();
+        let reference = norm.normalize_linear(&raw).unwrap();
+        for (a, b) in streamed.x().as_slice().iter().zip(reference.x().as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(streamed.y(), reference.y());
+
+        // Arity check runs against the *selected* width.
+        let narrow = Normalizer::from_bounds(vec![(0.0, 1.0)], (0.0, 1.0)).unwrap();
+        assert!(CsvStreamSource::from_reader(&csv[..])
+            .unwrap()
+            .select_columns(&["age", "hours"], "income")
+            .unwrap()
+            .with_normalizer(narrow.clone(), LabelTransform::Raw)
+            .is_err());
+        // And select_columns re-checks a previously attached normalizer.
+        assert!(CsvStreamSource::from_reader(&csv[..])
+            .unwrap()
+            .with_normalizer(narrow, LabelTransform::Raw)
+            .is_err()); // wrong arity for the unselected layout already
     }
 
     #[test]
@@ -695,5 +1610,64 @@ mod tests {
             .unwrap()
             .with_normalizer(narrow, LabelTransform::Raw)
             .is_err());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn prefetch_source_preserves_order_and_contract() {
+        let data = small();
+        let mut buf = Vec::new();
+        crate::csv::write_dataset_to(&data, &mut buf).unwrap();
+        for block_rows in [1usize, 2, 4, 64] {
+            for depth in [1usize, 2, 8] {
+                // Owned-block path.
+                let inner =
+                    CsvStreamSource::from_reader(std::io::Cursor::new(buf.clone())).unwrap();
+                let mut pf = PrefetchSource::spawn(inner, block_rows, depth);
+                assert_eq!(pf.dim(), 2);
+                let got = materialize(&mut pf).unwrap();
+                assert_eq!(got.x().as_slice(), data.x().as_slice());
+                assert_eq!(got.y(), data.y());
+                // Borrowed path at a cap below the read-ahead size.
+                let inner =
+                    CsvStreamSource::from_reader(std::io::Cursor::new(buf.clone())).unwrap();
+                let mut pf = PrefetchSource::spawn(inner, block_rows, depth);
+                let (xs, ys) = drain_visitor(&mut pf, 1);
+                assert_eq!(xs, data.x().as_slice());
+                assert_eq!(ys, data.y());
+                // Sub-range serving when the consumer asks for fewer rows
+                // than the worker read ahead.
+                let inner =
+                    CsvStreamSource::from_reader(std::io::Cursor::new(buf.clone())).unwrap();
+                let mut pf = PrefetchSource::spawn(inner, block_rows, depth);
+                let mut ys = Vec::new();
+                while let Some(b) = pf.next_block(1).unwrap() {
+                    assert_eq!(b.rows(), 1);
+                    ys.extend_from_slice(b.ys());
+                }
+                assert_eq!(ys, data.y());
+            }
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn prefetch_source_propagates_worker_errors_and_drops_cleanly() {
+        let csv = b"a,b,label\n0.1,0.2,0.3\nbad,row,here\n";
+        let inner = CsvStreamSource::from_reader(std::io::Cursor::new(csv.to_vec())).unwrap();
+        let mut pf = PrefetchSource::spawn(inner, 1, 1);
+        assert_eq!(pf.next_block(8).unwrap().unwrap().rows(), 1);
+        assert!(matches!(
+            pf.next_block(8),
+            Err(DataError::Parse { line: 3, .. })
+        ));
+        assert!(pf.next_block(8).unwrap().is_none(), "errored stream ends");
+        // Dropping with the worker mid-stream (full channel) must not hang.
+        let data = small();
+        let mut buf = Vec::new();
+        crate::csv::write_dataset_to(&data, &mut buf).unwrap();
+        let inner = CsvStreamSource::from_reader(std::io::Cursor::new(buf)).unwrap();
+        let pf = PrefetchSource::spawn(inner, 1, 1);
+        drop(pf);
     }
 }

@@ -103,6 +103,21 @@
 //! adds an opt-in parallel-composition scope: k fits on disjoint shards
 //! debit `max(εᵢ)` instead of `Σεᵢ`.
 //!
+//! Streaming is also **zero-copy**: the accumulator drains sources
+//! through a borrowed-block visitor
+//! ([`data::stream::RowSource::for_each_block`]) and accepts a
+//! whole-dataset handoff from in-memory sources
+//! ([`data::stream::RowSource::take_dataset`]), so in-memory data routed
+//! through the streaming entry points (CV folds, sessions, the bench
+//! harness) assembles at the batched kernels' rate — no per-block
+//! allocation or copy anywhere (`BENCH_assembly.json`, run `pr5-…`).
+//! With `--features parallel`, `data::stream::PrefetchSource` overlaps
+//! CSV parsing with accumulation on a second thread, and
+//! `FmEstimator::fit_sharded` /
+//! `PrivacySession::fit_disjoint_shards_parallel` assemble disjoint
+//! shards concurrently — with released models bit-identical to the
+//! serial build in every case.
+//!
 //! ## Quickstart
 //!
 //! Both entry points — the materialized [`data::Dataset`] and a streaming
@@ -178,13 +193,16 @@ pub mod prelude {
         sparse::{SparseFmEstimator, SparseRegressionObjective},
         FmError, NoiseDistribution, SensitivityBound, Strategy,
     };
+    #[cfg(feature = "parallel")]
+    pub use fm_data::stream::PrefetchSource;
     pub use fm_data::{
         cv::KFold,
         dataset::Dataset,
         metrics,
         normalize::Normalizer,
         stream::{
-            CsvStreamSource, InMemorySource, LabelTransform, RowBlock, RowSource, ShardedSource,
+            CsvStreamSource, InMemorySource, LabelTransform, RowBlock, RowBlockRef, RowSource,
+            ShardedSource,
         },
     };
     pub use fm_linalg::Matrix;
