@@ -132,6 +132,22 @@ impl<T> TreeCounter<T> {
         }
         Some(total)
     }
+
+    /// The counter's run stack, bottom → top, for checkpointing.
+    pub(crate) fn stack(&self) -> &[(u32, T)] {
+        &self.stack
+    }
+
+    /// Rebuilds a counter from a checkpointed stack. The caller (the
+    /// checkpoint parser) must have verified the structural invariant:
+    /// ranks strictly decreasing bottom → top.
+    pub(crate) fn restore(stack: Vec<(u32, T)>) -> Self {
+        debug_assert!(
+            stack.windows(2).all(|w| w[0].0 > w[1].0),
+            "tree counter ranks must be strictly decreasing"
+        );
+        TreeCounter { stack }
+    }
 }
 
 /// Fixed-size re-chunking stage: whatever block sizes a stream delivers,
@@ -221,6 +237,26 @@ impl ChunkStage {
             flush(&self.xs, &self.ys);
         }
     }
+
+    /// The staged (not yet flushed) rows, for checkpointing.
+    pub(crate) fn staged(&self) -> (&[f64], &[f64]) {
+        (&self.xs, &self.ys)
+    }
+
+    /// Rebuilds a stage mid-chunk from checkpointed staged rows. The
+    /// caller (the checkpoint parser) must have verified the shape:
+    /// `xs.len() == ys.len() * d` and `ys.len() < chunk_rows`.
+    pub(crate) fn restore(d: usize, chunk_rows: usize, xs: Vec<f64>, ys: Vec<f64>) -> Self {
+        let chunk_rows = chunk_rows.max(1);
+        debug_assert_eq!(xs.len(), ys.len() * d, "staged rows: shape mismatch");
+        debug_assert!(ys.len() < chunk_rows, "staged rows must not fill a chunk");
+        ChunkStage {
+            d,
+            chunk_rows,
+            xs,
+            ys,
+        }
+    }
 }
 
 /// A **resumable** coefficient accumulator: Algorithm 1's data pass as a
@@ -285,6 +321,12 @@ impl<'a, O: PolynomialObjective + ?Sized> CoefficientAccumulator<'a, O> {
     #[must_use]
     pub fn rows(&self) -> usize {
         self.core.rows()
+    }
+
+    /// The fixed chunk size this accumulator re-chunks to.
+    #[must_use]
+    pub fn chunk_rows(&self) -> usize {
+        self.core.chunk_rows()
     }
 
     /// Validates and absorbs a row-major block.
@@ -352,6 +394,30 @@ impl<'a, O: PolynomialObjective + ?Sized> CoefficientAccumulator<'a, O> {
             make_chunk_cols,
             &merge_quadratic,
         )
+    }
+
+    /// Serializes the accumulator's complete streaming state — chunk grid
+    /// position, staged rows, merge-counter stack, row count — to the
+    /// versioned, checksummed `fm-checkpoint v1` text format, optionally
+    /// tagging it with the WAL reservation id of the in-flight fit so a
+    /// resumed fit re-attaches to its already-debited budget instead of
+    /// re-debiting. Floats are written shortest-round-trip, so a restored
+    /// accumulator continues **bit-identical** to the uninterrupted run.
+    #[must_use]
+    pub fn checkpoint(&self, reservation: Option<u64>) -> String {
+        crate::checkpoint::write_core(&self.core, reservation)
+    }
+
+    /// Restores an accumulator (and the WAL reservation id it carried, if
+    /// any) from a [`CoefficientAccumulator::checkpoint`] snapshot.
+    ///
+    /// # Errors
+    /// [`FmError::Checkpoint`] for corruption/truncation (the whole-file
+    /// checksum fails), version or kind mismatches, and structural
+    /// violations (shapes, counter rank ordering, row accounting).
+    pub fn resume(objective: &'a O, text: &str) -> Result<(Self, Option<u64>)> {
+        let (core, reservation) = crate::checkpoint::parse_core(text)?;
+        Ok((CoefficientAccumulator { objective, core }, reservation))
     }
 
     /// Flushes the final ragged chunk and merges all partials into the
@@ -538,6 +604,40 @@ impl<T> StreamCore<T> {
             })
             .map_err(FmError::Data)?;
         Ok(self.rows - before)
+    }
+
+    /// The fixed chunk size this core re-chunks to.
+    pub(crate) fn chunk_rows(&self) -> usize {
+        self.stage.chunk_rows()
+    }
+
+    /// The staged (not yet flushed) rows, for checkpointing.
+    pub(crate) fn staged(&self) -> (&[f64], &[f64]) {
+        self.stage.staged()
+    }
+
+    /// The merge counter's run stack, bottom → top, for checkpointing.
+    pub(crate) fn partials(&self) -> &[(u32, T)] {
+        self.counter.stack()
+    }
+
+    /// Rebuilds a core from checkpointed state. Structural invariants
+    /// (shapes, rank ordering) must already be verified by the caller —
+    /// the checkpoint parser, which turns violations into typed errors.
+    pub(crate) fn restore(
+        d: usize,
+        chunk_rows: usize,
+        rows: usize,
+        staged_xs: Vec<f64>,
+        staged_ys: Vec<f64>,
+        stack: Vec<(u32, T)>,
+    ) -> Self {
+        StreamCore {
+            d,
+            stage: ChunkStage::restore(d, chunk_rows, staged_xs, staged_ys),
+            counter: TreeCounter::restore(stack),
+            rows,
+        }
     }
 
     /// Flushes the final ragged chunk and merges all partials; `None` if

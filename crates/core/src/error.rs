@@ -29,6 +29,12 @@ pub enum FmError {
         /// Why it is invalid.
         reason: String,
     },
+    /// A streaming-fit checkpoint could not be produced or restored
+    /// (corrupt/truncated file, version mismatch, structural violation).
+    Checkpoint {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FmError {
@@ -52,6 +58,9 @@ impl fmt::Display for FmError {
             }
             FmError::InvalidConfig { name, reason } => {
                 write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            FmError::Checkpoint { reason } => {
+                write!(f, "checkpoint error: {reason}")
             }
         }
     }

@@ -324,7 +324,32 @@ impl<O: RegressionObjective> FmEstimator<O> {
             estimator: self,
             acc: None,
             chunk_rows: crate::assembly::DEFAULT_CHUNK_ROWS,
+            reservation: None,
         }
+    }
+
+    /// Resumes an interrupted shard-at-a-time fit from a
+    /// [`PartialFit::checkpoint`] snapshot. The restored fit continues
+    /// from exactly the floating-point state the interrupted one held —
+    /// absorbing the remaining rows and finalizing releases coefficients
+    /// **bit-identical** to an uninterrupted fit over the same rows and
+    /// RNG state. The WAL reservation id the checkpoint carried (if any)
+    /// travels with the fit, so re-attaching it to a
+    /// [`crate::session::SharedPrivacySession`] via
+    /// [`crate::session::SharedPrivacySession::resume_reservation`] never
+    /// re-debits ε.
+    ///
+    /// # Errors
+    /// [`FmError::Checkpoint`] for corruption/truncation, version/kind
+    /// mismatches, or structural violations in the snapshot.
+    pub fn resume_partial_fit(&self, snapshot: &str) -> Result<PartialFit<'_, O>> {
+        let (acc, reservation) = CoefficientAccumulator::resume(&self.objective, snapshot)?;
+        Ok(PartialFit {
+            estimator: self,
+            chunk_rows: acc.chunk_rows(),
+            acc: Some(acc),
+            reservation,
+        })
     }
 
     /// Fits **one** model over the union of disjoint shards, with the
@@ -460,6 +485,7 @@ pub struct PartialFit<'a, O: RegressionObjective> {
     estimator: &'a FmEstimator<O>,
     acc: Option<CoefficientAccumulator<'a, O>>,
     chunk_rows: usize,
+    reservation: Option<u64>,
 }
 
 impl<'a, O: RegressionObjective> PartialFit<'a, O> {
@@ -540,6 +566,44 @@ impl<'a, O: RegressionObjective> PartialFit<'a, O> {
     #[must_use]
     pub fn rows(&self) -> usize {
         self.acc.as_ref().map_or(0, CoefficientAccumulator::rows)
+    }
+
+    /// Tags this fit with the durable-ledger reservation id it runs under
+    /// (see [`crate::session::FitPermit::id`]). The id rides along in
+    /// every [`PartialFit::checkpoint`] snapshot, so a resumed fit can
+    /// re-attach to its already-debited budget instead of re-debiting.
+    #[must_use]
+    pub fn with_reservation(mut self, id: u64) -> Self {
+        self.reservation = Some(id);
+        self
+    }
+
+    /// The durable-ledger reservation id this fit carries, if any — set
+    /// by [`PartialFit::with_reservation`] or restored from a checkpoint
+    /// by [`FmEstimator::resume_partial_fit`].
+    #[must_use]
+    pub fn reservation(&self) -> Option<u64> {
+        self.reservation
+    }
+
+    /// Serializes the fit's complete accumulation state (chunk grid
+    /// position, staged rows, merge-counter stack, reservation tag) to
+    /// the versioned, checksummed `fm-checkpoint v1` text format.
+    /// Restoring via [`FmEstimator::resume_partial_fit`] and absorbing
+    /// the remaining rows releases a model **bit-identical** to the
+    /// uninterrupted fit.
+    ///
+    /// # Errors
+    /// [`FmError::Checkpoint`] when nothing has been absorbed yet — there
+    /// is no accumulation state to snapshot (resume with a fresh
+    /// [`FmEstimator::partial_fit`] instead).
+    pub fn checkpoint(&self) -> Result<String> {
+        match &self.acc {
+            Some(acc) => Ok(acc.checkpoint(self.reservation)),
+            None => Err(FmError::Checkpoint {
+                reason: "nothing absorbed yet: no accumulation state to snapshot".into(),
+            }),
+        }
     }
 
     /// Runs the mechanism over the accumulated coefficients and wraps the

@@ -391,6 +391,12 @@ impl<'a, O: GeneralObjective + ?Sized> PolynomialAccumulator<'a, O> {
         self.core.rows()
     }
 
+    /// The fixed chunk size this accumulator re-chunks to.
+    #[must_use]
+    pub fn chunk_rows(&self) -> usize {
+        self.core.chunk_rows()
+    }
+
     /// Validates and absorbs a row-major block.
     ///
     /// # Errors
@@ -450,6 +456,28 @@ impl<'a, O: GeneralObjective + ?Sized> PolynomialAccumulator<'a, O> {
             no_cols,
             &merge_polynomial,
         )
+    }
+
+    /// Serializes the accumulator's complete streaming state to the
+    /// versioned, checksummed `fm-checkpoint v1` text format (kind
+    /// `polynomial`), optionally tagged with a WAL reservation id — the
+    /// general-degree sibling of
+    /// [`crate::assembly::CoefficientAccumulator::checkpoint`], with the
+    /// same bit-identical-resume guarantee.
+    #[must_use]
+    pub fn checkpoint(&self, reservation: Option<u64>) -> String {
+        crate::checkpoint::write_core(&self.core, reservation)
+    }
+
+    /// Restores an accumulator (and the WAL reservation id it carried, if
+    /// any) from a [`PolynomialAccumulator::checkpoint`] snapshot.
+    ///
+    /// # Errors
+    /// [`FmError::Checkpoint`] for corruption/truncation, version or kind
+    /// mismatches, and structural violations.
+    pub fn resume(objective: &'a O, text: &str) -> Result<(Self, Option<u64>)> {
+        let (core, reservation) = crate::checkpoint::parse_core(text)?;
+        Ok((PolynomialAccumulator { objective, core }, reservation))
     }
 
     /// Flushes the final ragged chunk and merges all partials; `None` if

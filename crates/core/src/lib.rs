@@ -96,6 +96,7 @@
 #![forbid(unsafe_code)]
 
 pub mod assembly;
+pub mod checkpoint;
 pub mod estimator;
 pub mod generic;
 pub mod linreg;

@@ -543,6 +543,661 @@ impl Drop for ParallelFits<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared (concurrent, optionally WAL-backed) sessions
+// ---------------------------------------------------------------------------
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use fm_privacy::budget::EpsDeltaEntry;
+use fm_privacy::wal::{RecoveryReport, WalLedger};
+
+/// Floating-point slack when comparing spends against the cap — mirrors
+/// `fm_privacy::budget`'s tolerance (ε values are user-scale, 0.1–3.2).
+const EPS_SLACK: f64 = 1e-12;
+
+/// A reservation the session is tracking but has not yet settled —
+/// in-flight budget, counted as **spent** until committed or aborted.
+#[derive(Debug, Clone)]
+struct OpenReservation {
+    tenant: String,
+    epsilon: f64,
+    delta: f64,
+    /// Recovered-dangling reservations are permanently spent
+    /// (fail-closed): resumable and committable, never abortable.
+    sealed: bool,
+}
+
+#[derive(Debug)]
+struct SharedInner {
+    ledger: EpsDeltaLedger,
+    wal: Option<WalLedger>,
+    /// Committed `(ε, δ, fits)` per tenant.
+    tenants: BTreeMap<String, (f64, f64, usize)>,
+    /// In-flight reservations, by id (mirrors the WAL's open set; the
+    /// only store for WAL-less sessions).
+    open: BTreeMap<u64, OpenReservation>,
+    /// Ids currently held by a live [`FitPermit`] — refuses double-attach.
+    attached: BTreeSet<u64>,
+    /// Id source for WAL-less sessions (the WAL allocates its own).
+    next_local_id: u64,
+    fits: usize,
+}
+
+/// A **concurrent, crash-safe** privacy session: many tenants × many
+/// threads admit or refuse fits against one shared budget without a
+/// global `&mut`, and (optionally) every debit is made durable through a
+/// [`WalLedger`] *before* any data is scanned.
+///
+/// Where [`PrivacySession`] is single-threaded bookkeeping for one
+/// experiment harness, `SharedPrivacySession` is the silo-side admission
+/// controller:
+///
+/// * **Admission is lock-free**: the running ε total lives in an
+///   [`AtomicU64`] (f64 bits, CAS loop), so concurrent [`SharedPrivacySession::begin`]
+///   calls race on a compare-exchange, not a lock — the cap can never be
+///   oversubscribed, and refusal happens *before* any scan or noise draw.
+/// * **Two-phase debits**: `begin` reserves (fsync'd to the WAL when one
+///   is attached), the returned [`FitPermit`] settles — [`FitPermit::commit`]
+///   after the release is published, [`FitPermit::abort`] only if the
+///   fit provably never touched data. **Dropping a permit commits it**:
+///   losing track of an in-flight fit must never refund budget that a
+///   mechanism may have spent (fail-closed).
+/// * **Crash-safe**: reopening the WAL replays history; reservations that
+///   were in flight at the crash come back **sealed** — still counted
+///   spent, resumable via [`SharedPrivacySession::resume_reservation`]
+///   (which never re-debits), but not abortable. Recovery can therefore
+///   only ever *over*-count spent ε, never under-count it.
+///
+/// ```
+/// use fm_core::session::SharedPrivacySession;
+///
+/// let session = SharedPrivacySession::with_cap(1.0).unwrap();
+/// let permit = session.begin("census-us", "fit-a", 0.6, 0.0).unwrap();
+/// // … run the fit under `permit` …
+/// permit.commit().unwrap();
+/// assert!(session.begin("census-us", "fit-b", 0.6, 0.0).is_err()); // 0.4 left
+/// ```
+#[derive(Debug)]
+pub struct SharedPrivacySession {
+    cap: Option<f64>,
+    /// f64 bits of the running ε total (committed + in-flight).
+    spent_bits: AtomicU64,
+    inner: Mutex<SharedInner>,
+}
+
+impl Default for SharedPrivacySession {
+    fn default() -> Self {
+        SharedPrivacySession::new()
+    }
+}
+
+impl SharedPrivacySession {
+    /// An uncapped, in-memory shared session (audit ledger only).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::build(None, None)
+    }
+
+    /// A shared session enforcing a total ε cap across every tenant and
+    /// thread.
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] unless `total_epsilon` is finite and > 0.
+    pub fn with_cap(total_epsilon: f64) -> Result<Self> {
+        // Reuse PrivacyBudget's validation so the constraint can't drift.
+        PrivacyBudget::new(total_epsilon)?;
+        Ok(Self::build(Some(total_epsilon), None))
+    }
+
+    /// A shared session whose every debit is made **durable** through a
+    /// write-ahead log at `path` (created if absent, replayed if present).
+    /// Returns the session plus the WAL's [`RecoveryReport`]; after a
+    /// crash, `report.sealed_dangling` reservations come back counted as
+    /// spent and resumable via
+    /// [`SharedPrivacySession::resume_reservation`].
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] for an invalid cap or a WAL that cannot be
+    /// opened/replayed ([`fm_privacy::PrivacyError::Durability`] — a
+    /// corrupt log is refused, not silently reset).
+    pub fn with_wal(
+        path: impl AsRef<std::path::Path>,
+        cap: Option<f64>,
+    ) -> Result<(Self, RecoveryReport)> {
+        if let Some(total) = cap {
+            PrivacyBudget::new(total)?;
+        }
+        let (wal, report) = WalLedger::open(path)?;
+        let session = Self::build(cap, Some(wal));
+        Ok((session, report))
+    }
+
+    fn build(cap: Option<f64>, wal: Option<WalLedger>) -> Self {
+        let mut inner = SharedInner {
+            ledger: EpsDeltaLedger::new(),
+            wal: None,
+            tenants: BTreeMap::new(),
+            open: BTreeMap::new(),
+            attached: BTreeSet::new(),
+            next_local_id: 1,
+            fits: 0,
+        };
+        let mut spent = 0.0;
+        if let Some(wal) = wal {
+            // Preload everything the log already knows. Committed history
+            // lands as one aggregate ledger entry per tenant — Σε is
+            // preserved exactly, and the advanced-composition bound only
+            // gets *more* conservative under aggregation ((Σε)² ≥ Σε²).
+            for (tenant, eps, delta, fits) in wal.committed_by_tenant() {
+                if let Ok(entry) = EpsDeltaEntry::validated(eps, delta) {
+                    inner.ledger.record_entry(entry);
+                }
+                inner.tenants.insert(tenant.to_string(), (eps, delta, fits));
+                inner.fits += fits;
+            }
+            for r in wal.open_reservations() {
+                inner.open.insert(
+                    r.id,
+                    OpenReservation {
+                        tenant: r.tenant.clone(),
+                        epsilon: r.epsilon,
+                        delta: r.delta,
+                        sealed: r.sealed,
+                    },
+                );
+            }
+            spent = wal.spent().0;
+            inner.wal = Some(wal);
+        }
+        SharedPrivacySession {
+            cap,
+            spent_bits: AtomicU64::new(spent.to_bits()),
+            inner: Mutex::new(inner),
+        }
+    }
+
+    /// Lock-free cap admission: atomically raises the running ε total by
+    /// `amount`, refusing (without side effects) when the cap would be
+    /// exceeded.
+    fn try_spend(&self, amount: f64) -> Result<()> {
+        let mut cur = self.spent_bits.load(Ordering::Acquire);
+        loop {
+            let spent = f64::from_bits(cur);
+            let new = spent + amount;
+            if let Some(cap) = self.cap {
+                if new > cap + EPS_SLACK {
+                    return Err(FmError::Privacy(
+                        fm_privacy::PrivacyError::BudgetExhausted {
+                            requested: amount,
+                            remaining: (cap - spent).max(0.0),
+                        },
+                    ));
+                }
+            }
+            match self.spent_bits.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomically lowers the running ε total (aborted reservation).
+    fn unspend(&self, amount: f64) {
+        let mut cur = self.spent_bits.load(Ordering::Acquire);
+        loop {
+            let new = (f64::from_bits(cur) - amount).max(0.0);
+            match self.spent_bits.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Reserves `(ε, δ)` for one fit by `tenant` under `label`, returning
+    /// the [`FitPermit`] that must settle it. The debit is counted (and,
+    /// with a WAL, fsync'd) **before** this returns — refuse-before-scan:
+    /// a caller that cannot get a permit has spent nothing and must not
+    /// touch the data.
+    ///
+    /// # Errors
+    /// * [`FmError::Privacy`] for malformed (ε, δ), an exhausted cap
+    ///   (nothing is committed), or a WAL append failure (the atomic
+    ///   admission is rolled back — a debit that isn't durable doesn't
+    ///   count as granted).
+    pub fn begin(
+        &self,
+        tenant: &str,
+        label: &str,
+        epsilon: f64,
+        delta: f64,
+    ) -> Result<FitPermit<'_>> {
+        let entry = EpsDeltaEntry::validated(epsilon, delta)?;
+        self.try_spend(entry.epsilon)?;
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let id = match &mut inner.wal {
+            Some(wal) => match wal.reserve(tenant, label, entry.epsilon, entry.delta) {
+                Ok(id) => id,
+                Err(e) => {
+                    drop(inner);
+                    self.unspend(entry.epsilon);
+                    return Err(e.into());
+                }
+            },
+            None => {
+                let id = inner.next_local_id;
+                inner.next_local_id += 1;
+                id
+            }
+        };
+        inner.open.insert(
+            id,
+            OpenReservation {
+                tenant: tenant.to_string(),
+                epsilon: entry.epsilon,
+                delta: entry.delta,
+                sealed: false,
+            },
+        );
+        inner.attached.insert(id);
+        Ok(FitPermit {
+            session: self,
+            id,
+            epsilon: entry.epsilon,
+            settled: false,
+        })
+    }
+
+    /// Re-attaches to a reservation that is already counted as spent —
+    /// typically one recovery found dangling (sealed) after a crash, with
+    /// its id carried in a [`crate::estimator::PartialFit::checkpoint`]
+    /// snapshot. **Never re-debits**: the budget was spent when the
+    /// original `begin` ran; the permit returned here merely lets the
+    /// resumed fit settle it. Sealed reservations refuse
+    /// [`FitPermit::abort`] (the interrupted fit may have touched data).
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] ([`fm_privacy::PrivacyError::Durability`])
+    /// when `id` is unknown, already settled, or already attached to a
+    /// live permit.
+    pub fn resume_reservation(&self, id: u64) -> Result<FitPermit<'_>> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(open) = inner.open.get(&id) else {
+            return Err(FmError::Privacy(fm_privacy::PrivacyError::Durability {
+                op: "resume",
+                detail: format!("reservation {id} is unknown or already settled"),
+            }));
+        };
+        let epsilon = open.epsilon;
+        if !inner.attached.insert(id) {
+            return Err(FmError::Privacy(fm_privacy::PrivacyError::Durability {
+                op: "resume",
+                detail: format!("reservation {id} is already attached to a live permit"),
+            }));
+        }
+        Ok(FitPermit {
+            session: self,
+            id,
+            epsilon,
+            settled: false,
+        })
+    }
+
+    /// Settles a permit. `commit = false` (abort) is refused for sealed
+    /// reservations and rolls the atomic admission back on success.
+    fn settle(&self, id: u64, epsilon: f64, commit: bool) -> Result<()> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // The caller's permit is consumed whatever happens below, so the
+        // id is no longer attached — on failure the reservation stays
+        // open (still spent) and a later resume_reservation can settle it.
+        inner.attached.remove(&id);
+        let Some(open) = inner.open.get(&id).cloned() else {
+            return Err(FmError::Privacy(fm_privacy::PrivacyError::Durability {
+                op: if commit { "commit" } else { "abort" },
+                detail: format!("reservation {id} is unknown or already settled"),
+            }));
+        };
+        if commit {
+            if let Some(wal) = &mut inner.wal {
+                wal.commit(id)?;
+            }
+            inner.open.remove(&id);
+            let slot = inner
+                .tenants
+                .entry(open.tenant.clone())
+                .or_insert((0.0, 0.0, 0));
+            slot.0 += open.epsilon;
+            slot.1 += open.delta;
+            slot.2 += 1;
+            if let Ok(entry) = EpsDeltaEntry::validated(open.epsilon, open.delta) {
+                inner.ledger.record_entry(entry);
+            }
+            inner.fits += 1;
+        } else {
+            if open.sealed {
+                return Err(FmError::Privacy(fm_privacy::PrivacyError::Durability {
+                    op: "abort",
+                    detail: format!(
+                        "reservation {id} was recovered from a crash and is sealed: \
+                         the interrupted fit may have touched data, so its budget \
+                         is permanently spent (commit or resume instead)"
+                    ),
+                }));
+            }
+            if let Some(wal) = &mut inner.wal {
+                wal.abort(id)?;
+            }
+            inner.open.remove(&id);
+            drop(inner);
+            self.unspend(epsilon);
+        }
+        Ok(())
+    }
+
+    /// Total ε currently counted as spent — committed releases **plus**
+    /// in-flight reservations (fail-closed: budget is spent the moment it
+    /// is granted, reclaimed only by an explicit, legal abort).
+    #[must_use]
+    pub fn spent_epsilon(&self) -> f64 {
+        f64::from_bits(self.spent_bits.load(Ordering::Acquire))
+    }
+
+    /// ε still grantable under the cap (`None` when uncapped).
+    #[must_use]
+    pub fn remaining_epsilon(&self) -> Option<f64> {
+        self.cap.map(|c| (c - self.spent_epsilon()).max(0.0))
+    }
+
+    /// Committed fits so far (in-flight permits are not yet fits).
+    #[must_use]
+    pub fn committed_fits(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .fits
+    }
+
+    /// `(Σε, Σδ)` counted against `tenant`: committed history plus
+    /// in-flight reservations (fail-closed, like
+    /// [`SharedPrivacySession::spent_epsilon`]).
+    #[must_use]
+    pub fn spent_for(&self, tenant: &str) -> (f64, f64) {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (mut eps, mut delta, _) = inner.tenants.get(tenant).copied().unwrap_or((0.0, 0.0, 0));
+        for open in inner.open.values() {
+            if open.tenant == tenant {
+                eps += open.epsilon;
+                delta += open.delta;
+            }
+        }
+        (eps, delta)
+    }
+
+    /// The composed guarantee of every **committed** release at
+    /// advanced-composition slack `delta_prime`. In-flight reservations
+    /// are excluded (they have not released anything yet) — use
+    /// [`SharedPrivacySession::spent_epsilon`] for the fail-closed total.
+    /// After a WAL recovery, pre-crash history enters as one aggregate
+    /// entry per tenant: Σε is exact and the advanced bound is
+    /// conservative (never tighter than the per-fit bound would be).
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] unless `delta_prime ∈ (0, 1)`.
+    pub fn report(&self, delta_prime: f64) -> Result<CompositionReport> {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let basic = inner.ledger.basic_composition();
+        let advanced = inner.ledger.advanced_composition(delta_prime)?;
+        let best = inner.ledger.best_composition(delta_prime)?;
+        Ok(CompositionReport {
+            fits: inner.fits,
+            basic,
+            advanced,
+            best,
+        })
+    }
+
+    /// Compacts the attached WAL (no-op without one): rewrites the log as
+    /// per-tenant committed totals plus the still-open reservations, so
+    /// the file stops growing with fit count.
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] on WAL I/O failure.
+    pub fn compact_wal(&self) -> Result<()> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(wal) = &mut inner.wal {
+            wal.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Opens a **parallel-composition** scope for `tenant`: fits on
+    /// provably disjoint shards admitted through it cost `max εᵢ` in
+    /// total, debited incrementally (each shard pays only the amount by
+    /// which it raises the running maximum, reserved through the WAL
+    /// *before* the shard fit runs and committed when the scope closes).
+    /// Labels enforce the code-checkable half of disjointness exactly as
+    /// [`PrivacySession::parallel_fits`] does.
+    #[must_use]
+    pub fn parallel_scope(&self, tenant: &str) -> SharedParallelScope<'_> {
+        SharedParallelScope {
+            session: self,
+            tenant: tenant.to_string(),
+            max_epsilon: 0.0,
+            max_delta: 0.0,
+            labels: Vec::new(),
+            increments: Vec::new(),
+            closed: false,
+        }
+    }
+}
+
+/// A granted, unsettled budget reservation (see
+/// [`SharedPrivacySession::begin`]). Exactly one of three things happens
+/// to it:
+///
+/// * [`FitPermit::commit`] — the fit released a model; the spend becomes
+///   committed history.
+/// * [`FitPermit::abort`] — the fit provably never touched data (e.g. its
+///   source failed before the first block); the budget is reclaimed.
+///   Refused for sealed (crash-recovered) reservations.
+/// * **Drop** — treated as commit. Losing a permit must never refund
+///   budget a mechanism may have spent (fail-closed).
+#[derive(Debug)]
+#[must_use = "a dropped permit commits its debit; settle it explicitly"]
+pub struct FitPermit<'s> {
+    session: &'s SharedPrivacySession,
+    id: u64,
+    epsilon: f64,
+    settled: bool,
+}
+
+impl FitPermit<'_> {
+    /// The reservation id — durable across crashes when the session has a
+    /// WAL; carry it in streaming-fit checkpoints
+    /// ([`crate::estimator::PartialFit::with_reservation`]) so a resumed
+    /// fit re-attaches instead of re-debiting.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The ε this permit reserved.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Settles the reservation as spent-and-released.
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] on WAL I/O failure (the reservation stays
+    /// open — still counted spent — and the permit is consumed; recovery
+    /// or a later [`SharedPrivacySession::resume_reservation`] can settle
+    /// it).
+    pub fn commit(mut self) -> Result<()> {
+        self.settled = true;
+        self.session.settle(self.id, self.epsilon, true)
+    }
+
+    /// Reclaims the reservation — legal **only** when the fit never
+    /// touched data.
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] when the reservation is sealed (crash-
+    /// recovered: permanently spent) or on WAL I/O failure. Either way
+    /// the budget stays debited.
+    pub fn abort(mut self) -> Result<()> {
+        self.settled = true;
+        self.session.settle(self.id, self.epsilon, false)
+    }
+}
+
+impl Drop for FitPermit<'_> {
+    fn drop(&mut self) {
+        if !self.settled {
+            // Fail-closed: an abandoned permit commits. Errors are
+            // swallowed — the reservation then stays open, which still
+            // counts as spent.
+            let _ = self.session.settle(self.id, self.epsilon, true);
+        }
+    }
+}
+
+/// An open parallel-composition scope on a [`SharedPrivacySession`] (see
+/// [`SharedPrivacySession::parallel_scope`]): shard admissions debit only
+/// increments of the running `max εᵢ`, each increment WAL-reserved before
+/// the shard runs, all committed when the scope closes. Dropping the
+/// scope commits too (fail-closed — increments are never refunded).
+pub struct SharedParallelScope<'s> {
+    session: &'s SharedPrivacySession,
+    tenant: String,
+    max_epsilon: f64,
+    max_delta: f64,
+    labels: Vec<String>,
+    /// Open increment reservations `(id, ε)` awaiting scope close.
+    increments: Vec<(u64, f64)>,
+    closed: bool,
+}
+
+impl SharedParallelScope<'_> {
+    /// Admits a shard fit at `(ε, δ)` under `label`, debiting (and
+    /// WAL-reserving) only the increase over the scope's running maximum.
+    /// Must be called — and must succeed — *before* the shard fit touches
+    /// data.
+    ///
+    /// # Errors
+    /// * [`FmError::InvalidConfig`] when `label` was already admitted in
+    ///   this scope (overlapping shards compose sequentially).
+    /// * [`FmError::Privacy`] for malformed (ε, δ), an exhausted cap, or
+    ///   a WAL failure (the atomic admission is rolled back).
+    pub fn admit(&mut self, label: &str, epsilon: f64, delta: f64) -> Result<()> {
+        let entry = EpsDeltaEntry::validated(epsilon, delta)?;
+        if self.labels.iter().any(|l| l == label) {
+            return Err(FmError::InvalidConfig {
+                name: "shard",
+                reason: format!(
+                    "shard `{label}` was already admitted in this parallel-composition scope; \
+                     overlapping shards must compose sequentially"
+                ),
+            });
+        }
+        let increment = (entry.epsilon - self.max_epsilon).max(0.0);
+        if increment > 0.0 {
+            // Reserve the increment exactly as a standalone fit would —
+            // atomically admitted, WAL-fsync'd, rolled back on failure.
+            let permit = self.session.begin(
+                &self.tenant,
+                &format!("{}+{label}", self.labels.len()),
+                increment,
+                entry.delta.max(self.max_delta) - self.max_delta,
+            )?;
+            self.increments.push((permit.id(), increment));
+            // The scope, not the permit, owns settlement.
+            std::mem::forget(permit);
+        }
+        self.max_epsilon = self.max_epsilon.max(entry.epsilon);
+        self.max_delta = self.max_delta.max(entry.delta);
+        self.labels.push(label.to_string());
+        Ok(())
+    }
+
+    /// The scope's running `(max ε, max δ)`.
+    #[must_use]
+    pub fn composed(&self) -> (f64, f64) {
+        (self.max_epsilon, self.max_delta)
+    }
+
+    /// Number of shards admitted so far.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Closes the scope, committing every increment reservation. (Σ of
+    /// the committed increments = the scope's `max ε` — the one release
+    /// the parallel composition theorem charges for.)
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] on WAL I/O failure; unsettled increments stay
+    /// open, which still counts as spent (fail-closed).
+    pub fn finish(mut self) -> Result<()> {
+        self.close()
+    }
+
+    fn close(&mut self) -> Result<()> {
+        if self.closed {
+            return Ok(());
+        }
+        self.closed = true;
+        let mut first_err = None;
+        for (id, epsilon) in self.increments.drain(..) {
+            if let Err(e) = self.session.settle(id, epsilon, true) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for SharedParallelScope<'_> {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -754,6 +1409,151 @@ mod tests {
         assert_eq!(report.fits, 5);
         assert!((report.basic.0 - 1.0).abs() < 1e-12);
         assert!(report.best.0 <= report.basic.0 + 1e-12);
+    }
+
+    #[test]
+    fn shared_session_commit_abort_and_drop_semantics() {
+        let session = SharedPrivacySession::with_cap(1.0).unwrap();
+
+        // Commit: spend becomes committed history.
+        let p = session.begin("t1", "a", 0.3, 0.0).unwrap();
+        assert!(
+            (session.spent_epsilon() - 0.3).abs() < 1e-12,
+            "in-flight counts as spent"
+        );
+        p.commit().unwrap();
+        assert!((session.spent_epsilon() - 0.3).abs() < 1e-12);
+        assert_eq!(session.committed_fits(), 1);
+
+        // Abort: budget reclaimed.
+        let p = session.begin("t1", "b", 0.5, 0.0).unwrap();
+        assert!((session.spent_epsilon() - 0.8).abs() < 1e-12);
+        p.abort().unwrap();
+        assert!((session.spent_epsilon() - 0.3).abs() < 1e-12);
+
+        // Drop: fail-closed commit.
+        {
+            let _p = session.begin("t2", "c", 0.2, 0.0).unwrap();
+        }
+        assert!((session.spent_epsilon() - 0.5).abs() < 1e-12);
+        assert_eq!(session.committed_fits(), 2);
+        assert!((session.spent_for("t2").0 - 0.2).abs() < 1e-12);
+
+        // Cap refusal happens before anything is committed.
+        let err = session.begin("t3", "d", 0.6, 0.0).unwrap_err();
+        assert!(matches!(err, FmError::Privacy(_)), "{err}");
+        assert!((session.spent_epsilon() - 0.5).abs() < 1e-12);
+        let report = session.report(1e-6).unwrap();
+        assert_eq!(report.fits, 2);
+        assert!((report.basic.0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_session_never_oversubscribes_under_contention() {
+        // 8 threads × 50 attempts at ε = 0.01 against a 0.25 cap: exactly
+        // 25-ish grants can land; the committed total must never exceed
+        // the cap no matter the interleaving.
+        let session = SharedPrivacySession::with_cap(0.25).unwrap();
+        let granted = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let session = &session;
+                let granted = &granted;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        match session.begin(&format!("tenant-{t}"), &format!("fit-{i}"), 0.01, 0.0)
+                        {
+                            Ok(p) => {
+                                granted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                p.commit().unwrap();
+                            }
+                            Err(FmError::Privacy(fm_privacy::PrivacyError::BudgetExhausted {
+                                ..
+                            })) => {}
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        let n = granted.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(n >= 25, "cap admits 25 grants, {n} landed");
+        assert!(session.spent_epsilon() <= 0.25 + 1e-9, "oversubscribed");
+        assert_eq!(session.committed_fits(), n);
+    }
+
+    #[test]
+    fn shared_session_wal_recovery_is_fail_closed() {
+        let dir = std::env::temp_dir().join(format!("fm-shared-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let (committed_id, dangling_id);
+        {
+            let (session, report) = SharedPrivacySession::with_wal(&path, Some(1.0)).unwrap();
+            assert!(report.fresh);
+            let p = session.begin("census", "done", 0.4, 0.0).unwrap();
+            committed_id = p.id();
+            p.commit().unwrap();
+            let p = session.begin("census", "in-flight", 0.3, 0.0).unwrap();
+            dangling_id = p.id();
+            std::mem::forget(p); // simulate a crash: never settled
+        }
+        assert_ne!(committed_id, dangling_id);
+
+        let (session, report) = SharedPrivacySession::with_wal(&path, Some(1.0)).unwrap();
+        assert!(!report.fresh);
+        assert_eq!(report.sealed_dangling, 1);
+        // Fail-closed: the dangling reservation still counts as spent.
+        assert!((session.spent_epsilon() - 0.7).abs() < 1e-12);
+        assert!((session.spent_for("census").0 - 0.7).abs() < 1e-12);
+
+        // Resume never re-debits…
+        let p = session.resume_reservation(dangling_id).unwrap();
+        assert!((session.spent_epsilon() - 0.7).abs() < 1e-12);
+        // …double-attach is refused…
+        assert!(session.resume_reservation(dangling_id).is_err());
+        // …abort of a sealed reservation is refused (budget stays spent)…
+        let err = p.abort().unwrap_err();
+        assert!(matches!(err, FmError::Privacy(_)), "{err}");
+        assert!((session.spent_epsilon() - 0.7).abs() < 1e-12);
+        // …but commit settles it for good.
+        let p = session.resume_reservation(dangling_id).unwrap();
+        p.commit().unwrap();
+        assert!((session.spent_epsilon() - 0.7).abs() < 1e-12);
+        assert_eq!(session.committed_fits(), 2);
+        // Unknown / settled ids are refused.
+        assert!(session.resume_reservation(dangling_id).is_err());
+        assert!(session.resume_reservation(999).is_err());
+
+        // Compaction preserves the totals.
+        session.compact_wal().unwrap();
+        drop(session);
+        let (session, _) = SharedPrivacySession::with_wal(&path, Some(1.0)).unwrap();
+        assert!((session.spent_epsilon() - 0.7).abs() < 1e-12);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_parallel_scope_debits_max_not_sum() {
+        let session = SharedPrivacySession::with_cap(1.0).unwrap();
+        let mut scope = session.parallel_scope("census");
+        scope.admit("east", 0.3, 0.0).unwrap();
+        scope.admit("west", 0.5, 0.0).unwrap();
+        scope.admit("north", 0.2, 0.0).unwrap();
+        // Duplicate labels break disjointness.
+        assert!(matches!(
+            scope.admit("east", 0.1, 0.0),
+            Err(FmError::InvalidConfig { .. })
+        ));
+        assert_eq!(scope.composed(), (0.5, 0.0));
+        assert_eq!(scope.num_shards(), 3);
+        // Incremental debits: 0.3 + 0.2 = max ε = 0.5, not Σε = 1.0.
+        assert!((session.spent_epsilon() - 0.5).abs() < 1e-12);
+        scope.finish().unwrap();
+        assert!((session.spent_epsilon() - 0.5).abs() < 1e-12);
+        assert!((session.remaining_epsilon().unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -243,6 +243,28 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
             estimator: self,
             acc: None,
             chunk_rows: crate::assembly::DEFAULT_CHUNK_ROWS,
+            reservation: None,
+        })
+    }
+
+    /// Resumes an interrupted shard-at-a-time fit from a
+    /// [`SparsePartialFit::checkpoint`] snapshot — the general-degree
+    /// sibling of [`crate::estimator::FmEstimator::resume_partial_fit`],
+    /// with the same bit-identical-release guarantee and the same
+    /// never-re-debit WAL reservation handoff.
+    ///
+    /// # Errors
+    /// [`FmError::InvalidConfig`] for Gaussian noise;
+    /// [`FmError::Checkpoint`] for corruption/truncation, version/kind
+    /// mismatches, or structural violations in the snapshot.
+    pub fn resume_partial_fit(&self, snapshot: &str) -> Result<SparsePartialFit<'_, O>> {
+        self.refuse_gaussian()?;
+        let (acc, reservation) = PolynomialAccumulator::resume(&self.objective, snapshot)?;
+        Ok(SparsePartialFit {
+            estimator: self,
+            chunk_rows: acc.chunk_rows(),
+            acc: Some(acc),
+            reservation,
         })
     }
 
@@ -348,6 +370,7 @@ pub struct SparsePartialFit<'a, O: SparseRegressionObjective> {
     estimator: &'a SparseFmEstimator<O>,
     acc: Option<PolynomialAccumulator<'a, O>>,
     chunk_rows: usize,
+    reservation: Option<u64>,
 }
 
 impl<'a, O: SparseRegressionObjective> SparsePartialFit<'a, O> {
@@ -408,6 +431,38 @@ impl<'a, O: SparseRegressionObjective> SparsePartialFit<'a, O> {
     #[must_use]
     pub fn rows(&self) -> usize {
         self.acc.as_ref().map_or(0, PolynomialAccumulator::rows)
+    }
+
+    /// Tags this fit with the durable-ledger reservation id it runs
+    /// under, exactly as [`crate::estimator::PartialFit::with_reservation`].
+    #[must_use]
+    pub fn with_reservation(mut self, id: u64) -> Self {
+        self.reservation = Some(id);
+        self
+    }
+
+    /// The durable-ledger reservation id this fit carries, if any.
+    #[must_use]
+    pub fn reservation(&self) -> Option<u64> {
+        self.reservation
+    }
+
+    /// Serializes the fit's complete accumulation state to the versioned,
+    /// checksummed `fm-checkpoint v1` format (kind `polynomial`) — the
+    /// general-degree sibling of
+    /// [`crate::estimator::PartialFit::checkpoint`], with the same
+    /// bit-identical-resume guarantee via
+    /// [`SparseFmEstimator::resume_partial_fit`].
+    ///
+    /// # Errors
+    /// [`FmError::Checkpoint`] when nothing has been absorbed yet.
+    pub fn checkpoint(&self) -> Result<String> {
+        match &self.acc {
+            Some(acc) => Ok(acc.checkpoint(self.reservation)),
+            None => Err(FmError::Checkpoint {
+                reason: "nothing absorbed yet: no accumulation state to snapshot".into(),
+            }),
+        }
     }
 
     /// Runs the mechanism over the accumulated polynomial and wraps the

@@ -48,6 +48,23 @@ pub enum DataError {
         /// Description.
         detail: String,
     },
+    /// A background ingestion worker (e.g. a `PrefetchSource` thread,
+    /// under the `parallel` feature) died before finishing its stream.
+    WorkerPanic {
+        /// Panic payload or description of how the worker died.
+        detail: String,
+    },
+    /// An error raised while draining one shard of a
+    /// [`crate::stream::ShardedSource`], annotated with which shard and
+    /// which of its blocks failed so multi-shard ingest is attributable.
+    InShard {
+        /// Shard label (caller-provided or `shard-<index>`).
+        shard: String,
+        /// 0-based index of the failing block within the shard.
+        block: usize,
+        /// The underlying error.
+        source: Box<DataError>,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -70,6 +87,16 @@ impl fmt::Display for DataError {
             DataError::Parse { line, detail } => {
                 write!(f, "CSV parse error at line {line}: {detail}")
             }
+            DataError::WorkerPanic { detail } => {
+                write!(f, "background ingestion worker died: {detail}")
+            }
+            DataError::InShard {
+                shard,
+                block,
+                source,
+            } => {
+                write!(f, "in shard `{shard}` (block {block}): {source}")
+            }
         }
     }
 }
@@ -79,6 +106,7 @@ impl std::error::Error for DataError {
         match self {
             DataError::Linalg(e) => Some(e),
             DataError::Io(e) => Some(e),
+            DataError::InShard { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }

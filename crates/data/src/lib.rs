@@ -44,6 +44,7 @@ pub mod census;
 pub mod csv;
 pub mod cv;
 pub mod dataset;
+pub mod fault;
 pub mod metrics;
 pub mod normalize;
 pub mod sampling;

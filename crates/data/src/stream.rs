@@ -510,6 +510,11 @@ impl ColumnMap {
 /// [`LabelTransform`] as it is read — arithmetic identical to the
 /// materialized [`Normalizer::normalize_linear`] path, so streamed and
 /// in-memory pipelines release bit-identical coefficients.
+///
+/// Dirty files can degrade gracefully instead of failing on the first bad
+/// row: see [`CsvStreamSource::with_row_error_policy`] and the
+/// [`RowErrorPolicy`] docs for the Strict / SkipUpTo semantics and the
+/// quarantine report.
 #[derive(Debug)]
 pub struct CsvStreamSource<R> {
     lines: Lines<BufReader<R>>,
@@ -529,6 +534,65 @@ pub struct CsvStreamSource<R> {
     /// Block buffers reused across blocks by the visitor path.
     block_xs: Vec<f64>,
     block_ys: Vec<f64>,
+    /// What to do with rows that fail to parse or normalize.
+    policy: RowErrorPolicy,
+    /// Rows skipped so far under [`RowErrorPolicy::SkipUpTo`].
+    quarantine: Vec<QuarantinedRow>,
+}
+
+/// What a [`CsvStreamSource`] does with a row that fails to parse or
+/// normalize (a *row error*: malformed field, wrong arity, non-finite
+/// value). Transport failures — the underlying reader erroring out — are
+/// never skippable; they abort the stream under every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowErrorPolicy {
+    /// Fail the stream on the first bad row (the default).
+    #[default]
+    Strict,
+    /// Skip up to `n` bad rows, recording each in the quarantine report
+    /// ([`CsvStreamSource::quarantine`]); the `n + 1`-th bad row fails the
+    /// stream. A bounded cap keeps a systematically-corrupt file from
+    /// silently degrading into an empty (or heavily biased) dataset.
+    SkipUpTo(usize),
+}
+
+/// One row skipped under [`RowErrorPolicy::SkipUpTo`], for the quarantine
+/// report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// 1-based line number of the skipped row (the header is line 1).
+    pub line: usize,
+    /// Why the row was rejected.
+    pub reason: String,
+}
+
+/// Applies the row-error policy to one bad row: `Ok(())` means "skipped,
+/// keep reading"; `Err` aborts the stream.
+fn quarantine_row(
+    policy: RowErrorPolicy,
+    quarantine: &mut Vec<QuarantinedRow>,
+    line: usize,
+    err: DataError,
+) -> Result<()> {
+    match policy {
+        RowErrorPolicy::Strict => Err(err),
+        RowErrorPolicy::SkipUpTo(cap) => {
+            if quarantine.len() < cap {
+                quarantine.push(QuarantinedRow {
+                    line,
+                    reason: err.to_string(),
+                });
+                Ok(())
+            } else {
+                Err(DataError::Parse {
+                    line,
+                    detail: format!(
+                        "row-error quarantine full ({cap} rows already skipped): {err}"
+                    ),
+                })
+            }
+        }
+    }
 }
 
 impl CsvStreamSource<File> {
@@ -555,9 +619,13 @@ fn read_csv_block<R: Read>(
     want: usize,
     xs: &mut Vec<f64>,
     ys: &mut Vec<f64>,
+    policy: RowErrorPolicy,
+    quarantine: &mut Vec<QuarantinedRow>,
 ) -> Result<()> {
     while ys.len() < want {
         let Some(line) = lines.next() else { break };
+        // Reader (transport) failures are never row errors: no policy
+        // skips them.
         let line = line?;
         *line_no += 1;
         if line.trim().is_empty() {
@@ -565,8 +633,15 @@ fn read_csv_block<R: Read>(
         }
         raw_row.clear();
         let y_raw = match map {
-            None => parse_numeric_row(&line, d, *line_no, raw_row)?,
-            Some(m) => m.parse_row(&line, d, *line_no, raw_row)?,
+            None => parse_numeric_row(&line, d, *line_no, raw_row),
+            Some(m) => m.parse_row(&line, d, *line_no, raw_row),
+        };
+        let y_raw = match y_raw {
+            Ok(y) => y,
+            Err(e) => {
+                quarantine_row(policy, quarantine, *line_no, e)?;
+                continue;
+            }
         };
         match normalizer {
             None => {
@@ -574,7 +649,12 @@ fn read_csv_block<R: Read>(
                 ys.push(y_raw);
             }
             Some((norm, label)) => {
-                norm.normalize_features_row(raw_row, xs)?;
+                let xs_mark = xs.len();
+                if let Err(e) = norm.normalize_features_row(raw_row, xs) {
+                    xs.truncate(xs_mark);
+                    quarantine_row(policy, quarantine, *line_no, e)?;
+                    continue;
+                }
                 ys.push(match *label {
                     LabelTransform::Raw => y_raw,
                     LabelTransform::Linear => norm.normalize_label(y_raw),
@@ -624,7 +704,28 @@ impl<R: Read> CsvStreamSource<R> {
             raw_row: Vec::new(),
             block_xs: Vec::new(),
             block_ys: Vec::new(),
+            policy: RowErrorPolicy::Strict,
+            quarantine: Vec::new(),
         })
+    }
+
+    /// Sets the [`RowErrorPolicy`] (default: [`RowErrorPolicy::Strict`]).
+    ///
+    /// Under [`RowErrorPolicy::SkipUpTo`], rows that fail to parse or
+    /// normalize are dropped and recorded in the quarantine report instead
+    /// of failing the stream; inspect them with
+    /// [`CsvStreamSource::quarantine`] after the drain.
+    #[must_use]
+    pub fn with_row_error_policy(mut self, policy: RowErrorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Rows skipped so far under [`RowErrorPolicy::SkipUpTo`], in file
+    /// order. Empty under [`RowErrorPolicy::Strict`].
+    #[must_use]
+    pub fn quarantine(&self) -> &[QuarantinedRow] {
+        &self.quarantine
     }
 
     /// Re-keys the stream by header name: the yielded rows carry exactly
@@ -776,6 +877,8 @@ impl<R: Read> RowSource for CsvStreamSource<R> {
             want,
             &mut xs,
             &mut ys,
+            self.policy,
+            &mut self.quarantine,
         )?;
         if ys.is_empty() {
             Ok(None)
@@ -796,6 +899,8 @@ impl<R: Read> RowSource for CsvStreamSource<R> {
                 raw_row,
                 block_xs,
                 block_ys,
+                policy,
+                quarantine,
                 ..
             } = self;
             block_xs.clear();
@@ -810,6 +915,8 @@ impl<R: Read> RowSource for CsvStreamSource<R> {
                 want,
                 block_xs,
                 block_ys,
+                *policy,
+                quarantine,
             )?;
             if block_ys.is_empty() {
                 return Ok(());
@@ -829,14 +936,26 @@ impl<R: Read> RowSource for CsvStreamSource<R> {
 /// invisible to the consumer (and, because `fm-core`'s accumulator
 /// re-chunks anyway, can never perturb released coefficients). The
 /// visitor path forwards each shard's own zero-copy fast path.
+///
+/// Errors raised while draining a shard — transport failures from the
+/// shard itself *and* row-contract violations surfaced by the consumer's
+/// visitor — come back wrapped in [`DataError::InShard`] carrying the
+/// shard's label (default `shard-<index>`, overridable with
+/// [`ShardedSource::with_labels`]) and the 0-based index of the failing
+/// block within that shard, so a bad row in a hundred-shard ingest is
+/// attributable at a glance.
 #[derive(Debug)]
 pub struct ShardedSource<S> {
     shards: Vec<S>,
+    labels: Vec<String>,
     current: usize,
+    /// Blocks already yielded by the current shard (resets per shard):
+    /// the 0-based index of the *next* block, i.e. of a failing one.
+    blocks_in_current: usize,
 }
 
 impl<S: RowSource> ShardedSource<S> {
-    /// Concatenates `shards`.
+    /// Concatenates `shards`, labelling them `shard-0`, `shard-1`, ….
     ///
     /// # Errors
     /// [`DataError::InvalidParameter`] for an empty shard list or
@@ -858,13 +977,51 @@ impl<S: RowSource> ShardedSource<S> {
                 ),
             });
         }
-        Ok(ShardedSource { shards, current: 0 })
+        let labels = (0..shards.len()).map(|i| format!("shard-{i}")).collect();
+        Ok(ShardedSource {
+            shards,
+            labels,
+            current: 0,
+            blocks_in_current: 0,
+        })
+    }
+
+    /// Replaces the default `shard-<index>` labels with caller-provided
+    /// ones (e.g. file names), used in [`DataError::InShard`] errors.
+    ///
+    /// # Errors
+    /// [`DataError::InvalidParameter`] when the label count differs from
+    /// the shard count.
+    pub fn with_labels(mut self, labels: Vec<String>) -> Result<Self> {
+        if labels.len() != self.shards.len() {
+            return Err(DataError::InvalidParameter {
+                name: "labels",
+                reason: format!("{} labels for {} shards", labels.len(), self.shards.len()),
+            });
+        }
+        self.labels = labels;
+        Ok(self)
+    }
+
+    /// The shard labels, in shard order.
+    #[must_use]
+    pub fn shard_labels(&self) -> &[String] {
+        &self.labels
     }
 
     /// Number of shards.
     #[must_use]
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Wraps an error raised by the current shard with its context.
+    fn in_current_shard(&self, e: DataError) -> DataError {
+        DataError::InShard {
+            shard: self.labels[self.current].clone(),
+            block: self.blocks_in_current,
+            source: Box::new(e),
+        }
     }
 }
 
@@ -882,18 +1039,56 @@ impl<S: RowSource> RowSource for ShardedSource<S> {
 
     fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
         while self.current < self.shards.len() {
-            if let Some(block) = self.shards[self.current].next_block(max_rows)? {
-                return Ok(Some(block));
+            match self.shards[self.current].next_block(max_rows) {
+                Ok(Some(block)) => {
+                    self.blocks_in_current += 1;
+                    return Ok(Some(block));
+                }
+                Ok(None) => {
+                    self.current += 1;
+                    self.blocks_in_current = 0;
+                }
+                Err(e) => return Err(self.in_current_shard(e)),
             }
-            self.current += 1;
         }
         Ok(None)
     }
 
     fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
         while self.current < self.shards.len() {
-            self.shards[self.current].for_each_block(max_rows, f)?;
-            self.current += 1;
+            let ShardedSource {
+                shards,
+                labels,
+                current,
+                blocks_in_current,
+            } = self;
+            let label = labels[*current].as_str();
+            // Distinguishes visitor errors (wrapped in the closure, where
+            // the failing block's index is known) from the shard's own
+            // transport errors (wrapped after the fact).
+            let mut wrapped_by_visitor = false;
+            let result = shards[*current].for_each_block(max_rows, &mut |block| match f(block) {
+                Ok(()) => {
+                    *blocks_in_current += 1;
+                    Ok(())
+                }
+                Err(e) => {
+                    wrapped_by_visitor = true;
+                    Err(DataError::InShard {
+                        shard: label.to_string(),
+                        block: *blocks_in_current,
+                        source: Box::new(e),
+                    })
+                }
+            });
+            match result {
+                Ok(()) => {
+                    self.current += 1;
+                    self.blocks_in_current = 0;
+                }
+                Err(e) if wrapped_by_visitor => return Err(e),
+                Err(e) => return Err(self.in_current_shard(e)),
+            }
         }
         Ok(())
     }
@@ -997,6 +1192,10 @@ mod prefetch {
     /// ([`super::CsvStreamSource`]); an already-in-memory source gains
     /// nothing and pays the channel hop. Available with the `parallel`
     /// cargo feature.
+    ///
+    /// A panic in the worker (i.e. in the inner source) is caught and
+    /// surfaced to the consumer as [`crate::DataError::WorkerPanic`] — never a
+    /// hang, and never a silent early EOF masquerading as a short dataset.
     #[derive(Debug)]
     pub struct PrefetchSource {
         d: usize,
@@ -1022,18 +1221,33 @@ mod prefetch {
             let block_rows = block_rows.max(1);
             let (tx, rx): (SyncSender<Result<RowBlock>>, _) =
                 std::sync::mpsc::sync_channel(depth.max(1));
-            let worker = std::thread::spawn(move || loop {
-                match source.next_block(block_rows) {
-                    Ok(Some(block)) => {
-                        if tx.send(Ok(block)).is_err() {
-                            return; // consumer dropped: stop reading ahead
+            let panic_tx = tx.clone();
+            let worker = std::thread::spawn(move || {
+                // A panicking inner source must not turn into a silent
+                // early EOF on the consumer side (the channel hanging up
+                // is otherwise indistinguishable from clean exhaustion):
+                // catch it and forward a typed error instead.
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+                    match source.next_block(block_rows) {
+                        Ok(Some(block)) => {
+                            if tx.send(Ok(block)).is_err() {
+                                return; // consumer dropped: stop reading ahead
+                            }
+                        }
+                        Ok(None) => return,
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
                         }
                     }
-                    Ok(None) => return,
-                    Err(e) => {
-                        let _ = tx.send(Err(e));
-                        return;
-                    }
+                }));
+                if let Err(payload) = run {
+                    let detail = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panic payload was not a string".to_string());
+                    let _ = panic_tx.send(Err(super::DataError::WorkerPanic { detail }));
                 }
             });
             PrefetchSource {
@@ -1061,7 +1275,9 @@ mod prefetch {
                     Err(e)
                 }
                 Err(_) => {
-                    // Worker exhausted the source and hung up.
+                    // Worker exhausted the source and hung up. (A panicked
+                    // worker sends a `WorkerPanic` error before hanging up,
+                    // so a bare disconnect really is clean exhaustion.)
                     self.rx = None;
                     Ok(false)
                 }
@@ -1669,5 +1885,163 @@ mod tests {
         let inner = CsvStreamSource::from_reader(std::io::Cursor::new(buf)).unwrap();
         let pf = PrefetchSource::spawn(inner, 1, 1);
         drop(pf);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn prefetch_source_surfaces_worker_panics_as_typed_errors() {
+        /// A source whose transport panics after one good block.
+        #[derive(Debug)]
+        struct PanickySource {
+            blocks: usize,
+        }
+        impl RowSource for PanickySource {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn next_block(&mut self, _max_rows: usize) -> Result<Option<RowBlock>> {
+                assert!(self.blocks != 1, "simulated bug in the inner source");
+                self.blocks += 1;
+                Ok(Some(RowBlock::new(vec![0.1, 0.2], vec![1.0], 2).unwrap()))
+            }
+        }
+
+        let mut pf = PrefetchSource::spawn(PanickySource { blocks: 0 }, 4, 2);
+        assert_eq!(pf.next_block(8).unwrap().unwrap().rows(), 1);
+        match pf.next_block(8) {
+            Err(DataError::WorkerPanic { detail }) => {
+                assert!(detail.contains("simulated bug"), "payload lost: {detail}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // After the panic the stream is over, not wedged.
+        assert!(pf.next_block(8).unwrap().is_none());
+    }
+
+    #[test]
+    fn csv_row_error_policy_quarantines_up_to_the_cap() {
+        let csv = "a,b,label\n0.1,0.2,1.0\nbad,0.3,0.0\n0.4,0.5,2.0\n0.6,oops,3.0\n0.7,0.8,4.0\n";
+        // Strict: first bad row kills the stream.
+        let mut strict = CsvStreamSource::from_reader(std::io::Cursor::new(csv)).unwrap();
+        assert!(matches!(
+            materialize(&mut strict),
+            Err(DataError::Parse { line: 3, .. })
+        ));
+        // SkipUpTo(2): both bad rows quarantined, clean rows survive.
+        let mut lax = CsvStreamSource::from_reader(std::io::Cursor::new(csv))
+            .unwrap()
+            .with_row_error_policy(RowErrorPolicy::SkipUpTo(2));
+        let data = materialize(&mut lax).unwrap();
+        assert_eq!(data.n(), 3);
+        assert_eq!(data.y(), &[1.0, 2.0, 4.0]);
+        let report = lax.quarantine();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].line, 3);
+        assert_eq!(report[1].line, 5);
+        assert!(report[0].reason.contains("not a number"));
+        // SkipUpTo(1): the second bad row exceeds the cap and fails.
+        let mut capped = CsvStreamSource::from_reader(std::io::Cursor::new(csv))
+            .unwrap()
+            .with_row_error_policy(RowErrorPolicy::SkipUpTo(1));
+        assert!(matches!(
+            materialize(&mut capped),
+            Err(DataError::Parse { line: 5, .. })
+        ));
+        assert_eq!(capped.quarantine().len(), 1);
+    }
+
+    #[test]
+    fn csv_row_error_policy_covers_both_block_paths_identically() {
+        let csv = "a,b,label\n0.1,0.2,1.0\nbad,0.3,0.0\n0.4,0.5,2.0\n";
+        let mut owned = CsvStreamSource::from_reader(std::io::Cursor::new(csv))
+            .unwrap()
+            .with_row_error_policy(RowErrorPolicy::SkipUpTo(8));
+        let mut ys_owned = Vec::new();
+        while let Some(b) = owned.next_block(2).unwrap() {
+            ys_owned.extend_from_slice(b.ys());
+        }
+        let mut visited = CsvStreamSource::from_reader(std::io::Cursor::new(csv))
+            .unwrap()
+            .with_row_error_policy(RowErrorPolicy::SkipUpTo(8));
+        let (_, ys_visited) = drain_visitor(&mut visited, 2);
+        assert_eq!(ys_owned, vec![1.0, 2.0]);
+        assert_eq!(ys_owned, ys_visited);
+        assert_eq!(owned.quarantine(), visited.quarantine());
+    }
+
+    #[test]
+    fn sharded_source_attributes_errors_to_the_failing_shard() {
+        let good = "a,b,label\n0.1,0.2,1.0\n0.3,0.4,2.0\n";
+        let bad = "a,b,label\n0.5,0.6,3.0\nbroken,0.7,4.0\n";
+        let make = |text: &str| {
+            CsvStreamSource::from_reader(std::io::Cursor::new(text.to_string())).unwrap()
+        };
+
+        // Default labels, owned-block path: the parse error in the second
+        // shard is wrapped with `shard-1` and the failing block's index.
+        let mut src = ShardedSource::new(vec![make(good), make(bad)]).unwrap();
+        let mut err = None;
+        loop {
+            match src.next_block(1) {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        match err.expect("the bad shard must fail") {
+            DataError::InShard {
+                shard,
+                block,
+                source,
+            } => {
+                assert_eq!(shard, "shard-1");
+                assert_eq!(block, 1, "one good block preceded the failure");
+                assert!(matches!(*source, DataError::Parse { line: 3, .. }));
+            }
+            other => panic!("expected InShard, got {other}"),
+        }
+
+        // Custom labels, visitor path, *visitor-raised* (row-contract
+        // style) error: same attribution.
+        let mut src = ShardedSource::new(vec![make(good), make(good)])
+            .unwrap()
+            .with_labels(vec!["us-census".into(), "brazil-census".into()])
+            .unwrap();
+        let mut blocks = 0usize;
+        let err = src
+            .for_each_block(1, &mut |_b| {
+                blocks += 1;
+                if blocks == 3 {
+                    Err(DataError::NotNormalized {
+                        detail: "‖x‖₂ > 1".to_string(),
+                    })
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        match err {
+            DataError::InShard {
+                shard,
+                block,
+                source,
+            } => {
+                assert_eq!(shard, "brazil-census");
+                assert_eq!(block, 0, "first block of the second shard");
+                assert!(matches!(*source, DataError::NotNormalized { .. }));
+                // std::error::Error::source exposes the cause chain.
+                use std::error::Error as _;
+                let err = DataError::InShard {
+                    shard,
+                    block,
+                    source,
+                };
+                assert!(err.source().is_some());
+            }
+            other => panic!("expected InShard, got {other}"),
+        }
     }
 }

@@ -19,6 +19,17 @@ pub enum PrivacyError {
         /// ε still available.
         remaining: f64,
     },
+    /// A durable-ledger (write-ahead log) operation failed.
+    ///
+    /// Carries the failing operation and a human-readable detail string
+    /// rather than the underlying `io::Error` so the error type stays
+    /// `Clone + PartialEq` like the rest of the crate.
+    Durability {
+        /// The WAL operation that failed (e.g. `"reserve"`, `"recover"`).
+        op: &'static str,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PrivacyError {
@@ -36,6 +47,9 @@ impl fmt::Display for PrivacyError {
                 f,
                 "privacy budget exhausted: requested ε = {requested}, remaining ε = {remaining}"
             ),
+            PrivacyError::Durability { op, detail } => {
+                write!(f, "durable ledger {op} failed: {detail}")
+            }
         }
     }
 }

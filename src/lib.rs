@@ -189,7 +189,7 @@ pub mod prelude {
         persist::SavedModel,
         poisson::DpPoissonRegression,
         robust::{DpHuberRegression, DpMedianRegression, DpQuantileRegression},
-        session::PrivacySession,
+        session::{FitPermit, PrivacySession, SharedPrivacySession},
         sparse::{SparseFmEstimator, SparseRegressionObjective},
         FmError, NoiseDistribution, SensitivityBound, Strategy,
     };
@@ -198,11 +198,12 @@ pub mod prelude {
     pub use fm_data::{
         cv::KFold,
         dataset::Dataset,
+        fault::{Fault, FaultInjectingSource},
         metrics,
         normalize::Normalizer,
         stream::{
-            CsvStreamSource, InMemorySource, LabelTransform, RowBlock, RowBlockRef, RowSource,
-            ShardedSource,
+            CsvStreamSource, InMemorySource, LabelTransform, RowBlock, RowBlockRef, RowErrorPolicy,
+            RowSource, ShardedSource,
         },
     };
     pub use fm_linalg::Matrix;
@@ -210,5 +211,6 @@ pub mod prelude {
         budget::{EpsDeltaLedger, PrivacyBudget},
         exponential::ExponentialMechanism,
         laplace::Laplace,
+        wal::{RecoveryReport, WalLedger},
     };
 }
