@@ -190,6 +190,60 @@ pub trait DpEstimator {
         let data = fm_data::stream::materialize(source).map_err(FmError::Data)?;
         self.fit(&data, rng)
     }
+
+    /// Fits **one** model over the union of disjoint shards — the
+    /// assembled-fit hook that lets any estimator, baselines included,
+    /// ride the sharded ingestion path the harness drives
+    /// ([`crate::session::PrivacySession::fit_sharded_dyn`]).
+    ///
+    /// The default validates the shard family (non-empty, equal
+    /// dimensionalities), drains the shards **in order** into one
+    /// temporary `Dataset`, and delegates to [`DpEstimator::fit`] —
+    /// always correct, with the privacy cost of a single fit. The
+    /// Functional-Mechanism estimators override it with true per-shard
+    /// coefficient assembly (bounded memory, concurrent under the
+    /// `parallel` feature); for them the trait call is exactly the
+    /// inherent `fit_sharded`.
+    ///
+    /// # Errors
+    /// [`FmError::Data`] for an empty shard list, mismatched shard
+    /// dimensionalities, or transport errors; otherwise as
+    /// [`DpEstimator::fit`].
+    fn fit_sharded(
+        &self,
+        shards: &mut [&mut (dyn RowSource + Send)],
+        rng: &mut dyn RngCore,
+    ) -> Result<Self::Model> {
+        let views: Vec<&mut (dyn RowSource + Send)> = shards.iter_mut().map(|s| &mut **s).collect();
+        let mut union = fm_data::stream::ShardedSource::new(views).map_err(FmError::Data)?;
+        let data = fm_data::stream::materialize(&mut union).map_err(FmError::Data)?;
+        self.fit(&data, rng)
+    }
+}
+
+/// Scheduler-visible progress of an in-flight streaming fit: the least a
+/// serving layer needs to report status on — and checkpoint — a fit whose
+/// objective type it does not know. Dyn-compatible, so a worker pool can
+/// hold `&dyn FitProgress` across heterogeneous jobs.
+///
+/// Implemented by [`PartialFit`] and
+/// [`crate::sparse::SparsePartialFit`]; the inherent methods on those
+/// types behave identically.
+pub trait FitProgress {
+    /// Total rows absorbed so far.
+    fn rows(&self) -> usize;
+
+    /// The durable-ledger reservation id the fit carries, if any (see
+    /// [`PartialFit::with_reservation`]).
+    fn reservation(&self) -> Option<u64>;
+
+    /// Serializes the fit's complete accumulation state to the versioned
+    /// `fm-checkpoint v1` text format, reservation id included.
+    ///
+    /// # Errors
+    /// [`FmError::Checkpoint`] when nothing has been absorbed yet — there
+    /// is no accumulation state to snapshot.
+    fn checkpoint(&self) -> Result<String>;
 }
 
 /// A [`PolynomialObjective`] that knows which model family its released
@@ -261,13 +315,13 @@ impl<O: RegressionObjective> FmEstimator<O> {
     ///   [`FmError::Optim`] when the configured strategy cannot produce a
     ///   bounded objective.
     pub fn fit(&self, data: &Dataset, rng: &mut impl Rng) -> Result<O::Model> {
-        let aug;
         let work: &Dataset = if self.config.fit_intercept {
             // Footnote 2: fit d+1 weights on the √2-scaled augmented data,
             // then map back to (ω, b). The augmented dataset's contract is
-            // implied by the original's.
-            aug = data.augment_for_intercept();
-            &aug
+            // implied by the original's. The cached instance is shared by
+            // every intercept fit on `data`, so repeat fits reuse one
+            // augmentation and unlock its columnar assembly kernels.
+            data.augmented_for_intercept_cached()
         } else {
             data
         };
@@ -450,10 +504,8 @@ impl<O: RegressionObjective> FmEstimator<O> {
     /// [`FmError::Data`] on contract violation, [`FmError::Optim`] on a
     /// degenerate (rank-deficient) quadratic.
     pub fn fit_without_privacy(&self, data: &Dataset) -> Result<O::Model> {
-        let aug;
         let work: &Dataset = if self.config.fit_intercept {
-            aug = data.augment_for_intercept();
-            &aug
+            data.augmented_for_intercept_cached()
         } else {
             data
         };
@@ -633,6 +685,20 @@ impl<'a, O: RegressionObjective> PartialFit<'a, O> {
     }
 }
 
+impl<O: RegressionObjective> FitProgress for PartialFit<'_, O> {
+    fn rows(&self) -> usize {
+        PartialFit::rows(self)
+    }
+
+    fn reservation(&self) -> Option<u64> {
+        PartialFit::reservation(self)
+    }
+
+    fn checkpoint(&self) -> Result<String> {
+        PartialFit::checkpoint(self)
+    }
+}
+
 impl<O: RegressionObjective> DpEstimator for FmEstimator<O> {
     type Model = O::Model;
 
@@ -646,6 +712,14 @@ impl<O: RegressionObjective> DpEstimator for FmEstimator<O> {
         mut rng: &mut dyn RngCore,
     ) -> Result<O::Model> {
         FmEstimator::fit_stream(self, source, &mut rng)
+    }
+
+    fn fit_sharded(
+        &self,
+        shards: &mut [&mut (dyn RowSource + Send)],
+        mut rng: &mut dyn RngCore,
+    ) -> Result<O::Model> {
+        FmEstimator::fit_sharded(self, shards, &mut rng)
     }
 
     fn epsilon(&self) -> Option<f64> {

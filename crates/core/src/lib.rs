@@ -115,7 +115,8 @@ mod error;
 pub use assembly::CoefficientAccumulator;
 pub use error::FmError;
 pub use estimator::{
-    DpEstimator, EstimatorBuilder, FitConfig, FmEstimator, PartialFit, RegressionObjective,
+    DpEstimator, EstimatorBuilder, FitConfig, FitProgress, FmEstimator, PartialFit,
+    RegressionObjective,
 };
 pub use mechanism::{
     FunctionalMechanism, NoiseDistribution, NoisyQuadratic, PolynomialObjective, SensitivityBound,

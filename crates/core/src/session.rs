@@ -293,6 +293,31 @@ impl PrivacySession {
         estimator.fit_sharded(shards, rng)
     }
 
+    /// [`PrivacySession::fit_sharded`] for **any** [`DpEstimator`] —
+    /// baselines included — through the trait-level
+    /// [`DpEstimator::fit_sharded`] hook: one model over the shard union,
+    /// debited once. FM estimators take their native per-shard assembly
+    /// path (the trait override delegates to the inherent
+    /// [`FmEstimator::fit_sharded`]); estimators without a streaming
+    /// pipeline materialize the union and fit — same release either way,
+    /// so a mixed line-up shares this one call site.
+    ///
+    /// # Errors
+    /// As [`PrivacySession::fit_sharded`].
+    pub fn fit_sharded_dyn<E, R>(
+        &mut self,
+        estimator: &E,
+        shards: &mut [&mut (dyn RowSource + Send)],
+        rng: &mut R,
+    ) -> Result<E::Model>
+    where
+        E: DpEstimator + ?Sized,
+        R: Rng,
+    {
+        self.debit(estimator)?;
+        estimator.fit_sharded(shards, rng)
+    }
+
     /// The debit every fitting entry point shares: validate the advertised
     /// (ε, δ), spend against the cap, record in the ledger.
     fn debit<E: DpEstimator + ?Sized>(&mut self, estimator: &E) -> Result<()> {
@@ -552,7 +577,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use fm_privacy::budget::EpsDeltaEntry;
-use fm_privacy::wal::{RecoveryReport, WalLedger};
+use fm_privacy::wal::{CompactionPolicy, RecoveryReport, WalLedger, WalStats};
 
 /// Floating-point slack when comparing spends against the cap — mirrors
 /// `fm_privacy::budget`'s tolerance (ε values are user-scale, 0.1–3.2).
@@ -1000,6 +1025,114 @@ impl SharedPrivacySession {
         Ok(())
     }
 
+    /// Size/garbage statistics of the attached WAL (`None` without one) —
+    /// what a background [`CompactionPolicy`] consults.
+    #[must_use]
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.wal.as_ref().map(WalLedger::stats)
+    }
+
+    /// Open reservations **not** attached to a live permit: crash-recovered
+    /// (sealed) reservations awaiting [`SharedPrivacySession::resume_reservation`],
+    /// plus reservations a checkpointing shutdown detached
+    /// ([`FitPermit::detach`]). All still counted as spent.
+    #[must_use]
+    pub fn dangling_reservations(&self) -> usize {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner
+            .open
+            .keys()
+            .filter(|id| !inner.attached.contains(id))
+            .count()
+    }
+
+    /// Compacts the attached WAL **iff** `policy` says it is due *and* no
+    /// reservation is dangling; returns whether a compaction ran. The call
+    /// a serving loop makes after every settle: cheap when not due (one
+    /// stats read under the session lock), and deliberately conservative —
+    /// a dangling reservation is one some checkpoint snapshot may
+    /// reference, and while compaction preserves reservation ids, a log
+    /// that is about to be resumed against is left byte-for-byte alone.
+    ///
+    /// No-op (`Ok(false)`) without a WAL.
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] on WAL I/O failure during the rewrite (the
+    /// original log is untouched on failure).
+    pub fn maybe_compact_wal(&self, policy: &CompactionPolicy) -> Result<bool> {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let SharedInner {
+            wal,
+            open,
+            attached,
+            ..
+        } = &mut *inner;
+        let Some(wal) = wal.as_mut() else {
+            return Ok(false);
+        };
+        if !policy.due(&wal.stats()) {
+            return Ok(false);
+        }
+        if open.keys().any(|id| !attached.contains(id)) {
+            return Ok(false);
+        }
+        wal.compact()?;
+        Ok(true)
+    }
+
+    /// [`SharedPrivacySession::begin`] for sessions shared behind an
+    /// [`Arc`](std::sync::Arc): identical admission (same lock-free CAS,
+    /// same refuse-before-scan durability), but the returned
+    /// [`OwnedFitPermit`] carries its own session handle instead of a
+    /// borrow — what a service hands to a worker thread along with the
+    /// job.
+    ///
+    /// # Errors
+    /// As [`SharedPrivacySession::begin`].
+    pub fn begin_owned(
+        self: &std::sync::Arc<Self>,
+        tenant: &str,
+        label: &str,
+        epsilon: f64,
+        delta: f64,
+    ) -> Result<OwnedFitPermit> {
+        let permit = self.begin(tenant, label, epsilon, delta)?;
+        Ok(OwnedFitPermit::adopt(std::sync::Arc::clone(self), permit))
+    }
+
+    /// [`SharedPrivacySession::resume_reservation`], owned-permit flavour
+    /// (see [`SharedPrivacySession::begin_owned`]). Never re-debits.
+    ///
+    /// # Errors
+    /// As [`SharedPrivacySession::resume_reservation`].
+    pub fn resume_reservation_owned(
+        self: &std::sync::Arc<Self>,
+        id: u64,
+    ) -> Result<OwnedFitPermit> {
+        let permit = self.resume_reservation(id)?;
+        Ok(OwnedFitPermit::adopt(std::sync::Arc::clone(self), permit))
+    }
+
+    /// Releases `id` from its live permit without settling it (see
+    /// [`FitPermit::detach`]).
+    fn detach_reservation(&self, id: u64) {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.attached.remove(&id);
+    }
+
     /// Opens a **parallel-composition** scope for `tenant`: fits on
     /// provably disjoint shards admitted through it cost `max εᵢ` in
     /// total, debited incrementally (each shard pays only the amount by
@@ -1080,6 +1213,24 @@ impl FitPermit<'_> {
         self.settled = true;
         self.session.settle(self.id, self.epsilon, false)
     }
+
+    /// Consumes the permit **without settling**: the reservation stays
+    /// open — still counted as spent, exactly as durable as `begin` made
+    /// it — and immediately becomes re-attachable via
+    /// [`SharedPrivacySession::resume_reservation`], in this process or
+    /// (with a WAL) the next one. Returns the reservation id.
+    ///
+    /// This is the graceful-shutdown half of checkpointing: snapshot the
+    /// partial fit (which embeds this id), detach, exit. Unlike drop,
+    /// nothing is committed — a resumed fit must be able to finish and
+    /// commit under the *same* reservation, debiting exactly once.
+    #[must_use = "carry the returned id (or a checkpoint embedding it) to resume later"]
+    pub fn detach(mut self) -> u64 {
+        self.settled = true;
+        let id = self.id;
+        self.session.detach_reservation(id);
+        id
+    }
 }
 
 impl Drop for FitPermit<'_> {
@@ -1088,6 +1239,89 @@ impl Drop for FitPermit<'_> {
             // Fail-closed: an abandoned permit commits. Errors are
             // swallowed — the reservation then stays open, which still
             // counts as spent.
+            let _ = self.session.settle(self.id, self.epsilon, true);
+        }
+    }
+}
+
+/// An owning, `'static` flavour of [`FitPermit`] for sessions shared
+/// behind an [`Arc`](std::sync::Arc) (see
+/// [`SharedPrivacySession::begin_owned`]): carries its session handle, so
+/// a service can move the permit into a worker-thread job that outlives
+/// the submitting stack frame. Settlement semantics are identical —
+/// commit, abort (refused when sealed), detach-for-checkpoint, and
+/// **drop commits** (fail-closed).
+#[derive(Debug)]
+#[must_use = "a dropped permit commits its debit; settle it explicitly"]
+pub struct OwnedFitPermit {
+    session: std::sync::Arc<SharedPrivacySession>,
+    id: u64,
+    epsilon: f64,
+    settled: bool,
+}
+
+impl OwnedFitPermit {
+    /// Transfers settlement duty from a borrowed permit to an owned one.
+    fn adopt(session: std::sync::Arc<SharedPrivacySession>, mut permit: FitPermit<'_>) -> Self {
+        // The borrowed permit's Drop must not settle: this permit now owns
+        // the reservation.
+        permit.settled = true;
+        let (id, epsilon) = (permit.id, permit.epsilon);
+        OwnedFitPermit {
+            session,
+            id,
+            epsilon,
+            settled: false,
+        }
+    }
+
+    /// The reservation id (see [`FitPermit::id`]).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The ε this permit reserved.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Settles the reservation as spent-and-released (see
+    /// [`FitPermit::commit`]).
+    ///
+    /// # Errors
+    /// As [`FitPermit::commit`].
+    pub fn commit(mut self) -> Result<()> {
+        self.settled = true;
+        self.session.settle(self.id, self.epsilon, true)
+    }
+
+    /// Reclaims the reservation — legal **only** when the fit never
+    /// touched data (see [`FitPermit::abort`]).
+    ///
+    /// # Errors
+    /// As [`FitPermit::abort`].
+    pub fn abort(mut self) -> Result<()> {
+        self.settled = true;
+        self.session.settle(self.id, self.epsilon, false)
+    }
+
+    /// Consumes the permit without settling, leaving the reservation open
+    /// and resumable (see [`FitPermit::detach`]).
+    #[must_use = "carry the returned id (or a checkpoint embedding it) to resume later"]
+    pub fn detach(mut self) -> u64 {
+        self.settled = true;
+        let id = self.id;
+        self.session.detach_reservation(id);
+        id
+    }
+}
+
+impl Drop for OwnedFitPermit {
+    fn drop(&mut self) {
+        if !self.settled {
+            // Fail-closed, exactly as FitPermit.
             let _ = self.session.settle(self.id, self.epsilon, true);
         }
     }

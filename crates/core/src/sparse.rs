@@ -482,6 +482,20 @@ impl<'a, O: SparseRegressionObjective> SparsePartialFit<'a, O> {
     }
 }
 
+impl<O: SparseRegressionObjective> crate::estimator::FitProgress for SparsePartialFit<'_, O> {
+    fn rows(&self) -> usize {
+        SparsePartialFit::rows(self)
+    }
+
+    fn reservation(&self) -> Option<u64> {
+        SparsePartialFit::reservation(self)
+    }
+
+    fn checkpoint(&self) -> Result<String> {
+        SparsePartialFit::checkpoint(self)
+    }
+}
+
 impl<O: SparseRegressionObjective> DpEstimator for SparseFmEstimator<O> {
     type Model = O::Model;
 
@@ -495,6 +509,14 @@ impl<O: SparseRegressionObjective> DpEstimator for SparseFmEstimator<O> {
         mut rng: &mut dyn RngCore,
     ) -> Result<O::Model> {
         SparseFmEstimator::fit_stream(self, source, &mut rng)
+    }
+
+    fn fit_sharded(
+        &self,
+        shards: &mut [&mut (dyn fm_data::stream::RowSource + Send)],
+        mut rng: &mut dyn RngCore,
+    ) -> Result<O::Model> {
+        SparseFmEstimator::fit_sharded(self, shards, &mut rng)
     }
 
     fn epsilon(&self) -> Option<f64> {

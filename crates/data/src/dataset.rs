@@ -24,6 +24,11 @@ pub struct Dataset {
     /// How many coefficient-assembly passes this dataset has served —
     /// the reuse signal behind [`Dataset::columnar_on_reuse`].
     scans: std::sync::atomic::AtomicU32,
+    /// Lazily-built intercept augmentation (`x' = (x/√2, 1/√2)`), shared by
+    /// every intercept fit on this dataset — see
+    /// [`Dataset::augmented_for_intercept_cached`]. Boxed so the type can
+    /// refer to itself.
+    aug: std::sync::OnceLock<Box<Dataset>>,
 }
 
 impl Clone for Dataset {
@@ -36,6 +41,7 @@ impl Clone for Dataset {
             scans: std::sync::atomic::AtomicU32::new(
                 self.scans.load(std::sync::atomic::Ordering::Relaxed),
             ),
+            aug: self.aug.clone(),
         }
     }
 }
@@ -63,6 +69,7 @@ impl Dataset {
             feature_names,
             xt: std::sync::OnceLock::new(),
             scans: std::sync::atomic::AtomicU32::new(0),
+            aug: std::sync::OnceLock::new(),
         })
     }
 
@@ -289,6 +296,24 @@ impl Dataset {
         names.push("(intercept)".to_string());
         Dataset::with_names(x, self.y.clone(), names)
             .expect("augmented shapes are valid by construction")
+    }
+
+    /// The cached intercept augmentation of this dataset, built on first
+    /// use and shared by every subsequent intercept fit.
+    ///
+    /// Semantically identical to [`Dataset::augment_for_intercept`] (same
+    /// elementwise `x·(1/√2)` arithmetic, so fitted coefficients are
+    /// bit-identical either way); the difference is amortization. Because
+    /// one augmented `Dataset` instance now serves *all* intercept fits on
+    /// this data, its scan counter accumulates across fits and its own
+    /// columnar cache ([`Dataset::columnar_on_reuse`]) unlocks from the
+    /// second intercept fit onward — including fits entering through the
+    /// streaming entry points, which previously re-augmented per call and
+    /// therefore never left the row-major visitor rate.
+    #[must_use]
+    pub fn augmented_for_intercept_cached(&self) -> &Dataset {
+        self.aug
+            .get_or_init(|| Box::new(self.augment_for_intercept()))
     }
 }
 
@@ -593,6 +618,24 @@ mod tests {
         // Labels and names carried through.
         assert_eq!(aug.y(), ds.y());
         assert_eq!(aug.feature_names()[2], "(intercept)");
+    }
+
+    #[test]
+    fn augmented_cache_is_shared_and_matches_fresh_augmentation() {
+        let x = Matrix::from_rows(&[&[0.6, 0.8], &[0.0, 0.0]]).unwrap();
+        let ds = Dataset::new(x, vec![1.0, 0.0]).unwrap();
+        let a1: *const Dataset = ds.augmented_for_intercept_cached();
+        let a2: *const Dataset = ds.augmented_for_intercept_cached();
+        assert_eq!(a1, a2, "cache must hand out one shared instance");
+        let cached = ds.augmented_for_intercept_cached();
+        let fresh = ds.augment_for_intercept();
+        assert_eq!(cached.x().as_slice(), fresh.x().as_slice());
+        assert_eq!(cached.y(), fresh.y());
+        assert_eq!(cached.feature_names(), fresh.feature_names());
+        // The shared instance accumulates scans, so its columnar kernel
+        // unlocks on reuse; a fresh augmentation never would.
+        assert!(cached.columnar_on_reuse().is_none());
+        assert!(cached.columnar_on_reuse().is_some());
     }
 
     #[test]

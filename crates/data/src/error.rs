@@ -54,6 +54,12 @@ pub enum DataError {
         /// Panic payload or description of how the worker died.
         detail: String,
     },
+    /// A block channel (see [`crate::queue`]) was closed by the other
+    /// side while this side still had rows to move.
+    ChannelClosed {
+        /// Which side hung up, and in what state.
+        detail: String,
+    },
     /// An error raised while draining one shard of a
     /// [`crate::stream::ShardedSource`], annotated with which shard and
     /// which of its blocks failed so multi-shard ingest is attributable.
@@ -89,6 +95,9 @@ impl fmt::Display for DataError {
             }
             DataError::WorkerPanic { detail } => {
                 write!(f, "background ingestion worker died: {detail}")
+            }
+            DataError::ChannelClosed { detail } => {
+                write!(f, "block channel closed: {detail}")
             }
             DataError::InShard {
                 shard,

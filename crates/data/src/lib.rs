@@ -47,6 +47,7 @@ pub mod dataset;
 pub mod fault;
 pub mod metrics;
 pub mod normalize;
+pub mod queue;
 pub mod sampling;
 pub mod schema;
 pub mod stream;

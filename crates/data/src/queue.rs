@@ -1,0 +1,431 @@
+//! Bounded, backpressured block channels: the queue-fed [`RowSource`]
+//! serving workloads push tenant rows through.
+//!
+//! [`block_channel`] splits a fit's transport into two halves connected by
+//! a bounded FIFO of [`RowBlock`]s:
+//!
+//! * a [`BlockSender`] the producer (an ingestion front, a tenant RPC
+//!   handler) pushes blocks into — [`BlockSender::send`] **blocks** when
+//!   the queue is full (backpressure), [`BlockSender::try_send`] **rejects**
+//!   instead, handing the block back; either way, queued memory is capped
+//!   at `depth_blocks` blocks and never grows without bound;
+//! * a [`QueueSource`] the consumer (a serve worker driving `partial_fit`)
+//!   drains — a plain [`RowSource`], so everything downstream of it is the
+//!   standard streaming fit pipeline.
+//!
+//! Because `fm-core`'s accumulator re-chunks every stream onto its fixed
+//! chunk grid, *how* rows were batched into queue blocks — and any timing
+//! of the producer/consumer interleaving — can never perturb released
+//! coefficients: a fit fed through a `block_channel` is bit-identical to
+//! the same rows fed directly to `fit_stream`.
+//!
+//! End-of-stream is the sender hangup: dropping the last [`BlockSender`]
+//! clone (or calling [`BlockSender::finish`]) makes the source return
+//! `None` after the queue drains. A producer-side failure is forwarded
+//! with [`BlockSender::fail`] and surfaces as the consumer's next read
+//! error, exactly like a transport error from any other source. Dropping
+//! the [`QueueSource`] hangs up the other way: blocked senders wake
+//! immediately and get their block back.
+
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::time::Duration;
+
+use crate::stream::{BlockVisitor, ChannelConsumer, Refill, RowBlock, RowSource};
+use crate::{DataError, Result};
+
+/// Creates a bounded block channel of dimensionality `d` holding at most
+/// `depth_blocks` blocks (clamped to ≥ 1): returns the producer and
+/// consumer halves. See the [module docs](self).
+///
+/// # Errors
+/// [`DataError::InvalidParameter`] when `d` is zero.
+pub fn block_channel(d: usize, depth_blocks: usize) -> Result<(BlockSender, QueueSource)> {
+    if d == 0 {
+        return Err(DataError::InvalidParameter {
+            name: "d",
+            reason: "block channel dimensionality must be at least 1".to_string(),
+        });
+    }
+    let (tx, rx) = std::sync::mpsc::sync_channel(depth_blocks.max(1));
+    Ok((
+        BlockSender { tx, d },
+        QueueSource {
+            feed: ChannelConsumer::new(d, None, rx),
+        },
+    ))
+}
+
+/// Why [`BlockSender::try_send`] handed a block back instead of queuing it.
+#[derive(Debug)]
+pub enum SendRejected {
+    /// The queue is at capacity. Retry later (or fall back to the blocking
+    /// [`BlockSender::send`]); the block is returned untouched.
+    Full(RowBlock),
+    /// The consumer hung up; no more rows will ever be accepted. The block
+    /// is returned so the producer can account for it.
+    Closed(RowBlock),
+    /// The block's dimensionality does not match the channel's.
+    Invalid(DataError),
+}
+
+/// The producer half of a [`block_channel`]: pushes [`RowBlock`]s into the
+/// bounded queue.
+///
+/// Cloneable for multi-producer ingestion; the stream ends only when
+/// **every** clone has been dropped (or [`BlockSender::finish`]ed).
+#[derive(Debug, Clone)]
+pub struct BlockSender {
+    tx: SyncSender<Result<RowBlock>>,
+    d: usize,
+}
+
+impl BlockSender {
+    /// Dimensionality every sent block must have.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    fn check(&self, block: &RowBlock) -> Result<()> {
+        if block.d() != self.d {
+            return Err(DataError::InvalidParameter {
+                name: "block",
+                reason: format!(
+                    "block dimensionality {} does not match channel dimensionality {}",
+                    block.d(),
+                    self.d
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Queues `block`, **blocking** while the queue is full — the
+    /// backpressure path: a producer faster than the fit worker is slowed
+    /// to the worker's rate instead of growing memory without bound.
+    ///
+    /// # Errors
+    /// [`DataError::InvalidParameter`] on a dimensionality mismatch;
+    /// [`DataError::ChannelClosed`] when the consumer hung up (the fit was
+    /// cancelled or failed — the rows were *not* consumed).
+    pub fn send(&self, block: RowBlock) -> Result<()> {
+        self.check(&block)?;
+        self.tx
+            .send(Ok(block))
+            .map_err(|_| DataError::ChannelClosed {
+                detail: "consumer dropped while rows were still being sent".to_string(),
+            })
+    }
+
+    /// Queues `block` without blocking: on a full queue the block is
+    /// handed straight back as [`SendRejected::Full`] — the rejecting
+    /// admission-control path.
+    ///
+    /// # Errors
+    /// [`SendRejected`], carrying the block back where that makes sense.
+    pub fn try_send(&self, block: RowBlock) -> std::result::Result<(), SendRejected> {
+        if let Err(e) = self.check(&block) {
+            return Err(SendRejected::Invalid(e));
+        }
+        match self.tx.try_send(Ok(block)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(Ok(block))) => Err(SendRejected::Full(block)),
+            Err(TrySendError::Disconnected(Ok(block))) => Err(SendRejected::Closed(block)),
+            // We only ever try_send Ok(..) payloads.
+            Err(TrySendError::Full(Err(_)) | TrySendError::Disconnected(Err(_))) => unreachable!(),
+        }
+    }
+
+    /// Forwards a producer-side failure to the consumer, closing the
+    /// channel: the consumer's next read returns `error`, failing the fit
+    /// the same way a transport error from any other source would.
+    pub fn fail(self, error: DataError) {
+        let _ = self.tx.send(Err(error));
+    }
+
+    /// Ends the stream cleanly (equivalent to dropping the sender): once
+    /// every clone is finished or dropped and the queue drains, the
+    /// consumer sees end-of-stream.
+    pub fn finish(self) {}
+}
+
+/// One bounded-wait poll outcome from [`QueueSource::poll_block`].
+#[derive(Debug)]
+pub enum BlockPoll {
+    /// A block of at most the requested rows.
+    Block(RowBlock),
+    /// Nothing arrived within the wait; producers are still connected.
+    /// The caller can check its shutdown flag and poll again.
+    Pending,
+    /// Every producer hung up and the queue is drained: end-of-stream.
+    Finished,
+}
+
+/// The consumer half of a [`block_channel`]: a [`RowSource`] over whatever
+/// the producers queue, in FIFO order.
+///
+/// The `RowSource` methods block until rows arrive or the stream ends —
+/// correct for a dedicated fit, but a serve worker that must also react
+/// to shutdown uses [`QueueSource::poll_block`], which bounds each wait.
+///
+/// Dropping a `QueueSource` mid-stream hangs up the channel: producers
+/// blocked in [`BlockSender::send`] wake with an error immediately.
+#[derive(Debug)]
+pub struct QueueSource {
+    feed: ChannelConsumer,
+}
+
+impl QueueSource {
+    /// Hangs up the channel without consuming the source: producers
+    /// blocked in [`BlockSender::send`] wake with an error immediately and
+    /// later sends are rejected, while rows already received stay
+    /// drainable. The cancellation path for a fit that stops early.
+    pub fn close(&mut self) {
+        self.feed.disconnect();
+    }
+
+    /// Waits at most `timeout` for the next block of at most
+    /// `max_rows.max(1)` rows.
+    ///
+    /// # Errors
+    /// An error forwarded by [`BlockSender::fail`]; after it, the source
+    /// is closed.
+    pub fn poll_block(&mut self, max_rows: usize, timeout: Duration) -> Result<BlockPoll> {
+        let want = max_rows.max(1);
+        if self.feed.has_pending() {
+            return Ok(BlockPoll::Block(
+                self.feed.serve(want).expect("pending block"),
+            ));
+        }
+        match self.feed.refill_timeout(timeout)? {
+            Refill::Ready => Ok(BlockPoll::Block(
+                self.feed.serve(want).expect("refilled above"),
+            )),
+            Refill::TimedOut => Ok(BlockPoll::Pending),
+            Refill::Finished => Ok(BlockPoll::Finished),
+        }
+    }
+}
+
+impl RowSource for QueueSource {
+    fn dim(&self) -> usize {
+        self.feed.dim()
+    }
+
+    fn hint_rows(&self) -> Option<usize> {
+        self.feed.hint_rows()
+    }
+
+    fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
+        self.feed.next_block(max_rows)
+    }
+
+    fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
+        self.feed.for_each_block(max_rows, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::InMemorySource;
+    use crate::Dataset;
+    use fm_linalg::Matrix;
+
+    fn block(rows: usize, d: usize, seed: f64) -> RowBlock {
+        let xs: Vec<f64> = (0..rows * d).map(|i| seed + i as f64 * 1e-3).collect();
+        let ys: Vec<f64> = (0..rows).map(|i| seed - i as f64 * 1e-3).collect();
+        RowBlock::new(xs, ys, d).unwrap()
+    }
+
+    #[test]
+    fn round_trips_blocks_in_order_and_rechunks_to_the_consumer_cap() {
+        let (tx, mut src) = block_channel(2, 4).unwrap();
+        assert_eq!(tx.dim(), 2);
+        assert_eq!(src.dim(), 2);
+        tx.send(block(3, 2, 0.0)).unwrap();
+        tx.send(block(5, 2, 10.0)).unwrap();
+        tx.finish();
+        let mut ys = Vec::new();
+        while let Some(b) = src.next_block(2).unwrap() {
+            assert!(b.rows() <= 2);
+            ys.extend_from_slice(b.ys());
+        }
+        let mut expect = block(3, 2, 0.0).ys().to_vec();
+        expect.extend_from_slice(block(5, 2, 10.0).ys());
+        assert_eq!(ys, expect);
+        assert!(src.next_block(2).unwrap().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn try_send_rejects_on_full_and_returns_the_block() {
+        let (tx, mut src) = block_channel(1, 2).unwrap();
+        tx.try_send(block(1, 1, 0.0)).unwrap();
+        tx.try_send(block(1, 1, 1.0)).unwrap();
+        // Queue depth is 2: the third block bounces back untouched.
+        match tx.try_send(block(4, 1, 2.0)) {
+            Err(SendRejected::Full(b)) => assert_eq!(b.rows(), 4),
+            other => panic!("expected Full rejection, got {other:?}"),
+        }
+        // Draining one block frees a slot.
+        let _ = src.next_block(8).unwrap().unwrap();
+        tx.try_send(block(1, 1, 2.0)).unwrap();
+        // Dropping the consumer turns rejection into Closed.
+        drop(src);
+        match tx.try_send(block(1, 1, 3.0)) {
+            Err(SendRejected::Closed(_)) => {}
+            other => panic!("expected Closed rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocking_send_applies_backpressure_then_unblocks() {
+        let (tx, mut src) = block_channel(1, 1).unwrap();
+        tx.send(block(1, 1, 0.0)).unwrap();
+        let producer = std::thread::spawn(move || {
+            // Queue is full: this blocks until the consumer drains a slot.
+            tx.send(block(1, 1, 1.0)).unwrap();
+            tx.send(block(1, 1, 2.0)).unwrap();
+        });
+        let mut seen = 0usize;
+        while let Some(b) = src.next_block(4).unwrap() {
+            seen += b.rows();
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn dropping_the_consumer_unblocks_and_errors_a_blocked_sender() {
+        let (tx, src) = block_channel(1, 1).unwrap();
+        tx.send(block(1, 1, 0.0)).unwrap();
+        let producer = std::thread::spawn(move || tx.send(block(1, 1, 1.0)));
+        // Give the producer time to block on the full queue, then hang up.
+        std::thread::sleep(Duration::from_millis(20));
+        drop(src);
+        assert!(matches!(
+            producer.join().unwrap(),
+            Err(DataError::ChannelClosed { .. })
+        ));
+    }
+
+    #[test]
+    fn fail_surfaces_as_the_consumer_read_error() {
+        let (tx, mut src) = block_channel(1, 2).unwrap();
+        tx.send(block(1, 1, 0.0)).unwrap();
+        tx.fail(DataError::Parse {
+            line: 7,
+            detail: "bad row".to_string(),
+        });
+        // The queued block still arrives first, then the error.
+        assert!(src.next_block(8).unwrap().is_some());
+        assert!(matches!(
+            src.next_block(8),
+            Err(DataError::Parse { line: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn poll_block_times_out_while_producers_live_and_finishes_on_hangup() {
+        let (tx, mut src) = block_channel(1, 2).unwrap();
+        assert!(matches!(
+            src.poll_block(8, Duration::from_millis(5)).unwrap(),
+            BlockPoll::Pending
+        ));
+        tx.send(block(2, 1, 0.0)).unwrap();
+        match src.poll_block(1, Duration::from_millis(100)).unwrap() {
+            BlockPoll::Block(b) => assert_eq!(b.rows(), 1),
+            other => panic!("expected a block, got {other:?}"),
+        }
+        drop(tx);
+        // The pending remainder drains before end-of-stream.
+        assert!(matches!(
+            src.poll_block(8, Duration::from_millis(5)).unwrap(),
+            BlockPoll::Block(_)
+        ));
+        assert!(matches!(
+            src.poll_block(8, Duration::from_millis(5)).unwrap(),
+            BlockPoll::Finished
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatches_are_refused_on_both_paths() {
+        assert!(block_channel(0, 1).is_err());
+        let (tx, _src) = block_channel(3, 1).unwrap();
+        assert!(matches!(
+            tx.send(block(1, 2, 0.0)),
+            Err(DataError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            tx.try_send(block(1, 2, 0.0)),
+            Err(SendRejected::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn multi_producer_clones_keep_the_stream_open_until_all_finish() {
+        let (tx, mut src) = block_channel(1, 4).unwrap();
+        let tx2 = tx.clone();
+        tx.send(block(1, 1, 0.0)).unwrap();
+        tx.finish();
+        // tx2 still holds the channel open.
+        tx2.send(block(1, 1, 1.0)).unwrap();
+        assert!(matches!(
+            src.poll_block(8, Duration::from_millis(5)).unwrap(),
+            BlockPoll::Block(_)
+        ));
+        assert!(matches!(
+            src.poll_block(8, Duration::from_millis(5)).unwrap(),
+            BlockPoll::Block(_)
+        ));
+        assert!(matches!(
+            src.poll_block(8, Duration::from_millis(5)).unwrap(),
+            BlockPoll::Pending
+        ));
+        tx2.finish();
+        assert!(matches!(
+            src.poll_block(8, Duration::from_millis(5)).unwrap(),
+            BlockPoll::Finished
+        ));
+    }
+
+    #[test]
+    fn close_rejects_later_sends_but_keeps_received_rows_drainable() {
+        let (tx, mut src) = block_channel(1, 4).unwrap();
+        tx.send(block(2, 1, 0.0)).unwrap();
+        // Let the queued block reach the consumer before hanging up.
+        match src.poll_block(1, Duration::from_millis(100)).unwrap() {
+            BlockPoll::Block(b) => assert_eq!(b.rows(), 1),
+            other => panic!("expected a block, got {other:?}"),
+        }
+        src.close();
+        assert!(matches!(
+            tx.send(block(1, 1, 1.0)),
+            Err(DataError::ChannelClosed { .. })
+        ));
+        // The already-received remainder still drains, then end-of-stream.
+        assert!(matches!(src.next_block(8).unwrap(), Some(b) if b.rows() == 1));
+        assert!(src.next_block(8).unwrap().is_none());
+    }
+
+    #[test]
+    fn queue_fed_rows_materialize_identically_to_the_direct_source() {
+        let x = Matrix::from_rows(&[&[0.1, 0.2], &[0.3, 0.4], &[0.5, 0.6], &[0.0, -0.1]]).unwrap();
+        let data = Dataset::new(x, vec![1.0, 0.0, 1.0, -0.5]).unwrap();
+        let (tx, mut queued) = block_channel(2, 2).unwrap();
+        let via_queue = std::thread::scope(|s| {
+            let mut direct = InMemorySource::new(&data);
+            s.spawn(move || {
+                // Odd block sizes on purpose: re-chunking is the consumer's
+                // job and must not change the logical row stream.
+                while let Some(b) = direct.next_block(3).unwrap() {
+                    tx.send(b).unwrap();
+                }
+            });
+            crate::stream::materialize(&mut queued).unwrap()
+        });
+        assert_eq!(via_queue.x().as_slice(), data.x().as_slice());
+        assert_eq!(via_queue.y(), data.y());
+    }
+}

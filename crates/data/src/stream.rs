@@ -262,9 +262,12 @@ pub trait RowSource {
     /// the stream to, results are **bit-identical** either way.
     ///
     /// The default returns `None` (stream normally). Only sources whose
-    /// yielded rows *are* a materialized dataset, with **no pending
-    /// transformation** (no augmentation, no shard concatenation), may
-    /// return it — and only while still at their first row.
+    /// remaining rows *are* a materialized dataset may return it — and only
+    /// while still at their first row. An adapter may satisfy that by
+    /// materializing its transformation at handoff time
+    /// ([`InterceptAugmentSource`] hands over the inner dataset's cached
+    /// augmentation); adapters that cannot (shard concatenation) return
+    /// `None` and stream.
     fn take_dataset(&mut self) -> Option<&Dataset> {
         None
     }
@@ -1139,6 +1142,19 @@ impl<S: RowSource> RowSource for InterceptAugmentSource<S> {
             .map(|b| b.augment_for_intercept()))
     }
 
+    fn take_dataset(&mut self) -> Option<&Dataset> {
+        // When the inner source can hand over its whole dataset, hand over
+        // that dataset's *cached* augmentation instead of streaming: the
+        // cache performs the same elementwise `x·(1/√2)` arithmetic as the
+        // per-block path (bit-identical coefficients), lives as long as the
+        // inner dataset, and — because one instance serves every intercept
+        // fit on that data — accumulates the scan count that unlocks the
+        // columnar assembly kernels from the second fit onward.
+        self.inner
+            .take_dataset()
+            .map(Dataset::augmented_for_intercept_cached)
+    }
+
     fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
         let InterceptAugmentSource { inner, scratch } = self;
         inner.for_each_block(max_rows, &mut |b| {
@@ -1165,15 +1181,188 @@ impl<S: RowSource> RowSource for InterceptAugmentSource<S> {
     }
 }
 
+/// Outcome of a bounded-wait receive on a [`ChannelConsumer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Refill {
+    /// A block arrived and is now pending.
+    Ready,
+    /// Nothing arrived within the wait; the producer is still connected.
+    TimedOut,
+    /// The producer hung up cleanly; the stream is exhausted.
+    Finished,
+}
+
+/// Consumer-side state shared by every channel-fed [`RowSource`] — the
+/// prefetch adapters here and [`crate::queue::QueueSource`]: owns the
+/// receiving end of a bounded block channel plus the partially-served
+/// block, and re-slices arriving blocks to whatever cap the consumer
+/// asks for. Producer-agnostic: it neither knows nor cares whether the
+/// sender is a read-ahead worker thread or a tenant pushing rows.
+#[derive(Debug)]
+pub(crate) struct ChannelConsumer {
+    d: usize,
+    hint0: Option<usize>,
+    served: usize,
+    rx: Option<std::sync::mpsc::Receiver<Result<RowBlock>>>,
+    /// The block currently being served, plus how many of its rows have
+    /// already been yielded.
+    pending: Option<(RowBlock, usize)>,
+}
+
+impl ChannelConsumer {
+    pub(crate) fn new(
+        d: usize,
+        hint0: Option<usize>,
+        rx: std::sync::mpsc::Receiver<Result<RowBlock>>,
+    ) -> Self {
+        ChannelConsumer {
+            d,
+            hint0,
+            served: 0,
+            rx: Some(rx),
+            pending: None,
+        }
+    }
+
+    pub(crate) fn dim(&self) -> usize {
+        self.d
+    }
+
+    pub(crate) fn hint_rows(&self) -> Option<usize> {
+        self.hint0.map(|h| h.saturating_sub(self.served))
+    }
+
+    pub(crate) fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Drops the receiver so a producer blocked on a full channel sees the
+    /// hangup and can stop.
+    pub(crate) fn disconnect(&mut self) {
+        self.rx = None;
+    }
+
+    /// Receives the next block into `pending`, blocking; `Ok(false)` once
+    /// the producer is done.
+    pub(crate) fn refill(&mut self) -> Result<bool> {
+        debug_assert!(self.pending.is_none(), "refill with a block pending");
+        let Some(rx) = &self.rx else { return Ok(false) };
+        match rx.recv() {
+            Ok(Ok(block)) => {
+                self.pending = Some((block, 0));
+                Ok(true)
+            }
+            Ok(Err(e)) => {
+                self.rx = None;
+                Err(e)
+            }
+            Err(_) => {
+                // Producer hung up. (An erroring producer sends its error
+                // before hanging up, so a bare disconnect really is clean
+                // exhaustion.)
+                self.rx = None;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Like [`ChannelConsumer::refill`], but waits at most `timeout` —
+    /// what a consumer that must stay responsive (checking a shutdown
+    /// flag between blocks) polls with.
+    pub(crate) fn refill_timeout(&mut self, timeout: std::time::Duration) -> Result<Refill> {
+        debug_assert!(self.pending.is_none(), "refill with a block pending");
+        let Some(rx) = &self.rx else {
+            return Ok(Refill::Finished);
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(Ok(block)) => {
+                self.pending = Some((block, 0));
+                Ok(Refill::Ready)
+            }
+            Ok(Err(e)) => {
+                self.rx = None;
+                Err(e)
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Ok(Refill::TimedOut),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                self.rx = None;
+                Ok(Refill::Finished)
+            }
+        }
+    }
+
+    /// Serves at most `want` rows from the pending block: whole-block
+    /// handoff (no copy) when it fits, else a copied sub-range with the
+    /// rest kept pending. `None` when nothing is pending.
+    pub(crate) fn serve(&mut self, want: usize) -> Option<RowBlock> {
+        let (block, offset) = self.pending.take()?;
+        let remaining = block.rows() - offset;
+        if offset == 0 && remaining <= want {
+            self.served += remaining;
+            return Some(block);
+        }
+        let take = want.min(remaining);
+        let d = block.d();
+        let sub = RowBlock {
+            xs: block.xs()[offset * d..(offset + take) * d].to_vec(),
+            ys: block.ys()[offset..offset + take].to_vec(),
+            d,
+        };
+        if offset + take < block.rows() {
+            self.pending = Some((block, offset + take));
+        }
+        self.served += take;
+        Some(sub)
+    }
+
+    pub(crate) fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
+        let want = max_rows.max(1);
+        if self.pending.is_none() && !self.refill()? {
+            return Ok(None);
+        }
+        Ok(self.serve(want))
+    }
+
+    pub(crate) fn for_each_block(
+        &mut self,
+        max_rows: usize,
+        f: &mut BlockVisitor<'_>,
+    ) -> Result<()> {
+        let want = max_rows.max(1);
+        loop {
+            if self.pending.is_none() && !self.refill()? {
+                return Ok(());
+            }
+            let (block, offset) = self.pending.as_mut().expect("refilled above");
+            let d = block.d();
+            let lo = *offset;
+            let take = want.min(block.rows() - lo);
+            *offset += take;
+            let done = *offset >= block.rows();
+            let (block, _) = self.pending.as_ref().expect("still pending");
+            let view = RowBlockRef {
+                xs: &block.xs()[lo * d..(lo + take) * d],
+                ys: &block.ys()[lo..lo + take],
+                d,
+            };
+            f(view)?;
+            self.served += take;
+            if done {
+                self.pending = None;
+            }
+        }
+    }
+}
+
 #[cfg(feature = "parallel")]
-pub use self::prefetch::PrefetchSource;
+pub use self::prefetch::{PrefetchSource, ScopedPrefetchSource};
 
 #[cfg(feature = "parallel")]
 mod prefetch {
-    use std::sync::mpsc::{Receiver, SyncSender};
+    use std::sync::mpsc::SyncSender;
     use std::thread::JoinHandle;
 
-    use super::{BlockVisitor, Result, RowBlock, RowBlockRef, RowSource};
+    use super::{BlockVisitor, ChannelConsumer, Result, RowBlock, RowSource};
 
     /// A double-buffering [`RowSource`] adapter: a worker thread pulls
     /// (parses, clamps, normalizes) blocks from the inner source while the
@@ -1198,154 +1387,83 @@ mod prefetch {
     /// hang, and never a silent early EOF masquerading as a short dataset.
     #[derive(Debug)]
     pub struct PrefetchSource {
-        d: usize,
-        hint0: Option<usize>,
-        served: usize,
-        rx: Option<Receiver<Result<RowBlock>>>,
-        /// The block currently being served, plus how many of its rows
-        /// have already been yielded.
-        pending: Option<(RowBlock, usize)>,
+        feed: ChannelConsumer,
         worker: Option<JoinHandle<()>>,
+    }
+
+    /// The read-ahead loop both prefetch variants run on their worker
+    /// thread: pull blocks from the inner source and push them down the
+    /// bounded channel until exhaustion, error, or consumer hangup.
+    ///
+    /// A panicking inner source must not turn into a silent early EOF on
+    /// the consumer side (the channel hanging up is otherwise
+    /// indistinguishable from clean exhaustion): catch it and forward a
+    /// typed error instead.
+    fn run_worker<S: RowSource>(
+        mut source: S,
+        block_rows: usize,
+        tx: SyncSender<Result<RowBlock>>,
+    ) {
+        let panic_tx = tx.clone();
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+            match source.next_block(block_rows) {
+                Ok(Some(block)) => {
+                    if tx.send(Ok(block)).is_err() {
+                        return; // consumer dropped: stop reading ahead
+                    }
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        }));
+        if let Err(payload) = run {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic payload was not a string".to_string());
+            let _ = panic_tx.send(Err(super::DataError::WorkerPanic { detail }));
+        }
     }
 
     impl PrefetchSource {
         /// Moves `source` to a worker thread that reads ahead blocks of
         /// `block_rows` rows, buffering at most `depth` parsed blocks
         /// (both clamped to ≥ 1).
-        pub fn spawn<S>(mut source: S, block_rows: usize, depth: usize) -> Self
+        pub fn spawn<S>(source: S, block_rows: usize, depth: usize) -> Self
         where
             S: RowSource + Send + 'static,
         {
             let d = source.dim();
             let hint0 = source.hint_rows();
             let block_rows = block_rows.max(1);
-            let (tx, rx): (SyncSender<Result<RowBlock>>, _) =
-                std::sync::mpsc::sync_channel(depth.max(1));
-            let panic_tx = tx.clone();
-            let worker = std::thread::spawn(move || {
-                // A panicking inner source must not turn into a silent
-                // early EOF on the consumer side (the channel hanging up
-                // is otherwise indistinguishable from clean exhaustion):
-                // catch it and forward a typed error instead.
-                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
-                    match source.next_block(block_rows) {
-                        Ok(Some(block)) => {
-                            if tx.send(Ok(block)).is_err() {
-                                return; // consumer dropped: stop reading ahead
-                            }
-                        }
-                        Ok(None) => return,
-                        Err(e) => {
-                            let _ = tx.send(Err(e));
-                            return;
-                        }
-                    }
-                }));
-                if let Err(payload) = run {
-                    let detail = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "panic payload was not a string".to_string());
-                    let _ = panic_tx.send(Err(super::DataError::WorkerPanic { detail }));
-                }
-            });
+            let (tx, rx) = std::sync::mpsc::sync_channel(depth.max(1));
+            let worker = std::thread::spawn(move || run_worker(source, block_rows, tx));
             PrefetchSource {
-                d,
-                hint0,
-                served: 0,
-                rx: Some(rx),
-                pending: None,
+                feed: ChannelConsumer::new(d, hint0, rx),
                 worker: Some(worker),
-            }
-        }
-
-        /// Receives the next read-ahead block into `pending`; `Ok(false)`
-        /// once the worker is done.
-        fn refill(&mut self) -> Result<bool> {
-            debug_assert!(self.pending.is_none(), "refill with a block pending");
-            let Some(rx) = &self.rx else { return Ok(false) };
-            match rx.recv() {
-                Ok(Ok(block)) => {
-                    self.pending = Some((block, 0));
-                    Ok(true)
-                }
-                Ok(Err(e)) => {
-                    self.rx = None;
-                    Err(e)
-                }
-                Err(_) => {
-                    // Worker exhausted the source and hung up. (A panicked
-                    // worker sends a `WorkerPanic` error before hanging up,
-                    // so a bare disconnect really is clean exhaustion.)
-                    self.rx = None;
-                    Ok(false)
-                }
             }
         }
     }
 
     impl RowSource for PrefetchSource {
         fn dim(&self) -> usize {
-            self.d
+            self.feed.dim()
         }
 
         fn hint_rows(&self) -> Option<usize> {
-            self.hint0.map(|h| h.saturating_sub(self.served))
+            self.feed.hint_rows()
         }
 
         fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
-            let want = max_rows.max(1);
-            if self.pending.is_none() && !self.refill()? {
-                return Ok(None);
-            }
-            let (block, offset) = self.pending.take().expect("refilled above");
-            let remaining = block.rows() - offset;
-            if offset == 0 && remaining <= want {
-                // Whole-block handoff: no copy.
-                self.served += remaining;
-                return Ok(Some(block));
-            }
-            // The consumer's cap is smaller than the read-ahead block:
-            // serve a copied sub-range and keep the rest pending.
-            let take = want.min(remaining);
-            let d = block.d();
-            let sub = RowBlock {
-                xs: block.xs()[offset * d..(offset + take) * d].to_vec(),
-                ys: block.ys()[offset..offset + take].to_vec(),
-                d,
-            };
-            if offset + take < block.rows() {
-                self.pending = Some((block, offset + take));
-            }
-            self.served += take;
-            Ok(Some(sub))
+            self.feed.next_block(max_rows)
         }
 
         fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
-            let want = max_rows.max(1);
-            loop {
-                if self.pending.is_none() && !self.refill()? {
-                    return Ok(());
-                }
-                let (block, offset) = self.pending.as_mut().expect("refilled above");
-                let d = block.d();
-                let lo = *offset;
-                let take = want.min(block.rows() - lo);
-                *offset += take;
-                let done = *offset >= block.rows();
-                let (block, _) = self.pending.as_ref().expect("still pending");
-                let view = RowBlockRef {
-                    xs: &block.xs()[lo * d..(lo + take) * d],
-                    ys: &block.ys()[lo..lo + take],
-                    d,
-                };
-                f(view)?;
-                self.served += take;
-                if done {
-                    self.pending = None;
-                }
-            }
+            self.feed.for_each_block(max_rows, f)
         }
     }
 
@@ -1353,7 +1471,80 @@ mod prefetch {
         fn drop(&mut self) {
             // Hang up first so a worker blocked on a full channel exits,
             // then reap it.
-            drop(self.rx.take());
+            self.feed.disconnect();
+            if let Some(worker) = self.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+
+    /// [`PrefetchSource`] for **borrowed** sources: the worker runs on a
+    /// [`std::thread::Scope`], so the inner source only needs
+    /// `Send + 'scope` instead of `Send + 'static`. This is what lets a
+    /// serve worker overlap transport with assembly on a source it does
+    /// not own — a `&mut CsvStreamSource` borrowed from the job, a view
+    /// over a tenant's staged shard — without cloning it into a
+    /// `'static` box first.
+    ///
+    /// Identical transport semantics to [`PrefetchSource`] (same bounded
+    /// channel, same ordering, same panic surfacing, and therefore the
+    /// same bit-identical-coefficients guarantee); the only difference is
+    /// where the worker's lifetime is anchored. The scope's implicit join
+    /// cannot deadlock on a full channel: dropping the
+    /// `ScopedPrefetchSource` (which every exit path out of the scope
+    /// does first) hangs up the channel and the worker exits.
+    #[derive(Debug)]
+    pub struct ScopedPrefetchSource<'scope> {
+        feed: ChannelConsumer,
+        worker: Option<std::thread::ScopedJoinHandle<'scope, ()>>,
+    }
+
+    impl<'scope> ScopedPrefetchSource<'scope> {
+        /// Moves `source` to a thread spawned on `scope` that reads ahead
+        /// blocks of `block_rows` rows, buffering at most `depth` parsed
+        /// blocks (both clamped to ≥ 1).
+        pub fn spawn<'env, S>(
+            scope: &'scope std::thread::Scope<'scope, 'env>,
+            source: S,
+            block_rows: usize,
+            depth: usize,
+        ) -> Self
+        where
+            S: RowSource + Send + 'scope,
+        {
+            let d = source.dim();
+            let hint0 = source.hint_rows();
+            let block_rows = block_rows.max(1);
+            let (tx, rx) = std::sync::mpsc::sync_channel(depth.max(1));
+            let worker = scope.spawn(move || run_worker(source, block_rows, tx));
+            ScopedPrefetchSource {
+                feed: ChannelConsumer::new(d, hint0, rx),
+                worker: Some(worker),
+            }
+        }
+    }
+
+    impl RowSource for ScopedPrefetchSource<'_> {
+        fn dim(&self) -> usize {
+            self.feed.dim()
+        }
+
+        fn hint_rows(&self) -> Option<usize> {
+            self.feed.hint_rows()
+        }
+
+        fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
+            self.feed.next_block(max_rows)
+        }
+
+        fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
+            self.feed.for_each_block(max_rows, f)
+        }
+    }
+
+    impl Drop for ScopedPrefetchSource<'_> {
+        fn drop(&mut self) {
+            self.feed.disconnect();
             if let Some(worker) = self.worker.take() {
                 let _ = worker.join();
             }
@@ -1513,12 +1704,32 @@ mod tests {
         let mut src = InMemorySource::new(&data);
         let _ = src.next_block(2).unwrap();
         assert!(src.take_dataset().is_none());
-        // Adapters with pending transformations never hand over.
-        assert!(InterceptAugmentSource::new(InMemorySource::new(&data))
-            .take_dataset()
-            .is_none());
+        // Adapters with pending *concatenation* never hand over.
         let mut sharded = ShardedSource::new(vec![InMemorySource::new(&data)]).unwrap();
         assert!(sharded.take_dataset().is_none());
+    }
+
+    #[test]
+    fn intercept_adapter_hands_over_the_cached_augmentation() {
+        let data = small();
+        // A fresh wrapped source hands over the augmented dataset …
+        let mut src = InterceptAugmentSource::new(InMemorySource::new(&data));
+        let handed = src
+            .take_dataset()
+            .expect("fresh intercept source hands over");
+        assert!(std::ptr::eq(handed, data.augmented_for_intercept_cached()));
+        assert_eq!(handed.d(), data.d() + 1);
+        // … matching the streamed augmentation bit for bit.
+        let fresh = data.augment_for_intercept();
+        assert_eq!(handed.x().as_slice(), fresh.x().as_slice());
+        assert_eq!(handed.y(), fresh.y());
+        // The handoff consumed the inner source.
+        assert!(src.next_block(8).unwrap().is_none());
+        assert!(src.take_dataset().is_none());
+        // A partially consumed inner source still refuses.
+        let mut src = InterceptAugmentSource::new(InMemorySource::new(&data));
+        let _ = src.next_block(2).unwrap();
+        assert!(src.take_dataset().is_none());
     }
 
     #[test]
@@ -1864,6 +2075,31 @@ mod tests {
                 assert_eq!(ys, data.y());
             }
         }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn scoped_prefetch_drains_borrowed_sources_identically() {
+        let data = small();
+        // `InMemorySource` borrows `data`, so it is not `'static`: exactly
+        // the source the unscoped `PrefetchSource::spawn` cannot accept.
+        for block_rows in [1usize, 2, 64] {
+            let got = std::thread::scope(|s| {
+                let inner = InMemorySource::new(&data);
+                let mut pf = ScopedPrefetchSource::spawn(s, inner, block_rows, 2);
+                assert_eq!(pf.dim(), 2);
+                assert_eq!(pf.hint_rows(), Some(data.n()));
+                materialize(&mut pf).unwrap()
+            });
+            assert_eq!(got.x().as_slice(), data.x().as_slice());
+            assert_eq!(got.y(), data.y());
+        }
+        // Dropping mid-stream inside the scope (worker possibly blocked on
+        // a full channel) must not deadlock the scope's implicit join.
+        std::thread::scope(|s| {
+            let pf = ScopedPrefetchSource::spawn(s, InMemorySource::new(&data), 1, 1);
+            drop(pf);
+        });
     }
 
     #[cfg(feature = "parallel")]

@@ -124,6 +124,71 @@ pub struct RecoveryReport {
     pub torn_tail_dropped: bool,
 }
 
+/// Live size/garbage statistics of a [`WalLedger`] — what a compaction
+/// policy consults to decide *when* to fold settled history into `spent`
+/// summaries (see [`CompactionPolicy`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Settled (`commit`/`abort`) records in the live log — pure garbage
+    /// to a replay, since each one only cancels an earlier `reserve`.
+    /// Reset to zero by [`WalLedger::compact`].
+    pub settled_records: usize,
+    /// Exact byte length of the log file (tracked, not stat'd: the ledger
+    /// owns every write).
+    pub file_bytes: u64,
+    /// Reservations currently open (in-flight or recovered-dangling).
+    pub open_reservations: usize,
+    /// Open reservations that are sealed — recovered dangling after a
+    /// crash, awaiting resume. A conservative compaction policy leaves
+    /// the log untouched while any exist.
+    pub sealed_reservations: usize,
+}
+
+/// When to fold a WAL's settled history into per-tenant `spent` summaries:
+/// compact once the settled-record count **or** the file size crosses its
+/// threshold. Thresholds are coarse by design — compaction is correct at
+/// any time (reservation ids survive it); the policy only bounds how much
+/// replayable garbage a long-lived serving process lets accumulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Compact once this many settled (`commit`/`abort`) records have
+    /// accumulated since open or the last compaction.
+    pub max_settled_records: usize,
+    /// Compact once the log file exceeds this many bytes.
+    pub max_file_bytes: u64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            max_settled_records: 1024,
+            max_file_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Overrides the settled-record threshold.
+    #[must_use]
+    pub fn settled_records(mut self, max: usize) -> Self {
+        self.max_settled_records = max.max(1);
+        self
+    }
+
+    /// Overrides the file-size threshold.
+    #[must_use]
+    pub fn file_bytes(mut self, max: u64) -> Self {
+        self.max_file_bytes = max.max(1);
+        self
+    }
+
+    /// Whether `stats` has crossed either threshold.
+    #[must_use]
+    pub fn due(&self, stats: &WalStats) -> bool {
+        stats.settled_records >= self.max_settled_records || stats.file_bytes >= self.max_file_bytes
+    }
+}
+
 /// A durable, two-phase ε/δ ledger backed by a write-ahead log.
 ///
 /// See the [module docs](self) for the protocol and on-disk format.
@@ -135,6 +200,10 @@ pub struct WalLedger {
     open: BTreeMap<u64, Reservation>,
     /// Committed spend per tenant: (Σε, Σδ, fits).
     committed: BTreeMap<String, (f64, f64, usize)>,
+    /// Settled (`commit`/`abort`) records in the live log; see [`WalStats`].
+    settled_records: usize,
+    /// Exact byte length of the log file; see [`WalStats`].
+    file_bytes: u64,
 }
 
 fn io_err(op: &'static str, err: &std::io::Error) -> PrivacyError {
@@ -205,6 +274,8 @@ impl WalLedger {
             next_id: 1,
             open: BTreeMap::new(),
             committed: BTreeMap::new(),
+            settled_records: 0,
+            file_bytes: 0,
         };
         let mut report = RecoveryReport::default();
 
@@ -312,6 +383,9 @@ impl WalLedger {
             .file
             .seek(SeekFrom::End(0))
             .map_err(|e| io_err(OP, &e))?;
+        // `valid_len` is the exact surviving byte length after any torn-tail
+        // truncation and re-termination above.
+        ledger.file_bytes = valid_len as u64;
 
         // Fail closed: every dangling reservation is sealed as spent.
         for res in ledger.open.values_mut() {
@@ -365,6 +439,7 @@ impl WalLedger {
                 slot.0 += res.epsilon;
                 slot.1 += res.delta;
                 slot.2 += 1;
+                self.settled_records += 1;
             }
             Some("abort") => {
                 let id = match (toks.next(), toks.next()) {
@@ -374,6 +449,7 @@ impl WalLedger {
                 if self.open.remove(&id).is_none() {
                     return Err(corrupt(OP, format!("abort of unknown reservation {id}")));
                 }
+                self.settled_records += 1;
             }
             Some("spent") => {
                 let (eps, delta, fits, tenant) = match (
@@ -412,6 +488,7 @@ impl WalLedger {
         self.file
             .write_all(line.as_bytes())
             .map_err(|e| io_err(op, &e))?;
+        self.file_bytes += line.len() as u64;
         self.file.sync_data().map_err(|e| io_err(op, &e))
     }
 
@@ -465,6 +542,7 @@ impl WalLedger {
         slot.0 += res.epsilon;
         slot.1 += res.delta;
         slot.2 += 1;
+        self.settled_records += 1;
         Ok(())
     }
 
@@ -495,6 +573,7 @@ impl WalLedger {
         }
         self.append_line(OP, &format!("abort {id}"))?;
         self.open.remove(&id);
+        self.settled_records += 1;
         Ok(())
     }
 
@@ -566,22 +645,22 @@ impl WalLedger {
     pub fn compact(&mut self) -> Result<()> {
         const OP: &str = "compact";
         let tmp_path = self.path.with_extension("wal.tmp");
+        let mut out = String::new();
+        out.push_str(&frame(WAL_MAGIC));
+        out.push('\n');
+        for (tenant, &(eps, delta, fits)) in &self.committed {
+            out.push_str(&frame(&format!("spent {eps} {delta} {fits} {tenant}")));
+            out.push('\n');
+        }
+        for res in self.open.values() {
+            out.push_str(&frame(&format!(
+                "reserve {} {} {} {} {}",
+                res.id, res.epsilon, res.delta, res.tenant, res.label
+            )));
+            out.push('\n');
+        }
         {
             let mut tmp = File::create(&tmp_path).map_err(|e| io_err(OP, &e))?;
-            let mut out = String::new();
-            out.push_str(&frame(WAL_MAGIC));
-            out.push('\n');
-            for (tenant, &(eps, delta, fits)) in &self.committed {
-                out.push_str(&frame(&format!("spent {eps} {delta} {fits} {tenant}")));
-                out.push('\n');
-            }
-            for res in self.open.values() {
-                out.push_str(&frame(&format!(
-                    "reserve {} {} {} {} {}",
-                    res.id, res.epsilon, res.delta, res.tenant, res.label
-                )));
-                out.push('\n');
-            }
             tmp.write_all(out.as_bytes()).map_err(|e| io_err(OP, &e))?;
             tmp.sync_data().map_err(|e| io_err(OP, &e))?;
         }
@@ -595,7 +674,20 @@ impl WalLedger {
             .append(true)
             .open(&self.path)
             .map_err(|e| io_err(OP, &e))?;
+        self.settled_records = 0;
+        self.file_bytes = out.len() as u64;
         Ok(())
+    }
+
+    /// Current size/garbage statistics; see [`WalStats`].
+    #[must_use]
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            settled_records: self.settled_records,
+            file_bytes: self.file_bytes,
+            open_reservations: self.open.len(),
+            sealed_reservations: self.open.values().filter(|r| r.sealed).count(),
+        }
     }
 
     /// The path of the backing log file.
@@ -723,6 +815,65 @@ mod tests {
         assert!(wal.reservation(open_id).is_some());
         assert_eq!(report.sealed_dangling, 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stats_track_bytes_and_settled_records_across_compaction_and_reopen() {
+        let path = tmp_wal("stats");
+        {
+            let (mut wal, _) = WalLedger::open(&path).unwrap();
+            let fresh = wal.stats();
+            assert_eq!(fresh.settled_records, 0);
+            assert_eq!(fresh.open_reservations, 0);
+            assert_eq!(
+                fresh.file_bytes,
+                std::fs::metadata(&path).unwrap().len(),
+                "fresh log: tracked bytes must equal the file length"
+            );
+
+            let a = wal.reserve("acme", "a", 0.1, 0.0).unwrap();
+            wal.commit(a).unwrap();
+            let b = wal.reserve("acme", "b", 0.1, 0.0).unwrap();
+            wal.abort(b).unwrap();
+            let _dangling = wal.reserve("globex", "open", 0.2, 0.0).unwrap();
+            let s = wal.stats();
+            assert_eq!(s.settled_records, 2);
+            assert_eq!(s.open_reservations, 1);
+            assert_eq!(s.sealed_reservations, 0);
+            assert_eq!(s.file_bytes, std::fs::metadata(&path).unwrap().len());
+
+            let policy = CompactionPolicy::default().settled_records(2);
+            assert!(policy.due(&s));
+            wal.compact().unwrap();
+            let after = wal.stats();
+            assert_eq!(after.settled_records, 0);
+            assert_eq!(after.open_reservations, 1);
+            assert_eq!(after.file_bytes, std::fs::metadata(&path).unwrap().len());
+            assert!(after.file_bytes < s.file_bytes);
+            assert!(!policy.due(&after));
+        }
+        // Reopen: replayed stats agree with the file, dangling is sealed.
+        let (wal, _) = WalLedger::open(&path).unwrap();
+        let replayed = wal.stats();
+        assert_eq!(replayed.settled_records, 0);
+        assert_eq!(replayed.open_reservations, 1);
+        assert_eq!(replayed.sealed_reservations, 1);
+        assert_eq!(replayed.file_bytes, std::fs::metadata(&path).unwrap().len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_policy_thresholds_trigger_independently() {
+        let policy = CompactionPolicy::default()
+            .settled_records(10)
+            .file_bytes(1000);
+        let mut s = WalStats::default();
+        assert!(!policy.due(&s));
+        s.settled_records = 10;
+        assert!(policy.due(&s));
+        s.settled_records = 0;
+        s.file_bytes = 1000;
+        assert!(policy.due(&s));
     }
 
     #[test]

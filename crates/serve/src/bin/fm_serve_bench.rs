@@ -1,0 +1,262 @@
+//! `fm-serve-bench` — sustained multi-tenant serving throughput and
+//! admission latency.
+//!
+//! Spins up a [`FitService`] over a fresh WAL, runs `tenants` concurrent
+//! producer threads each submitting `fits` sequential linear-regression
+//! fits of `rows × d` synthetic rows through the bounded block queue, and
+//! measures:
+//!
+//! * **fits/sec** — settled releases per wall-clock second across all
+//!   tenants (includes admission, WAL fsyncs, streaming, assembly, the
+//!   mechanism, and commit);
+//! * **admission latency p50/p99** — time spent in
+//!   [`FitService::submit`], i.e. the refuse-before-scan CAS against the
+//!   shared ε ledger plus the fsynced WAL `reserve`;
+//! * **bit_identical** — one served release is compared against the
+//!   equivalent direct `partial_fit` at the same seed (the service's
+//!   core invariant; the run aborts on mismatch).
+//!
+//! ```text
+//! cargo run --release -p fm-serve --bin fm-serve-bench
+//! cargo run --release -p fm-serve --bin fm-serve-bench -- \
+//!     --tenants 8 --fits 8 --rows 20000 --d 8 --out BENCH_serve.json
+//! ```
+//!
+//! The record is appended to the `--out` JSON array (default
+//! `BENCH_serve.json`), creating it when absent.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fm_core::linreg::DpLinearRegression;
+use fm_core::session::SharedPrivacySession;
+use fm_data::stream::{InMemorySource, RowSource};
+use fm_data::synth;
+use fm_privacy::wal::CompactionPolicy;
+use fm_serve::service::{FitOutcome, FitRequest, FitService, ServeConfig};
+
+struct Args {
+    tenants: usize,
+    fits: usize,
+    rows: usize,
+    d: usize,
+    queue_blocks: usize,
+    block_rows: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tenants: 4,
+        fits: 8,
+        rows: 20_000,
+        d: 8,
+        queue_blocks: 4,
+        block_rows: 1_024,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--tenants" => args.tenants = parse(&value("--tenants")?)?,
+            "--fits" => args.fits = parse(&value("--fits")?)?,
+            "--rows" => args.rows = parse(&value("--rows")?)?,
+            "--d" => args.d = parse(&value("--d")?)?,
+            "--queue-blocks" => args.queue_blocks = parse(&value("--queue-blocks")?)?,
+            "--block-rows" => args.block_rows = parse(&value("--block-rows")?)?,
+            "--out" => args.out = value("--out")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.tenants == 0 || args.fits == 0 || args.rows == 0 || args.d == 0 {
+        return Err("--tenants/--fits/--rows/--d must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn parse(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|e| format!("bad number {s}: {e}"))
+}
+
+/// Streams `data` through `sender` in `block_rows`-sized blocks.
+fn feed(
+    data: &fm_data::Dataset,
+    block_rows: usize,
+    sender: fm_data::queue::BlockSender,
+) -> Result<(), String> {
+    let mut source = InMemorySource::new(data);
+    while let Some(block) = source.next_block(block_rows).map_err(|e| e.to_string())? {
+        sender.send(block).map_err(|e| e.to_string())?;
+    }
+    sender.finish();
+    Ok(())
+}
+
+fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e6
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    let wal = std::env::temp_dir().join(format!("fm_serve_bench_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let (session, _) = SharedPrivacySession::with_wal(&wal, None).map_err(|e| e.to_string())?;
+    let session = Arc::new(session);
+    let service = Arc::new(FitService::new(
+        Arc::clone(&session),
+        ServeConfig::new()
+            .workers(args.tenants)
+            .queue_blocks(args.queue_blocks)
+            .compaction(CompactionPolicy::default()),
+    ));
+
+    // Correctness gate first: a served fit must release the direct
+    // partial_fit's exact bits at the same seed.
+    let probe = {
+        let mut r = StdRng::seed_from_u64(9_999);
+        synth::linear_dataset(&mut r, args.rows.min(4_096), args.d, 0.1)
+    };
+    let est = DpLinearRegression::builder().epsilon(0.1).build();
+    let (handle, sender) = service
+        .submit(est, FitRequest::new("probe", "gate", args.d).seed(4242))
+        .map_err(|e| e.to_string())?;
+    feed(&probe, args.block_rows, sender)?;
+    let served = match handle.wait().map_err(|e| e.to_string())? {
+        FitOutcome::Released(model) => model,
+        other => return Err(format!("probe fit did not release: {other:?}")),
+    };
+    let est = DpLinearRegression::builder().epsilon(0.1).build();
+    let mut direct = est.partial_fit();
+    direct
+        .absorb(&mut InMemorySource::new(&probe))
+        .map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(4242);
+    let reference = direct.finalize(&mut rng).map_err(|e| e.to_string())?;
+    if served != reference {
+        return Err("served release is not bit-identical to the direct fit".to_string());
+    }
+
+    // The measured phase: `tenants` concurrent producers, `fits` each.
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for tenant in 0..args.tenants {
+        let service = Arc::clone(&service);
+        let (rows, d, fits, block_rows) = (args.rows, args.d, args.fits, args.block_rows);
+        threads.push(std::thread::spawn(
+            move || -> Result<Vec<Duration>, String> {
+                let mut r = StdRng::seed_from_u64(1_000 + tenant as u64);
+                let data = synth::linear_dataset(&mut r, rows, d, 0.1);
+                let name = format!("tenant-{tenant}");
+                let mut admissions = Vec::with_capacity(fits);
+                for fit in 0..fits {
+                    let est = DpLinearRegression::builder().epsilon(0.1).build();
+                    let request = FitRequest::new(name.as_str(), format!("fit-{fit}"), d)
+                        .seed((tenant * 1_000 + fit) as u64);
+                    let t0 = Instant::now();
+                    let (handle, sender) =
+                        service.submit(est, request).map_err(|e| e.to_string())?;
+                    admissions.push(t0.elapsed());
+                    feed(&data, block_rows, sender)?;
+                    match handle.wait().map_err(|e| e.to_string())? {
+                        FitOutcome::Released(_) => {}
+                        other => return Err(format!("fit did not release: {other:?}")),
+                    }
+                }
+                Ok(admissions)
+            },
+        ));
+    }
+    let mut admissions = Vec::new();
+    for thread in threads {
+        admissions.extend(thread.join().map_err(|_| "tenant thread panicked")??);
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let total_fits = args.tenants * args.fits;
+    admissions.sort();
+
+    let stats = session.wal_stats().ok_or("session lost its WAL")?;
+    let service = Arc::into_inner(service).ok_or("service still referenced")?;
+    service.shutdown();
+    let _ = std::fs::remove_file(&wal);
+
+    let fits_per_sec = total_fits as f64 / wall;
+    let p50 = percentile_us(&admissions, 0.50);
+    let p99 = percentile_us(&admissions, 0.99);
+    eprintln!(
+        "{total_fits} fits ({} tenants x {}) in {wall:.2}s -> {fits_per_sec:.2} fits/sec; \
+         admission p50 {p50:.0}us p99 {p99:.0}us; wal bytes {} after compaction",
+        args.tenants, args.fits, stats.file_bytes,
+    );
+    Ok(format!(
+        "{{\n  \"run\": \"pr7-serve\",\n  \"note\": \"multi-tenant FitService over a fresh WAL: \
+         concurrent submit (CAS admission + fsynced reserve) -> bounded block queue -> \
+         partial_fit on the 4096-row grid -> commit (+ compaction); admission latency is the \
+         submit() call alone, fits/sec counts settled releases end-to-end; probe release \
+         checked bit-identical to the direct partial_fit before measuring\",\n  \
+         \"tenants\": {},\n  \"fits_per_tenant\": {},\n  \"rows\": {},\n  \"d\": {},\n  \
+         \"queue_blocks\": {},\n  \"producer_block_rows\": {},\n  \"workers\": {},\n  \
+         \"parallel_feature\": {},\n  \"results\": {{\"fits_per_sec\": {fits_per_sec:.2}, \
+         \"admission_p50_us\": {p50:.1}, \"admission_p99_us\": {p99:.1}, \
+         \"wal_bytes_after\": {}, \"bit_identical\": true}}\n}}",
+        args.tenants,
+        args.fits,
+        args.rows,
+        args.d,
+        args.queue_blocks,
+        args.block_rows,
+        args.tenants,
+        cfg!(feature = "parallel"),
+        stats.file_bytes,
+    ))
+}
+
+/// Appends `record` to the JSON array at `path`, creating it when absent.
+fn append_record(path: &str, record: &str) -> Result<(), String> {
+    let indented = record
+        .lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let Some(head) = trimmed.strip_suffix(']') else {
+                return Err(format!("{path} is not a JSON array"));
+            };
+            let head = head.trim_end().trim_end_matches(',');
+            let sep = if head.ends_with('[') { "" } else { "," };
+            format!("{head}{sep}\n{indented}\n]\n")
+        }
+        Err(_) => format!("[\n{indented}\n]\n"),
+    };
+    std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("fm-serve-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args).and_then(|record| append_record(&args.out, &record)) {
+        Ok(()) => {
+            eprintln!("appended run record to {}", args.out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fm-serve-bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! `fm-serve` — a multi-tenant fitting service over the WAL-backed
+//! privacy ledger.
+//!
+//! Everything below the service already exists in the workspace; this
+//! crate is the long-lived process that wires it together:
+//!
+//! * **Admission** — [`service::FitService::submit`] reserves the fit's
+//!   (ε, δ) against the process-wide
+//!   [`fm_core::session::SharedPrivacySession`] *before* a single row
+//!   moves (the paper's refuse-before-scan discipline, Section 3's
+//!   budget precondition for Algorithm 1), with the reservation fsynced
+//!   to the `fm-wal v1` log so a crash can never under-report spending.
+//! * **Bounded ingestion** — each admitted fit gets a
+//!   [`fm_data::queue::BlockSender`]/queue pair of configurable depth;
+//!   the tenant streams [`fm_data::stream::RowBlock`]s and the worker
+//!   drives them into `partial_fit` on the workspace's fixed 4096-row
+//!   chunk grid. A full queue blocks (or, via
+//!   [`fm_data::queue::BlockSender::try_send`], rejects) the producer —
+//!   service memory stays bounded no matter how fast tenants push.
+//! * **Graceful shutdown** — [`service::FitService::shutdown`] lets
+//!   fully-fed fits finish and checkpoints the rest to `fm-checkpoint
+//!   v1` snapshots, detaching their WAL reservations (still spent, never
+//!   re-debited). [`service::FitService::resume`] — on the same process
+//!   or a restart over the same log — finishes them **bit-identical** to
+//!   the uninterrupted fit.
+//! * **Log hygiene** — an optional
+//!   [`fm_privacy::wal::CompactionPolicy`] lets workers compact the WAL
+//!   after commits, and the session refuses to compact while any
+//!   checkpointed reservation is dangling.
+//!
+//! The service invariant worth stating once, loudly: **queue depth,
+//! producer block sizes, worker count, and shutdown timing never change
+//! released coefficients.** A fit served here is bit-identical to the
+//! equivalent direct `fit_stream` at the same seed, because the
+//! accumulator re-chunks every transport onto the same grid and the
+//! release consumes the RNG identically.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use fm_core::linreg::{DpLinearRegression, LinearObjective};
+//! use fm_core::session::SharedPrivacySession;
+//! use fm_data::stream::RowBlock;
+//! use fm_serve::service::{FitOutcome, FitRequest, FitService, ServeConfig};
+//!
+//! let (session, _report) = SharedPrivacySession::with_wal("eps.wal", Some(1.0))?;
+//! let service = FitService::new(Arc::new(session), ServeConfig::new());
+//! let est = DpLinearRegression::builder().epsilon(0.5).build();
+//! let (handle, sender) = service.submit(est, FitRequest::new("acme", "census", 2).seed(7))?;
+//! sender.send(RowBlock::new(vec![0.1, 0.2, 0.3, 0.4], vec![1.0, 0.0], 2)?)?;
+//! sender.finish();
+//! if let FitOutcome::Released(model) = handle.wait()? {
+//!     println!("{:?}", model);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod service;
+
+pub use service::{
+    FitOutcome, FitRequest, FitService, JobHandle, ServeConfig, ServeError, SuspendedFit,
+};

@@ -1,0 +1,646 @@
+//! The fitting service: admission, worker pool, bounded block queues,
+//! graceful checkpointing shutdown, and background WAL compaction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fm_core::estimator::{DpEstimator, FmEstimator, PartialFit, RegressionObjective};
+use fm_core::session::{OwnedFitPermit, SharedPrivacySession};
+use fm_core::FmError;
+use fm_data::queue::{block_channel, BlockPoll, BlockSender, QueueSource};
+use fm_privacy::wal::CompactionPolicy;
+
+/// Result alias for service operations.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Errors a service call can surface.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An error from the fitting pipeline or the privacy session —
+    /// admission refusals ([`fm_privacy::PrivacyError::BudgetExhausted`]
+    /// inside) arrive here *before* any data is scanned.
+    Fm(FmError),
+    /// The service has been shut down and accepts no new work. A fresh
+    /// submission's reservation is aborted (refunded); a resumption's
+    /// reservation is re-detached and stays resumable.
+    Stopped,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Fm(e) => write!(f, "{e}"),
+            ServeError::Stopped => write!(f, "service stopped: no new fits accepted"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Fm(e) => Some(e),
+            ServeError::Stopped => None,
+        }
+    }
+}
+
+impl From<FmError> for ServeError {
+    fn from(e: FmError) -> Self {
+        ServeError::Fm(e)
+    }
+}
+
+/// Service tuning knobs. The defaults favour correctness and the
+/// bit-identity regime; only [`ServeConfig::chunk_rows`] can change
+/// released coefficients (by regrouping floating-point sums), and its
+/// default is exactly the grid every direct `fit_stream` uses.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    workers: usize,
+    queue_blocks: usize,
+    chunk_rows: usize,
+    poll: Duration,
+    compaction: Option<CompactionPolicy>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_blocks: 4,
+            chunk_rows: fm_core::assembly::DEFAULT_CHUNK_ROWS,
+            poll: Duration::from_millis(25),
+            compaction: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with the defaults: 2 workers, 4-block queues, the
+    /// workspace-wide 4096-row chunk grid, no compaction.
+    #[must_use]
+    pub fn new() -> Self {
+        ServeConfig::default()
+    }
+
+    /// Number of worker threads, i.e. the number of fits that make
+    /// progress concurrently (min 1). Submissions beyond this wait in the
+    /// job queue; their producers block once the bounded block queue
+    /// fills.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Depth of each job's bounded [`RowBlock`](fm_data::stream::RowBlock)
+    /// queue, in blocks (min 1). This is the service's only buffering:
+    /// with the queue full, [`BlockSender::send`] blocks and
+    /// [`BlockSender::try_send`] rejects — memory stays bounded no matter
+    /// how fast tenants produce.
+    #[must_use]
+    pub fn queue_blocks(mut self, n: usize) -> Self {
+        self.queue_blocks = n.max(1);
+        self
+    }
+
+    /// Accumulation chunk size (min 1). **Affects released bits**: a
+    /// service fit is bit-identical to a direct
+    /// `partial_fit().chunk_rows(n)` fit at the *same* `n` over the same
+    /// rows and seed. The default is
+    /// [`fm_core::assembly::DEFAULT_CHUNK_ROWS`], the grid `fit_stream`
+    /// itself uses, so leave it alone to match direct fits.
+    #[must_use]
+    pub fn chunk_rows(mut self, n: usize) -> Self {
+        self.chunk_rows = n.max(1);
+        self
+    }
+
+    /// How long a worker waits on an empty queue before re-checking the
+    /// stop flag. Bounds shutdown latency; no effect on results.
+    #[must_use]
+    pub fn poll(mut self, interval: Duration) -> Self {
+        self.poll = interval;
+        self
+    }
+
+    /// Enables background WAL compaction: after every committed release
+    /// the worker offers [`SharedPrivacySession::maybe_compact_wal`] this
+    /// policy. Compaction never runs while any reservation is dangling
+    /// (checkpoint-detached or crash-recovered), and a compaction I/O
+    /// failure is swallowed — the log stays valid and the next commit
+    /// retries.
+    #[must_use]
+    pub fn compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = Some(policy);
+        self
+    }
+}
+
+/// One tenant's fit job: who is asking, what the ledger line should say,
+/// the input dimensionality, and the release seed.
+#[derive(Debug, Clone)]
+pub struct FitRequest {
+    tenant: String,
+    label: String,
+    d: usize,
+    seed: u64,
+}
+
+impl FitRequest {
+    /// A request for `tenant`, recorded under `label` in the WAL, whose
+    /// producer will send `d`-dimensional rows. The privacy cost is not
+    /// part of the request: it is read off the estimator's advertised
+    /// (ε, δ) at submission, so a request can never under-state the cost
+    /// of the fit it rides with.
+    #[must_use]
+    pub fn new(tenant: impl Into<String>, label: impl Into<String>, d: usize) -> Self {
+        FitRequest {
+            tenant: tenant.into(),
+            label: label.into(),
+            d,
+            seed: 0,
+        }
+    }
+
+    /// Seeds the release RNG. Fixing the seed pins the released
+    /// coefficients bit-for-bit to the equivalent direct fit.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The tenant name.
+    #[must_use]
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The ledger label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The raw input dimensionality (before any intercept augmentation).
+    #[must_use]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+}
+
+/// A fit interrupted by a graceful shutdown: everything needed to finish
+/// it later without re-scanning absorbed rows or re-debiting ε.
+#[derive(Debug, Clone)]
+pub struct SuspendedFit {
+    /// The tenant that submitted the fit.
+    pub tenant: String,
+    /// The ledger label it runs under.
+    pub label: String,
+    /// `fm-checkpoint v1` snapshot of the accumulation state (embeds the
+    /// reservation id).
+    pub snapshot: String,
+    /// The WAL reservation left open — ε already debited, never debited
+    /// again on resume.
+    pub reservation: u64,
+    /// Rows absorbed before suspension; the producer resumes feeding from
+    /// this offset.
+    pub rows: usize,
+    /// The raw input dimensionality.
+    pub d: usize,
+}
+
+/// What became of a submitted fit.
+#[derive(Debug)]
+pub enum FitOutcome<M> {
+    /// The fit ran to completion; ε is committed in the ledger.
+    Released(M),
+    /// A graceful shutdown checkpointed the fit mid-stream. ε stays
+    /// debited (the scanned rows are real); hand the [`SuspendedFit`] to
+    /// [`FitService::resume`] on a service over the same WAL.
+    Suspended(SuspendedFit),
+    /// Shut down before any row arrived: the reservation was aborted and
+    /// the ε refunded.
+    Cancelled,
+}
+
+/// The consumer side of a submitted fit: blocks until the worker settles
+/// the job.
+#[derive(Debug)]
+pub struct JobHandle<M> {
+    tenant: String,
+    label: String,
+    rx: mpsc::Receiver<Result<FitOutcome<M>>>,
+}
+
+impl<M> JobHandle<M> {
+    /// The tenant this handle belongs to.
+    #[must_use]
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The ledger label of the fit.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Blocks until the fit settles.
+    ///
+    /// # Errors
+    /// [`ServeError::Fm`] when the pipeline failed (the reservation was
+    /// settled fail-closed: committed if any row was scanned, aborted
+    /// otherwise); [`ServeError::Stopped`] when the worker vanished
+    /// without reporting (process-level failure).
+    pub fn wait(self) -> Result<FitOutcome<M>> {
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(ServeError::Stopped),
+        }
+    }
+}
+
+/// Everything a worker needs besides the estimator, permit and queue.
+struct JobCtx {
+    session: Arc<SharedPrivacySession>,
+    stop: Arc<AtomicBool>,
+    suspended: Arc<Mutex<Vec<SuspendedFit>>>,
+    compaction: Option<CompactionPolicy>,
+    poll: Duration,
+    chunk_rows: usize,
+    tenant: String,
+    label: String,
+    d: usize,
+    seed: u64,
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A multi-tenant fitting service over a [`SharedPrivacySession`].
+///
+/// Lifecycle of one job: [`FitService::submit`] admits the request
+/// against the shared ε ledger **before** any data moves (refuse happens
+/// here, cheaply), hands back a [`BlockSender`] for the tenant to feed
+/// and a [`JobHandle`] to collect the outcome; a pool worker drives the
+/// bounded queue into `partial_fit` on the fixed chunk grid and settles
+/// the reservation exactly once — commit on release or on any
+/// failure-after-scan, abort only when no row was ever seen.
+///
+/// [`FitService::shutdown`] checkpoints in-flight fits (outcome
+/// [`FitOutcome::Suspended`]) instead of discarding them;
+/// [`FitService::resume`] re-attaches a suspended fit — on this service
+/// or a restarted one over the same WAL — without re-debiting ε. A
+/// service fit releases coefficients **bit-identical** to the equivalent
+/// direct `fit_stream` at the same seed, regardless of producer block
+/// sizes, queue depth, or worker timing.
+pub struct FitService {
+    session: Arc<SharedPrivacySession>,
+    cfg: ServeConfig,
+    stop: Arc<AtomicBool>,
+    suspended: Arc<Mutex<Vec<SuspendedFit>>>,
+    jobs: Mutex<Option<mpsc::Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl FitService {
+    /// Starts the worker pool over `session`.
+    #[must_use]
+    pub fn new(session: Arc<SharedPrivacySession>, cfg: ServeConfig) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    let job = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+        FitService {
+            session,
+            cfg,
+            stop: Arc::new(AtomicBool::new(false)),
+            suspended: Arc::new(Mutex::new(Vec::new())),
+            jobs: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The shared session every fit debits against.
+    #[must_use]
+    pub fn session(&self) -> &Arc<SharedPrivacySession> {
+        &self.session
+    }
+
+    /// Admits and schedules a fresh fit. The (ε, δ) admission — CAS
+    /// against the shared cap plus the WAL `reserve` fsync — happens
+    /// *here*, before a single row moves: an over-budget tenant is
+    /// refused without scanning anything.
+    ///
+    /// Returns the handle to wait on and the bounded sender the tenant
+    /// feeds; drop or [`BlockSender::finish`] the sender to mark
+    /// end-of-stream.
+    ///
+    /// # Errors
+    /// [`ServeError::Fm`] when admission refuses (budget, validation,
+    /// WAL I/O); [`ServeError::Stopped`] after shutdown (the fresh
+    /// reservation is aborted and refunded).
+    pub fn submit<O>(
+        &self,
+        estimator: FmEstimator<O>,
+        request: FitRequest,
+    ) -> Result<(JobHandle<O::Model>, BlockSender)>
+    where
+        O: RegressionObjective + Send + 'static,
+        O::Model: Send + 'static,
+    {
+        let epsilon = DpEstimator::epsilon(&estimator).unwrap_or(0.0);
+        let delta = DpEstimator::delta(&estimator).unwrap_or(0.0);
+        let permit = self
+            .session
+            .begin_owned(&request.tenant, &request.label, epsilon, delta)?;
+        self.enqueue(estimator, request, None, permit)
+    }
+
+    /// Re-admits a fit suspended by a checkpointing shutdown — on this
+    /// service or a restarted one over the same WAL. The open reservation
+    /// is re-attached, **never re-debited**; the producer feeds rows from
+    /// `suspended.rows` onward and the final release is bit-identical to
+    /// the uninterrupted fit at the same `seed`.
+    ///
+    /// # Errors
+    /// [`ServeError::Fm`] when the reservation is unknown/already settled
+    /// or the snapshot fails validation; [`ServeError::Stopped`] after
+    /// shutdown (the reservation is re-detached and stays resumable).
+    pub fn resume<O>(
+        &self,
+        estimator: FmEstimator<O>,
+        suspended: SuspendedFit,
+        seed: u64,
+    ) -> Result<(JobHandle<O::Model>, BlockSender)>
+    where
+        O: RegressionObjective + Send + 'static,
+        O::Model: Send + 'static,
+    {
+        let permit = self
+            .session
+            .resume_reservation_owned(suspended.reservation)?;
+        let request = FitRequest::new(suspended.tenant, suspended.label, suspended.d).seed(seed);
+        self.enqueue(estimator, request, Some(suspended.snapshot), permit)
+    }
+
+    /// Fits suspended so far (checkpointing shutdowns record here as well
+    /// as in each job's outcome, for callers that dropped their handles).
+    #[must_use]
+    pub fn suspended(&self) -> Vec<SuspendedFit> {
+        self.suspended
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Graceful shutdown: stops accepting work, lets every in-flight fit
+    /// either finish (producer already done) or checkpoint + detach its
+    /// reservation, joins the pool, and returns the suspended fits for
+    /// the restarting process to [`FitService::resume`].
+    pub fn shutdown(self) -> Vec<SuspendedFit> {
+        self.halt();
+        std::mem::take(
+            &mut *self
+                .suspended
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// Idempotent stop + join, shared by [`FitService::shutdown`] and
+    /// `Drop`.
+    fn halt(&self) {
+        self.stop.store(true, Ordering::Release);
+        *self.jobs.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        let workers =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+
+    fn enqueue<O>(
+        &self,
+        estimator: FmEstimator<O>,
+        request: FitRequest,
+        snapshot: Option<String>,
+        permit: OwnedFitPermit,
+    ) -> Result<(JobHandle<O::Model>, BlockSender)>
+    where
+        O: RegressionObjective + Send + 'static,
+        O::Model: Send + 'static,
+    {
+        let jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(jobs) = jobs.as_ref() else {
+            // Refuse without scanning: a fresh reservation is refunded, a
+            // resumed one goes back to dangling-resumable.
+            if snapshot.is_some() {
+                let _ = permit.detach();
+            } else {
+                let _ = permit.abort();
+            }
+            return Err(ServeError::Stopped);
+        };
+        let (sender, queue) = block_channel(request.d, self.cfg.queue_blocks)
+            .map_err(|e| ServeError::Fm(FmError::Data(e)))?;
+        let (tx, rx) = mpsc::channel();
+        let ctx = JobCtx {
+            session: Arc::clone(&self.session),
+            stop: Arc::clone(&self.stop),
+            suspended: Arc::clone(&self.suspended),
+            compaction: self.cfg.compaction,
+            poll: self.cfg.poll,
+            chunk_rows: self.cfg.chunk_rows,
+            tenant: request.tenant.clone(),
+            label: request.label.clone(),
+            d: request.d,
+            seed: request.seed,
+        };
+        let job: Job = Box::new(move || {
+            let outcome = drive(&estimator, snapshot, permit, queue, &ctx);
+            let _ = tx.send(outcome);
+        });
+        if jobs.send(job).is_err() {
+            // All workers died (sender alive ⇒ only possible via panics).
+            // The returned job was dropped with the permit, which settled
+            // fail-closed in its Drop.
+            return Err(ServeError::Stopped);
+        }
+        Ok((
+            JobHandle {
+                tenant: request.tenant,
+                label: request.label,
+                rx,
+            },
+            sender,
+        ))
+    }
+}
+
+impl Drop for FitService {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// The worker loop for one fit: pump the bounded queue into the
+/// accumulator, then settle the reservation exactly once.
+fn drive<O>(
+    estimator: &FmEstimator<O>,
+    snapshot: Option<String>,
+    permit: OwnedFitPermit,
+    mut queue: QueueSource,
+    ctx: &JobCtx,
+) -> Result<FitOutcome<O::Model>>
+where
+    O: RegressionObjective,
+{
+    let mut partial = match &snapshot {
+        None => estimator
+            .partial_fit()
+            .chunk_rows(ctx.chunk_rows)
+            .with_reservation(permit.id()),
+        Some(snapshot) => match estimator.resume_partial_fit(snapshot) {
+            Ok(partial) if partial.reservation() == Some(permit.id()) => partial,
+            Ok(_) => {
+                // Mispaired snapshot/reservation: touch neither.
+                let _ = permit.detach();
+                return Err(ServeError::Fm(FmError::InvalidConfig {
+                    name: "snapshot",
+                    reason: "checkpoint does not embed the resumed reservation id".to_string(),
+                }));
+            }
+            Err(e) => {
+                // Unreadable snapshot: this run scanned nothing, so the
+                // reservation stays open for a corrected resume.
+                let _ = permit.detach();
+                return Err(ServeError::Fm(e));
+            }
+        },
+    };
+    loop {
+        if ctx.stop.load(Ordering::Acquire) {
+            // Graceful path: absorb whatever the producer already queued…
+            loop {
+                match queue.poll_block(ctx.chunk_rows, Duration::ZERO) {
+                    Ok(BlockPoll::Block(block)) => {
+                        if let Err(e) = partial.push_block(&block) {
+                            return settle_error(partial.rows(), permit, e);
+                        }
+                    }
+                    // …then either the stream is complete (finish the
+                    // release) or the producer is still live (checkpoint).
+                    Ok(BlockPoll::Finished) => return finish(partial, permit, ctx),
+                    Ok(BlockPoll::Pending) => {
+                        queue.close();
+                        return suspend_or_cancel(&partial, permit, ctx);
+                    }
+                    Err(e) => return settle_error(partial.rows(), permit, FmError::Data(e)),
+                }
+            }
+        }
+        match queue.poll_block(ctx.chunk_rows, ctx.poll) {
+            Ok(BlockPoll::Block(block)) => {
+                if let Err(e) = partial.push_block(&block) {
+                    return settle_error(partial.rows(), permit, e);
+                }
+            }
+            Ok(BlockPoll::Pending) => {}
+            Ok(BlockPoll::Finished) => return finish(partial, permit, ctx),
+            Err(e) => return settle_error(partial.rows(), permit, FmError::Data(e)),
+        }
+    }
+}
+
+/// End-of-stream: release, commit, and offer the WAL a compaction.
+fn finish<O>(
+    partial: PartialFit<'_, O>,
+    permit: OwnedFitPermit,
+    ctx: &JobCtx,
+) -> Result<FitOutcome<O::Model>>
+where
+    O: RegressionObjective,
+{
+    let rows = partial.rows();
+    if rows == 0 {
+        // The producer finished without sending a row: nothing was
+        // scanned, so the reservation is refundable.
+        permit.abort()?;
+        return Ok(FitOutcome::Cancelled);
+    }
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    match partial.finalize(&mut rng) {
+        Ok(model) => {
+            permit.commit()?;
+            if let Some(policy) = &ctx.compaction {
+                // Best-effort: a failed compaction leaves the log valid
+                // (tmp-file swap) and the next commit retries.
+                let _ = ctx.session.maybe_compact_wal(policy);
+            }
+            Ok(FitOutcome::Released(model))
+        }
+        Err(e) => settle_error(rows, permit, e),
+    }
+}
+
+/// Checkpointing shutdown for a fit whose producer is still live.
+fn suspend_or_cancel<O>(
+    partial: &PartialFit<'_, O>,
+    permit: OwnedFitPermit,
+    ctx: &JobCtx,
+) -> Result<FitOutcome<O::Model>>
+where
+    O: RegressionObjective,
+{
+    let rows = partial.rows();
+    if rows == 0 {
+        permit.abort()?;
+        return Ok(FitOutcome::Cancelled);
+    }
+    let snapshot = match partial.checkpoint() {
+        Ok(snapshot) => snapshot,
+        Err(e) => return settle_error(rows, permit, e),
+    };
+    let reservation = permit.detach();
+    let suspended = SuspendedFit {
+        tenant: ctx.tenant.clone(),
+        label: ctx.label.clone(),
+        snapshot,
+        reservation,
+        rows,
+        d: ctx.d,
+    };
+    ctx.suspended
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(suspended.clone());
+    Ok(FitOutcome::Suspended(suspended))
+}
+
+/// Settles the reservation fail-closed on a pipeline error: committed
+/// once any row was scanned, aborted (refunded) otherwise.
+fn settle_error<T>(rows: usize, permit: OwnedFitPermit, error: FmError) -> Result<T> {
+    let _ = if rows == 0 {
+        permit.abort()
+    } else {
+        permit.commit()
+    };
+    Err(ServeError::Fm(error))
+}

@@ -1,0 +1,161 @@
+//! **Multi-tenant serving** — `fm-serve` running Algorithm 1 as a
+//! long-lived service over the WAL-backed privacy ledger.
+//!
+//! The walkthrough:
+//! 1. Open a [`SharedPrivacySession`] over a fresh `fm-wal v1` log with a
+//!    total ε cap, and start a [`FitService`] worker pool on it.
+//! 2. Two tenants submit fits concurrently. Admission (the CAS against
+//!    the shared cap plus the fsynced WAL `reserve`) happens at
+//!    `submit`, before a single row moves — an over-budget tenant is
+//!    refused without scanning anything.
+//! 3. Each tenant streams its rows through the bounded block queue; the
+//!    released weights are **bit-identical** to the equivalent direct
+//!    `partial_fit` at the same seed.
+//! 4. A graceful shutdown checkpoints a fit mid-stream; a second service
+//!    incarnation over the same WAL resumes it — ε debited exactly once
+//!    across the interruption — and finishes bit-identically too.
+//!
+//! Run with: `cargo run --release --example serve_tenants`
+
+use std::sync::Arc;
+
+use functional_mechanism::data::stream::RowSource;
+use functional_mechanism::data::synth::linear_dataset;
+use functional_mechanism::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Streams `data` into the service in `block_rows`-sized blocks.
+fn feed(
+    data: &Dataset,
+    block_rows: usize,
+    sender: &functional_mechanism::data::queue::BlockSender,
+) {
+    let mut source = InMemorySource::new(data);
+    while let Some(block) = source.next_block(block_rows).expect("in-memory read") {
+        sender.send(block).expect("service accepts blocks");
+    }
+}
+
+fn main() {
+    let wal = std::env::temp_dir().join(format!("fm_serve_example_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+
+    // ---- 1. Shared ledger + service -------------------------------------
+    let (session, _report) =
+        SharedPrivacySession::with_wal(&wal, Some(2.0)).expect("open WAL session");
+    let session = Arc::new(session);
+    let service = FitService::new(
+        Arc::clone(&session),
+        ServeConfig::new()
+            .workers(2)
+            .queue_blocks(4)
+            .compaction(CompactionPolicy::default()),
+    );
+    println!("service up: total ε cap 2.0, WAL at {}", wal.display());
+
+    // ---- 2 + 3. Two tenants, concurrent fits, bit-identity --------------
+    let mut r = StdRng::seed_from_u64(1);
+    let acme = linear_dataset(&mut r, 4_000, 3, 0.1);
+    let globex = linear_dataset(&mut r, 2_500, 3, 0.1);
+
+    let est = || DpLinearRegression::builder().epsilon(0.6).build();
+    let (acme_handle, acme_tx) = service
+        .submit(est(), FitRequest::new("acme", "income", 3).seed(11))
+        .expect("acme admitted");
+    let (globex_handle, globex_tx) = service
+        .submit(est(), FitRequest::new("globex", "income", 3).seed(22))
+        .expect("globex admitted");
+    println!(
+        "admitted 2 tenants; spent ε = {:.2} (reserved up front, fail-closed)",
+        session.spent_epsilon()
+    );
+
+    // Producers run concurrently with the workers; odd block sizes on
+    // purpose — the service re-chunks onto the fixed 4096-row grid.
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            feed(&acme, 513, &acme_tx);
+            acme_tx.finish();
+        });
+        scope.spawn(|| {
+            feed(&globex, 777, &globex_tx);
+            globex_tx.finish();
+        });
+    });
+    let FitOutcome::Released(acme_model) = acme_handle.wait().expect("acme settles") else {
+        panic!("acme fit should release");
+    };
+    let FitOutcome::Released(_globex_model) = globex_handle.wait().expect("globex settles") else {
+        panic!("globex fit should release");
+    };
+
+    let est_acme = est();
+    let mut direct = est_acme.partial_fit();
+    direct
+        .absorb(&mut InMemorySource::new(&acme))
+        .expect("direct absorb");
+    let mut rng = StdRng::seed_from_u64(11);
+    let reference = direct.finalize(&mut rng).expect("direct release");
+    assert_eq!(acme_model, reference);
+    println!("acme's served release is bit-identical to the direct partial_fit");
+
+    // ---- 4. Checkpointing shutdown + resume -----------------------------
+    let (initech_handle, initech_tx) = service
+        .submit(est(), FitRequest::new("initech", "income", 3).seed(33))
+        .expect("initech admitted");
+    let mut r = StdRng::seed_from_u64(2);
+    let initech = linear_dataset(&mut r, 3_000, 3, 0.1);
+    let half = initech
+        .subset(&(0..1_500).collect::<Vec<_>>())
+        .expect("subset");
+    feed(&half, 400, &initech_tx);
+
+    let suspended = service.shutdown();
+    println!(
+        "shutdown: {} fit(s) checkpointed, spent ε = {:.2} (never refunded mid-scan)",
+        suspended.len(),
+        session.spent_epsilon()
+    );
+    assert!(matches!(
+        initech_handle.wait().expect("settled"),
+        FitOutcome::Suspended(_)
+    ));
+    drop(initech_tx);
+    let suspended = suspended.into_iter().next().expect("one suspended fit");
+    let spent_before = session.spent_epsilon();
+
+    let service = FitService::new(Arc::clone(&session), ServeConfig::new().workers(1));
+    let rows_done = suspended.rows;
+    let (handle, sender) = service
+        .resume(est(), suspended, 33)
+        .expect("resume re-attaches the reservation");
+    assert_eq!(
+        session.spent_epsilon(),
+        spent_before,
+        "no re-debit on resume"
+    );
+    let rest = initech
+        .subset(&(rows_done..3_000).collect::<Vec<_>>())
+        .expect("subset");
+    feed(&rest, 400, &sender);
+    sender.finish();
+    let FitOutcome::Released(resumed_model) = handle.wait().expect("settles") else {
+        panic!("resumed fit should release");
+    };
+
+    let est_initech = est();
+    let mut direct = est_initech.partial_fit();
+    direct
+        .absorb(&mut InMemorySource::new(&initech))
+        .expect("direct absorb");
+    let mut rng = StdRng::seed_from_u64(33);
+    assert_eq!(resumed_model, direct.finalize(&mut rng).expect("release"));
+    println!(
+        "resumed fit is bit-identical to the uninterrupted fit; total ε = {:.2}",
+        session.spent_epsilon()
+    );
+
+    drop(service);
+    let _ = std::fs::remove_file(&wal);
+}

@@ -12,6 +12,7 @@
 //! |--------|-------|----------|
 //! | [`core`] | `fm-core` | the Functional Mechanism (Algorithms 1 & 2), DP linear / logistic / Poisson regression, §6 post-processing, (ε, δ) Gaussian variant |
 //! | [`baselines`] | `fm-baselines` | NoPrivacy, Truncated, DPME, Filter-Priority, objective perturbation |
+//! | [`serve`] | `fm-serve` | multi-tenant fitting service: admission over the WAL ledger, bounded block queues, checkpointing shutdown/resume, WAL compaction |
 //! | [`data`] | `fm-data` | datasets, normalization, synthetic census, cross-validation, metrics |
 //! | [`privacy`] | `fm-privacy` | Laplace / Gaussian / exponential mechanisms, privacy budget accounting |
 //! | [`poly`] | `fm-poly` | multivariate polynomials, quadratic forms, Taylor & Chebyshev machinery |
@@ -170,6 +171,7 @@ pub use fm_linalg as linalg;
 pub use fm_optim as optim;
 pub use fm_poly as poly;
 pub use fm_privacy as privacy;
+pub use fm_serve as serve;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
@@ -211,6 +213,9 @@ pub mod prelude {
         budget::{EpsDeltaLedger, PrivacyBudget},
         exponential::ExponentialMechanism,
         laplace::Laplace,
-        wal::{RecoveryReport, WalLedger},
+        wal::{CompactionPolicy, RecoveryReport, WalLedger, WalStats},
+    };
+    pub use fm_serve::service::{
+        FitOutcome, FitRequest, FitService, JobHandle, ServeConfig, ServeError, SuspendedFit,
     };
 }

@@ -488,3 +488,79 @@ fn checkpoint_resume_with_wal_never_redebits() {
     assert_eq!(model, reference);
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn detached_permits_resume_in_process_and_block_compaction_until_settled() {
+    use functional_mechanism::privacy::wal::CompactionPolicy;
+    let path = temp_wal("detach");
+    let _ = std::fs::remove_file(&path);
+    let mut r = rng(51);
+    let data = linear_dataset(&mut r, 300, 2, 0.1);
+    let est = DpLinearRegression::builder().epsilon(0.5).build();
+
+    let (session, _) = SharedPrivacySession::with_wal(&path, Some(2.0)).unwrap();
+    let session = std::sync::Arc::new(session);
+    let aggressive = CompactionPolicy::default().settled_records(1).file_bytes(1);
+
+    // A settled fit leaves garbage; with nothing dangling the policy fires.
+    session
+        .begin("t0", "warm", 0.25, 0.0)
+        .unwrap()
+        .commit()
+        .unwrap();
+    assert_eq!(session.wal_stats().unwrap().settled_records, 1);
+    assert!(session.maybe_compact_wal(&aggressive).unwrap());
+    assert_eq!(session.wal_stats().unwrap().settled_records, 0);
+
+    // Graceful shutdown: absorb half, checkpoint, detach. The reservation
+    // stays open (and spent) but is no longer attached to a live permit.
+    let permit = session
+        .begin_owned("census", "resumable", 0.5, 0.0)
+        .unwrap();
+    let first = data.subset(&(0..150).collect::<Vec<_>>()).unwrap();
+    let mut partial = est.partial_fit().with_reservation(permit.id());
+    partial.absorb(&mut InMemorySource::new(&first)).unwrap();
+    let snapshot = partial.checkpoint().unwrap();
+    let id = permit.detach();
+    assert_eq!(session.dangling_reservations(), 1);
+    assert!((session.spent_epsilon() - 0.75).abs() < 1e-12);
+
+    // Compaction must refuse while the checkpointed reservation dangles,
+    // even though the policy is overdue again.
+    session
+        .begin("t0", "warm2", 0.25, 0.0)
+        .unwrap()
+        .commit()
+        .unwrap();
+    assert!(!session.maybe_compact_wal(&aggressive).unwrap());
+    assert_eq!(session.wal_stats().unwrap().open_reservations, 1);
+
+    // Resume in-process: re-attach without re-debiting, finish, commit.
+    let mut resumed = est.resume_partial_fit(&snapshot).unwrap();
+    assert_eq!(resumed.reservation(), Some(id));
+    let permit = session.resume_reservation_owned(id).unwrap();
+    assert_eq!(session.dangling_reservations(), 0);
+    assert!(
+        (session.spent_epsilon() - 1.0).abs() < 1e-12,
+        "resume must not re-debit"
+    );
+    let rest = data.subset(&(150..300).collect::<Vec<_>>()).unwrap();
+    resumed.absorb(&mut InMemorySource::new(&rest)).unwrap();
+    let mut fit_rng = rng(52);
+    let model = resumed.finalize(&mut fit_rng).unwrap();
+    permit.commit().unwrap();
+    assert!((session.spent_epsilon() - 1.0).abs() < 1e-12);
+
+    // Nothing dangles any more: the deferred compaction goes through.
+    assert!(session.maybe_compact_wal(&aggressive).unwrap());
+    let stats = session.wal_stats().unwrap();
+    assert_eq!(stats.settled_records, 0);
+    assert_eq!(stats.open_reservations, 0);
+
+    // The detach/resume release is bit-identical to the uninterrupted fit.
+    let mut partial = est.partial_fit();
+    partial.absorb(&mut InMemorySource::new(&data)).unwrap();
+    let mut fit_rng = rng(52);
+    assert_eq!(model, partial.finalize(&mut fit_rng).unwrap());
+    let _ = std::fs::remove_file(&path);
+}

@@ -11,7 +11,7 @@
 //! this suite is the machine check that no refactor silently breaks it.
 
 use functional_mechanism::core::assembly::{assemble_shards, CoefficientAccumulator};
-use functional_mechanism::core::estimator::{FitConfig, FmEstimator};
+use functional_mechanism::core::estimator::{DpEstimator, FitConfig, FmEstimator};
 use functional_mechanism::core::generic::QuarticObjective;
 use functional_mechanism::core::linreg::{DpLinearRegression, LinearObjective};
 use functional_mechanism::core::logreg::DpLogisticRegression;
@@ -566,6 +566,108 @@ fn sparse_fit_sharded_single_shard_matches_fit() {
         (Err(_), Err(_)) => {}
         other => panic!("outcome mismatch {other:?}"),
     }
+}
+
+#[test]
+fn trait_level_fit_sharded_matches_the_inherent_assembly_path() {
+    // The DpEstimator-level assembled-fit hook: dispatching through the
+    // trait object surface (dyn shards, dyn RNG) must take the native
+    // per-shard assembly path for FM estimators and release exactly the
+    // inherent fit_sharded's coefficients.
+    let mut r = StdRng::seed_from_u64(77_001);
+    let data = synth::linear_dataset(&mut r, 2_000, 3, 0.1);
+    let idx: Vec<usize> = (0..data.n()).collect();
+    let parts = [
+        data.subset(&idx[..700]).unwrap(),
+        data.subset(&idx[700..1_500]).unwrap(),
+        data.subset(&idx[1_500..]).unwrap(),
+    ];
+    for intercept in [false, true] {
+        let est = FmEstimator::new(
+            LinearObjective,
+            FitConfig::new().epsilon(1.0).fit_intercept(intercept),
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut shards: Vec<InMemorySource> = parts.iter().map(InMemorySource::new).collect();
+        let inherent = est.fit_sharded(&mut shards, &mut rng).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut a = InMemorySource::new(&parts[0]);
+        let mut b = InMemorySource::new(&parts[1]);
+        let mut c = InMemorySource::new(&parts[2]);
+        let mut dyn_shards: Vec<&mut (dyn RowSource + Send)> = vec![&mut a, &mut b, &mut c];
+        let via_trait = DpEstimator::fit_sharded(&est, &mut dyn_shards, &mut rng).unwrap();
+        assert_eq!(inherent, via_trait, "intercept={intercept}");
+    }
+
+    // Same pin for the general-degree override.
+    let est = SparseFmEstimator::new(
+        QuarticObjective,
+        FitConfig::new()
+            .epsilon(64.0)
+            .strategy(Strategy::FailIfUnbounded),
+    );
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut shards: Vec<InMemorySource> = parts.iter().map(InMemorySource::new).collect();
+    let inherent = est.fit_sharded(&mut shards, &mut rng);
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut a = InMemorySource::new(&parts[0]);
+    let mut b = InMemorySource::new(&parts[1]);
+    let mut c = InMemorySource::new(&parts[2]);
+    let mut dyn_shards: Vec<&mut (dyn RowSource + Send)> = vec![&mut a, &mut b, &mut c];
+    let via_trait = DpEstimator::fit_sharded(&est, &mut dyn_shards, &mut rng);
+    match (inherent, via_trait) {
+        (Ok(x), Ok(y)) => assert_eq!(x, y),
+        (Err(_), Err(_)) => {}
+        other => panic!("outcome mismatch {other:?}"),
+    }
+}
+
+#[test]
+fn baselines_join_the_sharded_path_through_fit_sharded_dyn() {
+    // Estimators without a native streaming pipeline fall back to the
+    // trait default (materialize the shard union, fit once) — so a
+    // baseline fitted through the session's dyn entry point must match
+    // its direct fit on the concatenated dataset exactly.
+    use functional_mechanism::baselines::noprivacy::LinearRegression;
+    let mut r = StdRng::seed_from_u64(77_002);
+    let data = synth::linear_dataset(&mut r, 1_200, 2, 0.05);
+    let idx: Vec<usize> = (0..data.n()).collect();
+    let parts = [
+        data.subset(&idx[..500]).unwrap(),
+        data.subset(&idx[500..]).unwrap(),
+    ];
+
+    let ols = LinearRegression::new();
+    let direct = ols.fit(&data).unwrap();
+
+    let mut session = PrivacySession::with_budget(1.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut a = InMemorySource::new(&parts[0]);
+    let mut b = InMemorySource::new(&parts[1]);
+    let mut shards: Vec<&mut (dyn RowSource + Send)> = vec![&mut a, &mut b];
+    let union = session
+        .fit_sharded_dyn(&ols, &mut shards, &mut rng)
+        .unwrap();
+    assert_eq!(direct, union);
+    // Non-private baseline: the session debits nothing.
+    assert_eq!(session.num_fits(), 0);
+    assert_eq!(session.spent_epsilon(), 0.0);
+
+    // A private FM estimator through the same dyn call site debits once
+    // and matches its inherent sharded fit.
+    let est = DpLinearRegression::builder().epsilon(0.4).build();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut a = InMemorySource::new(&parts[0]);
+    let mut b = InMemorySource::new(&parts[1]);
+    let mut shards: Vec<&mut (dyn RowSource + Send)> = vec![&mut a, &mut b];
+    let dp_union = session
+        .fit_sharded_dyn(&est, &mut shards, &mut rng)
+        .unwrap();
+    assert_eq!(session.num_fits(), 1);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut shards: Vec<InMemorySource> = parts.iter().map(InMemorySource::new).collect();
+    assert_eq!(dp_union, est.fit_sharded(&mut shards, &mut rng).unwrap());
 }
 
 #[cfg(feature = "parallel")]
