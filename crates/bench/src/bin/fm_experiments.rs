@@ -59,7 +59,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: fm-experiments [--figure fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|\n\
-                     \x20                               ablation-approx|ablation-noise|poisson|all]\n\
+                     \x20                               ablation-approx|ablation-noise|poisson|accounting|all]\n\
                      \x20                     [--rows N] [--repeats R] [--seed S] [--full]"
                 );
                 std::process::exit(0);
@@ -123,6 +123,9 @@ fn main() -> ExitCode {
     }
     if run("poisson") {
         tables.extend(figures::poisson_figure(&cfg));
+    }
+    if run("accounting") {
+        tables.extend(figures::accounting_figure());
     }
 
     if tables.is_empty() && !["fig2", "fig3", "all"].contains(&args.figure.as_str()) {

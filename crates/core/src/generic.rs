@@ -39,8 +39,9 @@ use rand::Rng;
 use fm_data::Dataset;
 use fm_poly::monomial::{monomials_up_to_degree, Monomial};
 use fm_poly::Polynomial;
-use fm_privacy::mechanism::LaplaceMechanism;
+use fm_privacy::mechanism::{GaussianMechanism, LaplaceMechanism};
 
+use crate::mechanism::NoiseDistribution;
 use crate::{FmError, Result};
 
 /// Refuse objectives with more perturbable coefficients than this — at
@@ -85,6 +86,18 @@ pub trait GeneralObjective: Sync {
 
     /// The coefficient-vector L1 sensitivity `Δ` (Lemma 1).
     fn sensitivity(&self, d: usize) -> f64;
+
+    /// The coefficient-vector **L2** sensitivity Δ₂, when one has been
+    /// derived — what calibrates Gaussian noise for the (ε, δ) release
+    /// path. The same Lemma-1-style contract applies, in the L2 norm
+    /// and covering every released coefficient. The default is `None`:
+    /// objectives without a derived Δ₂ stay Laplace-only, and
+    /// [`GenericFunctionalMechanism::perturb`] refuses Gaussian noise
+    /// for them rather than guessing a bound.
+    fn sensitivity_l2(&self, d: usize) -> Option<f64> {
+        let _ = d;
+        None
+    }
 
     /// Validates the dataset against the domain this objective's
     /// sensitivity analysis assumes.
@@ -143,8 +156,11 @@ pub trait GeneralObjective: Sync {
 pub struct NoisyPolynomial {
     polynomial: Polynomial,
     epsilon: f64,
+    /// `Some(δ)` for a Gaussian release, `None` for pure-DP Laplace.
+    delta: Option<f64>,
     sensitivity: f64,
     noise_scale: f64,
+    noise_std: f64,
 }
 
 impl NoisyPolynomial {
@@ -160,25 +176,34 @@ impl NoisyPolynomial {
         self.epsilon
     }
 
-    /// The sensitivity Δ used for calibration.
+    /// The Gaussian failure probability δ of this release (`None` for a
+    /// pure-DP Laplace release).
+    #[must_use]
+    pub fn delta(&self) -> Option<f64> {
+        self.delta
+    }
+
+    /// The sensitivity used for calibration: Δ₁ for Laplace, Δ₂ for
+    /// Gaussian.
     #[must_use]
     pub fn sensitivity(&self) -> f64 {
         self.sensitivity
     }
 
-    /// The per-coefficient Laplace scale `Δ/ε`.
+    /// The per-coefficient noise scale: Laplace `b = Δ₁/ε`, or Gaussian
+    /// `σ = Δ₂·√(2 ln(1.25/δ))/ε`.
     #[must_use]
     pub fn noise_scale(&self) -> f64 {
         self.noise_scale
     }
 
-    /// Standard deviation of the injected per-coefficient noise
-    /// (`√2·Δ/ε`) — the §6.1-style regularization constant for the
-    /// general-degree path is four times this, exactly as for
-    /// [`crate::mechanism::NoisyQuadratic`].
+    /// Standard deviation of the injected per-coefficient noise (`√2·b`
+    /// for Laplace, `σ` for Gaussian) — the §6.1-style regularization
+    /// constant for the general-degree path is four times this, exactly
+    /// as for [`crate::mechanism::NoisyQuadratic`].
     #[must_use]
     pub fn noise_std_dev(&self) -> f64 {
-        self.noise_scale * std::f64::consts::SQRT_2
+        self.noise_std
     }
 
     /// Mutable access for the §6-style post-processors (ridge shifts).
@@ -235,27 +260,47 @@ pub(crate) fn minimize_polynomial(p: &Polynomial, start: &[f64], radius: f64) ->
 #[derive(Debug, Clone, Copy)]
 pub struct GenericFunctionalMechanism {
     epsilon: f64,
+    noise: NoiseDistribution,
 }
 
 impl GenericFunctionalMechanism {
-    /// Creates a mechanism with privacy budget `epsilon`.
+    /// Creates a mechanism with privacy budget `epsilon` (Laplace noise).
     ///
     /// # Errors
     /// [`FmError::InvalidConfig`] for non-positive or non-finite ε.
     pub fn new(epsilon: f64) -> Result<Self> {
+        Self::with_noise(epsilon, NoiseDistribution::Laplace)
+    }
+
+    /// Creates a mechanism with an explicit noise distribution — the
+    /// general-degree counterpart of
+    /// [`crate::FunctionalMechanism::with_config`]. Gaussian noise
+    /// requires the objective to provide an L2 sensitivity
+    /// ([`GeneralObjective::sensitivity_l2`]); `perturb` refuses
+    /// objectives that do not.
+    ///
+    /// # Errors
+    /// [`FmError::InvalidConfig`] for non-positive or non-finite ε.
+    pub fn with_noise(epsilon: f64, noise: NoiseDistribution) -> Result<Self> {
         if !epsilon.is_finite() || epsilon <= 0.0 {
             return Err(FmError::InvalidConfig {
                 name: "epsilon",
                 reason: format!("{epsilon} must be finite and > 0"),
             });
         }
-        Ok(GenericFunctionalMechanism { epsilon })
+        Ok(GenericFunctionalMechanism { epsilon, noise })
     }
 
     /// The configured privacy budget ε.
     #[must_use]
     pub fn epsilon(&self) -> f64 {
         self.epsilon
+    }
+
+    /// The configured noise distribution.
+    #[must_use]
+    pub fn noise(&self) -> NoiseDistribution {
+        self.noise
     }
 
     /// Runs Algorithm 1 literally: assembles `f_D`, then perturbs the
@@ -314,9 +359,6 @@ impl GenericFunctionalMechanism {
             });
         }
 
-        let delta = objective.sensitivity(d);
-        let mech = LaplaceMechanism::new(delta, self.epsilon)?;
-
         // A mis-declared max_degree would silently drop the out-of-range
         // coefficients from the release *and* void the sensitivity
         // analysis — refuse loudly instead.
@@ -329,17 +371,56 @@ impl GenericFunctionalMechanism {
                 ),
             });
         }
+
+        enum Sampler {
+            Laplace(LaplaceMechanism),
+            Gaussian(GaussianMechanism),
+        }
+        let (sampler, delta_out, sensitivity, noise_scale, noise_std) = match self.noise {
+            NoiseDistribution::Laplace => {
+                let delta1 = objective.sensitivity(d);
+                let mech = LaplaceMechanism::new(delta1, self.epsilon)?;
+                let scale = delta1 / self.epsilon;
+                (
+                    Sampler::Laplace(mech),
+                    None,
+                    delta1,
+                    scale,
+                    scale * std::f64::consts::SQRT_2,
+                )
+            }
+            NoiseDistribution::Gaussian { delta } => {
+                let Some(delta2) = objective.sensitivity_l2(d) else {
+                    return Err(FmError::InvalidConfig {
+                        name: "noise",
+                        reason: "Gaussian noise needs an L2 sensitivity, and this objective \
+                                 derives none (GeneralObjective::sensitivity_l2 is None); \
+                                 use Laplace noise or derive Δ₂"
+                            .to_string(),
+                    });
+                };
+                let mech = GaussianMechanism::new(delta2, self.epsilon, delta)?;
+                let sigma = mech.noise_std_dev();
+                (Sampler::Gaussian(mech), Some(delta), delta2, sigma, sigma)
+            }
+        };
         let mut noisy = Polynomial::zero(d);
         for phi in monomials {
             let lambda = clean.coefficient(&phi);
-            noisy.add_term(phi, mech.privatize_scalar(lambda, rng));
+            let released = match &sampler {
+                Sampler::Laplace(m) => m.privatize_scalar(lambda, rng),
+                Sampler::Gaussian(m) => m.privatize_scalar(lambda, rng),
+            };
+            noisy.add_term(phi, released);
         }
 
         Ok(NoisyPolynomial {
             polynomial: noisy,
             epsilon: self.epsilon,
-            sensitivity: delta,
-            noise_scale: delta / self.epsilon,
+            delta: delta_out,
+            sensitivity,
+            noise_scale,
+            noise_std,
         })
     }
 }
@@ -563,6 +644,12 @@ impl GeneralObjective for GeneralLinearObjective {
         crate::linreg::sensitivity_paper(d)
     }
 
+    fn sensitivity_l2(&self, _d: usize) -> Option<f64> {
+        // Identical coefficient vector to the degree-2 pipeline, so the
+        // same dimension-independent 2√6 bound applies.
+        Some(crate::linreg::sensitivity_l2())
+    }
+
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
         data.check_normalized_linear()
     }
@@ -606,6 +693,17 @@ impl GeneralObjective for QuarticObjective {
     fn sensitivity(&self, d: usize) -> f64 {
         let dp1 = 1.0 + d as f64;
         2.0 * dp1.powi(4)
+    }
+
+    fn sensitivity_l2(&self, d: usize) -> Option<f64> {
+        // Per degree-k block, ‖block‖₂ ≤ ‖block‖₁ ≤ C(4,k)·(Σ|x_j|)^k,
+        // and on the normalized domain Cauchy–Schwarz gives
+        // Σ|x_j| ≤ √d·‖x‖₂ ≤ √d. Summing block norms (≥ the full-vector
+        // L2 norm): Σ_k C(4,k)·(√d)^k = (1+√d)⁴ per tuple, doubled for
+        // the two-tuple neighbour difference — strictly below the L1
+        // bound 2(1+d)⁴ for d ≥ 2.
+        let sqrt_dp1 = 1.0 + (d as f64).sqrt();
+        Some(2.0 * sqrt_dp1.powi(4))
     }
 
     fn validate(&self, data: &Dataset) -> fm_data::Result<()> {

@@ -44,6 +44,7 @@ use fm_data::cv::KFold;
 use fm_data::stream::RowSource;
 use fm_data::Dataset;
 use fm_privacy::budget::{EpsDeltaLedger, PrivacyBudget};
+use fm_privacy::rdp::{MomentsAccount, RdpLedger, RenyiMechanism};
 
 use crate::estimator::{DpEstimator, FmEstimator, RegressionObjective};
 use crate::{FmError, Result};
@@ -55,6 +56,7 @@ use crate::{FmError, Result};
 pub struct PrivacySession {
     budget: Option<PrivacyBudget>,
     ledger: EpsDeltaLedger,
+    rdp: RdpLedger,
     fits: usize,
 }
 
@@ -68,8 +70,36 @@ pub struct CompositionReport {
     pub basic: (f64, f64),
     /// The advanced-composition bound at the report's slack δ′.
     pub advanced: (f64, f64),
-    /// The tighter of the two (what should be quoted).
+    /// The tighter of basic and advanced (same δ-accounting as those two).
     pub best: (f64, f64),
+    /// The moments accountant's (ε, δ) at target δ = the report's slack
+    /// δ′ — per-mechanism Rényi curves composed additively and converted
+    /// at the optimal order. Its δ is **not** comparable to `best`'s
+    /// (Gaussian calibration δs are folded into the curves, not summed),
+    /// which is exactly why it is usually far tighter for many releases.
+    pub rdp: MomentsAccount,
+}
+
+/// Maps a validated (ε, δ) debit onto the tightest *sound* Rényi curve
+/// the session can claim without mechanism-specific metadata:
+///
+/// * `δ = 0` — the release is pure ε-DP; the Bun–Steinke
+///   [`RenyiMechanism::PureDp`] curve holds for **any** pure mechanism
+///   (Laplace vectors, Lemma-5 resample loops, exponential mechanism).
+/// * `δ > 0` — every (ε, δ) release in this workspace is a classically
+///   calibrated Gaussian ([`fm_privacy::mechanism::GaussianMechanism`],
+///   σ = Δ·√(2 ln(1.25/δ))/ε), whose exact curve is α/(2σ̃²).
+/// * `δ > 0` outside the classical calibration range (ε ≥ 1) — no curve
+///   is known; the debit enters as an opaque record, composed basically.
+fn record_renyi(rdp: &mut RdpLedger, epsilon: f64, delta: f64) {
+    let recorded = if delta == 0.0 {
+        rdp.record(RenyiMechanism::PureDp { epsilon })
+    } else if let Ok(mechanism) = RenyiMechanism::gaussian_from_calibration(epsilon, delta) {
+        rdp.record(mechanism)
+    } else {
+        rdp.record_opaque(epsilon, delta)
+    };
+    debug_assert!(recorded.is_ok(), "validated (ε, δ) entries always record");
 }
 
 impl PrivacySession {
@@ -90,6 +120,7 @@ impl PrivacySession {
         Ok(PrivacySession {
             budget: Some(PrivacyBudget::new(total_epsilon)?),
             ledger: EpsDeltaLedger::new(),
+            rdp: RdpLedger::new(),
             fits: 0,
         })
     }
@@ -330,6 +361,7 @@ impl PrivacySession {
                 budget.spend(epsilon)?;
             }
             self.ledger.record_entry(entry);
+            record_renyi(&mut self.rdp, entry.epsilon, entry.delta);
             self.fits += 1;
         }
         Ok(())
@@ -415,7 +447,12 @@ impl PrivacySession {
         &self.ledger
     }
 
-    /// The composed guarantee at advanced-composition slack `delta_prime`.
+    /// The composed guarantee at advanced-composition slack `delta_prime`,
+    /// which doubles as the moments accountant's target δ for the
+    /// report's [`CompositionReport::rdp`] column (δ = 0 debits enter as
+    /// pure-DP curves, classically calibrated (ε, δ) debits as Gaussian
+    /// curves, and anything else — including parallel-composition
+    /// scopes — as opaque basic-composed records).
     ///
     /// # Errors
     /// [`FmError::Privacy`] unless `delta_prime ∈ (0, 1)`.
@@ -423,11 +460,13 @@ impl PrivacySession {
         let basic = self.ledger.basic_composition();
         let advanced = self.ledger.advanced_composition(delta_prime)?;
         let best = self.ledger.best_composition(delta_prime)?;
+        let rdp = self.rdp.convert(delta_prime)?;
         Ok(CompositionReport {
             fits: self.fits,
             basic,
             advanced,
             best,
+            rdp,
         })
     }
 }
@@ -557,6 +596,14 @@ impl ParallelFits<'_> {
             fm_privacy::budget::EpsDeltaEntry::validated(self.max_epsilon, self.max_delta)
         {
             self.session.ledger.record_entry(entry);
+            // A parallel scope's joint release has no single known Rényi
+            // curve once shards mix mechanism families, so it enters the
+            // moments account as an opaque record (basic composition) —
+            // conservative but always sound.
+            let _ = self
+                .session
+                .rdp
+                .record_opaque(self.max_epsilon, self.max_delta);
             self.session.fits += 1;
         }
     }
@@ -579,9 +626,35 @@ use std::sync::Mutex;
 use fm_privacy::budget::EpsDeltaEntry;
 use fm_privacy::wal::{CompactionPolicy, RecoveryReport, WalLedger, WalStats};
 
-/// Floating-point slack when comparing spends against the cap — mirrors
-/// `fm_privacy::budget`'s tolerance (ε values are user-scale, 0.1–3.2).
-const EPS_SLACK: f64 = 1e-12;
+/// One unit of the integer budget counter: 10⁻¹² ε. The running total is
+/// kept in **whole quanta** (a plain `u64`), so reserve→abort round-trips
+/// restore the exact prior value bit-for-bit — no float-addition drift,
+/// no `.max(0.0)` clamp silently absorbing double-refunds, and no
+/// per-admission slack for tiny reserve/abort cycles to accumulate into
+/// a cap overshoot. Each individual debit is quantized once
+/// (round-to-nearest, error ≤ 5·10⁻¹³ ε, far below any meaningful
+/// privacy resolution); the integer arithmetic after that is exact.
+const EPS_QUANTUM: f64 = 1e-12;
+
+/// Rounds an ε to whole quanta. Validated ε is finite and ≥ 0; values so
+/// large they would overflow the counter saturate (and then fail cap
+/// checks / `checked_add`, refusing the admission rather than wrapping).
+fn eps_to_units(epsilon: f64) -> u64 {
+    let units = (epsilon / EPS_QUANTUM).round();
+    if units >= 9.0e18 {
+        9_000_000_000_000_000_000
+    } else {
+        units as u64
+    }
+}
+
+/// The ε an integer quanta count represents.
+fn units_to_eps(units: u64) -> f64 {
+    // u64 → f64 rounds above 2⁵³ quanta (ε > ~9000); still monotone.
+    #[allow(clippy::cast_precision_loss)]
+    let units = units as f64;
+    units * EPS_QUANTUM
+}
 
 /// A reservation the session is tracking but has not yet settled —
 /// in-flight budget, counted as **spent** until committed or aborted.
@@ -590,14 +663,25 @@ struct OpenReservation {
     tenant: String,
     epsilon: f64,
     delta: f64,
+    /// The exact quanta this reservation debited from the running total
+    /// — an abort refunds precisely this, restoring the pre-reserve
+    /// counter bit-for-bit.
+    units: u64,
     /// Recovered-dangling reservations are permanently spent
     /// (fail-closed): resumable and committable, never abortable.
     sealed: bool,
+    /// Enters the moments account as an opaque (basic-composed) record
+    /// on commit instead of a Rényi curve — parallel-scope increments
+    /// (no per-increment curve is sound) and crash-recovered
+    /// reservations (their provenance is gone).
+    opaque_rdp: bool,
 }
 
 #[derive(Debug)]
 struct SharedInner {
     ledger: EpsDeltaLedger,
+    /// Rényi curves of every **committed** release (see [`record_renyi`]).
+    rdp: RdpLedger,
     wal: Option<WalLedger>,
     /// Committed `(ε, δ, fits)` per tenant.
     tenants: BTreeMap<String, (f64, f64, usize)>,
@@ -611,6 +695,33 @@ struct SharedInner {
     fits: usize,
 }
 
+impl SharedInner {
+    /// The moments account over committed history **plus** in-flight
+    /// reservations (fail-closed, like the spent counter) and an
+    /// optional candidate debit — what RDP admission checks against the
+    /// cap. Open reservations are folded in on the fly from their
+    /// (ε, δ), so an abort simply stops contributing; nothing is ever
+    /// subtracted from a curve total.
+    fn projected_rdp(
+        &self,
+        candidate: Option<(f64, f64)>,
+        target_delta: f64,
+    ) -> Result<MomentsAccount> {
+        let mut projected = self.rdp.clone();
+        for r in self.open.values() {
+            if r.opaque_rdp {
+                let _ = projected.record_opaque(r.epsilon, r.delta);
+            } else {
+                record_renyi(&mut projected, r.epsilon, r.delta);
+            }
+        }
+        if let Some((epsilon, delta)) = candidate {
+            record_renyi(&mut projected, epsilon, delta);
+        }
+        Ok(projected.convert(target_delta)?)
+    }
+}
+
 /// A **concurrent, crash-safe** privacy session: many tenants × many
 /// threads admit or refuse fits against one shared budget without a
 /// global `&mut`, and (optionally) every debit is made durable through a
@@ -620,10 +731,14 @@ struct SharedInner {
 /// experiment harness, `SharedPrivacySession` is the silo-side admission
 /// controller:
 ///
-/// * **Admission is lock-free**: the running ε total lives in an
-///   [`AtomicU64`] (f64 bits, CAS loop), so concurrent [`SharedPrivacySession::begin`]
-///   calls race on a compare-exchange, not a lock — the cap can never be
-///   oversubscribed, and refusal happens *before* any scan or noise draw.
+/// * **Admission is lock-free and exact**: the running ε total lives in
+///   an [`AtomicU64`] counting integer quanta of 10⁻¹² ε (CAS loop), so
+///   concurrent [`SharedPrivacySession::begin`] calls race on a
+///   compare-exchange, not a lock — the cap can never be oversubscribed
+///   (strictly: admitted totals never exceed the cap's own quantization,
+///   with no per-admission slack), refusal happens *before* any scan or
+///   noise draw, and a reserve→abort round-trip restores the exact
+///   pre-reserve total bit-for-bit.
 /// * **Two-phase debits**: `begin` reserves (fsync'd to the WAL when one
 ///   is attached), the returned [`FitPermit`] settles — [`FitPermit::commit`]
 ///   after the release is published, [`FitPermit::abort`] only if the
@@ -648,8 +763,16 @@ struct SharedInner {
 #[derive(Debug)]
 pub struct SharedPrivacySession {
     cap: Option<f64>,
-    /// f64 bits of the running ε total (committed + in-flight).
-    spent_bits: AtomicU64,
+    /// The cap in whole quanta (pre-rounded once, so every admission
+    /// compares integers).
+    cap_units: Option<u64>,
+    /// Admit against the moments accountant instead of the naive Σε:
+    /// `Some(target δ)` checks the RDP-converted ε (committed +
+    /// in-flight + candidate) against the cap under the session lock.
+    rdp_admission: Option<f64>,
+    /// Running ε total (committed + in-flight), in integer quanta of
+    /// [`EPS_QUANTUM`].
+    spent_units: AtomicU64,
     inner: Mutex<SharedInner>,
 }
 
@@ -703,6 +826,7 @@ impl SharedPrivacySession {
     fn build(cap: Option<f64>, wal: Option<WalLedger>) -> Self {
         let mut inner = SharedInner {
             ledger: EpsDeltaLedger::new(),
+            rdp: RdpLedger::new(),
             wal: None,
             tenants: BTreeMap::new(),
             open: BTreeMap::new(),
@@ -710,61 +834,107 @@ impl SharedPrivacySession {
             next_local_id: 1,
             fits: 0,
         };
-        let mut spent = 0.0;
+        let mut spent_units: u64 = 0;
         if let Some(wal) = wal {
             // Preload everything the log already knows. Committed history
             // lands as one aggregate ledger entry per tenant — Σε is
             // preserved exactly, and the advanced-composition bound only
             // gets *more* conservative under aggregation ((Σε)² ≥ Σε²).
+            // The moments account gets the same aggregates as opaque
+            // records: the per-release curves are gone, so basic
+            // composition is all the recovered history can claim.
             for (tenant, eps, delta, fits) in wal.committed_by_tenant() {
                 if let Ok(entry) = EpsDeltaEntry::validated(eps, delta) {
                     inner.ledger.record_entry(entry);
                 }
+                let _ = inner.rdp.record_opaque(eps, delta);
                 inner.tenants.insert(tenant.to_string(), (eps, delta, fits));
                 inner.fits += fits;
+                spent_units = spent_units.saturating_add(eps_to_units(eps));
             }
             for r in wal.open_reservations() {
+                let units = eps_to_units(r.epsilon);
+                spent_units = spent_units.saturating_add(units);
                 inner.open.insert(
                     r.id,
                     OpenReservation {
                         tenant: r.tenant.clone(),
                         epsilon: r.epsilon,
                         delta: r.delta,
+                        units,
                         sealed: r.sealed,
+                        opaque_rdp: true,
                     },
                 );
             }
-            spent = wal.spent().0;
             inner.wal = Some(wal);
         }
         SharedPrivacySession {
             cap,
-            spent_bits: AtomicU64::new(spent.to_bits()),
+            cap_units: cap.map(eps_to_units),
+            rdp_admission: None,
+            spent_units: AtomicU64::new(spent_units),
             inner: Mutex::new(inner),
         }
     }
 
-    /// Lock-free cap admission: atomically raises the running ε total by
-    /// `amount`, refusing (without side effects) when the cap would be
-    /// exceeded.
-    fn try_spend(&self, amount: f64) -> Result<()> {
-        let mut cur = self.spent_bits.load(Ordering::Acquire);
+    /// Switches cap admission from the naive running Σε to the **moments
+    /// accountant**: a [`SharedPrivacySession::begin`] is admitted iff
+    /// the RDP-converted ε at target `delta` — over committed history,
+    /// in-flight reservations, and the candidate — stays within the cap.
+    /// For many-release workloads this admits far more fits under the
+    /// same cap (the naive sum over-counts by the full composition gap).
+    /// No-op on an uncapped session. The RDP check runs under the
+    /// session lock; the lock-free counter keeps tracking the naive Σε
+    /// for [`SharedPrivacySession::spent_epsilon`] but no longer refuses
+    /// on it.
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] unless `delta ∈ (0, 1)`.
+    pub fn admit_by_rdp(mut self, delta: f64) -> Result<Self> {
+        if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+            return Err(FmError::Privacy(
+                fm_privacy::PrivacyError::InvalidParameter {
+                    name: "delta",
+                    value: delta,
+                    constraint: "RDP admission target must satisfy 0 < delta < 1",
+                },
+            ));
+        }
+        self.rdp_admission = Some(delta);
+        Ok(self)
+    }
+
+    /// Lock-free cap admission: atomically raises the running total by
+    /// `units` quanta, refusing (without side effects) when the integer
+    /// cap would be exceeded. Under RDP admission the naive cap check is
+    /// skipped — the moments-accountant check in
+    /// [`SharedPrivacySession::begin`] is the admission criterion — but
+    /// the counter still tracks the fail-closed Σε.
+    fn try_spend(&self, units: u64) -> Result<()> {
+        let mut cur = self.spent_units.load(Ordering::Acquire);
         loop {
-            let spent = f64::from_bits(cur);
-            let new = spent + amount;
-            if let Some(cap) = self.cap {
-                if new > cap + EPS_SLACK {
-                    return Err(FmError::Privacy(
-                        fm_privacy::PrivacyError::BudgetExhausted {
-                            requested: amount,
-                            remaining: (cap - spent).max(0.0),
-                        },
-                    ));
+            let exhausted = |spent_units: u64| {
+                FmError::Privacy(fm_privacy::PrivacyError::BudgetExhausted {
+                    requested: units_to_eps(units),
+                    remaining: self
+                        .cap
+                        .map_or(0.0, |cap| (cap - units_to_eps(spent_units)).max(0.0)),
+                })
+            };
+            let Some(new) = cur.checked_add(units) else {
+                return Err(exhausted(cur));
+            };
+            if self.rdp_admission.is_none() {
+                if let Some(cap_units) = self.cap_units {
+                    if new > cap_units {
+                        return Err(exhausted(cur));
+                    }
                 }
             }
-            match self.spent_bits.compare_exchange_weak(
+            match self.spent_units.compare_exchange_weak(
                 cur,
-                new.to_bits(),
+                new,
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
@@ -774,14 +944,22 @@ impl SharedPrivacySession {
         }
     }
 
-    /// Atomically lowers the running ε total (aborted reservation).
-    fn unspend(&self, amount: f64) {
-        let mut cur = self.spent_bits.load(Ordering::Acquire);
+    /// Atomically lowers the running total by exactly the quanta a
+    /// reservation debited — integer subtraction, so the pre-reserve
+    /// value is restored bit-for-bit. Underflow is structurally
+    /// impossible (every refund comes from settling an open reservation
+    /// exactly once; double-settlement errors upstream), so it is only
+    /// debug-asserted, and saturates rather than wraps in release.
+    fn unspend(&self, units: u64) {
+        let mut cur = self.spent_units.load(Ordering::Acquire);
         loop {
-            let new = (f64::from_bits(cur) - amount).max(0.0);
-            match self.spent_bits.compare_exchange_weak(
+            debug_assert!(cur >= units, "refunded more quanta than were spent");
+            // Saturate: a (buggy) over-refund must not wrap into an
+            // astronomically large spent total and brick admission.
+            let new = cur.saturating_sub(units);
+            match self.spent_units.compare_exchange_weak(
                 cur,
-                new.to_bits(),
+                new,
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
@@ -809,18 +987,61 @@ impl SharedPrivacySession {
         epsilon: f64,
         delta: f64,
     ) -> Result<FitPermit<'_>> {
+        self.begin_with(tenant, label, epsilon, delta, false)
+    }
+
+    /// [`SharedPrivacySession::begin`] plus the `opaque_rdp` marker for
+    /// reservations that must enter the moments account as basic-composed
+    /// records (parallel-scope increments).
+    fn begin_with(
+        &self,
+        tenant: &str,
+        label: &str,
+        epsilon: f64,
+        delta: f64,
+        opaque_rdp: bool,
+    ) -> Result<FitPermit<'_>> {
         let entry = EpsDeltaEntry::validated(epsilon, delta)?;
-        self.try_spend(entry.epsilon)?;
+        let units = eps_to_units(entry.epsilon);
+        self.try_spend(units)?;
         let mut inner = self
             .inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let (Some(target_delta), Some(cap)) = (self.rdp_admission, self.cap) {
+            // Moments-accountant admission: the converted ε over committed
+            // + in-flight + this candidate must stay within the cap.
+            let projected = inner
+                .projected_rdp(Some((entry.epsilon, entry.delta)), target_delta)
+                .map(|account| account.epsilon);
+            match projected {
+                Ok(projected) if projected <= cap => {}
+                Ok(_) => {
+                    let current = inner
+                        .projected_rdp(None, target_delta)
+                        .map_or(0.0, |account| account.epsilon);
+                    drop(inner);
+                    self.unspend(units);
+                    return Err(FmError::Privacy(
+                        fm_privacy::PrivacyError::BudgetExhausted {
+                            requested: entry.epsilon,
+                            remaining: (cap - current).max(0.0),
+                        },
+                    ));
+                }
+                Err(e) => {
+                    drop(inner);
+                    self.unspend(units);
+                    return Err(e);
+                }
+            }
+        }
         let id = match &mut inner.wal {
             Some(wal) => match wal.reserve(tenant, label, entry.epsilon, entry.delta) {
                 Ok(id) => id,
                 Err(e) => {
                     drop(inner);
-                    self.unspend(entry.epsilon);
+                    self.unspend(units);
                     return Err(e.into());
                 }
             },
@@ -836,7 +1057,9 @@ impl SharedPrivacySession {
                 tenant: tenant.to_string(),
                 epsilon: entry.epsilon,
                 delta: entry.delta,
+                units,
                 sealed: false,
+                opaque_rdp,
             },
         );
         inner.attached.insert(id);
@@ -886,9 +1109,12 @@ impl SharedPrivacySession {
         })
     }
 
-    /// Settles a permit. `commit = false` (abort) is refused for sealed
-    /// reservations and rolls the atomic admission back on success.
-    fn settle(&self, id: u64, epsilon: f64, commit: bool) -> Result<()> {
+    /// Settles a permit **exactly once**. `commit = false` (abort) is
+    /// refused for sealed reservations and rolls the atomic admission
+    /// back by the reservation's exact debited quanta on success; a
+    /// second settlement of the same id errors (the open-set entry is
+    /// gone), so a double-refund cannot occur.
+    fn settle(&self, id: u64, commit: bool) -> Result<()> {
         let mut inner = self
             .inner
             .lock()
@@ -918,6 +1144,11 @@ impl SharedPrivacySession {
             if let Ok(entry) = EpsDeltaEntry::validated(open.epsilon, open.delta) {
                 inner.ledger.record_entry(entry);
             }
+            if open.opaque_rdp {
+                let _ = inner.rdp.record_opaque(open.epsilon, open.delta);
+            } else {
+                record_renyi(&mut inner.rdp, open.epsilon, open.delta);
+            }
             inner.fits += 1;
         } else {
             if open.sealed {
@@ -935,17 +1166,21 @@ impl SharedPrivacySession {
             }
             inner.open.remove(&id);
             drop(inner);
-            self.unspend(epsilon);
+            self.unspend(open.units);
         }
         Ok(())
     }
 
     /// Total ε currently counted as spent — committed releases **plus**
     /// in-flight reservations (fail-closed: budget is spent the moment it
-    /// is granted, reclaimed only by an explicit, legal abort).
+    /// is granted, reclaimed only by an explicit, legal abort). The value
+    /// is the integer quanta counter scaled back to ε: each debit was
+    /// quantized to 10⁻¹² once, and everything after that is exact —
+    /// reserve→abort round-trips return this to bit-for-bit the prior
+    /// value.
     #[must_use]
     pub fn spent_epsilon(&self) -> f64 {
-        f64::from_bits(self.spent_bits.load(Ordering::Acquire))
+        units_to_eps(self.spent_units.load(Ordering::Acquire))
     }
 
     /// ε still grantable under the cap (`None` when uncapped).
@@ -1000,12 +1235,53 @@ impl SharedPrivacySession {
         let basic = inner.ledger.basic_composition();
         let advanced = inner.ledger.advanced_composition(delta_prime)?;
         let best = inner.ledger.best_composition(delta_prime)?;
+        let rdp = inner.rdp.convert(delta_prime)?;
         Ok(CompositionReport {
             fits: inner.fits,
             basic,
             advanced,
             best,
+            rdp,
         })
+    }
+
+    /// Reconciles the session's integer spent counter against the WAL's
+    /// own (float-summed) totals — the drift check that motivated the
+    /// integer counter in the first place. The two are computed by
+    /// different arithmetic over the same records, so they agree only up
+    /// to one quantization step per record; any larger divergence means
+    /// the admission counter and the durable log have genuinely come
+    /// apart. Call at quiescence: an admission concurrently between its
+    /// counter update and its WAL append shows up as transient drift.
+    /// No-op without a WAL.
+    ///
+    /// # Errors
+    /// [`FmError::Privacy`] ([`fm_privacy::PrivacyError::Durability`])
+    /// when the totals diverge beyond per-record quantization error.
+    pub fn reconcile_wal(&self) -> Result<()> {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(wal) = &inner.wal else {
+            return Ok(());
+        };
+        let wal_epsilon = wal.spent().0;
+        let records = inner.fits + inner.open.len();
+        drop(inner);
+        let session_epsilon = self.spent_epsilon();
+        #[allow(clippy::cast_precision_loss)]
+        let tolerance = (records as f64 + 1.0) * EPS_QUANTUM;
+        if (wal_epsilon - session_epsilon).abs() > tolerance {
+            return Err(FmError::Privacy(fm_privacy::PrivacyError::Durability {
+                op: "reconcile",
+                detail: format!(
+                    "session spent counter {session_epsilon} and WAL total {wal_epsilon} \
+                     diverge beyond quantization tolerance {tolerance}"
+                ),
+            }));
+        }
+        Ok(())
     }
 
     /// Compacts the attached WAL (no-op without one): rewrites the log as
@@ -1199,7 +1475,7 @@ impl FitPermit<'_> {
     /// it).
     pub fn commit(mut self) -> Result<()> {
         self.settled = true;
-        self.session.settle(self.id, self.epsilon, true)
+        self.session.settle(self.id, true)
     }
 
     /// Reclaims the reservation — legal **only** when the fit never
@@ -1211,7 +1487,7 @@ impl FitPermit<'_> {
     /// the budget stays debited.
     pub fn abort(mut self) -> Result<()> {
         self.settled = true;
-        self.session.settle(self.id, self.epsilon, false)
+        self.session.settle(self.id, false)
     }
 
     /// Consumes the permit **without settling**: the reservation stays
@@ -1239,7 +1515,7 @@ impl Drop for FitPermit<'_> {
             // Fail-closed: an abandoned permit commits. Errors are
             // swallowed — the reservation then stays open, which still
             // counts as spent.
-            let _ = self.session.settle(self.id, self.epsilon, true);
+            let _ = self.session.settle(self.id, true);
         }
     }
 }
@@ -1294,7 +1570,7 @@ impl OwnedFitPermit {
     /// As [`FitPermit::commit`].
     pub fn commit(mut self) -> Result<()> {
         self.settled = true;
-        self.session.settle(self.id, self.epsilon, true)
+        self.session.settle(self.id, true)
     }
 
     /// Reclaims the reservation — legal **only** when the fit never
@@ -1304,7 +1580,7 @@ impl OwnedFitPermit {
     /// As [`FitPermit::abort`].
     pub fn abort(mut self) -> Result<()> {
         self.settled = true;
-        self.session.settle(self.id, self.epsilon, false)
+        self.session.settle(self.id, false)
     }
 
     /// Consumes the permit without settling, leaving the reservation open
@@ -1322,7 +1598,7 @@ impl Drop for OwnedFitPermit {
     fn drop(&mut self) {
         if !self.settled {
             // Fail-closed, exactly as FitPermit.
-            let _ = self.session.settle(self.id, self.epsilon, true);
+            let _ = self.session.settle(self.id, true);
         }
     }
 }
@@ -1369,11 +1645,14 @@ impl SharedParallelScope<'_> {
         if increment > 0.0 {
             // Reserve the increment exactly as a standalone fit would —
             // atomically admitted, WAL-fsync'd, rolled back on failure.
-            let permit = self.session.begin(
+            // Marked opaque for the moments account: increments of one
+            // parallel release have no sound per-increment Rényi curve.
+            let permit = self.session.begin_with(
                 &self.tenant,
                 &format!("{}+{label}", self.labels.len()),
                 increment,
                 entry.delta.max(self.max_delta) - self.max_delta,
+                true,
             )?;
             self.increments.push((permit.id(), increment));
             // The scope, not the permit, owns settlement.
@@ -1414,8 +1693,8 @@ impl SharedParallelScope<'_> {
         }
         self.closed = true;
         let mut first_err = None;
-        for (id, epsilon) in self.increments.drain(..) {
-            if let Err(e) = self.session.settle(id, epsilon, true) {
+        for (id, _epsilon) in self.increments.drain(..) {
+            if let Err(e) = self.session.settle(id, true) {
                 first_err.get_or_insert(e);
             }
         }

@@ -24,12 +24,18 @@
 //! Two deliberate restrictions, both surfaced as loud errors instead of
 //! silent unsoundness:
 //!
-//! * **Laplace noise only.** The (ε, δ) Gaussian variant calibrates to an
-//!   L2 sensitivity; [`GeneralObjective`] declares only the L1 bound of
-//!   Lemma 1, so Gaussian noise is refused.
-//! * **One sensitivity bound.** The §4 Cauchy–Schwarz refinement is
-//!   specific to the degree-2 objectives; the general trait declares a
-//!   single Δ and [`FitConfig::bound`] is not consulted.
+//! * **Gaussian noise needs a derived Δ₂.** The (ε, δ) Gaussian variant
+//!   calibrates to an L2 sensitivity; objectives that derive one via
+//!   [`GeneralObjective::sensitivity_l2`] (both built-ins do) release
+//!   through the Gaussian path exactly like the degree-2 estimators,
+//!   while objectives without a Δ₂ stay Laplace-only and Gaussian noise
+//!   is refused rather than guessed at. The Lemma-5 resample strategy is
+//!   refused with Gaussian noise for the same reason as in
+//!   [`crate::estimator::FmEstimator`]: its 2× budget accounting is only
+//!   proved for pure ε-DP.
+//! * **One Δ₁ bound.** The §4 Cauchy–Schwarz refinement is specific to
+//!   the degree-2 objectives; the general trait declares a single L1
+//!   bound and [`FitConfig::bound`] is not consulted.
 
 use rand::{Rng, RngCore};
 
@@ -142,14 +148,14 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
     ///
     /// # Errors
     /// * [`FmError::Data`] for contract violations.
-    /// * [`FmError::InvalidConfig`] for a bad ε, Gaussian noise (no L2
-    ///   sensitivity analysis at general degree), a coefficient count
-    ///   beyond [`crate::generic::MAX_COEFFICIENTS`], or zero resample
-    ///   attempts.
+    /// * [`FmError::InvalidConfig`] for a bad ε, Gaussian noise on an
+    ///   objective without a derived Δ₂ or combined with the Resample
+    ///   strategy, a coefficient count beyond
+    ///   [`crate::generic::MAX_COEFFICIENTS`], or zero resample attempts.
     /// * [`FmError::ResampleExhausted`] / [`FmError::Optim`] when the
     ///   configured strategy cannot produce a bounded objective.
     pub fn fit(&self, data: &Dataset, rng: &mut impl Rng) -> Result<O::Model> {
-        self.refuse_gaussian()?;
+        self.check_noise()?;
         let aug;
         let work: &Dataset = if self.config.fit_intercept {
             aug = data.augment_for_intercept();
@@ -203,7 +209,7 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
     where
         S: fm_data::stream::RowSource + Send,
     {
-        self.refuse_gaussian()?;
+        self.check_noise()?;
         crate::assembly::check_shard_dims(shards)?;
         let chunk_rows = crate::assembly::DEFAULT_CHUNK_ROWS;
         let parts = if self.config.fit_intercept {
@@ -231,14 +237,15 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
 
     /// Begins a two-phase shard-at-a-time fit over the general-degree
     /// objective; see [`crate::estimator::FmEstimator::partial_fit`] for
-    /// the protocol. The Gaussian refusal happens here, *before* any data
-    /// is absorbed.
+    /// the protocol. The Resample + Gaussian refusal happens here,
+    /// *before* any data is absorbed; a missing Δ₂ surfaces at
+    /// [`SparsePartialFit::finalize`].
     ///
     /// # Errors
-    /// [`FmError::InvalidConfig`] for Gaussian noise (no Δ₂ at general
-    /// degree).
+    /// [`FmError::InvalidConfig`] for Gaussian noise combined with the
+    /// Resample strategy.
     pub fn partial_fit(&self) -> Result<SparsePartialFit<'_, O>> {
-        self.refuse_gaussian()?;
+        self.check_noise()?;
         Ok(SparsePartialFit {
             estimator: self,
             acc: None,
@@ -254,11 +261,12 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
     /// never-re-debit WAL reservation handoff.
     ///
     /// # Errors
-    /// [`FmError::InvalidConfig`] for Gaussian noise;
-    /// [`FmError::Checkpoint`] for corruption/truncation, version/kind
-    /// mismatches, or structural violations in the snapshot.
+    /// [`FmError::InvalidConfig`] for Gaussian noise combined with the
+    /// Resample strategy; [`FmError::Checkpoint`] for
+    /// corruption/truncation, version/kind mismatches, or structural
+    /// violations in the snapshot.
     pub fn resume_partial_fit(&self, snapshot: &str) -> Result<SparsePartialFit<'_, O>> {
-        self.refuse_gaussian()?;
+        self.check_noise()?;
         let (acc, reservation) = PolynomialAccumulator::resume(&self.objective, snapshot)?;
         Ok(SparsePartialFit {
             estimator: self,
@@ -268,14 +276,20 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
         })
     }
 
-    /// The Laplace-only guard every fitting entry point shares.
-    fn refuse_gaussian(&self) -> Result<()> {
-        if !matches!(self.config.noise, NoiseDistribution::Laplace) {
+    /// The noise/strategy compatibility guard every fitting entry point
+    /// shares: the Lemma-5 resample loop is only sound with Laplace
+    /// noise (its 2× accounting is proved for pure ε-DP), so
+    /// Resample + Gaussian is refused up front — mirroring the degree-2
+    /// pipeline. Whether the *objective* supports Gaussian noise at all
+    /// is decided later by [`GeneralObjective::sensitivity_l2`] inside
+    /// the mechanism, which refuses objectives without a derived Δ₂.
+    fn check_noise(&self) -> Result<()> {
+        if !matches!(self.config.noise, NoiseDistribution::Laplace)
+            && matches!(self.config.strategy, Strategy::Resample { .. })
+        {
             return Err(FmError::InvalidConfig {
-                name: "noise",
-                reason: "general-degree objectives declare only an L1 sensitivity; \
-                         the (ε, δ) Gaussian variant needs Δ₂ and is refused"
-                    .to_string(),
+                name: "strategy",
+                reason: "Resample (Lemma 5) is only sound with Laplace noise".to_string(),
             });
         }
         Ok(())
@@ -322,7 +336,8 @@ impl<O: SparseRegressionObjective> SparseFmEstimator<O> {
                 })
             }
             other => {
-                let fm = GenericFunctionalMechanism::new(self.config.epsilon)?;
+                let fm =
+                    GenericFunctionalMechanism::with_noise(self.config.epsilon, self.config.noise)?;
                 let noisy = fm.perturb_assembled(clean, &self.objective, rng)?;
                 postprocess::solve_polynomial(noisy, other, &start, self.radius)
             }
@@ -524,7 +539,9 @@ impl<O: SparseRegressionObjective> DpEstimator for SparseFmEstimator<O> {
     }
 
     fn delta(&self) -> Option<f64> {
-        None // Laplace-only: strict ε-DP.
+        // Gaussian releases carry their configured δ into session
+        // accounting; Laplace stays strict ε-DP.
+        self.config.delta()
     }
 
     fn task(&self) -> ModelKind {
@@ -608,12 +625,13 @@ mod tests {
         let mut r2 = rand::rngs::StdRng::seed_from_u64(78);
         let whole = est.fit(&data, &mut r2).unwrap();
         assert_eq!(sharded, whole);
-        // Gaussian is refused before any data is absorbed.
+        // Resample + Gaussian is refused before any data is absorbed.
         let gauss = SparseFmEstimator::new(
             QuarticObjective,
             FitConfig::new()
                 .epsilon(0.5)
-                .noise(NoiseDistribution::Gaussian { delta: 1e-6 }),
+                .noise(NoiseDistribution::Gaussian { delta: 1e-6 })
+                .strategy(Strategy::Resample { max_attempts: 8 }),
         );
         assert!(gauss.partial_fit().is_err());
     }
@@ -692,14 +710,67 @@ mod tests {
     }
 
     #[test]
-    fn gaussian_noise_is_refused() {
+    fn gaussian_noise_fits_with_derived_delta2() {
+        // Δ₂ is now derived for both built-ins, so the (ε, δ) Gaussian
+        // release runs through the same pipeline; δ is surfaced through
+        // the DpEstimator metadata for session accounting.
         let mut r = rng();
-        let data = fm_data::synth::linear_dataset(&mut r, 100, 2, 0.05);
+        let data = fm_data::synth::linear_dataset(&mut r, 5_000, 2, 0.05);
         let est = SparseFmEstimator::new(
             QuarticObjective,
             FitConfig::new()
-                .epsilon(0.5)
-                .noise(NoiseDistribution::Gaussian { delta: 1e-6 }),
+                .epsilon(0.9)
+                .noise(NoiseDistribution::Gaussian { delta: 1e-6 })
+                .strategy(Strategy::RegularizeOnly),
+        );
+        let dyn_est: &dyn DpEstimator<Model = LinearModel> = &est;
+        assert_eq!(dyn_est.delta(), Some(1e-6));
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(41);
+        let model = est.fit(&data, &mut r1).unwrap();
+        assert!(model.weights().iter().all(|v| v.is_finite()));
+        // Streaming matches in-memory bit for bit under Gaussian noise.
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(41);
+        let streamed = est
+            .fit_stream(&mut fm_data::stream::InMemorySource::new(&data), &mut r2)
+            .unwrap();
+        assert_eq!(model, streamed);
+    }
+
+    #[test]
+    fn gaussian_refused_without_delta2_or_with_resample() {
+        // An objective that never derived a Δ₂ keeps the old refusal.
+        struct NoL2;
+        impl GeneralObjective for NoL2 {
+            fn tuple_polynomial(&self, x: &[f64], y: f64, d: usize) -> fm_poly::Polynomial {
+                QuarticObjective.tuple_polynomial(x, y, d)
+            }
+            fn max_degree(&self, d: usize) -> u32 {
+                QuarticObjective.max_degree(d)
+            }
+            fn sensitivity(&self, d: usize) -> f64 {
+                QuarticObjective.sensitivity(d)
+            }
+            fn validate(&self, data: &Dataset) -> fm_data::Result<()> {
+                QuarticObjective.validate(data)
+            }
+        }
+        impl SparseRegressionObjective for NoL2 {
+            type Model = LinearModel;
+        }
+        let mut r = rng();
+        let data = fm_data::synth::linear_dataset(&mut r, 100, 2, 0.05);
+        let gauss = FitConfig::new()
+            .epsilon(0.5)
+            .noise(NoiseDistribution::Gaussian { delta: 1e-6 });
+        let est = SparseFmEstimator::new(NoL2, gauss);
+        assert!(matches!(
+            est.fit(&data, &mut r),
+            Err(FmError::InvalidConfig { .. })
+        ));
+        // Resample + Gaussian is refused up front, Δ₂ or not.
+        let est = SparseFmEstimator::new(
+            QuarticObjective,
+            gauss.strategy(Strategy::Resample { max_attempts: 4 }),
         );
         assert!(matches!(
             est.fit(&data, &mut r),

@@ -286,6 +286,13 @@ impl EpsDeltaLedger {
     /// use [`EpsDeltaLedger::best_composition`] to always report the
     /// tighter of the two.
     ///
+    /// An empty ledger composes to exactly `(0, 0)` — no invocations
+    /// means no privacy loss, so no δ′ slack is charged. A single
+    /// large ε (≳ 700) overflows the `εᵢ·(e^{εᵢ} − 1)` term to
+    /// infinity; rather than poisoning the report (and through it
+    /// [`EpsDeltaLedger::best_composition`]), the bound falls back to
+    /// basic composition, which always holds.
+    ///
     /// # Errors
     /// [`PrivacyError::InvalidParameter`] unless `δ′ ∈ (0, 1)`.
     pub fn advanced_composition(&self, delta_prime: f64) -> Result<(f64, f64)> {
@@ -296,6 +303,9 @@ impl EpsDeltaLedger {
                 constraint: "in (0, 1)",
             });
         }
+        if self.entries.is_empty() {
+            return Ok((0.0, 0.0));
+        }
         let sum_sq: f64 = self.entries.iter().map(|e| e.epsilon * e.epsilon).sum();
         let linear: f64 = self
             .entries
@@ -303,6 +313,11 @@ impl EpsDeltaLedger {
             .map(|e| e.epsilon * (e.epsilon.exp_m1()))
             .sum();
         let eps = (2.0 * (1.0 / delta_prime).ln() * sum_sq).sqrt() + linear;
+        if !eps.is_finite() {
+            // The advanced bound degenerated numerically; the basic
+            // bound is always valid (and here certainly tighter).
+            return Ok(self.basic_composition());
+        }
         let delta: f64 = self.entries.iter().map(|e| e.delta).sum::<f64>() + delta_prime;
         Ok((eps, delta))
     }
@@ -521,9 +536,27 @@ mod tests {
     fn empty_ledger_composes_to_zero() {
         let l = EpsDeltaLedger::new();
         assert_eq!(l.basic_composition(), (0.0, 0.0));
-        let (eps, delta) = l.advanced_composition(1e-6).unwrap();
-        assert_eq!(eps, 0.0);
-        assert!((delta - 1e-6).abs() < 1e-18);
+        // No invocations ⇒ exactly (0, 0): the δ′ slack buys nothing and
+        // must not be charged.
+        assert_eq!(l.advanced_composition(1e-6).unwrap(), (0.0, 0.0));
+        assert_eq!(l.best_composition(1e-6).unwrap(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn huge_epsilon_falls_back_to_basic_instead_of_infinity() {
+        // ε ≈ 710 overflows εᵢ·(e^{εᵢ}−1) to inf; the advanced bound must
+        // degrade to the (always valid) basic bound, not poison
+        // best_composition with a non-finite ε.
+        let mut l = EpsDeltaLedger::new();
+        l.record(710.0, 0.0).unwrap();
+        l.record(0.1, 1e-7).unwrap();
+        let basic = l.basic_composition();
+        let adv = l.advanced_composition(1e-6).unwrap();
+        assert!(adv.0.is_finite(), "advanced ε must stay finite");
+        assert_eq!(adv, basic);
+        let best = l.best_composition(1e-6).unwrap();
+        assert!(best.0.is_finite());
+        assert_eq!(best, basic);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod exponential;
 pub mod gaussian;
 pub mod laplace;
 pub mod mechanism;
+pub mod rdp;
 pub mod wal;
 
 mod error;

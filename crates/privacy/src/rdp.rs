@@ -1,0 +1,528 @@
+//! Rényi differential privacy (RDP) accounting — the moments accountant.
+//!
+//! [`crate::budget::EpsDeltaLedger`] composes releases with the basic and
+//! Dwork–Rothblum–Vadhan advanced bounds, both of which grow like
+//! `O(√T·ε)` *at best* for `T` homogeneous releases. Tracking each
+//! mechanism's **Rényi divergence curve** `α ↦ ε_R(α)` instead and
+//! composing *additively per order* (Mironov 2017) keeps the exact
+//! per-mechanism moment information until the very end, when a single
+//! optimal-order conversion produces an (ε, δ) pair. For Gaussian
+//! releases the result is the analytically optimal
+//! `ε = T/(2σ̃²) + √(2·T·ln(1/δ))/σ̃` — typically 3–10× tighter than
+//! `best_composition` once `T ≳ 16`.
+//!
+//! Three curve families cover every mechanism this workspace releases:
+//!
+//! * **Gaussian** (classical calibration): `ε_R(α) = α/(2σ̃²)` exactly,
+//!   where `σ̃ = σ/Δ₂` is the noise multiplier. Exact for scalar *and*
+//!   vector releases (the multivariate Gaussian divergence depends only
+//!   on `‖shift‖₂/σ ≤ Δ₂/σ`).
+//! * **Laplace**: the known closed form (Mironov 2017, Table II).
+//!   Sound for the vector Laplace mechanism at L1 sensitivity: the
+//!   per-coordinate Rényi integrand is convex in the shift, so the
+//!   divergence over the L1 ball is maximised at a vertex — a single
+//!   coordinate shifted by Δ₁, i.e. the scalar curve at the full ε₀.
+//!   Also sound for Lemma-5 resample releases split as k parts of
+//!   ε₀/k each: the curve is convex in ε₀ with value 0 at 0, hence
+//!   superadditive, so `Σ L(ε₀/k) ≤ L(ε₀)`.
+//! * **Pure DP** (any ε₀-DP mechanism): `min(ε₀, α·ε₀²/2)` — the
+//!   Bun–Steinke reduction (pure ε-DP ⇒ ½ε²-zCDP) capped by the max
+//!   divergence. Sound for *every* pure mechanism, including the
+//!   exponential mechanism, so it is the safe default when the ledger
+//!   only knows "some ε₀-DP release happened".
+//!
+//! Releases whose curve is unknown (e.g. aggregated totals recovered
+//! from a WAL) enter as an **opaque** (ε, δ) pair composed basically on
+//! the side; they weaken the final bound additively but never
+//! unsoundly.
+
+use crate::{PrivacyError, Result};
+
+/// Default Rényi order grid: dense where the optimum usually lands
+/// (α ∈ (1, 64]) and sparse out to 1024 for very-low-noise regimes.
+///
+/// The conversion takes a minimum over this grid, so *any* grid is
+/// sound; a finer grid can only tighten the reported ε (see the
+/// grid-refinement property test in `tests/accounting.rs`).
+#[must_use]
+pub fn default_alpha_grid() -> Vec<f64> {
+    let mut grid = Vec::with_capacity(128);
+    // (1, 2): fine steps — the optimum for large noise / tiny T.
+    for i in 1..=9 {
+        grid.push(1.0 + f64::from(i) / 10.0);
+    }
+    // [2, 16): quarter then half steps.
+    for i in 8..=20 {
+        grid.push(f64::from(i) / 4.0);
+    }
+    for i in 11..32 {
+        grid.push(f64::from(i) / 2.0);
+    }
+    // [16, 64]: unit steps.
+    for i in 16..=64 {
+        grid.push(f64::from(i));
+    }
+    // (64, 1024]: geometric-ish tail.
+    for i in 9..=32 {
+        grid.push(f64::from(i * 8));
+    }
+    for i in 9..=32 {
+        grid.push(f64::from(i * 32));
+    }
+    grid.sort_by(f64::total_cmp);
+    grid.dedup();
+    grid
+}
+
+/// A mechanism with a known Rényi divergence curve `α ↦ ε_R(α)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RenyiMechanism {
+    /// Gaussian mechanism with noise multiplier `σ̃ = σ/Δ₂`.
+    Gaussian {
+        /// Noise standard deviation divided by the L2 sensitivity.
+        noise_multiplier: f64,
+    },
+    /// (Vector) Laplace mechanism satisfying pure `epsilon`-DP.
+    Laplace {
+        /// The pure-DP budget ε₀ of the release.
+        epsilon: f64,
+    },
+    /// Any pure `epsilon`-DP mechanism with no tighter curve known.
+    PureDp {
+        /// The pure-DP budget ε₀ of the release.
+        epsilon: f64,
+    },
+}
+
+impl RenyiMechanism {
+    /// The Gaussian mechanism calibrated classically for (ε, δ):
+    /// `σ = Δ₂·√(2·ln(1.25/δ))/ε`, i.e. noise multiplier
+    /// `σ̃ = √(2·ln(1.25/δ))/ε` — exactly what
+    /// [`crate::mechanism::GaussianMechanism::new`] constructs.
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] unless `0 < ε < 1` and
+    /// `δ ∈ (0, 1)` (the classical calibration's validity range).
+    pub fn gaussian_from_calibration(epsilon: f64, delta: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 || epsilon >= 1.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                constraint: "classical Gaussian calibration requires 0 < epsilon < 1",
+            });
+        }
+        if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "delta",
+                value: delta,
+                constraint: "must satisfy 0 < delta < 1",
+            });
+        }
+        Ok(RenyiMechanism::Gaussian {
+            noise_multiplier: (2.0 * (1.25 / delta).ln()).sqrt() / epsilon,
+        })
+    }
+
+    fn validate(self) -> Result<()> {
+        match self {
+            RenyiMechanism::Gaussian { noise_multiplier } => {
+                if !noise_multiplier.is_finite() || noise_multiplier <= 0.0 {
+                    return Err(PrivacyError::InvalidParameter {
+                        name: "noise_multiplier",
+                        value: noise_multiplier,
+                        constraint: "must be finite and > 0",
+                    });
+                }
+            }
+            RenyiMechanism::Laplace { epsilon } | RenyiMechanism::PureDp { epsilon } => {
+                if !epsilon.is_finite() || epsilon <= 0.0 {
+                    return Err(PrivacyError::InvalidParameter {
+                        name: "epsilon",
+                        value: epsilon,
+                        constraint: "must be finite and > 0",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The Rényi divergence bound `ε_R(α)` of this mechanism at order
+    /// `alpha > 1`.
+    #[must_use]
+    pub fn rdp(self, alpha: f64) -> f64 {
+        debug_assert!(alpha > 1.0, "Rényi orders must exceed 1");
+        match self {
+            RenyiMechanism::Gaussian { noise_multiplier } => {
+                alpha / (2.0 * noise_multiplier * noise_multiplier)
+            }
+            RenyiMechanism::Laplace { epsilon } => laplace_rdp(alpha, epsilon),
+            RenyiMechanism::PureDp { epsilon } => {
+                // Bun–Steinke: ε₀-DP ⇒ ½ε₀²-zCDP ⇒ ε_R(α) ≤ α·ε₀²/2,
+                // capped by the max divergence ε₀.
+                epsilon.min(0.5 * alpha * epsilon * epsilon)
+            }
+        }
+    }
+}
+
+/// Exact Laplace-mechanism RDP (Mironov 2017, Table II):
+/// `ε_R(α) = ln[ α/(2α−1)·e^{(α−1)ε₀} + (α−1)/(2α−1)·e^{−αε₀} ] / (α−1)`,
+/// evaluated in log space so large `(α−1)·ε₀` cannot overflow, and capped
+/// by the max divergence ε₀.
+fn laplace_rdp(alpha: f64, eps0: f64) -> f64 {
+    let a = (alpha / (2.0 * alpha - 1.0)).ln() + (alpha - 1.0) * eps0;
+    let b = ((alpha - 1.0) / (2.0 * alpha - 1.0)).ln() - alpha * eps0;
+    // log-sum-exp(a, b); a ≥ b always holds here but order defensively.
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    let lse = hi + (lo - hi).exp().ln_1p();
+    (lse / (alpha - 1.0)).min(eps0)
+}
+
+/// The (ε, δ) account produced by [`RdpLedger::convert`] — the "moments
+/// accountant" column reported next to basic and advanced composition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MomentsAccount {
+    /// The composed privacy loss ε at [`MomentsAccount::delta`].
+    pub epsilon: f64,
+    /// The total failure probability, `δ_target` plus any opaque δ.
+    pub delta: f64,
+    /// The Rényi order the conversion selected, when any curve was
+    /// tracked (`None` for an empty or opaque-only ledger).
+    pub best_alpha: Option<f64>,
+    /// Number of releases composed (curves plus opaque records).
+    pub mechanisms: usize,
+}
+
+/// An additive ledger of Rényi divergence curves on a fixed order grid.
+///
+/// Recording a mechanism adds its curve pointwise to the running totals
+/// (RDP composes additively per order); [`RdpLedger::convert`] then
+/// applies the Mironov conversion
+/// `ε(δ) = min_α [ ε_R(α) + ln(1/δ)/(α−1) ]` at the optimal grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RdpLedger {
+    alphas: Vec<f64>,
+    totals: Vec<f64>,
+    curves: usize,
+    opaque_epsilon: f64,
+    opaque_delta: f64,
+    opaque: usize,
+}
+
+impl Default for RdpLedger {
+    fn default() -> Self {
+        RdpLedger::new()
+    }
+}
+
+impl RdpLedger {
+    /// An empty ledger on [`default_alpha_grid`].
+    #[must_use]
+    pub fn new() -> Self {
+        // The default grid is statically valid; unwrap cannot fire.
+        RdpLedger::with_alphas(default_alpha_grid()).expect("default grid is valid")
+    }
+
+    /// An empty ledger on a custom order grid (each `α > 1`, finite).
+    /// The grid is sorted and deduplicated. Any grid is sound; finer
+    /// grids convert no looser.
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] for an empty grid or any
+    /// order ≤ 1 or non-finite.
+    pub fn with_alphas(mut alphas: Vec<f64>) -> Result<Self> {
+        if alphas.is_empty() {
+            return Err(PrivacyError::InvalidParameter {
+                name: "alphas",
+                value: 0.0,
+                constraint: "order grid must be non-empty",
+            });
+        }
+        for &a in &alphas {
+            if !a.is_finite() || a <= 1.0 {
+                return Err(PrivacyError::InvalidParameter {
+                    name: "alpha",
+                    value: a,
+                    constraint: "every Rényi order must be finite and > 1",
+                });
+            }
+        }
+        alphas.sort_by(f64::total_cmp);
+        alphas.dedup();
+        let totals = vec![0.0; alphas.len()];
+        Ok(RdpLedger {
+            alphas,
+            totals,
+            curves: 0,
+            opaque_epsilon: 0.0,
+            opaque_delta: 0.0,
+            opaque: 0,
+        })
+    }
+
+    /// The order grid the ledger tracks.
+    #[must_use]
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// Total number of releases recorded (curves plus opaque).
+    #[must_use]
+    pub fn mechanisms(&self) -> usize {
+        self.curves + self.opaque
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mechanisms() == 0
+    }
+
+    /// Records one release of `mechanism`, adding its curve to the
+    /// running per-order totals.
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] for degenerate parameters.
+    pub fn record(&mut self, mechanism: RenyiMechanism) -> Result<()> {
+        mechanism.validate()?;
+        for (total, &alpha) in self.totals.iter_mut().zip(&self.alphas) {
+            *total += mechanism.rdp(alpha);
+        }
+        self.curves += 1;
+        Ok(())
+    }
+
+    /// Records a release known only by its (ε, δ) guarantee — e.g. an
+    /// aggregate recovered from a WAL. Composed basically on the side
+    /// and added to the conversion result.
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] unless ε ≥ 0 is finite and
+    /// δ ∈ [0, 1).
+    pub fn record_opaque(&mut self, epsilon: f64, delta: f64) -> Result<()> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "epsilon",
+                value: epsilon,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if !delta.is_finite() || !(0.0..1.0).contains(&delta) {
+            return Err(PrivacyError::InvalidParameter {
+                name: "delta",
+                value: delta,
+                constraint: "must satisfy 0 <= delta < 1",
+            });
+        }
+        self.opaque_epsilon += epsilon;
+        self.opaque_delta += delta;
+        self.opaque += 1;
+        Ok(())
+    }
+
+    /// Converts the composed curves to an (ε, δ) guarantee at target
+    /// failure probability `delta`, picking the optimal grid order
+    /// (Mironov 2017, Prop. 3). Opaque records compose basically on
+    /// top: their Σε adds to the converted ε and their Σδ to the
+    /// reported δ.
+    ///
+    /// An empty ledger converts to exactly (0, 0) — no release, no
+    /// loss, no failure probability.
+    ///
+    /// # Errors
+    /// [`PrivacyError::InvalidParameter`] unless `δ ∈ (0, 1)` and the
+    /// total δ (target plus opaque) stays below 1.
+    pub fn convert(&self, delta: f64) -> Result<MomentsAccount> {
+        if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "delta",
+                value: delta,
+                constraint: "must satisfy 0 < delta < 1",
+            });
+        }
+        if self.is_empty() {
+            return Ok(MomentsAccount {
+                epsilon: 0.0,
+                delta: 0.0,
+                best_alpha: None,
+                mechanisms: 0,
+            });
+        }
+        if self.curves == 0 {
+            // Opaque-only: nothing to convert, pass the basic sums
+            // through without spending the target δ.
+            return Ok(MomentsAccount {
+                epsilon: self.opaque_epsilon,
+                delta: self.opaque_delta,
+                best_alpha: None,
+                mechanisms: self.mechanisms(),
+            });
+        }
+        let total_delta = delta + self.opaque_delta;
+        if total_delta >= 1.0 {
+            return Err(PrivacyError::InvalidParameter {
+                name: "delta",
+                value: total_delta,
+                constraint: "target delta plus opaque delta must stay below 1",
+            });
+        }
+        let log_inv_delta = (1.0 / delta).ln();
+        let mut best = f64::INFINITY;
+        let mut best_alpha = self.alphas[0];
+        for (&alpha, &rdp) in self.alphas.iter().zip(&self.totals) {
+            let eps = rdp + log_inv_delta / (alpha - 1.0);
+            if eps < best {
+                best = eps;
+                best_alpha = alpha;
+            }
+        }
+        Ok(MomentsAccount {
+            epsilon: best + self.opaque_epsilon,
+            delta: total_delta,
+            best_alpha: Some(best_alpha),
+            mechanisms: self.mechanisms(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Closed-form optimum for k homogeneous Gaussians under the
+    /// Mironov conversion, minimised over continuous α:
+    /// `ε* = k/(2σ̃²) + √(2·k·ln(1/δ))/σ̃`.
+    fn gaussian_analytic_optimum(k: usize, noise_multiplier: f64, delta: f64) -> f64 {
+        let c = k as f64 / (2.0 * noise_multiplier * noise_multiplier);
+        c + 2.0 * (c * (1.0 / delta).ln()).sqrt()
+    }
+
+    #[test]
+    fn empty_ledger_converts_to_exact_zero() {
+        let ledger = RdpLedger::new();
+        let account = ledger.convert(1e-6).unwrap();
+        assert_eq!(account.epsilon, 0.0);
+        assert_eq!(account.delta, 0.0);
+        assert_eq!(account.best_alpha, None);
+        assert_eq!(account.mechanisms, 0);
+    }
+
+    #[test]
+    fn gaussian_composition_matches_analytic_optimum() {
+        let sigma = 5.0;
+        let mut ledger = RdpLedger::new();
+        for _ in 0..64 {
+            ledger
+                .record(RenyiMechanism::Gaussian {
+                    noise_multiplier: sigma,
+                })
+                .unwrap();
+        }
+        let account = ledger.convert(1e-6).unwrap();
+        let exact = gaussian_analytic_optimum(64, sigma, 1e-6);
+        // Grid discretisation can only lose, and only a little.
+        assert!(account.epsilon >= exact - 1e-12);
+        assert!(
+            account.epsilon <= exact * 1.01,
+            "grid ε {} vs analytic {exact}",
+            account.epsilon
+        );
+        assert!(account.best_alpha.is_some());
+        assert_eq!(account.mechanisms, 64);
+    }
+
+    #[test]
+    fn laplace_rdp_limits_are_correct() {
+        // α → ∞: the curve approaches the max divergence ε₀.
+        let eps0 = 0.5;
+        let at_big = laplace_rdp(1024.0, eps0);
+        assert!(at_big <= eps0 + 1e-12);
+        assert!(at_big > 0.9 * eps0);
+        // Small α: strictly below ε₀ (that's the whole point).
+        assert!(laplace_rdp(2.0, eps0) < eps0);
+        // Numerically stable for huge (α−1)·ε₀.
+        let big = laplace_rdp(1024.0, 500.0);
+        assert!(big.is_finite() && big <= 500.0);
+    }
+
+    #[test]
+    fn pure_dp_curve_is_capped_by_epsilon() {
+        let m = RenyiMechanism::PureDp { epsilon: 0.2 };
+        // Low order: quadratic regime α·ε²/2.
+        assert!((m.rdp(2.0) - 0.04).abs() < 1e-15);
+        // High order: capped at ε₀.
+        assert_eq!(m.rdp(1024.0), 0.2);
+    }
+
+    #[test]
+    fn conversion_is_monotone_in_delta() {
+        let mut ledger = RdpLedger::new();
+        for _ in 0..16 {
+            ledger
+                .record(RenyiMechanism::Laplace { epsilon: 0.3 })
+                .unwrap();
+        }
+        let loose = ledger.convert(1e-3).unwrap();
+        let tight = ledger.convert(1e-9).unwrap();
+        assert!(loose.epsilon <= tight.epsilon);
+    }
+
+    #[test]
+    fn opaque_records_compose_basically() {
+        let mut ledger = RdpLedger::new();
+        ledger
+            .record(RenyiMechanism::Gaussian {
+                noise_multiplier: 10.0,
+            })
+            .unwrap();
+        let base = ledger.convert(1e-6).unwrap();
+        ledger.record_opaque(0.25, 1e-7).unwrap();
+        let with_opaque = ledger.convert(1e-6).unwrap();
+        assert!((with_opaque.epsilon - (base.epsilon + 0.25)).abs() < 1e-12);
+        assert!((with_opaque.delta - (1e-6 + 1e-7)).abs() < 1e-18);
+        assert_eq!(with_opaque.mechanisms, 2);
+    }
+
+    #[test]
+    fn opaque_only_ledger_passes_sums_through() {
+        let mut ledger = RdpLedger::new();
+        ledger.record_opaque(0.5, 1e-5).unwrap();
+        ledger.record_opaque(0.25, 0.0).unwrap();
+        let account = ledger.convert(1e-6).unwrap();
+        assert!((account.epsilon - 0.75).abs() < 1e-12);
+        assert!((account.delta - 1e-5).abs() < 1e-18);
+        assert_eq!(account.best_alpha, None);
+    }
+
+    #[test]
+    fn invalid_parameters_are_refused() {
+        let mut ledger = RdpLedger::new();
+        assert!(ledger
+            .record(RenyiMechanism::Gaussian {
+                noise_multiplier: 0.0
+            })
+            .is_err());
+        assert!(ledger
+            .record(RenyiMechanism::Laplace { epsilon: -1.0 })
+            .is_err());
+        assert!(ledger.record_opaque(0.1, 1.0).is_err());
+        assert!(ledger.convert(0.0).is_err());
+        assert!(ledger.convert(1.0).is_err());
+        assert!(RdpLedger::with_alphas(vec![]).is_err());
+        assert!(RdpLedger::with_alphas(vec![1.0]).is_err());
+        assert!(RenyiMechanism::gaussian_from_calibration(1.5, 1e-6).is_err());
+    }
+
+    #[test]
+    fn calibration_matches_gaussian_mechanism_sigma() {
+        let (eps, delta) = (0.3, 1e-6);
+        let m = RenyiMechanism::gaussian_from_calibration(eps, delta).unwrap();
+        let mech = crate::mechanism::GaussianMechanism::new(2.0, eps, delta).unwrap();
+        let RenyiMechanism::Gaussian { noise_multiplier } = m else {
+            panic!("expected Gaussian");
+        };
+        // σ̃ = σ/Δ₂ exactly as the mechanism constructs it.
+        assert!((noise_multiplier - mech.noise_std_dev() / 2.0).abs() < 1e-12);
+    }
+}

@@ -346,7 +346,10 @@ impl FitService {
     /// Admits and schedules a fresh fit. The (ε, δ) admission — CAS
     /// against the shared cap plus the WAL `reserve` fsync — happens
     /// *here*, before a single row moves: an over-budget tenant is
-    /// refused without scanning anything.
+    /// refused without scanning anything. A session built with
+    /// [`SharedPrivacySession::admit_by_rdp`] admits against the
+    /// moments-accountant (RDP-converted) ε instead of the naive Σε,
+    /// which sustains far more small releases under the same cap.
     ///
     /// Returns the handle to wait on and the bounded sender the tenant
     /// feeds; drop or [`BlockSender::finish`] the sender to mark

@@ -213,6 +213,7 @@ pub mod prelude {
         budget::{EpsDeltaLedger, PrivacyBudget},
         exponential::ExponentialMechanism,
         laplace::Laplace,
+        rdp::{MomentsAccount, RdpLedger, RenyiMechanism},
         wal::{CompactionPolicy, RecoveryReport, WalLedger, WalStats},
     };
     pub use fm_serve::service::{

@@ -1,0 +1,289 @@
+//! Integration suite for exact privacy accounting: the moments
+//! accountant's tightness pins, the drift-proof (integer micro-ε) budget
+//! arithmetic of [`SharedPrivacySession`], and the monotonicity
+//! contracts of the RDP → (ε, δ) conversion.
+//!
+//! The two pinned acceptance criteria of the accounting PR live here:
+//!
+//! 1. ≥ 32 homogeneous Gaussian releases at δ = 1e-6 compose to an
+//!    RDP-converted ε **strictly tighter** than `best_composition`, at
+//!    both the ledger and the session level.
+//! 2. A reserve → abort cycle on a [`SharedPrivacySession`] restores the
+//!    pre-reserve spent total **bit-identically**, and a second
+//!    settlement of the same reservation is refused.
+
+use std::sync::Arc;
+
+use functional_mechanism::prelude::*;
+use functional_mechanism::privacy::rdp::default_alpha_grid;
+use proptest::prelude::*;
+
+const EPS0: f64 = 0.1;
+const DELTA0: f64 = 1e-6;
+const DELTA_PRIME: f64 = 1e-6;
+
+fn temp_wal(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("fm_accounting_{}_{tag}.wal", std::process::id()))
+}
+
+/// Closed-form Mironov optimum for k homogeneous Gaussians, minimised
+/// over continuous α: `ε* = c + 2√(c·ln(1/δ))` with `c = k/(2σ̃²)`.
+fn gaussian_analytic_optimum(k: usize, noise_multiplier: f64, delta: f64) -> f64 {
+    let c = k as f64 / (2.0 * noise_multiplier * noise_multiplier);
+    c + 2.0 * (c * (1.0 / delta).ln()).sqrt()
+}
+
+#[test]
+fn pinned_rdp_strictly_beats_best_composition_for_32_gaussians() {
+    // Ledger level: the raw accountants side by side.
+    let mut ledger = EpsDeltaLedger::new();
+    let mut rdp = RdpLedger::new();
+    for _ in 0..32 {
+        ledger.record(EPS0, DELTA0).unwrap();
+        rdp.record(RenyiMechanism::gaussian_from_calibration(EPS0, DELTA0).unwrap())
+            .unwrap();
+    }
+    let (best, _) = ledger.best_composition(DELTA_PRIME).unwrap();
+    let account = rdp.convert(DELTA_PRIME).unwrap();
+    assert!(
+        account.epsilon < best,
+        "rdp ε {} must beat best composition {best}",
+        account.epsilon
+    );
+    // The margin is wide, not marginal: ≈ 0.567 vs 3.2 at these params.
+    assert!(account.epsilon < 0.25 * best);
+
+    // Session level: the same 32 debits through the shared session's
+    // report, which maps classically calibrated (ε, δ) debits onto
+    // Gaussian curves.
+    let session = SharedPrivacySession::new();
+    for i in 0..32 {
+        session
+            .begin("tenant", &format!("release-{i}"), EPS0, DELTA0)
+            .unwrap()
+            .commit()
+            .unwrap();
+    }
+    let report = session.report(DELTA_PRIME).unwrap();
+    assert_eq!(report.fits, 32);
+    assert!(report.rdp.epsilon < report.best.0);
+    assert!((report.rdp.epsilon - account.epsilon).abs() < 1e-12);
+}
+
+#[test]
+fn pinned_abort_restores_spent_total_bit_identically() {
+    let session = SharedPrivacySession::with_cap(1.0).unwrap();
+    // Committed history with awkward decimal ε so the pre-reserve total
+    // is not a "nice" float.
+    session.begin("t", "a", 0.1, 0.0).unwrap().commit().unwrap();
+    session
+        .begin("t", "b", 0.037, 1e-7)
+        .unwrap()
+        .commit()
+        .unwrap();
+    let before = session.spent_epsilon().to_bits();
+
+    let permit = session.begin("t", "c", 0.030_000_000_7, 1e-8).unwrap();
+    assert_ne!(session.spent_epsilon().to_bits(), before);
+    let id = permit.detach();
+
+    // Settle (abort) exactly once through a re-attached permit.
+    session.resume_reservation(id).unwrap().abort().unwrap();
+    assert_eq!(
+        session.spent_epsilon().to_bits(),
+        before,
+        "abort must refund the exact quanta the reserve debited"
+    );
+
+    // A second settlement of the same reservation is refused.
+    assert!(
+        session.resume_reservation(id).is_err(),
+        "settled reservations must not be re-attachable"
+    );
+}
+
+#[test]
+fn concurrent_hammering_never_overshoots_the_cap() {
+    // Many small concurrent fits against a cap the workload can exactly
+    // fill: admission is integer arithmetic, so the running total can
+    // never creep past the cap by accumulated float slack.
+    let cap = 0.25;
+    let session = Arc::new(SharedPrivacySession::with_cap(cap).unwrap());
+    let committed: usize = (0..4u64)
+        .map(|t| {
+            let session = Arc::clone(&session);
+            std::thread::spawn(move || {
+                let mut committed = 0usize;
+                for i in 0..200 {
+                    match session.begin("t", &format!("{t}-{i}"), 0.001, 0.0) {
+                        Ok(permit) => {
+                            if i % 2 == 0 {
+                                permit.commit().unwrap();
+                                committed += 1;
+                            } else {
+                                permit.abort().unwrap();
+                            }
+                        }
+                        Err(FmError::Privacy(_)) => {}
+                        Err(e) => panic!("unexpected admission error: {e}"),
+                    }
+                    let spent = session.spent_epsilon();
+                    assert!(spent <= cap, "spent {spent} overshot cap {cap}");
+                }
+                committed
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .sum();
+    // Every admission either committed its exact quanta or refunded them
+    // bit-for-bit: the final total is precisely committed × ε.
+    let expected = committed as f64 * 0.001;
+    assert!((session.spent_epsilon() - expected).abs() < 1e-12);
+    assert!(session.spent_epsilon() <= cap);
+}
+
+#[test]
+fn rdp_admission_outlasts_naive_admission_and_still_refuses() {
+    let session = SharedPrivacySession::with_cap(1.0)
+        .unwrap()
+        .admit_by_rdp(DELTA_PRIME)
+        .unwrap();
+    // Naive Σε admission would refuse at fit 11; the moments accountant
+    // sustains 40 of these Gaussian releases at a converted ε ≈ 0.63.
+    for i in 0..40 {
+        session
+            .begin("t", &format!("fit-{i}"), EPS0, DELTA0)
+            .unwrap()
+            .commit()
+            .unwrap();
+    }
+    let report = session.report(DELTA_PRIME).unwrap();
+    assert_eq!(report.fits, 40);
+    assert!(report.rdp.epsilon <= 1.0);
+    assert!(report.best.0 > 1.0, "naive/best admission would have died");
+    // The accountant still refuses: a large candidate pushes the
+    // projected converted ε past the cap.
+    let err = session.begin("t", "too-big", 0.95, 1e-2);
+    assert!(matches!(err, Err(FmError::Privacy(_))), "got {err:?}");
+    // Refusal is side-effect free: the naive counter still reads the 40
+    // committed releases only.
+    assert!((session.spent_epsilon() - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn grid_conversion_tracks_the_analytic_gaussian_optimum() {
+    for k in [8usize, 32, 128] {
+        let mechanism = RenyiMechanism::gaussian_from_calibration(EPS0, DELTA0).unwrap();
+        let RenyiMechanism::Gaussian { noise_multiplier } = mechanism else {
+            panic!("calibration must produce a Gaussian curve");
+        };
+        let mut rdp = RdpLedger::new();
+        for _ in 0..k {
+            rdp.record(mechanism).unwrap();
+        }
+        let account = rdp.convert(DELTA_PRIME).unwrap();
+        let exact = gaussian_analytic_optimum(k, noise_multiplier, DELTA_PRIME);
+        assert!(account.epsilon >= exact - 1e-12, "grid cannot beat exact");
+        assert!(
+            account.epsilon <= exact * 1.01,
+            "k = {k}: grid ε {} vs analytic {exact}",
+            account.epsilon
+        );
+    }
+}
+
+#[test]
+fn reconcile_wal_accepts_consistent_state_across_restart() {
+    let path = temp_wal("reconcile");
+    let _ = std::fs::remove_file(&path);
+    let dangling;
+    {
+        let (session, _) = SharedPrivacySession::with_wal(&path, Some(1.0)).unwrap();
+        session.begin("t", "a", 0.1, 0.0).unwrap().commit().unwrap();
+        session
+            .begin("t", "b", 0.05, 1e-7)
+            .unwrap()
+            .abort()
+            .unwrap();
+        dangling = session.begin("t", "c", 0.2, 0.0).unwrap().detach();
+        session.reconcile_wal().unwrap();
+    }
+    // Recovery rebuilds the counter from WAL aggregates plus the open
+    // reservation; reconciliation must still agree.
+    let (session, _) = SharedPrivacySession::with_wal(&path, Some(1.0)).unwrap();
+    session.reconcile_wal().unwrap();
+    assert!((session.spent_epsilon() - 0.3).abs() < 1e-9);
+    session
+        .resume_reservation(dangling)
+        .unwrap()
+        .commit()
+        .unwrap();
+    session.reconcile_wal().unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    // Without a WAL the check is a no-op.
+    SharedPrivacySession::new().reconcile_wal().unwrap();
+}
+
+/// Builds the same mechanism sequence into a ledger on `alphas` (or the
+/// default grid when `None`).
+fn ledger_with(mechs: &[(bool, f64)], alphas: Option<Vec<f64>>) -> RdpLedger {
+    let mut ledger = match alphas {
+        Some(alphas) => RdpLedger::with_alphas(alphas).unwrap(),
+        None => RdpLedger::new(),
+    };
+    for &(pure, eps) in mechs {
+        let mechanism = if pure {
+            RenyiMechanism::PureDp { epsilon: eps }
+        } else {
+            RenyiMechanism::gaussian_from_calibration(eps, DELTA0).unwrap()
+        };
+        ledger.record(mechanism).unwrap();
+    }
+    ledger
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ε(δ) is non-increasing in δ: tolerating more failure mass can
+    /// never cost more privacy loss.
+    #[test]
+    fn conversion_is_monotone_in_delta(
+        mechs in proptest::collection::vec((proptest::bool::ANY, 0.05f64..0.9), 1..12),
+        delta in 1e-9f64..1e-3,
+        factor in 2.0f64..1e4,
+    ) {
+        let ledger = ledger_with(&mechs, None);
+        let tight = ledger.convert(delta).unwrap().epsilon;
+        let loose = ledger.convert((delta * factor).min(0.5)).unwrap().epsilon;
+        prop_assert!(loose <= tight + 1e-12, "loose {loose} > tight {tight}");
+    }
+
+    /// Refining the order grid can only tighten the conversion: the
+    /// minimum over a superset of orders is no larger.
+    #[test]
+    fn conversion_tightens_under_grid_refinement(
+        mechs in proptest::collection::vec((proptest::bool::ANY, 0.05f64..0.9), 1..12),
+        extra in proptest::collection::vec(1.01f64..2000.0, 1..8),
+    ) {
+        let coarse_grid = vec![1.5, 2.0, 4.0, 8.0, 32.0, 256.0];
+        let mut fine_grid = coarse_grid.clone();
+        fine_grid.extend(extra);
+        let coarse = ledger_with(&mechs, Some(coarse_grid));
+        let fine = ledger_with(&mechs, Some(fine_grid));
+        let coarse_eps = coarse.convert(DELTA_PRIME).unwrap().epsilon;
+        let fine_eps = fine.convert(DELTA_PRIME).unwrap().epsilon;
+        prop_assert!(fine_eps <= coarse_eps + 1e-12);
+        // And the shipped default grid refines any subset of itself.
+        let full = ledger_with(&mechs, None);
+        let sub: Vec<f64> = default_alpha_grid().into_iter().step_by(7).collect();
+        let subset = ledger_with(&mechs, Some(sub));
+        prop_assert!(
+            full.convert(DELTA_PRIME).unwrap().epsilon
+                <= subset.convert(DELTA_PRIME).unwrap().epsilon + 1e-12
+        );
+    }
+}

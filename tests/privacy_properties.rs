@@ -781,6 +781,74 @@ fn empirical_epsilon_delta_on_neighbour_databases_gaussian() {
 }
 
 #[test]
+fn empirical_epsilon_delta_sparse_gaussian_release() {
+    // The general-degree Gaussian release — the Δ₂ path that
+    // `SparseFmEstimator` now exposes — through the same
+    // likelihood-ratio harness as the degree-2 Gaussian variant: at
+    // (ε, δ) = (0.8, 1e-3), binned output frequencies of one released
+    // quartic coefficient for neighbour databases must respect e^ε
+    // outside a δ-mass tail; the bins tested sit well inside the bulk.
+    use functional_mechanism::core::generic::{
+        GeneralObjective, GenericFunctionalMechanism, QuarticObjective,
+    };
+    use functional_mechanism::poly::Monomial;
+
+    let d = 1;
+    let mut r = rng(83);
+    let base = synth::linear_dataset(&mut r, 30, d, 0.1);
+    let mut y2 = base.y().to_vec();
+    y2[29] = if y2[29] > 0.0 { -1.0 } else { 1.0 };
+    let neighbour = Dataset::new(base.x().clone(), y2).unwrap();
+
+    let (eps, delta) = (0.8, 1e-3);
+    let fm =
+        GenericFunctionalMechanism::with_noise(eps, NoiseDistribution::Gaussian { delta }).unwrap();
+    let phi = Monomial::linear(d, 0);
+    let clean = QuarticObjective.assemble(&base).coefficient(&phi);
+    let delta2 = QuarticObjective.sensitivity_l2(d).unwrap();
+    let sigma = delta2 * (2.0 * (1.25f64 / delta).ln()).sqrt() / eps;
+
+    let n_draws = 60_000;
+    let mut hist_a = vec![0u32; 64];
+    let mut hist_b = vec![0u32; 64];
+    let bin_of = |v: f64| -> Option<usize> {
+        let t = (v - clean) / sigma;
+        let idx = ((t + 2.0) / 0.0625).floor();
+        if (0.0..64.0).contains(&idx) {
+            Some(idx as usize)
+        } else {
+            None
+        }
+    };
+    for _ in 0..n_draws {
+        let a = fm.perturb(&base, &QuarticObjective, &mut r).unwrap();
+        if let Some(i) = bin_of(a.polynomial().coefficient(&phi)) {
+            hist_a[i] += 1;
+        }
+        let b = fm.perturb(&neighbour, &QuarticObjective, &mut r).unwrap();
+        if let Some(i) = bin_of(b.polynomial().coefficient(&phi)) {
+            hist_b[i] += 1;
+        }
+    }
+    let mut compared = 0;
+    for i in 0..64 {
+        if hist_a[i] >= 300 && hist_b[i] >= 300 {
+            compared += 1;
+            let bound = ratio_bound(eps, hist_a[i], hist_b[i]);
+            let ratio = f64::from(hist_a[i]) / f64::from(hist_b[i]);
+            assert!(
+                ratio < bound && 1.0 / ratio < bound,
+                "bin {i}: ratio {ratio} vs bound {bound}"
+            );
+        }
+    }
+    assert!(
+        compared >= 3,
+        "sparse gaussian: only {compared} well-populated bins — harness mis-calibrated"
+    );
+}
+
+#[test]
 fn noise_scale_is_cardinality_independent_poisson() {
     let mut r = rng(29);
     let small = synth::poisson_dataset(&mut r, 50, 5, 8.0);

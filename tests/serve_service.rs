@@ -272,3 +272,46 @@ fn compaction_under_load_waits_for_dangling_reservations() {
     drop(service);
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn rdp_admission_outlives_the_naive_cap() {
+    // A moments-accountant session admits a many-release Gaussian
+    // workload far past the naive Σε cap, while the converted ε stays
+    // inside it: with cap = 1.0 and ε = 0.1 per fit, naive admission
+    // refuses at fit 11, but the RDP conversion of 20 such classically
+    // calibrated Gaussians at δ = 1e-6 is ≈ 0.45.
+    let session = Arc::new(
+        SharedPrivacySession::with_cap(1.0)
+            .unwrap()
+            .admit_by_rdp(1e-6)
+            .unwrap(),
+    );
+    let service = FitService::new(Arc::clone(&session), ServeConfig::new().workers(1));
+    let mut r = StdRng::seed_from_u64(7);
+    let data = linear_dataset(&mut r, 64, 1, 0.05);
+    for i in 0..20u64 {
+        // Ridge-only resolution: at ε = 0.1 the Gaussian noise dwarfs a
+        // 64-row Gram matrix, and spectral trimming would legitimately
+        // reject most draws; this test is about admission, not accuracy.
+        let est = DpLinearRegression::builder()
+            .epsilon(0.1)
+            .noise(NoiseDistribution::Gaussian { delta: 1e-6 })
+            .strategy(Strategy::RegularizeOnly)
+            .build();
+        let (handle, sender) = service
+            .submit(est, FitRequest::new("t", format!("fit-{i}"), 1).seed(i))
+            .unwrap();
+        send_all(&data, 16, &sender);
+        sender.finish();
+        assert!(matches!(handle.wait().unwrap(), FitOutcome::Released(_)));
+    }
+    // The naive running total is double the cap — inadmissible under the
+    // default Σε criterion — yet the composed moments-accountant ε
+    // honours the cap with plenty of room.
+    assert!((session.spent_epsilon() - 2.0).abs() < 1e-9);
+    let report = session.report(1e-6).unwrap();
+    assert_eq!(report.fits, 20);
+    assert!(report.rdp.epsilon <= 1.0, "rdp ε = {}", report.rdp.epsilon);
+    assert!(report.rdp.epsilon < report.best.0);
+    drop(service);
+}
