@@ -110,8 +110,28 @@ impl<T> TreeCounter<T> {
     }
 
     /// Pushes the next chunk partial (chunks must arrive in order).
-    pub(crate) fn push(&mut self, mut item: T, merge: &impl Fn(&mut T, T)) {
-        let mut rank = 0u32;
+    pub(crate) fn push(&mut self, item: T, merge: &impl Fn(&mut T, T)) {
+        self.push_run(0, item, merge);
+    }
+
+    /// Pushes a partial covering a **run of `2^rank` consecutive chunks**
+    /// — the generalized binary-addition carry. Pushing at rank 0 is the
+    /// ordinary chunk push; pushing at rank `r` is what lets a
+    /// coordinator replay another process's pre-merged run of chunks and
+    /// still land on **exactly** the merge tree a single machine would
+    /// have built.
+    ///
+    /// Precondition (checked by callers, `debug_assert`ed here): the
+    /// number of chunks already absorbed must be divisible by `2^rank` —
+    /// equivalently, the stack's top rank is `≥ rank` (or the stack is
+    /// empty). A run pushed at an unaligned position would have merged
+    /// chunk pairs the single-machine counter never merges, so the
+    /// invariant is load-bearing for bit-identity, not just for shape.
+    pub(crate) fn push_run(&mut self, mut rank: u32, mut item: T, merge: &impl Fn(&mut T, T)) {
+        debug_assert!(
+            self.stack.last().map_or(true, |&(r, _)| r >= rank),
+            "run of rank {rank} pushed onto a finer-grained stack top"
+        );
         while matches!(self.stack.last(), Some(&(r, _)) if r == rank) {
             let (_, mut left) = self.stack.pop().expect("matched above");
             merge(&mut left, item);
@@ -359,6 +379,61 @@ impl<'a, O: PolynomialObjective + ?Sized> CoefficientAccumulator<'a, O> {
     pub fn push_block(&mut self, block: &RowBlock) -> Result<()> {
         self.core.check_dim("block", block.d())?;
         self.push_rows(block.xs(), block.ys())
+    }
+
+    /// Chunks fully absorbed so far on the fixed grid (the partial chunk
+    /// held by the staging buffer, if any, excluded) — the accumulator's
+    /// position on the shared chunk grid that federated merging aligns to.
+    #[must_use]
+    pub fn chunks(&self) -> usize {
+        self.core.chunks()
+    }
+
+    /// The merge counter's run stack, bottom → top: each entry is a
+    /// partial covering `2^rank` consecutive chunks, ranks strictly
+    /// decreasing. Together with [`CoefficientAccumulator::staged`] this
+    /// is the accumulator's complete floating-point state — what a
+    /// federated client ships to a coordinator.
+    #[must_use]
+    pub fn partial_runs(&self) -> &[(u32, QuadraticForm)] {
+        self.core.partials()
+    }
+
+    /// The staged rows of the current partial chunk `(xs, ys)` — empty
+    /// when the accumulator sits on a chunk boundary.
+    #[must_use]
+    pub fn staged(&self) -> (&[f64], &[f64]) {
+        self.core.staged()
+    }
+
+    /// Merges a pre-assembled partial covering a run of `2^rank`
+    /// consecutive chunks at the accumulator's current grid position —
+    /// the coordinator half of federated fitting. Replaying another
+    /// process's runs in global chunk order through this entry produces
+    /// **exactly** the merge tree (and therefore bit-identical
+    /// coefficients) of a single accumulator fed every row in order.
+    ///
+    /// The caller owns the claim that `part` really is the chunk-kernel
+    /// sum over those `2^rank` chunks of the shared grid (it is
+    /// floating-point state, not re-validatable rows); everything
+    /// structural is checked here.
+    ///
+    /// # Errors
+    /// [`FmError::InvalidConfig`] for a dimension mismatch, a run pushed
+    /// while rows are staged mid-chunk, an unaligned run (current chunk
+    /// count not divisible by `2^rank`), or rank/row overflow.
+    pub fn push_run(&mut self, rank: u32, part: QuadraticForm) -> Result<()> {
+        if part.dim() != self.core.dim() {
+            return Err(FmError::InvalidConfig {
+                name: "run",
+                reason: format!(
+                    "run partial has d = {}, accumulator expects {}",
+                    part.dim(),
+                    self.core.dim()
+                ),
+            });
+        }
+        self.core.push_run(rank, part, &merge_quadratic)
     }
 
     /// Drains `source`, absorbing every block it yields; returns the
@@ -619,6 +694,53 @@ impl<T> StreamCore<T> {
     /// The merge counter's run stack, bottom → top, for checkpointing.
     pub(crate) fn partials(&self) -> &[(u32, T)] {
         self.counter.stack()
+    }
+
+    /// Chunks fully absorbed so far (the stage's partial chunk excluded).
+    pub(crate) fn chunks(&self) -> usize {
+        (self.rows - self.stage.staged_rows()) / self.stage.chunk_rows()
+    }
+
+    /// Absorbs a pre-merged partial covering a run of `2^rank` consecutive
+    /// chunks — the merge-at-rank entry behind the public accumulator
+    /// `push_run`s. Refuses unaligned runs (the chunk count so far must be
+    /// divisible by `2^rank`), runs pushed while rows are staged mid-chunk,
+    /// and rank/row overflow — each a structural violation that would
+    /// silently break bit-identity if let through.
+    pub(crate) fn push_run(
+        &mut self,
+        rank: u32,
+        part: T,
+        merge: &impl Fn(&mut T, T),
+    ) -> Result<()> {
+        let invalid = |reason: String| FmError::InvalidConfig {
+            name: "run",
+            reason,
+        };
+        if self.stage.staged_rows() != 0 {
+            return Err(invalid(format!(
+                "cannot merge a chunk run while {} rows are staged mid-chunk",
+                self.stage.staged_rows()
+            )));
+        }
+        if rank >= usize::BITS {
+            return Err(invalid(format!("run rank {rank} overflows the chunk grid")));
+        }
+        let run_chunks = 1usize << rank;
+        let chunks = self.chunks();
+        if chunks % run_chunks != 0 {
+            return Err(invalid(format!(
+                "run of 2^{rank} chunks is not aligned at chunk {chunks}: \
+                 merging it would regroup sums the single-machine tree never groups"
+            )));
+        }
+        let run_rows = run_chunks
+            .checked_mul(self.stage.chunk_rows())
+            .and_then(|r| r.checked_add(self.rows))
+            .ok_or_else(|| invalid("run row count overflows".to_string()))?;
+        self.counter.push_run(rank, part, merge);
+        self.rows = run_rows;
+        Ok(())
     }
 
     /// Rebuilds a core from checkpointed state. Structural invariants
@@ -896,6 +1018,158 @@ mod tests {
                 }
                 other => panic!("m={m}: {other:?}"),
             }
+        }
+    }
+
+    /// Greedy aligned-dyadic segmentation of the chunk range `[c, c+m)`:
+    /// each segment's length is the largest power of two that both
+    /// divides its start chunk and fits the remaining range — the
+    /// decomposition a federated client uses so its pre-merged runs
+    /// replay onto the global counter without regrouping any sum.
+    fn dyadic_segments(mut c: usize, mut m: usize) -> Vec<(usize, u32)> {
+        let mut segs = Vec::new();
+        while m > 0 {
+            let align = if c == 0 {
+                usize::MAX
+            } else {
+                1usize << c.trailing_zeros()
+            };
+            let mut len = 1usize;
+            while len * 2 <= m && len * 2 <= align {
+                len *= 2;
+            }
+            segs.push((c, len.trailing_zeros()));
+            c += len;
+            m -= len;
+        }
+        segs
+    }
+
+    #[test]
+    fn run_replay_is_bit_identical_to_sequential_counter() {
+        // The load-bearing federated equivalence: splitting the chunk
+        // stream at arbitrary chunk boundaries, pre-merging each side's
+        // aligned dyadic segments locally, and replaying the runs through
+        // push_run reproduces the sequential counter's floating-point
+        // grouping exactly — for every chunk count and every split point.
+        let merge = |a: &mut f64, b: f64| *a += b;
+        for m in 1usize..=80 {
+            let parts: Vec<f64> = (0..m).map(|i| (i as f64 * 0.7).sin() / 3.0).collect();
+            let mut seq = TreeCounter::new();
+            for &p in &parts {
+                seq.push(p, &merge);
+            }
+            let reference = seq.finish(&merge).unwrap();
+            for split in 0..=m {
+                let mut replay = TreeCounter::new();
+                for (range_lo, range_hi) in [(0usize, split), (split, m)] {
+                    for (c, rank) in dyadic_segments(range_lo, range_hi - range_lo) {
+                        // A client pre-merges the segment with its own
+                        // local counter; a 2^rank-chunk segment collapses
+                        // to exactly one stack entry at that rank.
+                        let mut seg = TreeCounter::new();
+                        for &p in &parts[c..c + (1usize << rank)] {
+                            seg.push(p, &merge);
+                        }
+                        assert_eq!(seg.stack.len(), 1);
+                        let (r, part) = seg.stack.pop().unwrap();
+                        assert_eq!(r, rank);
+                        replay.push_run(rank, part, &merge);
+                    }
+                }
+                let replayed = replay.finish(&merge).unwrap();
+                assert_eq!(
+                    replayed.to_bits(),
+                    reference.to_bits(),
+                    "m={m} split={split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_push_run_refuses_structural_violations() {
+        use crate::linreg::LinearObjective;
+        let d = 2;
+        let chunk = 4;
+        let rows_for = |n: usize| {
+            let xs: Vec<f64> = (0..n * d).map(|i| ((i as f64) * 0.3).sin() * 0.1).collect();
+            let ys: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.2).cos() * 0.5).collect();
+            (xs, ys)
+        };
+        let part = QuadraticForm::zero(d);
+
+        // Dimension mismatch.
+        let mut acc = CoefficientAccumulator::with_chunk_rows(&LinearObjective, d, chunk);
+        assert!(acc.push_run(0, QuadraticForm::zero(d + 1)).is_err());
+
+        // Mid-chunk staged rows refuse any run.
+        let (xs, ys) = rows_for(3);
+        acc.push_rows(&xs, &ys).unwrap();
+        assert!(acc.push_run(0, part.clone()).is_err());
+
+        // Unaligned run: one chunk absorbed, then a rank-1 (2-chunk) run
+        // would merge across a grouping boundary.
+        let mut acc = CoefficientAccumulator::with_chunk_rows(&LinearObjective, d, chunk);
+        let (xs, ys) = rows_for(chunk);
+        acc.push_rows(&xs, &ys).unwrap();
+        assert_eq!(acc.chunks(), 1);
+        assert!(acc.push_run(1, part.clone()).is_err());
+        // An aligned rank-0 run at the same position is fine.
+        acc.push_run(0, part.clone()).unwrap();
+        assert_eq!(acc.chunks(), 2);
+        assert_eq!(acc.rows(), 2 * chunk);
+
+        // Rank overflow.
+        let mut acc = CoefficientAccumulator::with_chunk_rows(&LinearObjective, d, chunk);
+        assert!(acc.push_run(usize::BITS, part).is_err());
+    }
+
+    #[test]
+    fn accumulator_run_replay_matches_single_machine_assembly() {
+        use crate::linreg::LinearObjective;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(406);
+        let chunk = 8;
+        // 13 full chunks plus a ragged tail — the case where greedy
+        // balanced splits go wrong and dyadic segmentation is required.
+        let n = 13 * chunk + 5;
+        let data = fm_data::synth::linear_dataset(&mut rng, n, 3, 0.1);
+        let d = data.d();
+        let xs = data.x().as_slice();
+        let ys = data.y();
+        let reference = assemble_with_chunk_rows(&LinearObjective, &data, chunk);
+
+        for split_chunk in [0usize, 1, 5, 8, 13] {
+            // Each "client" accumulates its contiguous chunk range as
+            // aligned dyadic segments; the final client also stages the
+            // ragged tail rows.
+            let mut coord = CoefficientAccumulator::with_chunk_rows(&LinearObjective, d, chunk);
+            let ranges = [(0usize, split_chunk), (split_chunk, 13)];
+            for (i, &(lo_c, hi_c)) in ranges.iter().enumerate() {
+                for (c, rank) in dyadic_segments(lo_c, hi_c - lo_c) {
+                    let seg_rows = (1usize << rank) * chunk;
+                    let lo = c * chunk;
+                    let mut seg =
+                        CoefficientAccumulator::with_chunk_rows(&LinearObjective, d, chunk);
+                    seg.push_rows(&xs[lo * d..(lo + seg_rows) * d], &ys[lo..lo + seg_rows])
+                        .unwrap();
+                    let mut runs = seg.partial_runs().to_vec();
+                    assert_eq!(runs.len(), 1, "2^{rank} chunks collapse to one run");
+                    let (r, part) = runs.pop().unwrap();
+                    assert_eq!(r, rank);
+                    coord.push_run(r, part).unwrap();
+                }
+                if i == 1 {
+                    // Ragged tail rows travel as raw staged rows.
+                    coord
+                        .push_rows(&xs[13 * chunk * d..], &ys[13 * chunk..])
+                        .unwrap();
+                }
+            }
+            assert_eq!(coord.rows(), n);
+            let merged = coord.finish().unwrap();
+            assert_eq!(merged, reference, "split at chunk {split_chunk}");
         }
     }
 

@@ -450,15 +450,23 @@ impl<O: RegressionObjective> FmEstimator<O> {
 
     /// Runs the mechanism over already-assembled (and already-validated)
     /// clean coefficients and wraps the released weights — the noise-
-    /// drawing half shared by [`FmEstimator::fit_sharded`] and the
+    /// drawing half shared by [`FmEstimator::fit_sharded`], the
     /// session's parallel disjoint-shard fitting (where assembly runs
     /// concurrently but every release draws from the shared rng in shard
-    /// order).
-    pub(crate) fn release_clean(
-        &self,
-        clean: &QuadraticForm,
-        rng: &mut impl Rng,
-    ) -> Result<O::Model> {
+    /// order), and a federated coordinator's central-noise release over
+    /// merged client partials.
+    ///
+    /// The caller owns the precondition that `clean` is the exact
+    /// Algorithm-1 coefficient sum over contract-satisfying tuples at
+    /// this estimator's working dimensionality (intercept augmentation
+    /// included when configured) — the sensitivity bound, and with it
+    /// the ε-guarantee, is stated for that sum.
+    ///
+    /// # Errors
+    /// As [`FmEstimator::fit`] past assembly: invalid configuration, an
+    /// unbounded noisy objective per the configured strategy, or solver
+    /// failure.
+    pub fn release_clean(&self, clean: &QuadraticForm, rng: &mut impl Rng) -> Result<O::Model> {
         let config = &self.config;
         let omega_raw = release_assembled(
             clean,
@@ -470,6 +478,25 @@ impl<O: RegressionObjective> FmEstimator<O> {
             rng,
         )?;
         Ok(self.finish(omega_raw, Some(config.epsilon)))
+    }
+
+    /// Post-processes an **already-perturbed** objective into a released
+    /// model: §6 boundedness handling under the configured strategy, then
+    /// the intercept un-augmentation — the release half a federated
+    /// coordinator runs in local-noise mode, where the noise was drawn on
+    /// the clients and `noisy` is their aggregated upload
+    /// ([`crate::mechanism::NoisyQuadratic::from_federated_sum`]). Draws **no** noise and
+    /// spends no further budget: everything here is post-processing of
+    /// `noisy`.
+    ///
+    /// # Errors
+    /// * [`FmError::InvalidConfig`] under [`Strategy::Resample`] — Lemma 5
+    ///   re-runs the mechanism, which only the noise-drawing entry points
+    ///   ([`FmEstimator::fit`], [`FmEstimator::release_clean`]) can do.
+    /// * Otherwise as [`crate::postprocess::solve`].
+    pub fn release_noisy(&self, noisy: crate::NoisyQuadratic) -> Result<O::Model> {
+        let omega_raw = crate::postprocess::solve(noisy, self.config.strategy)?;
+        Ok(self.finish(omega_raw, Some(self.config.epsilon)))
     }
 
     /// Per-shard clean coefficient assembly at the estimator's working

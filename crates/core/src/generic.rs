@@ -509,6 +509,49 @@ impl<'a, O: GeneralObjective + ?Sized> PolynomialAccumulator<'a, O> {
         self.push_rows(block.xs(), block.ys())
     }
 
+    /// Chunks fully absorbed so far on the fixed grid (staged partial
+    /// chunk excluded) — see `CoefficientAccumulator::chunks`.
+    #[must_use]
+    pub fn chunks(&self) -> usize {
+        self.core.chunks()
+    }
+
+    /// The merge counter's run stack, bottom → top — the general-degree
+    /// twin of `CoefficientAccumulator::partial_runs`.
+    #[must_use]
+    pub fn partial_runs(&self) -> &[(u32, Polynomial)] {
+        self.core.partials()
+    }
+
+    /// The staged rows of the current partial chunk `(xs, ys)`.
+    #[must_use]
+    pub fn staged(&self) -> (&[f64], &[f64]) {
+        self.core.staged()
+    }
+
+    /// Merges a pre-assembled partial covering a run of `2^rank`
+    /// consecutive chunks at the current grid position — the
+    /// general-degree twin of `CoefficientAccumulator::push_run`, with
+    /// the same alignment guarantees and refusals.
+    ///
+    /// # Errors
+    /// [`FmError::InvalidConfig`] for a variable-count mismatch, a run
+    /// pushed while rows are staged mid-chunk, an unaligned run, or
+    /// rank/row overflow.
+    pub fn push_run(&mut self, rank: u32, part: Polynomial) -> Result<()> {
+        if part.num_vars() != self.core.dim() {
+            return Err(crate::FmError::InvalidConfig {
+                name: "run",
+                reason: format!(
+                    "run partial has {} variables, accumulator expects {}",
+                    part.num_vars(),
+                    self.core.dim()
+                ),
+            });
+        }
+        self.core.push_run(rank, part, &merge_polynomial)
+    }
+
     /// Drains `source`, absorbing every block; returns the rows absorbed.
     /// Like the degree-2 accumulator, the bulk of the drain runs through
     /// the borrowed-block visitor, so zero-copy sources feed the chunk

@@ -296,6 +296,53 @@ impl NoisyQuadratic {
             noise_std: noise_scale * std::f64::consts::SQRT_2,
         }
     }
+
+    /// Wraps the coefficient-wise sum of `contributors` **independently
+    /// perturbed** objectives — the aggregation a federated coordinator
+    /// performs in local-noise mode, where each of K clients ran
+    /// [`FunctionalMechanism::perturb_assembled`] on its own Δ-scaled
+    /// contribution (under `mechanism`'s exact configuration) before
+    /// upload. Summing already-released objects is pure post-processing,
+    /// so the sum carries each contributor's per-shard (ε, δ) guarantee
+    /// under parallel composition; its per-coefficient noise is the sum
+    /// of K independent draws, so the recorded standard deviation —
+    /// which drives §6.1's regularization constant — grows by `√K` over
+    /// a single central release at the same ε. That gap is exactly the
+    /// utility price of the stronger trust model.
+    ///
+    /// The noise statistics are derived from `mechanism` and `objective`,
+    /// never taken from the network: a coordinator that knows the round's
+    /// agreed configuration reports honest calibration even if a client
+    /// lies about its own.
+    ///
+    /// # Errors
+    /// [`FmError::InvalidConfig`] for zero contributors;
+    /// [`FmError::Privacy`] for degenerate noise parameters.
+    pub fn from_federated_sum(
+        total: QuadraticForm,
+        contributors: usize,
+        mechanism: &FunctionalMechanism,
+        objective: &impl PolynomialObjective,
+    ) -> Result<NoisyQuadratic> {
+        if contributors == 0 {
+            return Err(FmError::InvalidConfig {
+                name: "contributors",
+                reason: "a federated sum needs at least one contribution".to_string(),
+            });
+        }
+        let (_, sensitivity, delta, noise_scale, noise_std) =
+            mechanism.calibrate(total.dim(), objective)?;
+        #[allow(clippy::cast_precision_loss)]
+        let spread = (contributors as f64).sqrt();
+        Ok(NoisyQuadratic {
+            objective: total,
+            epsilon: mechanism.epsilon(),
+            delta,
+            sensitivity,
+            noise_scale,
+            noise_std: noise_std * spread,
+        })
+    }
 }
 
 /// Algorithm 1, parameterised by the privacy budget, sensitivity-bound
@@ -449,21 +496,8 @@ impl FunctionalMechanism {
         rng: &mut impl Rng,
     ) -> Result<NoisyQuadratic> {
         let d = clean.dim();
-        let (sampler, sensitivity, delta_out, noise_scale, noise_std) = match self.noise {
-            NoiseDistribution::Laplace => {
-                let s = objective.sensitivity(d, self.bound);
-                let mech = LaplaceMechanism::new(s, self.epsilon)?;
-                let scale = mech.noise_scale();
-                let std = mech.noise_std_dev();
-                (NoiseSampler::Laplace(mech), s, None, scale, std)
-            }
-            NoiseDistribution::Gaussian { delta } => {
-                let s = objective.sensitivity_l2(d);
-                let mech = GaussianMechanism::new(s, self.epsilon, delta)?;
-                let sigma = mech.noise_std_dev();
-                (NoiseSampler::Gaussian(mech), s, Some(delta), sigma, sigma)
-            }
-        };
+        let (sampler, sensitivity, delta_out, noise_scale, noise_std) =
+            self.calibrate(d, objective)?;
 
         let mut q = clean.clone();
 
@@ -490,6 +524,33 @@ impl FunctionalMechanism {
             sensitivity,
             noise_scale,
             noise_std,
+        })
+    }
+
+    /// The calibrated sampler plus the noise statistics `perturb_assembled`
+    /// records: `(sampler, Δ, δ, scale, std)` at dimensionality `d`. Shared
+    /// by the perturbation path and [`NoisyQuadratic::from_federated_sum`]
+    /// so federated aggregates report exactly the statistics a direct
+    /// release would.
+    fn calibrate(
+        &self,
+        d: usize,
+        objective: &impl PolynomialObjective,
+    ) -> Result<(NoiseSampler, f64, Option<f64>, f64, f64)> {
+        Ok(match self.noise {
+            NoiseDistribution::Laplace => {
+                let s = objective.sensitivity(d, self.bound);
+                let mech = LaplaceMechanism::new(s, self.epsilon)?;
+                let scale = mech.noise_scale();
+                let std = mech.noise_std_dev();
+                (NoiseSampler::Laplace(mech), s, None, scale, std)
+            }
+            NoiseDistribution::Gaussian { delta } => {
+                let s = objective.sensitivity_l2(d);
+                let mech = GaussianMechanism::new(s, self.epsilon, delta)?;
+                let sigma = mech.noise_std_dev();
+                (NoiseSampler::Gaussian(mech), s, Some(delta), sigma, sigma)
+            }
         })
     }
 }

@@ -1181,6 +1181,178 @@ impl<S: RowSource> RowSource for InterceptAugmentSource<S> {
     }
 }
 
+/// A [`RowSource`] adapter yielding at most the first `rows` rows of the
+/// inner source, then reporting exhaustion — the inner source keeps its
+/// position, so successive `TakeRows` wrappers around the same `&mut`
+/// source cut one stream into consecutive bounded segments. That is how a
+/// federated client feeds exactly its assigned row range of a shared
+/// ingest stream into a partial fit without the stream knowing about the
+/// shard plan.
+///
+/// Block boundaries are re-capped, never split retroactively: each pull
+/// requests `min(max_rows, remaining)` rows, so the inner source is never
+/// asked for a row beyond the budget and the concatenation of segments
+/// replays the stream byte-for-byte.
+#[derive(Debug)]
+pub struct TakeRows<S> {
+    inner: S,
+    remaining: usize,
+}
+
+impl<S: RowSource> TakeRows<S> {
+    /// Caps `inner` at its next `rows` rows.
+    #[must_use]
+    pub fn new(inner: S, rows: usize) -> Self {
+        TakeRows {
+            inner,
+            remaining: rows,
+        }
+    }
+
+    /// Rows still available under the cap.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The wrapped source (wherever its cursor now stands).
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: RowSource> RowSource for TakeRows<S> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn hint_rows(&self) -> Option<usize> {
+        self.inner.hint_rows().map(|h| h.min(self.remaining))
+    }
+
+    fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let cap = max_rows.max(1).min(self.remaining);
+        match self.inner.next_block(cap)? {
+            Some(block) => {
+                self.remaining -= block.rows().min(self.remaining);
+                Ok(Some(block))
+            }
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// A [`RowSource`] adapter that attributes every transport error of the
+/// inner source to a named origin — wrapping it in [`DataError::InShard`]
+/// with the origin's label and the 0-based index of the failing block,
+/// exactly as [`ShardedSource`] does for its shards. A federated
+/// coordinator wraps each client's ingest in one of these so a parse
+/// failure three machines away still names the client and block at fault.
+#[derive(Debug)]
+pub struct ProvenancedSource<S> {
+    inner: S,
+    label: String,
+    /// Blocks already yielded, i.e. the 0-based index of a failing one.
+    blocks: usize,
+}
+
+impl<S: RowSource> ProvenancedSource<S> {
+    /// Wraps `inner`, attributing its errors to `label`.
+    #[must_use]
+    pub fn new(inner: S, label: impl Into<String>) -> Self {
+        ProvenancedSource {
+            inner,
+            label: label.into(),
+            blocks: 0,
+        }
+    }
+
+    /// The origin label used in error attribution.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The wrapped source.
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn attribute(&self, e: DataError) -> DataError {
+        DataError::InShard {
+            shard: self.label.clone(),
+            block: self.blocks,
+            source: Box::new(e),
+        }
+    }
+}
+
+impl<S: RowSource> RowSource for ProvenancedSource<S> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn hint_rows(&self) -> Option<usize> {
+        self.inner.hint_rows()
+    }
+
+    fn next_block(&mut self, max_rows: usize) -> Result<Option<RowBlock>> {
+        match self.inner.next_block(max_rows) {
+            Ok(Some(block)) => {
+                self.blocks += 1;
+                Ok(Some(block))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => Err(self.attribute(e)),
+        }
+    }
+
+    fn take_dataset(&mut self) -> Option<&Dataset> {
+        // A fully-unconsumed in-memory inner source cannot fail mid-drain,
+        // so handing it over loses no attribution.
+        self.inner.take_dataset()
+    }
+
+    fn for_each_block(&mut self, max_rows: usize, f: &mut BlockVisitor<'_>) -> Result<()> {
+        let ProvenancedSource {
+            inner,
+            label,
+            blocks,
+        } = self;
+        // Visitor errors are wrapped inside the closure (where the failing
+        // block's index is known); the source's own transport errors after
+        // the fact — the `ShardedSource` idiom.
+        let mut wrapped_by_visitor = false;
+        let result = inner.for_each_block(max_rows, &mut |block| match f(block) {
+            Ok(()) => {
+                *blocks += 1;
+                Ok(())
+            }
+            Err(e) => {
+                wrapped_by_visitor = true;
+                Err(DataError::InShard {
+                    shard: label.clone(),
+                    block: *blocks,
+                    source: Box::new(e),
+                })
+            }
+        });
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) if wrapped_by_visitor => Err(e),
+            Err(e) => Err(self.attribute(e)),
+        }
+    }
+}
+
 /// Outcome of a bounded-wait receive on a [`ChannelConsumer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Refill {
@@ -2276,6 +2448,96 @@ mod tests {
                     source,
                 };
                 assert!(err.source().is_some());
+            }
+            other => panic!("expected InShard, got {other}"),
+        }
+    }
+
+    #[test]
+    fn take_rows_cuts_a_shared_stream_into_consecutive_segments() {
+        let data = small();
+        let mut src = InMemorySource::new(&data);
+        // Segment the 5-row stream as 2 + 2 + 1 through the same cursor.
+        let mut all_xs = Vec::new();
+        let mut all_ys = Vec::new();
+        for len in [2usize, 2, 1] {
+            let mut seg = TakeRows::new(&mut src, len);
+            assert_eq!(seg.dim(), 2);
+            assert_eq!(seg.hint_rows(), Some(len));
+            let mut got = 0usize;
+            while let Some(b) = seg.next_block(100).unwrap() {
+                got += b.rows();
+                all_xs.extend_from_slice(b.xs());
+                all_ys.extend_from_slice(b.ys());
+            }
+            assert_eq!(got, len, "segment must stop exactly at its cap");
+            assert_eq!(seg.remaining(), 0);
+            // Exhausted stays exhausted without touching the inner cursor.
+            assert!(seg.next_block(100).unwrap().is_none());
+        }
+        assert_eq!(all_xs, data.x().as_slice());
+        assert_eq!(all_ys, data.y());
+        assert!(src.next_block(4).unwrap().is_none());
+
+        // A cap beyond the stream just drains it.
+        let mut src = InMemorySource::new(&data);
+        let mut over = TakeRows::new(&mut src, 100);
+        let (xs, _ys) = drain_visitor(&mut over, 3);
+        assert_eq!(xs, data.x().as_slice());
+        assert!(over.next_block(4).unwrap().is_none());
+    }
+
+    #[test]
+    fn provenanced_source_attributes_errors_and_passes_rows_through() {
+        let data = small();
+        // Pass-through: identical rows, identical hints, handoff intact.
+        let mut src = ProvenancedSource::new(InMemorySource::new(&data), "client-2");
+        assert_eq!(src.label(), "client-2");
+        assert_eq!(src.hint_rows(), Some(5));
+        let (xs, ys) = drain_visitor(&mut src, 2);
+        assert_eq!(xs, data.x().as_slice());
+        assert_eq!(ys, data.y());
+        let mut fresh = ProvenancedSource::new(InMemorySource::new(&data), "client-2");
+        assert!(fresh.take_dataset().is_some());
+
+        // A visitor (consumer-side) error is attributed to the label and
+        // the failing block's index.
+        let mut src = ProvenancedSource::new(InMemorySource::new(&data), "client-7");
+        let mut blocks = 0usize;
+        let err = src
+            .for_each_block(2, &mut |_b| {
+                blocks += 1;
+                if blocks == 2 {
+                    Err(DataError::NotNormalized {
+                        detail: "‖x‖₂ > 1".to_string(),
+                    })
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        match err {
+            DataError::InShard { shard, block, .. } => {
+                assert_eq!(shard, "client-7");
+                assert_eq!(block, 1);
+            }
+            other => panic!("expected InShard, got {other}"),
+        }
+
+        // A transport error from the wrapped source gets the same wrap on
+        // the owned-block path.
+        let csv = CsvStreamSource::from_reader(std::io::Cursor::new(
+            "a,b,y\n0.1,0.2,1.0\n0.3,not-a-number,0.0\n",
+        ))
+        .unwrap();
+        let mut src = ProvenancedSource::new(csv, "client-9");
+        let first = src.next_block(1).unwrap();
+        assert!(first.is_some());
+        let err = src.next_block(1).unwrap_err();
+        match err {
+            DataError::InShard { shard, block, .. } => {
+                assert_eq!(shard, "client-9");
+                assert_eq!(block, 1);
             }
             other => panic!("expected InShard, got {other}"),
         }

@@ -1,0 +1,307 @@
+//! The coordinator half of a federated round: collect one upload per
+//! registered client, validate every payload against the round's
+//! protocol, debit each client's ε **exactly once** through a
+//! parallel-composition scope on the shared privacy ledger, and release
+//! one model.
+//!
+//! # Trust models
+//!
+//! * [`NoiseMode::Central`] — clients upload exact partials; the
+//!   coordinator replays their pre-merged runs at matching ranks on the
+//!   shared chunk grid (reproducing the single-machine merge tree **bit
+//!   for bit**) and draws the mechanism's noise once at release. Same
+//!   utility as a single-machine fit; the coordinator is trusted with
+//!   per-client aggregates.
+//! * [`NoiseMode::Local`] — every client perturbs its own Δ-scaled
+//!   contribution before upload; the coordinator sums already-released
+//!   objectives (pure post-processing) and never sees clean state. The
+//!   summed noise has `√K`× the standard deviation of one central draw
+//!   at the same ε — the utility price of not trusting the coordinator.
+//!
+//! Either way the round's privacy accounting is identical: the clients
+//! hold disjoint rows, so the scope composes their (ε, δ) in parallel —
+//! the tenant is debited the **maximum**, not the sum, and each client
+//! label appears exactly once.
+
+use fm_core::session::SharedPrivacySession;
+use fm_core::{
+    CoefficientAccumulator, FmEstimator, FunctionalMechanism, NoisyQuadratic, RegressionObjective,
+};
+use fm_poly::QuadraticForm;
+use rand::Rng;
+
+use crate::error::{protocol, Result};
+use crate::plan::ShardPlan;
+use crate::transport::Transport;
+use crate::wire::{AccumUpload, PayloadMode};
+
+/// Where a round's noise is drawn — see the module docs for the trade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseMode {
+    /// Clients upload exact partials; the coordinator draws noise once.
+    Central,
+    /// Clients perturb locally; the coordinator only post-processes.
+    Local,
+}
+
+impl NoiseMode {
+    /// The payload mode this round accepts from clients.
+    #[must_use]
+    pub fn expected_payload(self) -> PayloadMode {
+        match self {
+            NoiseMode::Central => PayloadMode::Clean,
+            NoiseMode::Local => PayloadMode::Noisy,
+        }
+    }
+}
+
+/// A federated round's coordinator, bound to the shared estimator
+/// configuration and chunk grid every client agreed on.
+pub struct Coordinator<'a, O: RegressionObjective> {
+    estimator: &'a FmEstimator<O>,
+    mode: NoiseMode,
+    chunk_rows: usize,
+}
+
+impl<'a, O: RegressionObjective> Coordinator<'a, O> {
+    /// A coordinator for `mode` under the round's shared estimator, at
+    /// the default chunk size.
+    pub fn new(estimator: &'a FmEstimator<O>, mode: NoiseMode) -> Self {
+        Self::with_chunk_rows(estimator, mode, fm_core::assembly::DEFAULT_CHUNK_ROWS)
+    }
+
+    /// As [`Coordinator::new`] with an explicit shared chunk size.
+    pub fn with_chunk_rows(
+        estimator: &'a FmEstimator<O>,
+        mode: NoiseMode,
+        chunk_rows: usize,
+    ) -> Self {
+        Coordinator {
+            estimator,
+            mode,
+            chunk_rows: chunk_rows.max(1),
+        }
+    }
+
+    /// The shared chunk-grid size of this round.
+    #[must_use]
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// The round's noise placement.
+    #[must_use]
+    pub fn mode(&self) -> NoiseMode {
+        self.mode
+    }
+
+    /// Plans the round's row partition: contiguous, chunk-aligned,
+    /// balanced shares for `clients` participants over `total_rows` rows.
+    ///
+    /// # Errors
+    /// As [`ShardPlan::new`].
+    pub fn plan(&self, total_rows: usize, clients: usize) -> Result<ShardPlan> {
+        ShardPlan::new(total_rows, clients, self.chunk_rows)
+    }
+
+    /// Receives and decodes one upload per transport, in registration
+    /// order.
+    ///
+    /// # Errors
+    /// [`crate::FederatedError::Transport`] for channel failures;
+    /// [`crate::FederatedError::Wire`] for payloads that fail `fm-accum
+    /// v1` validation (corruption, truncation, version skew).
+    pub fn collect(
+        &self,
+        transports: &mut [impl Transport],
+    ) -> Result<Vec<AccumUpload<QuadraticForm>>> {
+        transports
+            .iter_mut()
+            .map(|t| {
+                let bytes = t.recv()?;
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| crate::error::wire("payload is not UTF-8"))?;
+                AccumUpload::decode(&text)
+            })
+            .collect()
+    }
+
+    /// Validates the collected uploads against the round's protocol,
+    /// debits each client's (ε, δ) exactly once through a
+    /// parallel-composition scope on `session` under `tenant`, and
+    /// releases the round's model.
+    ///
+    /// Validation happens **before** the debit (a malformed round costs
+    /// no budget); a release failure after the debit leaves the budget
+    /// spent — fail closed, never under-count.
+    ///
+    /// # Errors
+    /// [`crate::FederatedError::Protocol`] for duplicate client labels,
+    /// mismatched dimensionality/chunk grid/mode, or non-contiguous grid
+    /// coverage; [`crate::FederatedError::Fm`] for budget refusals and
+    /// release failures.
+    pub fn release(
+        &self,
+        uploads: Vec<AccumUpload<QuadraticForm>>,
+        session: &SharedPrivacySession,
+        tenant: &str,
+        rng: &mut impl Rng,
+    ) -> Result<O::Model> {
+        let d = self.validate(&uploads)?;
+
+        // Disjoint client shards compose in parallel: debit each label
+        // once; the tenant pays the max ε across clients, not the sum.
+        let config = self.estimator.config();
+        let delta = config.delta().unwrap_or(0.0);
+        let mut scope = session.parallel_scope(tenant);
+        for upload in &uploads {
+            scope.admit(&upload.client, config.epsilon, delta)?;
+        }
+        scope.finish()?;
+
+        match self.mode {
+            NoiseMode::Central => self.release_central(uploads, d, rng),
+            NoiseMode::Local => self.release_local(uploads, d),
+        }
+    }
+
+    /// One-call round: collect every client's upload, then
+    /// [`Coordinator::release`].
+    ///
+    /// # Errors
+    /// As [`Coordinator::collect`] and [`Coordinator::release`].
+    pub fn run_round(
+        &self,
+        transports: &mut [impl Transport],
+        session: &SharedPrivacySession,
+        tenant: &str,
+        rng: &mut impl Rng,
+    ) -> Result<O::Model> {
+        let uploads = self.collect(transports)?;
+        self.release(uploads, session, tenant, rng)
+    }
+
+    /// Protocol validation over the whole round — everything checkable
+    /// without touching the budget or the accumulator. Returns the
+    /// round's working dimensionality.
+    fn validate(&self, uploads: &[AccumUpload<QuadraticForm>]) -> Result<usize> {
+        if uploads.is_empty() {
+            return Err(protocol("a round needs at least one client upload"));
+        }
+        let mut labels: Vec<&str> = uploads.iter().map(|u| u.client.as_str()).collect();
+        labels.sort_unstable();
+        if let Some(dup) = labels.windows(2).find(|w| w[0] == w[1]) {
+            return Err(protocol(format!(
+                "client {:?} uploaded more than once; a label is debited exactly once per round",
+                dup[0]
+            )));
+        }
+        let d = uploads[0].d;
+        let expected = self.mode.expected_payload();
+        let last = uploads.len() - 1;
+        let mut frontier = 0usize;
+        for (i, u) in uploads.iter().enumerate() {
+            if u.d != d {
+                return Err(protocol(format!(
+                    "client {:?} uploaded d = {}, the round runs at d = {d}",
+                    u.client, u.d
+                )));
+            }
+            if u.chunk_rows != self.chunk_rows {
+                return Err(protocol(format!(
+                    "client {:?} chunked at {} rows, the round's grid is {}",
+                    u.client, u.chunk_rows, self.chunk_rows
+                )));
+            }
+            if u.mode != expected {
+                return Err(protocol(format!(
+                    "client {:?} uploaded a {:?} payload into a {:?} round",
+                    u.client, u.mode, self.mode
+                )));
+            }
+            if self.mode == NoiseMode::Central {
+                if u.start_chunk != frontier {
+                    return Err(protocol(format!(
+                        "client {:?} starts at chunk {}, but the grid frontier is {frontier}",
+                        u.client, u.start_chunk
+                    )));
+                }
+                if i != last && !u.staged_ys.is_empty() {
+                    return Err(protocol(format!(
+                        "client {:?} uploaded ragged-tail rows mid-round; only the final \
+                         client may carry a partial chunk",
+                        u.client
+                    )));
+                }
+                for &(rank, _) in &u.runs {
+                    frontier = frontier
+                        .checked_add(1usize << rank)
+                        .ok_or_else(|| protocol("round chunk count overflows"))?;
+                }
+            }
+        }
+        Ok(d)
+    }
+
+    /// Central-noise release: replay every client's pre-merged runs at
+    /// matching ranks on the shared grid, absorb the final ragged tail,
+    /// and draw the mechanism's noise once over the merged exact
+    /// coefficients — bit-identical to a single-machine fit over the
+    /// concatenated rows at the same chunk size and RNG state.
+    fn release_central(
+        &self,
+        uploads: Vec<AccumUpload<QuadraticForm>>,
+        d: usize,
+        rng: &mut impl Rng,
+    ) -> Result<O::Model> {
+        let objective = self.estimator.objective();
+        let mut acc = CoefficientAccumulator::with_chunk_rows(objective, d, self.chunk_rows);
+        for upload in uploads {
+            for (rank, part) in upload.runs {
+                acc.push_run(rank, part)?;
+            }
+            if !upload.staged_ys.is_empty() {
+                // Raw tail rows go through full contract validation, like
+                // any other ingested block.
+                acc.push_rows(&upload.staged_xs, &upload.staged_ys)?;
+            }
+        }
+        let clean = acc
+            .finish()
+            .ok_or_else(|| protocol("the round covered no rows"))?;
+        Ok(self.estimator.release_clean(&clean, rng)?)
+    }
+
+    /// Local-noise release: sum the already-perturbed client objectives
+    /// in upload order (pure post-processing — no further noise, no
+    /// further budget) and solve under the round's strategy. The noise
+    /// calibration handed to post-processing is derived from the round's
+    /// own mechanism configuration, never from the network.
+    fn release_local(
+        &self,
+        uploads: Vec<AccumUpload<QuadraticForm>>,
+        _d: usize,
+    ) -> Result<O::Model> {
+        let contributors = uploads.len();
+        let mut total: Option<QuadraticForm> = None;
+        for upload in uploads {
+            for (_, part) in upload.runs {
+                match &mut total {
+                    None => total = Some(part),
+                    Some(t) => t.merge(part),
+                }
+            }
+        }
+        let total = total.ok_or_else(|| protocol("the round carried no contributions"))?;
+        let config = self.estimator.config();
+        let mechanism =
+            FunctionalMechanism::with_config(config.epsilon, config.bound, config.noise)?;
+        let noisy = NoisyQuadratic::from_federated_sum(
+            total,
+            contributors,
+            &mechanism,
+            self.estimator.objective(),
+        )?;
+        Ok(self.estimator.release_noisy(noisy)?)
+    }
+}

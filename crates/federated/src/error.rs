@@ -1,0 +1,90 @@
+//! Typed errors for the federated subsystem.
+
+use fm_core::FmError;
+
+/// Everything that can go wrong between a federated client and its
+/// coordinator. Wire violations, transport failures, and protocol
+/// violations are deliberately separate variants: a checksum mismatch
+/// (corruption in flight) calls for a retransmit, a protocol violation
+/// (a client uploading off-grid) calls for rejecting the client, and an
+/// [`FmError`] is the fit itself refusing.
+#[derive(Debug)]
+pub enum FederatedError {
+    /// A payload failed `fm-accum v1` validation: version skew, checksum
+    /// mismatch, torn tail, structural violation.
+    Wire {
+        /// What was violated.
+        reason: String,
+    },
+    /// The byte transport failed: I/O error, torn frame, oversized frame,
+    /// or a peer hanging up mid-message.
+    Transport {
+        /// The operation that failed (`"send"`, `"recv"`, …).
+        op: &'static str,
+        /// Why.
+        detail: String,
+    },
+    /// A structurally valid payload that violates the round's protocol:
+    /// wrong dimensionality, off-grid chunk position, a mid-stream ragged
+    /// tail, a noisy upload in a clean round.
+    Protocol {
+        /// What was violated.
+        reason: String,
+    },
+    /// An error surfaced by the underlying fitting machinery (admission,
+    /// assembly, release).
+    Fm(FmError),
+}
+
+impl std::fmt::Display for FederatedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FederatedError::Wire { reason } => write!(f, "wire format violation: {reason}"),
+            FederatedError::Transport { op, detail } => {
+                write!(f, "transport failure during {op}: {detail}")
+            }
+            FederatedError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            FederatedError::Fm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FederatedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FederatedError::Fm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FmError> for FederatedError {
+    fn from(e: FmError) -> Self {
+        FederatedError::Fm(e)
+    }
+}
+
+/// Result alias for fallible federated operations.
+pub type Result<T> = std::result::Result<T, FederatedError>;
+
+/// Shorthand for a [`FederatedError::Wire`].
+pub(crate) fn wire(reason: impl Into<String>) -> FederatedError {
+    FederatedError::Wire {
+        reason: reason.into(),
+    }
+}
+
+/// Shorthand for a [`FederatedError::Protocol`].
+pub(crate) fn protocol(reason: impl Into<String>) -> FederatedError {
+    FederatedError::Protocol {
+        reason: reason.into(),
+    }
+}
+
+/// Shorthand for a [`FederatedError::Transport`].
+pub(crate) fn transport(op: &'static str, detail: impl Into<String>) -> FederatedError {
+    FederatedError::Transport {
+        op,
+        detail: detail.into(),
+    }
+}

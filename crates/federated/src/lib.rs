@@ -1,0 +1,51 @@
+//! # fm-federated — cross-process federated fitting for the functional
+//! mechanism
+//!
+//! Zhang et al.'s functional mechanism (PVLDB 2012) perturbs the
+//! *coefficients* of the polynomial objective, and those coefficients
+//! are sums over tuples — so they compose across parties by addition.
+//! This crate turns that observation into a wire protocol: K clients
+//! each accumulate a contiguous, chunk-aligned slice of the dataset with
+//! the same streaming machinery a single machine uses
+//! ([`fm_core::CoefficientAccumulator`]), ship their pre-merged partials
+//! over a versioned, checksummed text format (`fm-accum v1`,
+//! [`wire`]), and a coordinator merges them at matching merge-tree
+//! ranks, debits each client's ε exactly once through a
+//! parallel-composition scope on the shared privacy ledger
+//! ([`fm_core::session::SharedPrivacySession`]), and releases one model.
+//!
+//! Two trust models share the protocol (see [`NoiseMode`]):
+//!
+//! * **central noise** — exact partials travel; the coordinator draws
+//!   the mechanism's noise once. The released coefficients are
+//!   **bit-identical** to a single-machine fit over the concatenated
+//!   rows at the same chunk size and RNG state: the wire format round-
+//!   trips floats exactly, and runs are replayed at aligned grid
+//!   positions, so no floating-point sum is ever regrouped.
+//! * **local noise** — each client perturbs its own Δ-scaled
+//!   contribution before upload ([`FederatedClient::contribute_noisy`]);
+//!   the coordinator only post-processes. Same ε per client, `√K`× the
+//!   noise standard deviation — the measured utility gap between the
+//!   two models is exactly the price of not trusting the coordinator.
+//!
+//! Transports are pluggable ([`Transport`]): an in-memory pair for
+//! in-process rounds and length-prefixed frames over any
+//! `Read`/`Write` stream (Unix sockets, TCP, pipes) for real process
+//! boundaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod coordinator;
+pub mod error;
+pub mod plan;
+pub mod transport;
+pub mod wire;
+
+pub use client::FederatedClient;
+pub use coordinator::{Coordinator, NoiseMode};
+pub use error::{FederatedError, Result};
+pub use plan::{dyadic_segments, ClientShare, ShardPlan};
+pub use transport::{InMemoryTransport, StreamTransport, Transport, MAX_FRAME};
+pub use wire::{AccumUpload, PayloadMode, WirePartial, ACCUM_MAGIC};

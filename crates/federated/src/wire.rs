@@ -1,0 +1,600 @@
+//! The `fm-accum v1` wire format: a versioned, checksummed serialization
+//! of streaming-accumulator state for cross-process federated fitting.
+//!
+//! A federated client ships its contribution to the coordinator as one
+//! payload holding the client's position on the shared chunk grid, its
+//! pre-merged counter runs (each covering `2^rank` consecutive chunks),
+//! and — for the final client of a central-noise round — the raw rows of
+//! the ragged tail chunk. The format follows `fm-checkpoint v1`
+//! ([`fm_core::checkpoint`]) exactly where it can: line-oriented ASCII,
+//! one `key value…` pair per line, floats written with Rust's
+//! shortest-round-trip formatting (bit-exact on reparse), closed by a
+//! whole-payload FNV-1a-64 checksum ([`fm_privacy::wal::checksum64`]).
+//!
+//! # Format
+//!
+//! ```text
+//! fm-accum v1
+//! kind quadratic            (or polynomial)
+//! client alice              (budget label: no whitespace/control, ≤ 128 bytes)
+//! mode clean                (or noisy)
+//! d 4
+//! chunk_rows 4096
+//! start_chunk 8             (the client's first chunk on the shared grid)
+//! rows 40960
+//! staged 0                  (ragged-tail rows riding along raw)
+//! stage_ys <f>…
+//! stage_xs <f>…
+//! runs 2
+//! run 3                     (counter rank: this partial covers 2³ chunks)
+//! beta <f>
+//! alpha <f>·d
+//! m <f>·d²
+//! run 1
+//! …
+//! checksum <16-hex FNV-1a-64 of every preceding byte>
+//! ```
+//!
+//! Polynomial partials replace the `beta`/`alpha`/`m` lines with
+//! `terms <k>` followed by `term <coeff> <e₁> … <e_d>` lines, exactly as
+//! checkpoints do.
+//!
+//! # What decode refuses
+//!
+//! The checksum closes over the whole payload, so truncation or
+//! corruption *anywhere* — a torn tail, a flipped byte mid-run — is
+//! refused before any field is trusted. On top of that, decoding
+//! enforces the structural invariants the merge-tree replay depends on:
+//! version skew, unknown or out-of-order keys, a run that is not aligned
+//! at its own grid position (`(start_chunk + chunks so far) mod 2^rank ≠
+//! 0`), row counts inconsistent with the chunk grid, staged rows in a
+//! noisy payload, and non-finite floats are all typed
+//! [`crate::FederatedError::Wire`] errors, never panics.
+
+use fm_linalg::Matrix;
+use fm_poly::{Monomial, Polynomial, QuadraticForm};
+use fm_privacy::wal::checksum64;
+
+use crate::error::{wire, Result};
+
+/// Magic first line of an `fm-accum` payload, with the format version.
+pub const ACCUM_MAGIC: &str = "fm-accum v1";
+
+/// Whether a payload carries exact (clean) accumulator state or a
+/// client-side perturbed (noisy) objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadMode {
+    /// Exact coefficient partials; the coordinator draws the noise once
+    /// at release (central-noise trust model).
+    Clean,
+    /// The client perturbed its own contribution before upload
+    /// (local-noise trust model); the payload carries exactly one rank-0
+    /// run holding the noisy objective and no raw rows.
+    Noisy,
+}
+
+impl PayloadMode {
+    fn token(self) -> &'static str {
+        match self {
+            PayloadMode::Clean => "clean",
+            PayloadMode::Noisy => "noisy",
+        }
+    }
+
+    fn parse(tok: &str) -> Result<Self> {
+        match tok {
+            "clean" => Ok(PayloadMode::Clean),
+            "noisy" => Ok(PayloadMode::Noisy),
+            other => Err(wire(format!("unknown mode {other:?}"))),
+        }
+    }
+}
+
+/// The two partial kinds the wire format carries — the degree-2
+/// [`QuadraticForm`] of the built-in regressions and the general-degree
+/// [`Polynomial`] of `fm_core::generic`.
+pub trait WirePartial: Sized {
+    /// The `kind` tag in the header.
+    const KIND: &'static str;
+
+    /// The partial's variable count (must equal the payload's `d`).
+    fn wire_dim(&self) -> usize;
+
+    /// Appends the partial's body lines to `out`.
+    fn encode_body(&self, out: &mut String);
+
+    /// Parses one partial body at dimensionality `d`.
+    ///
+    /// # Errors
+    /// [`crate::FederatedError::Wire`] for malformed or mis-shaped bodies.
+    fn decode_body(lines: &mut LineReader<'_>, d: usize) -> Result<Self>;
+}
+
+impl WirePartial for QuadraticForm {
+    const KIND: &'static str = "quadratic";
+
+    fn wire_dim(&self) -> usize {
+        self.dim()
+    }
+
+    fn encode_body(&self, out: &mut String) {
+        out.push_str("beta ");
+        push_f64(out, self.beta());
+        out.push('\n');
+        push_floats_line(out, "alpha", self.alpha());
+        push_floats_line(out, "m", self.m().as_slice());
+    }
+
+    fn decode_body(lines: &mut LineReader<'_>, d: usize) -> Result<Self> {
+        let beta = lines.floats("beta", 1)?[0];
+        let alpha = lines.floats("alpha", d)?;
+        let m = lines.floats("m", d * d)?;
+        let m = Matrix::from_vec(d, d, m).map_err(|e| wire(format!("uploaded m: {e}")))?;
+        Ok(QuadraticForm::new(m, alpha, beta))
+    }
+}
+
+impl WirePartial for Polynomial {
+    const KIND: &'static str = "polynomial";
+
+    fn wire_dim(&self) -> usize {
+        self.num_vars()
+    }
+
+    fn encode_body(&self, out: &mut String) {
+        let n_terms = self.terms().count();
+        out.push_str(&format!("terms {n_terms}\n"));
+        for (phi, coeff) in self.terms() {
+            out.push_str("term ");
+            push_f64(out, coeff);
+            for &e in phi.exponents() {
+                out.push_str(&format!(" {e}"));
+            }
+            out.push('\n');
+        }
+    }
+
+    fn decode_body(lines: &mut LineReader<'_>, d: usize) -> Result<Self> {
+        let n_terms = lines.usize_field("terms")?;
+        let mut poly = Polynomial::zero(d);
+        for _ in 0..n_terms {
+            let toks = lines.tagged("term")?;
+            let mut toks = toks.split(' ');
+            let coeff = parse_f64_tok("term coefficient", toks.next())?;
+            let exps: Vec<u32> = toks
+                .map(|t| {
+                    t.parse::<u32>()
+                        .map_err(|_| wire(format!("unparseable exponent {t:?}")))
+                })
+                .collect::<Result<_>>()?;
+            if exps.len() != d {
+                return Err(wire(format!(
+                    "term has {} exponents, payload says d = {d}",
+                    exps.len()
+                )));
+            }
+            poly.add_term(Monomial::new(exps), coeff);
+        }
+        Ok(poly)
+    }
+}
+
+/// One client's contribution to a federated round, as carried by the
+/// `fm-accum v1` wire format: the client's identity and grid position,
+/// its pre-merged counter runs, and (final client of a central round
+/// only) the raw rows of the ragged tail chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccumUpload<P = QuadraticForm> {
+    /// The client's budget label (what the coordinator debits; no
+    /// whitespace or control characters, at most 128 bytes).
+    pub client: String,
+    /// Clean accumulator state or a client-side perturbed objective.
+    pub mode: PayloadMode,
+    /// The working dimensionality (intercept augmentation included).
+    pub d: usize,
+    /// The shared chunk-grid size every party agreed on.
+    pub chunk_rows: usize,
+    /// The client's first chunk on the shared grid.
+    pub start_chunk: usize,
+    /// Rows this contribution covers.
+    pub rows: usize,
+    /// Pre-merged counter runs `(rank, partial)` in grid order; each
+    /// covers `2^rank` consecutive chunks starting at an aligned position.
+    pub runs: Vec<(u32, P)>,
+    /// Row-major features of the ragged tail rows (empty off the tail).
+    pub staged_xs: Vec<f64>,
+    /// Labels of the ragged tail rows (empty off the tail).
+    pub staged_ys: Vec<f64>,
+}
+
+impl<P: WirePartial> AccumUpload<P> {
+    /// Serializes the upload to the versioned, checksummed `fm-accum v1`
+    /// text format. Floats are written shortest-round-trip, so
+    /// [`AccumUpload::decode`] reproduces the exact bits.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(ACCUM_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("kind {}\n", P::KIND));
+        out.push_str(&format!("client {}\n", self.client));
+        out.push_str(&format!("mode {}\n", self.mode.token()));
+        out.push_str(&format!("d {}\n", self.d));
+        out.push_str(&format!("chunk_rows {}\n", self.chunk_rows));
+        out.push_str(&format!("start_chunk {}\n", self.start_chunk));
+        out.push_str(&format!("rows {}\n", self.rows));
+        out.push_str(&format!("staged {}\n", self.staged_ys.len()));
+        push_floats_line(&mut out, "stage_ys", &self.staged_ys);
+        push_floats_line(&mut out, "stage_xs", &self.staged_xs);
+        out.push_str(&format!("runs {}\n", self.runs.len()));
+        for (rank, part) in &self.runs {
+            out.push_str(&format!("run {rank}\n"));
+            part.encode_body(&mut out);
+        }
+        out.push_str(&format!("checksum {:016x}\n", checksum64(out.as_bytes())));
+        out
+    }
+
+    /// Parses and validates an `fm-accum v1` payload.
+    ///
+    /// # Errors
+    /// [`crate::FederatedError::Wire`] for checksum failures (any truncation or
+    /// mid-payload corruption), version or kind skew, unknown or
+    /// out-of-order keys, malformed numbers, and structural violations:
+    /// unaligned runs, row counts inconsistent with the chunk grid,
+    /// staged rows that cannot belong to a partial chunk, or a noisy
+    /// payload carrying anything but a single rank-0 run.
+    pub fn decode(text: &str) -> Result<Self> {
+        // The checksum line closes over every byte before it, and the
+        // payload must end exactly at its newline: a payload missing even
+        // the final byte is refused.
+        let body_end = text
+            .rfind("checksum ")
+            .ok_or_else(|| wire("missing checksum line (truncated payload?)"))?;
+        let (body, sum_line) = text.split_at(body_end);
+        let sum_hex = sum_line.strip_prefix("checksum ").expect("split at match");
+        let Some(sum_hex) = sum_hex.strip_suffix('\n') else {
+            return Err(wire("payload torn mid-checksum"));
+        };
+        let expected = u64::from_str_radix(sum_hex, 16)
+            .map_err(|_| wire(format!("unparseable checksum {sum_hex:?}")))?;
+        if sum_hex.len() != 16 || checksum64(body.as_bytes()) != expected {
+            return Err(wire("checksum mismatch: payload is corrupt or truncated"));
+        }
+
+        let mut lines = LineReader {
+            lines: body.lines(),
+        };
+        let magic = lines.next_line()?;
+        if magic != ACCUM_MAGIC {
+            return Err(wire(format!(
+                "unsupported payload format {magic:?} (expected {ACCUM_MAGIC:?})"
+            )));
+        }
+        let kind = lines.tagged("kind")?;
+        if kind != P::KIND {
+            return Err(wire(format!(
+                "payload holds a {kind} accumulator, expected {}",
+                P::KIND
+            )));
+        }
+        let client = lines.tagged("client")?.to_string();
+        validate_client_label(&client)?;
+        let mode = PayloadMode::parse(lines.tagged("mode")?)?;
+        let d = lines.usize_field("d")?;
+        if d == 0 {
+            return Err(wire("uploaded d must be ≥ 1"));
+        }
+        let chunk_rows = lines.usize_field("chunk_rows")?;
+        if chunk_rows == 0 {
+            return Err(wire("uploaded chunk_rows must be ≥ 1"));
+        }
+        let start_chunk = lines.usize_field("start_chunk")?;
+        let rows = lines.usize_field("rows")?;
+
+        let staged = lines.usize_field("staged")?;
+        if staged >= chunk_rows {
+            return Err(wire(format!(
+                "{staged} staged rows cannot fit a {chunk_rows}-row chunk mid-fill"
+            )));
+        }
+        let staged_ys = lines.floats("stage_ys", staged)?;
+        let staged_xs = lines.floats("stage_xs", staged * d)?;
+
+        let n_runs = lines.usize_field("runs")?;
+        let mut runs: Vec<(u32, P)> = Vec::with_capacity(n_runs.min(1024));
+        let mut chunks_total = 0usize;
+        for _ in 0..n_runs {
+            let rank_tok = lines.tagged("run")?;
+            let rank: u32 = rank_tok
+                .parse()
+                .map_err(|_| wire(format!("unparseable run rank {rank_tok:?}")))?;
+            if rank >= usize::BITS {
+                return Err(wire(format!("run rank {rank} overflows the chunk grid")));
+            }
+            let run_chunks = 1usize << rank;
+            let position = start_chunk
+                .checked_add(chunks_total)
+                .ok_or_else(|| wire("chunk position overflows"))?;
+            if position % run_chunks != 0 {
+                return Err(wire(format!(
+                    "run of 2^{rank} chunks is not aligned at chunk {position}: \
+                     replaying it would regroup sums the single-machine tree never groups"
+                )));
+            }
+            let part = P::decode_body(&mut lines, d)?;
+            if part.wire_dim() != d {
+                return Err(wire(format!(
+                    "run partial has d = {}, payload says {d}",
+                    part.wire_dim()
+                )));
+            }
+            chunks_total = chunks_total
+                .checked_add(run_chunks)
+                .ok_or_else(|| wire("run chunks overflow the addressable grid"))?;
+            runs.push((rank, part));
+        }
+        if lines.lines.next().is_some() {
+            return Err(wire("trailing content after the last run"));
+        }
+
+        match mode {
+            PayloadMode::Clean => {
+                // Every run holds exactly 2^rank full chunks; only the
+                // ragged tail travels as raw rows.
+                let expected_rows = chunks_total
+                    .checked_mul(chunk_rows)
+                    .and_then(|v| v.checked_add(staged));
+                if expected_rows != Some(rows) {
+                    return Err(wire(format!(
+                        "row count {rows} inconsistent with {chunks_total} chunks of \
+                         {chunk_rows} rows plus {staged} staged"
+                    )));
+                }
+            }
+            PayloadMode::Noisy => {
+                // A noisy upload is one perturbed objective — never raw
+                // rows, never a grid position.
+                if runs.len() != 1 || runs[0].0 != 0 {
+                    return Err(wire("a noisy payload must carry exactly one rank-0 run"));
+                }
+                if staged != 0 {
+                    return Err(wire("a noisy payload must not carry raw staged rows"));
+                }
+                if start_chunk != 0 {
+                    return Err(wire("a noisy payload has no grid position"));
+                }
+                if rows == 0 {
+                    return Err(wire("a noisy payload must cover at least one row"));
+                }
+            }
+        }
+
+        Ok(AccumUpload {
+            client,
+            mode,
+            d,
+            chunk_rows,
+            start_chunk,
+            rows,
+            runs,
+            staged_xs,
+            staged_ys,
+        })
+    }
+}
+
+/// Refuses client labels that could not serve as budget-ledger tokens:
+/// empty, over 128 bytes, or containing whitespace/control characters
+/// (which would also corrupt the line-oriented format).
+fn validate_client_label(label: &str) -> Result<()> {
+    if label.is_empty() || label.len() > 128 {
+        return Err(wire(format!(
+            "client label must be 1–128 bytes, got {}",
+            label.len()
+        )));
+    }
+    if label.chars().any(|c| c.is_whitespace() || c.is_control()) {
+        return Err(wire(format!(
+            "client label {label:?} contains whitespace or control characters"
+        )));
+    }
+    Ok(())
+}
+
+/// Shortest-round-trip float formatting (bit-exact on reparse — the same
+/// regime `fm-checkpoint v1` and `persist::SavedModel` rely on).
+fn push_f64(out: &mut String, v: f64) {
+    out.push_str(&format!("{v}"));
+}
+
+fn push_floats_line(out: &mut String, tag: &str, vals: &[f64]) {
+    out.push_str(tag);
+    for &v in vals {
+        out.push(' ');
+        push_f64(out, v);
+    }
+    out.push('\n');
+}
+
+fn parse_f64_tok(what: &str, tok: Option<&str>) -> Result<f64> {
+    let tok = tok.ok_or_else(|| wire(format!("missing {what}")))?;
+    let v: f64 = tok
+        .parse()
+        .map_err(|_| wire(format!("unparseable {what} {tok:?}")))?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(wire(format!("{what} must be finite, got {tok}")))
+    }
+}
+
+/// Sequential tagged-line reader over the payload body (same shape as
+/// the checkpoint parser's; public only because [`WirePartial`] bodies
+/// read through it).
+pub struct LineReader<'a> {
+    lines: std::str::Lines<'a>,
+}
+
+impl<'a> LineReader<'a> {
+    fn next_line(&mut self) -> Result<&'a str> {
+        self.lines
+            .next()
+            .ok_or_else(|| wire("truncated payload body"))
+    }
+
+    /// Consumes the next line, requiring tag `tag`; returns the rest.
+    fn tagged(&mut self, tag: &str) -> Result<&'a str> {
+        let line = self.next_line()?;
+        match line.strip_prefix(tag) {
+            Some("") => Ok(""),
+            Some(rest) if rest.starts_with(' ') => Ok(&rest[1..]),
+            _ => Err(wire(format!(
+                "expected `{tag} …`, found {line:?} (unknown or out-of-order key)"
+            ))),
+        }
+    }
+
+    fn usize_field(&mut self, tag: &str) -> Result<usize> {
+        let rest = self.tagged(tag)?;
+        rest.parse::<usize>()
+            .map_err(|_| wire(format!("unparseable {tag} {rest:?}")))
+    }
+
+    /// Consumes a `tag v0 v1 …` line carrying exactly `n` finite floats.
+    fn floats(&mut self, tag: &str, n: usize) -> Result<Vec<f64>> {
+        let rest = self.tagged(tag)?;
+        let vals: Vec<f64> = rest
+            .split(' ')
+            .filter(|t| !t.is_empty())
+            .map(|t| parse_f64_tok(tag, Some(t)))
+            .collect::<Result<_>>()?;
+        if vals.len() != n {
+            return Err(wire(format!(
+                "{tag}: expected {n} values, found {}",
+                vals.len()
+            )));
+        }
+        Ok(vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FederatedError;
+
+    fn sample_upload() -> AccumUpload<QuadraticForm> {
+        let d = 2;
+        let part = |seed: f64| {
+            let m = Matrix::from_vec(d, d, vec![seed, seed * 0.5, seed * 0.5, seed * 2.0]).unwrap();
+            QuadraticForm::new(m, vec![seed * 0.1, -seed], seed * 0.01)
+        };
+        AccumUpload {
+            client: "alice".to_string(),
+            mode: PayloadMode::Clean,
+            d,
+            chunk_rows: 4,
+            start_chunk: 4,
+            rows: 4 * 4 + 4 + 2,
+            runs: vec![(2, part(1.3)), (0, part(-0.7))],
+            staged_xs: vec![0.1, 0.2, 0.3, 0.4],
+            staged_ys: vec![0.5, -0.5],
+        }
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let upload = sample_upload();
+        let text = upload.encode();
+        let back = AccumUpload::<QuadraticForm>::decode(&text).unwrap();
+        assert_eq!(back, upload);
+        // Deterministic: re-encoding reproduces the bytes.
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn every_prefix_is_refused() {
+        let text = sample_upload().encode();
+        for cut in 0..text.len() {
+            let prefix = &text[..cut];
+            assert!(
+                AccumUpload::<QuadraticForm>::decode(prefix).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_version_skew_and_kind_skew_are_refused() {
+        let text = sample_upload().encode();
+        for pos in [0usize, 12, text.len() / 2, text.len() - 3] {
+            let mut evil = text.clone().into_bytes();
+            evil[pos] ^= 0x01;
+            let evil = String::from_utf8_lossy(&evil).into_owned();
+            assert!(
+                AccumUpload::<QuadraticForm>::decode(&evil).is_err(),
+                "flip at {pos} accepted"
+            );
+        }
+        // Version skew with a freshly valid checksum is still refused.
+        let body = text[..text.rfind("checksum ").unwrap()].replace("v1", "v2");
+        let skewed = format!("{body}checksum {:016x}\n", checksum64(body.as_bytes()));
+        let err = AccumUpload::<QuadraticForm>::decode(&skewed).unwrap_err();
+        assert!(matches!(err, FederatedError::Wire { .. }));
+        // A quadratic payload is not a polynomial payload.
+        assert!(AccumUpload::<Polynomial>::decode(&text).is_err());
+    }
+
+    fn reframe(text: &str, from: &str, to: &str) -> String {
+        let body = text[..text.rfind("checksum ").unwrap()].replace(from, to);
+        format!("{body}checksum {:016x}\n", checksum64(body.as_bytes()))
+    }
+
+    #[test]
+    fn structural_violations_are_refused_even_with_valid_checksums() {
+        let text = sample_upload().encode();
+        // Unaligned run: moving the client off its aligned start makes the
+        // rank-2 run start at chunk 5.
+        let forged = reframe(&text, "start_chunk 4", "start_chunk 5");
+        assert!(AccumUpload::<QuadraticForm>::decode(&forged).is_err());
+        // Row accounting.
+        let forged = reframe(&text, "rows 22", "rows 23");
+        assert!(AccumUpload::<QuadraticForm>::decode(&forged).is_err());
+        // A noisy payload may not carry staged rows or multiple runs.
+        let forged = reframe(&text, "mode clean", "mode noisy");
+        assert!(AccumUpload::<QuadraticForm>::decode(&forged).is_err());
+        // Ranks past the grid.
+        let forged = reframe(&text, "run 2\n", &format!("run {}\n", u32::MAX));
+        assert!(AccumUpload::<QuadraticForm>::decode(&forged).is_err());
+    }
+
+    #[test]
+    fn noisy_payloads_carry_one_rank0_run_and_nothing_else() {
+        let mut upload = sample_upload();
+        upload.mode = PayloadMode::Noisy;
+        upload.runs.truncate(1);
+        upload.runs[0].0 = 0;
+        upload.staged_xs.clear();
+        upload.staged_ys.clear();
+        upload.start_chunk = 0;
+        upload.rows = 9;
+        let back = AccumUpload::<QuadraticForm>::decode(&upload.encode()).unwrap();
+        assert_eq!(back, upload);
+
+        upload.rows = 0;
+        assert!(AccumUpload::<QuadraticForm>::decode(&upload.encode()).is_err());
+    }
+
+    #[test]
+    fn hostile_client_labels_are_refused() {
+        for label in ["", "two words", "tab\tchar", &"x".repeat(129)] {
+            let mut upload = sample_upload();
+            upload.client = label.to_string();
+            assert!(
+                AccumUpload::<QuadraticForm>::decode(&upload.encode()).is_err(),
+                "label {label:?} accepted"
+            );
+        }
+    }
+}

@@ -11,12 +11,19 @@
 //! `ε = T/(2σ̃²) + √(2·T·ln(1/δ))/σ̃` — typically 3–10× tighter than
 //! `best_composition` once `T ≳ 16`.
 //!
-//! Three curve families cover every mechanism this workspace releases:
+//! Four curve families cover every mechanism this workspace releases:
 //!
 //! * **Gaussian** (classical calibration): `ε_R(α) = α/(2σ̃²)` exactly,
 //!   where `σ̃ = σ/Δ₂` is the noise multiplier. Exact for scalar *and*
 //!   vector releases (the multivariate Gaussian divergence depends only
 //!   on `‖shift‖₂/σ ≤ Δ₂/σ`).
+//! * **Subsampled Gaussian** (Mironov–Talwar–Zhang 2019): the Gaussian
+//!   mechanism applied to a Poisson subsample at rate `q` — what a
+//!   federated client releases when it fits on a sampled fraction of
+//!   its rows. The binomial-expansion upper bound at integer orders,
+//!   extended to the fractional grid by chord interpolation of the
+//!   convex log-moment `(α−1)·ε_R(α)`; collapses to the plain Gaussian
+//!   curve **bit-exactly** at `q = 1`.
 //! * **Laplace**: the known closed form (Mironov 2017, Table II).
 //!   Sound for the vector Laplace mechanism at L1 sensitivity: the
 //!   per-coordinate Rényi integrand is convex in the shift, so the
@@ -82,6 +89,18 @@ pub enum RenyiMechanism {
         /// Noise standard deviation divided by the L2 sensitivity.
         noise_multiplier: f64,
     },
+    /// Gaussian mechanism over a Poisson subsample of the data: each row
+    /// enters the release independently with probability `sampling_rate`,
+    /// then noise at multiplier `σ̃ = σ/Δ₂` is added. Uses the
+    /// Mironov–Talwar–Zhang (2019) upper bound, which is what buys a
+    /// federated client that samples rows its much tighter composed ε.
+    SubsampledGaussian {
+        /// Noise standard deviation divided by the L2 sensitivity.
+        noise_multiplier: f64,
+        /// Poisson sampling rate `q ∈ (0, 1]`; `q = 1` (no subsampling)
+        /// reproduces [`RenyiMechanism::Gaussian`] bit-exactly.
+        sampling_rate: f64,
+    },
     /// (Vector) Laplace mechanism satisfying pure `epsilon`-DP.
     Laplace {
         /// The pure-DP budget ε₀ of the release.
@@ -134,6 +153,25 @@ impl RenyiMechanism {
                     });
                 }
             }
+            RenyiMechanism::SubsampledGaussian {
+                noise_multiplier,
+                sampling_rate,
+            } => {
+                if !noise_multiplier.is_finite() || noise_multiplier <= 0.0 {
+                    return Err(PrivacyError::InvalidParameter {
+                        name: "noise_multiplier",
+                        value: noise_multiplier,
+                        constraint: "must be finite and > 0",
+                    });
+                }
+                if !sampling_rate.is_finite() || sampling_rate <= 0.0 || sampling_rate > 1.0 {
+                    return Err(PrivacyError::InvalidParameter {
+                        name: "sampling_rate",
+                        value: sampling_rate,
+                        constraint: "must satisfy 0 < q <= 1",
+                    });
+                }
+            }
             RenyiMechanism::Laplace { epsilon } | RenyiMechanism::PureDp { epsilon } => {
                 if !epsilon.is_finite() || epsilon <= 0.0 {
                     return Err(PrivacyError::InvalidParameter {
@@ -156,6 +194,10 @@ impl RenyiMechanism {
             RenyiMechanism::Gaussian { noise_multiplier } => {
                 alpha / (2.0 * noise_multiplier * noise_multiplier)
             }
+            RenyiMechanism::SubsampledGaussian {
+                noise_multiplier,
+                sampling_rate,
+            } => subsampled_gaussian_rdp(alpha, noise_multiplier, sampling_rate),
             RenyiMechanism::Laplace { epsilon } => laplace_rdp(alpha, epsilon),
             RenyiMechanism::PureDp { epsilon } => {
                 // Bun–Steinke: ε₀-DP ⇒ ½ε₀²-zCDP ⇒ ε_R(α) ≤ α·ε₀²/2,
@@ -177,6 +219,66 @@ fn laplace_rdp(alpha: f64, eps0: f64) -> f64 {
     let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
     let lse = hi + (lo - hi).exp().ln_1p();
     (lse / (alpha - 1.0)).min(eps0)
+}
+
+/// Poisson-subsampled Gaussian RDP (Mironov–Talwar–Zhang 2019, Thm. 11
+/// upper bound). At integer orders `α ≥ 2`,
+/// `ε_R(α) = ln[ Σ_{k=0}^{α} C(α,k)·(1−q)^{α−k}·q^k·e^{k(k−1)/(2σ̃²)} ] / (α−1)`,
+/// evaluated entirely in log space (log-sum-exp over the binomial terms)
+/// so high orders at low noise cannot overflow. Fractional grid orders
+/// take the chord of the convex log-moment `h(α) = (α−1)·ε_R(α)` between
+/// the bracketing integers (`h(1) = 0`), which upper-bounds `h` and is
+/// therefore sound. `q = 1` short-circuits to the exact plain-Gaussian
+/// curve `α/(2σ̃²)` so the two enum variants agree bit-for-bit there.
+fn subsampled_gaussian_rdp(alpha: f64, sigma: f64, q: f64) -> f64 {
+    if q >= 1.0 {
+        return alpha / (2.0 * sigma * sigma);
+    }
+    let lo = alpha.floor();
+    let hi = alpha.ceil();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    if lo == hi {
+        return subsampled_gaussian_log_moment(alpha as u64, sigma, q) / (alpha - 1.0);
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let h_lo = if lo <= 1.0 {
+        0.0
+    } else {
+        subsampled_gaussian_log_moment(lo as u64, sigma, q)
+    };
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let h_hi = subsampled_gaussian_log_moment(hi as u64, sigma, q);
+    let t = alpha - lo;
+    ((1.0 - t) * h_lo + t * h_hi) / (alpha - 1.0)
+}
+
+/// `h(α) = ln E_k[e^{k(k−1)/(2σ̃²)}]`, `k ~ Binomial(α, q)`, for integer
+/// `α ≥ 2` and `q < 1`. The binomial log-coefficients accumulate
+/// incrementally (`ln C(α,k+1) = ln C(α,k) + ln((α−k)/(k+1))`), and
+/// `ln(1−q)` comes from `ln_1p` so rates within one ulp of 1 stay exact.
+fn subsampled_gaussian_log_moment(alpha_int: u64, sigma: f64, q: f64) -> f64 {
+    #[allow(clippy::cast_precision_loss)]
+    let a = alpha_int as f64;
+    let ln_q = q.ln();
+    let ln_1q = (-q).ln_1p();
+    let gauss = 1.0 / (2.0 * sigma * sigma);
+    let mut ln_binom = 0.0;
+    let mut max = f64::NEG_INFINITY;
+    let mut terms = Vec::with_capacity(alpha_int as usize + 1);
+    for k in 0..=alpha_int {
+        #[allow(clippy::cast_precision_loss)]
+        let kf = k as f64;
+        let term = ln_binom + (a - kf) * ln_1q + kf * ln_q + kf * (kf - 1.0) * gauss;
+        max = max.max(term);
+        terms.push(term);
+        if k < alpha_int {
+            ln_binom += ((a - kf) / (kf + 1.0)).ln();
+        }
+    }
+    // log-sum-exp; divergences are non-negative so clamp tiny negative
+    // float residue at exactly zero.
+    let sum: f64 = terms.iter().map(|&t| (t - max).exp()).sum();
+    (max + sum.ln()).max(0.0)
 }
 
 /// The (ε, δ) account produced by [`RdpLedger::convert`] — the "moments
@@ -453,6 +555,118 @@ mod tests {
         assert!((m.rdp(2.0) - 0.04).abs() < 1e-15);
         // High order: capped at ε₀.
         assert_eq!(m.rdp(1024.0), 0.2);
+    }
+
+    #[test]
+    fn subsampled_gaussian_at_full_rate_is_bit_identical_to_gaussian() {
+        let sigma = 3.0;
+        let plain = RenyiMechanism::Gaussian {
+            noise_multiplier: sigma,
+        };
+        let sub = RenyiMechanism::SubsampledGaussian {
+            noise_multiplier: sigma,
+            sampling_rate: 1.0,
+        };
+        for &alpha in &default_alpha_grid() {
+            assert_eq!(
+                plain.rdp(alpha).to_bits(),
+                sub.rdp(alpha).to_bits(),
+                "q = 1 must reproduce the plain Gaussian curve exactly at α = {alpha}"
+            );
+        }
+        // And therefore the composed accounts agree bit-for-bit too.
+        let mut a = RdpLedger::new();
+        let mut b = RdpLedger::new();
+        for _ in 0..32 {
+            a.record(plain).unwrap();
+            b.record(sub).unwrap();
+        }
+        let (a, b) = (a.convert(1e-6).unwrap(), b.convert(1e-6).unwrap());
+        assert_eq!(a.epsilon.to_bits(), b.epsilon.to_bits());
+        assert_eq!(a.best_alpha, b.best_alpha);
+    }
+
+    #[test]
+    fn subsampling_tightens_the_curve_and_the_composed_account() {
+        let sigma = 2.0;
+        let plain = RenyiMechanism::Gaussian {
+            noise_multiplier: sigma,
+        };
+        let sub = RenyiMechanism::SubsampledGaussian {
+            noise_multiplier: sigma,
+            sampling_rate: 0.05,
+        };
+        for &alpha in &default_alpha_grid() {
+            let (p, s) = (plain.rdp(alpha), sub.rdp(alpha));
+            assert!(s.is_finite() && s >= 0.0, "ε_R({alpha}) = {s}");
+            assert!(
+                s <= p + 1e-12,
+                "subsampling must never loosen: α = {alpha}, sub {s} vs plain {p}"
+            );
+        }
+        // In the small-q regime the curve contracts roughly like q²: at
+        // q = 0.05 expect ≫10× tightening at moderate orders.
+        assert!(sub.rdp(8.0) < 0.05 * plain.rdp(8.0));
+        // Composed: T = 64 subsampled releases beat T = 64 full ones.
+        let mut full = RdpLedger::new();
+        let mut sampled = RdpLedger::new();
+        for _ in 0..64 {
+            full.record(plain).unwrap();
+            sampled.record(sub).unwrap();
+        }
+        let (f, s) = (full.convert(1e-6).unwrap(), sampled.convert(1e-6).unwrap());
+        assert!(
+            s.epsilon < 0.5 * f.epsilon,
+            "sampled ε {} vs full ε {}",
+            s.epsilon,
+            f.epsilon
+        );
+    }
+
+    #[test]
+    fn subsampled_gaussian_fractional_orders_interpolate_the_log_moment() {
+        let m = RenyiMechanism::SubsampledGaussian {
+            noise_multiplier: 1.5,
+            sampling_rate: 0.1,
+        };
+        // The chord of the convex log-moment h(α) = (α−1)·ε(α): exact at
+        // integers, and between them h stays on the straight line.
+        let h = |alpha: f64| (alpha - 1.0) * m.rdp(alpha);
+        let mid = h(2.5);
+        let chord = 0.5 * (h(2.0) + h(3.0));
+        assert!((mid - chord).abs() < 1e-12);
+        // (1, 2) anchors at h(1) = 0.
+        assert!((h(1.5) - 0.5 * h(2.0)).abs() < 1e-12);
+        // ε_R stays monotone along the default grid (Rényi orders).
+        let grid = default_alpha_grid();
+        for w in grid.windows(2) {
+            assert!(
+                m.rdp(w[0]) <= m.rdp(w[1]) + 1e-12,
+                "curve must be non-decreasing at α = {} → {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Degenerate parameters are refused by record().
+        let mut ledger = RdpLedger::new();
+        assert!(ledger
+            .record(RenyiMechanism::SubsampledGaussian {
+                noise_multiplier: 1.0,
+                sampling_rate: 0.0,
+            })
+            .is_err());
+        assert!(ledger
+            .record(RenyiMechanism::SubsampledGaussian {
+                noise_multiplier: 1.0,
+                sampling_rate: 1.5,
+            })
+            .is_err());
+        assert!(ledger
+            .record(RenyiMechanism::SubsampledGaussian {
+                noise_multiplier: 0.0,
+                sampling_rate: 0.5,
+            })
+            .is_err());
     }
 
     #[test]

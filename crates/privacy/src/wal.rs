@@ -47,6 +47,7 @@ use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use crate::budget::EpsDeltaEntry;
 use crate::{PrivacyError, Result};
@@ -142,6 +143,11 @@ pub struct WalStats {
     /// crash, awaiting resume. A conservative compaction policy leaves
     /// the log untouched while any exist.
     pub sealed_reservations: usize,
+    /// Wall-clock time since the ledger was opened or last compacted —
+    /// what a [`CompactionPolicy::age`] threshold consults. A quiet
+    /// ledger accumulates age without accumulating records, so an age
+    /// trigger bounds how stale a long-idle log's layout can get.
+    pub age: Duration,
 }
 
 /// When to fold a WAL's settled history into per-tenant `spent` summaries:
@@ -156,6 +162,10 @@ pub struct CompactionPolicy {
     pub max_settled_records: usize,
     /// Compact once the log file exceeds this many bytes.
     pub max_file_bytes: u64,
+    /// Compact once this much wall-clock time has passed since open or
+    /// the last compaction, regardless of how little garbage accrued.
+    /// `None` (the default) disables the time trigger.
+    pub max_age: Option<Duration>,
 }
 
 impl Default for CompactionPolicy {
@@ -163,6 +173,7 @@ impl Default for CompactionPolicy {
         CompactionPolicy {
             max_settled_records: 1024,
             max_file_bytes: 256 * 1024,
+            max_age: None,
         }
     }
 }
@@ -182,10 +193,22 @@ impl CompactionPolicy {
         self
     }
 
-    /// Whether `stats` has crossed either threshold.
+    /// Enables the time trigger: compact once [`WalStats::age`] reaches
+    /// `max`. Size triggers bound garbage but never fire on a quiet
+    /// ledger; an age bound guarantees a long-lived serving process
+    /// folds history on a schedule even when traffic is sparse.
+    #[must_use]
+    pub fn age(mut self, max: Duration) -> Self {
+        self.max_age = Some(max);
+        self
+    }
+
+    /// Whether `stats` has crossed any enabled threshold.
     #[must_use]
     pub fn due(&self, stats: &WalStats) -> bool {
-        stats.settled_records >= self.max_settled_records || stats.file_bytes >= self.max_file_bytes
+        stats.settled_records >= self.max_settled_records
+            || stats.file_bytes >= self.max_file_bytes
+            || self.max_age.is_some_and(|max| stats.age >= max)
     }
 }
 
@@ -204,6 +227,8 @@ pub struct WalLedger {
     settled_records: usize,
     /// Exact byte length of the log file; see [`WalStats`].
     file_bytes: u64,
+    /// When the log was opened or last compacted; see [`WalStats::age`].
+    epoch: Instant,
 }
 
 fn io_err(op: &'static str, err: &std::io::Error) -> PrivacyError {
@@ -276,6 +301,7 @@ impl WalLedger {
             committed: BTreeMap::new(),
             settled_records: 0,
             file_bytes: 0,
+            epoch: Instant::now(),
         };
         let mut report = RecoveryReport::default();
 
@@ -676,6 +702,7 @@ impl WalLedger {
             .map_err(|e| io_err(OP, &e))?;
         self.settled_records = 0;
         self.file_bytes = out.len() as u64;
+        self.epoch = Instant::now();
         Ok(())
     }
 
@@ -687,6 +714,7 @@ impl WalLedger {
             file_bytes: self.file_bytes,
             open_reservations: self.open.len(),
             sealed_reservations: self.open.values().filter(|r| r.sealed).count(),
+            age: self.epoch.elapsed(),
         }
     }
 
@@ -874,6 +902,41 @@ mod tests {
         s.settled_records = 0;
         s.file_bytes = 1000;
         assert!(policy.due(&s));
+    }
+
+    #[test]
+    fn age_threshold_triggers_alone_and_resets_on_compaction() {
+        let policy = CompactionPolicy::default()
+            .settled_records(usize::MAX)
+            .file_bytes(u64::MAX)
+            .age(Duration::from_millis(5));
+        let mut s = WalStats::default();
+        // Below the age bound nothing else can fire.
+        assert!(!policy.due(&s));
+        s.age = Duration::from_millis(5);
+        assert!(policy.due(&s));
+        // Without the age trigger the same stats stay quiescent.
+        assert!(!CompactionPolicy::default()
+            .settled_records(usize::MAX)
+            .file_bytes(u64::MAX)
+            .due(&s));
+
+        // Against a real ledger: a quiet log with zero settled records
+        // still comes due on age alone, and compaction resets the clock.
+        let path = tmp_wal("age");
+        let (mut wal, _) = WalLedger::open(&path).unwrap();
+        let _open = wal.reserve("acme", "in-flight", 0.1, 0.0).unwrap();
+        assert_eq!(wal.stats().settled_records, 0);
+        std::thread::sleep(Duration::from_millis(6));
+        assert!(policy.due(&wal.stats()));
+        wal.compact().unwrap();
+        let after = wal.stats();
+        assert!(
+            after.age < Duration::from_millis(5),
+            "compaction must reset the age clock (got {:?})",
+            after.age
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -343,6 +343,32 @@ impl FitService {
         &self.session
     }
 
+    /// Schedules an arbitrary closure on the service's worker pool — the
+    /// hook that lets a long-running orchestration (e.g. an
+    /// `fm-federated` coordinator collecting client uploads) run *inside*
+    /// the service, sharing its threads, lifecycle, and
+    /// [`SharedPrivacySession`] instead of spawning a thread of its own.
+    /// The job runs to completion even if `shutdown` is called after it
+    /// was queued; jobs queued after shutdown are refused.
+    ///
+    /// The closure gets no implicit session access — capture a clone of
+    /// [`FitService::session`] if it needs to debit budgets, so every
+    /// privacy-relevant admission still flows through the session's own
+    /// accounting.
+    ///
+    /// # Errors
+    /// [`ServeError::Stopped`] after shutdown, or when every worker died.
+    pub fn spawn_job(&self, job: impl FnOnce() + Send + 'static) -> Result<()> {
+        let jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(jobs) = jobs.as_ref() else {
+            return Err(ServeError::Stopped);
+        };
+        if jobs.send(Box::new(job)).is_err() {
+            return Err(ServeError::Stopped);
+        }
+        Ok(())
+    }
+
     /// Admits and schedules a fresh fit. The (ε, δ) admission — CAS
     /// against the shared cap plus the WAL `reserve` fsync — happens
     /// *here*, before a single row moves: an over-budget tenant is

@@ -1,0 +1,157 @@
+//! **Federated census** — three census bureaus jointly fit one ε-DP
+//! income regression without pooling their rows, over real byte-stream
+//! transports.
+//!
+//! The walkthrough:
+//! 1. Generate the synthetic US census, normalize it paper-exactly, and
+//!    hand each of three "bureaus" a contiguous chunk-aligned shard of
+//!    the rows (the coordinator's [`ShardPlan`]).
+//! 2. **Central-noise round**: each bureau streams its shard into
+//!    pre-merged merge-tree runs on its own thread and ships them over a
+//!    Unix socket pair as an `fm-accum v1` payload. The coordinator
+//!    replays the runs on the shared chunk grid, draws the mechanism's
+//!    noise once, and releases a model **bit-identical** to a
+//!    single-machine `fit` over the pooled rows at the same seed.
+//! 3. **Local-noise round**: each bureau perturbs its own contribution
+//!    before upload, so not even exact aggregates leave the building;
+//!    the coordinator merely sums already-noised objectives. Same ε per
+//!    bureau, ~√3× the noise — the printed MSE gap is the measured price
+//!    of not trusting the coordinator.
+//! 4. Both rounds debit the shared ledger through a
+//!    parallel-composition scope: three disjoint bureaus at ε = 0.8 cost
+//!    the tenant 0.8, not 2.4.
+//!
+//! Run with: `cargo run --release --example federated_census`
+
+use std::os::unix::net::UnixStream;
+
+use functional_mechanism::data::census;
+use functional_mechanism::federated::ClientShare;
+use functional_mechanism::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The contiguous row range `[start, start + rows)` of `data` as one
+/// bureau's local shard (in the real deployment each bureau already
+/// holds only its own rows).
+fn shard(data: &Dataset, share: &ClientShare) -> Dataset {
+    let d = data.x().cols();
+    let mut xs = Vec::with_capacity(share.rows * d);
+    for r in share.start_row..share.start_row + share.rows {
+        xs.extend_from_slice(data.x().row(r));
+    }
+    let ys = data.y()[share.start_row..share.start_row + share.rows].to_vec();
+    Dataset::new(
+        Matrix::from_vec(share.rows, d, xs).expect("shard matrix"),
+        ys,
+    )
+    .expect("shard dataset")
+}
+
+fn mse(model: &LinearModel, data: &Dataset) -> f64 {
+    functional_mechanism::data::metrics::mse(&model.predict_batch(data.x()), data.y())
+}
+
+fn main() {
+    let epsilon = 0.8; // the paper's default per-fit budget
+    let bureaus = 3usize;
+
+    // ---- 1. Data + the round's shard plan -------------------------------
+    let mut rng = StdRng::seed_from_u64(2012);
+    let profile = census::CensusProfile::us();
+    let raw = census::generate(&profile, 30_000, &mut rng).expect("census generation");
+    let schema = census::schema(&profile);
+    let normalizer = Normalizer::from_schema(&schema, census::LABEL).expect("normalizer");
+    let data = normalizer.normalize_linear(&raw).expect("normalization");
+
+    let estimator = DpLinearRegression::builder().epsilon(epsilon).build();
+    let coordinator = Coordinator::new(&estimator, NoiseMode::Central);
+    let plan = coordinator
+        .plan(data.n(), bureaus)
+        .expect("chunk-aligned plan");
+    println!(
+        "federated census: n = {}, d = {}, {bureaus} bureaus, ε = {epsilon} per bureau",
+        data.n(),
+        data.d()
+    );
+    for (i, s) in plan.shares.iter().enumerate() {
+        println!(
+            "  bureau-{i}: rows [{}, {}) — {} whole chunks + {} tail rows",
+            s.start_row,
+            s.start_row + s.rows,
+            s.chunks,
+            s.tail_rows
+        );
+    }
+
+    // ---- 2. Central-noise round over Unix sockets -----------------------
+    let session = SharedPrivacySession::new();
+    let mut coord_ends = Vec::new();
+    let mut bureau_ends = Vec::new();
+    for _ in 0..bureaus {
+        let (a, b) = UnixStream::pair().expect("socket pair");
+        coord_ends.push(StreamTransport::new(a.try_clone().expect("clone"), a));
+        bureau_ends.push(Some(StreamTransport::new(b.try_clone().expect("clone"), b)));
+    }
+    let central = std::thread::scope(|scope| {
+        for (i, (share, end)) in plan.shares.iter().zip(bureau_ends.iter_mut()).enumerate() {
+            let local = shard(&data, share);
+            let estimator = &estimator;
+            let mut transport = end.take().expect("unused endpoint");
+            scope.spawn(move || {
+                let me = FederatedClient::new(estimator, format!("bureau-{i}"));
+                let upload = me
+                    .contribute_clean(&mut InMemorySource::new(&local), share)
+                    .expect("clean contribution");
+                me.upload(&mut transport, &upload).expect("upload");
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(42);
+        coordinator
+            .run_round(&mut coord_ends, &session, "census-study", &mut rng)
+            .expect("central round")
+    });
+
+    // The whole point: the federated release is the single-machine fit.
+    let mut rng = StdRng::seed_from_u64(42);
+    let pooled = estimator.fit(&data, &mut rng).expect("single-machine fit");
+    assert_eq!(
+        central, pooled,
+        "central round must be bit-identical to fit()"
+    );
+    println!(
+        "\ncentral round : MSE {:.5} — bit-identical to fit() over the pooled rows",
+        mse(&central, &data)
+    );
+
+    // ---- 3. Local-noise round -------------------------------------------
+    let local_coordinator = Coordinator::new(&estimator, NoiseMode::Local);
+    let mut coord_ends = Vec::new();
+    for (i, share) in plan.shares.iter().enumerate() {
+        let me = FederatedClient::new(&estimator, format!("bureau-{i}"));
+        let local = shard(&data, share);
+        let mut bureau_rng = StdRng::seed_from_u64(1_000 + i as u64);
+        let upload = me
+            .contribute_noisy(&mut InMemorySource::new(&local), &mut bureau_rng)
+            .expect("noisy contribution");
+        let (mut tx, rx) = InMemoryTransport::pair();
+        me.upload(&mut tx, &upload).expect("upload");
+        coord_ends.push(rx);
+    }
+    let mut rng = StdRng::seed_from_u64(43);
+    let local = local_coordinator
+        .run_round(&mut coord_ends, &session, "census-local", &mut rng)
+        .expect("local round");
+    println!(
+        "local round   : MSE {:.5} — same ε, ~√{bureaus}× the noise std (untrusted coordinator)",
+        mse(&local, &data)
+    );
+
+    // ---- 4. The ledger: parallel composition across disjoint bureaus ----
+    let (central_eps, _) = session.spent_for("census-study");
+    let (local_eps, _) = session.spent_for("census-local");
+    println!(
+        "\nledger: census-study ε = {central_eps} and census-local ε = {local_eps} \
+         ({bureaus} bureaus × ε = {epsilon} each, composed in parallel — max, not sum)"
+    );
+}

@@ -13,6 +13,7 @@
 //! | [`core`] | `fm-core` | the Functional Mechanism (Algorithms 1 & 2), DP linear / logistic / Poisson regression, §6 post-processing, (ε, δ) Gaussian variant |
 //! | [`baselines`] | `fm-baselines` | NoPrivacy, Truncated, DPME, Filter-Priority, objective perturbation |
 //! | [`serve`] | `fm-serve` | multi-tenant fitting service: admission over the WAL ledger, bounded block queues, checkpointing shutdown/resume, WAL compaction |
+//! | [`federated`] | `fm-federated` | cross-process federated fitting: `fm-accum v1` wire format, chunk-aligned merge-tree replay, central vs local noise, pluggable transports |
 //! | [`data`] | `fm-data` | datasets, normalization, synthetic census, cross-validation, metrics |
 //! | [`privacy`] | `fm-privacy` | Laplace / Gaussian / exponential mechanisms, privacy budget accounting |
 //! | [`poly`] | `fm-poly` | multivariate polynomials, quadratic forms, Taylor & Chebyshev machinery |
@@ -167,6 +168,7 @@
 pub use fm_baselines as baselines;
 pub use fm_core as core;
 pub use fm_data as data;
+pub use fm_federated as federated;
 pub use fm_linalg as linalg;
 pub use fm_optim as optim;
 pub use fm_poly as poly;
@@ -207,6 +209,10 @@ pub mod prelude {
             CsvStreamSource, InMemorySource, LabelTransform, RowBlock, RowBlockRef, RowErrorPolicy,
             RowSource, ShardedSource,
         },
+    };
+    pub use fm_federated::{
+        Coordinator, FederatedClient, FederatedError, InMemoryTransport, NoiseMode, ShardPlan,
+        StreamTransport, Transport,
     };
     pub use fm_linalg::Matrix;
     pub use fm_privacy::{

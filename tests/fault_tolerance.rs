@@ -564,3 +564,44 @@ fn detached_permits_resume_in_process_and_block_compaction_until_settled() {
     assert_eq!(model, partial.finalize(&mut fit_rng).unwrap());
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn age_due_compaction_still_refuses_while_a_reservation_dangles() {
+    use functional_mechanism::privacy::wal::CompactionPolicy;
+    use std::time::Duration;
+    let path = temp_wal("age-dangle");
+    let _ = std::fs::remove_file(&path);
+    let (session, _) = SharedPrivacySession::with_wal(&path, Some(2.0)).unwrap();
+    let session = std::sync::Arc::new(session);
+    // Age-only policy: record/byte thresholds can never fire.
+    let aged = CompactionPolicy::default()
+        .settled_records(usize::MAX)
+        .file_bytes(u64::MAX)
+        .age(Duration::ZERO);
+
+    // Quiet ledger, zero settled garbage: age alone makes it due.
+    session
+        .begin("t0", "warm", 0.25, 0.0)
+        .unwrap()
+        .commit()
+        .unwrap();
+    assert!(session.maybe_compact_wal(&aged).unwrap());
+    assert_eq!(session.wal_stats().unwrap().settled_records, 0);
+
+    // A detached (dangling) reservation must veto even an overdue clock.
+    let permit = session
+        .begin_owned("census", "resumable", 0.5, 0.0)
+        .unwrap();
+    let id = permit.detach();
+    assert_eq!(session.dangling_reservations(), 1);
+    assert!(!session.maybe_compact_wal(&aged).unwrap());
+
+    // Re-attach and settle: the deferred compaction goes through again.
+    session
+        .resume_reservation_owned(id)
+        .unwrap()
+        .commit()
+        .unwrap();
+    assert!(session.maybe_compact_wal(&aged).unwrap());
+    let _ = std::fs::remove_file(&path);
+}

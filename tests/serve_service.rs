@@ -315,3 +315,40 @@ fn rdp_admission_outlives_the_naive_cap() {
     assert!(report.rdp.epsilon < report.best.0);
     drop(service);
 }
+
+#[test]
+fn spawn_job_runs_on_the_pool_and_drains_before_shutdown() {
+    let path = temp_wal("spawn-job");
+    let _ = std::fs::remove_file(&path);
+    let (session, _) = SharedPrivacySession::with_wal(&path, None).unwrap();
+    let session = Arc::new(session);
+    let service = FitService::new(Arc::clone(&session), ServeConfig::new().workers(1));
+
+    // An ad-hoc job shares the workers and can reach the session.
+    let ran = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&ran);
+    let shared = Arc::clone(service.session());
+    let (tx, rx) = std::sync::mpsc::channel();
+    service
+        .spawn_job(move || {
+            flag.store(shared.spent_epsilon() == 0.0, Ordering::Release);
+            let _ = tx.send(());
+        })
+        .unwrap();
+    rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert!(ran.load(Ordering::Acquire));
+
+    // A queued job still runs to completion across shutdown's join.
+    let done = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&done);
+    service
+        .spawn_job(move || flag.store(true, Ordering::Release))
+        .unwrap();
+    let suspended = service.shutdown();
+    assert!(suspended.is_empty());
+    assert!(
+        done.load(Ordering::Acquire),
+        "shutdown must drain the queue"
+    );
+    let _ = std::fs::remove_file(&path);
+}
