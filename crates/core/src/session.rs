@@ -1676,6 +1676,15 @@ impl SharedParallelScope<'_> {
         self.labels.len()
     }
 
+    /// The shard labels admitted so far, in admission order — an audit
+    /// hook for callers that must prove *who* was debited (a federated
+    /// coordinator asserting that dropped clients never reached the
+    /// scope, for example).
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
     /// Closes the scope, committing every increment reservation. (Σ of
     /// the committed increments = the scope's `max ε` — the one release
     /// the parallel composition theorem charges for.)

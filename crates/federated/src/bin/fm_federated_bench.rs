@@ -12,11 +12,20 @@
 //!   validate → debit → replay-runs → release path alone (uploads
 //!   already collected);
 //! * **client encode throughput** — rows/sec through the client-side
-//!   accumulate + pre-merge + `fm-accum v1` encode path;
+//!   accumulate + pre-merge + `fm-accum v2` encode path;
 //! * **central vs local MSE** — prediction error of both modes' models
 //!   on the training rows at the same per-client ε, averaged over
 //!   several noise draws: the measured utility price of not trusting
-//!   the coordinator with exact aggregates.
+//!   the coordinator with exact aggregates;
+//! * **fault overhead** — wall time of the same central round through
+//!   the quorum path ([`Coordinator::run_round_with_quorum`]): clean,
+//!   with every client's first frame torn mid-payload (checksum refusal
+//!   + retry + dedup machinery), and with the first client dropped (a
+//!   recovery sub-round re-plans the grid onto the survivors, who
+//!   re-contribute). Faulted releases are still checked bit-identical
+//!   to their fault-free references before timing is reported.
+//!
+//! [`Coordinator::run_round_with_quorum`]: fm_federated::Coordinator::run_round_with_quorum
 //!
 //! ```text
 //! cargo run --release -p fm-federated --bin fm-federated-bench
@@ -28,7 +37,7 @@
 //! `BENCH_federated.json`), creating it when absent.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,7 +47,10 @@ use fm_core::session::SharedPrivacySession;
 use fm_data::dataset::Dataset;
 use fm_data::stream::InMemorySource;
 use fm_data::{metrics, synth};
-use fm_federated::{Coordinator, FederatedClient, InMemoryTransport, NoiseMode};
+use fm_federated::{
+    Coordinator, FaultInjectingTransport, FederatedClient, InMemoryTransport, NoiseMode,
+    QuorumPolicy, RetryPolicy, Transport, TransportFault,
+};
 use fm_linalg::Matrix;
 
 struct Args {
@@ -157,6 +169,131 @@ fn run(args: &Args) -> Result<String, String> {
     }
     let (eps_central, _) = session.spent_for("bench-central");
 
+    // Fault-tolerance overhead: the same central round through the
+    // quorum path — clean, with every first frame torn mid-payload, and
+    // with the first client dropped into a recovery sub-round.
+    let retry = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+    };
+    let policy = QuorumPolicy::new(1, Duration::from_secs(5)).with_retry(retry);
+    let frames: Vec<String> = plan
+        .shares
+        .iter()
+        .zip(&shards)
+        .enumerate()
+        .map(|(i, (share, shard))| {
+            FederatedClient::new(&estimator, format!("client-{i}"))
+                .contribute_clean(&mut InMemorySource::new(shard), share)
+                .map(|u| u.encode())
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let preloaded = |fault: &dyn Fn(&str) -> (TransportFault, usize)| -> Result<
+        Vec<FaultInjectingTransport<InMemoryTransport>>,
+        String,
+    > {
+        frames
+            .iter()
+            .map(|f| {
+                let (mut tx, rx) = InMemoryTransport::pair();
+                tx.send(f.as_bytes()).map_err(|e| e.to_string())?;
+                let (kind, at) = fault(f);
+                Ok(FaultInjectingTransport::new(rx, kind, at))
+            })
+            .collect()
+    };
+
+    // (a) Clean round, quorum machinery on: deadlines, fingerprinting,
+    // re-plan check — the price of fault tolerance when nothing fails.
+    let mut ends = preloaded(&|_| (TransportFault::Drop, usize::MAX))?;
+    let quorum_session = SharedPrivacySession::new();
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(42);
+    let (quorum_clean, _) = coordinator
+        .run_round_with_quorum(
+            &mut ends,
+            &policy,
+            &quorum_session,
+            "bench-quorum",
+            &mut rng,
+        )
+        .map_err(|e| e.to_string())?;
+    let quorum_clean_ms = started.elapsed().as_secs_f64() * 1e3;
+    if quorum_clean != reference {
+        return Err("clean quorum round is not bit-identical to fit()".to_string());
+    }
+
+    // (b) Every client's first frame torn mid-payload: K checksum
+    // refusals, K retries served from the intact retransmit.
+    let mut ends = preloaded(&|f| (TransportFault::Torn(f.len() / 2), 0))?;
+    let torn_session = SharedPrivacySession::new();
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(42);
+    let (torn_model, _) = coordinator
+        .run_round_with_quorum(&mut ends, &policy, &torn_session, "bench-torn", &mut rng)
+        .map_err(|e| e.to_string())?;
+    let torn_retry_ms = started.elapsed().as_secs_f64() * 1e3;
+    if torn_model != reference {
+        return Err("torn-and-retried round is not bit-identical to fit()".to_string());
+    }
+
+    // (c) The first client never uploads: every survivor's grid position
+    // moves, so the round pays one full recovery sub-round (survivors
+    // re-accumulate and re-upload at their new chunk positions).
+    let survivor_rows: usize = plan.shares.iter().skip(1).map(|s| s.rows).sum();
+    let salvage_session = SharedPrivacySession::new();
+    let started = Instant::now();
+    let (salvage_model, salvage_report) = std::thread::scope(|scope| {
+        let mut ends = Vec::with_capacity(args.clients);
+        for (i, share) in plan.shares.iter().enumerate() {
+            let (tx, rx) = InMemoryTransport::pair();
+            ends.push(FaultInjectingTransport::new(
+                rx,
+                TransportFault::Drop,
+                usize::MAX,
+            ));
+            if i == 0 {
+                continue; // client 0 hangs up without uploading
+            }
+            let estimator = &estimator;
+            let shard = &shards[i];
+            let share = *share;
+            let mut tx = tx;
+            scope.spawn(move || {
+                FederatedClient::new(estimator, format!("client-{i}"))
+                    .participate(
+                        &mut tx,
+                        &share,
+                        || InMemorySource::new(shard),
+                        &RetryPolicy::default(),
+                    )
+                    .expect("survivor participation failed");
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(44);
+        coordinator
+            .run_round_with_quorum(
+                &mut ends,
+                &policy,
+                &salvage_session,
+                "bench-salvage",
+                &mut rng,
+            )
+            .map_err(|e| e.to_string())
+    })?;
+    let salvage_ms = started.elapsed().as_secs_f64() * 1e3;
+    let survivor_pool = slice_dataset(&data, plan.shares[1].start_row, survivor_rows)?;
+    let mut rng = StdRng::seed_from_u64(44);
+    let salvage_reference = estimator
+        .fit(&survivor_pool, &mut rng)
+        .map_err(|e| e.to_string())?;
+    if salvage_model != salvage_reference {
+        return Err("salvaged round is not bit-identical to a fresh survivor fit".to_string());
+    }
+    let recovery_subrounds = salvage_report.recovery_subrounds;
+
     // Utility comparison at equal per-client ε, averaged over noise
     // draws (a single release is one sample of the noise — the modes
     // only separate in expectation). Central draws are taken from `fit`,
@@ -202,21 +339,30 @@ fn run(args: &Args) -> Result<String, String> {
     eprintln!(
         "{} clients x {} rows (d = {}): client encode {encode_rows_per_sec:.0} rows/s, \
          coordinator merge+release {merge_rows_per_sec:.0} rows/s; bit-identical to fit(); \
+         quorum round clean {quorum_clean_ms:.1} ms, torn+retry {torn_retry_ms:.1} ms, \
+         dropout salvage {salvage_ms:.1} ms ({recovery_subrounds} recovery sub-round(s)); \
          MSE central {mse_central:.5} vs local {mse_local:.5} at eps {} per client \
          (tenant debit: central {eps_central}, local {eps_local})",
         args.clients, args.rows, args.d, args.epsilon,
     );
     Ok(format!(
-        "{{\n  \"run\": \"pr9-federated\",\n  \"note\": \"K-client federated rounds over \
+        "{{\n  \"run\": \"pr10-federated-faults\",\n  \"note\": \"K-client federated rounds over \
          in-memory transports: clean contributions pre-merged as aligned dyadic runs, \
-         fm-accum v1 encode/decode, coordinator replay on the shared chunk grid; the central \
+         fm-accum v2 encode/decode, coordinator replay on the shared chunk grid; the central \
          release is checked bit-identical to a single-machine fit at the same seed before \
-         measuring; MSE is averaged over {UTILITY_REPEATS} noise draws per mode — the \
+         measuring; quorum timings run the same round through run_round_with_quorum — clean, \
+         with every first frame torn mid-payload (checksum refusal + retry), and with client 0 \
+         dropped (survivors re-contribute in one recovery sub-round, threads included in the \
+         wall time) — each faulted release re-checked bit-identical to its fault-free \
+         reference; MSE is averaged over {UTILITY_REPEATS} noise draws per mode — the \
          local-noise rounds at the same per-client eps show the utility price of an \
          untrusted coordinator\",\n  \
          \"clients\": {},\n  \"rows\": {},\n  \"d\": {},\n  \"epsilon\": {},\n  \
          \"parallel_feature\": {},\n  \"results\": {{\"client_encode_rows_per_sec\": \
          {encode_rows_per_sec:.0}, \"coordinator_merge_rows_per_sec\": {merge_rows_per_sec:.0}, \
+         \"quorum_clean_round_ms\": {quorum_clean_ms:.2}, \"torn_retry_round_ms\": \
+         {torn_retry_ms:.2}, \"dropout_salvage_round_ms\": {salvage_ms:.2}, \
+         \"salvage_recovery_subrounds\": {recovery_subrounds}, \
          \"mse_central\": {mse_central:.6}, \"mse_local\": {mse_local:.6}, \
          \"eps_debited_central\": {eps_central}, \"eps_debited_local\": {eps_local}, \
          \"bit_identical\": true}}\n}}",

@@ -1,6 +1,9 @@
 //! The client half of a federated round: accumulate a contiguous,
 //! chunk-aligned slice of the dataset locally, pre-merge it into aligned
-//! dyadic runs, and upload the result as one `fm-accum v1` payload.
+//! dyadic runs, and upload the result as one `fm-accum v2` payload.
+//! [`FederatedClient::participate`] is the fault-tolerant loop on top:
+//! upload with retries, then serve the coordinator's recovery
+//! re-assignments until the round completes.
 //!
 //! In **central-noise** mode the upload carries exact coefficient
 //! partials — the client trusts the coordinator with its aggregate (not
@@ -17,22 +20,23 @@ use rand::Rng;
 
 use crate::error::{protocol, Result};
 use crate::plan::{dyadic_segments, ClientShare};
-use crate::transport::Transport;
-use crate::wire::{AccumUpload, PayloadMode};
+use crate::transport::{RetryPolicy, Transport};
+use crate::wire::{AccumUpload, ControlMsg, PayloadMode};
 
 /// One participant of a federated round, bound to the round's shared
 /// estimator configuration (objective, ε, sensitivity bound, noise
-/// distribution, intercept handling) and chunk grid.
+/// distribution, intercept handling), chunk grid, and round id.
 pub struct FederatedClient<'a, O: RegressionObjective> {
     estimator: &'a FmEstimator<O>,
     name: String,
     chunk_rows: usize,
+    round: u64,
 }
 
 impl<'a, O: RegressionObjective> FederatedClient<'a, O> {
     /// A client named `name` (its budget label on the coordinator's
     /// ledger) under the round's shared estimator, at the default chunk
-    /// size.
+    /// size, in round 0.
     pub fn new(estimator: &'a FmEstimator<O>, name: impl Into<String>) -> Self {
         Self::with_chunk_rows(estimator, name, fm_core::assembly::DEFAULT_CHUNK_ROWS)
     }
@@ -48,13 +52,29 @@ impl<'a, O: RegressionObjective> FederatedClient<'a, O> {
             estimator,
             name: name.into(),
             chunk_rows: chunk_rows.max(1),
+            round: 0,
         }
+    }
+
+    /// Sets the round id stamped into this client's uploads (every party
+    /// of a round must agree on it — the coordinator ignores frames from
+    /// other rounds).
+    #[must_use]
+    pub fn with_round(mut self, round: u64) -> Self {
+        self.round = round;
+        self
     }
 
     /// The client's budget label.
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The round id stamped into this client's uploads.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
     }
 
     /// Accumulates this client's share from `source` (which must deliver
@@ -123,6 +143,7 @@ impl<'a, O: RegressionObjective> FederatedClient<'a, O> {
         };
         Ok(AccumUpload {
             client: self.name.clone(),
+            round: self.round,
             mode: PayloadMode::Clean,
             d,
             chunk_rows: self.chunk_rows,
@@ -176,6 +197,7 @@ impl<'a, O: RegressionObjective> FederatedClient<'a, O> {
         let noisy = mechanism.perturb_assembled(&clean, objective, rng)?;
         Ok(AccumUpload {
             client: self.name.clone(),
+            round: self.round,
             mode: PayloadMode::Noisy,
             d,
             chunk_rows: self.chunk_rows,
@@ -197,5 +219,69 @@ impl<'a, O: RegressionObjective> FederatedClient<'a, O> {
         upload: &AccumUpload<QuadraticForm>,
     ) -> Result<()> {
         transport.send(upload.encode().as_bytes())
+    }
+
+    /// As [`FederatedClient::upload`], retrying transient send failures
+    /// under `retry`. Safe to over-send: the payload's `(round, client,
+    /// checksum)` identity makes a duplicate delivery after an ambiguous
+    /// failure a dedup at the coordinator, never a refused round.
+    ///
+    /// # Errors
+    /// The last transport error once `retry` is exhausted.
+    pub fn upload_with_retry(
+        &self,
+        transport: &mut impl Transport,
+        upload: &AccumUpload<QuadraticForm>,
+        retry: &RetryPolicy,
+    ) -> Result<()> {
+        let encoded = upload.encode();
+        retry.run(|_| transport.send(encoded.as_bytes()))
+    }
+
+    /// Full fault-tolerant participation in a central-noise round:
+    /// contribute `share` from a fresh source, upload it (with retries),
+    /// then serve the coordinator's control messages — re-contributing
+    /// under each [`ControlMsg::Assign`] (a dropped peer's range was
+    /// re-planned, moving this client's grid position) until a
+    /// [`ControlMsg::Done`] releases the client. `source` is called once
+    /// per contribution and must yield the client's local rows from the
+    /// start each time.
+    ///
+    /// Returns the number of re-assignments served.
+    ///
+    /// # Errors
+    /// As [`FederatedClient::contribute_clean`] and the transport's
+    /// `recv`/`send`; [`crate::FederatedError::Wire`] for a corrupt
+    /// control message; [`crate::FederatedError::Protocol`] for a
+    /// control message from a different round.
+    pub fn participate<S: RowSource>(
+        &self,
+        transport: &mut impl Transport,
+        share: &ClientShare,
+        mut source: impl FnMut() -> S,
+        retry: &RetryPolicy,
+    ) -> Result<usize> {
+        let upload = self.contribute_clean(&mut source(), share)?;
+        self.upload_with_retry(transport, &upload, retry)?;
+        let mut reassignments = 0usize;
+        loop {
+            let bytes = transport.recv()?;
+            let text = String::from_utf8(bytes)
+                .map_err(|_| crate::error::wire("control message is not UTF-8"))?;
+            match ControlMsg::decode(&text)? {
+                ControlMsg::Done { round } if round == self.round => return Ok(reassignments),
+                ControlMsg::Assign { round, share } if round == self.round => {
+                    let upload = self.contribute_clean(&mut source(), &share)?;
+                    self.upload_with_retry(transport, &upload, retry)?;
+                    reassignments += 1;
+                }
+                ControlMsg::Done { round } | ControlMsg::Assign { round, .. } => {
+                    return Err(protocol(format!(
+                        "control message for round {round} arrived in round {}",
+                        self.round
+                    )));
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,205 @@
+//! Network fault injection: a [`Transport`] decorator that delivers one
+//! scripted failure at a chosen message index — the network twin of
+//! `fm_data::fault::FaultInjectingSource`, and the driver behind the
+//! crash-point sweep in `tests/federated_faults.rs` (every byte prefix
+//! of a full multi-client round transcript, the way
+//! `tests/fault_tolerance.rs` sweeps WAL crash points).
+//!
+//! Faults are deterministic and fire exactly once, so a failing sweep
+//! offset reproduces with no harness state: wrap the coordinator's
+//! endpoint, pick the fault and the message index, run the round.
+//!
+//! The four faults mirror what a real network does to a message:
+//!
+//! * [`TransportFault::Drop`] — the message never arrives (the receiver
+//!   just keeps waiting, until its deadline says otherwise);
+//! * [`TransportFault::Delay`] — the message misses the receiver's
+//!   deadline but arrives intact on the next receive — the ambiguous
+//!   failure that makes idempotent uploads necessary;
+//! * [`TransportFault::Duplicate`] — the message arrives twice (a
+//!   retransmit raced the original), which the coordinator must dedup
+//!   exactly-once;
+//! * [`TransportFault::Torn`] — only the first N bytes arrive, followed
+//!   by the sender's intact retransmit: the wire checksum must refuse
+//!   the prefix and the retry must succeed.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::error::{timed_out, Result};
+use crate::transport::Transport;
+
+/// One scripted network failure (see the module docs for semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// The targeted message is silently discarded.
+    Drop,
+    /// The targeted message arrives only after a deadline expiry.
+    Delay,
+    /// The targeted message is delivered twice.
+    Duplicate,
+    /// Only the first `N` bytes of the targeted message arrive; the
+    /// intact message follows on a later receive (the retransmit).
+    Torn(usize),
+}
+
+/// Wraps any [`Transport`], injecting `fault` on the `at_message`-th
+/// successful receive (0-based). All other traffic passes through
+/// untouched; the fault fires exactly once.
+pub struct FaultInjectingTransport<T> {
+    inner: T,
+    fault: TransportFault,
+    at_message: usize,
+    seen: usize,
+    fired: bool,
+    /// Messages owed to later receives: the delayed original, the
+    /// duplicate copy, or the retransmit behind a torn prefix.
+    pending: VecDeque<Vec<u8>>,
+}
+
+impl<T: Transport> FaultInjectingTransport<T> {
+    /// Arms `fault` to fire on the `at_message`-th successfully received
+    /// message (0-based; an index past the traffic never fires).
+    pub fn new(inner: T, fault: TransportFault, at_message: usize) -> Self {
+        FaultInjectingTransport {
+            inner,
+            fault,
+            at_message,
+            seen: 0,
+            fired: false,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Whether the scripted fault has fired yet.
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Unwraps the decorator, returning the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultInjectingTransport<T> {
+    fn send(&mut self, message: &[u8]) -> Result<()> {
+        self.inner.send(message)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>> {
+        loop {
+            // Messages the fault postponed arrive before new traffic and
+            // are not counted again — they already fired.
+            if let Some(owed) = self.pending.pop_front() {
+                return Ok(owed);
+            }
+            let message = self.inner.recv()?;
+            let index = self.seen;
+            self.seen += 1;
+            if self.fired || index != self.at_message {
+                return Ok(message);
+            }
+            self.fired = true;
+            match self.fault {
+                TransportFault::Drop => {
+                    // Never arrives: fall through to waiting on the next
+                    // message (or the transport's own deadline).
+                }
+                TransportFault::Delay => {
+                    self.pending.push_back(message);
+                    return Err(timed_out("recv"));
+                }
+                TransportFault::Duplicate => {
+                    self.pending.push_back(message.clone());
+                    return Ok(message);
+                }
+                TransportFault::Torn(at) => {
+                    let cut = at.min(message.len());
+                    let prefix = message[..cut].to_vec();
+                    self.pending.push_back(message);
+                    return Ok(prefix);
+                }
+            }
+        }
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        self.inner.set_deadline(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FederatedError;
+    use crate::transport::InMemoryTransport;
+
+    fn pair_with(
+        fault: TransportFault,
+        at: usize,
+    ) -> (
+        InMemoryTransport,
+        FaultInjectingTransport<InMemoryTransport>,
+    ) {
+        let (tx, rx) = InMemoryTransport::pair();
+        (tx, FaultInjectingTransport::new(rx, fault, at))
+    }
+
+    #[test]
+    fn drop_discards_exactly_the_targeted_message() {
+        let (mut tx, mut rx) = pair_with(TransportFault::Drop, 1);
+        tx.send(b"m0").unwrap();
+        tx.send(b"m1").unwrap();
+        tx.send(b"m2").unwrap();
+        assert_eq!(rx.recv().unwrap(), b"m0");
+        // m1 evaporates; the very same recv call delivers m2.
+        assert_eq!(rx.recv().unwrap(), b"m2");
+        assert!(rx.fired());
+        // With nothing further queued and a deadline set, the receiver
+        // times out instead of hanging — dropped means dropped.
+        rx.set_deadline(Some(Duration::from_millis(5))).unwrap();
+        let err = rx.recv().unwrap_err();
+        assert!(matches!(err, FederatedError::TimedOut { .. }));
+    }
+
+    #[test]
+    fn delay_surfaces_a_timeout_then_delivers_intact() {
+        let (mut tx, mut rx) = pair_with(TransportFault::Delay, 0);
+        tx.send(b"slow").unwrap();
+        let err = rx.recv().unwrap_err();
+        assert!(matches!(err, FederatedError::TimedOut { op: "recv" }));
+        assert_eq!(rx.recv().unwrap(), b"slow");
+    }
+
+    #[test]
+    fn duplicate_delivers_twice_and_torn_delivers_prefix_then_retransmit() {
+        let (mut tx, mut rx) = pair_with(TransportFault::Duplicate, 0);
+        tx.send(b"twice").unwrap();
+        assert_eq!(rx.recv().unwrap(), b"twice");
+        assert_eq!(rx.recv().unwrap(), b"twice");
+
+        let (mut tx, mut rx) = pair_with(TransportFault::Torn(3), 0);
+        tx.send(b"whole message").unwrap();
+        assert_eq!(rx.recv().unwrap(), b"who");
+        assert_eq!(rx.recv().unwrap(), b"whole message");
+
+        // A tear past the end degrades to intact delivery plus the
+        // retransmit — never a panic.
+        let (mut tx, mut rx) = pair_with(TransportFault::Torn(10_000), 0);
+        tx.send(b"short").unwrap();
+        assert_eq!(rx.recv().unwrap(), b"short");
+        assert_eq!(rx.recv().unwrap(), b"short");
+    }
+
+    #[test]
+    fn untargeted_traffic_passes_through_untouched() {
+        let (mut tx, mut rx) = pair_with(TransportFault::Drop, 99);
+        tx.send(b"a").unwrap();
+        tx.send(b"b").unwrap();
+        assert_eq!(rx.recv().unwrap(), b"a");
+        assert_eq!(rx.recv().unwrap(), b"b");
+        assert!(!rx.fired());
+    }
+}

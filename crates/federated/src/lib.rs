@@ -8,7 +8,7 @@
 //! each accumulate a contiguous, chunk-aligned slice of the dataset with
 //! the same streaming machinery a single machine uses
 //! ([`fm_core::CoefficientAccumulator`]), ship their pre-merged partials
-//! over a versioned, checksummed text format (`fm-accum v1`,
+//! over a versioned, checksummed text format (`fm-accum v2`,
 //! [`wire`]), and a coordinator merges them at matching merge-tree
 //! ranks, debits each client's ε exactly once through a
 //! parallel-composition scope on the shared privacy ledger
@@ -32,6 +32,19 @@
 //! in-process rounds and length-prefixed frames over any
 //! `Read`/`Write` stream (Unix sockets, TCP, pipes) for real process
 //! boundaries.
+//!
+//! Rounds are **fault-tolerant** when asked to be: transports take
+//! deadlines (typed [`FederatedError::TimedOut`], wired through
+//! `set_read_timeout` on socket-backed streams), a deterministic
+//! [`RetryPolicy`] retries transient failures, uploads are idempotent
+//! (retransmits dedup by `(round, client, checksum)`), and a
+//! [`QuorumPolicy`] lets [`Coordinator::run_round_with_quorum`] salvage
+//! a round on client dropout by re-planning the grid onto survivors —
+//! debiting exactly the clients whose data entered the release.
+//! [`FaultInjectingTransport`] scripts the failures (drop, delay,
+//! duplicate, torn frame at byte N) deterministically for tests.
+//!
+//! [`FederatedError::TimedOut`]: FederatedError::TimedOut
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,13 +52,17 @@
 pub mod client;
 pub mod coordinator;
 pub mod error;
+pub mod fault;
 pub mod plan;
 pub mod transport;
 pub mod wire;
 
 pub use client::FederatedClient;
-pub use coordinator::{Coordinator, NoiseMode};
+pub use coordinator::{Coordinator, NoiseMode, QuorumPolicy, RoundReport};
 pub use error::{FederatedError, Result};
+pub use fault::{FaultInjectingTransport, TransportFault};
 pub use plan::{dyadic_segments, ClientShare, ShardPlan};
-pub use transport::{InMemoryTransport, StreamTransport, Transport, MAX_FRAME};
-pub use wire::{AccumUpload, PayloadMode, WirePartial, ACCUM_MAGIC};
+pub use transport::{
+    DeadlineMedium, InMemoryTransport, RetryPolicy, StreamTransport, Transport, MAX_FRAME,
+};
+pub use wire::{AccumUpload, ControlMsg, PayloadMode, WirePartial, ACCUM_MAGIC, CTL_MAGIC};

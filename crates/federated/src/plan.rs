@@ -84,6 +84,59 @@ impl ShardPlan {
             shares,
         })
     }
+
+    /// Re-packs clients of **known geometry** — `(whole chunks,
+    /// tail rows)` per client, in order — contiguously from chunk 0.
+    /// This is the recovery planner of a quorum round: when a client
+    /// drops, the survivors keep the chunk counts of the uploads they
+    /// already computed, and this constructor assigns them the new grid
+    /// positions that close the dropped client's hole. Each survivor's
+    /// data is untouched; only `start_chunk`/`start_row` move.
+    ///
+    /// # Errors
+    /// [`crate::FederatedError::Protocol`] for an empty geometry, a zero
+    /// chunk size, a tail as large as a chunk, or tail rows anywhere but
+    /// the final client (the merge tree stages at most one partial
+    /// chunk, at the end of the grid).
+    pub fn from_client_geometry(chunk_rows: usize, geometry: &[(usize, usize)]) -> Result<Self> {
+        if geometry.is_empty() {
+            return Err(protocol("a recovery plan needs at least one client"));
+        }
+        if chunk_rows == 0 {
+            return Err(protocol("chunk_rows must be ≥ 1"));
+        }
+        let last = geometry.len() - 1;
+        let mut shares = Vec::with_capacity(geometry.len());
+        let mut chunk = 0usize;
+        let mut rows = 0usize;
+        for (i, &(chunks, tail_rows)) in geometry.iter().enumerate() {
+            if tail_rows >= chunk_rows {
+                return Err(protocol(format!(
+                    "{tail_rows} tail rows cannot fit a {chunk_rows}-row chunk mid-fill"
+                )));
+            }
+            if tail_rows > 0 && i != last {
+                return Err(protocol(
+                    "only the final client of a plan may carry a partial chunk",
+                ));
+            }
+            let client_rows = chunks * chunk_rows + tail_rows;
+            shares.push(ClientShare {
+                start_row: rows,
+                rows: client_rows,
+                start_chunk: chunk,
+                chunks,
+                tail_rows,
+            });
+            chunk += chunks;
+            rows += client_rows;
+        }
+        Ok(ShardPlan {
+            chunk_rows,
+            total_rows: rows,
+            shares,
+        })
+    }
 }
 
 /// Greedy aligned-dyadic segmentation of the chunk range
@@ -148,6 +201,39 @@ mod tests {
         }
         assert!(ShardPlan::new(10, 0, 4).is_err());
         assert!(ShardPlan::new(10, 2, 0).is_err());
+    }
+
+    #[test]
+    fn recovery_plans_repack_survivor_geometry_contiguously() {
+        // Dropping the middle client of a 3-way plan: survivors keep
+        // their chunk counts but close the hole from chunk 0.
+        let plan = ShardPlan::from_client_geometry(4, &[(3, 0), (2, 3)]).unwrap();
+        assert_eq!(plan.total_rows, 3 * 4 + 2 * 4 + 3);
+        assert_eq!(plan.shares[0].start_chunk, 0);
+        assert_eq!(plan.shares[0].start_row, 0);
+        assert_eq!(plan.shares[1].start_chunk, 3);
+        assert_eq!(plan.shares[1].start_row, 12);
+        assert_eq!(plan.shares[1].tail_rows, 3);
+
+        // A recovery plan over survivor geometry equals a fresh plan
+        // over the survivors' pooled rows when the chunk counts match
+        // what ShardPlan::new would hand out.
+        let fresh = ShardPlan::new(64, 2, 4).unwrap();
+        let geometry: Vec<(usize, usize)> = fresh
+            .shares
+            .iter()
+            .map(|s| (s.chunks, s.tail_rows))
+            .collect();
+        assert_eq!(
+            ShardPlan::from_client_geometry(4, &geometry).unwrap(),
+            fresh
+        );
+
+        // Mid-plan tails and oversized tails are refused.
+        assert!(ShardPlan::from_client_geometry(4, &[(1, 2), (1, 0)]).is_err());
+        assert!(ShardPlan::from_client_geometry(4, &[(1, 4)]).is_err());
+        assert!(ShardPlan::from_client_geometry(0, &[(1, 0)]).is_err());
+        assert!(ShardPlan::from_client_geometry(4, &[]).is_err());
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Message transports between federated clients and their coordinator.
 //!
 //! The protocol layer ([`crate::client`], [`crate::coordinator`]) only
-//! needs ordered, whole-message delivery — one `fm-accum v1` payload per
+//! needs ordered, whole-message delivery — one `fm-accum v2` payload per
 //! message — so the transport abstraction is deliberately tiny: send a
-//! byte message, receive a byte message. Two implementations ship:
+//! byte message, receive a byte message, optionally bound how long a
+//! blocking operation may wait. Two implementations ship:
 //!
 //! * [`InMemoryTransport`] — a bidirectional in-process pair for tests
 //!   and same-process "federation" (e.g. coordinator jobs running on an
@@ -13,16 +14,27 @@
 //!   process boundaries (Unix socket pairs in the test suite; TCP or
 //!   pipes in a real deployment).
 //!
-//! Both refuse oversized frames ([`MAX_FRAME`]) and surface torn frames
-//! and peer hang-ups as typed [`crate::FederatedError::Transport`]
-//! errors — a coordinator never blocks forever on a dead client and
-//! never panics on a malicious length prefix.
+//! Both refuse oversized frames ([`MAX_FRAME`]) and surface failures as
+//! *typed* errors that tell the caller what to do next: a
+//! [`FederatedError::TimedOut`] or [`FederatedError::TornFrame`] is
+//! worth retrying (the peer may retransmit), a
+//! [`FederatedError::Disconnected`] peer is gone for good. A coordinator
+//! with a deadline set never blocks forever on a dead client and never
+//! panics on a malicious length prefix. [`RetryPolicy`] packages the
+//! retry loop itself: deterministic, capped exponential backoff with no
+//! wall-clock randomness, so a faulted round replays the same way every
+//! time.
+//!
+//! [`FederatedError::TimedOut`]: crate::FederatedError::TimedOut
+//! [`FederatedError::TornFrame`]: crate::FederatedError::TornFrame
+//! [`FederatedError::Disconnected`]: crate::FederatedError::Disconnected
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
-use crate::error::{transport, Result};
+use crate::error::{disconnected, timed_out, transport, FederatedError, Result};
 
 /// Hard cap on a single message, applied by every transport on both
 /// send and receive: a hostile or corrupt 4-byte length prefix must not
@@ -34,16 +46,113 @@ pub trait Transport {
     /// Sends one message.
     ///
     /// # Errors
-    /// [`crate::FederatedError::Transport`] for oversized messages or a
-    /// failed/closed underlying channel.
+    /// [`crate::FederatedError::OversizedFrame`] for messages past
+    /// [`MAX_FRAME`]; [`crate::FederatedError::Disconnected`] when the
+    /// peer is gone; [`crate::FederatedError::Transport`] for other
+    /// channel failures.
     fn send(&mut self, message: &[u8]) -> Result<()>;
 
-    /// Receives the next message, blocking until one arrives.
+    /// Receives the next message, blocking until one arrives or the
+    /// deadline (if set) expires.
     ///
     /// # Errors
-    /// [`crate::FederatedError::Transport`] for torn frames, oversized
-    /// frames, or a peer that hung up.
+    /// [`crate::FederatedError::TimedOut`] past the deadline;
+    /// [`crate::FederatedError::Disconnected`] when the peer hung up;
+    /// [`crate::FederatedError::TornFrame`] /
+    /// [`crate::FederatedError::OversizedFrame`] for frames that die
+    /// mid-message or claim hostile lengths.
     fn recv(&mut self) -> Result<Vec<u8>>;
+
+    /// Bounds how long a blocking `send`/`recv` may wait; `None` removes
+    /// the bound. The default implementation refuses — a transport that
+    /// cannot bound its blocking operations must not silently hang a
+    /// coordinator that asked for a deadline.
+    ///
+    /// # Errors
+    /// [`crate::FederatedError::Transport`] when the transport cannot
+    /// enforce deadlines.
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        let _ = deadline;
+        Err(transport(
+            "set_deadline",
+            "this transport cannot bound blocking operations",
+        ))
+    }
+}
+
+/// Deterministic retry schedule for transient transport failures:
+/// `max_attempts` tries with capped exponential backoff
+/// (`base_backoff · 2ⁿ`, clamped to `max_backoff`) between them. No
+/// jitter and no wall-clock randomness — a replayed faulty round
+/// schedules its retries identically every time, which is what keeps
+/// fault-injection sweeps and resumed rounds reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (`1` means no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper clamp on the doubled backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 25 ms base backoff doubling to at most 1 s.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt, no backoff — the pre-PR-10 fail-fast behavior.
+    #[must_use]
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The backoff to sleep after the `failures`-th consecutive failure
+    /// (1-based): `base_backoff · 2^(failures−1)`, clamped to
+    /// `max_backoff`. Saturating — never panics, never wraps.
+    #[must_use]
+    pub fn backoff(&self, failures: u32) -> Duration {
+        let doublings = failures.saturating_sub(1).min(30);
+        self.base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff)
+    }
+
+    /// Runs `op` until it succeeds, fails terminally, or exhausts
+    /// `max_attempts`. Only failures for which
+    /// [`FederatedError::is_retryable`] holds are retried; the closure
+    /// receives the 1-based attempt number.
+    ///
+    /// # Errors
+    /// The last error `op` returned.
+    pub fn run<T>(&self, mut op: impl FnMut(u32) -> Result<T>) -> Result<T> {
+        let attempts = self.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < attempts && e.is_retryable() => {
+                    let pause = self.backoff(attempt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
 }
 
 /// One direction of an in-memory pair: a queue plus the condition
@@ -75,19 +184,39 @@ impl Direction {
         self.ready.notify_one();
     }
 
-    fn pop(&self) -> Result<Vec<u8>> {
+    fn is_closed(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed
+    }
+
+    fn pop(&self, deadline: Option<Duration>) -> Result<Vec<u8>> {
+        let limit = deadline.map(|d| Instant::now() + d);
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(message) = state.messages.pop_front() {
                 return Ok(message);
             }
             if state.closed {
-                return Err(transport("recv", "peer hung up with no message pending"));
+                return Err(disconnected("recv"));
             }
-            state = self
-                .ready
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
+            state = match limit {
+                None => self
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner),
+                Some(limit) => {
+                    let now = Instant::now();
+                    if now >= limit {
+                        return Err(timed_out("recv"));
+                    }
+                    self.ready
+                        .wait_timeout(state, limit - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0
+                }
+            };
         }
     }
 
@@ -101,11 +230,16 @@ impl Direction {
 /// An in-process bidirectional message channel: [`InMemoryTransport::pair`]
 /// yields two connected endpoints, each sending into the queue the other
 /// receives from. Dropping an endpoint wakes the peer's pending `recv`
-/// with a typed hang-up error once the queue drains — already-sent
-/// messages are never lost.
+/// with a typed [`crate::FederatedError::Disconnected`] once the queue
+/// drains — already-sent messages are never lost, and a receiver is
+/// never parked forever on a dead peer. With a deadline set
+/// ([`Transport::set_deadline`]), `recv` gives up with a typed
+/// [`crate::FederatedError::TimedOut`] instead of waiting indefinitely
+/// for a stalled-but-alive peer.
 pub struct InMemoryTransport {
     outgoing: Arc<Direction>,
     incoming: Arc<Direction>,
+    deadline: Option<Duration>,
 }
 
 impl InMemoryTransport {
@@ -118,10 +252,12 @@ impl InMemoryTransport {
             InMemoryTransport {
                 outgoing: Arc::clone(&a_to_b),
                 incoming: Arc::clone(&b_to_a),
+                deadline: None,
             },
             InMemoryTransport {
                 outgoing: b_to_a,
                 incoming: a_to_b,
+                deadline: None,
             },
         )
     }
@@ -130,20 +266,29 @@ impl InMemoryTransport {
 impl Transport for InMemoryTransport {
     fn send(&mut self, message: &[u8]) -> Result<()> {
         if message.len() > MAX_FRAME {
-            return Err(transport(
-                "send",
-                format!(
-                    "{}-byte message exceeds the {MAX_FRAME}-byte frame cap",
-                    message.len()
-                ),
-            ));
+            return Err(FederatedError::OversizedFrame {
+                op: "send",
+                len: message.len(),
+                cap: MAX_FRAME,
+            });
+        }
+        // The peer's drop closed what it sends into — our incoming. A
+        // send to a dropped peer fails fast instead of queueing into the
+        // void.
+        if self.incoming.is_closed() {
+            return Err(disconnected("send"));
         }
         self.outgoing.push(message.to_vec());
         Ok(())
     }
 
     fn recv(&mut self) -> Result<Vec<u8>> {
-        self.incoming.pop()
+        self.incoming.pop(self.deadline)
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        self.deadline = deadline;
+        Ok(())
     }
 }
 
@@ -153,18 +298,106 @@ impl Drop for InMemoryTransport {
     }
 }
 
+/// A byte medium that can bound its blocking reads and writes — the hook
+/// [`StreamTransport`] uses to translate [`Transport::set_deadline`]
+/// into `set_read_timeout`/`set_write_timeout` on socket-backed streams.
+///
+/// Implementations ship for [`std::os::unix::net::UnixStream`] and
+/// [`std::net::TcpStream`] (real kernel timeouts), and as no-ops for the
+/// never-blocking in-memory media tests frame against (`&[u8]`,
+/// `Vec<u8>`, [`std::io::Cursor`], [`std::io::Empty`],
+/// [`std::io::Sink`]) — those cannot stall, so a deadline on them is
+/// trivially satisfied.
+pub trait DeadlineMedium {
+    /// Bounds blocking reads; `None` removes the bound.
+    ///
+    /// # Errors
+    /// The medium's own I/O error (e.g. a zero timeout the OS refuses).
+    fn set_read_deadline(&mut self, deadline: Option<Duration>) -> std::io::Result<()>;
+
+    /// Bounds blocking writes; `None` removes the bound.
+    ///
+    /// # Errors
+    /// The medium's own I/O error.
+    fn set_write_deadline(&mut self, deadline: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl<T: DeadlineMedium + ?Sized> DeadlineMedium for &mut T {
+    fn set_read_deadline(&mut self, deadline: Option<Duration>) -> std::io::Result<()> {
+        (**self).set_read_deadline(deadline)
+    }
+
+    fn set_write_deadline(&mut self, deadline: Option<Duration>) -> std::io::Result<()> {
+        (**self).set_write_deadline(deadline)
+    }
+}
+
+#[cfg(unix)]
+impl DeadlineMedium for std::os::unix::net::UnixStream {
+    fn set_read_deadline(&mut self, deadline: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(deadline)
+    }
+
+    fn set_write_deadline(&mut self, deadline: Option<Duration>) -> std::io::Result<()> {
+        self.set_write_timeout(deadline)
+    }
+}
+
+impl DeadlineMedium for std::net::TcpStream {
+    fn set_read_deadline(&mut self, deadline: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(deadline)
+    }
+
+    fn set_write_deadline(&mut self, deadline: Option<Duration>) -> std::io::Result<()> {
+        self.set_write_timeout(deadline)
+    }
+}
+
+/// Declares a medium never-blocking: deadlines are trivially satisfied.
+macro_rules! non_blocking_medium {
+    ($($ty:ty),* $(,)?) => {$(
+        impl DeadlineMedium for $ty {
+            fn set_read_deadline(&mut self, _deadline: Option<Duration>) -> std::io::Result<()> {
+                Ok(())
+            }
+
+            fn set_write_deadline(&mut self, _deadline: Option<Duration>) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+    )*};
+}
+
+non_blocking_medium!(&[u8], Vec<u8>, std::io::Empty, std::io::Sink);
+
+impl<T> DeadlineMedium for std::io::Cursor<T> {
+    fn set_read_deadline(&mut self, _deadline: Option<Duration>) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn set_write_deadline(&mut self, _deadline: Option<Duration>) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
 /// Length-prefixed framing over any byte stream: each message travels as
 /// a 4-byte big-endian length followed by the payload. This is the
 /// cross-process transport — in the test suite the stream is a
 /// [`std::os::unix::net::UnixStream`] pair, but any `Read`/`Write`
-/// combination works (TCP sockets, pipes, or an in-process
-/// `VecDeque`-backed cursor).
+/// combination with a [`DeadlineMedium`] impl works (TCP sockets, pipes,
+/// or an in-process buffer).
+///
+/// A timed-out read can strand the stream mid-frame (bytes already
+/// consumed cannot be unread), so after a
+/// [`crate::FederatedError::TimedOut`] **mid-frame** the connection
+/// should be treated as dead; a timeout before the first prefix byte is
+/// safely retryable.
 pub struct StreamTransport<R, W> {
     reader: R,
     writer: W,
 }
 
-impl<R: Read, W: Write> StreamTransport<R, W> {
+impl<R, W> StreamTransport<R, W> {
     /// Wraps a reader/writer pair. For a duplex stream type like
     /// `UnixStream`, pass a `try_clone` as the reader and the original
     /// as the writer.
@@ -178,16 +411,57 @@ impl<R: Read, W: Write> StreamTransport<R, W> {
     }
 }
 
-impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
+impl<R: Read + DeadlineMedium, W: Write + DeadlineMedium> StreamTransport<R, W> {
+    /// Fills `buf` completely, mapping every partial outcome to the
+    /// typed error the caller needs: EOF before the first byte of a
+    /// *frame* is a clean hang-up, EOF with `already + filled` of
+    /// `expected` frame bytes is a torn frame at that exact offset, and
+    /// an OS-level read timeout is a typed deadline expiry.
+    fn read_full(&mut self, buf: &mut [u8], already: usize, expected: usize) -> Result<()> {
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            match self.reader.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return if already == 0 && filled == 0 {
+                        Err(disconnected("recv"))
+                    } else {
+                        Err(FederatedError::TornFrame {
+                            op: "recv",
+                            at: already + filled,
+                            expected,
+                        })
+                    };
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(timed_out("recv"));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                    return Err(FederatedError::TornFrame {
+                        op: "recv",
+                        at: already + filled,
+                        expected,
+                    });
+                }
+                Err(e) => return Err(transport("recv", e.to_string())),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read + DeadlineMedium, W: Write + DeadlineMedium> Transport for StreamTransport<R, W> {
     fn send(&mut self, message: &[u8]) -> Result<()> {
         if message.len() > MAX_FRAME {
-            return Err(transport(
-                "send",
-                format!(
-                    "{}-byte message exceeds the {MAX_FRAME}-byte frame cap",
-                    message.len()
-                ),
-            ));
+            return Err(FederatedError::OversizedFrame {
+                op: "send",
+                len: message.len(),
+                cap: MAX_FRAME,
+            });
         }
         let len = u32::try_from(message.len())
             .map_err(|_| transport("send", "message length overflow"))?;
@@ -195,29 +469,36 @@ impl<R: Read, W: Write> Transport for StreamTransport<R, W> {
             .write_all(&len.to_be_bytes())
             .and_then(|()| self.writer.write_all(message))
             .and_then(|()| self.writer.flush())
-            .map_err(|e| transport("send", e.to_string()))
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => timed_out("send"),
+                std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted => disconnected("send"),
+                _ => transport("send", e.to_string()),
+            })
     }
 
     fn recv(&mut self) -> Result<Vec<u8>> {
         let mut prefix = [0u8; 4];
-        self.reader
-            .read_exact(&mut prefix)
-            .map_err(|e| transport("recv", format!("reading length prefix: {e}")))?;
+        self.read_full(&mut prefix, 0, 4)?;
         let len = u32::from_be_bytes(prefix) as usize;
         if len > MAX_FRAME {
-            return Err(transport(
-                "recv",
-                format!("{len}-byte frame exceeds the {MAX_FRAME}-byte cap"),
-            ));
+            return Err(FederatedError::OversizedFrame {
+                op: "recv",
+                len,
+                cap: MAX_FRAME,
+            });
         }
         let mut message = vec![0u8; len];
-        self.reader.read_exact(&mut message).map_err(|e| {
-            transport(
-                "recv",
-                format!("torn frame: peer promised {len} bytes but the stream ended: {e}"),
-            )
-        })?;
+        self.read_full(&mut message, 4, 4 + len)?;
         Ok(message)
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        self.reader
+            .set_read_deadline(deadline)
+            .and_then(|()| self.writer.set_write_deadline(deadline))
+            .map_err(|e| transport("set_deadline", e.to_string()))
     }
 }
 
@@ -233,11 +514,30 @@ mod tests {
         a.send(b"two").unwrap();
         assert_eq!(b.recv().unwrap(), b"one");
         // Queued messages survive the sender's drop; afterwards recv
-        // reports the hang-up instead of blocking.
+        // reports the hang-up instead of blocking, and sends toward the
+        // dead peer fail fast.
         drop(a);
         assert_eq!(b.recv().unwrap(), b"two");
         let err = b.recv().unwrap_err();
-        assert!(matches!(err, FederatedError::Transport { op: "recv", .. }));
+        assert!(matches!(err, FederatedError::Disconnected { op: "recv" }));
+        let err = b.send(b"into the void").unwrap_err();
+        assert!(matches!(err, FederatedError::Disconnected { op: "send" }));
+    }
+
+    #[test]
+    fn in_memory_recv_honors_its_deadline() {
+        let (_a, mut b) = InMemoryTransport::pair();
+        b.set_deadline(Some(Duration::from_millis(10))).unwrap();
+        let started = Instant::now();
+        let err = b.recv().unwrap_err();
+        assert!(matches!(err, FederatedError::TimedOut { op: "recv" }));
+        assert!(err.is_retryable());
+        assert!(started.elapsed() >= Duration::from_millis(10));
+        // A message that arrives before the deadline is delivered.
+        let (mut a2, mut b2) = InMemoryTransport::pair();
+        b2.set_deadline(Some(Duration::from_secs(5))).unwrap();
+        a2.send(b"in time").unwrap();
+        assert_eq!(b2.recv().unwrap(), b"in time");
     }
 
     #[test]
@@ -261,26 +561,132 @@ mod tests {
             .unwrap();
         let mut reader = StreamTransport::new(sink.as_slice(), std::io::sink());
         assert_eq!(reader.recv().unwrap(), b"payload bytes");
-        // A second recv on the exhausted stream is a typed error.
-        assert!(reader.recv().is_err());
+        // A second recv on the exhausted stream is a clean hang-up: EOF
+        // at a frame boundary, not a torn frame.
+        let err = reader.recv().unwrap_err();
+        assert!(matches!(err, FederatedError::Disconnected { op: "recv" }));
     }
 
     #[test]
-    fn torn_and_oversized_frames_are_refused() {
-        // Frame promises 100 bytes, stream carries 3.
+    fn torn_and_oversized_frames_carry_their_offsets() {
+        // Frame promises 100 bytes, stream carries 3: the error pins the
+        // exact byte position where the transcript tore.
         let mut bytes = 100u32.to_be_bytes().to_vec();
         bytes.extend_from_slice(b"abc");
         let err = StreamTransport::new(bytes.as_slice(), std::io::sink())
             .recv()
             .unwrap_err();
-        assert!(matches!(err, FederatedError::Transport { op: "recv", .. }));
+        assert!(
+            matches!(
+                err,
+                FederatedError::TornFrame {
+                    op: "recv",
+                    at: 7,
+                    expected: 104,
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.is_retryable());
 
-        // A hostile length prefix may not drive a giant allocation.
+        // A tear inside the 4-byte prefix is also positioned.
+        let err = StreamTransport::new(&[0u8, 0][..], std::io::sink())
+            .recv()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FederatedError::TornFrame {
+                at: 2,
+                expected: 4,
+                ..
+            }
+        ));
+
+        // A hostile length prefix may not drive a giant allocation; the
+        // refusal names the claimed length and the cap.
         #[allow(clippy::cast_possible_truncation)]
         let huge = ((MAX_FRAME + 1) as u32).to_be_bytes();
         let err = StreamTransport::new(huge.as_slice(), std::io::sink())
             .recv()
             .unwrap_err();
-        assert!(matches!(err, FederatedError::Transport { op: "recv", .. }));
+        match err {
+            FederatedError::OversizedFrame {
+                op: "recv",
+                len,
+                cap,
+            } => {
+                assert_eq!(len, MAX_FRAME + 1);
+                assert_eq!(cap, MAX_FRAME);
+            }
+            other => panic!("expected OversizedFrame, got {other}"),
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn stream_transport_times_out_on_a_stalled_socket() {
+        let (a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut rx = StreamTransport::new(a.try_clone().unwrap(), a);
+        rx.set_deadline(Some(Duration::from_millis(20))).unwrap();
+        // The peer is alive but silent: recv must give up, typed.
+        let err = rx.recv().unwrap_err();
+        assert!(
+            matches!(err, FederatedError::TimedOut { op: "recv" }),
+            "{err}"
+        );
+        // Once the peer delivers, the same transport works again.
+        let mut tx = StreamTransport::new(b.try_clone().unwrap(), b);
+        tx.send(b"late but whole").unwrap();
+        assert_eq!(rx.recv().unwrap(), b"late but whole");
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_deterministic_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+        };
+        assert_eq!(policy.backoff(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3), Duration::from_millis(35));
+        assert_eq!(policy.backoff(100), Duration::from_millis(35));
+
+        // run() retries transient failures up to the attempt budget…
+        let mut calls = 0;
+        let quick = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        };
+        let out: Result<()> = quick.run(|attempt| {
+            calls += 1;
+            assert_eq!(attempt, calls);
+            Err(timed_out("recv"))
+        });
+        assert!(matches!(out, Err(FederatedError::TimedOut { .. })));
+        assert_eq!(calls, 3);
+
+        // …but a terminal failure short-circuits immediately.
+        let mut calls = 0;
+        let out: Result<()> = quick.run(|_| {
+            calls += 1;
+            Err(disconnected("recv"))
+        });
+        assert!(matches!(out, Err(FederatedError::Disconnected { .. })));
+        assert_eq!(calls, 1);
+
+        // Success on a later attempt returns the value.
+        let mut calls = 0;
+        let out = quick.run(|attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err(timed_out("recv"))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 2);
+        assert_eq!(calls, 2);
     }
 }

@@ -1,5 +1,7 @@
-//! The `fm-accum v1` wire format: a versioned, checksummed serialization
-//! of streaming-accumulator state for cross-process federated fitting.
+//! The `fm-accum v2` wire format: a versioned, checksummed serialization
+//! of streaming-accumulator state for cross-process federated fitting —
+//! plus the tiny `fm-ctl v1` control format coordinators use to
+//! re-assign grid positions in a recovery sub-round ([`ControlMsg`]).
 //!
 //! A federated client ships its contribution to the coordinator as one
 //! payload holding the client's position on the shared chunk grid, its
@@ -11,12 +13,20 @@
 //! shortest-round-trip formatting (bit-exact on reparse), closed by a
 //! whole-payload FNV-1a-64 checksum ([`fm_privacy::wal::checksum64`]).
 //!
+//! v2 adds one header line over v1: `round`, a coordinator-chosen round
+//! id. Together with the client label and the payload checksum it makes
+//! uploads **idempotent** — a retransmit after an ambiguous failure
+//! carries the same `(round, client, checksum)` identity, so the
+//! coordinator dedups it exactly-once instead of refusing the round, and
+//! a stale frame from an earlier round is recognized and ignored.
+//!
 //! # Format
 //!
 //! ```text
-//! fm-accum v1
+//! fm-accum v2
 //! kind quadratic            (or polynomial)
 //! client alice              (budget label: no whitespace/control, ≤ 128 bytes)
+//! round 7                   (coordinator-chosen round id)
 //! mode clean                (or noisy)
 //! d 4
 //! chunk_rows 4096
@@ -49,16 +59,23 @@
 //! at its own grid position (`(start_chunk + chunks so far) mod 2^rank ≠
 //! 0`), row counts inconsistent with the chunk grid, staged rows in a
 //! noisy payload, and non-finite floats are all typed
-//! [`crate::FederatedError::Wire`] errors, never panics.
+//! [`crate::FederatedError::Wire`] errors, never panics. Every refusal
+//! names *where* it happened — the 1-based body line, or the byte count
+//! of a torn payload — so a faulted transcript can be debugged from the
+//! error alone.
 
 use fm_linalg::Matrix;
 use fm_poly::{Monomial, Polynomial, QuadraticForm};
 use fm_privacy::wal::checksum64;
 
 use crate::error::{wire, Result};
+use crate::plan::ClientShare;
 
 /// Magic first line of an `fm-accum` payload, with the format version.
-pub const ACCUM_MAGIC: &str = "fm-accum v1";
+pub const ACCUM_MAGIC: &str = "fm-accum v2";
+
+/// Magic first line of an `fm-ctl` control message.
+pub const CTL_MAGIC: &str = "fm-ctl v1";
 
 /// Whether a payload carries exact (clean) accumulator state or a
 /// client-side perturbed (noisy) objective.
@@ -180,14 +197,17 @@ impl WirePartial for Polynomial {
 }
 
 /// One client's contribution to a federated round, as carried by the
-/// `fm-accum v1` wire format: the client's identity and grid position,
-/// its pre-merged counter runs, and (final client of a central round
-/// only) the raw rows of the ragged tail chunk.
+/// `fm-accum v2` wire format: the client's identity, round id and grid
+/// position, its pre-merged counter runs, and (final client of a central
+/// round only) the raw rows of the ragged tail chunk.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AccumUpload<P = QuadraticForm> {
     /// The client's budget label (what the coordinator debits; no
     /// whitespace or control characters, at most 128 bytes).
     pub client: String,
+    /// The round this upload belongs to. Retransmits carry the same
+    /// round id; a coordinator ignores frames from other rounds.
+    pub round: u64,
     /// Clean accumulator state or a client-side perturbed objective.
     pub mode: PayloadMode,
     /// The working dimensionality (intercept augmentation included).
@@ -208,7 +228,7 @@ pub struct AccumUpload<P = QuadraticForm> {
 }
 
 impl<P: WirePartial> AccumUpload<P> {
-    /// Serializes the upload to the versioned, checksummed `fm-accum v1`
+    /// Serializes the upload to the versioned, checksummed `fm-accum v2`
     /// text format. Floats are written shortest-round-trip, so
     /// [`AccumUpload::decode`] reproduces the exact bits.
     #[must_use]
@@ -218,6 +238,7 @@ impl<P: WirePartial> AccumUpload<P> {
         out.push('\n');
         out.push_str(&format!("kind {}\n", P::KIND));
         out.push_str(&format!("client {}\n", self.client));
+        out.push_str(&format!("round {}\n", self.round));
         out.push_str(&format!("mode {}\n", self.mode.token()));
         out.push_str(&format!("d {}\n", self.d));
         out.push_str(&format!("chunk_rows {}\n", self.chunk_rows));
@@ -235,7 +256,7 @@ impl<P: WirePartial> AccumUpload<P> {
         out
     }
 
-    /// Parses and validates an `fm-accum v1` payload.
+    /// Parses and validates an `fm-accum v2` payload.
     ///
     /// # Errors
     /// [`crate::FederatedError::Wire`] for checksum failures (any truncation or
@@ -243,28 +264,12 @@ impl<P: WirePartial> AccumUpload<P> {
     /// out-of-order keys, malformed numbers, and structural violations:
     /// unaligned runs, row counts inconsistent with the chunk grid,
     /// staged rows that cannot belong to a partial chunk, or a noisy
-    /// payload carrying anything but a single rank-0 run.
+    /// payload carrying anything but a single rank-0 run. Errors carry
+    /// the offending body line or the torn payload's byte count.
     pub fn decode(text: &str) -> Result<Self> {
-        // The checksum line closes over every byte before it, and the
-        // payload must end exactly at its newline: a payload missing even
-        // the final byte is refused.
-        let body_end = text
-            .rfind("checksum ")
-            .ok_or_else(|| wire("missing checksum line (truncated payload?)"))?;
-        let (body, sum_line) = text.split_at(body_end);
-        let sum_hex = sum_line.strip_prefix("checksum ").expect("split at match");
-        let Some(sum_hex) = sum_hex.strip_suffix('\n') else {
-            return Err(wire("payload torn mid-checksum"));
-        };
-        let expected = u64::from_str_radix(sum_hex, 16)
-            .map_err(|_| wire(format!("unparseable checksum {sum_hex:?}")))?;
-        if sum_hex.len() != 16 || checksum64(body.as_bytes()) != expected {
-            return Err(wire("checksum mismatch: payload is corrupt or truncated"));
-        }
+        let body = verify_checksum(text)?;
 
-        let mut lines = LineReader {
-            lines: body.lines(),
-        };
+        let mut lines = LineReader::new(body);
         let magic = lines.next_line()?;
         if magic != ACCUM_MAGIC {
             return Err(wire(format!(
@@ -280,6 +285,7 @@ impl<P: WirePartial> AccumUpload<P> {
         }
         let client = lines.tagged("client")?.to_string();
         validate_client_label(&client)?;
+        let round = lines.u64_field("round")?;
         let mode = PayloadMode::parse(lines.tagged("mode")?)?;
         let d = lines.usize_field("d")?;
         if d == 0 {
@@ -372,6 +378,7 @@ impl<P: WirePartial> AccumUpload<P> {
 
         Ok(AccumUpload {
             client,
+            round,
             mode,
             d,
             chunk_rows,
@@ -381,6 +388,145 @@ impl<P: WirePartial> AccumUpload<P> {
             staged_xs,
             staged_ys,
         })
+    }
+}
+
+/// Verifies the trailing `checksum` line of a payload and returns the
+/// body it closes over. Shared by `fm-accum v2` and `fm-ctl v1`: the
+/// checksum line closes over every byte before it, and the payload must
+/// end exactly at its newline — a payload missing even the final byte is
+/// refused, with the refusal naming how many bytes actually arrived.
+fn verify_checksum(text: &str) -> Result<&str> {
+    let body_end = text.rfind("checksum ").ok_or_else(|| {
+        wire(format!(
+            "missing checksum line in a {}-byte payload (truncated?)",
+            text.len()
+        ))
+    })?;
+    let (body, sum_line) = text.split_at(body_end);
+    let sum_hex = sum_line.strip_prefix("checksum ").expect("split at match");
+    let Some(sum_hex) = sum_hex.strip_suffix('\n') else {
+        return Err(wire(format!(
+            "payload torn mid-checksum at byte {}",
+            text.len()
+        )));
+    };
+    let expected = u64::from_str_radix(sum_hex, 16)
+        .map_err(|_| wire(format!("unparseable checksum {sum_hex:?}")))?;
+    if sum_hex.len() != 16 || checksum64(body.as_bytes()) != expected {
+        return Err(wire(format!(
+            "checksum mismatch over a {}-byte body: payload is corrupt or truncated",
+            body.len()
+        )));
+    }
+    Ok(body)
+}
+
+/// A coordinator→client control message in a fault-tolerant round, as
+/// carried by the checksummed `fm-ctl v1` line format:
+///
+/// ```text
+/// fm-ctl v1
+/// type assign               (or done)
+/// round 7
+/// start_row 4096            (assign only: the re-planned share)
+/// rows 8192
+/// start_chunk 1
+/// chunks 2
+/// tail_rows 0
+/// checksum <16-hex FNV-1a-64 of every preceding byte>
+/// ```
+///
+/// After the upload phase of a quorum round, survivors wait for control
+/// messages: an [`ControlMsg::Assign`] asks the client to re-contribute
+/// its rows at a new grid position (a dropped peer's range was
+/// re-planned), a [`ControlMsg::Done`] releases it from the round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// Re-contribute under the carried share (same local rows, possibly
+    /// a new `start_chunk`) and upload again.
+    Assign {
+        /// The round being salvaged.
+        round: u64,
+        /// The client's re-planned position on the shared grid.
+        share: ClientShare,
+    },
+    /// The round is complete; the client may leave.
+    Done {
+        /// The finished round.
+        round: u64,
+    },
+}
+
+impl ControlMsg {
+    /// Serializes the message to the checksummed `fm-ctl v1` format.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CTL_MAGIC);
+        out.push('\n');
+        match self {
+            ControlMsg::Assign { round, share } => {
+                out.push_str("type assign\n");
+                out.push_str(&format!("round {round}\n"));
+                out.push_str(&format!("start_row {}\n", share.start_row));
+                out.push_str(&format!("rows {}\n", share.rows));
+                out.push_str(&format!("start_chunk {}\n", share.start_chunk));
+                out.push_str(&format!("chunks {}\n", share.chunks));
+                out.push_str(&format!("tail_rows {}\n", share.tail_rows));
+            }
+            ControlMsg::Done { round } => {
+                out.push_str("type done\n");
+                out.push_str(&format!("round {round}\n"));
+            }
+        }
+        out.push_str(&format!("checksum {:016x}\n", checksum64(out.as_bytes())));
+        out
+    }
+
+    /// Parses and validates an `fm-ctl v1` message.
+    ///
+    /// # Errors
+    /// [`crate::FederatedError::Wire`] for checksum failures, version
+    /// skew, unknown message types, malformed fields, or a share whose
+    /// row count disagrees with its chunk geometry.
+    pub fn decode(text: &str) -> Result<Self> {
+        let body = verify_checksum(text)?;
+        let mut lines = LineReader::new(body);
+        let magic = lines.next_line()?;
+        if magic != CTL_MAGIC {
+            return Err(wire(format!(
+                "unsupported control format {magic:?} (expected {CTL_MAGIC:?})"
+            )));
+        }
+        let kind = lines.tagged("type")?;
+        let round = match kind {
+            "assign" => {
+                let round = lines.u64_field("round")?;
+                let start_row = lines.usize_field("start_row")?;
+                let rows = lines.usize_field("rows")?;
+                let start_chunk = lines.usize_field("start_chunk")?;
+                let chunks = lines.usize_field("chunks")?;
+                let tail_rows = lines.usize_field("tail_rows")?;
+                let share = ClientShare {
+                    start_row,
+                    rows,
+                    start_chunk,
+                    chunks,
+                    tail_rows,
+                };
+                if lines.lines.next().is_some() {
+                    return Err(wire("trailing content after the assignment"));
+                }
+                return Ok(ControlMsg::Assign { round, share });
+            }
+            "done" => lines.u64_field("round")?,
+            other => return Err(wire(format!("unknown control type {other:?}"))),
+        };
+        if lines.lines.next().is_some() {
+            return Err(wire("trailing content after the control message"));
+        }
+        Ok(ControlMsg::Done { round })
     }
 }
 
@@ -431,16 +577,27 @@ fn parse_f64_tok(what: &str, tok: Option<&str>) -> Result<f64> {
 
 /// Sequential tagged-line reader over the payload body (same shape as
 /// the checkpoint parser's; public only because [`WirePartial`] bodies
-/// read through it).
+/// read through it). Tracks the 1-based line number so every refusal
+/// names where in the transcript it happened.
 pub struct LineReader<'a> {
     lines: std::str::Lines<'a>,
+    line: usize,
 }
 
 impl<'a> LineReader<'a> {
+    fn new(body: &'a str) -> Self {
+        LineReader {
+            lines: body.lines(),
+            line: 0,
+        }
+    }
+
     fn next_line(&mut self) -> Result<&'a str> {
+        self.line += 1;
+        let at = self.line;
         self.lines
             .next()
-            .ok_or_else(|| wire("truncated payload body"))
+            .ok_or_else(|| wire(format!("payload body truncated at line {at}")))
     }
 
     /// Consumes the next line, requiring tag `tag`; returns the rest.
@@ -450,7 +607,8 @@ impl<'a> LineReader<'a> {
             Some("") => Ok(""),
             Some(rest) if rest.starts_with(' ') => Ok(&rest[1..]),
             _ => Err(wire(format!(
-                "expected `{tag} …`, found {line:?} (unknown or out-of-order key)"
+                "line {}: expected `{tag} …`, found {line:?} (unknown or out-of-order key)",
+                self.line
             ))),
         }
     }
@@ -458,7 +616,13 @@ impl<'a> LineReader<'a> {
     fn usize_field(&mut self, tag: &str) -> Result<usize> {
         let rest = self.tagged(tag)?;
         rest.parse::<usize>()
-            .map_err(|_| wire(format!("unparseable {tag} {rest:?}")))
+            .map_err(|_| wire(format!("line {}: unparseable {tag} {rest:?}", self.line)))
+    }
+
+    fn u64_field(&mut self, tag: &str) -> Result<u64> {
+        let rest = self.tagged(tag)?;
+        rest.parse::<u64>()
+            .map_err(|_| wire(format!("line {}: unparseable {tag} {rest:?}", self.line)))
     }
 
     /// Consumes a `tag v0 v1 …` line carrying exactly `n` finite floats.
@@ -471,7 +635,8 @@ impl<'a> LineReader<'a> {
             .collect::<Result<_>>()?;
         if vals.len() != n {
             return Err(wire(format!(
-                "{tag}: expected {n} values, found {}",
+                "line {}: {tag}: expected {n} values, found {}",
+                self.line,
                 vals.len()
             )));
         }
@@ -492,6 +657,7 @@ mod tests {
         };
         AccumUpload {
             client: "alice".to_string(),
+            round: 7,
             mode: PayloadMode::Clean,
             d,
             chunk_rows: 4,
@@ -538,7 +704,7 @@ mod tests {
             );
         }
         // Version skew with a freshly valid checksum is still refused.
-        let body = text[..text.rfind("checksum ").unwrap()].replace("v1", "v2");
+        let body = text[..text.rfind("checksum ").unwrap()].replace("v2", "v3");
         let skewed = format!("{body}checksum {:016x}\n", checksum64(body.as_bytes()));
         let err = AccumUpload::<QuadraticForm>::decode(&skewed).unwrap_err();
         assert!(matches!(err, FederatedError::Wire { .. }));
@@ -584,6 +750,50 @@ mod tests {
 
         upload.rows = 0;
         assert!(AccumUpload::<QuadraticForm>::decode(&upload.encode()).is_err());
+    }
+
+    #[test]
+    fn wire_errors_carry_positions() {
+        // A torn payload names its byte count…
+        let text = sample_upload().encode();
+        let torn = &text[..text.len() - 1];
+        let err = AccumUpload::<QuadraticForm>::decode(torn).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("byte") || msg.contains("-byte"), "{msg}");
+        // …and a structural refusal names its body line. `rows` is the
+        // 9th line of a v2 payload (after magic/kind/client/round/mode/
+        // d/chunk_rows/start_chunk).
+        let forged = reframe(&text, "rows 22", "rows nonsense");
+        let err = AccumUpload::<QuadraticForm>::decode(&forged).unwrap_err();
+        assert!(err.to_string().contains("line 9"), "{err}");
+    }
+
+    #[test]
+    fn control_messages_round_trip_and_refuse_every_prefix() {
+        let assign = ControlMsg::Assign {
+            round: 12,
+            share: ClientShare {
+                start_row: 64,
+                rows: 32,
+                start_chunk: 8,
+                chunks: 4,
+                tail_rows: 0,
+            },
+        };
+        let done = ControlMsg::Done { round: 12 };
+        for msg in [assign, done] {
+            let text = msg.encode();
+            assert_eq!(ControlMsg::decode(&text).unwrap(), msg);
+            for cut in 0..text.len() {
+                assert!(
+                    ControlMsg::decode(&text[..cut]).is_err(),
+                    "prefix of {cut} bytes accepted"
+                );
+            }
+        }
+        // A control message is not an upload and vice versa.
+        assert!(AccumUpload::<QuadraticForm>::decode(&done.encode()).is_err());
+        assert!(ControlMsg::decode(&sample_upload().encode()).is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!    the rows (the coordinator's [`ShardPlan`]).
 //! 2. **Central-noise round**: each bureau streams its shard into
 //!    pre-merged merge-tree runs on its own thread and ships them over a
-//!    Unix socket pair as an `fm-accum v1` payload. The coordinator
+//!    Unix socket pair as an `fm-accum v2` payload. The coordinator
 //!    replays the runs on the shared chunk grid, draws the mechanism's
 //!    noise once, and releases a model **bit-identical** to a
 //!    single-machine `fit` over the pooled rows at the same seed.

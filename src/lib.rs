@@ -13,7 +13,7 @@
 //! | [`core`] | `fm-core` | the Functional Mechanism (Algorithms 1 & 2), DP linear / logistic / Poisson regression, §6 post-processing, (ε, δ) Gaussian variant |
 //! | [`baselines`] | `fm-baselines` | NoPrivacy, Truncated, DPME, Filter-Priority, objective perturbation |
 //! | [`serve`] | `fm-serve` | multi-tenant fitting service: admission over the WAL ledger, bounded block queues, checkpointing shutdown/resume, WAL compaction |
-//! | [`federated`] | `fm-federated` | cross-process federated fitting: `fm-accum v1` wire format, chunk-aligned merge-tree replay, central vs local noise, pluggable transports |
+//! | [`federated`] | `fm-federated` | cross-process federated fitting: `fm-accum v2` wire format, chunk-aligned merge-tree replay, central vs local noise, quorum dropout salvage, deadline/retry transports + fault injection |
 //! | [`data`] | `fm-data` | datasets, normalization, synthetic census, cross-validation, metrics |
 //! | [`privacy`] | `fm-privacy` | Laplace / Gaussian / exponential mechanisms, privacy budget accounting |
 //! | [`poly`] | `fm-poly` | multivariate polynomials, quadratic forms, Taylor & Chebyshev machinery |
@@ -211,8 +211,9 @@ pub mod prelude {
         },
     };
     pub use fm_federated::{
-        Coordinator, FederatedClient, FederatedError, InMemoryTransport, NoiseMode, ShardPlan,
-        StreamTransport, Transport,
+        Coordinator, FaultInjectingTransport, FederatedClient, FederatedError, InMemoryTransport,
+        NoiseMode, QuorumPolicy, RetryPolicy, RoundReport, ShardPlan, StreamTransport, Transport,
+        TransportFault,
     };
     pub use fm_linalg::Matrix;
     pub use fm_privacy::{

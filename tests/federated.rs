@@ -11,12 +11,19 @@
 //!   over-cap rounds are refused before any release, and duplicate
 //!   client labels are refused before any debit;
 //! * corrupted, truncated, version-skewed and wrong-mode payloads are
-//!   refused with typed errors — and the `fm-accum v1` codec round-trips
+//!   refused with typed errors — and the `fm-accum v2` codec round-trips
 //!   real accumulator state bit-exactly for arbitrary shard geometry
 //!   (property-tested), with **every** strict byte-prefix of a payload
-//!   refused, never accepted and never a panic.
+//!   refused, never accepted and never a panic;
+//! * dropout under a [`QuorumPolicy`] **salvages** the round: the
+//!   survivors' grid is re-planned, the salvaged release is bit-identical
+//!   to a fresh fit over the survivors' pooled rows at the same seed
+//!   (property-tested over arbitrary dropout geometry), exactly the
+//!   survivors are debited — and the same dropout *without* a policy
+//!   still refuses cleanly, debit-free.
 
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
 use functional_mechanism::core::estimator::{FitConfig, FmEstimator};
 use functional_mechanism::core::linreg::{DpLinearRegression, LinearObjective};
@@ -25,7 +32,7 @@ use functional_mechanism::data::stream::InMemorySource;
 use functional_mechanism::data::{synth, Dataset};
 use functional_mechanism::federated::{
     AccumUpload, Coordinator, FederatedClient, FederatedError, InMemoryTransport, NoiseMode,
-    Transport,
+    QuorumPolicy, RetryPolicy, Transport,
 };
 use functional_mechanism::linalg::Matrix;
 use functional_mechanism::privacy::wal::checksum64;
@@ -246,9 +253,9 @@ fn hostile_payloads_are_refused_with_typed_errors() {
     // Truncation: a torn tail (here 60%) never decodes.
     expect_wire(good.as_bytes()[..good.len() * 6 / 10].to_vec());
 
-    // Version skew: a well-checksummed v2 payload is refused up front.
+    // Version skew: a well-checksummed v3 payload is refused up front.
     let (body, _) = good.rsplit_once("checksum ").unwrap();
-    let skewed_body = body.replacen("fm-accum v1", "fm-accum v2", 1);
+    let skewed_body = body.replacen("fm-accum v2", "fm-accum v3", 1);
     let skewed = format!(
         "{skewed_body}checksum {:016x}\n",
         checksum64(skewed_body.as_bytes())
@@ -270,6 +277,164 @@ fn hostile_payloads_are_refused_with_typed_errors() {
         .unwrap_err();
     assert!(matches!(err, FederatedError::Protocol { .. }), "{err}");
     assert_eq!(session.spent_epsilon(), 0.0, "refused rounds cost nothing");
+}
+
+/// The row ranges `ranges` of `data`, concatenated in order, as one
+/// dataset — the survivors' pooled rows after a dropout.
+fn concat_slices(data: &Dataset, ranges: &[(usize, usize)]) -> Dataset {
+    let d = data.x().cols();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &(start, rows) in ranges {
+        for r in start..start + rows {
+            xs.extend_from_slice(data.x().row(r));
+        }
+        ys.extend_from_slice(&data.y()[start..start + rows]);
+    }
+    let rows = ys.len();
+    Dataset::new(Matrix::from_vec(rows, d, xs).unwrap(), ys).unwrap()
+}
+
+/// The tentpole dropout guarantee, scripted: a 3-client round in which
+/// the middle client vanishes before uploading. Under a
+/// [`QuorumPolicy`] the coordinator drops it, re-plans its grid range
+/// onto the survivors (one recovery sub-round: the third client
+/// re-contributes its own rows at the closed-up chunk position), and the
+/// salvaged release is **bit-identical** to a fresh fit over the two
+/// survivors' pooled rows at the same seed. Exactly the survivors are
+/// debited — the dropped client's label never reaches the ledger.
+#[test]
+fn dropout_salvage_is_bit_identical_and_debits_only_survivors() {
+    let rows = 199; // 24 chunks of 8 + a 7-row ragged tail, split 3 ways
+    let data = {
+        let mut rng = StdRng::seed_from_u64(41);
+        synth::linear_dataset(&mut rng, rows, 3, 0.1)
+    };
+    let estimator = DpLinearRegression::builder().epsilon(0.9).build();
+    let coordinator = Coordinator::with_chunk_rows(&estimator, NoiseMode::Central, 8).with_round(7);
+    let plan = coordinator.plan(rows, 3).unwrap();
+
+    let mut coord_ends = Vec::new();
+    let mut client_ends = Vec::new();
+    for _ in 0..3 {
+        let (a, b) = InMemoryTransport::pair();
+        coord_ends.push(a);
+        client_ends.push(Some(b));
+    }
+    // Client 1 is gone before it ever uploads.
+    client_ends[1] = None;
+
+    let session = SharedPrivacySession::new();
+    let policy = QuorumPolicy::new(2, Duration::from_secs(5));
+    let ((released, report), reassignments) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in [0usize, 2] {
+            let share = plan.shares[i];
+            let shard = slice_dataset(&data, share.start_row, share.rows);
+            let estimator = &estimator;
+            let mut transport = client_ends[i].take().unwrap();
+            handles.push((
+                i,
+                scope.spawn(move || {
+                    let client =
+                        FederatedClient::with_chunk_rows(estimator, format!("site-{i}"), 8)
+                            .with_round(7);
+                    client.participate(
+                        &mut transport,
+                        &share,
+                        || InMemorySource::new(&shard),
+                        &RetryPolicy::default(),
+                    )
+                }),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(4242);
+        let out = coordinator
+            .run_round_with_quorum(&mut coord_ends, &policy, &session, "study", &mut rng)
+            .unwrap();
+        let reassignments: Vec<(usize, usize)> = handles
+            .into_iter()
+            .map(|(i, h)| (i, h.join().unwrap().unwrap()))
+            .collect();
+        (out, reassignments)
+    });
+
+    // Client 0's grid position never moved; client 2 re-contributed once
+    // to close the hole.
+    assert_eq!(reassignments, vec![(0, 0), (2, 1)]);
+    assert_eq!(report.survivors, vec!["site-0", "site-2"]);
+    assert_eq!(report.dropped, vec![1]);
+    assert_eq!(report.recovery_subrounds, 1);
+    assert_eq!(report.deduped_frames, 0);
+
+    // Bit-identity: the salvaged model equals a streaming fit over the
+    // survivors' pooled rows on the same chunk grid at the same seed.
+    let survivors = concat_slices(
+        &data,
+        &[
+            (plan.shares[0].start_row, plan.shares[0].rows),
+            (plan.shares[2].start_row, plan.shares[2].rows),
+        ],
+    );
+    let mut direct = estimator.partial_fit().chunk_rows(8);
+    direct.absorb(&mut InMemorySource::new(&survivors)).unwrap();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let reference = direct.finalize(&mut rng).unwrap();
+    assert_eq!(
+        released, reference,
+        "salvage must replay a fresh survivor round bit for bit"
+    );
+
+    // One parallel debit over the survivors — the dropped client costs
+    // nothing and the tenant pays max ε once.
+    assert_eq!(session.spent_for("study"), (0.9, 0.0));
+    assert_eq!(session.spent_epsilon(), 0.9);
+}
+
+/// The same dropout **without** a quorum policy refuses the whole round
+/// with a typed error and debits nothing — all-or-nothing stays the
+/// default contract.
+#[test]
+fn dropout_without_quorum_policy_refuses_cleanly() {
+    let rows = 199;
+    let data = {
+        let mut rng = StdRng::seed_from_u64(41);
+        synth::linear_dataset(&mut rng, rows, 3, 0.1)
+    };
+    let estimator = DpLinearRegression::builder().epsilon(0.9).build();
+    let coordinator = Coordinator::with_chunk_rows(&estimator, NoiseMode::Central, 8);
+    let plan = coordinator.plan(rows, 3).unwrap();
+
+    let mut coord_ends = Vec::new();
+    for (i, share) in plan.shares.iter().enumerate() {
+        let (mut tx, rx) = InMemoryTransport::pair();
+        if i != 1 {
+            let client = FederatedClient::with_chunk_rows(&estimator, format!("site-{i}"), 8);
+            let shard = slice_dataset(&data, share.start_row, share.rows);
+            let upload = client
+                .contribute_clean(&mut InMemorySource::new(&shard), share)
+                .unwrap();
+            client.upload(&mut tx, &upload).unwrap();
+        }
+        // Client 1 hangs up without uploading.
+        drop(tx);
+        coord_ends.push(rx);
+    }
+
+    let session = SharedPrivacySession::new();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let err = coordinator
+        .run_round(&mut coord_ends, &session, "study", &mut rng)
+        .unwrap_err();
+    assert!(
+        matches!(err, FederatedError::Disconnected { op: "recv" }),
+        "{err}"
+    );
+    assert_eq!(
+        session.spent_epsilon(),
+        0.0,
+        "a refused round costs nothing"
+    );
 }
 
 /// A local-noise round: every client perturbs before upload, the
@@ -342,6 +507,92 @@ proptest! {
             let decoded: AccumUpload = AccumUpload::decode(&text).unwrap();
             prop_assert_eq!(decoded.encode(), text);
         }
+    }
+
+    /// Salvage ≡ fresh round, over **arbitrary dropout geometry**: for a
+    /// random plan and a random subset of vanished clients, the quorum
+    /// round's release is bit-identical to a streaming fit over the
+    /// survivors' pooled rows at the same seed, the report names exactly
+    /// the dropped transports, and the ledger debits exactly one
+    /// parallel composition over the survivors.
+    #[test]
+    fn dropout_salvage_matches_survivor_fit(
+        rows in 16usize..220,
+        d in 1usize..4,
+        clients in 2usize..5,
+        chunk_rows in 2usize..10,
+        drop_mask in 0u16..16,
+        seed in 0u64..1_000,
+    ) {
+        let mask = drop_mask & ((1u16 << clients) - 1);
+        let dropped_idx: Vec<usize> =
+            (0..clients).filter(|i| mask >> i & 1 == 1).collect();
+        let survivor_idx: Vec<usize> =
+            (0..clients).filter(|i| mask >> i & 1 == 0).collect();
+        prop_assume!(!survivor_idx.is_empty());
+        let data = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            synth::linear_dataset(&mut rng, rows, d, 0.1)
+        };
+        let estimator = DpLinearRegression::builder().epsilon(1.0).build();
+        let coordinator =
+            Coordinator::with_chunk_rows(&estimator, NoiseMode::Central, chunk_rows)
+                .with_round(3);
+        let plan = coordinator.plan(rows, clients).unwrap();
+        let pooled: Vec<(usize, usize)> = survivor_idx
+            .iter()
+            .map(|&i| (plan.shares[i].start_row, plan.shares[i].rows))
+            .collect();
+        prop_assume!(pooled.iter().map(|&(_, r)| r).sum::<usize>() > 0);
+
+        let mut coord_ends = Vec::new();
+        let mut client_ends = Vec::new();
+        for i in 0..clients {
+            let (a, b) = InMemoryTransport::pair();
+            coord_ends.push(a);
+            // Dropped clients hang up before uploading anything.
+            client_ends.push((mask >> i & 1 == 0).then_some(b));
+        }
+
+        let session = SharedPrivacySession::new();
+        let policy = QuorumPolicy::new(1, Duration::from_secs(5));
+        let (released, report) = std::thread::scope(|scope| {
+            for &i in &survivor_idx {
+                let share = plan.shares[i];
+                let shard = slice_dataset(&data, share.start_row, share.rows);
+                let estimator = &estimator;
+                let mut transport = client_ends[i].take().unwrap();
+                scope.spawn(move || {
+                    let client =
+                        FederatedClient::with_chunk_rows(estimator, format!("c{i}"), chunk_rows)
+                            .with_round(3);
+                    client
+                        .participate(
+                            &mut transport,
+                            &share,
+                            || InMemorySource::new(&shard),
+                            &RetryPolicy::default(),
+                        )
+                        .unwrap();
+                });
+            }
+            let mut rng = StdRng::seed_from_u64(9_000 + seed);
+            coordinator
+                .run_round_with_quorum(&mut coord_ends, &policy, &session, "t", &mut rng)
+                .unwrap()
+        });
+
+        prop_assert_eq!(report.dropped, dropped_idx);
+        let labels: Vec<String> = survivor_idx.iter().map(|i| format!("c{i}")).collect();
+        prop_assert_eq!(report.survivors, labels);
+        prop_assert_eq!(session.spent_for("t"), (1.0, 0.0));
+
+        let survivors = concat_slices(&data, &pooled);
+        let mut direct = estimator.partial_fit().chunk_rows(chunk_rows);
+        direct.absorb(&mut InMemorySource::new(&survivors)).unwrap();
+        let mut rng = StdRng::seed_from_u64(9_000 + seed);
+        let reference = direct.finalize(&mut rng).unwrap();
+        prop_assert_eq!(released, reference);
     }
 
     /// Crash-sweep: every strict byte prefix of a valid payload is

@@ -1,0 +1,362 @@
+//! Network fault-injection sweeps for `fm-federated`'s quorum rounds:
+//! every scripted fault resolves to a typed error, a deduped retry, or a
+//! salvaged round — **never** a hang, a double debit, or a corrupted
+//! release.
+//!
+//! The centerpiece is an every-byte sweep over a real 3-client round
+//! transcript: for every client and every strict byte prefix of its
+//! payload, a [`TransportFault::Torn`] delivers the prefix first and the
+//! intact frame as the retransmit — the coordinator must refuse the torn
+//! copy (checksum), accept the retransmit, and release a model
+//! bit-identical to the fault-free round at the same seed. Drop, delay
+//! and duplicate faults then exercise the other recovery paths: deadline
+//! expiry into dropout salvage, timeout into a successful retry, and
+//! exactly-once dedup of a duplicated frame during recovery.
+
+use std::time::Duration;
+
+use functional_mechanism::core::linreg::DpLinearRegression;
+use functional_mechanism::core::model::LinearModel;
+use functional_mechanism::core::session::SharedPrivacySession;
+use functional_mechanism::data::stream::InMemorySource;
+use functional_mechanism::data::{synth, Dataset};
+use functional_mechanism::federated::{
+    Coordinator, FaultInjectingTransport, FederatedClient, FederatedError, InMemoryTransport,
+    NoiseMode, QuorumPolicy, RetryPolicy, TransportFault,
+};
+use functional_mechanism::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CHUNK_ROWS: usize = 4;
+const ROWS: usize = 27; // 6 chunks of 4 + a 3-row ragged tail, split 3 ways
+const ROUND: u64 = 5;
+const SEED: u64 = 616;
+
+/// A retry schedule with no sleeps: sweeps run thousands of rounds, and
+/// determinism — not wall-clock spacing — is what the tests need.
+fn instant_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+    }
+}
+
+struct Fixture {
+    data: Dataset,
+    estimator: DpLinearRegression,
+    payloads: Vec<String>,
+}
+
+/// One shared 3-client round: the dataset, the estimator, and each
+/// client's encoded `fm-accum v2` payload (the round transcript).
+fn fixture() -> Fixture {
+    let data = {
+        let mut rng = StdRng::seed_from_u64(19);
+        synth::linear_dataset(&mut rng, ROWS, 2, 0.1)
+    };
+    let estimator = DpLinearRegression::builder().epsilon(0.8).build();
+    let coordinator =
+        Coordinator::with_chunk_rows(&estimator, NoiseMode::Central, CHUNK_ROWS).with_round(ROUND);
+    let plan = coordinator.plan(ROWS, 3).unwrap();
+    let payloads = plan
+        .shares
+        .iter()
+        .enumerate()
+        .map(|(i, share)| {
+            let shard = slice_dataset(&data, share.start_row, share.rows);
+            FederatedClient::with_chunk_rows(&estimator, format!("c{i}"), CHUNK_ROWS)
+                .with_round(ROUND)
+                .contribute_clean(&mut InMemorySource::new(&shard), share)
+                .unwrap()
+                .encode()
+        })
+        .collect();
+    Fixture {
+        data,
+        estimator,
+        payloads,
+    }
+}
+
+fn slice_dataset(data: &Dataset, start: usize, rows: usize) -> Dataset {
+    let d = data.x().cols();
+    let mut xs = Vec::with_capacity(rows * d);
+    for r in start..start + rows {
+        xs.extend_from_slice(data.x().row(r));
+    }
+    let ys = data.y()[start..start + rows].to_vec();
+    Dataset::new(Matrix::from_vec(rows, d, xs).unwrap(), ys).unwrap()
+}
+
+/// The fault-free reference release over the pooled row ranges.
+fn reference_over(fixture: &Fixture, ranges: &[(usize, usize)]) -> LinearModel {
+    let d = fixture.data.x().cols();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &(start, rows) in ranges {
+        for r in start..start + rows {
+            xs.extend_from_slice(fixture.data.x().row(r));
+        }
+        ys.extend_from_slice(&fixture.data.y()[start..start + rows]);
+    }
+    let rows = ys.len();
+    let pooled = Dataset::new(Matrix::from_vec(rows, d, xs).unwrap(), ys).unwrap();
+    let mut direct = fixture.estimator.partial_fit().chunk_rows(CHUNK_ROWS);
+    direct.absorb(&mut InMemorySource::new(&pooled)).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    direct.finalize(&mut rng).unwrap()
+}
+
+/// Coordinator-side transports for the round, each wrapped in a fault
+/// injector: `fault_at[i] = Some((fault, message))` arms transport `i`,
+/// `None` leaves it transparent. Every payload is pre-sent; the client
+/// ends for `keep_alive` indices are returned still-open (for recovery
+/// traffic), the rest hang up after uploading.
+fn faulted_round(
+    payloads: &[String],
+    fault_at: &[Option<TransportFault>],
+    skip_upload: &[usize],
+    keep_alive: &[usize],
+) -> (
+    Vec<FaultInjectingTransport<InMemoryTransport>>,
+    Vec<InMemoryTransport>,
+) {
+    let mut coord_ends = Vec::new();
+    let mut kept = Vec::new();
+    for (i, payload) in payloads.iter().enumerate() {
+        let (mut tx, rx) = InMemoryTransport::pair();
+        if !skip_upload.contains(&i) {
+            use functional_mechanism::federated::Transport;
+            tx.send(payload.as_bytes()).unwrap();
+        }
+        if keep_alive.contains(&i) {
+            kept.push(tx);
+        }
+        let (fault, at) = match fault_at[i] {
+            Some(fault) => (fault, 0),
+            None => (TransportFault::Drop, usize::MAX),
+        };
+        coord_ends.push(FaultInjectingTransport::new(rx, fault, at));
+    }
+    (coord_ends, kept)
+}
+
+/// The every-byte crash-point sweep: for **each** client of the round
+/// and **every** strict byte prefix of its payload, tearing the frame at
+/// that offset (with the intact frame queued as the retransmit) still
+/// releases the fault-free model bit for bit — one typed refusal, one
+/// deduction-free retry, no dropouts, no extra debit.
+#[test]
+fn torn_frame_sweep_over_every_byte_prefix_recovers_bit_identically() {
+    let fx = fixture();
+    let clean = reference_over(&fx, &[(0, ROWS)]);
+    let estimator = &fx.estimator;
+    let coordinator =
+        Coordinator::with_chunk_rows(estimator, NoiseMode::Central, CHUNK_ROWS).with_round(ROUND);
+    let policy = QuorumPolicy::new(3, Duration::from_secs(1)).with_retry(instant_retry());
+
+    let mut sweeps = 0usize;
+    for target in 0..fx.payloads.len() {
+        for at in 0..fx.payloads[target].len() {
+            let mut faults = vec![None; 3];
+            faults[target] = Some(TransportFault::Torn(at));
+            let (mut coord_ends, _kept) = faulted_round(&fx.payloads, &faults, &[], &[]);
+            let session = SharedPrivacySession::new();
+            let mut rng = StdRng::seed_from_u64(SEED);
+            let (model, report) = coordinator
+                .run_round_with_quorum(&mut coord_ends, &policy, &session, "t", &mut rng)
+                .unwrap_or_else(|e| panic!("client {target} torn at byte {at}: {e}"));
+            assert_eq!(
+                model, clean,
+                "client {target} torn at byte {at} corrupted the release"
+            );
+            assert!(
+                report.dropped.is_empty(),
+                "torn at byte {at} dropped a client"
+            );
+            assert_eq!(report.deduped_frames, 0);
+            assert!(coord_ends[target].fired(), "the fault never fired");
+            assert_eq!(
+                session.spent_for("t"),
+                (0.8, 0.0),
+                "debit drifted at byte {at}"
+            );
+            sweeps += 1;
+        }
+    }
+    let transcript: usize = fx.payloads.iter().map(String::len).sum();
+    assert_eq!(
+        sweeps, transcript,
+        "the sweep must cover the whole transcript"
+    );
+}
+
+/// A dropped frame on the last client's channel: the coordinator's
+/// deadline expires, retries exhaust, the client is dropped, and the
+/// round salvages over the first two — whose grid positions never moved,
+/// so no recovery sub-round is needed.
+#[test]
+fn dropped_frame_times_out_into_dropout_salvage() {
+    let fx = fixture();
+    let coordinator = Coordinator::with_chunk_rows(&fx.estimator, NoiseMode::Central, CHUNK_ROWS)
+        .with_round(ROUND);
+    let plan = coordinator.plan(ROWS, 3).unwrap();
+    let policy = QuorumPolicy::new(2, Duration::from_millis(20)).with_retry(instant_retry());
+
+    let mut faults = vec![None; 3];
+    faults[2] = Some(TransportFault::Drop);
+    let (mut coord_ends, _kept) = faulted_round(&fx.payloads, &faults, &[], &[0, 1, 2]);
+    let session = SharedPrivacySession::new();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let (model, report) = coordinator
+        .run_round_with_quorum(&mut coord_ends, &policy, &session, "t", &mut rng)
+        .unwrap();
+
+    assert_eq!(report.dropped, vec![2]);
+    assert_eq!(report.survivors, vec!["c0", "c1"]);
+    assert_eq!(report.recovery_subrounds, 0);
+    assert!(coord_ends[2].fired());
+    let reference = reference_over(
+        &fx,
+        &[
+            (plan.shares[0].start_row, plan.shares[0].rows),
+            (plan.shares[1].start_row, plan.shares[1].rows),
+        ],
+    );
+    assert_eq!(model, reference);
+    assert_eq!(session.spent_for("t"), (0.8, 0.0));
+}
+
+/// A delayed frame: the first receive times out (typed), the retry finds
+/// the frame already arrived — nobody is dropped and the release equals
+/// the fault-free round.
+#[test]
+fn delayed_frame_is_recovered_by_a_retry() {
+    let fx = fixture();
+    let clean = reference_over(&fx, &[(0, ROWS)]);
+    let coordinator = Coordinator::with_chunk_rows(&fx.estimator, NoiseMode::Central, CHUNK_ROWS)
+        .with_round(ROUND);
+    let policy = QuorumPolicy::new(3, Duration::from_millis(50)).with_retry(instant_retry());
+
+    let mut faults = vec![None; 3];
+    faults[1] = Some(TransportFault::Delay);
+    let (mut coord_ends, _kept) = faulted_round(&fx.payloads, &faults, &[], &[]);
+    let session = SharedPrivacySession::new();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let (model, report) = coordinator
+        .run_round_with_quorum(&mut coord_ends, &policy, &session, "t", &mut rng)
+        .unwrap();
+
+    assert!(report.dropped.is_empty());
+    assert!(coord_ends[1].fired());
+    assert_eq!(model, clean);
+    assert_eq!(session.spent_for("t"), (0.8, 0.0));
+}
+
+/// A duplicated frame met by idempotency: client 2's upload is delivered
+/// twice while client 1 drops out. During recovery the coordinator reads
+/// the duplicate first, recognizes its `(round, client, checksum)`
+/// identity, dedups it exactly-once, and waits for the real re-upload —
+/// the salvaged release still matches the survivor reference bit for
+/// bit, with `deduped_frames` proving the dedup fired.
+#[test]
+fn duplicated_frame_is_deduped_exactly_once_during_recovery() {
+    let fx = fixture();
+    let coordinator = Coordinator::with_chunk_rows(&fx.estimator, NoiseMode::Central, CHUNK_ROWS)
+        .with_round(ROUND);
+    let plan = coordinator.plan(ROWS, 3).unwrap();
+    let policy = QuorumPolicy::new(2, Duration::from_secs(5)).with_retry(instant_retry());
+
+    let mut faults = vec![None; 3];
+    faults[2] = Some(TransportFault::Duplicate);
+    // Client 1 never uploads and hangs up; client 2 stays online to
+    // serve the recovery re-assignment.
+    let (mut coord_ends, mut kept) = faulted_round(&fx.payloads, &faults, &[1], &[2]);
+    let session = SharedPrivacySession::new();
+
+    let (model, report) = std::thread::scope(|scope| {
+        let share = plan.shares[2];
+        let shard = slice_dataset(&fx.data, share.start_row, share.rows);
+        let estimator = &fx.estimator;
+        let mut transport = kept.pop().unwrap();
+        scope.spawn(move || {
+            // The client already uploaded (pre-sent frame); from here it
+            // only serves control messages until the round closes.
+            let client =
+                FederatedClient::with_chunk_rows(estimator, "c2", CHUNK_ROWS).with_round(ROUND);
+            use functional_mechanism::federated::{ControlMsg, Transport};
+            loop {
+                let text = String::from_utf8(transport.recv().unwrap()).unwrap();
+                match ControlMsg::decode(&text).unwrap() {
+                    ControlMsg::Done { .. } => return,
+                    ControlMsg::Assign { share, .. } => {
+                        let upload = client
+                            .contribute_clean(&mut InMemorySource::new(&shard), &share)
+                            .unwrap();
+                        client.upload(&mut transport, &upload).unwrap();
+                    }
+                }
+            }
+        });
+        let mut rng = StdRng::seed_from_u64(SEED);
+        coordinator
+            .run_round_with_quorum(&mut coord_ends, &policy, &session, "t", &mut rng)
+            .unwrap()
+    });
+
+    assert_eq!(report.dropped, vec![1]);
+    assert_eq!(report.survivors, vec!["c0", "c2"]);
+    assert_eq!(report.recovery_subrounds, 1);
+    assert!(
+        report.deduped_frames >= 1,
+        "the duplicated frame must be recognized and deduped"
+    );
+    let reference = reference_over(
+        &fx,
+        &[
+            (plan.shares[0].start_row, plan.shares[0].rows),
+            (plan.shares[2].start_row, plan.shares[2].rows),
+        ],
+    );
+    assert_eq!(model, reference);
+    assert_eq!(
+        session.spent_for("t"),
+        (0.8, 0.0),
+        "exactly one debit, duplicates free"
+    );
+}
+
+/// Below quorum the round refuses with the typed [`FederatedError::Quorum`]
+/// — survivors counted, threshold named, nothing debited, no hang.
+#[test]
+fn below_quorum_refuses_with_typed_error_and_no_debit() {
+    let fx = fixture();
+    let coordinator = Coordinator::with_chunk_rows(&fx.estimator, NoiseMode::Central, CHUNK_ROWS)
+        .with_round(ROUND);
+    let policy = QuorumPolicy::new(2, Duration::from_millis(20)).with_retry(instant_retry());
+
+    // Clients 1 and 2 vanish before uploading.
+    let (mut coord_ends, _kept) = faulted_round(&fx.payloads, &[None, None, None], &[1, 2], &[0]);
+    let session = SharedPrivacySession::new();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let err = coordinator
+        .run_round_with_quorum(&mut coord_ends, &policy, &session, "t", &mut rng)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            FederatedError::Quorum {
+                survivors: 1,
+                min_clients: 2,
+            }
+        ),
+        "{err}"
+    );
+    assert_eq!(
+        session.spent_epsilon(),
+        0.0,
+        "a refused round costs nothing"
+    );
+}
